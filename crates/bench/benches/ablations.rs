@@ -1,0 +1,189 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **lattice vs. no-lattice propagate** — the benefit of computing child
+//!   deltas from parent deltas (§5.5);
+//! * **pre-aggregation** before dimension joins (§4.1.3);
+//! * **MIN/MAX recompute pressure** — deletion-heavy batches against a view
+//!   with MIN/MAX vs. one without (§4.2);
+//! * **insertions-only refresh fast path** — the integrity-constraint
+//!   optimization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cubedelta_bench::{build_warehouse, insertion_batch, update_batch};
+use cubedelta_core::{MaintainOptions, Warehouse};
+use cubedelta_storage::ChangeBatch;
+
+fn maintain_with(wh: &Warehouse, batch: &ChangeBatch, opts: &MaintainOptions) {
+    let mut w = wh.clone();
+    w.maintain(batch, opts).expect("maintain");
+}
+
+fn bench_lattice_ablation(c: &mut Criterion) {
+    let (wh, params) = build_warehouse(100_000);
+    let mut group = c.benchmark_group("ablation_lattice");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    for &size in &[2_000usize, 10_000] {
+        let batch = update_batch(&wh, &params, size, size as u64);
+        group.bench_with_input(BenchmarkId::new("with_lattice", size), &batch, |b, batch| {
+            b.iter(|| maintain_with(&wh, batch, &MaintainOptions::default()));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("without_lattice", size),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    maintain_with(
+                        &wh,
+                        batch,
+                        &MaintainOptions {
+                            use_lattice: false,
+                            pre_aggregate: false,
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_preaggregation(c: &mut Criterion) {
+    let (wh, params) = build_warehouse(100_000);
+    let mut group = c.benchmark_group("ablation_preaggregation");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    // Without the lattice every view joins its dimensions over the raw
+    // changes — exactly where §4.1.3 says pre-aggregation helps.
+    for &size in &[2_000usize, 10_000] {
+        let batch = update_batch(&wh, &params, size, size as u64);
+        for (label, pre) in [("preagg_off", false), ("preagg_on", true)] {
+            group.bench_with_input(BenchmarkId::new(label, size), &batch, |b, batch| {
+                b.iter(|| {
+                    maintain_with(
+                        &wh,
+                        batch,
+                        &MaintainOptions {
+                            use_lattice: false,
+                            pre_aggregate: pre,
+                        },
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_minmax_pressure(c: &mut Criterion) {
+    let (wh, params) = build_warehouse(100_000);
+    let mut group = c.benchmark_group("ablation_minmax_refresh");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    // Deletion-heavy updates hit SiC_sales' MIN(date) recompute path;
+    // insertions-only batches take the fast path.
+    let update = update_batch(&wh, &params, 10_000, 7);
+    group.bench_function("update_generating_10k", |b| {
+        b.iter(|| maintain_with(&wh, &update, &MaintainOptions::default()));
+    });
+    let inserts = insertion_batch(&params, 10_000, 7);
+    group.bench_function("insertion_generating_10k", |b| {
+        b.iter(|| maintain_with(&wh, &inserts, &MaintainOptions::default()));
+    });
+    group.finish();
+}
+
+fn bench_aggregation_strategies(c: &mut Criterion) {
+    use cubedelta_expr::Expr;
+    use cubedelta_query::{
+        hash_aggregate, hash_aggregate_parallel, sort_aggregate, AggFunc, Relation,
+    };
+    use cubedelta_storage::Column;
+
+    // Aggregate the raw fact table down to (storeID, date) — the kind of
+    // work each propagate/rematerialize step does.
+    let (wh, _) = build_warehouse(200_000);
+    let rel = Relation::from_table(wh.catalog().table("pos").unwrap());
+    let aggs = vec![
+        (
+            AggFunc::CountStar,
+            Column::new("cnt", cubedelta_storage::DataType::Int),
+        ),
+        (
+            AggFunc::Sum(Expr::col("qty")),
+            Column::new("total", cubedelta_storage::DataType::Int),
+        ),
+    ];
+    let group = ["storeID", "date"];
+
+    let mut g = c.benchmark_group("ablation_aggregation_strategy");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("hash_200k", |b| {
+        b.iter(|| hash_aggregate(&rel, &group, &aggs).unwrap());
+    });
+    g.bench_function("sort_200k", |b| {
+        b.iter(|| sort_aggregate(&rel, &group, &aggs).unwrap());
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_function(format!("parallel_hash_200k_t{threads}"), |b| {
+            b.iter(|| hash_aggregate_parallel(&rel, &group, &aggs, threads).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_refresh_strategies(c: &mut Criterion) {
+    use cubedelta_core::{
+        propagate_view, refresh, refresh_join, PropagateOptions, RefreshOptions,
+    };
+    use cubedelta_view::augment;
+
+    // Indexed refresh (per-delta-tuple probes) vs the §4.2 "summary-delta
+    // join" (one pass over the summary table) on SID_sales: ~100k summary
+    // rows against a 10k-row delta.
+    let (wh, params) = build_warehouse(100_000);
+    let batch = update_batch(&wh, &params, 10_000, 31);
+    let view = augment(wh.catalog(), &cubedelta_bench::figure1_defs()[0]).unwrap();
+    let sd = propagate_view(wh.catalog(), &view, &batch, &PropagateOptions::default()).unwrap();
+    let mut post = wh.catalog().clone();
+    for d in &batch.deltas {
+        post.table_mut(&d.table).unwrap().apply_delta(d).unwrap();
+    }
+
+    let mut g = c.benchmark_group("ablation_refresh_strategy");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    g.bench_function("indexed_refresh_10k_delta", |b| {
+        b.iter(|| {
+            let mut cat = post.clone();
+            refresh(&mut cat, &view, &sd, &RefreshOptions::default()).unwrap()
+        });
+    });
+    g.bench_function("summary_delta_join_10k_delta", |b| {
+        b.iter(|| {
+            let mut cat = post.clone();
+            refresh_join(&mut cat, &view, &sd, &RefreshOptions::default()).unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lattice_ablation,
+    bench_preaggregation,
+    bench_minmax_pressure,
+    bench_aggregation_strategies,
+    bench_refresh_strategies
+);
+criterion_main!(benches);

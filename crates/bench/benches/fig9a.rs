@@ -1,0 +1,41 @@
+//! Figure 9(a): elapsed time vs change-set size, update-generating changes.
+//!
+//! Criterion variant at a reduced `pos` size (100k) so the suite finishes
+//! quickly; the full 500k sweep lives in the `fig9` binary. The shape under
+//! test: summary-delta maintenance beats rematerialization at every change
+//! size, and propagate-with-lattice beats propagate-without, with the gap
+//! growing in the change size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cubedelta_bench::{build_warehouse, run_strategy, update_batch, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let (wh, params) = build_warehouse(100_000);
+    let mut group = c.benchmark_group("fig9a_update_changes");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    for &size in &[1_000usize, 5_000, 10_000] {
+        let batch = update_batch(&wh, &params, size, size as u64);
+        for strategy in [
+            Strategy::SummaryDelta,
+            Strategy::SummaryDeltaNoLattice,
+            Strategy::Rematerialize,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), size),
+                &batch,
+                |b, batch| {
+                    b.iter(|| run_strategy(&wh, batch, strategy).0);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

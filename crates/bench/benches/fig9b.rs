@@ -1,0 +1,36 @@
+//! Figure 9(b): elapsed time vs `pos` size, update-generating changes of a
+//! fixed size (10k).
+//!
+//! The shape under test: propagate time is independent of the `pos` size
+//! (it only touches the change set), while rematerialization grows linearly
+//! with it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cubedelta_bench::{build_warehouse, run_strategy, update_batch, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9b_pos_size");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    for &pos_rows in &[50_000usize, 100_000, 200_000] {
+        let (wh, params) = build_warehouse(pos_rows);
+        let batch = update_batch(&wh, &params, 10_000, pos_rows as u64);
+        for strategy in [Strategy::SummaryDelta, Strategy::Rematerialize] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), pos_rows),
+                &batch,
+                |b, batch| {
+                    b.iter(|| run_strategy(&wh, batch, strategy).0);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

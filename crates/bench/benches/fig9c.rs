@@ -1,0 +1,40 @@
+//! Figure 9(c): elapsed time vs change-set size, insertion-generating
+//! changes (inserts over new dates).
+//!
+//! The shape under test: the summary-delta win over rematerialization is
+//! even larger than in 9(a) — date-grouped views take pure inserts and the
+//! refresh gets cheaper (the paper reports refresh dropping by ~50%).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cubedelta_bench::{build_warehouse, insertion_batch, run_strategy, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let (wh, params) = build_warehouse(100_000);
+    let mut group = c.benchmark_group("fig9c_insertion_changes");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    for &size in &[1_000usize, 5_000, 10_000] {
+        let batch = insertion_batch(&params, size, size as u64);
+        for strategy in [
+            Strategy::SummaryDelta,
+            Strategy::SummaryDeltaNoLattice,
+            Strategy::Rematerialize,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), size),
+                &batch,
+                |b, batch| {
+                    b.iter(|| run_strategy(&wh, batch, strategy).0);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 9(d): elapsed time vs `pos` size, insertion-generating changes of
+//! a fixed size (10k).
+//!
+//! The shape under test: as in 9(b), propagate time is flat in the `pos`
+//! size; with insertion-generating changes the refresh is also flat (pure
+//! index-backed inserts/updates), so the summary-delta total barely moves
+//! while rematerialization climbs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cubedelta_bench::{build_warehouse, insertion_batch, run_strategy, Strategy};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9d_pos_size_insertions");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    for &pos_rows in &[50_000usize, 100_000, 200_000] {
+        let (wh, params) = build_warehouse(pos_rows);
+        let batch = insertion_batch(&params, 10_000, pos_rows as u64);
+        for strategy in [Strategy::SummaryDelta, Strategy::Rematerialize] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), pos_rows),
+                &batch,
+                |b, batch| {
+                    b.iter(|| run_strategy(&wh, batch, strategy).0);
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Micro-benches for the maintenance building blocks: prepare/aggregate
+//! (propagate for one view), D-lattice edge derivation, and the indexed
+//! refresh itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cubedelta_bench::{build_warehouse, figure1_defs, update_batch};
+use cubedelta_core::{
+    propagate_view, refresh, PropagateOptions, RefreshOptions,
+};
+use cubedelta_lattice::{build_edge_query, derives};
+use cubedelta_view::augment;
+
+fn bench(c: &mut Criterion) {
+    let (wh, params) = build_warehouse(100_000);
+    let catalog = wh.catalog();
+    let batch = update_batch(&wh, &params, 10_000, 99);
+
+    let defs = figure1_defs();
+    let sid = augment(catalog, &defs[0]).unwrap();
+    let scd = augment(catalog, &defs[1]).unwrap();
+
+    let mut group = c.benchmark_group("micro");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+
+    // Propagate a single view's summary-delta from 10k changes.
+    group.bench_function("propagate_sid_direct_10k", |b| {
+        b.iter(|| propagate_view(catalog, &sid, &batch, &PropagateOptions::default()).unwrap());
+    });
+    group.bench_function("propagate_scd_direct_10k", |b| {
+        b.iter(|| propagate_view(catalog, &scd, &batch, &PropagateOptions::default()).unwrap());
+    });
+
+    // Derive sCD's delta from SID's delta (the D-lattice edge).
+    let sid_delta = propagate_view(catalog, &sid, &batch, &PropagateOptions::default()).unwrap();
+    let info = derives(catalog, &scd, &sid).unwrap().expect("scd ⊑ sid");
+    let eq = build_edge_query(catalog, &sid, &scd, &info).unwrap();
+    group.bench_function("derive_scd_from_sid_delta", |b| {
+        b.iter(|| cubedelta_lattice::derive_child(catalog, &sid_delta, &eq).unwrap());
+    });
+
+    // The indexed refresh of SID_sales with a 10k-group delta.
+    group.bench_function("refresh_sid_10k_delta", |b| {
+        b.iter(|| {
+            let mut cat = wh.catalog().clone();
+            for d in &batch.deltas {
+                cat.table_mut(&d.table).unwrap().apply_delta(d).unwrap();
+            }
+            refresh(&mut cat, &sid, &sid_delta, &RefreshOptions::default()).unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,161 @@
+//! One-shot harness regenerating Figure 9 of the paper: elapsed time for
+//! maintaining all four summary tables, comparing the summary-delta method
+//! (with and without the lattice) against rematerialization.
+//!
+//! ```sh
+//! cargo run --release -p cubedelta-bench --bin fig9 -- all
+//! cargo run --release -p cubedelta-bench --bin fig9 -- a        # one panel
+//! cargo run --release -p cubedelta-bench --bin fig9 -- all --quick
+//! ```
+//!
+//! Panels, as in the paper:
+//!   (a) elapsed vs change-set size (1k–10k), pos = 500k, update-generating
+//!   (b) elapsed vs pos size (100k–500k), changes = 10k, update-generating
+//!   (c) as (a), insertion-generating
+//!   (d) as (b), insertion-generating
+//!
+//! Series: Propagate (lattice), Summary Delta Maint. (propagate+refresh),
+//! Rematerialize (lattice cascade), Propagate (w/o lattice).
+
+use cubedelta_bench::{
+    build_warehouse, insertion_batch, run_strategy, secs, update_batch, Strategy,
+};
+use cubedelta_core::Warehouse;
+use cubedelta_storage::ChangeBatch;
+use cubedelta_workload::RetailParams;
+
+#[derive(Clone, Copy, PartialEq)]
+enum ChangeKind {
+    Update,
+    Insertion,
+}
+
+fn make_batch(
+    kind: ChangeKind,
+    wh: &Warehouse,
+    params: &RetailParams,
+    size: usize,
+    seed: u64,
+) -> ChangeBatch {
+    match kind {
+        ChangeKind::Update => update_batch(wh, params, size, seed),
+        ChangeKind::Insertion => insertion_batch(params, size, seed),
+    }
+}
+
+fn header() {
+    println!(
+        "{:>10} {:>10} | {:>10} {:>10} {:>12} {:>14} {:>16}",
+        "pos",
+        "changes",
+        "propagate",
+        "sd-maint",
+        "rematerial.",
+        "prop-no-lattice",
+        "refresh-detail"
+    );
+}
+
+fn run_point(wh: &Warehouse, params: &RetailParams, kind: ChangeKind, size: usize, seed: u64) {
+    let batch = make_batch(kind, wh, params, size, seed);
+
+    let (sd, done_sd) = run_strategy(wh, &batch, Strategy::SummaryDelta);
+    let (nolat, _) = run_strategy(wh, &batch, Strategy::SummaryDeltaNoLattice);
+    let (remat, done_remat) = run_strategy(wh, &batch, Strategy::Rematerialize);
+
+    // Sanity: both strategies leave identical summary tables.
+    for def in cubedelta_bench::figure1_defs() {
+        assert_eq!(
+            done_sd.catalog().table(&def.name).unwrap().len(),
+            done_remat.catalog().table(&def.name).unwrap().len(),
+            "strategies disagree on {}",
+            def.name
+        );
+    }
+
+    println!(
+        "{:>10} {:>10} | {:>10} {:>10} {:>12} {:>14} {:>16}",
+        wh.catalog().table("pos").unwrap().len(),
+        size,
+        secs(sd.propagate),
+        secs(sd.total),
+        secs(remat.total),
+        secs(nolat.propagate),
+        format!("refresh={}", secs(sd.refresh).trim()),
+    );
+}
+
+fn panel_change_sweep(kind: ChangeKind, pos_rows: usize, sizes: &[usize], title: &str) {
+    println!("\n== {title} (pos = {pos_rows}) ==");
+    println!("(all times in seconds)");
+    let (wh, params) = build_warehouse(pos_rows);
+    header();
+    for (i, &size) in sizes.iter().enumerate() {
+        run_point(&wh, &params, kind, size, 100 + i as u64);
+    }
+}
+
+fn panel_pos_sweep(kind: ChangeKind, change_size: usize, pos_sizes: &[usize], title: &str) {
+    println!("\n== {title} (changes = {change_size}) ==");
+    println!("(all times in seconds)");
+    header();
+    for (i, &pos_rows) in pos_sizes.iter().enumerate() {
+        let (wh, params) = build_warehouse(pos_rows);
+        run_point(&wh, &params, kind, change_size, 200 + i as u64);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let change_sizes: Vec<usize> = if quick {
+        vec![1_000, 5_000, 10_000]
+    } else {
+        (1..=10).map(|k| k * 1_000).collect()
+    };
+    let pos_sizes: Vec<usize> = if quick {
+        vec![100_000, 300_000, 500_000]
+    } else {
+        vec![100_000, 150_000, 200_000, 250_000, 300_000, 350_000, 400_000, 450_000, 500_000]
+    };
+    let big_pos = 500_000;
+
+    if which == "a" || which == "all" {
+        panel_change_sweep(
+            ChangeKind::Update,
+            big_pos,
+            &change_sizes,
+            "Figure 9(a): varying change size, update-generating changes",
+        );
+    }
+    if which == "b" || which == "all" {
+        panel_pos_sweep(
+            ChangeKind::Update,
+            10_000,
+            &pos_sizes,
+            "Figure 9(b): varying pos size, update-generating changes",
+        );
+    }
+    if which == "c" || which == "all" {
+        panel_change_sweep(
+            ChangeKind::Insertion,
+            big_pos,
+            &change_sizes,
+            "Figure 9(c): varying change size, insertion-generating changes",
+        );
+    }
+    if which == "d" || which == "all" {
+        panel_pos_sweep(
+            ChangeKind::Insertion,
+            10_000,
+            &pos_sizes,
+            "Figure 9(d): varying pos size, insertion-generating changes",
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! # cubedelta-bench
+//!
+//! The harness that regenerates every table and figure of the paper's
+//! evaluation (§6, Figure 9). Shared between the Criterion benches
+//! (`benches/fig9*.rs`, `benches/ablations.rs`, `benches/micro.rs`) and the
+//! one-shot printing harness (`src/bin/fig9.rs`) whose output feeds
+//! `EXPERIMENTS.md`.
+//!
+//! The §6 setup: a `pos` table of 100k–500k tuples with a composite index
+//! on `(storeID, itemID, date)`, the four Figure-1 summary tables each with
+//! a composite index on their group-by columns, and change sets of
+//! 1k–10k tuples that are either *update-generating* (balanced
+//! insert/delete over existing values) or *insertion-generating* (inserts
+//! over new dates).
+
+use std::time::{Duration, Instant};
+
+use cubedelta_core::{MaintainOptions, Warehouse};
+use cubedelta_expr::Expr;
+use cubedelta_query::AggFunc;
+use cubedelta_storage::ChangeBatch;
+use cubedelta_view::SummaryViewDef;
+use cubedelta_workload::{
+    insertion_generating, retail_catalog, update_generating, RetailParams, WorkloadScale,
+};
+
+/// The paper's four Figure-1 summary tables.
+pub fn figure1_defs() -> Vec<SummaryViewDef> {
+    vec![
+        SummaryViewDef::builder("SID_sales", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("sCD_sales", "pos")
+            .join_dimension("stores")
+            .group_by(["city", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("SiC_sales", "pos")
+            .join_dimension("items")
+            .group_by(["storeID", "category"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Min(Expr::col("date")), "EarliestSale")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("sR_sales", "pos")
+            .join_dimension("stores")
+            .group_by(["region"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+    ]
+}
+
+/// Builds the §6 warehouse at the given `pos` size, with all four summary
+/// tables installed and the fact-table composite index in place.
+pub fn build_warehouse(pos_rows: usize) -> (Warehouse, RetailParams) {
+    let (mut cat, params) = retail_catalog(WorkloadScale::paper(pos_rows));
+    cat.table_mut("pos")
+        .unwrap()
+        .create_index("pos_sid", &["storeID", "itemID", "date"])
+        .unwrap();
+    let mut wh = Warehouse::from_catalog(cat);
+    for def in figure1_defs() {
+        wh.create_summary_table(&def).unwrap();
+    }
+    (wh, params)
+}
+
+/// The §6 *update-generating* change batch.
+pub fn update_batch(wh: &Warehouse, params: &RetailParams, size: usize, seed: u64) -> ChangeBatch {
+    ChangeBatch::single(update_generating(wh.catalog(), params, size, seed))
+}
+
+/// The §6 *insertion-generating* change batch (one new day).
+pub fn insertion_batch(params: &RetailParams, size: usize, seed: u64) -> ChangeBatch {
+    ChangeBatch::single(insertion_generating(params, size, 1, seed))
+}
+
+/// The maintenance strategies compared in Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Summary-delta method with the D-lattice (the paper's proposal).
+    SummaryDelta,
+    /// Summary-delta method, every delta from the raw changes (the dotted
+    /// "Propagate (w/o lattice)" comparison line).
+    SummaryDeltaNoLattice,
+    /// Rematerialize all views via the lattice cascade.
+    Rematerialize,
+    /// Rematerialize each view independently from base data.
+    RematerializeNoLattice,
+}
+
+impl Strategy {
+    /// Display label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::SummaryDelta => "Summary Delta Maint.",
+            Strategy::SummaryDeltaNoLattice => "Summary Delta (w/o lattice)",
+            Strategy::Rematerialize => "Rematerialize",
+            Strategy::RematerializeNoLattice => "Rematerialize (w/o lattice)",
+        }
+    }
+}
+
+/// One measured maintenance run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Propagate time (zero for rematerialization).
+    pub propagate: Duration,
+    /// Batch-window time (refresh, or the full recompute).
+    pub refresh: Duration,
+    /// Everything including applying changes to base tables.
+    pub total: Duration,
+}
+
+/// Runs one strategy against a clone of the warehouse, so the caller can
+/// replay the same state across strategies. Returns wall-clock timings and
+/// the post-run warehouse (for assertions).
+pub fn run_strategy(
+    wh: &Warehouse,
+    batch: &ChangeBatch,
+    strategy: Strategy,
+) -> (Timings, Warehouse) {
+    let mut w = wh.clone();
+    let t0 = Instant::now();
+    let report = match strategy {
+        Strategy::SummaryDelta => w
+            .maintain(batch, &MaintainOptions::default())
+            .expect("maintain"),
+        Strategy::SummaryDeltaNoLattice => w
+            .maintain(
+                batch,
+                &MaintainOptions {
+                    use_lattice: false,
+                    pre_aggregate: false,
+                },
+            )
+            .expect("maintain"),
+        Strategy::Rematerialize => w.rematerialize(batch, true).expect("rematerialize"),
+        Strategy::RematerializeNoLattice => {
+            w.rematerialize(batch, false).expect("rematerialize")
+        }
+    };
+    let total = t0.elapsed();
+    (
+        Timings {
+            propagate: report.propagate_time,
+            refresh: report.refresh_time,
+            total,
+        },
+        w,
+    )
+}
+
+/// Formats a duration in seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:8.3}", d.as_secs_f64())
+}

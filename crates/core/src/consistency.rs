@@ -1,0 +1,74 @@
+//! Consistency checking: a summary table must always equal what
+//! recomputation from base data would produce. The test suites use this
+//! after every maintenance cycle; production deployments can run it as an
+//! audit.
+
+use cubedelta_storage::Catalog;
+use cubedelta_view::{materialize, AugmentedView};
+
+use crate::error::{CoreError, CoreResult};
+
+/// Verifies that the view's materialized summary table equals a fresh
+/// recomputation (bag equality). Errors with a diff summary otherwise.
+pub fn check_view_consistency(catalog: &Catalog, view: &AugmentedView) -> CoreResult<()> {
+    let expected = materialize(catalog, view)?;
+    let actual = catalog.table(&view.def.name)?;
+    let mut want = expected.rows;
+    want.sort();
+    let have = actual.sorted_rows();
+    if want != have {
+        let missing = want.iter().filter(|r| !have.contains(r)).count();
+        let extra = have.iter().filter(|r| !want.contains(r)).count();
+        return Err(CoreError::Maintenance(format!(
+            "summary table `{}` inconsistent with base data: {} row(s) missing, {} extra \
+             (have {}, want {})",
+            view.def.name,
+            missing,
+            extra,
+            have.len(),
+            want.len()
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use cubedelta_storage::row;
+    use cubedelta_view::{augment, install_summary_table};
+
+    #[test]
+    fn consistent_view_passes() {
+        let mut cat = retail_catalog_small();
+        let view = augment(&cat, &sid_sales()).unwrap();
+        install_summary_table(&mut cat, &view).unwrap();
+        check_view_consistency(&cat, &view).unwrap();
+    }
+
+    #[test]
+    fn tampered_view_fails() {
+        let mut cat = retail_catalog_small();
+        let view = augment(&cat, &sid_sales()).unwrap();
+        install_summary_table(&mut cat, &view).unwrap();
+        // Corrupt the summary table.
+        let t = cat.table_mut("SID_sales").unwrap();
+        let (rid, _) = t.iter().next().map(|(id, r)| (id, r.clone())).unwrap();
+        t.delete(rid).unwrap();
+        let err = check_view_consistency(&cat, &view).unwrap_err();
+        assert!(err.to_string().contains("inconsistent"), "{err}");
+    }
+
+    #[test]
+    fn base_change_without_refresh_fails() {
+        let mut cat = retail_catalog_small();
+        let view = augment(&cat, &sid_sales()).unwrap();
+        install_summary_table(&mut cat, &view).unwrap();
+        cat.table_mut("pos")
+            .unwrap()
+            .insert(row![4i64, 30i64, cubedelta_storage::Date(10003), 1i64, 1.0])
+            .unwrap();
+        assert!(check_view_consistency(&cat, &view).is_err());
+    }
+}

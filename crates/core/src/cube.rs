@@ -1,0 +1,407 @@
+//! The CUBE operator: defining and efficiently materializing a whole data
+//! cube (or a selected subset of it) as summary tables.
+//!
+//! "The cube operator \[GBLP96] can be used to define several such summary
+//! tables with one statement" (§1). A [`CubeSpec`] names the dimension
+//! attributes (fact columns or dimension-table columns) and the measures;
+//! building it creates one generalized cube view per attribute subset —
+//! `2^k` views, or the subset picked by the \[HRU96] greedy selection under
+//! a budget — and materializes them through the lattice, deriving each view
+//! from its cheapest materialized ancestor instead of re-scanning the fact
+//! table ([AAD+96, SAG96], which §5.5 maps propagation onto).
+//!
+//! Once built, the cube views are ordinary summary tables: the nightly
+//! [`crate::warehouse::Warehouse::maintain`] cycle keeps all of them fresh
+//! through the D-lattice.
+
+use std::collections::HashSet;
+
+use cubedelta_lattice::{SelectionProblem, ViewLattice};
+use cubedelta_query::{AggFunc, Relation};
+use cubedelta_storage::TableRole;
+use cubedelta_view::{augment, summary_schema, AugmentedView, SummaryViewDef};
+
+use crate::error::{CoreError, CoreResult};
+use crate::warehouse::Warehouse;
+
+/// How many of the `2^k` cube views to materialize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CubeBudget {
+    /// Materialize every cube view.
+    All,
+    /// Greedy-select at most this many views beyond the forced top view
+    /// (\[HRU96]).
+    TopK(usize),
+    /// Greedy-select under a total estimated row budget (\[HRU96]'s
+    /// benefit-per-unit-space variant).
+    Rows(u64),
+}
+
+/// A cube definition: fact table, dimension attributes, measures.
+#[derive(Debug, Clone)]
+pub struct CubeSpec {
+    /// Name prefix for the generated views (`{prefix}_{attrs}`).
+    pub prefix: String,
+    /// The fact table.
+    pub fact_table: String,
+    /// Dimension attributes (fact columns, or dimension-table columns —
+    /// the required joins are inferred from the catalog's foreign keys).
+    pub dimensions: Vec<String>,
+    /// The measures computed in every cube view.
+    pub measures: Vec<(AggFunc, String)>,
+    /// Which views to materialize.
+    pub budget: CubeBudget,
+}
+
+impl CubeSpec {
+    /// Starts a cube over a fact table with the given name prefix.
+    pub fn new(prefix: impl Into<String>, fact_table: impl Into<String>) -> Self {
+        CubeSpec {
+            prefix: prefix.into(),
+            fact_table: fact_table.into(),
+            dimensions: Vec::new(),
+            measures: Vec::new(),
+            budget: CubeBudget::All,
+        }
+    }
+
+    /// Adds a dimension attribute.
+    pub fn dimension(mut self, attr: impl Into<String>) -> Self {
+        self.dimensions.push(attr.into());
+        self
+    }
+
+    /// Adds a measure.
+    pub fn measure(mut self, func: AggFunc, alias: impl Into<String>) -> Self {
+        self.measures.push((func, alias.into()));
+        self
+    }
+
+    /// Sets the materialization budget.
+    pub fn budget(mut self, budget: CubeBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The view name for one attribute subset.
+    pub fn view_name(&self, attrs: &[&str]) -> String {
+        if attrs.is_empty() {
+            format!("{}_all", self.prefix)
+        } else {
+            format!("{}_{}", self.prefix, attrs.join("_"))
+        }
+    }
+
+    /// The view definition for one attribute subset (dimension joins
+    /// inferred from the warehouse catalog).
+    fn view_def(&self, wh: &Warehouse, attrs: &[&str]) -> CoreResult<SummaryViewDef> {
+        let fact_schema = wh.catalog().table(&self.fact_table)?.schema().clone();
+        let mut builder =
+            SummaryViewDef::builder(self.view_name(attrs), &self.fact_table).group_by(attrs.iter().copied());
+        let mut joined: HashSet<String> = HashSet::new();
+        // Joins needed by group-by attributes and by measure sources.
+        let mut needed: Vec<String> = attrs.iter().map(|s| s.to_string()).collect();
+        for (f, _) in &self.measures {
+            if let Some(e) = f.input() {
+                needed.extend(e.columns());
+            }
+        }
+        for attr in needed {
+            if fact_schema.contains(&attr) {
+                continue;
+            }
+            let dim = wh
+                .catalog()
+                .dimension_owning(&self.fact_table, &attr)
+                .ok_or_else(|| {
+                    CoreError::Maintenance(format!(
+                        "cube attribute `{attr}` is neither a fact column nor a \
+                         dimension attribute reachable from `{}`",
+                        self.fact_table
+                    ))
+                })?;
+            if joined.insert(dim.to_string()) {
+                builder = builder.join_dimension(dim);
+            }
+        }
+        for (f, alias) in &self.measures {
+            builder = builder.aggregate(f.clone(), alias);
+        }
+        Ok(builder.build())
+    }
+}
+
+/// Estimates a cube view's size as the product of its attributes' distinct
+/// counts, capped by the fact-table size — the standard independence
+/// estimate \[HRU96] uses.
+fn estimate_sizes(wh: &Warehouse, spec: &CubeSpec, subsets: &[Vec<&str>]) -> CoreResult<Vec<u64>> {
+    let fact = wh.catalog().table(&spec.fact_table)?;
+    let cap = fact.len().max(1) as u64;
+    let mut distinct: Vec<(String, u64)> = Vec::with_capacity(spec.dimensions.len());
+    for attr in &spec.dimensions {
+        let (table, col) = if fact.schema().contains(attr) {
+            (fact, fact.schema().index_of(attr)?)
+        } else {
+            let dim = wh
+                .catalog()
+                .dimension_owning(&spec.fact_table, attr)
+                .ok_or_else(|| CoreError::Maintenance(format!("unknown attribute `{attr}`")))?;
+            let t = wh.catalog().table(dim)?;
+            (t, t.schema().index_of(attr)?)
+        };
+        let n = table
+            .rows()
+            .map(|r| &r[col])
+            .collect::<HashSet<_>>()
+            .len()
+            .max(1) as u64;
+        distinct.push((attr.clone(), n));
+    }
+    Ok(subsets
+        .iter()
+        .map(|attrs| {
+            let mut s: u64 = 1;
+            for a in attrs {
+                let d = distinct
+                    .iter()
+                    .find(|(name, _)| name == a)
+                    .map(|(_, n)| *n)
+                    .unwrap_or(1);
+                s = s.saturating_mul(d);
+            }
+            s.clamp(1, cap)
+        })
+        .collect())
+}
+
+/// The result of building a cube.
+#[derive(Debug, Clone)]
+pub struct CubeReport {
+    /// Names of the materialized views, in materialization order.
+    pub views: Vec<String>,
+    /// Names of cube points that were *not* materialized (budgeted out).
+    pub skipped: Vec<String>,
+}
+
+impl Warehouse {
+    /// Defines and materializes a data cube. Views are materialized through
+    /// the lattice (each from its cheapest already-materialized ancestor)
+    /// and registered as ordinary summary tables, so subsequent
+    /// [`Warehouse::maintain`] calls keep the whole cube fresh.
+    pub fn create_cube(&mut self, spec: &CubeSpec) -> CoreResult<CubeReport> {
+        let k = spec.dimensions.len();
+        if k > 16 {
+            return Err(CoreError::Maintenance(format!(
+                "a {k}-dimension cube means 2^{k} views; refusing"
+            )));
+        }
+        if spec.measures.is_empty() {
+            return Err(CoreError::Maintenance("a cube needs at least one measure".into()));
+        }
+
+        // Enumerate subsets, top (all attrs) first so it is always index 0
+        // of the selection lattice's `tops()`.
+        let dims: Vec<&str> = spec.dimensions.iter().map(String::as_str).collect();
+        let mut subsets: Vec<Vec<&str>> = Vec::with_capacity(1 << k);
+        for mask in (0..(1u32 << k)).rev() {
+            let attrs: Vec<&str> = dims
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, a)| *a)
+                .collect();
+            subsets.push(attrs);
+        }
+
+        // Budgeted selection over the candidate lattice.
+        let chosen_subsets: Vec<Vec<&str>> = match spec.budget {
+            CubeBudget::All => subsets.clone(),
+            _ => {
+                let lattice = cubedelta_lattice::AttrLattice::build(
+                    subsets
+                        .iter()
+                        .map(|s| s.iter().map(|a| a.to_string()).collect())
+                        .collect(),
+                    |a, b| a.is_subset(b),
+                );
+                let sizes = estimate_sizes(self, spec, &subsets)?;
+                let problem = SelectionProblem::new(&lattice, sizes)?;
+                let selection = match spec.budget {
+                    CubeBudget::TopK(k) => problem.select_k(k),
+                    CubeBudget::Rows(budget) => problem.select_budget(budget),
+                    CubeBudget::All => unreachable!(),
+                };
+                selection
+                    .chosen
+                    .iter()
+                    .map(|&i| {
+                        lattice.nodes()[i]
+                            .iter()
+                            .map(String::as_str)
+                            // Restore the spec's dimension order.
+                            .collect::<HashSet<&str>>()
+                    })
+                    .map(|set| dims.iter().copied().filter(|d| set.contains(d)).collect())
+                    .collect()
+            }
+        };
+
+        let skipped = subsets
+            .iter()
+            .filter(|s| !chosen_subsets.contains(s))
+            .map(|s| spec.view_name(s))
+            .collect();
+
+        // Augment all chosen views and build their lattice.
+        let mut views: Vec<AugmentedView> = Vec::with_capacity(chosen_subsets.len());
+        for attrs in &chosen_subsets {
+            let def = spec.view_def(self, attrs)?;
+            views.push(augment(self.catalog(), &def)?);
+        }
+        let lattice = ViewLattice::build(self.catalog(), views.clone())?;
+        let size_guess = estimate_sizes(self, spec, &chosen_subsets)?;
+        let plan = {
+            let by_name: std::collections::HashMap<&str, u64> = views
+                .iter()
+                .zip(&size_guess)
+                .map(|(v, s)| (v.def.name.as_str(), *s))
+                .collect();
+            lattice.choose_plan(self.catalog(), |name| {
+                by_name.get(name).copied().unwrap_or(u64::MAX) as usize
+            })?
+        };
+
+        // Materialize in plan order: roots from base data, the rest from
+        // their parent's freshly materialized contents.
+        let mut order = Vec::with_capacity(plan.steps.len());
+        for step in &plan.steps {
+            let view = views
+                .iter()
+                .find(|v| v.def.name == step.view)
+                .expect("plan covers exactly these views");
+            let contents: Relation = match &step.source {
+                cubedelta_lattice::DeltaSource::Direct => {
+                    cubedelta_view::materialize(self.catalog(), view)?
+                }
+                cubedelta_lattice::DeltaSource::FromParent(eq) => {
+                    let parent = Relation::from_table(self.catalog().table(&eq.parent)?);
+                    cubedelta_lattice::derive_child(self.catalog(), &parent, eq)?
+                }
+            };
+            let schema = summary_schema(self.catalog(), view)?;
+            let table = self
+                .catalog_mut()
+                .create_table(&view.def.name, schema, TableRole::Summary)?;
+            table.set_validate(false);
+            table.insert_all(contents.rows)?;
+            let group_refs: Vec<&str> = view.def.group_by.iter().map(String::as_str).collect();
+            table.create_unique_index(&group_refs)?;
+            self.register_view(view.clone());
+            order.push(view.def.name.clone());
+        }
+
+        Ok(CubeReport {
+            views: order,
+            skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::check_view_consistency;
+    use crate::test_fixtures::retail_catalog_small;
+    use crate::warehouse::MaintainOptions;
+    use cubedelta_expr::Expr;
+    use cubedelta_storage::{row, ChangeBatch, Date, DeltaSet};
+
+    fn spec() -> CubeSpec {
+        CubeSpec::new("cube", "pos")
+            .dimension("storeID")
+            .dimension("category")
+            .dimension("date")
+            .measure(AggFunc::CountStar, "cnt")
+            .measure(AggFunc::Sum(Expr::col("qty")), "total")
+    }
+
+    #[test]
+    fn full_cube_materializes_all_views() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        let report = wh.create_cube(&spec()).unwrap();
+        assert_eq!(report.views.len(), 8);
+        assert!(report.skipped.is_empty());
+        // Every view consistent with base data.
+        for v in wh.views().to_vec() {
+            check_view_consistency(wh.catalog(), &v).unwrap();
+        }
+        // The apex holds the global totals.
+        let apex = wh.catalog().table("cube_all").unwrap();
+        assert_eq!(apex.len(), 1);
+    }
+
+    #[test]
+    fn cube_views_share_the_lattice_for_maintenance() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        wh.create_cube(&spec()).unwrap();
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![3i64, 30i64, Date(10002), 4i64, 0.8]],
+            deletions: vec![row![1i64, 10i64, Date(10000), 5i64, 1.0]],
+        });
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+        // Only the top view computes from changes; all others cascade.
+        let direct = report
+            .per_view
+            .iter()
+            .filter(|v| v.source == "changes")
+            .count();
+        assert_eq!(direct, 1, "one root, seven cascaded");
+    }
+
+    #[test]
+    fn top_k_budget_limits_views() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        let report = wh
+            .create_cube(&spec().budget(CubeBudget::TopK(3)))
+            .unwrap();
+        assert_eq!(report.views.len(), 4, "top + 3 picks");
+        assert_eq!(report.skipped.len(), 4);
+        for v in wh.views().to_vec() {
+            check_view_consistency(wh.catalog(), &v).unwrap();
+        }
+    }
+
+    #[test]
+    fn row_budget_is_respected() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        let report = wh
+            .create_cube(&spec().budget(CubeBudget::Rows(10)))
+            .unwrap();
+        // Tight budget: top view (4 rows estimated ≤ fact cap) plus
+        // whatever fits.
+        let total_rows: usize = report
+            .views
+            .iter()
+            .map(|v| wh.catalog().table(v).unwrap().len())
+            .sum();
+        assert!(total_rows <= 16, "tiny budget keeps the cube small");
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        let no_measures = CubeSpec::new("c", "pos").dimension("storeID");
+        assert!(wh.create_cube(&no_measures).is_err());
+        let unknown_attr = spec().dimension("nonexistent");
+        assert!(wh.create_cube(&unknown_attr).is_err());
+    }
+
+    #[test]
+    fn view_names_are_deterministic() {
+        let s = spec();
+        assert_eq!(s.view_name(&[]), "cube_all");
+        assert_eq!(s.view_name(&["storeID", "date"]), "cube_storeID_date");
+    }
+}

@@ -1,0 +1,89 @@
+//! Core-layer errors.
+
+use std::fmt;
+
+use cubedelta_expr::ExprError;
+use cubedelta_lattice::LatticeError;
+use cubedelta_query::QueryError;
+use cubedelta_storage::StorageError;
+use cubedelta_view::ViewError;
+
+/// Result alias for maintenance operations.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors raised by the maintenance engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying expression error.
+    Expr(ExprError),
+    /// Underlying query error.
+    Query(QueryError),
+    /// Underlying view error.
+    View(ViewError),
+    /// Underlying lattice error.
+    Lattice(LatticeError),
+    /// A maintenance invariant was violated (e.g. negative COUNT(*), a plan
+    /// step referencing a missing delta).
+    Maintenance(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Expr(e) => write!(f, "expr: {e}"),
+            CoreError::Query(e) => write!(f, "query: {e}"),
+            CoreError::View(e) => write!(f, "view: {e}"),
+            CoreError::Lattice(e) => write!(f, "lattice: {e}"),
+            CoreError::Maintenance(m) => write!(f, "maintenance: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<ExprError> for CoreError {
+    fn from(e: ExprError) -> Self {
+        CoreError::Expr(e)
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<ViewError> for CoreError {
+    fn from(e: ViewError) -> Self {
+        CoreError::View(e)
+    }
+}
+
+impl From<LatticeError> for CoreError {
+    fn from(e: LatticeError) -> Self {
+        CoreError::Lattice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = StorageError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        let e: CoreError = LatticeError::Construction("c".into()).into();
+        assert!(matches!(e, CoreError::Lattice(_)));
+        assert!(CoreError::Maintenance("bad".into()).to_string().contains("bad"));
+    }
+}

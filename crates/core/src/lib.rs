@@ -1,0 +1,85 @@
+//! # cubedelta-core
+//!
+//! The **summary-delta table method** for maintaining data cubes and summary
+//! tables in a warehouse — a from-scratch implementation of
+//! *"Maintenance of Data Cubes and Summary Tables in a Warehouse"*
+//! (Mumick, Quass & Mumick, SIGMOD 1997).
+//!
+//! Maintenance is split in two (§2, after \[CGL+96]):
+//!
+//! * **Propagate** ([`mod@propagate`]) — computes, from the deferred change set,
+//!   a *summary-delta table* per view: the net change to every affected
+//!   group. Runs outside the batch window; summary tables stay readable.
+//! * **Refresh** ([`mod@refresh`]) — applies each summary-delta tuple to its
+//!   single corresponding summary-table tuple (insert / update / delete,
+//!   with MIN/MAX recomputation when a deletion may have removed the
+//!   extremum). Runs inside the batch window and touches each summary row at
+//!   most once.
+//!
+//! Multiple summary tables are maintained together ([`multi`]) through the
+//! **D-lattice**: by Theorem 5.1 the summary-delta tables form the same
+//! lattice as the views, so a child's delta is computed from a parent's
+//! (much smaller) delta instead of from the raw changes.
+//!
+//! The [`Warehouse`] facade ties it all together and is the recommended
+//! entry point:
+//!
+//! ```
+//! use cubedelta_core::{MaintainOptions, Warehouse};
+//! use cubedelta_expr::Expr;
+//! use cubedelta_query::AggFunc;
+//! use cubedelta_storage::{row, ChangeBatch, Column, DataType, Date, DeltaSet, Schema};
+//! use cubedelta_view::SummaryViewDef;
+//!
+//! let mut wh = Warehouse::new();
+//! wh.create_fact_table(
+//!     "pos",
+//!     Schema::new(vec![
+//!         Column::new("storeID", DataType::Int),
+//!         Column::new("itemID", DataType::Int),
+//!         Column::new("date", DataType::Date),
+//!         Column::nullable("qty", DataType::Int),
+//!     ]),
+//! )
+//! .unwrap();
+//! wh.insert("pos", vec![row![1i64, 10i64, Date(0), 5i64]]).unwrap();
+//!
+//! let view = SummaryViewDef::builder("SID_sales", "pos")
+//!     .group_by(["storeID", "itemID", "date"])
+//!     .aggregate(AggFunc::CountStar, "TotalCount")
+//!     .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+//!     .build();
+//! wh.create_summary_table(&view).unwrap();
+//!
+//! let batch = ChangeBatch::single(DeltaSet::insertions(
+//!     "pos",
+//!     vec![row![1i64, 10i64, Date(0), 3i64]],
+//! ));
+//! let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+//! assert_eq!(report.per_view[0].refresh.updated, 1);
+//! wh.check_consistency().unwrap();
+//! ```
+
+pub mod answer;
+pub mod baseline;
+pub mod consistency;
+pub mod cube;
+pub mod error;
+#[cfg(test)]
+pub(crate) mod test_fixtures;
+pub mod multi;
+pub mod prepare;
+pub mod propagate;
+pub mod refresh;
+pub mod warehouse;
+
+pub use answer::{AggQuery, Answer};
+pub use baseline::{propagate_without_lattice, rematerialize_direct, rematerialize_with_lattice};
+pub use consistency::check_view_consistency;
+pub use cube::{CubeBudget, CubeReport, CubeSpec};
+pub use error::{CoreError, CoreResult};
+pub use multi::propagate_plan;
+pub use prepare::{prepare_changes, prepare_deletions, prepare_insertions, Sign};
+pub use propagate::{propagate_view, PropagateOptions};
+pub use refresh::{refresh, refresh_join, RefreshOptions, RefreshStats};
+pub use warehouse::{MaintainOptions, MaintenanceReport, ViewReport, Warehouse};

@@ -1,0 +1,282 @@
+//! Preparing changes (§4.1.1, Table 1).
+//!
+//! The prepare-insertions and prepare-deletions virtual views project the
+//! changed tuples (after the view's dimension joins and WHERE clause) onto
+//! the view's group-by attributes plus one *aggregate-source* attribute per
+//! aggregate function. Table 1 gives the sources:
+//!
+//! | aggregate      | prepare-insertions                          | prepare-deletions                            |
+//! |----------------|---------------------------------------------|----------------------------------------------|
+//! | `COUNT(*)`     | `1`                                         | `-1`                                         |
+//! | `COUNT(expr)`  | `CASE WHEN expr IS NULL THEN 0 ELSE 1 END`  | `CASE WHEN expr IS NULL THEN 0 ELSE -1 END`  |
+//! | `SUM(expr)`    | `expr`                                      | `-expr`                                      |
+//! | `MIN(expr)`    | `expr`                                      | `expr`                                       |
+//! | `MAX(expr)`    | `expr`                                      | `expr`                                       |
+//!
+//! Prepare-changes is the `UNION ALL` of the two.
+
+use cubedelta_expr::Expr;
+use cubedelta_query::{filter, project, union_all, AggFunc, Relation};
+use cubedelta_storage::{Catalog, Column, DataType, Row};
+use cubedelta_view::{join_dimensions, joined_schema, AugmentedView};
+
+use crate::error::{CoreError, CoreResult};
+
+/// Whether prepared tuples represent insertions or deletions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sign {
+    /// The tuples are being inserted (Table 1's prepare-insertions column).
+    Insert,
+    /// The tuples are being deleted (Table 1's prepare-deletions column).
+    Delete,
+}
+
+/// The Table-1 aggregate-source expression for one aggregate function.
+pub fn aggregate_source(func: &AggFunc, sign: Sign) -> CoreResult<Expr> {
+    Ok(match (func, sign) {
+        (AggFunc::CountStar, Sign::Insert) => Expr::lit(1i64),
+        (AggFunc::CountStar, Sign::Delete) => Expr::lit(-1i64),
+        (AggFunc::Count(e), Sign::Insert) => {
+            e.clone().case_null(Expr::lit(0i64), Expr::lit(1i64))
+        }
+        (AggFunc::Count(e), Sign::Delete) => {
+            e.clone().case_null(Expr::lit(0i64), Expr::lit(-1i64))
+        }
+        (AggFunc::Sum(e), Sign::Insert) => e.clone(),
+        (AggFunc::Sum(e), Sign::Delete) => e.clone().neg(),
+        (AggFunc::Min(e), _) | (AggFunc::Max(e), _) => e.clone(),
+        (AggFunc::Avg(_), _) => {
+            return Err(CoreError::Maintenance(
+                "AVG must be rewritten to SUM/COUNT before maintenance".to_string(),
+            ))
+        }
+    })
+}
+
+/// The canonical name of the `i`-th aggregate-source column in prepare
+/// relations.
+pub fn source_column_name(view: &AugmentedView, i: usize) -> String {
+    format!("__src_{}", view.def.aggregates[i].alias)
+}
+
+/// Projects already-joined, already-filtered change tuples into prepare
+/// rows: the view's group-by attributes plus the aggregate sources of the
+/// given sign.
+pub fn prepare_project(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    joined: &Relation,
+    sign: Sign,
+) -> CoreResult<Relation> {
+    let input_schema = joined_schema(catalog, &view.def)?;
+    let mut outputs: Vec<(Expr, Column)> = Vec::with_capacity(
+        view.def.group_by.len() + view.def.aggregates.len(),
+    );
+    for g in &view.def.group_by {
+        outputs.push((Expr::col(g), input_schema.column(g)?.clone()));
+    }
+    for (i, spec) in view.def.aggregates.iter().enumerate() {
+        let src = aggregate_source(&spec.func, sign)?;
+        let col = match &spec.func {
+            AggFunc::CountStar | AggFunc::Count(_) => {
+                Column::new(source_column_name(view, i), DataType::Int)
+            }
+            AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => {
+                let ty = e.infer_type(&input_schema)?.ok_or_else(|| {
+                    CoreError::Maintenance(format!("cannot type source of {spec}"))
+                })?;
+                Column::nullable(source_column_name(view, i), ty)
+            }
+            AggFunc::Avg(_) => unreachable!("rejected by aggregate_source"),
+        };
+        outputs.push((src, col));
+    }
+    Ok(project(joined, &outputs)?)
+}
+
+/// Joins raw fact-table change rows with the view's dimension tables and
+/// applies the WHERE clause — the FROM/WHERE stage of prepare-insertions /
+/// prepare-deletions.
+pub fn join_and_filter_changes(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    change_rows: &[Row],
+) -> CoreResult<Relation> {
+    let fact_schema = catalog.table(&view.def.fact_table)?.schema().clone();
+    let rel = Relation::new(fact_schema, change_rows.to_vec());
+    let joined = join_dimensions(catalog, &view.def, rel)?;
+    Ok(filter(&joined, &view.def.where_clause)?)
+}
+
+/// The prepare-insertions view over a set of inserted fact tuples
+/// (Figure 6's `pi_` view).
+pub fn prepare_insertions(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    inserted: &[Row],
+) -> CoreResult<Relation> {
+    let joined = join_and_filter_changes(catalog, view, inserted)?;
+    prepare_project(catalog, view, &joined, Sign::Insert)
+}
+
+/// The prepare-deletions view over a set of deleted fact tuples
+/// (Figure 6's `pd_` view).
+pub fn prepare_deletions(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    deleted: &[Row],
+) -> CoreResult<Relation> {
+    let joined = join_and_filter_changes(catalog, view, deleted)?;
+    prepare_project(catalog, view, &joined, Sign::Delete)
+}
+
+/// The prepare-changes view: `prepare_insertions UNION ALL
+/// prepare_deletions` (Figure 6's `pc_` view).
+pub fn prepare_changes(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    inserted: &[Row],
+    deleted: &[Row],
+) -> CoreResult<Relation> {
+    let pi = prepare_insertions(catalog, view, inserted)?;
+    let pd = prepare_deletions(catalog, view, deleted)?;
+    Ok(union_all(&pi, &pd)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use cubedelta_storage::{row, Date, Value};
+    use cubedelta_view::augment;
+
+    // --- Table 1, cell by cell -----------------------------------------
+
+    fn eval_source(func: &AggFunc, sign: Sign, row: &Row, schema: &cubedelta_storage::Schema) -> Value {
+        aggregate_source(func, sign)
+            .unwrap()
+            .bind(schema)
+            .unwrap()
+            .eval(row)
+            .unwrap()
+    }
+
+    fn qty_schema() -> cubedelta_storage::Schema {
+        cubedelta_storage::Schema::new(vec![Column::nullable("qty", DataType::Int)])
+    }
+
+    #[test]
+    fn table1_count_star() {
+        let s = qty_schema();
+        assert_eq!(
+            eval_source(&AggFunc::CountStar, Sign::Insert, &row![5i64], &s),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_source(&AggFunc::CountStar, Sign::Delete, &row![5i64], &s),
+            Value::Int(-1)
+        );
+    }
+
+    #[test]
+    fn table1_count_expr() {
+        let s = qty_schema();
+        let f = AggFunc::Count(Expr::col("qty"));
+        assert_eq!(eval_source(&f, Sign::Insert, &row![5i64], &s), Value::Int(1));
+        assert_eq!(eval_source(&f, Sign::Delete, &row![5i64], &s), Value::Int(-1));
+        let null_row = Row::new(vec![Value::Null]);
+        assert_eq!(eval_source(&f, Sign::Insert, &null_row, &s), Value::Int(0));
+        assert_eq!(eval_source(&f, Sign::Delete, &null_row, &s), Value::Int(0));
+    }
+
+    #[test]
+    fn table1_sum() {
+        let s = qty_schema();
+        let f = AggFunc::Sum(Expr::col("qty"));
+        assert_eq!(eval_source(&f, Sign::Insert, &row![5i64], &s), Value::Int(5));
+        assert_eq!(eval_source(&f, Sign::Delete, &row![5i64], &s), Value::Int(-5));
+        let null_row = Row::new(vec![Value::Null]);
+        assert!(eval_source(&f, Sign::Insert, &null_row, &s).is_null());
+        assert!(eval_source(&f, Sign::Delete, &null_row, &s).is_null());
+    }
+
+    #[test]
+    fn table1_min_max_keep_value() {
+        let s = qty_schema();
+        for f in [AggFunc::Min(Expr::col("qty")), AggFunc::Max(Expr::col("qty"))] {
+            assert_eq!(eval_source(&f, Sign::Insert, &row![5i64], &s), Value::Int(5));
+            assert_eq!(eval_source(&f, Sign::Delete, &row![5i64], &s), Value::Int(5));
+        }
+    }
+
+    #[test]
+    fn table1_avg_rejected() {
+        assert!(aggregate_source(&AggFunc::Avg(Expr::col("qty")), Sign::Insert).is_err());
+    }
+
+    // --- Figure 6: prepare views for SiC_sales --------------------------
+
+    #[test]
+    fn figure6_prepare_views_for_sic_sales() {
+        let cat = retail_catalog_small();
+        let sic = augment(&cat, &sic_sales()).unwrap();
+        let d9 = Date(10009);
+        // An insertion of item 10 (drinks) at store 2, qty 4, and a deletion
+        // of an existing tuple: (1, 10, d0, 5, 1.0).
+        let ins = vec![row![2i64, 10i64, d9, 4i64, 1.0]];
+        let del = vec![row![1i64, 10i64, Date(10000), 5i64, 1.0]];
+
+        let pi = prepare_insertions(&cat, &sic, &ins).unwrap();
+        assert_eq!(pi.len(), 1);
+        // (storeID, category, src_TotalCount, src_EarliestSale,
+        //  src_TotalQuantity, src for augmentation COUNT(qty))
+        let r = &pi.rows[0];
+        assert_eq!(r[0], Value::Int(2));
+        assert_eq!(r[1], Value::str("drinks"));
+        assert_eq!(r[2], Value::Int(1)); // count source
+        assert_eq!(r[3], Value::Date(d9)); // min(date) source
+        assert_eq!(r[4], Value::Int(4)); // qty
+
+        let pd = prepare_deletions(&cat, &sic, &del).unwrap();
+        assert_eq!(pd.len(), 1);
+        let r = &pd.rows[0];
+        assert_eq!(r[0], Value::Int(1));
+        assert_eq!(r[1], Value::str("drinks"));
+        assert_eq!(r[2], Value::Int(-1)); // count source negated
+        assert_eq!(r[3], Value::Date(Date(10000))); // date kept as-is
+        assert_eq!(r[4], Value::Int(-5)); // qty negated
+
+        let pc = prepare_changes(&cat, &sic, &ins, &del).unwrap();
+        assert_eq!(pc.len(), 2);
+    }
+
+    #[test]
+    fn where_clause_filters_changes() {
+        use cubedelta_expr::{CmpOp, Predicate};
+        let cat = retail_catalog_small();
+        let def = cubedelta_view::SummaryViewDef::builder("big", "pos")
+            .filter(Predicate::cmp(CmpOp::Ge, Expr::col("qty"), Expr::lit(5i64)))
+            .group_by(["storeID"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .build();
+        let v = augment(&cat, &def).unwrap();
+        let ins = vec![
+            row![1i64, 10i64, Date(10000), 9i64, 1.0], // passes
+            row![1i64, 10i64, Date(10000), 2i64, 1.0], // filtered out
+        ];
+        let pi = prepare_insertions(&cat, &v, &ins).unwrap();
+        assert_eq!(pi.len(), 1);
+    }
+
+    #[test]
+    fn prepare_schema_names_are_stable() {
+        let cat = retail_catalog_small();
+        let sid = augment(&cat, &sid_sales()).unwrap();
+        let pc = prepare_changes(&cat, &sid, &[], &[]).unwrap();
+        let names = pc.schema.names();
+        assert_eq!(names[0], "storeID");
+        assert_eq!(names[3], "__src_TotalCount");
+        assert_eq!(names[4], "__src_TotalQuantity");
+        assert!(pc.is_empty());
+    }
+}

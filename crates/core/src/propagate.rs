@@ -1,0 +1,479 @@
+//! The propagate function (§4.1): computing summary-delta tables.
+//!
+//! The summary-delta table for a view is the aggregation of its
+//! prepare-changes view, grouped by the view's group-by attributes, with
+//! `COUNT` replaced by `SUM` over the ±1 sources (§4.1.2). Its schema is
+//! *identical* to the summary table's — the `sd_` prefix of the paper is a
+//! naming convention only (and is what makes Theorem 5.1 "modulo renaming"
+//! literal here).
+//!
+//! Also implemented:
+//!
+//! * **Pre-aggregation** (§4.1.3) — aggregate the changes *before* joining
+//!   dimension tables, by propagating a virtual fact-level view and deriving
+//!   the real summary-delta from it through the standard edge rewrite
+//!   ("pushing down aggregation", [CS94, GHQ95, YL95]).
+//! * **Dimension-table changes** (§4.1.4) — prepare views per changed
+//!   dimension table (`pi_items_SiC_sales` in the paper), via the multiset
+//!   derivative `Δ(F ⋈ D1 ⋈ … ⋈ Dk)` telescoped one table at a time.
+
+use cubedelta_expr::Expr;
+use cubedelta_query::{filter, hash_aggregate, hash_join, union_all, AggFunc, Relation};
+use cubedelta_storage::{Catalog, ChangeBatch, Column, Table};
+use cubedelta_view::{augment, summary_schema, AugmentedView, SummaryViewDef};
+
+use crate::error::{CoreError, CoreResult};
+use crate::prepare::{prepare_project, source_column_name, Sign};
+
+/// Options controlling summary-delta computation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropagateOptions {
+    /// Pre-aggregate changes before joining dimension tables (§4.1.3).
+    /// Applies when the batch holds only fact-table changes and every
+    /// aggregate source is a fact-table expression; otherwise it is
+    /// silently skipped.
+    pub pre_aggregate: bool,
+}
+
+/// Aggregates a prepare-changes relation into the summary-delta relation
+/// (§4.1.2): same group-by as the view, `COUNT → SUM` of the ±1 sources,
+/// `SUM → SUM`, `MIN → MIN`, `MAX → MAX`. The output schema equals the
+/// summary table's.
+pub fn sd_from_prepare(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    prepare: &Relation,
+) -> CoreResult<Relation> {
+    let out_schema = summary_schema(catalog, view)?;
+    let mut aggs: Vec<(AggFunc, Column)> = Vec::with_capacity(view.def.aggregates.len());
+    for (i, spec) in view.def.aggregates.iter().enumerate() {
+        let src = Expr::col(source_column_name(view, i));
+        let out_col = out_schema.columns()[view.key_width() + i].clone();
+        let func = match &spec.func {
+            AggFunc::CountStar | AggFunc::Count(_) | AggFunc::Sum(_) => AggFunc::Sum(src),
+            AggFunc::Min(_) => AggFunc::Min(src),
+            AggFunc::Max(_) => AggFunc::Max(src),
+            AggFunc::Avg(_) => {
+                return Err(CoreError::Maintenance(
+                    "AVG must be rewritten before maintenance".to_string(),
+                ))
+            }
+        };
+        aggs.push((func, out_col));
+    }
+    let group_refs: Vec<&str> = view.def.group_by.iter().map(String::as_str).collect();
+    Ok(hash_aggregate(prepare, &group_refs, &aggs)?)
+}
+
+/// A relation holding a table's contents *after* applying its delta — used
+/// by the dimension-change terms, which need post-change states of tables
+/// earlier in the telescoping order.
+fn updated_relation(table: &Table, batch: &ChangeBatch) -> CoreResult<Relation> {
+    match batch.for_table(table.name()) {
+        None => Ok(Relation::from_table(table)),
+        Some(delta) => {
+            let mut copy = table.clone();
+            copy.apply_delta(delta)?;
+            Ok(Relation::from_table(&copy))
+        }
+    }
+}
+
+/// Joins a fact-state relation through the view's dimension tables, with a
+/// caller-supplied relation per dimension (old state, new state, or a delta
+/// part), replicating the schema layout of
+/// [`cubedelta_view::joined_schema`]. Applies the WHERE clause at the end.
+fn join_chain(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    fact_rel: Relation,
+    dim_rels: &[Relation],
+) -> CoreResult<Relation> {
+    let mut rel = fact_rel;
+    for (dim, dim_rel) in view.def.dim_joins.iter().zip(dim_rels) {
+        let fk = catalog
+            .foreign_key(&view.def.fact_table, dim)
+            .ok_or_else(|| {
+                CoreError::Maintenance(format!(
+                    "no foreign key from `{}` to `{dim}`",
+                    view.def.fact_table
+                ))
+            })?;
+        rel = hash_join(&rel, dim_rel, &[&fk.fact_column], &[&fk.dim_key], dim)?;
+    }
+    Ok(filter(&rel, &view.def.where_clause)?)
+}
+
+/// Computes the summary-delta for one view directly from the change batch.
+///
+/// Handles fact-table changes and dimension-table changes in the same batch
+/// via the telescoped multiset derivative:
+///
+/// ```text
+/// Δ(F ⋈ D1 ⋈ … ⋈ Dk) = ΔF ⋈ D1 ⋈ … ⋈ Dk                 (old dims)
+///                     + F' ⋈ ΔD1 ⋈ D2 ⋈ … ⋈ Dk           (new fact)
+///                     + F' ⋈ D1' ⋈ ΔD2 ⋈ … ⋈ Dk
+///                     + …
+/// ```
+///
+/// where `X'` denotes the post-change state. Each term carries exactly one
+/// signed input, so its tuples route to prepare-insertions or
+/// prepare-deletions by that input's sign.
+pub fn propagate_view(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    batch: &ChangeBatch,
+    opts: &PropagateOptions,
+) -> CoreResult<Relation> {
+    let dims_changed = view
+        .def
+        .dim_joins
+        .iter()
+        .any(|d| batch.for_table(d).map(|x| !x.is_empty()).unwrap_or(false));
+
+    if opts.pre_aggregate && !dims_changed {
+        if let Some(sd) = propagate_preaggregated(catalog, view, batch)? {
+            return Ok(sd);
+        }
+    }
+
+    let fact_schema = catalog.table(&view.def.fact_table)?.schema().clone();
+    let empty_delta = cubedelta_storage::DeltaSet::new(&view.def.fact_table);
+    let fact_delta = batch
+        .for_table(&view.def.fact_table)
+        .unwrap_or(&empty_delta);
+
+    let mut prepared: Vec<Relation> = Vec::new();
+
+    // --- fact-change term: ΔF ⋈ old dims --------------------------------
+    let old_dims: Vec<Relation> = view
+        .def
+        .dim_joins
+        .iter()
+        .map(|d| Ok(Relation::from_table(catalog.table(d)?)))
+        .collect::<CoreResult<_>>()?;
+    for (rows, sign) in [
+        (&fact_delta.insertions, Sign::Insert),
+        (&fact_delta.deletions, Sign::Delete),
+    ] {
+        if rows.is_empty() {
+            continue;
+        }
+        let rel = Relation::new(fact_schema.clone(), rows.clone());
+        let joined = join_chain(catalog, view, rel, &old_dims)?;
+        prepared.push(prepare_project(catalog, view, &joined, sign)?);
+    }
+
+    // --- dimension-change terms ------------------------------------------
+    if dims_changed {
+        let fact_new = updated_relation(catalog.table(&view.def.fact_table)?, batch)?;
+        for (i, dim) in view.def.dim_joins.iter().enumerate() {
+            let Some(dim_delta) = batch.for_table(dim).filter(|d| !d.is_empty()) else {
+                continue;
+            };
+            // Dims before position i: post-change; after: pre-change.
+            let mut dim_rels: Vec<Relation> = Vec::with_capacity(view.def.dim_joins.len());
+            for (j, other) in view.def.dim_joins.iter().enumerate() {
+                let t = catalog.table(other)?;
+                dim_rels.push(if j < i {
+                    updated_relation(t, batch)?
+                } else {
+                    Relation::from_table(t)
+                });
+            }
+            let dim_schema = catalog.table(dim)?.schema().clone();
+            for (rows, sign) in [
+                (&dim_delta.insertions, Sign::Insert),
+                (&dim_delta.deletions, Sign::Delete),
+            ] {
+                if rows.is_empty() {
+                    continue;
+                }
+                dim_rels[i] = Relation::new(dim_schema.clone(), rows.clone());
+                let joined = join_chain(catalog, view, fact_new.clone(), &dim_rels)?;
+                prepared.push(prepare_project(catalog, view, &joined, sign)?);
+            }
+        }
+    }
+
+    // --- union and aggregate ---------------------------------------------
+    let prepare_changes = match prepared.len() {
+        0 => {
+            // No relevant changes: empty prepare relation with the right
+            // schema.
+            let joined = join_chain(
+                catalog,
+                view,
+                Relation::empty(fact_schema),
+                &old_dims,
+            )?;
+            prepare_project(catalog, view, &joined, Sign::Insert)?
+        }
+        1 => prepared.pop().expect("one element"),
+        _ => {
+            let mut it = prepared.into_iter();
+            let mut acc = it.next().expect("non-empty");
+            for r in it {
+                acc = union_all(&acc, &r)?;
+            }
+            acc
+        }
+    };
+    sd_from_prepare(catalog, view, &prepare_changes)
+}
+
+/// The §4.1.3 pre-aggregation path: propagate a virtual view grouped by the
+/// fact-level attributes (fact group-bys plus the foreign keys of the
+/// dimensions that own the remaining attributes), then derive the real
+/// summary-delta from that partial delta via the standard lattice edge
+/// rewrite. Returns `None` when the view is not eligible (some aggregate
+/// source references dimension attributes).
+fn propagate_preaggregated(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    batch: &ChangeBatch,
+) -> CoreResult<Option<Relation>> {
+    let fact_schema = catalog.table(&view.def.fact_table)?.schema().clone();
+
+    // Eligibility: every aggregate source ranges over fact columns.
+    for spec in &view.def.aggregates {
+        if let Some(e) = spec.func.input() {
+            if !e.columns().iter().all(|c| fact_schema.contains(c)) {
+                return Ok(None);
+            }
+        }
+    }
+
+    // Virtual group-by: fact-owned group attributes plus the foreign keys of
+    // dimensions owning the rest.
+    let mut virtual_group: Vec<String> = Vec::new();
+    for g in &view.def.group_by {
+        if fact_schema.contains(g) {
+            if !virtual_group.contains(g) {
+                virtual_group.push(g.clone());
+            }
+        } else {
+            let dim = catalog
+                .dimension_owning(&view.def.fact_table, g)
+                .ok_or_else(|| {
+                    CoreError::Maintenance(format!("no dimension owns attribute `{g}`"))
+                })?;
+            let fk = catalog
+                .foreign_key(&view.def.fact_table, dim)
+                .expect("owning dimension has a foreign key");
+            if !virtual_group.contains(&fk.fact_column) {
+                virtual_group.push(fk.fact_column.clone());
+            }
+        }
+    }
+
+    let mut vb = SummaryViewDef::builder(format!("__pre_{}", view.def.name), &view.def.fact_table)
+        .filter(view.def.where_clause.clone())
+        .group_by(virtual_group.iter().map(String::as_str));
+    for spec in &view.def.aggregates {
+        vb = vb.aggregate(spec.func.clone(), &spec.alias);
+    }
+    let virtual_view = augment(catalog, &vb.build())?;
+
+    let Some(info) = cubedelta_lattice::derives(catalog, view, &virtual_view)? else {
+        return Ok(None);
+    };
+    let eq = cubedelta_lattice::build_edge_query(catalog, &virtual_view, view, &info)?;
+
+    let partial = propagate_view(
+        catalog,
+        &virtual_view,
+        batch,
+        &PropagateOptions {
+            pre_aggregate: false,
+        },
+    )?;
+    Ok(Some(cubedelta_lattice::derive_child(catalog, &partial, &eq)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use cubedelta_storage::{row, Date, DeltaSet, Value};
+    use cubedelta_view::augment;
+
+    fn d(offset: i32) -> Date {
+        Date(10000 + offset)
+    }
+
+    #[test]
+    fn section_2_1_summary_delta_for_sid_sales() {
+        // §2.1's example: the sd table nets insertions against deletions
+        // per (storeID, itemID, date) group.
+        let cat = retail_catalog_small();
+        let sid = augment(&cat, &sid_sales()).unwrap();
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![
+                row![1i64, 10i64, d(0), 2i64, 1.0], // existing group
+                row![9i64, 10i64, d(0), 4i64, 1.0], // new group (store 9)
+            ],
+            deletions: vec![row![1i64, 10i64, d(0), 5i64, 1.0]],
+        });
+        let sd = propagate_view(&cat, &sid, &batch, &PropagateOptions::default()).unwrap();
+        assert_eq!(sd.len(), 2);
+        let g1 = sd
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(1))
+            .expect("group (1,10,d0)");
+        assert_eq!(g1[3], Value::Int(0)); // sd_Count: +1 -1
+        assert_eq!(g1[4], Value::Int(-3)); // sd_Quantity: +2 -5
+        let g9 = sd.rows.iter().find(|r| r[0] == Value::Int(9)).unwrap();
+        assert_eq!(g9[3], Value::Int(1));
+        assert_eq!(g9[4], Value::Int(4));
+    }
+
+    #[test]
+    fn sd_schema_matches_summary_schema() {
+        let cat = retail_catalog_small();
+        let sid = augment(&cat, &sid_sales()).unwrap();
+        let sd = propagate_view(
+            &cat,
+            &sid,
+            &ChangeBatch::new(),
+            &PropagateOptions::default(),
+        )
+        .unwrap();
+        assert!(sd.is_empty());
+        let expected = summary_schema(&cat, &sid).unwrap();
+        assert_eq!(sd.schema.names(), expected.names());
+    }
+
+    #[test]
+    fn propagate_with_dimension_join() {
+        let cat = retail_catalog_small();
+        let sic = augment(&cat, &sic_sales()).unwrap();
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![2i64, 20i64, d(5), 6i64, 2.0]],
+        ));
+        let sd = propagate_view(&cat, &sic, &batch, &PropagateOptions::default()).unwrap();
+        assert_eq!(sd.len(), 1);
+        let r = &sd.rows[0];
+        assert_eq!(r[0], Value::Int(2));
+        assert_eq!(r[1], Value::str("snacks"));
+        assert_eq!(r[2], Value::Int(1)); // sd count
+        assert_eq!(r[3], Value::Date(d(5))); // sd min(date)
+        assert_eq!(r[4], Value::Int(6)); // sd quantity
+    }
+
+    #[test]
+    fn preaggregation_agrees_with_direct() {
+        let cat = retail_catalog_small();
+        for def in [sid_sales(), scd_sales(), sic_sales(), sr_sales()] {
+            let v = augment(&cat, &def).unwrap();
+            let batch = ChangeBatch::single(DeltaSet {
+                table: "pos".into(),
+                insertions: vec![
+                    row![1i64, 20i64, d(0), 4i64, 1.0],
+                    row![3i64, 30i64, d(2), 1i64, 0.5],
+                ],
+                deletions: vec![row![2i64, 10i64, d(0), 7i64, 1.0]],
+            });
+            let direct = propagate_view(&cat, &v, &batch, &PropagateOptions::default()).unwrap();
+            let pre = propagate_view(
+                &cat,
+                &v,
+                &batch,
+                &PropagateOptions {
+                    pre_aggregate: true,
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                direct.sorted_rows(),
+                pre.sorted_rows(),
+                "pre-aggregation diverged for {}",
+                v.def.name
+            );
+        }
+    }
+
+    #[test]
+    fn dimension_table_changes_section_4_1_4() {
+        // Move item 10 from "drinks" to a new category by deleting and
+        // re-inserting its dimension row; SiC_sales must shift counts.
+        let cat = retail_catalog_small();
+        let sic = augment(&cat, &sic_sales()).unwrap();
+        let mut batch = ChangeBatch::new();
+        batch.add(DeltaSet {
+            table: "items".into(),
+            insertions: vec![row![10i64, "cola", "beverages", 0.5]],
+            deletions: vec![row![10i64, "cola", "drinks", 0.5]],
+        });
+        let sd = propagate_view(&cat, &sic, &batch, &PropagateOptions::default()).unwrap();
+        // pos has 3 rows of item 10: (1,.. x2) and (2,.. x1).
+        // Deltas: (1,drinks,-2), (2,drinks,-1), (1,beverages,+2),
+        // (2,beverages,+1).
+        assert_eq!(sd.len(), 4);
+        let find = |store: i64, cat_name: &str| {
+            sd.rows
+                .iter()
+                .find(|r| r[0] == Value::Int(store) && r[1] == Value::str(cat_name))
+                .unwrap_or_else(|| panic!("no sd row for ({store}, {cat_name})"))
+        };
+        assert_eq!(find(1, "drinks")[2], Value::Int(-2));
+        assert_eq!(find(2, "drinks")[2], Value::Int(-1));
+        assert_eq!(find(1, "beverages")[2], Value::Int(2));
+        assert_eq!(find(2, "beverages")[2], Value::Int(1));
+    }
+
+    #[test]
+    fn simultaneous_fact_and_dimension_changes() {
+        // Insert a pos row for item 10 while item 10 changes category in the
+        // same batch: the new fact row must land in the *new* category.
+        let cat = retail_catalog_small();
+        let sic = augment(&cat, &sic_sales()).unwrap();
+        let mut batch = ChangeBatch::new();
+        batch.add(DeltaSet::insertions(
+            "pos",
+            vec![row![3i64, 10i64, d(3), 9i64, 1.0]],
+        ));
+        batch.add(DeltaSet {
+            table: "items".into(),
+            insertions: vec![row![10i64, "cola", "beverages", 0.5]],
+            deletions: vec![row![10i64, "cola", "drinks", 0.5]],
+        });
+        let sd = propagate_view(&cat, &sic, &batch, &PropagateOptions::default()).unwrap();
+        // Net effect per group must match recomputation; spot-check the new
+        // fact row's group: (3, beverages) gains count 1, qty 9.
+        let g = sd
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(3) && r[1] == Value::str("beverages"))
+            .expect("new row lands in beverages");
+        assert_eq!(g[2], Value::Int(1));
+        assert_eq!(g[4], Value::Int(9));
+        // The telescoped derivative may emit a net-zero row for
+        // (3, drinks) — the fact term adds it under the old category and the
+        // dimension term removes it — but the net change must be zero.
+        if let Some(g) = sd
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(3) && r[1] == Value::str("drinks"))
+        {
+            assert_eq!(g[2], Value::Int(0), "net count for (3, drinks) is zero");
+        }
+    }
+
+    #[test]
+    fn empty_batch_produces_empty_sd() {
+        let cat = retail_catalog_small();
+        let sr = augment(&cat, &sr_sales()).unwrap();
+        let sd = propagate_view(
+            &cat,
+            &sr,
+            &ChangeBatch::new(),
+            &PropagateOptions::default(),
+        )
+        .unwrap();
+        assert!(sd.is_empty());
+    }
+}

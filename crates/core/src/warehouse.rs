@@ -1,0 +1,631 @@
+//! The warehouse facade: catalog + views + lattice + the nightly batch
+//! cycle, with the propagate/refresh timing split the paper's §6 measures.
+
+use std::time::{Duration, Instant};
+
+use cubedelta_lattice::{DeltaSource, ViewLattice};
+use cubedelta_storage::{Catalog, ChangeBatch, DimensionInfo, Row, Schema, TableRole};
+use cubedelta_view::{augment, install_summary_table, AugmentedView, SummaryViewDef};
+
+use crate::baseline::{rematerialize_direct, rematerialize_with_lattice};
+use crate::consistency::check_view_consistency;
+use crate::error::{CoreError, CoreResult};
+use crate::multi::propagate_plan;
+use crate::propagate::PropagateOptions;
+use crate::refresh::{refresh, RefreshOptions, RefreshStats};
+
+/// Options for one maintenance cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintainOptions {
+    /// Propagate through the D-lattice (child deltas from parent deltas)
+    /// instead of computing every delta from the raw changes.
+    pub use_lattice: bool,
+    /// Pre-aggregate changes before dimension joins (§4.1.3).
+    pub pre_aggregate: bool,
+}
+
+impl Default for MaintainOptions {
+    fn default() -> Self {
+        MaintainOptions {
+            use_lattice: true,
+            pre_aggregate: false,
+        }
+    }
+}
+
+/// Per-view outcome of a maintenance cycle.
+#[derive(Debug, Clone)]
+pub struct ViewReport {
+    /// The summary table maintained.
+    pub view: String,
+    /// Where its summary-delta came from (`"changes"` or a parent view).
+    pub source: String,
+    /// Rows in the summary-delta table.
+    pub delta_rows: usize,
+    /// What refresh did.
+    pub refresh: RefreshStats,
+}
+
+/// Timing and action report for one maintenance (or rematerialization)
+/// cycle — the quantities plotted in Figure 9.
+#[derive(Debug, Clone, Default)]
+pub struct MaintenanceReport {
+    /// Time spent computing summary-delta tables (outside the batch
+    /// window).
+    pub propagate_time: Duration,
+    /// Time spent applying the change set to base tables.
+    pub apply_base_time: Duration,
+    /// Time spent refreshing summary tables (inside the batch window).
+    pub refresh_time: Duration,
+    /// Per-view details.
+    pub per_view: Vec<ViewReport>,
+}
+
+impl MaintenanceReport {
+    /// Total maintenance time (propagate + apply + refresh).
+    pub fn total_time(&self) -> Duration {
+        self.propagate_time + self.apply_base_time + self.refresh_time
+    }
+
+    /// The report for one view.
+    pub fn view(&self, name: &str) -> Option<&ViewReport> {
+        self.per_view.iter().find(|v| v.view == name)
+    }
+}
+
+impl std::fmt::Display for MaintenanceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "propagate {:?} | apply {:?} | refresh {:?} | total {:?}",
+            self.propagate_time,
+            self.apply_base_time,
+            self.refresh_time,
+            self.total_time()
+        )?;
+        for v in &self.per_view {
+            writeln!(
+                f,
+                "  {:<16} <- {:<16} delta={:>6} ins={:>5} upd={:>5} del={:>4} recomp={:>3}",
+                v.view,
+                v.source,
+                v.delta_rows,
+                v.refresh.inserted,
+                v.refresh.updated,
+                v.refresh.deleted,
+                v.refresh.recomputed
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A data warehouse: base tables, summary tables, and the summary-delta
+/// maintenance machinery. See the crate-level example.
+///
+/// `Clone` snapshots the entire warehouse (base data, summary tables, view
+/// metadata) — handy for racing maintenance strategies on identical states,
+/// as the benchmark harness does.
+#[derive(Default, Clone)]
+pub struct Warehouse {
+    catalog: Catalog,
+    views: Vec<AugmentedView>,
+    lattice: Option<ViewLattice>,
+}
+
+impl Warehouse {
+    /// An empty warehouse.
+    pub fn new() -> Self {
+        Warehouse::default()
+    }
+
+    /// Builds a warehouse around an existing catalog (e.g. one produced by
+    /// `cubedelta_workload::retail_catalog`).
+    pub fn from_catalog(catalog: Catalog) -> Self {
+        Warehouse {
+            catalog,
+            views: Vec::new(),
+            lattice: None,
+        }
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Write access to the catalog. Mutating base data through this without
+    /// a maintenance cycle leaves summary tables stale (as in any
+    /// warehouse); [`Warehouse::check_consistency`] will say so.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Creates a fact table.
+    pub fn create_fact_table(&mut self, name: &str, schema: Schema) -> CoreResult<()> {
+        self.catalog.create_table(name, schema, TableRole::Fact)?;
+        Ok(())
+    }
+
+    /// Creates a dimension table with its hierarchy metadata.
+    pub fn create_dimension_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        info: DimensionInfo,
+    ) -> CoreResult<()> {
+        self.catalog
+            .create_table(name, schema, TableRole::Dimension)?;
+        self.catalog.set_dimension_info(name, info)?;
+        Ok(())
+    }
+
+    /// Registers a foreign key from a fact column to a dimension key.
+    pub fn add_foreign_key(
+        &mut self,
+        fact_table: &str,
+        fact_column: &str,
+        dim_table: &str,
+        dim_key: &str,
+    ) -> CoreResult<()> {
+        self.catalog
+            .add_foreign_key(fact_table, fact_column, dim_table, dim_key)?;
+        Ok(())
+    }
+
+    /// Bulk-inserts rows into a base table (loading, not maintenance).
+    pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> CoreResult<()> {
+        self.catalog.table_mut(table)?.insert_all(rows)?;
+        Ok(())
+    }
+
+    /// Defines and materializes a summary table: the view is augmented into
+    /// self-maintainable form (§3.1), materialized, indexed on its group-by
+    /// columns, and entered into the lattice.
+    pub fn create_summary_table(&mut self, def: &SummaryViewDef) -> CoreResult<()> {
+        let view = augment(&self.catalog, def)?;
+        install_summary_table(&mut self.catalog, &view)?;
+        self.views.push(view);
+        self.lattice = None; // rebuilt lazily
+        Ok(())
+    }
+
+    /// Registers an already-installed augmented view (the cube builder
+    /// materializes through the lattice itself, then registers here).
+    pub(crate) fn register_view(&mut self, view: AugmentedView) {
+        self.views.push(view);
+        self.lattice = None;
+    }
+
+    /// Drops a summary table: removes the materialized table and the view
+    /// from the lattice. Remaining views re-plan around the gap (the §3.4
+    /// partially-materialized-lattice behaviour).
+    pub fn drop_summary_table(&mut self, name: &str) -> CoreResult<()> {
+        let idx = self
+            .views
+            .iter()
+            .position(|v| v.def.name == name)
+            .ok_or_else(|| {
+                CoreError::Maintenance(format!("no summary table named `{name}`"))
+            })?;
+        self.views.remove(idx);
+        self.catalog.drop_table(name)?;
+        self.lattice = None;
+        Ok(())
+    }
+
+    /// The augmented views, in creation order.
+    pub fn views(&self) -> &[AugmentedView] {
+        &self.views
+    }
+
+    /// The augmented view by name.
+    pub fn view(&self, name: &str) -> Option<&AugmentedView> {
+        self.views.iter().find(|v| v.def.name == name)
+    }
+
+    /// The V-lattice over the current views (built on demand).
+    pub fn lattice(&mut self) -> CoreResult<&ViewLattice> {
+        if self.lattice.is_none() {
+            self.lattice = Some(ViewLattice::build(&self.catalog, self.views.clone())?);
+        }
+        Ok(self.lattice.as_ref().expect("just built"))
+    }
+
+    /// Whether the batch is insertions-only (enables the §4.2 MIN/MAX
+    /// refresh optimization). Dimension-table changes disable it: a
+    /// dimension update is a delete + insert pair.
+    fn insertions_only(&self, batch: &ChangeBatch) -> bool {
+        batch.deltas.iter().all(|d| {
+            d.deletions.is_empty()
+                && self.catalog.role(&d.table) == Some(TableRole::Fact)
+        })
+    }
+
+    /// Runs one maintenance cycle with the summary-delta method:
+    ///
+    /// 1. **Propagate** — compute all summary-delta tables (outside the
+    ///    batch window; summary tables remain readable).
+    /// 2. **Apply** — install the change set into the base tables.
+    /// 3. **Refresh** — apply each summary-delta to its summary table
+    ///    (inside the batch window).
+    pub fn maintain(
+        &mut self,
+        batch: &ChangeBatch,
+        opts: &MaintainOptions,
+    ) -> CoreResult<MaintenanceReport> {
+        let plan = self.plan_for_batch(batch, opts.use_lattice, false)?;
+        self.maintain_with_plan(batch, &plan, opts)
+    }
+
+    /// Chooses a propagation plan for a batch. With `use_lattice`, child
+    /// deltas derive from ancestor deltas via the D-lattice; `costed`
+    /// additionally weighs the change-set size against ancestor-delta sizes
+    /// (§5.5's cost model) and may mix Direct and FromParent steps.
+    ///
+    /// Batches containing dimension-table changes always plan Direct:
+    /// Theorem 5.1 (D-lattice ≡ V-lattice) covers fact-table changes, but a
+    /// dimension change can affect a view without affecting its lattice
+    /// parent (a category reshuffle changes `SiC_sales` but not
+    /// `SID_sales`), so such batches use §4.1.4's per-view dimension
+    /// prepare views instead.
+    pub fn plan_for_batch(
+        &mut self,
+        batch: &ChangeBatch,
+        use_lattice: bool,
+        costed: bool,
+    ) -> CoreResult<cubedelta_lattice::MaintenancePlan> {
+        let has_dim_changes = batch.deltas.iter().any(|d| {
+            !d.is_empty() && self.catalog.role(&d.table) == Some(TableRole::Dimension)
+        });
+        if self.lattice.is_none() {
+            self.lattice = Some(ViewLattice::build(&self.catalog, self.views.clone())?);
+        }
+        let catalog = &self.catalog;
+        let lattice = self.lattice.as_ref().expect("ensured above");
+        let sizes =
+            |name: &str| catalog.table(name).map(|t| t.len()).unwrap_or(usize::MAX);
+        Ok(if !use_lattice || has_dim_changes {
+            lattice.direct_plan()
+        } else if costed {
+            lattice.choose_plan_costed(catalog, sizes, batch.len())?
+        } else {
+            lattice.choose_plan(catalog, sizes)?
+        })
+    }
+
+    /// Runs one maintenance cycle with a caller-supplied propagation plan
+    /// (see [`Warehouse::plan_for_batch`] or build one directly on the
+    /// [`ViewLattice`]).
+    pub fn maintain_with_plan(
+        &mut self,
+        batch: &ChangeBatch,
+        plan: &cubedelta_lattice::MaintenancePlan,
+        opts: &MaintainOptions,
+    ) -> CoreResult<MaintenanceReport> {
+        let popts = PropagateOptions {
+            pre_aggregate: opts.pre_aggregate,
+        };
+        let insertions_only = self.insertions_only(batch);
+
+        // --- propagate --------------------------------------------------
+        let t0 = Instant::now();
+        let deltas = propagate_plan(&self.catalog, &self.views, plan, batch, &popts)?;
+        let propagate_time = t0.elapsed();
+
+        // --- apply base changes -----------------------------------------
+        let t1 = Instant::now();
+        for delta in &batch.deltas {
+            self.catalog.table_mut(&delta.table)?.apply_delta(delta)?;
+        }
+        let apply_base_time = t1.elapsed();
+
+        // --- refresh ------------------------------------------------------
+        let t2 = Instant::now();
+        let ropts = RefreshOptions { insertions_only };
+        let mut per_view = Vec::with_capacity(self.views.len());
+        for step in &plan.steps {
+            let view = self
+                .views
+                .iter()
+                .find(|v| v.def.name == step.view)
+                .ok_or_else(|| {
+                    CoreError::Maintenance(format!("plan step for unknown view `{}`", step.view))
+                })?
+                .clone();
+            let sd = &deltas[&step.view];
+            let stats = refresh(&mut self.catalog, &view, sd, &ropts)?;
+            per_view.push(ViewReport {
+                view: step.view.clone(),
+                source: match &step.source {
+                    DeltaSource::Direct => "changes".to_string(),
+                    DeltaSource::FromParent(eq) => eq.parent.clone(),
+                },
+                delta_rows: sd.len(),
+                refresh: stats,
+            });
+        }
+        let refresh_time = t2.elapsed();
+
+        Ok(MaintenanceReport {
+            propagate_time,
+            apply_base_time,
+            refresh_time,
+            per_view,
+        })
+    }
+
+    /// The rematerialization baseline: apply the change set to base tables,
+    /// then recompute every summary table from scratch (via the lattice
+    /// cascade when `use_lattice`). All work happens inside the batch
+    /// window; the report books it under `refresh_time`.
+    pub fn rematerialize(
+        &mut self,
+        batch: &ChangeBatch,
+        use_lattice: bool,
+    ) -> CoreResult<MaintenanceReport> {
+        let t1 = Instant::now();
+        for delta in &batch.deltas {
+            self.catalog.table_mut(&delta.table)?.apply_delta(delta)?;
+        }
+        let apply_base_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let per_view: Vec<ViewReport>;
+        if use_lattice {
+            let plan = {
+                let catalog = &self.catalog;
+                if self.lattice.is_none() {
+                    self.lattice = Some(ViewLattice::build(catalog, self.views.clone())?);
+                }
+                let lattice = self.lattice.as_ref().expect("built");
+                lattice.choose_plan(catalog, |name| {
+                    catalog.table(name).map(|t| t.len()).unwrap_or(usize::MAX)
+                })?
+            };
+            let views = self.views.clone();
+            rematerialize_with_lattice(&mut self.catalog, &views, &plan)?;
+            per_view = plan
+                .steps
+                .iter()
+                .map(|s| ViewReport {
+                    view: s.view.clone(),
+                    source: match &s.source {
+                        DeltaSource::Direct => "base".to_string(),
+                        DeltaSource::FromParent(eq) => eq.parent.clone(),
+                    },
+                    delta_rows: 0,
+                    refresh: RefreshStats::default(),
+                })
+                .collect();
+        } else {
+            let views = self.views.clone();
+            rematerialize_direct(&mut self.catalog, &views)?;
+            per_view = self
+                .views
+                .iter()
+                .map(|v| ViewReport {
+                    view: v.def.name.clone(),
+                    source: "base".to_string(),
+                    delta_rows: 0,
+                    refresh: RefreshStats::default(),
+                })
+                .collect();
+        }
+        let refresh_time = t2.elapsed();
+
+        Ok(MaintenanceReport {
+            propagate_time: Duration::ZERO,
+            apply_base_time,
+            refresh_time,
+            per_view,
+        })
+    }
+
+    /// Audits every summary table against recomputation from base data.
+    pub fn check_consistency(&self) -> CoreResult<()> {
+        for view in &self.views {
+            check_view_consistency(&self.catalog, view)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use cubedelta_storage::{row, Date, DeltaSet};
+
+    fn d(offset: i32) -> Date {
+        Date(10000 + offset)
+    }
+
+    fn warehouse_with_figure1_views() -> Warehouse {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for def in figure1_defs() {
+            wh.create_summary_table(&def).unwrap();
+        }
+        wh
+    }
+
+    #[test]
+    fn maintain_keeps_all_views_consistent() {
+        let mut wh = warehouse_with_figure1_views();
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![
+                row![1i64, 20i64, d(0), 4i64, 1.0],
+                row![3i64, 30i64, d(2), 1i64, 0.5],
+            ],
+            deletions: vec![row![2i64, 10i64, d(0), 7i64, 1.0]],
+        });
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        assert_eq!(report.per_view.len(), 4);
+        wh.check_consistency().unwrap();
+        // The lattice plan derived at least one view from a parent delta.
+        assert!(report.per_view.iter().any(|v| v.source != "changes"));
+    }
+
+    #[test]
+    fn maintain_without_lattice_matches() {
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![1i64, 20i64, d(0), 4i64, 1.0]],
+            deletions: vec![row![1i64, 10i64, d(0), 3i64, 1.0]],
+        });
+        let mut a = warehouse_with_figure1_views();
+        a.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let mut b = warehouse_with_figure1_views();
+        b.maintain(
+            &batch,
+            &MaintainOptions {
+                use_lattice: false,
+                pre_aggregate: false,
+            },
+        )
+        .unwrap();
+        for v in a.views() {
+            assert_eq!(
+                a.catalog().table(&v.def.name).unwrap().sorted_rows(),
+                b.catalog().table(&v.def.name).unwrap().sorted_rows()
+            );
+        }
+        b.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rematerialize_baselines_agree_with_maintenance() {
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![2i64, 20i64, d(5), 9i64, 2.0]],
+            deletions: vec![row![1i64, 10i64, d(0), 5i64, 1.0]],
+        });
+        let mut inc = warehouse_with_figure1_views();
+        inc.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let mut rem = warehouse_with_figure1_views();
+        rem.rematerialize(&batch, true).unwrap();
+        let mut rem_direct = warehouse_with_figure1_views();
+        rem_direct.rematerialize(&batch, false).unwrap();
+        for v in inc.views() {
+            let name = &v.def.name;
+            assert_eq!(
+                inc.catalog().table(name).unwrap().sorted_rows(),
+                rem.catalog().table(name).unwrap().sorted_rows(),
+                "{name} differs from lattice rematerialization"
+            );
+            assert_eq!(
+                inc.catalog().table(name).unwrap().sorted_rows(),
+                rem_direct.catalog().table(name).unwrap().sorted_rows(),
+                "{name} differs from direct rematerialization"
+            );
+        }
+    }
+
+    #[test]
+    fn insertions_only_batches_use_the_fast_refresh() {
+        let mut wh = warehouse_with_figure1_views();
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, Date(9000), 3i64, 1.0]], // earlier date!
+        ));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        // SiC_sales MIN(date) shrank but no recompute was needed.
+        let sic = report.view("SiC_sales").unwrap();
+        assert_eq!(sic.refresh.recomputed, 0);
+        wh.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn dimension_changes_flow_through_maintain() {
+        let mut wh = warehouse_with_figure1_views();
+        let mut batch = ChangeBatch::new();
+        batch.add(DeltaSet {
+            table: "items".into(),
+            insertions: vec![row![10i64, "cola", "beverages", 0.5]],
+            deletions: vec![row![10i64, "cola", "drinks", 0.5]],
+        });
+        wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn report_timings_are_populated() {
+        let mut wh = warehouse_with_figure1_views();
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(0), 1i64, 1.0]],
+        ));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        assert!(report.total_time() >= report.refresh_time);
+        assert!(report.view("SID_sales").is_some());
+        assert!(report.view("nope").is_none());
+    }
+
+    #[test]
+    fn drop_summary_table_rewires_the_lattice() {
+        let mut wh = warehouse_with_figure1_views();
+        // Drop the intermediate sCD_sales; sR must still maintain (now from
+        // SiC or SID).
+        wh.drop_summary_table("sCD_sales").unwrap();
+        assert!(wh.view("sCD_sales").is_none());
+        assert!(wh.catalog().table("sCD_sales").is_err());
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![1i64, 20i64, d(0), 4i64, 1.0]],
+            deletions: vec![row![2i64, 10i64, d(0), 7i64, 1.0]],
+        });
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+        let sr = report.view("sR_sales").unwrap();
+        assert!(sr.source == "SiC_sales" || sr.source == "SID_sales");
+        assert!(wh.drop_summary_table("nope").is_err());
+    }
+
+    #[test]
+    fn report_display_is_readable() {
+        let mut wh = warehouse_with_figure1_views();
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(0), 1i64, 1.0]],
+        ));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let text = report.to_string();
+        assert!(text.contains("propagate"));
+        assert!(text.contains("SID_sales"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn costed_plan_maintains_consistently() {
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![2i64, 20i64, d(2), 3i64, 2.0]],
+            deletions: vec![row![1i64, 10i64, d(0), 3i64, 1.0]],
+        });
+        let mut wh = warehouse_with_figure1_views();
+        let plan = wh.plan_for_batch(&batch, true, true).unwrap();
+        wh.maintain_with_plan(&batch, &plan, &MaintainOptions::default())
+            .unwrap();
+        wh.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn pre_aggregation_option_stays_consistent() {
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![1i64, 20i64, d(1), 4i64, 1.0]],
+            deletions: vec![row![1i64, 20i64, d(1), 2i64, 2.0]],
+        });
+        let mut wh = warehouse_with_figure1_views();
+        wh.maintain(
+            &batch,
+            &MaintainOptions {
+                use_lattice: true,
+                pre_aggregate: true,
+            },
+        )
+        .unwrap();
+        wh.check_consistency().unwrap();
+    }
+}

@@ -1,0 +1,59 @@
+//! Expression evaluation errors.
+
+use std::fmt;
+
+use cubedelta_storage::StorageError;
+
+/// Result alias for expression operations.
+pub type ExprResult<T> = Result<T, ExprError>;
+
+/// Errors raised while binding or evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// A column name could not be resolved against the input schema.
+    UnknownColumn(String),
+    /// An expression was evaluated before `bind` resolved its columns.
+    Unbound(String),
+    /// An operator was applied to values of incompatible types.
+    TypeError(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnknownColumn(c) => write!(f, "unknown column `{c}` in expression"),
+            ExprError::Unbound(c) => write!(f, "expression evaluated before binding: `{c}`"),
+            ExprError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+impl From<StorageError> for ExprError {
+    fn from(e: StorageError) -> Self {
+        match e {
+            StorageError::UnknownColumn(c) => ExprError::UnknownColumn(c),
+            other => ExprError::TypeError(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            ExprError::UnknownColumn("qty".into()).to_string(),
+            "unknown column `qty` in expression"
+        );
+    }
+
+    #[test]
+    fn storage_error_conversion() {
+        let e: ExprError = StorageError::UnknownColumn("x".into()).into();
+        assert_eq!(e, ExprError::UnknownColumn("x".into()));
+    }
+}

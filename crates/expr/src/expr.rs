@@ -1,0 +1,495 @@
+//! Scalar expressions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cubedelta_storage::{Row, Schema, Value};
+
+use crate::error::{ExprError, ExprResult};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication — the lattice edge rewrite `SUM(A) → SUM(A · count)`
+    /// (§5.1) is built from this.
+    Mul,
+    /// Division — AVG is rewritten to `SUM/COUNT` (§3.1). Division by zero
+    /// yields NULL to keep evaluation total.
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        })
+    }
+}
+
+/// A scalar expression tree.
+///
+/// Expressions are built with column *names*, then [`Expr::bind`]-ed against
+/// an input [`Schema`], which resolves names to positions. Only bound
+/// expressions evaluate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A named column reference (unbound).
+    Column(String),
+    /// A positional column reference (produced by `bind`).
+    ColumnIdx(usize),
+    /// A literal value.
+    Literal(Value),
+    /// Binary arithmetic.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary numeric negation (Table 1: prepare-deletions negate SUM/COUNT
+    /// sources).
+    Neg(Box<Expr>),
+    /// `CASE WHEN probe IS NULL THEN when_null ELSE otherwise END` — the
+    /// SQL-92 form Table 1 uses for `COUNT(expr)` aggregate sources.
+    CaseNull {
+        /// The expression tested for NULL.
+        probe: Box<Expr>,
+        /// Result when `probe` is NULL.
+        when_null: Box<Expr>,
+        /// Result when `probe` is not NULL.
+        otherwise: Box<Expr>,
+    },
+}
+
+#[allow(clippy::should_implement_trait)] // fluent builders (a.add(b) builds
+// an AST node); the std operator traits would obscure that nothing is
+// evaluated here.
+impl Expr {
+    /// A named column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// An integer literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::Sub,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
+    }
+
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(self),
+            right: Box::new(rhs),
+        }
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+
+    /// `CASE WHEN self IS NULL THEN when_null ELSE otherwise END`.
+    pub fn case_null(self, when_null: Expr, otherwise: Expr) -> Expr {
+        Expr::CaseNull {
+            probe: Box::new(self),
+            when_null: Box::new(when_null),
+            otherwise: Box::new(otherwise),
+        }
+    }
+
+    /// Resolves all column names to positions in `schema`.
+    pub fn bind(&self, schema: &Schema) -> ExprResult<Expr> {
+        Ok(match self {
+            Expr::Column(name) => Expr::ColumnIdx(schema.index_of(name)?),
+            Expr::ColumnIdx(i) => Expr::ColumnIdx(*i),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.bind(schema)?),
+                right: Box::new(right.bind(schema)?),
+            },
+            Expr::Neg(e) => Expr::Neg(Box::new(e.bind(schema)?)),
+            Expr::CaseNull {
+                probe,
+                when_null,
+                otherwise,
+            } => Expr::CaseNull {
+                probe: Box::new(probe.bind(schema)?),
+                when_null: Box::new(when_null.bind(schema)?),
+                otherwise: Box::new(otherwise.bind(schema)?),
+            },
+        })
+    }
+
+    /// Evaluates a bound expression against a row.
+    pub fn eval(&self, row: &Row) -> ExprResult<Value> {
+        Ok(match self {
+            Expr::Column(name) => return Err(ExprError::Unbound(name.clone())),
+            Expr::ColumnIdx(i) => row[*i].clone(),
+            Expr::Literal(v) => v.clone(),
+            Expr::Binary { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                match op {
+                    BinOp::Add => l.add(&r),
+                    BinOp::Sub => l.sub(&r),
+                    BinOp::Mul => l.mul(&r),
+                    BinOp::Div => match (l.as_f64(), r.as_f64()) {
+                        (Some(x), Some(y)) if y != 0.0 => Value::Float(x / y),
+                        _ => Value::Null,
+                    },
+                }
+            }
+            Expr::Neg(e) => e.eval(row)?.neg(),
+            Expr::CaseNull {
+                probe,
+                when_null,
+                otherwise,
+            } => {
+                if probe.eval(row)?.is_null() {
+                    when_null.eval(row)?
+                } else {
+                    otherwise.eval(row)?
+                }
+            }
+        })
+    }
+
+    /// Infers the static result type of this (unbound) expression against an
+    /// input schema. Returns `None` when the type cannot be determined
+    /// (e.g. a NULL literal).
+    ///
+    /// Used to derive summary-table column types from aggregate sources.
+    pub fn infer_type(&self, schema: &Schema) -> ExprResult<Option<cubedelta_storage::DataType>> {
+        use cubedelta_storage::DataType;
+        Ok(match self {
+            Expr::Column(name) => Some(schema.column(name)?.datatype),
+            Expr::ColumnIdx(i) => Some(schema.columns()[*i].datatype),
+            Expr::Literal(v) => v.data_type(),
+            Expr::Binary { op, left, right } => {
+                if *op == BinOp::Div {
+                    Some(DataType::Float)
+                } else {
+                    match (left.infer_type(schema)?, right.infer_type(schema)?) {
+                        (Some(DataType::Int), Some(DataType::Int)) => Some(DataType::Int),
+                        (Some(a), Some(b)) if a.is_numeric() && b.is_numeric() => {
+                            Some(DataType::Float)
+                        }
+                        _ => None,
+                    }
+                }
+            }
+            Expr::Neg(e) => e.infer_type(schema)?,
+            Expr::CaseNull {
+                when_null,
+                otherwise,
+                ..
+            } => {
+                // Either branch can be taken; the type is known only when
+                // the branches agree. A literal-NULL branch never produces
+                // a (typed) value, so it defers to the other branch; any
+                // other unknown poisons the result.
+                let is_null_lit =
+                    |e: &Expr| matches!(e, Expr::Literal(v) if v.is_null());
+                match (when_null.infer_type(schema)?, otherwise.infer_type(schema)?) {
+                    (Some(a), Some(b)) if a == b => Some(a),
+                    (Some(_), Some(_)) => None,
+                    (Some(t), None) if is_null_lit(otherwise) => Some(t),
+                    (None, Some(t)) if is_null_lit(when_null) => Some(t),
+                    _ => None,
+                }
+            }
+        })
+    }
+
+    /// Conservatively decides whether this (unbound) expression can produce
+    /// NULL given the input schema's nullability declarations.
+    ///
+    /// Self-maintainability analysis (§3.1) hinges on this: `SUM(E)` needs a
+    /// supporting `COUNT(E)` only "in the presence of nulls".
+    pub fn maybe_null(&self, schema: &Schema) -> ExprResult<bool> {
+        Ok(match self {
+            Expr::Column(name) => schema.column(name)?.nullable,
+            Expr::ColumnIdx(i) => schema.columns()[*i].nullable,
+            Expr::Literal(v) => v.is_null(),
+            Expr::Binary { op, left, right } => {
+                // Division can return NULL on a zero divisor regardless of
+                // operand nullability.
+                *op == BinOp::Div || left.maybe_null(schema)? || right.maybe_null(schema)?
+            }
+            Expr::Neg(e) => e.maybe_null(schema)?,
+            Expr::CaseNull {
+                when_null,
+                otherwise,
+                ..
+            } => when_null.maybe_null(schema)? || otherwise.maybe_null(schema)?,
+        })
+    }
+
+    /// The set of column names this (unbound) expression references.
+    ///
+    /// The derives relation (§5.1) uses this to decide whether an aggregate
+    /// source "is an expression over the group-by attributes of v1".
+    pub fn columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Column(name) => {
+                out.insert(name.clone());
+            }
+            Expr::ColumnIdx(_) | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Neg(e) => e.collect_columns(out),
+            Expr::CaseNull {
+                probe,
+                when_null,
+                otherwise,
+            } => {
+                probe.collect_columns(out);
+                when_null.collect_columns(out);
+                otherwise.collect_columns(out);
+            }
+        }
+    }
+
+    /// Renames every column reference via `f` (used when re-rooting an
+    /// expression onto a parent view's output schema).
+    pub fn rename_columns(&self, f: &dyn Fn(&str) -> String) -> Expr {
+        match self {
+            Expr::Column(name) => Expr::Column(f(name)),
+            Expr::ColumnIdx(i) => Expr::ColumnIdx(*i),
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.rename_columns(f)),
+                right: Box::new(right.rename_columns(f)),
+            },
+            Expr::Neg(e) => Expr::Neg(Box::new(e.rename_columns(f))),
+            Expr::CaseNull {
+                probe,
+                when_null,
+                otherwise,
+            } => Expr::CaseNull {
+                probe: Box::new(probe.rename_columns(f)),
+                when_null: Box::new(when_null.rename_columns(f)),
+                otherwise: Box::new(otherwise.rename_columns(f)),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(name) => write!(f, "{name}"),
+            Expr::ColumnIdx(i) => write!(f, "${i}"),
+            // Literals render in SQL-parseable form: strings quoted, dates
+            // with the DATE keyword — so a displayed definition re-parses.
+            Expr::Literal(Value::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Literal(Value::Date(d)) => write!(f, "DATE '{d}'"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::CaseNull {
+                probe,
+                when_null,
+                otherwise,
+            } => write!(
+                f,
+                "CASE WHEN {probe} IS NULL THEN {when_null} ELSE {otherwise} END"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_storage::{row, Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::nullable("b", DataType::Int),
+            Column::new("c", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn bind_and_eval_arithmetic() {
+        let e = Expr::col("a").mul(Expr::col("c")).add(Expr::lit(1i64));
+        let bound = e.bind(&schema()).unwrap();
+        let v = bound.eval(&row![2i64, 5i64, 1.5]).unwrap();
+        assert_eq!(v, Value::Float(4.0));
+    }
+
+    #[test]
+    fn unbound_eval_errors() {
+        let e = Expr::col("a");
+        assert!(matches!(e.eval(&row![1i64]), Err(ExprError::Unbound(_))));
+    }
+
+    #[test]
+    fn bind_unknown_column_errors() {
+        assert!(matches!(
+            Expr::col("nope").bind(&schema()),
+            Err(ExprError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn negation_for_prepare_deletions() {
+        // Table 1: SUM(expr) source for deletions is -expr.
+        let e = Expr::col("a").neg().bind(&schema()).unwrap();
+        assert_eq!(e.eval(&row![7i64, 0i64, 0.0]).unwrap(), Value::Int(-7));
+    }
+
+    #[test]
+    fn case_null_for_count_expr() {
+        // Table 1: COUNT(expr) insertion source:
+        //   CASE WHEN expr IS NULL THEN 0 ELSE 1 END
+        let e = Expr::col("b")
+            .case_null(Expr::lit(0i64), Expr::lit(1i64))
+            .bind(&schema())
+            .unwrap();
+        assert_eq!(
+            e.eval(&Row::new(vec![Value::Int(1), Value::Null, Value::Float(0.0)]))
+                .unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(e.eval(&row![1i64, 5i64, 0.0]).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn division_yields_float_and_null_on_zero() {
+        let e = Expr::col("a").div(Expr::col("b")).bind(&schema()).unwrap();
+        assert_eq!(e.eval(&row![6i64, 4i64, 0.0]).unwrap(), Value::Float(1.5));
+        assert!(e.eval(&row![6i64, 0i64, 0.0]).unwrap().is_null());
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        let e = Expr::col("b").add(Expr::lit(1i64)).bind(&schema()).unwrap();
+        assert!(e
+            .eval(&Row::new(vec![Value::Int(1), Value::Null, Value::Float(0.0)]))
+            .unwrap()
+            .is_null());
+    }
+
+    #[test]
+    fn columns_collects_references() {
+        let e = Expr::col("a")
+            .mul(Expr::col("c"))
+            .add(Expr::col("a").case_null(Expr::lit(0i64), Expr::col("b")));
+        let cols = e.columns();
+        assert_eq!(
+            cols.into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn rename_columns_rewrites() {
+        let e = Expr::col("a").add(Expr::col("b"));
+        let renamed = e.rename_columns(&|c| format!("v1.{c}"));
+        assert_eq!(
+            renamed.columns().into_iter().collect::<Vec<_>>(),
+            vec!["v1.a".to_string(), "v1.b".to_string()]
+        );
+    }
+
+    #[test]
+    fn infer_type_follows_coercion() {
+        use cubedelta_storage::DataType;
+        let s = schema();
+        assert_eq!(
+            Expr::col("a").infer_type(&s).unwrap(),
+            Some(DataType::Int)
+        );
+        assert_eq!(
+            Expr::col("a").add(Expr::col("b")).infer_type(&s).unwrap(),
+            Some(DataType::Int)
+        );
+        assert_eq!(
+            Expr::col("a").mul(Expr::col("c")).infer_type(&s).unwrap(),
+            Some(DataType::Float)
+        );
+        assert_eq!(
+            Expr::col("a").div(Expr::col("b")).infer_type(&s).unwrap(),
+            Some(DataType::Float)
+        );
+        assert_eq!(
+            Expr::col("a").neg().infer_type(&s).unwrap(),
+            Some(DataType::Int)
+        );
+        assert_eq!(Expr::lit(Value::Null).infer_type(&s).unwrap(), None);
+        assert!(Expr::col("nope").infer_type(&s).is_err());
+    }
+
+    #[test]
+    fn maybe_null_analysis() {
+        let s = schema();
+        assert!(!Expr::col("a").maybe_null(&s).unwrap());
+        assert!(Expr::col("b").maybe_null(&s).unwrap());
+        assert!(Expr::col("a").add(Expr::col("b")).maybe_null(&s).unwrap());
+        // Division may null out on zero divisors even with non-null inputs.
+        assert!(Expr::col("a").div(Expr::col("a")).maybe_null(&s).unwrap());
+        // CASE that maps NULL to 0 and otherwise to 1 can never be NULL.
+        assert!(!Expr::col("b")
+            .case_null(Expr::lit(0i64), Expr::lit(1i64))
+            .maybe_null(&s)
+            .unwrap());
+    }
+
+    #[test]
+    fn display_reads_like_sql() {
+        let e = Expr::col("qty").neg();
+        assert_eq!(e.to_string(), "(-qty)");
+        let c = Expr::col("b").case_null(Expr::lit(0i64), Expr::lit(1i64));
+        assert_eq!(c.to_string(), "CASE WHEN b IS NULL THEN 0 ELSE 1 END");
+    }
+}

@@ -1,0 +1,17 @@
+//! # cubedelta-expr
+//!
+//! Scalar expressions and predicates over [`cubedelta_storage`] rows.
+//!
+//! Expressions are the language of *aggregate sources* (Table 1 of the
+//! paper): prepare-insertions projects `1 AS _count`, `qty AS _quantity`;
+//! prepare-deletions projects `-1` and `-qty`; `COUNT(expr)` sources use the
+//! SQL-92 `CASE WHEN expr IS NULL THEN 0 ELSE ±1 END` form. Predicates
+//! express view `WHERE` clauses and join conditions.
+
+pub mod error;
+pub mod expr;
+pub mod predicate;
+
+pub use error::{ExprError, ExprResult};
+pub use expr::{BinOp, Expr};
+pub use predicate::{CmpOp, Predicate};

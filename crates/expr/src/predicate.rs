@@ -1,0 +1,288 @@
+//! Boolean predicates over rows.
+//!
+//! Predicates express view `WHERE` clauses. SQL three-valued logic is
+//! honoured at the comparison level: a comparison involving NULL is
+//! *unknown*, which filters treat as false.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use cubedelta_storage::{Row, Schema};
+
+use crate::error::ExprResult;
+use crate::expr::Expr;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// A boolean predicate tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (the empty WHERE clause).
+    True,
+    /// Comparison between two expressions. NULL operands make it false
+    /// (SQL unknown, treated as filter-false).
+    Compare {
+        /// The comparison operator.
+        op: CmpOp,
+        /// Left expression.
+        left: Expr,
+        /// Right expression.
+        right: Expr,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation (of two-valued filter semantics).
+    Not(Box<Predicate>),
+    /// `expr IS NULL`.
+    IsNull(Expr),
+}
+
+impl Predicate {
+    /// `left op right`.
+    pub fn cmp(op: CmpOp, left: Expr, right: Expr) -> Predicate {
+        Predicate::Compare { op, left, right }
+    }
+
+    /// `left = right`.
+    pub fn eq(left: Expr, right: Expr) -> Predicate {
+        Predicate::cmp(CmpOp::Eq, left, right)
+    }
+
+    /// `self AND rhs`.
+    pub fn and(self, rhs: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self OR rhs`.
+    pub fn or(self, rhs: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// `NOT self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Resolves all column names to positions in `schema`.
+    pub fn bind(&self, schema: &Schema) -> ExprResult<Predicate> {
+        Ok(match self {
+            Predicate::True => Predicate::True,
+            Predicate::Compare { op, left, right } => Predicate::Compare {
+                op: *op,
+                left: left.bind(schema)?,
+                right: right.bind(schema)?,
+            },
+            Predicate::And(a, b) => Predicate::And(
+                Box::new(a.bind(schema)?),
+                Box::new(b.bind(schema)?),
+            ),
+            Predicate::Or(a, b) => Predicate::Or(
+                Box::new(a.bind(schema)?),
+                Box::new(b.bind(schema)?),
+            ),
+            Predicate::Not(p) => Predicate::Not(Box::new(p.bind(schema)?)),
+            Predicate::IsNull(e) => Predicate::IsNull(e.bind(schema)?),
+        })
+    }
+
+    /// Evaluates a bound predicate against a row (two-valued filter
+    /// semantics: unknown ⇒ false).
+    pub fn eval(&self, row: &Row) -> ExprResult<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::Compare { op, left, right } => {
+                let l = left.eval(row)?;
+                let r = right.eval(row)?;
+                if l.is_null() || r.is_null() {
+                    false
+                } else {
+                    match op {
+                        CmpOp::Eq => l == r,
+                        CmpOp::Ne => l != r,
+                        CmpOp::Lt => l < r,
+                        CmpOp::Le => l <= r,
+                        CmpOp::Gt => l > r,
+                        CmpOp::Ge => l >= r,
+                    }
+                }
+            }
+            Predicate::And(a, b) => a.eval(row)? && b.eval(row)?,
+            Predicate::Or(a, b) => a.eval(row)? || b.eval(row)?,
+            Predicate::Not(p) => !p.eval(row)?,
+            Predicate::IsNull(e) => e.eval(row)?.is_null(),
+        })
+    }
+
+    /// Renames every column reference via `f` (mirrors
+    /// [`Expr::rename_columns`]).
+    pub fn rename_columns(&self, f: &dyn Fn(&str) -> String) -> Predicate {
+        match self {
+            Predicate::True => Predicate::True,
+            Predicate::Compare { op, left, right } => Predicate::Compare {
+                op: *op,
+                left: left.rename_columns(f),
+                right: right.rename_columns(f),
+            },
+            Predicate::And(a, b) => Predicate::And(
+                Box::new(a.rename_columns(f)),
+                Box::new(b.rename_columns(f)),
+            ),
+            Predicate::Or(a, b) => Predicate::Or(
+                Box::new(a.rename_columns(f)),
+                Box::new(b.rename_columns(f)),
+            ),
+            Predicate::Not(p) => Predicate::Not(Box::new(p.rename_columns(f))),
+            Predicate::IsNull(e) => Predicate::IsNull(e.rename_columns(f)),
+        }
+    }
+
+    /// The set of column names referenced by this (unbound) predicate.
+    pub fn columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Predicate::True => {}
+            Predicate::Compare { left, right, .. } => {
+                out.extend(left.columns());
+                out.extend(right.columns());
+            }
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+            Predicate::IsNull(e) => out.extend(e.columns()),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "TRUE"),
+            Predicate::Compare { op, left, right } => write!(f, "{left} {op} {right}"),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "NOT ({p})"),
+            Predicate::IsNull(e) => write!(f, "{e} IS NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_storage::{row, Column, DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::nullable("b", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn comparisons() {
+        let p = Predicate::cmp(CmpOp::Lt, Expr::col("a"), Expr::col("b"))
+            .bind(&schema())
+            .unwrap();
+        assert!(p.eval(&row![1i64, 2i64]).unwrap());
+        assert!(!p.eval(&row![2i64, 2i64]).unwrap());
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let p = Predicate::eq(Expr::col("a"), Expr::col("b"))
+            .bind(&schema())
+            .unwrap();
+        let r = Row::new(vec![Value::Int(1), Value::Null]);
+        assert!(!p.eval(&r).unwrap());
+        // And so is the negated comparison — unknown, not true.
+        let ne = Predicate::cmp(CmpOp::Ne, Expr::col("a"), Expr::col("b"))
+            .bind(&schema())
+            .unwrap();
+        assert!(!ne.eval(&r).unwrap());
+    }
+
+    #[test]
+    fn is_null_detects() {
+        let p = Predicate::IsNull(Expr::col("b")).bind(&schema()).unwrap();
+        assert!(p.eval(&Row::new(vec![Value::Int(1), Value::Null])).unwrap());
+        assert!(!p.eval(&row![1i64, 2i64]).unwrap());
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let p = Predicate::cmp(CmpOp::Gt, Expr::col("a"), Expr::lit(0i64))
+            .and(Predicate::cmp(CmpOp::Lt, Expr::col("a"), Expr::lit(10i64)))
+            .bind(&schema())
+            .unwrap();
+        assert!(p.eval(&row![5i64, 0i64]).unwrap());
+        assert!(!p.eval(&row![50i64, 0i64]).unwrap());
+
+        let q = Predicate::eq(Expr::col("a"), Expr::lit(1i64))
+            .or(Predicate::eq(Expr::col("a"), Expr::lit(2i64)))
+            .not()
+            .bind(&schema())
+            .unwrap();
+        assert!(!q.eval(&row![1i64, 0i64]).unwrap());
+        assert!(q.eval(&row![3i64, 0i64]).unwrap());
+    }
+
+    #[test]
+    fn true_predicate_accepts_everything() {
+        let p = Predicate::True.bind(&schema()).unwrap();
+        assert!(p.eval(&row![1i64, 1i64]).unwrap());
+    }
+
+    #[test]
+    fn columns_collected() {
+        let p = Predicate::eq(Expr::col("a"), Expr::col("b"))
+            .and(Predicate::IsNull(Expr::col("c")));
+        assert_eq!(
+            p.columns().into_iter().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn display() {
+        let p = Predicate::eq(Expr::col("a"), Expr::lit(1i64));
+        assert_eq!(p.to_string(), "a = 1");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for expressions and predicates: binding never
+//! changes semantics, type inference predicts runtime types, nullability
+//! analysis is sound, and renaming is structure-preserving.
+
+use cubedelta_expr::{CmpOp, Expr, Predicate};
+use cubedelta_storage::{Column, DataType, Row, Schema, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("a", DataType::Int),
+        Column::nullable("b", DataType::Int),
+        Column::new("c", DataType::Float),
+    ])
+}
+
+fn row() -> impl Strategy<Value = Row> {
+    (
+        -1000i64..1000,
+        prop_oneof![3 => (-1000i64..1000).prop_map(Value::Int), 1 => Just(Value::Null)],
+        -100.0f64..100.0,
+    )
+        .prop_map(|(a, b, c)| Row::new(vec![Value::Int(a), b, Value::Float(c)]))
+}
+
+/// Random expression over columns a (int), b (nullable int), c (float).
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::col("a")),
+        Just(Expr::col("b")),
+        Just(Expr::col("c")),
+        (-50i64..50).prop_map(Expr::lit),
+        (-5.0f64..5.0).prop_map(Expr::lit),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.add(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.sub(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.mul(r)),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| l.div(r)),
+            inner.clone().prop_map(|e| e.neg()),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(p, a, b)| p.case_null(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    /// Evaluation is deterministic and total on bound expressions.
+    #[test]
+    fn eval_is_total_and_deterministic(e in expr(), r in row()) {
+        let bound = e.bind(&schema()).unwrap();
+        let v1 = bound.eval(&r).unwrap();
+        let v2 = bound.eval(&r).unwrap();
+        prop_assert_eq!(v1, v2);
+    }
+
+    /// Type inference is sound: a non-NULL result has the inferred type
+    /// (when inference produced one).
+    #[test]
+    fn infer_type_predicts_runtime_type(e in expr(), r in row()) {
+        let inferred = e.infer_type(&schema()).unwrap();
+        let v = e.bind(&schema()).unwrap().eval(&r).unwrap();
+        if let (Some(t), Some(rt)) = (inferred, v.data_type()) {
+            prop_assert_eq!(t, rt, "inferred {:?} but evaluated to {:?}", t, v);
+        }
+    }
+
+    /// Nullability analysis is sound: if the analysis says "never NULL",
+    /// evaluation never yields NULL.
+    #[test]
+    fn maybe_null_is_sound(e in expr(), r in row()) {
+        if !e.maybe_null(&schema()).unwrap() {
+            let v = e.bind(&schema()).unwrap().eval(&r).unwrap();
+            prop_assert!(!v.is_null(), "{e} evaluated to NULL on {r}");
+        }
+    }
+
+    /// Renaming columns with the identity function is the identity.
+    #[test]
+    fn identity_rename_preserves(e in expr(), r in row()) {
+        let renamed = e.rename_columns(&|c| c.to_string());
+        prop_assert_eq!(&renamed, &e);
+        let a = e.bind(&schema()).unwrap().eval(&r).unwrap();
+        let b = renamed.bind(&schema()).unwrap().eval(&r).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// `columns()` is exactly the set of names binding requires: an
+    /// expression binds against a schema iff the schema covers its columns.
+    #[test]
+    fn columns_characterize_bindability(e in expr()) {
+        let narrow = Schema::new(vec![Column::new("a", DataType::Int)]);
+        let needs = e.columns();
+        let binds = e.bind(&narrow).is_ok();
+        prop_assert_eq!(binds, needs.iter().all(|c| c == "a"));
+    }
+
+    /// Predicate evaluation is total, deterministic, and NOT is involutive.
+    #[test]
+    fn predicate_not_involutive(e1 in expr(), e2 in expr(), r in row()) {
+        let p = Predicate::cmp(CmpOp::Lt, e1, e2);
+        let bound = p.bind(&schema()).unwrap();
+        let double_neg = p.clone().not().not().bind(&schema()).unwrap();
+        prop_assert_eq!(bound.eval(&r).unwrap(), double_neg.eval(&r).unwrap());
+    }
+
+    /// De Morgan under two-valued filter semantics:
+    /// NOT (p AND q) == (NOT p) OR (NOT q).
+    #[test]
+    fn de_morgan(a in expr(), b in expr(), r in row()) {
+        let p = Predicate::IsNull(a);
+        let q = Predicate::IsNull(b);
+        let lhs = p.clone().and(q.clone()).not().bind(&schema()).unwrap();
+        let rhs = p.not().or(q.not()).bind(&schema()).unwrap();
+        prop_assert_eq!(lhs.eval(&r).unwrap(), rhs.eval(&r).unwrap());
+    }
+}

@@ -1,0 +1,285 @@
+//! Attribute-set lattices with partial materialization.
+//!
+//! An [`AttrLattice`] holds a set of nodes (attribute sets naming group-by
+//! combinations) plus the *derivability* partial order between them. Edges
+//! are the covering relation (transitive reduction): each edge `v1 → v2`
+//! means `v2` is computable from `v1` by a further aggregation (§3.2).
+//!
+//! Removing a node (§3.4) models *partial materialization*: incoming and
+//! outgoing edges are rewired so that every formerly-transitive derivation
+//! survives.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A lattice (or, after node removals, a partial order) over attribute sets.
+#[derive(Debug, Clone)]
+pub struct AttrLattice {
+    nodes: Vec<BTreeSet<String>>,
+    /// `le[a][b]` ⇔ node `a` is derivable from node `b` (`a ⊑ b`).
+    le: Vec<Vec<bool>>,
+    /// Covering edges `(parent, child)`.
+    edges: Vec<(usize, usize)>,
+}
+
+impl AttrLattice {
+    /// Builds a lattice from nodes and a derivability test
+    /// `le(a, b) = "a is derivable from b"`. The test must be a partial
+    /// order on the given nodes (reflexive, transitive, antisymmetric).
+    pub fn build<F>(nodes: Vec<BTreeSet<String>>, le: F) -> Self
+    where
+        F: Fn(&BTreeSet<String>, &BTreeSet<String>) -> bool,
+    {
+        let n = nodes.len();
+        let mut matrix = vec![vec![false; n]; n];
+        for (i, a) in nodes.iter().enumerate() {
+            for (j, b) in nodes.iter().enumerate() {
+                matrix[i][j] = le(a, b);
+            }
+        }
+        let mut lat = AttrLattice {
+            nodes,
+            le: matrix,
+            edges: Vec::new(),
+        };
+        lat.recompute_edges();
+        lat
+    }
+
+    /// Recomputes the covering edges from the order matrix.
+    fn recompute_edges(&mut self) {
+        let n = self.nodes.len();
+        self.edges.clear();
+        for child in 0..n {
+            for parent in 0..n {
+                if parent == child || !self.le[child][parent] || self.le[parent][child] {
+                    continue;
+                }
+                // Covering edge iff no strictly intermediate node.
+                let covered = (0..n).any(|m| {
+                    m != parent
+                        && m != child
+                        && self.le[child][m]
+                        && !self.le[m][child]
+                        && self.le[m][parent]
+                        && !self.le[parent][m]
+                });
+                if !covered {
+                    self.edges.push((parent, child));
+                }
+            }
+        }
+        self.edges.sort_unstable();
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[BTreeSet<String>] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the lattice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Covering edges as `(parent, child)` index pairs.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// True iff node `a` is derivable from node `b`.
+    pub fn derivable(&self, a: usize, b: usize) -> bool {
+        self.le[a][b]
+    }
+
+    /// Indexes of nodes from which `child` has a covering edge.
+    pub fn parents(&self, child: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(_, c)| *c == child)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Indexes of nodes to which `parent` has a covering edge.
+    pub fn children(&self, parent: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|(p, _)| *p == parent)
+            .map(|(_, c)| *c)
+            .collect()
+    }
+
+    /// Nodes with no parents (the top elements; a true lattice has one).
+    pub fn tops(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.parents(i).is_empty())
+            .collect()
+    }
+
+    /// Nodes with no children (the bottom elements).
+    pub fn bottoms(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.children(i).is_empty())
+            .collect()
+    }
+
+    /// Finds a node index by its attribute set.
+    pub fn find<I, S>(&self, attrs: I) -> Option<usize>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let set: BTreeSet<String> = attrs
+            .into_iter()
+            .map(|s| s.as_ref().to_string())
+            .collect();
+        self.nodes.iter().position(|n| *n == set)
+    }
+
+    /// Removes a node, modelling partial materialization (§3.4). Edges are
+    /// rewired automatically because the order matrix (minus the removed
+    /// node) still contains every transitive derivation: for every incoming
+    /// edge `(n1, n)` and outgoing edge `(n, n2)`, the recomputed covering
+    /// relation contains `(n1, n2)` unless another path covers it.
+    pub fn remove_node(&mut self, idx: usize) {
+        self.nodes.remove(idx);
+        self.le.remove(idx);
+        for row in &mut self.le {
+            row.remove(idx);
+        }
+        self.recompute_edges();
+    }
+
+    /// Nodes grouped into levels by longest path from a top (level 0 = the
+    /// tops) — the layout used to draw Figures 4, 5, and 8.
+    pub fn levels(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut depth = vec![0usize; n];
+        // Longest-path layering: relax repeatedly (the graph is a DAG and
+        // small, so O(V·E) is fine).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(p, c) in &self.edges {
+                if depth[c] < depth[p] + 1 {
+                    depth[c] = depth[p] + 1;
+                    changed = true;
+                }
+            }
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); max_depth + 1];
+        for (i, d) in depth.iter().enumerate() {
+            levels[*d].push(i);
+        }
+        levels
+    }
+
+    /// Renders the lattice level by level, one line per level — the textual
+    /// analogue of the paper's lattice figures.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for level in self.levels() {
+            let mut labels: Vec<String> = level
+                .iter()
+                .map(|&i| {
+                    let attrs: Vec<&str> =
+                        self.nodes[i].iter().map(String::as_str).collect();
+                    format!("({})", attrs.join(", "))
+                })
+                .collect();
+            labels.sort();
+            out.push_str(&labels.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for AttrLattice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(attrs: &[&str]) -> BTreeSet<String> {
+        attrs.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn subset_lattice(node_sets: &[&[&str]]) -> AttrLattice {
+        AttrLattice::build(node_sets.iter().map(|s| set(s)).collect(), |a, b| {
+            a.is_subset(b)
+        })
+    }
+
+    #[test]
+    fn chain_has_chain_edges() {
+        let lat = subset_lattice(&[&["a", "b"], &["a"], &[]]);
+        assert_eq!(lat.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(lat.tops(), vec![0]);
+        assert_eq!(lat.bottoms(), vec![2]);
+    }
+
+    #[test]
+    fn diamond_covering_edges() {
+        let lat = subset_lattice(&[&["a", "b"], &["a"], &["b"], &[]]);
+        // (ab)→(a), (ab)→(b), (a)→(), (b)→(); no direct (ab)→().
+        assert_eq!(lat.edges(), &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(lat.derivable(3, 0));
+        assert_eq!(lat.parents(3), vec![1, 2]);
+        assert_eq!(lat.children(0), vec![1, 2]);
+    }
+
+    #[test]
+    fn find_locates_nodes() {
+        let lat = subset_lattice(&[&["a", "b"], &["a"], &[]]);
+        assert_eq!(lat.find(["a"]), Some(1));
+        assert_eq!(lat.find(["b"]), None);
+        assert_eq!(lat.find(Vec::<&str>::new()), Some(2));
+    }
+
+    #[test]
+    fn remove_node_rewires_edges() {
+        // §3.4: removing (a) from the chain (ab)→(a)→() adds (ab)→().
+        let mut lat = subset_lattice(&[&["a", "b"], &["a"], &[]]);
+        lat.remove_node(1);
+        assert_eq!(lat.len(), 2);
+        assert_eq!(lat.edges(), &[(0, 1)]);
+        assert_eq!(lat.nodes()[1], set(&[]));
+    }
+
+    #[test]
+    fn remove_node_in_diamond_keeps_other_path() {
+        let mut lat = subset_lattice(&[&["a", "b"], &["a"], &["b"], &[]]);
+        lat.remove_node(1); // drop (a)
+        // Now nodes: (ab)=0, (b)=1, ()=2. Covering: (ab)→(b)→(); the
+        // rewired (ab)→() is transitive through (b), so not a covering edge.
+        assert_eq!(lat.edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn levels_layer_by_longest_path() {
+        let lat = subset_lattice(&[&["a", "b"], &["a"], &["b"], &[]]);
+        let levels = lat.levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0], vec![0]);
+        assert_eq!(levels[1], vec![1, 2]);
+        assert_eq!(levels[2], vec![3]);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let lat = subset_lattice(&[&["a"], &[]]);
+        assert_eq!(lat.render(), "(a)\n()\n");
+    }
+}

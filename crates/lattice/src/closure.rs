@@ -1,0 +1,162 @@
+//! Functional-dependency closure of attribute sets across a star schema.
+//!
+//! The rationale (§5.2): "an attribute in the hierarchy functionally
+//! determines all of its descendants … grouping by (storeID) is the same as
+//! grouping by (storeID, city, region)". Derivability of one view from
+//! another reduces to closure containment: `v2`'s attributes must lie in the
+//! closure of `v1`'s group-by attributes.
+
+use std::collections::BTreeSet;
+
+use cubedelta_storage::Catalog;
+
+/// Computes FD closures of attribute sets for one fact table's star schema.
+///
+/// The closure rules:
+/// 1. A fact-table foreign-key column determines the referenced dimension
+///    key (they are equated by the FK join).
+/// 2. A dimension key determines every column of its dimension table (it is
+///    the key).
+/// 3. Declared dimension-hierarchy FDs apply transitively
+///    (`city → region`).
+pub struct AttrClosure<'a> {
+    catalog: &'a Catalog,
+    fact_table: &'a str,
+}
+
+impl<'a> AttrClosure<'a> {
+    /// A closure engine for the given fact table.
+    pub fn new(catalog: &'a Catalog, fact_table: &'a str) -> Self {
+        AttrClosure {
+            catalog,
+            fact_table,
+        }
+    }
+
+    /// The FD closure of `attrs`.
+    pub fn closure<I, S>(&self, attrs: I) -> BTreeSet<String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out: BTreeSet<String> = attrs
+            .into_iter()
+            .map(|s| s.as_ref().to_string())
+            .collect();
+        loop {
+            let mut grew = false;
+            for fk in self.catalog.foreign_keys() {
+                if fk.fact_table != self.fact_table {
+                    continue;
+                }
+                // Rule 1: fact FK column equates to the dimension key.
+                if out.contains(&fk.fact_column) && out.insert(fk.dim_key.clone()) {
+                    grew = true;
+                }
+                // Rule 2: the dimension key determines the whole dimension
+                // row.
+                if out.contains(&fk.dim_key) {
+                    if let Ok(dim) = self.catalog.table(&fk.dim_table) {
+                        for col in dim.schema().columns() {
+                            if out.insert(col.name.clone()) {
+                                grew = true;
+                            }
+                        }
+                    }
+                }
+                // Rule 3: declared hierarchy FDs.
+                if let Some(info) = self.catalog.dimension_info(&fk.dim_table) {
+                    for fd in &info.fds {
+                        if out.contains(&fd.determinant) {
+                            for dep in &fd.dependents {
+                                if out.insert(dep.clone()) {
+                                    grew = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !grew {
+                return out;
+            }
+        }
+    }
+
+    /// True iff every attribute of `sub` is determined by `attrs`.
+    pub fn determines<I, S, J, T>(&self, attrs: I, sub: J) -> bool
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+        J: IntoIterator<Item = T>,
+        T: AsRef<str>,
+    {
+        let closure = self.closure(attrs);
+        sub.into_iter().all(|a| closure.contains(a.as_ref()))
+    }
+
+    /// The dimension table (joined from the fact table) owning `attr`, if
+    /// `attr` is not a fact-table column.
+    pub fn owning_dimension(&self, attr: &str) -> Option<&'a str> {
+        let fact = self.catalog.table(self.fact_table).ok()?;
+        if fact.schema().contains(attr) {
+            return None;
+        }
+        self.catalog.dimension_owning(self.fact_table, attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::retail_catalog_small;
+
+    #[test]
+    fn fk_column_determines_dimension_attrs() {
+        let cat = retail_catalog_small();
+        let c = AttrClosure::new(&cat, "pos");
+        let cl = c.closure(["storeID"]);
+        assert!(cl.contains("city"));
+        assert!(cl.contains("region"));
+        assert!(!cl.contains("category"));
+    }
+
+    #[test]
+    fn hierarchy_fds_apply_without_key() {
+        let cat = retail_catalog_small();
+        let c = AttrClosure::new(&cat, "pos");
+        let cl = c.closure(["city"]);
+        assert!(cl.contains("region"));
+        assert!(!cl.contains("storeID"));
+    }
+
+    #[test]
+    fn item_key_determines_all_item_attrs() {
+        let cat = retail_catalog_small();
+        let c = AttrClosure::new(&cat, "pos");
+        assert!(c.determines(["itemID"], ["name", "category", "cost"]));
+        assert!(!c.determines(["category"], ["itemID"]));
+    }
+
+    #[test]
+    fn grouping_equivalence_rationale() {
+        // §5.2: grouping by (storeID) == grouping by (storeID, city, region).
+        let cat = retail_catalog_small();
+        let c = AttrClosure::new(&cat, "pos");
+        assert_eq!(
+            c.closure(["storeID", "city", "region"]),
+            c.closure(["storeID"])
+        );
+    }
+
+    #[test]
+    fn owning_dimension_resolution() {
+        let cat = retail_catalog_small();
+        let c = AttrClosure::new(&cat, "pos");
+        assert_eq!(c.owning_dimension("city"), Some("stores"));
+        assert_eq!(c.owning_dimension("category"), Some("items"));
+        // Fact columns are owned by the fact table, not a dimension.
+        assert_eq!(c.owning_dimension("storeID"), None);
+        assert_eq!(c.owning_dimension("date"), None);
+    }
+}

@@ -1,0 +1,80 @@
+//! The data-cube lattice (§3.2, Figure 4).
+
+use std::collections::BTreeSet;
+
+use crate::attr::AttrLattice;
+
+/// Builds the cube lattice over `k` dimension attributes: all `2^k` subsets,
+/// ordered by set inclusion. The edge `v1 → v2` (with `v2 ⊂ v1`) carries the
+/// query that re-aggregates `v1` grouping by `v2`'s attributes, replacing
+/// COUNT with SUM (§3.2).
+///
+/// Figure 4 is `cube_lattice(&["storeID", "itemID", "date"])`.
+pub fn cube_lattice(attrs: &[&str]) -> AttrLattice {
+    let k = attrs.len();
+    assert!(k <= 20, "2^{k} cube views is unreasonable");
+    let mut nodes: Vec<BTreeSet<String>> = Vec::with_capacity(1 << k);
+    for mask in 0..(1u32 << k) {
+        let mut set = BTreeSet::new();
+        for (i, a) in attrs.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                set.insert(a.to_string());
+            }
+        }
+        nodes.push(set);
+    }
+    AttrLattice::build(nodes, |a, b| a.is_subset(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_4_lattice_shape() {
+        let lat = cube_lattice(&["storeID", "itemID", "date"]);
+        assert_eq!(lat.len(), 8);
+        // Top is the full group-by, bottom is ().
+        let tops = lat.tops();
+        assert_eq!(tops.len(), 1);
+        assert_eq!(
+            lat.nodes()[tops[0]].len(),
+            3,
+            "top groups by all three attributes"
+        );
+        let bottoms = lat.bottoms();
+        assert_eq!(bottoms.len(), 1);
+        assert!(lat.nodes()[bottoms[0]].is_empty());
+        // Each 2-subset has the top as its only parent; 12 covering edges
+        // total (3 + 6 + 3).
+        assert_eq!(lat.edges().len(), 12);
+        let si = lat.find(["storeID", "itemID"]).unwrap();
+        assert_eq!(lat.parents(si), vec![tops[0]]);
+        assert_eq!(lat.children(si).len(), 2);
+    }
+
+    #[test]
+    fn single_attribute_cube() {
+        let lat = cube_lattice(&["a"]);
+        assert_eq!(lat.len(), 2);
+        assert_eq!(lat.edges().len(), 1);
+    }
+
+    #[test]
+    fn empty_cube_is_unit() {
+        let lat = cube_lattice(&[]);
+        assert_eq!(lat.len(), 1);
+        assert!(lat.edges().is_empty());
+    }
+
+    #[test]
+    fn figure_4_render_levels() {
+        let lat = cube_lattice(&["storeID", "itemID", "date"]);
+        let render = lat.render();
+        let lines: Vec<&str> = render.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "(date, itemID, storeID)");
+        assert!(lines[1].contains("(itemID, storeID)"));
+        assert_eq!(lines[3], "()");
+    }
+}

@@ -1,0 +1,361 @@
+//! The derives relation `v2 ⊑ v1` between generalized cube views (§5.1).
+//!
+//! `v2 ⊑ v1` holds iff `v2` can be defined by a single-block
+//! `SELECT-FROM-GROUPBY` query over `v1`, possibly joined with dimension
+//! tables:
+//!
+//! 1. each group-by attribute of `v2` is a group-by attribute of `v1`, or an
+//!    attribute of a dimension table reachable from a group-by attribute of
+//!    `v1` (the paper's foreign-key condition, generalized to any group-by
+//!    attribute that *functionally determines* the needed attribute — this
+//!    covers `region` from `city` in `sR_sales ⊑ sCD_sales`, Example 5.1,
+//!    where the join runs along the functional mapping `city → region`
+//!    rather than the storeID foreign key);
+//! 2. each aggregate `a(E)` of `v2` appears in `v1`, or `E` is an expression
+//!    over attributes available per rule 1.
+//!
+//! When dimension tables `d1..dm` are used, the relation is superscripted
+//! `⊑^{d1..dm}`; [`DerivesInfo`] records them as [`DimJoinSpec`]s plus a
+//! per-aggregate rewrite plan consumed by [`crate::rewrite`].
+
+use cubedelta_storage::Catalog;
+use cubedelta_view::AugmentedView;
+
+use crate::error::LatticeResult;
+
+/// A functional dimension join required by a derivation: join the parent's
+/// output with `SELECT DISTINCT dim_attr, attrs... FROM dim_table` on
+/// `parent_attr = dim_attr`. Because `dim_attr` functionally determines
+/// `attrs` (key or declared FD), each parent tuple matches exactly one
+/// lookup tuple — no fan-out, aggregate values stay correct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DimJoinSpec {
+    /// The dimension table.
+    pub dim_table: String,
+    /// The join column in the parent view's output (a group-by attribute).
+    pub parent_attr: String,
+    /// The join column on the dimension side (the dim key when
+    /// `parent_attr` is the foreign-key column, else `parent_attr` itself).
+    pub dim_attr: String,
+    /// Dimension attributes the derivation needs from this join.
+    pub attrs: Vec<String>,
+}
+
+/// How one child aggregate is obtained from the parent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AggRewrite {
+    /// The parent computes the same aggregate at index `i`; re-aggregate its
+    /// output column (`COUNT → SUM` of partial counts, `SUM → SUM`,
+    /// `MIN → MIN`, `MAX → MAX` — §3.2).
+    FromParentAgg(usize),
+    /// The source expression ranges over attributes available after the
+    /// dimension joins; recompute weighting by the parent's `COUNT(*)`
+    /// (`SUM(A) → SUM(A·Y)`, `COUNT(A) → SUM(CASE … THEN Y)`, `MIN(A) →
+    /// MIN(A)` — §5.1).
+    Reaggregate,
+}
+
+/// The evidence that `child ⊑ parent`: dimension joins plus one rewrite per
+/// (augmented) child aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerivesInfo {
+    /// Functional dimension joins required (the ⊑ superscript).
+    pub dim_joins: Vec<DimJoinSpec>,
+    /// Rewrite plan, parallel to the child's augmented aggregate list.
+    pub agg_rewrites: Vec<AggRewrite>,
+}
+
+/// How an attribute needed by the child is obtained from the parent.
+enum Availability {
+    /// It is a parent group-by attribute.
+    Direct,
+    /// It comes from a functional dimension join.
+    ViaDim {
+        dim_table: String,
+        parent_attr: String,
+        dim_attr: String,
+    },
+}
+
+/// Finds how `attr` can be made available on the parent's output, if at all.
+fn resolve_attr(
+    catalog: &Catalog,
+    parent: &AugmentedView,
+    attr: &str,
+) -> Option<Availability> {
+    if parent.def.group_by.iter().any(|g| g == attr) {
+        return Some(Availability::Direct);
+    }
+    // Try each dimension of the fact table that owns `attr`.
+    for fk in catalog.foreign_keys() {
+        if fk.fact_table != parent.def.fact_table {
+            continue;
+        }
+        let Ok(dim) = catalog.table(&fk.dim_table) else {
+            continue;
+        };
+        if !dim.schema().contains(attr) {
+            continue;
+        }
+        // Paper's condition: the foreign key is a parent group-by attribute.
+        if parent.def.group_by.contains(&fk.fact_column) {
+            return Some(Availability::ViaDim {
+                dim_table: fk.dim_table.clone(),
+                parent_attr: fk.fact_column.clone(),
+                dim_attr: fk.dim_key.clone(),
+            });
+        }
+        // Generalized condition: some parent group-by attribute lives in
+        // this dimension and functionally determines `attr`
+        // (e.g. city → region).
+        if let Some(info) = catalog.dimension_info(&fk.dim_table) {
+            for g in &parent.def.group_by {
+                if dim.schema().contains(g) && info.determines(g, attr) {
+                    return Some(Availability::ViaDim {
+                        dim_table: fk.dim_table.clone(),
+                        parent_attr: g.clone(),
+                        dim_attr: g.clone(),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Merges one needed attribute into the accumulated dimension-join list.
+fn record(
+    dim_joins: &mut Vec<DimJoinSpec>,
+    availability: &Availability,
+    attr: &str,
+) {
+    if let Availability::ViaDim {
+        dim_table,
+        parent_attr,
+        dim_attr,
+    } = availability
+    {
+        if let Some(existing) = dim_joins
+            .iter_mut()
+            .find(|j| j.dim_table == *dim_table && j.parent_attr == *parent_attr)
+        {
+            if !existing.attrs.iter().any(|a| a == attr) {
+                existing.attrs.push(attr.to_string());
+            }
+        } else {
+            dim_joins.push(DimJoinSpec {
+                dim_table: dim_table.clone(),
+                parent_attr: parent_attr.clone(),
+                dim_attr: dim_attr.clone(),
+                attrs: vec![attr.to_string()],
+            });
+        }
+    }
+}
+
+/// Tests `child ⊑ parent`, returning the derivation evidence on success.
+///
+/// Both views must range over the same fact table with identical WHERE
+/// clauses (the paper does not consider differing WHERE clauses, §3.2
+/// footnote 1).
+pub fn derives(
+    catalog: &Catalog,
+    child: &AugmentedView,
+    parent: &AugmentedView,
+) -> LatticeResult<Option<DerivesInfo>> {
+    if child.def.fact_table != parent.def.fact_table
+        || child.def.where_clause != parent.def.where_clause
+    {
+        return Ok(None);
+    }
+
+    let mut dim_joins: Vec<DimJoinSpec> = Vec::new();
+
+    // Rule 1: every child group-by attribute must be available.
+    for g in &child.def.group_by {
+        match resolve_attr(catalog, parent, g) {
+            Some(avail) => record(&mut dim_joins, &avail, g),
+            None => return Ok(None),
+        }
+    }
+
+    // Rule 2: every child aggregate must be derivable.
+    let mut agg_rewrites = Vec::with_capacity(child.def.aggregates.len());
+    'aggs: for spec in &child.def.aggregates {
+        // (a) the parent computes the identical aggregate.
+        if let Some(i) = parent
+            .def
+            .aggregates
+            .iter()
+            .position(|p| p.func == spec.func)
+        {
+            agg_rewrites.push(AggRewrite::FromParentAgg(i));
+            continue;
+        }
+        // (b) COUNT(*) always maps onto the parent's COUNT(*) (augmented
+        // views always carry one), caught by (a) in practice.
+        // (c) the source expression ranges over available attributes.
+        if let Some(e) = spec.func.input() {
+            let cols = e.columns();
+            let mut avails = Vec::with_capacity(cols.len());
+            for c in &cols {
+                match resolve_attr(catalog, parent, c) {
+                    Some(a) => avails.push((c.clone(), a)),
+                    None => return Ok(None),
+                }
+            }
+            for (c, a) in &avails {
+                record(&mut dim_joins, a, c);
+            }
+            agg_rewrites.push(AggRewrite::Reaggregate);
+            continue 'aggs;
+        }
+        // COUNT(*) with no identical parent aggregate cannot happen on
+        // augmented views; bail out defensively.
+        return Ok(None);
+    }
+
+    Ok(Some(DerivesInfo {
+        dim_joins,
+        agg_rewrites,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use cubedelta_view::augment;
+
+    fn aug(catalog: &Catalog, def: cubedelta_view::SummaryViewDef) -> AugmentedView {
+        augment(catalog, &def).unwrap()
+    }
+
+    #[test]
+    fn example_5_1_relationships() {
+        let cat = retail_catalog_small();
+        let sid = aug(&cat, sid_sales());
+        let scd = aug(&cat, scd_sales());
+        let sic = aug(&cat, sic_sales());
+        let sr = aug(&cat, sr_sales());
+
+        // sCD_sales ⊑^stores SID_sales
+        let info = derives(&cat, &scd, &sid).unwrap().expect("scd ⊑ sid");
+        assert_eq!(info.dim_joins.len(), 1);
+        assert_eq!(info.dim_joins[0].dim_table, "stores");
+        assert_eq!(info.dim_joins[0].parent_attr, "storeID");
+
+        // SiC_sales ⊑^items SID_sales
+        let info = derives(&cat, &sic, &sid).unwrap().expect("sic ⊑ sid");
+        assert_eq!(info.dim_joins.len(), 1);
+        assert_eq!(info.dim_joins[0].dim_table, "items");
+
+        // sR_sales ⊑^stores SID_sales
+        assert!(derives(&cat, &sr, &sid).unwrap().is_some());
+
+        // sR_sales ⊑^stores sCD_sales (via the functional city → region join)
+        let info = derives(&cat, &sr, &scd).unwrap().expect("sr ⊑ scd");
+        assert_eq!(info.dim_joins.len(), 1);
+        assert_eq!(info.dim_joins[0].parent_attr, "city");
+        assert_eq!(info.dim_joins[0].dim_attr, "city");
+        assert_eq!(info.dim_joins[0].attrs, vec!["region"]);
+
+        // sR_sales ⊑^stores SiC_sales
+        assert!(derives(&cat, &sr, &sic).unwrap().is_some());
+
+        // SID_sales is the top: nothing above it.
+        assert!(derives(&cat, &sid, &scd).unwrap().is_none());
+        assert!(derives(&cat, &sid, &sr).unwrap().is_none());
+        // sCD and SiC are incomparable.
+        assert!(derives(&cat, &scd, &sic).unwrap().is_none());
+        assert!(derives(&cat, &sic, &scd).unwrap().is_none());
+    }
+
+    #[test]
+    fn min_aggregate_blocks_derivation_without_source() {
+        // SiC_sales computes MIN(date); sCD_sales groups by date, so
+        // SiC ⊑ sCD fails only on group-bys (storeID, category not
+        // available). But a view with MIN(date) grouping by city only is
+        // *not* derivable from sR_sales (no date anywhere).
+        let cat = retail_catalog_small();
+        let sr = aug(&cat, sr_sales());
+        let min_view = aug(
+            &cat,
+            cubedelta_view::SummaryViewDef::builder("m", "pos")
+                .join_dimension("stores")
+                .group_by(["region"])
+                .aggregate(
+                    cubedelta_query::AggFunc::Min(cubedelta_expr::Expr::col("date")),
+                    "first",
+                )
+                .build(),
+        );
+        assert!(derives(&cat, &min_view, &sr).unwrap().is_none());
+    }
+
+    #[test]
+    fn min_over_parent_group_by_reaggregates() {
+        // SiC_sales ⊑ SID_sales: MIN(date) reaggregates since date is a
+        // parent group-by attribute.
+        let cat = retail_catalog_small();
+        let sid = aug(&cat, sid_sales());
+        let sic = aug(&cat, sic_sales());
+        let info = derives(&cat, &sic, &sid).unwrap().unwrap();
+        // Aggregates: TotalCount (CountStar), EarliestSale (Min),
+        // TotalQuantity (Sum), + augmentation.
+        assert!(matches!(info.agg_rewrites[0], AggRewrite::FromParentAgg(_)));
+        assert!(matches!(info.agg_rewrites[1], AggRewrite::Reaggregate));
+        // SUM(qty): the parent computes SUM(qty) too.
+        assert!(matches!(info.agg_rewrites[2], AggRewrite::FromParentAgg(_)));
+    }
+
+    #[test]
+    fn different_where_clause_blocks() {
+        use cubedelta_expr::{CmpOp, Expr, Predicate};
+        let cat = retail_catalog_small();
+        let a = aug(&cat, sid_sales());
+        let filtered = aug(
+            &cat,
+            cubedelta_view::SummaryViewDef::builder("f", "pos")
+                .filter(Predicate::cmp(CmpOp::Gt, Expr::col("qty"), Expr::lit(1i64)))
+                .group_by(["storeID"])
+                .aggregate(cubedelta_query::AggFunc::CountStar, "cnt")
+                .build(),
+        );
+        assert!(derives(&cat, &filtered, &a).unwrap().is_none());
+    }
+
+    #[test]
+    fn self_derivation_holds() {
+        let cat = retail_catalog_small();
+        let sid = aug(&cat, sid_sales());
+        let info = derives(&cat, &sid, &sid).unwrap().expect("v ⊑ v");
+        assert!(info.dim_joins.is_empty());
+        assert!(info
+            .agg_rewrites
+            .iter()
+            .all(|r| matches!(r, AggRewrite::FromParentAgg(_))));
+    }
+
+    #[test]
+    fn shared_dim_join_is_merged() {
+        // A child needing city and region through the same storeID link gets
+        // one DimJoinSpec with both attributes.
+        let cat = retail_catalog_small();
+        let sid = aug(&cat, sid_sales());
+        let ccr = aug(
+            &cat,
+            cubedelta_view::SummaryViewDef::builder("ccr", "pos")
+                .join_dimension("stores")
+                .group_by(["city", "region"])
+                .aggregate(cubedelta_query::AggFunc::CountStar, "cnt")
+                .build(),
+        );
+        let info = derives(&cat, &ccr, &sid).unwrap().unwrap();
+        assert_eq!(info.dim_joins.len(), 1);
+        assert_eq!(
+            info.dim_joins[0].attrs,
+            vec!["city".to_string(), "region".to_string()]
+        );
+    }
+}

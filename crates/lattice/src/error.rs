@@ -1,0 +1,68 @@
+//! Lattice-layer errors.
+
+use std::fmt;
+
+use cubedelta_query::QueryError;
+use cubedelta_storage::StorageError;
+use cubedelta_view::ViewError;
+
+/// Result alias for lattice operations.
+pub type LatticeResult<T> = Result<T, LatticeError>;
+
+/// Errors raised while constructing lattices or derivation plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LatticeError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying query error.
+    Query(QueryError),
+    /// Underlying view error.
+    View(ViewError),
+    /// The lattice construction input is inconsistent (unknown view,
+    /// duplicate names, views over different fact tables, ...).
+    Construction(String),
+}
+
+impl fmt::Display for LatticeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LatticeError::Storage(e) => write!(f, "storage: {e}"),
+            LatticeError::Query(e) => write!(f, "query: {e}"),
+            LatticeError::View(e) => write!(f, "view: {e}"),
+            LatticeError::Construction(m) => write!(f, "lattice: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LatticeError {}
+
+impl From<StorageError> for LatticeError {
+    fn from(e: StorageError) -> Self {
+        LatticeError::Storage(e)
+    }
+}
+
+impl From<QueryError> for LatticeError {
+    fn from(e: QueryError) -> Self {
+        LatticeError::Query(e)
+    }
+}
+
+impl From<ViewError> for LatticeError {
+    fn from(e: ViewError) -> Self {
+        LatticeError::View(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let e: LatticeError = StorageError::UnknownTable("t".into()).into();
+        assert!(matches!(e, LatticeError::Storage(_)));
+        let e: LatticeError = ViewError::Definition("d".into()).into();
+        assert!(e.to_string().contains("d"));
+    }
+}

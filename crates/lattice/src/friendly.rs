@@ -1,0 +1,218 @@
+//! Lattice-friendly view rewriting (§5.2).
+//!
+//! "It is also possible to change the definitions of summary tables slightly
+//! so that the derives relation between them grows larger, and we do not
+//! repeat joins along the lattice paths."
+//!
+//! Two rewrites, applied to a fixpoint:
+//!
+//! 1. **Dimension-attribute widening** — if some other view groups by an
+//!    attribute `g` that a view `v`'s group-by attributes functionally
+//!    determine, add `g` to `v`'s group-by list (grouping is unchanged by
+//!    FDs; §5.2's rationale). This is how `sCD_sales` gains `region` in
+//!    Example 5.3 / Figure 8, letting `sR_sales` derive from it without
+//!    re-joining `stores`.
+//! 2. **Aggregate sharing** — if a view `w` whose group-by attributes are
+//!    all determined by `v`'s computes an aggregate `a(E)` that `v` cannot
+//!    derive, add `a(E)` to `v` (fresh alias), so `w ⊑ v` holds.
+
+use cubedelta_storage::Catalog;
+use cubedelta_view::{AggSpec, SummaryViewDef};
+
+use crate::closure::AttrClosure;
+use crate::error::{LatticeError, LatticeResult};
+
+/// Rewrites a set of view definitions to be lattice-friendly. Returns the
+/// rewritten definitions in the same order. The rewrite is conservative: it
+/// only adds group-by attributes (never changing the grouping, thanks to
+/// FDs) and aggregates other views need.
+pub fn make_lattice_friendly(
+    catalog: &Catalog,
+    defs: &[SummaryViewDef],
+) -> LatticeResult<Vec<SummaryViewDef>> {
+    let mut out: Vec<SummaryViewDef> = defs.to_vec();
+    // Each addition can enable more; iterate to a fixpoint (bounded: the
+    // attribute/aggregate universe is finite).
+    for _round in 0..32 {
+        let mut changed = false;
+
+        for v_idx in 0..out.len() {
+            let closure = {
+                let v = &out[v_idx];
+                AttrClosure::new(catalog, &v.fact_table).closure(v.group_by.iter())
+            };
+
+            for w_idx in 0..out.len() {
+                if w_idx == v_idx || out[w_idx].fact_table != out[v_idx].fact_table {
+                    continue;
+                }
+
+                // Rule 1: widen v's group-by with FD-determined attributes
+                // that w groups by.
+                let missing: Vec<String> = out[w_idx]
+                    .group_by
+                    .iter()
+                    .filter(|g| closure.contains(*g) && !out[v_idx].group_by.contains(g))
+                    .cloned()
+                    .collect();
+                for g in missing {
+                    // Record the owning dimension join if v lacks it.
+                    let fact = out[v_idx].fact_table.clone();
+                    let dim = AttrClosure::new(catalog, &fact)
+                        .owning_dimension(&g)
+                        .map(str::to_string);
+                    if let Some(dim) = dim {
+                        if !out[v_idx].dim_joins.contains(&dim) {
+                            out[v_idx].dim_joins.push(dim);
+                        }
+                    }
+                    out[v_idx].group_by.push(g);
+                    changed = true;
+                }
+
+                // Rule 2: share aggregates downward. Only when w is fully
+                // below v (all of w's group-bys determined by v's).
+                let w_below_v = out[w_idx]
+                    .group_by
+                    .iter()
+                    .all(|g| closure.contains(g));
+                if !w_below_v {
+                    continue;
+                }
+                let w_aggs: Vec<AggSpec> = out[w_idx].aggregates.clone();
+                for spec in w_aggs {
+                    let v = &out[v_idx];
+                    let already = v.aggregates.iter().any(|a| a.func == spec.func);
+                    // Derivable anyway if the source ranges over attributes
+                    // v will have (its group-by closure).
+                    let derivable_by_expr = spec
+                        .func
+                        .input()
+                        .map(|e| e.columns().iter().all(|c| closure.contains(c)))
+                        .unwrap_or(true); // COUNT(*) always derivable
+                    if already || derivable_by_expr {
+                        continue;
+                    }
+                    // Add the aggregate under a fresh alias.
+                    let mut alias = spec.alias.clone();
+                    let mut n = 0;
+                    while out[v_idx].group_by.contains(&alias)
+                        || out[v_idx].aggregates.iter().any(|a| a.alias == alias)
+                    {
+                        n += 1;
+                        alias = format!("{}_{n}", spec.alias);
+                    }
+                    // The source must still resolve in v's joined schema;
+                    // pull in owning dimensions for its columns.
+                    if let Some(e) = spec.func.input() {
+                        let fact = out[v_idx].fact_table.clone();
+                        for c in e.columns() {
+                            let dim = AttrClosure::new(catalog, &fact)
+                                .owning_dimension(&c)
+                                .map(str::to_string);
+                            if let Some(dim) = dim {
+                                if !out[v_idx].dim_joins.contains(&dim) {
+                                    out[v_idx].dim_joins.push(dim);
+                                }
+                            }
+                        }
+                    }
+                    out[v_idx].aggregates.push(AggSpec::new(spec.func, alias));
+                    changed = true;
+                }
+            }
+        }
+
+        if !changed {
+            return Ok(out);
+        }
+    }
+    Err(LatticeError::Construction(
+        "lattice-friendly rewriting did not converge".to_string(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+
+    #[test]
+    fn scd_gains_region_like_figure_8() {
+        let cat = retail_catalog_small();
+        let defs = vec![sid_sales(), scd_sales(), sic_sales(), sr_sales()];
+        let out = make_lattice_friendly(&cat, &defs).unwrap();
+        let scd = &out[1];
+        assert!(
+            scd.group_by.contains(&"region".to_string()),
+            "sCD_sales extended with region (Example 5.3): {:?}",
+            scd.group_by
+        );
+        // SID_sales keeps its original group-by — none of the others' attrs
+        // are determined *and missing*... storeID determines city/region and
+        // itemID determines category, so SID actually widens too; that is
+        // the §5.2 "join all dimension tables at the top-most point" effect.
+        let sid = &out[0];
+        assert!(sid.group_by.contains(&"storeID".to_string()));
+        assert!(sid.group_by.contains(&"city".to_string()));
+        assert!(sid.group_by.contains(&"category".to_string()));
+    }
+
+    #[test]
+    fn widened_lattice_has_fuller_derives() {
+        use crate::vlattice::ViewLattice;
+        use cubedelta_view::augment;
+
+        let cat = retail_catalog_small();
+        let defs = vec![sid_sales(), scd_sales(), sic_sales(), sr_sales()];
+        let out = make_lattice_friendly(&cat, &defs).unwrap();
+        let views = out.iter().map(|d| augment(&cat, d).unwrap()).collect();
+        let lat = ViewLattice::build(&cat, views).unwrap();
+        // After widening, sR still sits below sCD; the edge no longer needs
+        // a dimension join because region is now a sCD group-by column.
+        let scd = 1;
+        let sr = 3;
+        assert!(lat.strictly_below(sr, scd));
+        let render = lat.render();
+        assert!(
+            render.contains("sCD_sales -> sR_sales\n"),
+            "join-free edge expected, got:\n{render}"
+        );
+    }
+
+    #[test]
+    fn aggregate_sharing_enables_derivation() {
+        use cubedelta_expr::Expr;
+        use cubedelta_query::AggFunc;
+
+        // Parent groups by (storeID, itemID) but does not carry SUM(price);
+        // a child view needs SUM(price) and groups by storeID.
+        let cat = retail_catalog_small();
+        let parent = SummaryViewDef::builder("si", "pos")
+            .group_by(["storeID", "itemID"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .build();
+        let child = SummaryViewDef::builder("s_price", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::Sum(Expr::col("price")), "revenue")
+            .build();
+        let out = make_lattice_friendly(&cat, &[parent, child]).unwrap();
+        assert!(
+            out[0]
+                .aggregates
+                .iter()
+                .any(|a| matches!(&a.func, AggFunc::Sum(e) if *e == Expr::col("price"))),
+            "parent gains SUM(price): {:?}",
+            out[0].aggregates
+        );
+    }
+
+    #[test]
+    fn fixpoint_reaches_stability() {
+        let cat = retail_catalog_small();
+        let defs = vec![sid_sales(), scd_sales(), sic_sales(), sr_sales()];
+        let once = make_lattice_friendly(&cat, &defs).unwrap();
+        let twice = make_lattice_friendly(&cat, &once).unwrap();
+        assert_eq!(once, twice, "rewriting is idempotent");
+    }
+}

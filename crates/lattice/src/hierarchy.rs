@@ -1,0 +1,154 @@
+//! Dimension hierarchies as chains of levels (§3.3).
+
+use std::collections::BTreeSet;
+
+use cubedelta_storage::Catalog;
+
+use crate::attr::AttrLattice;
+
+/// A dimension hierarchy: an ordered chain of grouping levels from finest to
+/// coarsest, e.g. `storeID → city → region`.
+///
+/// Each level functionally determines all coarser levels. The hierarchy also
+/// contributes a virtual "none" level (the dimension is aggregated away).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hierarchy {
+    /// A label for the hierarchy (usually the dimension-table name, or the
+    /// fact column for a plain attribute).
+    pub name: String,
+    /// Levels from finest (index 0) to coarsest.
+    pub levels: Vec<String>,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from finest-to-coarsest level names.
+    pub fn new(name: impl Into<String>, levels: &[&str]) -> Self {
+        assert!(!levels.is_empty(), "a hierarchy needs at least one level");
+        Hierarchy {
+            name: name.into(),
+            levels: levels.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// A single-level hierarchy for a plain fact attribute (like `date` in
+    /// the paper's example, which has no declared hierarchy).
+    pub fn flat(attr: &str) -> Self {
+        Hierarchy::new(attr, &[attr])
+    }
+
+    /// Derives a hierarchy from the catalog's declared FDs for a dimension
+    /// table, starting from the dimension key and following single-successor
+    /// FD chains (`storeID → city → region`). Branching FDs (like
+    /// `itemID → {name, category, cost}`) require choosing a path; `prefer`
+    /// picks which dependent to follow at each step (attributes not chosen
+    /// are dropped from the chain).
+    pub fn from_catalog(catalog: &Catalog, dim_table: &str, prefer: &[&str]) -> Option<Self> {
+        let info = catalog.dimension_info(dim_table)?;
+        let mut levels = vec![info.key.clone()];
+        let mut current = info.key.clone();
+        loop {
+            let nexts: Vec<&String> = info
+                .fds
+                .iter()
+                .filter(|fd| fd.determinant == current)
+                .flat_map(|fd| fd.dependents.iter())
+                .collect();
+            let next = match nexts.len() {
+                0 => break,
+                1 => nexts[0].clone(),
+                _ => match nexts.iter().find(|n| prefer.contains(&n.as_str())) {
+                    Some(n) => (*n).clone(),
+                    None => break,
+                },
+            };
+            levels.push(next.clone());
+            current = next;
+        }
+        Some(Hierarchy {
+            name: dim_table.to_string(),
+            levels,
+        })
+    }
+
+    /// Number of levels, excluding the virtual "none".
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The level index of an attribute, if it belongs to this hierarchy.
+    pub fn level_of(&self, attr: &str) -> Option<usize> {
+        self.levels.iter().position(|l| l == attr)
+    }
+
+    /// The lattice of this hierarchy alone: a chain from the finest level
+    /// down to `()` (the "none" choice).
+    pub fn lattice(&self) -> AttrLattice {
+        let mut nodes: Vec<BTreeSet<String>> = self
+            .levels
+            .iter()
+            .map(|l| std::iter::once(l.clone()).collect())
+            .collect();
+        nodes.push(BTreeSet::new());
+        let level_of = |s: &BTreeSet<String>| -> usize {
+            s.iter()
+                .next()
+                .and_then(|a| self.level_of(a))
+                .unwrap_or(self.levels.len())
+        };
+        AttrLattice::build(nodes, move |a, b| level_of(a) >= level_of(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::retail_catalog_small;
+
+    #[test]
+    fn store_hierarchy_chain() {
+        let h = Hierarchy::new("stores", &["storeID", "city", "region"]);
+        assert_eq!(h.depth(), 3);
+        assert_eq!(h.level_of("city"), Some(1));
+        assert_eq!(h.level_of("nope"), None);
+    }
+
+    #[test]
+    fn hierarchy_lattice_is_chain() {
+        let h = Hierarchy::new("stores", &["storeID", "city", "region"]);
+        let lat = h.lattice();
+        assert_eq!(lat.len(), 4); // storeID, city, region, ()
+        assert_eq!(lat.edges().len(), 3);
+        assert_eq!(lat.render(), "(storeID)\n(city)\n(region)\n()\n");
+    }
+
+    #[test]
+    fn flat_hierarchy() {
+        let h = Hierarchy::flat("date");
+        assert_eq!(h.levels, vec!["date"]);
+        assert_eq!(h.lattice().len(), 2);
+    }
+
+    #[test]
+    fn from_catalog_follows_chain() {
+        let cat = retail_catalog_small();
+        let h = Hierarchy::from_catalog(&cat, "stores", &[]).unwrap();
+        assert_eq!(h.levels, vec!["storeID", "city", "region"]);
+    }
+
+    #[test]
+    fn from_catalog_branching_needs_preference() {
+        let cat = retail_catalog_small();
+        // items: itemID → {name, category, cost}; prefer category.
+        let h = Hierarchy::from_catalog(&cat, "items", &["category"]).unwrap();
+        assert_eq!(h.levels, vec!["itemID", "category"]);
+        // Without a preference the chain stops at the key.
+        let h = Hierarchy::from_catalog(&cat, "items", &[]).unwrap();
+        assert_eq!(h.levels, vec!["itemID"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn empty_hierarchy_panics() {
+        Hierarchy::new("x", &[]);
+    }
+}

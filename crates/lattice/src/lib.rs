@@ -1,0 +1,52 @@
+//! # cubedelta-lattice
+//!
+//! Lattices of aggregate views, after §3.2–§3.4 and §5 of the paper.
+//!
+//! * [`cube`] — the data-cube lattice: `2^k` cube views over `k` dimension
+//!   attributes (Figure 4).
+//! * [`hierarchy`] — dimension hierarchies as chains of levels
+//!   (`storeID → city → region`), each yielding a small lattice.
+//! * [`product`] — the direct product of the fact-table lattice with the
+//!   dimension-hierarchy lattices (Figure 5), following \[HRU96].
+//! * [`attr`] — attribute-set lattices with partial materialization (§3.4):
+//!   removing a node rewires its edges.
+//! * [`closure`] — functional-dependency closure of attribute sets across
+//!   the star schema (the engine behind derivability tests).
+//! * [`mod@derives`] — the derives relation `v2 ⊑ v1` between generalized cube
+//!   views (§5.1), superscripted with the dimension tables required.
+//! * [`rewrite`] — edge queries: deriving a child view's contents from a
+//!   parent view's contents (`COUNT → SUM`, `SUM(A) → SUM(A·Y)`, ...).
+//! * [`vlattice`] — the V-lattice over a set of summary tables, with
+//!   cost-based derivation-plan selection (§5.3, §5.5). By Theorem 5.1 the
+//!   D-lattice of summary-delta tables is this same lattice, so the plan
+//!   drives delta propagation too.
+//! * [`friendly`] — lattice-friendly view rewriting (§5.2): adding
+//!   FD-determined dimension attributes so lower views derive without
+//!   re-joins (e.g. `sCD_sales` gains `region`, Figure 8).
+
+pub mod attr;
+pub mod closure;
+pub mod cube;
+pub mod derives;
+pub mod error;
+pub mod friendly;
+pub mod hierarchy;
+pub mod product;
+pub mod rewrite;
+pub mod select;
+pub mod vlattice;
+
+#[cfg(test)]
+pub(crate) mod test_fixtures;
+
+pub use attr::AttrLattice;
+pub use closure::AttrClosure;
+pub use cube::cube_lattice;
+pub use derives::{derives, DerivesInfo};
+pub use error::{LatticeError, LatticeResult};
+pub use friendly::make_lattice_friendly;
+pub use hierarchy::Hierarchy;
+pub use product::combined_lattice;
+pub use rewrite::{build_edge_query, derive_child, EdgeQuery};
+pub use select::{Selection, SelectionProblem};
+pub use vlattice::{DeltaSource, MaintenancePlan, PlanStep, ViewLattice};

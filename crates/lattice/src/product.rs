@@ -1,0 +1,143 @@
+//! Direct product of lattices (§3.3, Figure 5).
+//!
+//! "A direct product of the lattice for the fact table along with the
+//! lattices for the dimension hierarchies yields the desired result
+//! \[HRU96]."
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::attr::AttrLattice;
+use crate::hierarchy::Hierarchy;
+
+/// Builds the combined lattice: one node per combination of levels, one
+/// level chosen per hierarchy (or "none"). A node is derivable from another
+/// iff, in every hierarchy, its chosen level is the same or coarser.
+///
+/// Figure 5 is
+/// `combined_lattice(&[store_hierarchy, item_hierarchy, date_flat])` with
+/// `storeID → city → region` and `itemID → category`: 4 × 3 × 2 = 24 nodes.
+pub fn combined_lattice(hierarchies: &[Hierarchy]) -> AttrLattice {
+    // Level index per attribute per hierarchy; the virtual "none" level is
+    // `depth()` (coarser than everything).
+    let mut attr_level: HashMap<String, (usize, usize)> = HashMap::new();
+    for (h_idx, h) in hierarchies.iter().enumerate() {
+        for (l_idx, attr) in h.levels.iter().enumerate() {
+            let prev = attr_level.insert(attr.clone(), (h_idx, l_idx));
+            assert!(
+                prev.is_none(),
+                "attribute `{attr}` appears in two hierarchies"
+            );
+        }
+    }
+
+    // Enumerate the cartesian product of level choices.
+    let mut nodes: Vec<BTreeSet<String>> = vec![BTreeSet::new()];
+    for h in hierarchies {
+        let mut next = Vec::with_capacity(nodes.len() * (h.depth() + 1));
+        for node in &nodes {
+            for level in 0..=h.depth() {
+                let mut n = node.clone();
+                if level < h.depth() {
+                    n.insert(h.levels[level].clone());
+                }
+                next.push(n);
+            }
+        }
+        nodes = next;
+    }
+
+    let num_h = hierarchies.len();
+    let depths: Vec<usize> = hierarchies.iter().map(Hierarchy::depth).collect();
+    let choice_of = move |node: &BTreeSet<String>, h_idx: usize| -> usize {
+        node.iter()
+            .filter_map(|a| attr_level.get(a))
+            .find(|(h, _)| *h == h_idx)
+            .map(|(_, l)| *l)
+            .unwrap_or(depths[h_idx])
+    };
+    AttrLattice::build(nodes, move |a, b| {
+        (0..num_h).all(|h| choice_of(a, h) >= choice_of(b, h))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn retail_hierarchies() -> Vec<Hierarchy> {
+        vec![
+            Hierarchy::new("stores", &["storeID", "city", "region"]),
+            Hierarchy::new("items", &["itemID", "category"]),
+            Hierarchy::flat("date"),
+        ]
+    }
+
+    #[test]
+    fn figure_5_node_count() {
+        let lat = combined_lattice(&retail_hierarchies());
+        assert_eq!(lat.len(), 4 * 3 * 2, "Figure 5 has 24 nodes");
+    }
+
+    #[test]
+    fn figure_5_top_and_bottom() {
+        let lat = combined_lattice(&retail_hierarchies());
+        let tops = lat.tops();
+        assert_eq!(tops.len(), 1);
+        assert_eq!(
+            lat.nodes()[tops[0]],
+            ["date", "itemID", "storeID"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        );
+        let bottoms = lat.bottoms();
+        assert_eq!(bottoms.len(), 1);
+        assert!(lat.nodes()[bottoms[0]].is_empty());
+    }
+
+    #[test]
+    fn figure_5_key_derivations() {
+        let lat = combined_lattice(&retail_hierarchies());
+        let sid = lat.find(["storeID", "itemID", "date"]).unwrap();
+        let city_item_date = lat.find(["city", "itemID", "date"]).unwrap();
+        let region = lat.find(["region"]).unwrap();
+        let category_date = lat.find(["category", "date"]).unwrap();
+
+        // (city, itemID, date) derives from the top.
+        assert!(lat.derivable(city_item_date, sid));
+        // (region) derives from (city, itemID, date) but not vice versa.
+        assert!(lat.derivable(region, city_item_date));
+        assert!(!lat.derivable(city_item_date, region));
+        // (category, date) does not derive from (region).
+        assert!(!lat.derivable(category_date, region));
+    }
+
+    #[test]
+    fn figure_5_cover_edges_from_top() {
+        let lat = combined_lattice(&retail_hierarchies());
+        let sid = lat.find(["storeID", "itemID", "date"]).unwrap();
+        // Exactly three covering children: coarsen one hierarchy by a step.
+        let mut children: Vec<BTreeSet<String>> = lat
+            .children(sid)
+            .into_iter()
+            .map(|i| lat.nodes()[i].clone())
+            .collect();
+        children.sort();
+        let expect = |attrs: &[&str]| -> BTreeSet<String> {
+            attrs.iter().map(|s| s.to_string()).collect()
+        };
+        let mut expected = vec![
+            expect(&["storeID", "itemID"]),
+            expect(&["storeID", "category", "date"]),
+            expect(&["city", "itemID", "date"]),
+        ];
+        expected.sort();
+        assert_eq!(children, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "two hierarchies")]
+    fn shared_attribute_rejected() {
+        combined_lattice(&[Hierarchy::flat("a"), Hierarchy::flat("a")]);
+    }
+}

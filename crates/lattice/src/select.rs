@@ -1,0 +1,309 @@
+//! Greedy view selection after Harinarayan, Rajaraman & Ullman \[HRU96].
+//!
+//! The paper assumes its summary tables "have been chosen to be
+//! materialized, either by the database administrator, or by using an
+//! algorithm such as \[HRU96]" (§2). This module supplies that algorithm:
+//! given a lattice of candidate views with estimated sizes, greedily pick
+//! the set of views maximizing the *benefit* — the total reduction in the
+//! cost of answering each lattice point from its cheapest materialized
+//! ancestor (linear cost model: answering from a view costs its row count).
+//!
+//! Two budgets are supported: a maximum *number of views* (HRU96's main
+//! setting) and a maximum *total row budget* (its benefit-per-unit-space
+//! variant).
+
+use std::collections::BTreeSet;
+
+use crate::attr::AttrLattice;
+use crate::error::{LatticeError, LatticeResult};
+
+/// A candidate lattice annotated with estimated view sizes (rows).
+pub struct SelectionProblem<'a> {
+    lattice: &'a AttrLattice,
+    sizes: Vec<u64>,
+}
+
+/// The outcome of a greedy selection run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// Indexes (into the lattice's nodes) of the selected views, in pick
+    /// order. Always includes the top view(s): they are the only way to
+    /// answer themselves.
+    pub chosen: Vec<usize>,
+    /// The benefit realized by each pick, parallel to `chosen` (the forced
+    /// top views carry benefit 0).
+    pub benefits: Vec<u64>,
+    /// Total cost of answering every lattice point from its cheapest chosen
+    /// ancestor, after the final pick.
+    pub total_cost: u64,
+}
+
+impl Selection {
+    /// The attribute sets of the chosen views.
+    pub fn chosen_attrs<'a>(&self, lattice: &'a AttrLattice) -> Vec<&'a BTreeSet<String>> {
+        self.chosen.iter().map(|&i| &lattice.nodes()[i]).collect()
+    }
+}
+
+impl<'a> SelectionProblem<'a> {
+    /// Builds a selection problem. `sizes[i]` estimates the row count of
+    /// lattice node `i`; it must be monotone along derivability for the
+    /// greedy guarantees to hold (ancestors at least as large), but the
+    /// algorithm itself tolerates any positive sizes.
+    pub fn new(lattice: &'a AttrLattice, sizes: Vec<u64>) -> LatticeResult<Self> {
+        if sizes.len() != lattice.len() {
+            return Err(LatticeError::Construction(format!(
+                "{} sizes for {} lattice nodes",
+                sizes.len(),
+                lattice.len()
+            )));
+        }
+        if sizes.contains(&0) {
+            return Err(LatticeError::Construction(
+                "view size estimates must be positive".to_string(),
+            ));
+        }
+        Ok(SelectionProblem { lattice, sizes })
+    }
+
+    /// Cost of answering node `q` given the chosen set: the size of its
+    /// smallest chosen ancestor (or itself, if chosen). `u64::MAX` if
+    /// unanswerable (no chosen ancestor — cannot happen once tops are in).
+    fn answer_cost(&self, q: usize, chosen: &[bool]) -> u64 {
+        let mut best = u64::MAX;
+        for (v, &is_chosen) in chosen.iter().enumerate() {
+            if is_chosen && self.lattice.derivable(q, v) {
+                best = best.min(self.sizes[v]);
+            }
+        }
+        best
+    }
+
+    fn total_cost(&self, chosen: &[bool]) -> u64 {
+        (0..self.lattice.len())
+            .map(|q| self.answer_cost(q, chosen))
+            .fold(0u64, |a, b| a.saturating_add(b))
+    }
+
+    /// HRU96 greedy selection of at most `k` views *beyond* the forced top
+    /// views. Stops early when no candidate adds benefit.
+    pub fn select_k(&self, k: usize) -> Selection {
+        self.run(|_, picks| picks < k)
+    }
+
+    /// Greedy selection under a total row budget (benefit per unit space):
+    /// repeatedly picks the candidate with the best benefit/size ratio that
+    /// still fits the remaining budget. The forced top views count against
+    /// the budget first.
+    pub fn select_budget(&self, row_budget: u64) -> Selection {
+        let n = self.lattice.len();
+        let mut chosen = vec![false; n];
+        let mut sel = Selection {
+            chosen: Vec::new(),
+            benefits: Vec::new(),
+            total_cost: 0,
+        };
+        let mut spent: u64 = 0;
+        for t in self.lattice.tops() {
+            chosen[t] = true;
+            spent = spent.saturating_add(self.sizes[t]);
+            sel.chosen.push(t);
+            sel.benefits.push(0);
+        }
+        let mut cost = self.total_cost(&chosen);
+        loop {
+            let mut best: Option<(u64, u64, usize)> = None; // (ratio, benefit, cand)
+            for cand in 0..n {
+                if chosen[cand] || spent.saturating_add(self.sizes[cand]) > row_budget {
+                    continue;
+                }
+                chosen[cand] = true;
+                let new_cost = self.total_cost(&chosen);
+                chosen[cand] = false;
+                let benefit = cost.saturating_sub(new_cost);
+                if benefit == 0 {
+                    continue;
+                }
+                let ratio = benefit / self.sizes[cand].max(1);
+                if best.map(|(r, _, _)| ratio > r).unwrap_or(true) {
+                    best = Some((ratio, benefit, cand));
+                }
+            }
+            let Some((_, benefit, cand)) = best else { break };
+            chosen[cand] = true;
+            cost -= benefit;
+            spent = spent.saturating_add(self.sizes[cand]);
+            sel.chosen.push(cand);
+            sel.benefits.push(benefit);
+        }
+        sel.total_cost = cost;
+        sel
+    }
+
+    fn run<F>(&self, mut keep_going: F) -> Selection
+    where
+        F: FnMut(&Selection, usize) -> bool,
+    {
+        let n = self.lattice.len();
+        let mut chosen = vec![false; n];
+        let mut sel = Selection {
+            chosen: Vec::new(),
+            benefits: Vec::new(),
+            total_cost: 0,
+        };
+        for t in self.lattice.tops() {
+            chosen[t] = true;
+            sel.chosen.push(t);
+            sel.benefits.push(0);
+        }
+        let mut cost = self.total_cost(&chosen);
+        let mut picks = 0;
+        loop {
+            if !keep_going(&sel, picks) {
+                break;
+            }
+            let mut best: Option<(u64, usize)> = None;
+            for cand in 0..n {
+                if chosen[cand] {
+                    continue;
+                }
+                chosen[cand] = true;
+                let new_cost = self.total_cost(&chosen);
+                chosen[cand] = false;
+                let benefit = cost.saturating_sub(new_cost);
+                if benefit > 0 && best.map(|(b, _)| benefit > b).unwrap_or(true) {
+                    best = Some((benefit, cand));
+                }
+            }
+            let Some((benefit, cand)) = best else { break };
+            chosen[cand] = true;
+            cost -= benefit;
+            sel.chosen.push(cand);
+            sel.benefits.push(benefit);
+            picks += 1;
+        }
+        sel.total_cost = cost;
+        sel
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cube::cube_lattice;
+    use crate::hierarchy::Hierarchy;
+    use crate::product::combined_lattice;
+
+    /// The worked example from HRU96 §3 (their Figure: 8-view lattice with
+    /// sizes in millions of rows).
+    fn hru_example() -> (AttrLattice, Vec<u64>) {
+        let lat = cube_lattice(&["p", "s", "c"]);
+        // Sizes keyed by attribute set; HRU96's example values:
+        // psc=6M, pc=6M, ps=0.8M, sc=6M, p=0.2M, s=0.01M, c=0.1M, ()=1.
+        let size_of = |attrs: &BTreeSet<String>| -> u64 {
+            let key: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            match key.join("") {
+                k if k == "cps" => 6_000_000,
+                k if k == "cp" => 6_000_000,
+                k if k == "ps" => 800_000,
+                k if k == "cs" => 6_000_000,
+                k if k == "p" => 200_000,
+                k if k == "s" => 10_000,
+                k if k == "c" => 100_000,
+                _ => 1,
+            }
+        };
+        let sizes = lat.nodes().iter().map(size_of).collect();
+        (lat, sizes)
+    }
+
+    #[test]
+    fn hru_example_first_pick_is_ps() {
+        // HRU96: the first greedy pick is (p, s) with benefit 2.8M.
+        let (lat, sizes) = hru_example();
+        let prob = SelectionProblem::new(&lat, sizes).unwrap();
+        let sel = prob.select_k(1);
+        // chosen = [top, ps]
+        assert_eq!(sel.chosen.len(), 2);
+        let picked = &lat.nodes()[sel.chosen[1]];
+        let attrs: Vec<&str> = picked.iter().map(String::as_str).collect();
+        assert_eq!(attrs, vec!["p", "s"]);
+        // (ps) improves ps, p, s, () from 6M to 0.8M each: 4 × 5.2M.
+        assert_eq!(sel.benefits[1], 4 * 5_200_000);
+    }
+
+    #[test]
+    fn greedy_benefits_are_monotone_nonincreasing_here() {
+        let (lat, sizes) = hru_example();
+        let prob = SelectionProblem::new(&lat, sizes).unwrap();
+        let sel = prob.select_k(5);
+        for w in sel.benefits[1..].windows(2) {
+            assert!(w[0] >= w[1], "greedy benefits increased: {:?}", sel.benefits);
+        }
+    }
+
+    #[test]
+    fn selecting_everything_reaches_minimum_cost() {
+        let (lat, sizes) = hru_example();
+        let min_cost: u64 = sizes.iter().sum();
+        let prob = SelectionProblem::new(&lat, sizes).unwrap();
+        let sel = prob.select_k(usize::MAX);
+        assert_eq!(sel.total_cost, min_cost, "every view answered by itself");
+    }
+
+    #[test]
+    fn budget_selection_respects_budget() {
+        let (lat, sizes) = hru_example();
+        let prob = SelectionProblem::new(&lat, sizes.clone()).unwrap();
+        let budget = 7_000_000; // top (6M) + ~1M of extras
+        let sel = prob.select_budget(budget);
+        let spent: u64 = sel.chosen.iter().map(|&i| sizes[i]).sum();
+        assert!(spent <= budget, "spent {spent} > budget {budget}");
+        assert!(sel.chosen.len() >= 2, "budget admits at least one extra");
+    }
+
+    #[test]
+    fn retail_combined_lattice_selection() {
+        // Select 3 extra views over the Figure-5 lattice with plausible
+        // sizes (coarser views smaller).
+        let lat = combined_lattice(&[
+            Hierarchy::new("stores", &["storeID", "city", "region"]),
+            Hierarchy::new("items", &["itemID", "category"]),
+            Hierarchy::flat("date"),
+        ]);
+        let sizes: Vec<u64> = lat
+            .nodes()
+            .iter()
+            .map(|attrs| {
+                let mut s: u64 = 1;
+                for a in attrs {
+                    s = s.saturating_mul(match a.as_str() {
+                        "storeID" => 300,
+                        "city" => 60,
+                        "region" => 8,
+                        "itemID" => 3000,
+                        "category" => 50,
+                        "date" => 365,
+                        _ => 1,
+                    });
+                }
+                s.min(500_000) // capped by the fact table
+            })
+            .collect();
+        let prob = SelectionProblem::new(&lat, sizes).unwrap();
+        let sel = prob.select_k(3);
+        assert_eq!(sel.chosen.len(), 4, "top + 3 picks");
+        assert!(sel.benefits[1] > 0);
+        // Cost never increases as picks accumulate.
+        assert!(sel.total_cost < 24 * 500_000);
+    }
+
+    #[test]
+    fn size_validation() {
+        let lat = cube_lattice(&["a"]);
+        assert!(SelectionProblem::new(&lat, vec![1]).is_err());
+        assert!(SelectionProblem::new(&lat, vec![0, 1]).is_err());
+        assert!(SelectionProblem::new(&lat, vec![5, 1]).is_ok());
+    }
+}

@@ -1,0 +1,58 @@
+//! In-crate test fixtures: re-exports the miniature retail warehouse from
+//! `cubedelta-workload` plus the paper's four Figure-1 views.
+
+pub use cubedelta_workload::retail_catalog_small;
+
+use cubedelta_expr::Expr;
+use cubedelta_query::AggFunc;
+use cubedelta_storage::Catalog;
+use cubedelta_view::{augment, AugmentedView, SummaryViewDef};
+
+/// `SID_sales(storeID, itemID, date, TotalCount, TotalQuantity)` (Figure 1).
+pub fn sid_sales() -> SummaryViewDef {
+    SummaryViewDef::builder("SID_sales", "pos")
+        .group_by(["storeID", "itemID", "date"])
+        .aggregate(AggFunc::CountStar, "TotalCount")
+        .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+        .build()
+}
+
+/// `sCD_sales(city, date, TotalCount, TotalQuantity)` (Figure 1).
+pub fn scd_sales() -> SummaryViewDef {
+    SummaryViewDef::builder("sCD_sales", "pos")
+        .join_dimension("stores")
+        .group_by(["city", "date"])
+        .aggregate(AggFunc::CountStar, "TotalCount")
+        .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+        .build()
+}
+
+/// `SiC_sales(storeID, category, TotalCount, EarliestSale, TotalQuantity)`
+/// (Figure 1).
+pub fn sic_sales() -> SummaryViewDef {
+    SummaryViewDef::builder("SiC_sales", "pos")
+        .join_dimension("items")
+        .group_by(["storeID", "category"])
+        .aggregate(AggFunc::CountStar, "TotalCount")
+        .aggregate(AggFunc::Min(Expr::col("date")), "EarliestSale")
+        .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+        .build()
+}
+
+/// `sR_sales(region, TotalCount, TotalQuantity)` (Figure 1).
+pub fn sr_sales() -> SummaryViewDef {
+    SummaryViewDef::builder("sR_sales", "pos")
+        .join_dimension("stores")
+        .group_by(["region"])
+        .aggregate(AggFunc::CountStar, "TotalCount")
+        .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+        .build()
+}
+
+/// All four Figure-1 views, augmented against the catalog.
+pub fn figure1_views(catalog: &Catalog) -> Vec<AugmentedView> {
+    [sid_sales(), scd_sales(), sic_sales(), sr_sales()]
+        .iter()
+        .map(|d| augment(catalog, d).unwrap())
+        .collect()
+}

@@ -1,0 +1,599 @@
+//! The V-lattice of summary tables and derivation-plan selection (§5).
+//!
+//! A set of (augmented) generalized cube views is arranged into a
+//! partially-materialized lattice using the derives relation. By
+//! **Theorem 5.1** the D-lattice of summary-delta tables is identical to the
+//! V-lattice modulo table renaming, so the same structure plans both
+//! rematerialization cascades and delta propagation.
+//!
+//! Parent selection (§5.5) maps to the multi-aggregate computation problem
+//! of [AAD+96, SAG96]; we use their greedy flavour: derive each view from
+//! the candidate ancestor with the smallest estimated size, tie-breaking on
+//! the number of dimension joins the edge needs (join annotations included
+//! in the cost, as §5.5 prescribes).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use cubedelta_storage::Catalog;
+use cubedelta_view::AugmentedView;
+
+use crate::derives::{derives, DerivesInfo};
+use crate::error::{LatticeError, LatticeResult};
+use crate::rewrite::{build_edge_query, EdgeQuery};
+
+/// Where a view's summary-delta (or recomputed contents) comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaSource {
+    /// Computed directly from the base-table change set (lattice roots, or
+    /// every view in the "without lattice" baseline).
+    Direct,
+    /// Computed from an ancestor's summary-delta via an edge query.
+    FromParent(EdgeQuery),
+}
+
+/// One step of a maintenance plan. Steps are topologically ordered: a
+/// `FromParent` step always appears after its parent's step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStep {
+    /// The view this step computes a summary-delta for.
+    pub view: String,
+    /// Where the delta comes from.
+    pub source: DeltaSource,
+}
+
+/// A topologically-ordered propagation plan over the D-lattice.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MaintenancePlan {
+    /// The ordered steps.
+    pub steps: Vec<PlanStep>,
+}
+
+impl MaintenancePlan {
+    /// Number of steps (= number of views).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True iff the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The step for a view, if present.
+    pub fn step(&self, view: &str) -> Option<&PlanStep> {
+        self.steps.iter().find(|s| s.view == view)
+    }
+}
+
+impl fmt::Display for MaintenancePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.steps {
+            match &s.source {
+                DeltaSource::Direct => writeln!(f, "{} <- changes", s.view)?,
+                DeltaSource::FromParent(eq) => {
+                    let dims: Vec<&str> =
+                        eq.dim_joins.iter().map(|d| d.dim_table.as_str()).collect();
+                    if dims.is_empty() {
+                        writeln!(f, "{} <- {}", s.view, eq.parent)?
+                    } else {
+                        writeln!(f, "{} <- {} [join {}]", s.view, eq.parent, dims.join(", "))?
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The V-lattice over a set of summary tables.
+#[derive(Clone)]
+pub struct ViewLattice {
+    views: Vec<AugmentedView>,
+    by_name: HashMap<String, usize>,
+    /// `strict[c][p]`: view `c` is strictly below view `p` (derivable from
+    /// it, with mutual derivability broken by name so the relation is a
+    /// DAG). Holds the derivation evidence.
+    strict: Vec<Vec<Option<DerivesInfo>>>,
+    /// Covering edges `(parent, child)` of the strict order.
+    edges: Vec<(usize, usize)>,
+}
+
+impl ViewLattice {
+    /// Builds the V-lattice. View names must be unique.
+    pub fn build(catalog: &Catalog, views: Vec<AugmentedView>) -> LatticeResult<Self> {
+        let n = views.len();
+        let mut by_name = HashMap::with_capacity(n);
+        for (i, v) in views.iter().enumerate() {
+            if by_name.insert(v.def.name.clone(), i).is_some() {
+                return Err(LatticeError::Construction(format!(
+                    "duplicate view name `{}`",
+                    v.def.name
+                )));
+            }
+        }
+
+        // Raw derivability, then strictify.
+        let mut raw: Vec<Vec<Option<DerivesInfo>>> = vec![vec![None; n]; n];
+        for c in 0..n {
+            for p in 0..n {
+                if c != p {
+                    raw[c][p] = derives(catalog, &views[c], &views[p])?;
+                }
+            }
+        }
+        let mut strict: Vec<Vec<Option<DerivesInfo>>> = vec![vec![None; n]; n];
+        for c in 0..n {
+            for p in 0..n {
+                if raw[c][p].is_none() {
+                    continue;
+                }
+                let mutual = raw[p][c].is_some();
+                // Mutually-derivable views are ordered by name for a
+                // deterministic DAG.
+                if !mutual || views[p].def.name < views[c].def.name {
+                    strict[c][p] = raw[c][p].clone();
+                }
+            }
+        }
+
+        // Covering edges: strict pairs with no strict intermediate.
+        let mut edges = Vec::new();
+        for c in 0..n {
+            for p in 0..n {
+                if strict[c][p].is_none() {
+                    continue;
+                }
+                let covered = (0..n).any(|m| {
+                    m != c && m != p && strict[c][m].is_some() && strict[m][p].is_some()
+                });
+                if !covered {
+                    edges.push((p, c));
+                }
+            }
+        }
+        edges.sort_unstable();
+
+        Ok(ViewLattice {
+            views,
+            by_name,
+            strict,
+            edges,
+        })
+    }
+
+    /// The views, in construction order.
+    pub fn views(&self) -> &[AugmentedView] {
+        &self.views
+    }
+
+    /// Look up a view by name.
+    pub fn view(&self, name: &str) -> Option<&AugmentedView> {
+        self.by_name.get(name).map(|&i| &self.views[i])
+    }
+
+    /// Covering edges as `(parent, child)` index pairs.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// True iff `child` is strictly derivable from `parent` (by index).
+    pub fn strictly_below(&self, child: usize, parent: usize) -> bool {
+        self.strict[child][parent].is_some()
+    }
+
+    /// Indexes of views with no parents (lattice tops).
+    pub fn tops(&self) -> Vec<usize> {
+        (0..self.views.len())
+            .filter(|&c| (0..self.views.len()).all(|p| self.strict[c][p].is_none()))
+            .collect()
+    }
+
+    /// A topological order: every view appears after all its ancestors.
+    pub fn topo_order(&self) -> Vec<usize> {
+        let n = self.views.len();
+        let mut remaining: Vec<usize> = (0..n).collect();
+        let mut placed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        while !remaining.is_empty() {
+            let before = order.len();
+            remaining.retain(|&c| {
+                let ready = (0..n).all(|p| self.strict[c][p].is_none() || placed[p]);
+                if ready {
+                    order.push(c);
+                }
+                !ready
+            });
+            for &i in &order[before..] {
+                placed[i] = true;
+            }
+            assert!(
+                order.len() > before,
+                "strict derives relation contains a cycle"
+            );
+        }
+        order
+    }
+
+    /// Chooses a propagation plan (§5.5): for each view, derive from the
+    /// candidate strict ancestor minimizing `(estimated size, number of
+    /// dimension joins, name)`; views with no ancestor compute directly from
+    /// the change set. `estimated_size` is typically the current summary
+    /// table's row count — the best available stand-in for its delta's size.
+    pub fn choose_plan<F>(
+        &self,
+        catalog: &Catalog,
+        estimated_size: F,
+    ) -> LatticeResult<MaintenancePlan>
+    where
+        F: Fn(&str) -> usize,
+    {
+        let mut steps = Vec::with_capacity(self.views.len());
+        for &c in &self.topo_order() {
+            let child = &self.views[c];
+            let mut best: Option<(usize, usize, &str, usize)> = None; // (size, joins, name, idx)
+            for p in 0..self.views.len() {
+                if let Some(info) = &self.strict[c][p] {
+                    let cand = (
+                        estimated_size(&self.views[p].def.name),
+                        info.dim_joins.len(),
+                        self.views[p].def.name.as_str(),
+                        p,
+                    );
+                    if best.map(|b| (cand.0, cand.1, cand.2) < (b.0, b.1, b.2)).unwrap_or(true) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            let source = match best {
+                None => DeltaSource::Direct,
+                Some((_, _, _, p)) => {
+                    let info = self.strict[c][p].as_ref().expect("candidate has info");
+                    DeltaSource::FromParent(build_edge_query(
+                        catalog,
+                        &self.views[p],
+                        child,
+                        info,
+                    )?)
+                }
+            };
+            steps.push(PlanStep {
+                view: child.def.name.clone(),
+                source,
+            });
+        }
+        Ok(MaintenancePlan { steps })
+    }
+
+    /// Cost-based plan selection with the change set in the model (§5.5
+    /// maps this to \[AAD+96, SAG96] and says to include "the join cost
+    /// estimate in the cost of the derivation"). The summary-delta of a
+    /// view holds at most `min(|view|, |changes|)` rows, and every
+    /// derivation pays one pass over its input times one unit per joined
+    /// dimension table; a view computes directly from the changes whenever
+    /// that is cheaper than every ancestor-delta derivation.
+    pub fn choose_plan_costed<F>(
+        &self,
+        catalog: &Catalog,
+        estimated_size: F,
+        batch_rows: usize,
+    ) -> LatticeResult<MaintenancePlan>
+    where
+        F: Fn(&str) -> usize,
+    {
+        let mut steps = Vec::with_capacity(self.views.len());
+        for &c in &self.topo_order() {
+            let child = &self.views[c];
+            let direct_cost =
+                batch_rows.saturating_mul(1 + child.def.dim_joins.len());
+            let mut best: Option<(usize, usize, &str, usize)> = None; // (cost, joins, name, idx)
+            for p in 0..self.views.len() {
+                if let Some(info) = &self.strict[c][p] {
+                    let delta_rows =
+                        estimated_size(&self.views[p].def.name).min(batch_rows);
+                    let cost = delta_rows.saturating_mul(1 + info.dim_joins.len());
+                    let cand = (
+                        cost,
+                        info.dim_joins.len(),
+                        self.views[p].def.name.as_str(),
+                        p,
+                    );
+                    if best
+                        .map(|b| (cand.0, cand.1, cand.2) < (b.0, b.1, b.2))
+                        .unwrap_or(true)
+                    {
+                        best = Some(cand);
+                    }
+                }
+            }
+            let source = match best {
+                Some((cost, _, _, p)) if cost <= direct_cost => {
+                    let info = self.strict[c][p].as_ref().expect("candidate has info");
+                    DeltaSource::FromParent(build_edge_query(
+                        catalog,
+                        &self.views[p],
+                        child,
+                        info,
+                    )?)
+                }
+                _ => DeltaSource::Direct,
+            };
+            steps.push(PlanStep {
+                view: child.def.name.clone(),
+                source,
+            });
+        }
+        Ok(MaintenancePlan { steps })
+    }
+
+    /// The trivial plan computing every summary-delta directly from the
+    /// change set — the "propagate without lattice" baseline of Figure 9.
+    pub fn direct_plan(&self) -> MaintenancePlan {
+        MaintenancePlan {
+            steps: self
+                .views
+                .iter()
+                .map(|v| PlanStep {
+                    view: v.def.name.clone(),
+                    source: DeltaSource::Direct,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the lattice level by level with its covering edges — the
+    /// textual analogue of Figure 8.
+    pub fn render(&self) -> String {
+        let n = self.views.len();
+        // Longest path from a top.
+        let mut depth = vec![0usize; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(p, c) in &self.edges {
+                if depth[c] < depth[p] + 1 {
+                    depth[c] = depth[p] + 1;
+                    changed = true;
+                }
+            }
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut out = String::new();
+        for d in 0..=max_depth {
+            let mut labels: Vec<String> = (0..n)
+                .filter(|&i| depth[i] == d)
+                .map(|i| {
+                    let v = &self.views[i];
+                    format!("{}({})", v.def.name, v.def.group_by.join(","))
+                })
+                .collect();
+            labels.sort();
+            out.push_str(&labels.join("  "));
+            out.push('\n');
+        }
+        for &(p, c) in &self.edges {
+            let dims: Vec<&str> = self.strict[c][p]
+                .as_ref()
+                .map(|i| i.dim_joins.iter().map(|d| d.dim_table.as_str()).collect())
+                .unwrap_or_default();
+            if dims.is_empty() {
+                out.push_str(&format!(
+                    "{} -> {}\n",
+                    self.views[p].def.name, self.views[c].def.name
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{} -> {} [join {}]\n",
+                    self.views[p].def.name,
+                    self.views[c].def.name,
+                    dims.join(", ")
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+
+    fn lattice() -> (Catalog, ViewLattice) {
+        let cat = retail_catalog_small();
+        let views = figure1_views(&cat);
+        let lat = ViewLattice::build(&cat, views).unwrap();
+        (cat, lat)
+    }
+
+    #[test]
+    fn figure_1_views_form_expected_lattice() {
+        let (_, lat) = lattice();
+        // SID_sales is the single top; sR_sales the single bottom.
+        let tops = lat.tops();
+        assert_eq!(tops.len(), 1);
+        assert_eq!(lat.views()[tops[0]].def.name, "SID_sales");
+
+        let sid = 0;
+        let scd = 1;
+        let sic = 2;
+        let sr = 3;
+        assert!(lat.strictly_below(scd, sid));
+        assert!(lat.strictly_below(sic, sid));
+        assert!(lat.strictly_below(sr, sid));
+        assert!(lat.strictly_below(sr, scd));
+        assert!(lat.strictly_below(sr, sic));
+        assert!(!lat.strictly_below(sid, sr));
+        assert!(!lat.strictly_below(scd, sic));
+
+        // Covering edges: SID→sCD, SID→SiC, sCD→sR, SiC→sR (no direct
+        // SID→sR since intermediates exist).
+        let edges: Vec<(String, String)> = lat
+            .edges()
+            .iter()
+            .map(|&(p, c)| {
+                (
+                    lat.views()[p].def.name.clone(),
+                    lat.views()[c].def.name.clone(),
+                )
+            })
+            .collect();
+        assert!(edges.contains(&("SID_sales".into(), "sCD_sales".into())));
+        assert!(edges.contains(&("SID_sales".into(), "SiC_sales".into())));
+        assert!(edges.contains(&("sCD_sales".into(), "sR_sales".into())));
+        assert!(edges.contains(&("SiC_sales".into(), "sR_sales".into())));
+        assert!(!edges.contains(&("SID_sales".into(), "sR_sales".into())));
+    }
+
+    #[test]
+    fn topo_order_puts_ancestors_first() {
+        let (_, lat) = lattice();
+        let order = lat.topo_order();
+        let pos = |name: &str| {
+            order
+                .iter()
+                .position(|&i| lat.views()[i].def.name == name)
+                .unwrap()
+        };
+        assert!(pos("SID_sales") < pos("sCD_sales"));
+        assert!(pos("SID_sales") < pos("SiC_sales"));
+        assert!(pos("sCD_sales") < pos("sR_sales"));
+        assert!(pos("SiC_sales") < pos("sR_sales"));
+    }
+
+    #[test]
+    fn plan_prefers_small_parents() {
+        let (cat, lat) = lattice();
+        // Pretend sCD_sales is much smaller than SiC_sales and SID_sales.
+        let sizes = |name: &str| match name {
+            "SID_sales" => 1000,
+            "sCD_sales" => 10,
+            "SiC_sales" => 500,
+            _ => 0,
+        };
+        let plan = lat.choose_plan(&cat, sizes).unwrap();
+        assert_eq!(plan.len(), 4);
+        // SID is a root.
+        assert_eq!(plan.step("SID_sales").unwrap().source, DeltaSource::Direct);
+        // sR derives from the smallest ancestor, sCD.
+        match &plan.step("sR_sales").unwrap().source {
+            DeltaSource::FromParent(eq) => assert_eq!(eq.parent, "sCD_sales"),
+            other => panic!("expected FromParent, got {other:?}"),
+        }
+        // Steps are topologically ordered.
+        let idx = |v: &str| plan.steps.iter().position(|s| s.view == v).unwrap();
+        assert!(idx("sCD_sales") < idx("sR_sales"));
+    }
+
+    #[test]
+    fn costed_plan_prefers_cheap_parent_deltas() {
+        let (cat, lat) = lattice();
+        // Parents far smaller than the batch: derive through the lattice.
+        let sizes = |name: &str| match name {
+            "SID_sales" => 50,
+            "sCD_sales" => 10,
+            "SiC_sales" => 20,
+            _ => 5,
+        };
+        let plan = lat.choose_plan_costed(&cat, sizes, 10_000).unwrap();
+        let from_parent = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s.source, DeltaSource::FromParent(_)))
+            .count();
+        assert_eq!(from_parent, 3);
+        // sR derives from sCD: delta ≤ 10 rows, 1 join → cost 20, beating
+        // SiC (cost 40) and Direct (10k × 2).
+        match &plan.step("sR_sales").unwrap().source {
+            DeltaSource::FromParent(eq) => assert_eq!(eq.parent, "sCD_sales"),
+            other => panic!("expected FromParent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn costed_plan_falls_back_to_direct_for_tiny_batches() {
+        let (cat, lat) = lattice();
+        // Parents enormous, batch a single row: the edge pays
+        // min(size, 1)·(1+joins) = 1·2 for sCD from SID, while Direct pays
+        // 1·(1 + 1 dim) = 2 — tie goes to the parent. Make the edge pricier
+        // than Direct by checking SiC (1 join either way) stays FromParent
+        // but a view whose direct cost is 1 (no dims) picks whichever is
+        // ≤. Here: SID itself has no ancestors → Direct.
+        let plan = lat
+            .choose_plan_costed(&cat, |_| usize::MAX, 1)
+            .unwrap();
+        assert_eq!(plan.step("SID_sales").unwrap().source, DeltaSource::Direct);
+        // Every step still valid and topologically ordered.
+        let mut seen = std::collections::HashSet::new();
+        for s in &plan.steps {
+            if let DeltaSource::FromParent(eq) = &s.source {
+                assert!(seen.contains(eq.parent.as_str()));
+            }
+            seen.insert(s.view.as_str());
+        }
+    }
+
+    #[test]
+    fn direct_plan_has_no_parents() {
+        let (_, lat) = lattice();
+        let plan = lat.direct_plan();
+        assert!(plan
+            .steps
+            .iter()
+            .all(|s| s.source == DeltaSource::Direct));
+    }
+
+    #[test]
+    fn duplicate_view_names_rejected() {
+        let cat = retail_catalog_small();
+        let views = vec![
+            figure1_views(&cat)[0].clone(),
+            figure1_views(&cat)[0].clone(),
+        ];
+        assert!(matches!(
+            ViewLattice::build(&cat, views),
+            Err(LatticeError::Construction(_))
+        ));
+    }
+
+    #[test]
+    fn render_mentions_join_annotations() {
+        let (_, lat) = lattice();
+        let render = lat.render();
+        assert!(render.contains("SID_sales -> SiC_sales [join items]"));
+        assert!(render.contains("SID_sales -> sCD_sales [join stores]"));
+        // sCD→sR needs the functional stores join (region from city).
+        assert!(render.contains("sCD_sales -> sR_sales [join stores]"));
+    }
+
+    #[test]
+    fn mutually_derivable_views_break_by_name() {
+        // Two views with identical group-bys and aggregates are mutually
+        // derivable; the name order decides parenthood deterministically.
+        let cat = retail_catalog_small();
+        let a = cubedelta_view::augment(
+            &cat,
+            &cubedelta_view::SummaryViewDef::builder("alpha", "pos")
+                .group_by(["storeID"])
+                .aggregate(cubedelta_query::AggFunc::CountStar, "cnt")
+                .build(),
+        )
+        .unwrap();
+        let b = cubedelta_view::augment(
+            &cat,
+            &cubedelta_view::SummaryViewDef::builder("beta", "pos")
+                .group_by(["storeID"])
+                .aggregate(cubedelta_query::AggFunc::CountStar, "cnt")
+                .build(),
+        )
+        .unwrap();
+        let lat = ViewLattice::build(&cat, vec![b, a]).unwrap();
+        // alpha < beta, so beta is strictly below alpha.
+        let beta = 0;
+        let alpha = 1;
+        assert!(lat.strictly_below(beta, alpha));
+        assert!(!lat.strictly_below(alpha, beta));
+        let order = lat.topo_order();
+        assert_eq!(order, vec![alpha, beta]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests for the lattice machinery: the derives relation is
+//! transitive, edge derivation agrees with direct materialization for
+//! random view pairs, and partial materialization preserves reachability.
+
+use std::collections::BTreeSet;
+
+use cubedelta_expr::Expr;
+use cubedelta_lattice::{build_edge_query, derive_child, derives, AttrLattice};
+use cubedelta_query::AggFunc;
+use cubedelta_storage::Catalog;
+use cubedelta_view::{augment, materialize, AugmentedView, SummaryViewDef};
+use cubedelta_workload::retail_catalog_small;
+use proptest::prelude::*;
+
+/// All attributes a retail view may group by, with their owning dimension.
+const ATTRS: &[(&str, Option<&str>)] = &[
+    ("storeID", None),
+    ("itemID", None),
+    ("date", None),
+    ("city", Some("stores")),
+    ("region", Some("stores")),
+    ("category", Some("items")),
+];
+
+fn agg_pool() -> Vec<(AggFunc, &'static str)> {
+    vec![
+        (AggFunc::CountStar, "cnt"),
+        (AggFunc::Sum(Expr::col("qty")), "total_qty"),
+        (AggFunc::Min(Expr::col("date")), "first_sale"),
+        (AggFunc::Max(Expr::col("qty")), "max_qty"),
+        (AggFunc::Count(Expr::col("qty")), "qty_count"),
+    ]
+}
+
+/// Strategy: a random generalized cube view over the retail schema.
+fn view_def(tag: &'static str) -> impl Strategy<Value = SummaryViewDef> {
+    (
+        proptest::collection::vec(0usize..ATTRS.len(), 0..4),
+        proptest::collection::vec(0usize..5, 1..4),
+        0u32..1000,
+    )
+        .prop_map(move |(attr_picks, agg_picks, salt)| {
+            let mut group: Vec<&str> = Vec::new();
+            let mut dims: BTreeSet<&str> = BTreeSet::new();
+            for &i in &attr_picks {
+                let (attr, dim) = ATTRS[i];
+                if !group.contains(&attr) {
+                    group.push(attr);
+                    if let Some(d) = dim {
+                        dims.insert(d);
+                    }
+                }
+            }
+            let mut b = SummaryViewDef::builder(format!("{tag}_{salt}"), "pos");
+            for d in dims {
+                b = b.join_dimension(d);
+            }
+            b = b.group_by(group);
+            let pool = agg_pool();
+            let mut used = BTreeSet::new();
+            for &i in &agg_picks {
+                let (f, alias) = &pool[i % pool.len()];
+                if used.insert(*alias) {
+                    b = b.aggregate(f.clone(), *alias);
+                }
+            }
+            b.build()
+        })
+}
+
+fn aug(cat: &Catalog, def: &SummaryViewDef) -> AugmentedView {
+    augment(cat, def).expect("generated views are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Soundness: whenever `derives` claims `child ⊑ parent`, deriving the
+    /// child through the edge query from the parent's *contents* equals
+    /// materializing the child from base data.
+    #[test]
+    fn derives_is_sound(cd in view_def("c"), pd in view_def("p")) {
+        let cat = retail_catalog_small();
+        let child = aug(&cat, &cd);
+        let parent = aug(&cat, &pd);
+        if let Some(info) = derives(&cat, &child, &parent).unwrap() {
+            let eq = build_edge_query(&cat, &parent, &child, &info).unwrap();
+            let parent_contents = materialize(&cat, &parent).unwrap();
+            let via = derive_child(&cat, &parent_contents, &eq).unwrap();
+            let direct = materialize(&cat, &child).unwrap();
+            prop_assert_eq!(
+                via.sorted_rows(),
+                direct.sorted_rows(),
+                "edge {} -> {} is wrong", &parent.def.name, &child.def.name
+            );
+        }
+    }
+
+    /// Transitivity: c ⊑ b and b ⊑ a imply c ⊑ a.
+    #[test]
+    fn derives_is_transitive(ad in view_def("a"), bd in view_def("b"), cd in view_def("c")) {
+        let cat = retail_catalog_small();
+        let a = aug(&cat, &ad);
+        let b = aug(&cat, &bd);
+        let c = aug(&cat, &cd);
+        let cb = derives(&cat, &c, &b).unwrap().is_some();
+        let ba = derives(&cat, &b, &a).unwrap().is_some();
+        if cb && ba {
+            prop_assert!(
+                derives(&cat, &c, &a).unwrap().is_some(),
+                "{} ⊑ {} ⊑ {} but not transitively",
+                c.def.name, b.def.name, a.def.name
+            );
+        }
+    }
+
+    /// Reflexivity: every view derives from itself.
+    #[test]
+    fn derives_is_reflexive(vd in view_def("v")) {
+        let cat = retail_catalog_small();
+        let v = aug(&cat, &vd);
+        prop_assert!(derives(&cat, &v, &v).unwrap().is_some());
+    }
+
+    /// Partial materialization (§3.4): removing any node keeps every
+    /// remaining derivable pair derivable.
+    #[test]
+    fn remove_node_preserves_derivability(
+        subset_seed in proptest::collection::vec(0usize..64, 4..12),
+        victim in 0usize..12,
+    ) {
+        // Random sub-lattice of the 2^6 cube over {a..f}.
+        let all = ["a", "b", "c", "d", "e", "f"];
+        let mut nodes: Vec<BTreeSet<String>> = subset_seed
+            .iter()
+            .map(|&mask| {
+                all.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, s)| s.to_string())
+                    .collect()
+            })
+            .collect();
+        nodes.dedup();
+        let mut lat = AttrLattice::build(nodes, |x, y| x.is_subset(y));
+        if lat.len() < 2 {
+            return Ok(());
+        }
+        let victim = victim % lat.len();
+
+        // Record derivability among survivors.
+        let survivors: Vec<usize> = (0..lat.len()).filter(|&i| i != victim).collect();
+        let mut expected = Vec::new();
+        for &i in &survivors {
+            for &j in &survivors {
+                expected.push(lat.derivable(i, j));
+            }
+        }
+        lat.remove_node(victim);
+        let mut actual = Vec::new();
+        for i in 0..lat.len() {
+            for j in 0..lat.len() {
+                actual.push(lat.derivable(i, j));
+            }
+        }
+        prop_assert_eq!(expected, actual);
+    }
+}

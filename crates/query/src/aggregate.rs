@@ -1,0 +1,289 @@
+//! Aggregate functions and their accumulators.
+//!
+//! Implements the paper's §3.1 taxonomy:
+//!
+//! * **Distributive** — COUNT, SUM, MIN, MAX: computable by partitioning the
+//!   input, aggregating each part, then aggregating the partial results.
+//!   This property is what makes summary-delta propagation possible at all.
+//! * **Algebraic** — AVG: a scalar function of distributive aggregates
+//!   (SUM/COUNT). Materialized views store SUM and COUNT instead.
+//! * **Holistic** — MEDIAN etc.: not expressible by parts; out of scope for
+//!   the paper and for this library (constructing one is rejected upstream
+//!   by the view layer).
+//!
+//! SQL semantics throughout: aggregates skip NULL inputs; SUM/MIN/MAX over
+//! an empty or all-NULL input are NULL; COUNT is 0.
+
+use std::fmt;
+
+use cubedelta_expr::Expr;
+use cubedelta_storage::Value;
+
+/// The paper's three-way classification of aggregate functions (§3.1,
+/// after Gray et al. \[GBLP96]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggClass {
+    /// Computable by partitioning and re-aggregating parts.
+    Distributive,
+    /// A scalar function of distributive aggregates (e.g. AVG = SUM/COUNT).
+    Algebraic,
+    /// Requires the whole input at once (e.g. MEDIAN); unsupported.
+    Holistic,
+}
+
+/// An aggregate function applied to an expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — counts tuples, NULLs and all.
+    CountStar,
+    /// `COUNT(e)` — counts non-NULL values of `e`.
+    Count(Expr),
+    /// `SUM(e)` — NULL over empty/all-NULL input.
+    Sum(Expr),
+    /// `MIN(e)`.
+    Min(Expr),
+    /// `MAX(e)`.
+    Max(Expr),
+    /// `AVG(e)` — algebraic; the view layer rewrites it to SUM/COUNT before
+    /// materialization, but direct evaluation is supported for queries.
+    Avg(Expr),
+}
+
+impl AggFunc {
+    /// The §3.1 classification of this function.
+    pub fn class(&self) -> AggClass {
+        match self {
+            AggFunc::CountStar
+            | AggFunc::Count(_)
+            | AggFunc::Sum(_)
+            | AggFunc::Min(_)
+            | AggFunc::Max(_) => AggClass::Distributive,
+            AggFunc::Avg(_) => AggClass::Algebraic,
+        }
+    }
+
+    /// The argument expression, if any (`COUNT(*)` has none).
+    pub fn input(&self) -> Option<&Expr> {
+        match self {
+            AggFunc::CountStar => None,
+            AggFunc::Count(e)
+            | AggFunc::Sum(e)
+            | AggFunc::Min(e)
+            | AggFunc::Max(e)
+            | AggFunc::Avg(e) => Some(e),
+        }
+    }
+
+    /// True for MIN/MAX — the functions that are *not* self-maintainable
+    /// with respect to deletions (§3.1) and may force the refresh function
+    /// to recompute from base data.
+    pub fn is_min_or_max(&self) -> bool {
+        matches!(self, AggFunc::Min(_) | AggFunc::Max(_))
+    }
+
+    /// A fresh accumulator for this function.
+    pub fn new_state(&self) -> AggState {
+        match self {
+            AggFunc::CountStar | AggFunc::Count(_) => AggState::Count(0),
+            AggFunc::Sum(_) => AggState::Sum(Value::Null),
+            AggFunc::Min(_) => AggState::Min(Value::Null),
+            AggFunc::Max(_) => AggState::Max(Value::Null),
+            AggFunc::Avg(_) => AggState::Avg {
+                sum: Value::Null,
+                count: 0,
+            },
+        }
+    }
+
+    /// Rewrites the argument's column references via `f`.
+    pub fn rename_columns(&self, f: &dyn Fn(&str) -> String) -> AggFunc {
+        match self {
+            AggFunc::CountStar => AggFunc::CountStar,
+            AggFunc::Count(e) => AggFunc::Count(e.rename_columns(f)),
+            AggFunc::Sum(e) => AggFunc::Sum(e.rename_columns(f)),
+            AggFunc::Min(e) => AggFunc::Min(e.rename_columns(f)),
+            AggFunc::Max(e) => AggFunc::Max(e.rename_columns(f)),
+            AggFunc::Avg(e) => AggFunc::Avg(e.rename_columns(f)),
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AggFunc::CountStar => write!(f, "COUNT(*)"),
+            AggFunc::Count(e) => write!(f, "COUNT({e})"),
+            AggFunc::Sum(e) => write!(f, "SUM({e})"),
+            AggFunc::Min(e) => write!(f, "MIN({e})"),
+            AggFunc::Max(e) => write!(f, "MAX({e})"),
+            AggFunc::Avg(e) => write!(f, "AVG({e})"),
+        }
+    }
+}
+
+/// A running accumulator for one aggregate function in one group.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    /// Running tuple / non-NULL count.
+    Count(i64),
+    /// Running sum (NULL until the first non-NULL input).
+    Sum(Value),
+    /// Running minimum (NULL until the first non-NULL input).
+    Min(Value),
+    /// Running maximum (NULL until the first non-NULL input).
+    Max(Value),
+    /// Running AVG parts.
+    Avg {
+        /// Sum of non-NULL inputs.
+        sum: Value,
+        /// Count of non-NULL inputs.
+        count: i64,
+    },
+}
+
+impl AggState {
+    /// Folds one input value into the accumulator.
+    ///
+    /// For `Count`, the caller passes the already-computed 0/1 (or the
+    /// tuple marker for COUNT(*)); see [`AggFunc::new_state`] pairing.
+    pub fn update(&mut self, func: &AggFunc, value: &Value) {
+        match (self, func) {
+            (AggState::Count(c), AggFunc::CountStar) => *c += 1,
+            (AggState::Count(c), AggFunc::Count(_)) => {
+                if !value.is_null() {
+                    *c += 1;
+                }
+            }
+            (AggState::Sum(acc), AggFunc::Sum(_)) => {
+                if !value.is_null() {
+                    *acc = if acc.is_null() {
+                        value.clone()
+                    } else {
+                        acc.add(value)
+                    };
+                }
+            }
+            (AggState::Min(acc), AggFunc::Min(_)) => *acc = acc.min_sql(value),
+            (AggState::Max(acc), AggFunc::Max(_)) => *acc = acc.max_sql(value),
+            (AggState::Avg { sum, count }, AggFunc::Avg(_)) => {
+                if !value.is_null() {
+                    *sum = if sum.is_null() {
+                        value.clone()
+                    } else {
+                        sum.add(value)
+                    };
+                    *count += 1;
+                }
+            }
+            (state, func) => {
+                unreachable!("accumulator {state:?} paired with wrong function {func}")
+            }
+        }
+    }
+
+    /// Finalizes the accumulator into the aggregate's output value.
+    pub fn finalize(&self) -> Value {
+        match self {
+            AggState::Count(c) => Value::Int(*c),
+            AggState::Sum(v) | AggState::Min(v) | AggState::Max(v) => v.clone(),
+            AggState::Avg { sum, count } => {
+                if *count == 0 || sum.is_null() {
+                    Value::Null
+                } else {
+                    match sum.as_f64() {
+                        Some(s) => Value::Float(s / *count as f64),
+                        None => Value::Null,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_expr::Expr;
+
+    fn run(func: &AggFunc, inputs: &[Value]) -> Value {
+        let mut st = func.new_state();
+        for v in inputs {
+            st.update(func, v);
+        }
+        st.finalize()
+    }
+
+    #[test]
+    fn classification_matches_paper() {
+        assert_eq!(AggFunc::CountStar.class(), AggClass::Distributive);
+        assert_eq!(AggFunc::Sum(Expr::col("q")).class(), AggClass::Distributive);
+        assert_eq!(AggFunc::Min(Expr::col("q")).class(), AggClass::Distributive);
+        assert_eq!(AggFunc::Avg(Expr::col("q")).class(), AggClass::Algebraic);
+    }
+
+    #[test]
+    fn count_star_counts_nulls() {
+        let f = AggFunc::CountStar;
+        assert_eq!(
+            run(&f, &[Value::Int(1), Value::Null, Value::Int(2)]),
+            Value::Int(3)
+        );
+        assert_eq!(run(&f, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn count_expr_skips_nulls() {
+        let f = AggFunc::Count(Expr::col("q"));
+        assert_eq!(
+            run(&f, &[Value::Int(1), Value::Null, Value::Int(2)]),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    fn sum_skips_nulls_and_is_null_when_empty() {
+        let f = AggFunc::Sum(Expr::col("q"));
+        assert_eq!(
+            run(&f, &[Value::Int(1), Value::Null, Value::Int(2)]),
+            Value::Int(3)
+        );
+        assert!(run(&f, &[]).is_null());
+        assert!(run(&f, &[Value::Null, Value::Null]).is_null());
+    }
+
+    #[test]
+    fn sum_handles_negative_deltas() {
+        // Summary-delta sums over prepare-changes include negated deletion
+        // sources; a net-zero group must finalize to 0, not NULL.
+        let f = AggFunc::Sum(Expr::col("q"));
+        assert_eq!(run(&f, &[Value::Int(5), Value::Int(-5)]), Value::Int(0));
+    }
+
+    #[test]
+    fn min_max_semantics() {
+        let min = AggFunc::Min(Expr::col("q"));
+        let max = AggFunc::Max(Expr::col("q"));
+        let vals = [Value::Int(3), Value::Null, Value::Int(1), Value::Int(2)];
+        assert_eq!(run(&min, &vals), Value::Int(1));
+        assert_eq!(run(&max, &vals), Value::Int(3));
+        assert!(run(&min, &[Value::Null]).is_null());
+        assert!(min.is_min_or_max());
+        assert!(!AggFunc::CountStar.is_min_or_max());
+    }
+
+    #[test]
+    fn avg_is_sum_over_count() {
+        let f = AggFunc::Avg(Expr::col("q"));
+        assert_eq!(
+            run(&f, &[Value::Int(1), Value::Int(2), Value::Null]),
+            Value::Float(1.5)
+        );
+        assert!(run(&f, &[]).is_null());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AggFunc::CountStar.to_string(), "COUNT(*)");
+        assert_eq!(AggFunc::Sum(Expr::col("qty")).to_string(), "SUM(qty)");
+    }
+}

@@ -1,0 +1,66 @@
+//! Query execution errors.
+
+use std::fmt;
+
+use cubedelta_expr::ExprError;
+use cubedelta_storage::StorageError;
+
+/// Result alias for query operations.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+/// Errors raised during query planning or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying expression error.
+    Expr(ExprError),
+    /// The operator inputs are malformed (e.g. union of different arities).
+    Plan(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage: {e}"),
+            QueryError::Expr(e) => write!(f, "expr: {e}"),
+            QueryError::Plan(m) => write!(f, "plan: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            QueryError::Expr(e) => Some(e),
+            QueryError::Plan(_) => None,
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+impl From<ExprError> for QueryError {
+    fn from(e: ExprError) -> Self {
+        QueryError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: QueryError = StorageError::UnknownTable("t".into()).into();
+        assert_eq!(e.to_string(), "storage: unknown table `t`");
+        let e: QueryError = ExprError::UnknownColumn("c".into()).into();
+        assert!(e.to_string().starts_with("expr:"));
+        assert_eq!(QueryError::Plan("bad".into()).to_string(), "plan: bad");
+    }
+}

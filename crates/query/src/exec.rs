@@ -1,0 +1,410 @@
+//! Relational operators over materialized [`Relation`]s.
+
+use std::collections::HashMap;
+
+use cubedelta_expr::{Expr, Predicate};
+use cubedelta_storage::{Column, Row, Schema};
+
+use crate::aggregate::{AggFunc, AggState};
+use crate::error::{QueryError, QueryResult};
+use crate::relation::Relation;
+
+/// `SELECT * FROM rel WHERE pred`.
+pub fn filter(rel: &Relation, pred: &Predicate) -> QueryResult<Relation> {
+    let bound = pred.bind(&rel.schema)?;
+    let mut rows = Vec::new();
+    for r in &rel.rows {
+        if bound.eval(r)? {
+            rows.push(r.clone());
+        }
+    }
+    Ok(Relation::new(rel.schema.clone(), rows))
+}
+
+/// `SELECT exprs AS columns FROM rel`.
+///
+/// Each output column pairs an expression with its output [`Column`]
+/// definition (name + declared type; computed columns are typically declared
+/// nullable since arithmetic can produce NULL).
+pub fn project(rel: &Relation, outputs: &[(Expr, Column)]) -> QueryResult<Relation> {
+    let bound: Vec<Expr> = outputs
+        .iter()
+        .map(|(e, _)| e.bind(&rel.schema))
+        .collect::<Result<_, _>>()?;
+    let schema = Schema::new(outputs.iter().map(|(_, c)| c.clone()).collect());
+    let mut rows = Vec::with_capacity(rel.rows.len());
+    for r in &rel.rows {
+        let mut out = Vec::with_capacity(bound.len());
+        for e in &bound {
+            out.push(e.eval(r)?);
+        }
+        rows.push(Row::new(out));
+    }
+    Ok(Relation::new(schema, rows))
+}
+
+/// Equi hash join: `SELECT * FROM left JOIN right ON left.lk = right.rk`.
+///
+/// Builds the hash table on `right` — in the paper's star schema the right
+/// side is always a dimension table, which is far smaller than the fact
+/// table or change set probing it. Column-name collisions in the output are
+/// prefixed with `prefix.`.
+///
+/// Join keys containing NULL never match (SQL semantics).
+pub fn hash_join(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+    prefix: &str,
+) -> QueryResult<Relation> {
+    if left_keys.len() != right_keys.len() {
+        return Err(QueryError::Plan(format!(
+            "join key arity mismatch: {} vs {}",
+            left_keys.len(),
+            right_keys.len()
+        )));
+    }
+    let lk = left.schema.indices_of(left_keys)?;
+    let rk = right.schema.indices_of(right_keys)?;
+
+    let mut build: HashMap<Row, Vec<&Row>> = HashMap::with_capacity(right.rows.len());
+    for r in &right.rows {
+        let key = r.project(&rk);
+        if key.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        build.entry(key).or_default().push(r);
+    }
+
+    let schema = left.schema.join(&right.schema, prefix);
+    let mut rows = Vec::with_capacity(left.rows.len());
+    for l in &left.rows {
+        let key = l.project(&lk);
+        if key.iter().any(|v| v.is_null()) {
+            continue;
+        }
+        if let Some(matches) = build.get(&key) {
+            for r in matches {
+                rows.push(l.concat(r));
+            }
+        }
+    }
+    Ok(Relation::new(schema, rows))
+}
+
+/// `a UNION ALL b`. Schemas must agree in arity; the left schema names the
+/// output (the paper's prepare-changes union the prepare-insertions and
+/// prepare-deletions views, which share a schema by construction).
+pub fn union_all(a: &Relation, b: &Relation) -> QueryResult<Relation> {
+    if a.schema.arity() != b.schema.arity() {
+        return Err(QueryError::Plan(format!(
+            "union arity mismatch: {} vs {}",
+            a.schema.arity(),
+            b.schema.arity()
+        )));
+    }
+    let mut rows = Vec::with_capacity(a.rows.len() + b.rows.len());
+    rows.extend(a.rows.iter().cloned());
+    rows.extend(b.rows.iter().cloned());
+    Ok(Relation::new(a.schema.clone(), rows))
+}
+
+/// Hash group-by aggregation:
+/// `SELECT group_cols, aggs FROM rel GROUP BY group_cols`.
+///
+/// With an empty `group_cols`, behaves like SQL global aggregation: exactly
+/// one output row, even over empty input (this is the `()` apex-less node of
+/// the cube lattice).
+pub fn hash_aggregate(
+    rel: &Relation,
+    group_cols: &[&str],
+    aggs: &[(AggFunc, Column)],
+) -> QueryResult<Relation> {
+    let gidx = rel.schema.indices_of(group_cols)?;
+    // Bind aggregate inputs once against the child schema.
+    let bound: Vec<(AggFunc, Option<Expr>)> = aggs
+        .iter()
+        .map(|(f, _)| {
+            let input = f.input().map(|e| e.bind(&rel.schema)).transpose()?;
+            Ok::<_, QueryError>((f.clone(), input))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut groups: HashMap<Row, Vec<AggState>> = HashMap::new();
+    // Preserve first-seen group order for deterministic output.
+    let mut order: Vec<Row> = Vec::new();
+
+    for r in &rel.rows {
+        let key = r.project(&gidx);
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key)
+                    .or_insert_with(|| bound.iter().map(|(f, _)| f.new_state()).collect())
+            }
+        };
+        for ((func, input), state) in bound.iter().zip(states.iter_mut()) {
+            let v = match input {
+                Some(e) => e.eval(r)?,
+                None => cubedelta_storage::Value::Int(1), // COUNT(*) marker
+            };
+            state.update(func, &v);
+        }
+    }
+
+    // SQL global aggregation yields one row over empty input.
+    if gidx.is_empty() && groups.is_empty() {
+        let states: Vec<AggState> = bound.iter().map(|(f, _)| f.new_state()).collect();
+        order.push(Row::default());
+        groups.insert(Row::default(), states);
+    }
+
+    let mut cols: Vec<Column> = gidx
+        .iter()
+        .map(|&i| rel.schema.columns()[i].clone())
+        .collect();
+    // Aggregate outputs may be NULL (SUM over all-NULL etc.).
+    cols.extend(aggs.iter().map(|(_, c)| {
+        let mut c = c.clone();
+        c.nullable = true;
+        c
+    }));
+    let schema = Schema::new(cols);
+
+    let mut rows = Vec::with_capacity(order.len());
+    for key in order {
+        let states = &groups[&key];
+        let mut out = key.0;
+        out.extend(states.iter().map(AggState::finalize));
+        rows.push(Row::new(out));
+    }
+    Ok(Relation::new(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_expr::CmpOp;
+    use cubedelta_storage::{row, DataType, Value};
+
+    fn pos() -> Relation {
+        // (storeID, itemID, qty)
+        Relation::new(
+            Schema::new(vec![
+                Column::new("storeID", DataType::Int),
+                Column::new("itemID", DataType::Int),
+                Column::nullable("qty", DataType::Int),
+            ]),
+            vec![
+                row![1i64, 10i64, 5i64],
+                row![1i64, 10i64, 3i64],
+                row![1i64, 20i64, 2i64],
+                row![2i64, 10i64, 7i64],
+            ],
+        )
+    }
+
+    fn items() -> Relation {
+        Relation::new(
+            Schema::new(vec![
+                Column::new("itemID", DataType::Int),
+                Column::new("category", DataType::Str),
+            ]),
+            vec![row![10i64, "drinks"], row![20i64, "snacks"]],
+        )
+    }
+
+    #[test]
+    fn filter_selects_rows() {
+        let out = filter(
+            &pos(),
+            &Predicate::cmp(CmpOp::Gt, Expr::col("qty"), Expr::lit(3i64)),
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn project_computes_columns() {
+        let out = project(
+            &pos(),
+            &[
+                (Expr::col("storeID"), Column::new("storeID", DataType::Int)),
+                (
+                    Expr::col("qty").neg(),
+                    Column::nullable("neg_qty", DataType::Int),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.schema.names(), vec!["storeID", "neg_qty"]);
+        assert_eq!(out.rows[0], row![1i64, -5i64]);
+    }
+
+    #[test]
+    fn hash_join_fk_semantics() {
+        let out = hash_join(&pos(), &items(), &["itemID"], &["itemID"], "items").unwrap();
+        // FK join: every pos row matches exactly one item.
+        assert_eq!(out.len(), 4);
+        assert_eq!(
+            out.schema.names(),
+            vec!["storeID", "itemID", "qty", "items.itemID", "category"]
+        );
+        // Row for item 20 carries snacks.
+        assert!(out
+            .rows
+            .iter()
+            .any(|r| r[1] == Value::Int(20) && r[4] == Value::str("snacks")));
+    }
+
+    #[test]
+    fn hash_join_null_keys_never_match() {
+        let mut l = pos();
+        l.rows.push(Row::new(vec![
+            Value::Int(3),
+            Value::Null,
+            Value::Int(1),
+        ]));
+        let out = hash_join(&l, &items(), &["itemID"], &["itemID"], "i").unwrap();
+        assert_eq!(out.len(), 4, "NULL join key must not match");
+    }
+
+    #[test]
+    fn hash_join_key_arity_checked() {
+        assert!(matches!(
+            hash_join(&pos(), &items(), &["itemID", "storeID"], &["itemID"], "i"),
+            Err(QueryError::Plan(_))
+        ));
+    }
+
+    #[test]
+    fn union_all_concatenates() {
+        let a = pos();
+        let out = union_all(&a, &a).unwrap();
+        assert_eq!(out.len(), 8);
+        let bad = items();
+        assert!(union_all(&a, &bad).is_err());
+    }
+
+    #[test]
+    fn aggregate_groups_and_counts() {
+        let out = hash_aggregate(
+            &pos(),
+            &["storeID"],
+            &[
+                (AggFunc::CountStar, Column::new("cnt", DataType::Int)),
+                (
+                    AggFunc::Sum(Expr::col("qty")),
+                    Column::new("total", DataType::Int),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        let sorted = out.sorted_rows();
+        assert_eq!(sorted[0], row![1i64, 3i64, 10i64]);
+        assert_eq!(sorted[1], row![2i64, 1i64, 7i64]);
+    }
+
+    #[test]
+    fn aggregate_multi_column_group() {
+        let out = hash_aggregate(
+            &pos(),
+            &["storeID", "itemID"],
+            &[(AggFunc::CountStar, Column::new("cnt", DataType::Int))],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let empty = Relation::empty(pos().schema);
+        let out = hash_aggregate(
+            &empty,
+            &[],
+            &[
+                (AggFunc::CountStar, Column::new("cnt", DataType::Int)),
+                (
+                    AggFunc::Sum(Expr::col("qty")),
+                    Column::new("total", DataType::Int),
+                ),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Int(0));
+        assert!(out.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_is_empty() {
+        let empty = Relation::empty(pos().schema);
+        let out = hash_aggregate(
+            &empty,
+            &["storeID"],
+            &[(AggFunc::CountStar, Column::new("cnt", DataType::Int))],
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn aggregate_min_max_with_nulls() {
+        let mut rel = pos();
+        rel.rows.push(Row::new(vec![
+            Value::Int(1),
+            Value::Int(30),
+            Value::Null,
+        ]));
+        let out = hash_aggregate(
+            &rel,
+            &["storeID"],
+            &[
+                (
+                    AggFunc::Min(Expr::col("qty")),
+                    Column::new("mn", DataType::Int),
+                ),
+                (
+                    AggFunc::Max(Expr::col("qty")),
+                    Column::new("mx", DataType::Int),
+                ),
+                (
+                    AggFunc::Count(Expr::col("qty")),
+                    Column::new("cnt_q", DataType::Int),
+                ),
+            ],
+        )
+        .unwrap();
+        let store1 = out
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(1))
+            .unwrap();
+        assert_eq!(store1[1], Value::Int(2)); // min
+        assert_eq!(store1[2], Value::Int(5)); // max
+        assert_eq!(store1[3], Value::Int(3)); // null qty not counted
+    }
+
+    #[test]
+    fn aggregate_avg_direct() {
+        let out = hash_aggregate(
+            &pos(),
+            &["itemID"],
+            &[(
+                AggFunc::Avg(Expr::col("qty")),
+                Column::new("avg_q", DataType::Float),
+            )],
+        )
+        .unwrap();
+        let item10 = out
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(10))
+            .unwrap();
+        assert_eq!(item10[1], Value::Float(5.0));
+    }
+}

@@ -1,0 +1,26 @@
+//! # cubedelta-query
+//!
+//! Minimal relational query execution for CubeDelta: scans, filters,
+//! projections, foreign-key hash joins, union-all, and hash group-by
+//! aggregation — exactly the operator set the paper's view definitions and
+//! maintenance queries need (single-block `SELECT-FROM-WHERE-GROUPBY`).
+//!
+//! The intermediate representation is a materialized [`Relation`] (schema +
+//! rows). All maintenance-time inputs are either change sets (small) or
+//! summary tables (much smaller than the fact table), so materialized
+//! intermediates match the paper's own execution model on a relational
+//! backend.
+
+pub mod aggregate;
+pub mod error;
+pub mod exec;
+pub mod parallel;
+pub mod relation;
+pub mod sort;
+
+pub use aggregate::{AggClass, AggFunc, AggState};
+pub use error::{QueryError, QueryResult};
+pub use exec::{filter, hash_aggregate, hash_join, project, union_all};
+pub use parallel::hash_aggregate_parallel;
+pub use relation::Relation;
+pub use sort::sort_aggregate;

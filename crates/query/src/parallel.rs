@@ -1,0 +1,146 @@
+//! Parallel hash aggregation.
+//!
+//! §4.1.2: "techniques for parallelizing aggregation can be used to speed
+//! up computation of the summary-delta table." COUNT/SUM/MIN/MAX are
+//! *distributive* (§3.1), so the input can be hash-partitioned on the
+//! group-by key, each partition aggregated independently on its own thread,
+//! and the partials concatenated — partitions own disjoint group sets, so
+//! no merge step is needed.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use cubedelta_storage::{Column, Row};
+
+use crate::aggregate::AggFunc;
+use crate::error::QueryResult;
+use crate::exec::hash_aggregate;
+use crate::relation::Relation;
+
+/// Like [`hash_aggregate`], but partitions the input across `threads`
+/// worker threads by group-key hash. Falls back to the sequential operator
+/// for trivial inputs (small relations, one thread, or a global aggregate,
+/// where partitioning cannot help).
+pub fn hash_aggregate_parallel(
+    rel: &Relation,
+    group_cols: &[&str],
+    aggs: &[(AggFunc, Column)],
+    threads: usize,
+) -> QueryResult<Relation> {
+    const MIN_PARALLEL_ROWS: usize = 4096;
+    if threads <= 1 || group_cols.is_empty() || rel.rows.len() < MIN_PARALLEL_ROWS {
+        return hash_aggregate(rel, group_cols, aggs);
+    }
+
+    let gidx = rel.schema.indices_of(group_cols)?;
+
+    // Hash-partition row indexes by group key.
+    let mut partitions: Vec<Vec<Row>> = (0..threads).map(|_| Vec::new()).collect();
+    for r in &rel.rows {
+        let mut h = DefaultHasher::new();
+        for &c in &gidx {
+            r[c].hash(&mut h);
+        }
+        partitions[(h.finish() as usize) % threads].push(r.clone());
+    }
+
+    // Aggregate each partition on its own thread.
+    let results: Vec<QueryResult<Relation>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .map(|rows| {
+                let schema = rel.schema.clone();
+                scope.spawn(move |_| {
+                    let part = Relation::new(schema, rows);
+                    hash_aggregate(&part, group_cols, aggs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("aggregation worker panicked"))
+            .collect()
+    })
+    .expect("scope propagates panics");
+
+    // Concatenate: partitions hold disjoint groups.
+    let mut out: Option<Relation> = None;
+    for part in results {
+        let part = part?;
+        match &mut out {
+            None => out = Some(part),
+            Some(acc) => acc.rows.extend(part.rows),
+        }
+    }
+    Ok(out.unwrap_or_else(|| {
+        Relation::empty(rel.schema.project(&gidx))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_expr::Expr;
+    use cubedelta_storage::{row, DataType, Schema};
+
+    fn big_relation(n: usize) -> Relation {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ]);
+        let rows = (0..n as i64)
+            .map(|i| row![i % 97, i % 13])
+            .collect();
+        Relation::new(schema, rows)
+    }
+
+    fn aggs() -> Vec<(AggFunc, Column)> {
+        vec![
+            (AggFunc::CountStar, Column::new("cnt", DataType::Int)),
+            (
+                AggFunc::Sum(Expr::col("v")),
+                Column::new("total", DataType::Int),
+            ),
+            (
+                AggFunc::Min(Expr::col("v")),
+                Column::new("mn", DataType::Int),
+            ),
+            (
+                AggFunc::Max(Expr::col("v")),
+                Column::new("mx", DataType::Int),
+            ),
+        ]
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let rel = big_relation(20_000);
+        let seq = hash_aggregate(&rel, &["k"], &aggs()).unwrap();
+        for threads in [2, 3, 8] {
+            let par = hash_aggregate_parallel(&rel, &["k"], &aggs(), threads).unwrap();
+            assert_eq!(par.sorted_rows(), seq.sorted_rows(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_fall_back() {
+        let rel = big_relation(100);
+        let par = hash_aggregate_parallel(&rel, &["k"], &aggs(), 4).unwrap();
+        let seq = hash_aggregate(&rel, &["k"], &aggs()).unwrap();
+        assert_eq!(par.sorted_rows(), seq.sorted_rows());
+    }
+
+    #[test]
+    fn global_aggregate_falls_back() {
+        let rel = big_relation(10_000);
+        let par = hash_aggregate_parallel(&rel, &[], &aggs(), 4).unwrap();
+        assert_eq!(par.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let rel = Relation::empty(big_relation(1).schema);
+        let par = hash_aggregate_parallel(&rel, &["k"], &aggs(), 4).unwrap();
+        assert!(par.is_empty());
+    }
+}

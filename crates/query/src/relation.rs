@@ -1,0 +1,108 @@
+//! Materialized relations: the intermediate result representation.
+
+use std::fmt;
+
+use cubedelta_storage::{Row, Schema, Table};
+
+/// A materialized relation: a schema plus a bag of rows.
+///
+/// Unlike [`Table`], a `Relation` is a transient query result — it carries
+/// no indexes and performs no validation. Conversions to/from `Table` are
+/// provided for materializing results into the catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// Output schema.
+    pub schema: Schema,
+    /// Output rows (bag semantics).
+    pub rows: Vec<Row>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// A relation from parts.
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        Relation { schema, rows }
+    }
+
+    /// Snapshot of a stored table (clones the rows).
+    pub fn from_table(table: &Table) -> Self {
+        Relation {
+            schema: table.schema().clone(),
+            rows: table.to_rows(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Materializes into a named [`Table`] (validation off: query outputs
+    /// are trusted, and computed columns may not match declared nullability
+    /// exactly).
+    pub fn into_table(self, name: &str) -> Table {
+        let mut t = Table::new(name, self.schema);
+        t.set_validate(false);
+        t.insert_all(self.rows).expect("unvalidated insert cannot fail");
+        t
+    }
+
+    /// Sorted copy of the rows — canonical form for bag-equality assertions.
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut v = self.rows.clone();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} [{} rows]", self.schema, self.rows.len())?;
+        for row in &self.rows {
+            writeln!(f, "  {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_storage::{row, Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_through_table() {
+        let rel = Relation::new(schema(), vec![row![1i64, "x"], row![1i64, "x"]]);
+        assert_eq!(rel.len(), 2);
+        let t = rel.clone().into_table("t");
+        assert_eq!(t.len(), 2);
+        let back = Relation::from_table(&t);
+        assert_eq!(back.sorted_rows(), rel.sorted_rows());
+    }
+
+    #[test]
+    fn empty_relation() {
+        let rel = Relation::empty(schema());
+        assert!(rel.is_empty());
+        assert_eq!(rel.len(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the query operators: aggregation strategies
+//! agree, aggregation is partition-distributive (the §3.1 property the
+//! whole summary-delta method rests on), joins respect FK semantics, and
+//! operators commute where relational algebra says they must.
+
+use cubedelta_expr::{CmpOp, Expr, Predicate};
+use cubedelta_query::{
+    filter, hash_aggregate, hash_aggregate_parallel, hash_join, sort_aggregate, union_all,
+    AggFunc, Relation,
+};
+use cubedelta_storage::{Column, DataType, Row, Schema, Value};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        Column::new("k", DataType::Int),
+        Column::new("g", DataType::Int),
+        Column::nullable("v", DataType::Int),
+    ])
+}
+
+fn rows() -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (
+            0i64..6,
+            0i64..4,
+            prop_oneof![4 => (-20i64..20).prop_map(Value::Int), 1 => Just(Value::Null)],
+        )
+            .prop_map(|(k, g, v)| Row::new(vec![Value::Int(k), Value::Int(g), v])),
+        0..60,
+    )
+}
+
+fn aggs() -> Vec<(AggFunc, Column)> {
+    vec![
+        (AggFunc::CountStar, Column::new("cnt", DataType::Int)),
+        (
+            AggFunc::Count(Expr::col("v")),
+            Column::new("cnt_v", DataType::Int),
+        ),
+        (
+            AggFunc::Sum(Expr::col("v")),
+            Column::new("total", DataType::Int),
+        ),
+        (
+            AggFunc::Min(Expr::col("v")),
+            Column::new("mn", DataType::Int),
+        ),
+        (
+            AggFunc::Max(Expr::col("v")),
+            Column::new("mx", DataType::Int),
+        ),
+    ]
+}
+
+proptest! {
+    /// Hash, sort, and parallel aggregation all agree.
+    #[test]
+    fn aggregation_strategies_agree(data in rows()) {
+        let rel = Relation::new(schema(), data);
+        let h = hash_aggregate(&rel, &["k"], &aggs()).unwrap();
+        let s = sort_aggregate(&rel, &["k"], &aggs()).unwrap();
+        let p = hash_aggregate_parallel(&rel, &["k"], &aggs(), 4).unwrap();
+        prop_assert_eq!(h.sorted_rows(), s.sorted_rows());
+        prop_assert_eq!(h.sorted_rows(), p.sorted_rows());
+    }
+
+    /// Distributivity (§3.1): aggregating a union equals aggregating the
+    /// parts and re-aggregating (COUNT→SUM of partial counts, SUM→SUM,
+    /// MIN→MIN, MAX→MAX) — the identity the summary-delta method is built
+    /// on.
+    #[test]
+    fn aggregation_is_distributive(part_a in rows(), part_b in rows()) {
+        let a = Relation::new(schema(), part_a);
+        let b = Relation::new(schema(), part_b);
+        let whole = union_all(&a, &b).unwrap();
+        let direct = hash_aggregate(&whole, &["k"], &aggs()).unwrap();
+
+        let pa = hash_aggregate(&a, &["k"], &aggs()).unwrap();
+        let pb = hash_aggregate(&b, &["k"], &aggs()).unwrap();
+        let partials = union_all(&pa, &pb).unwrap();
+        let re_aggs = vec![
+            (AggFunc::Sum(Expr::col("cnt")), Column::new("cnt", DataType::Int)),
+            (AggFunc::Sum(Expr::col("cnt_v")), Column::new("cnt_v", DataType::Int)),
+            (AggFunc::Sum(Expr::col("total")), Column::new("total", DataType::Int)),
+            (AggFunc::Min(Expr::col("mn")), Column::new("mn", DataType::Int)),
+            (AggFunc::Max(Expr::col("mx")), Column::new("mx", DataType::Int)),
+        ];
+        let reagg = hash_aggregate(&partials, &["k"], &re_aggs).unwrap();
+        prop_assert_eq!(direct.sorted_rows(), reagg.sorted_rows());
+    }
+
+    /// Filter commutes with union-all.
+    #[test]
+    fn filter_commutes_with_union(part_a in rows(), part_b in rows()) {
+        let pred = Predicate::cmp(CmpOp::Ge, Expr::col("v"), Expr::lit(0i64));
+        let a = Relation::new(schema(), part_a);
+        let b = Relation::new(schema(), part_b);
+        let filtered_union = filter(&union_all(&a, &b).unwrap(), &pred).unwrap();
+        let union_filtered =
+            union_all(&filter(&a, &pred).unwrap(), &filter(&b, &pred).unwrap()).unwrap();
+        prop_assert_eq!(filtered_union.sorted_rows(), union_filtered.sorted_rows());
+    }
+
+    /// FK-style join: when the right side is a key table (unique,
+    /// covering), every left row with a matching key appears exactly once.
+    #[test]
+    fn fk_join_preserves_multiplicity(data in rows()) {
+        let left = Relation::new(schema(), data);
+        // Right: one row per key 0..6.
+        let right = Relation::new(
+            Schema::new(vec![
+                Column::new("k", DataType::Int),
+                Column::new("label", DataType::Str),
+            ]),
+            (0..6i64).map(|k| Row::new(vec![Value::Int(k), Value::str(format!("k{k}"))])).collect(),
+        );
+        let joined = hash_join(&left, &right, &["k"], &["k"], "dim").unwrap();
+        prop_assert_eq!(joined.len(), left.len(), "FK join neither drops nor duplicates");
+        // Group counts survive the join.
+        let before = hash_aggregate(&left, &["k"], &[(AggFunc::CountStar, Column::new("c", DataType::Int))]).unwrap();
+        let after = hash_aggregate(&joined, &["k"], &[(AggFunc::CountStar, Column::new("c", DataType::Int))]).unwrap();
+        prop_assert_eq!(before.sorted_rows(), after.sorted_rows());
+    }
+
+    /// Aggregating by (k, g) then rolling up to (k) equals aggregating by
+    /// (k) directly — the lattice-edge identity of §3.2.
+    #[test]
+    fn rollup_equals_direct(data in rows()) {
+        let rel = Relation::new(schema(), data);
+        let fine = hash_aggregate(&rel, &["k", "g"], &aggs()).unwrap();
+        let re_aggs = vec![
+            (AggFunc::Sum(Expr::col("cnt")), Column::new("cnt", DataType::Int)),
+            (AggFunc::Sum(Expr::col("cnt_v")), Column::new("cnt_v", DataType::Int)),
+            (AggFunc::Sum(Expr::col("total")), Column::new("total", DataType::Int)),
+            (AggFunc::Min(Expr::col("mn")), Column::new("mn", DataType::Int)),
+            (AggFunc::Max(Expr::col("mx")), Column::new("mx", DataType::Int)),
+        ];
+        let rolled = hash_aggregate(&fine, &["k"], &re_aggs).unwrap();
+        let direct = hash_aggregate(&rel, &["k"], &aggs()).unwrap();
+        prop_assert_eq!(rolled.sorted_rows(), direct.sorted_rows());
+    }
+}

@@ -1,0 +1,54 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// Result alias for SQL operations.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+/// Errors from lexing or parsing SQL text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// A character the lexer cannot start a token with.
+    Lex { position: usize, message: String },
+    /// The token stream did not match the grammar.
+    Parse { position: usize, message: String },
+    /// The statement parsed but cannot be represented (unsupported
+    /// feature, inconsistent column list, ...).
+    Unsupported(String),
+}
+
+impl SqlError {
+    pub(crate) fn parse(position: usize, message: impl Into<String>) -> Self {
+        SqlError::Parse {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse { position, message } => {
+                write!(f, "parse error near token {position}: {message}")
+            }
+            SqlError::Unsupported(m) => write!(f, "unsupported SQL: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SqlError::parse(3, "expected FROM").to_string().contains("FROM"));
+        assert!(SqlError::Unsupported("HAVING".into()).to_string().contains("HAVING"));
+    }
+}

@@ -1,0 +1,216 @@
+//! The SQL lexer.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A SQL token. Keywords are not distinguished lexically — identifiers are
+/// matched case-insensitively against keywords by the parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation: `( ) , . *`.
+    Punct(char),
+    /// Operators: `+ - * / = <> < <= > >=`.
+    Op(&'static str),
+}
+
+impl Token {
+    /// True iff this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes SQL text. `--` line comments are skipped.
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' | ')' | ',' | '.' => {
+                out.push(Token::Punct(c));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Op("+"));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Op("-"));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Op("*"));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Op("/"));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Op("="));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Op("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Op("<>"));
+                    i += 2;
+                } else {
+                    out.push(Token::Op("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Op(">="));
+                    i += 2;
+                } else {
+                    out.push(Token::Op(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                position: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).map(|b| b.is_ascii_digit()).unwrap_or(false)
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|e| SqlError::Lex {
+                        position: start,
+                        message: format!("bad float `{text}`: {e}"),
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|e| SqlError::Lex {
+                        position: start,
+                        message: format!("bad integer `{text}`: {e}"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT a, SUM(qty) FROM pos WHERE a >= 1.5").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Op(">=")));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Punct('(')));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+        assert!(tokenize("'open").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT -- the works\n 1").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], Token::Int(1));
+    }
+
+    #[test]
+    fn qualified_names_and_star() {
+        let toks = tokenize("COUNT(*) pos.itemID <> 3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("COUNT".into()),
+                Token::Punct('('),
+                Token::Op("*"),
+                Token::Punct(')'),
+                Token::Ident("pos".into()),
+                Token::Punct('.'),
+                Token::Ident("itemID".into()),
+                Token::Op("<>"),
+                Token::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(matches!(tokenize("a ; b"), Err(SqlError::Lex { .. })));
+    }
+}

@@ -1,0 +1,37 @@
+//! # cubedelta-sql
+//!
+//! A small SQL front-end for CubeDelta, covering exactly the dialect the
+//! paper writes its views in:
+//!
+//! ```sql
+//! CREATE VIEW SiC_sales(storeID, category, TotalCount,
+//!                       EarliestSale, TotalQuantity) AS
+//! SELECT storeID, category, COUNT(*) AS TotalCount,
+//!        MIN(date) AS EarliestSale,
+//!        SUM(qty) AS TotalQuantity
+//! FROM pos, items
+//! WHERE pos.itemID = items.itemID
+//! GROUP BY storeID, category
+//! ```
+//!
+//! * `CREATE VIEW … AS SELECT …` parses to a
+//!   [`cubedelta_view::SummaryViewDef`]: the first FROM table is the fact
+//!   table, the rest are dimension joins, and equality predicates between
+//!   two qualified columns of different tables are recognized as the
+//!   foreign-key join conditions (the actual join keys come from the
+//!   catalog, as the paper's star schema prescribes).
+//! * A bare `SELECT …` parses to a [`cubedelta_core::AggQuery`] for
+//!   [`cubedelta_core::Warehouse::answer`].
+//!
+//! The [`SqlWarehouse`] extension trait wires both into the warehouse:
+//! `wh.create_summary_table_sql(…)`, `wh.answer_sql(…)`.
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod warehouse_ext;
+
+pub use error::{SqlError, SqlResult};
+pub use lexer::{tokenize, Token};
+pub use parser::{parse_query, parse_view};
+pub use warehouse_ext::SqlWarehouse;

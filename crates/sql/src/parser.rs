@@ -1,0 +1,767 @@
+//! Recursive-descent parser for the paper's SQL dialect.
+//!
+//! Supported statements:
+//!
+//! * `CREATE VIEW name [(col, …)] AS SELECT … FROM fact[, dim…]
+//!   [WHERE pred] [GROUP BY attrs]` → [`SummaryViewDef`]
+//! * `SELECT … FROM fact[, dim…] [WHERE pred] [GROUP BY attrs]` →
+//!   [`AggQuery`]
+//!
+//! Foreign-key join conditions (`pos.itemID = items.itemID`) are recognized
+//! as top-level WHERE conjuncts between columns of two different FROM
+//! tables and dropped — the executable join comes from the catalog's
+//! foreign keys, per the star-schema discipline of §3.3. Remaining column
+//! references have their table qualifiers stripped (attribute names are
+//! unique across the star schema, as in the paper).
+
+use cubedelta_core::AggQuery;
+use cubedelta_expr::{CmpOp, Expr, Predicate};
+use cubedelta_query::AggFunc;
+use cubedelta_storage::{Date, Value};
+use cubedelta_view::SummaryViewDef;
+
+use crate::error::{SqlError, SqlResult};
+use crate::lexer::{tokenize, Token};
+
+/// Parses a `CREATE VIEW … AS SELECT …` statement into a view definition.
+pub fn parse_view(sql: &str) -> SqlResult<SummaryViewDef> {
+    let mut p = Parser::new(sql)?;
+    p.expect_kw("CREATE")?;
+    p.expect_kw("VIEW")?;
+    let name = p.expect_ident()?;
+    let columns = if p.eat_punct('(') {
+        let mut cols = vec![p.expect_ident()?];
+        while p.eat_punct(',') {
+            cols.push(p.expect_ident()?);
+        }
+        p.expect_punct(')')?;
+        Some(cols)
+    } else {
+        None
+    };
+    p.expect_kw("AS")?;
+    let select = p.parse_select()?;
+    p.expect_end()?;
+    select.into_view(name, columns)
+}
+
+/// Parses a bare `SELECT` statement into an [`AggQuery`].
+pub fn parse_query(sql: &str) -> SqlResult<AggQuery> {
+    let mut p = Parser::new(sql)?;
+    let select = p.parse_select()?;
+    p.expect_end()?;
+    select.into_query()
+}
+
+/// One parsed SELECT item.
+enum SelectItem {
+    /// A plain (group-by) column.
+    Column(QualName),
+    /// An aggregate with an optional alias.
+    Aggregate(AggFunc, Option<String>),
+}
+
+/// A possibly-qualified column reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QualName {
+    qualifier: Option<String>,
+    name: String,
+}
+
+impl QualName {
+    fn qualified(&self) -> String {
+        match &self.qualifier {
+            Some(q) => format!("{q}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// A parsed single-block SELECT.
+struct Select {
+    items: Vec<SelectItem>,
+    from: Vec<String>,
+    where_clause: Predicate,
+    group_by: Vec<QualName>,
+}
+
+/// Strips `table.` qualifiers from every column reference.
+fn strip(name: &str) -> String {
+    match name.split_once('.') {
+        Some((_, col)) => col.to_string(),
+        None => name.to_string(),
+    }
+}
+
+impl Select {
+    /// Splits the WHERE clause into join conditions (dropped) and the real
+    /// residue, then strips qualifiers everywhere.
+    fn finish_where(&mut self) -> SqlResult<Predicate> {
+        // Collect top-level conjuncts.
+        fn conjuncts(p: Predicate, out: &mut Vec<Predicate>) {
+            match p {
+                Predicate::And(a, b) => {
+                    conjuncts(*a, out);
+                    conjuncts(*b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        let mut parts = Vec::new();
+        conjuncts(std::mem::replace(&mut self.where_clause, Predicate::True), &mut parts);
+
+        let mut residue: Option<Predicate> = None;
+        for part in parts {
+            let is_join = matches!(
+                &part,
+                Predicate::Compare {
+                    op: CmpOp::Eq,
+                    left: Expr::Column(l),
+                    right: Expr::Column(r),
+                } if {
+                    let lq = l.split_once('.').map(|(q, _)| q);
+                    let rq = r.split_once('.').map(|(q, _)| q);
+                    match (lq, rq) {
+                        (Some(a), Some(b)) => {
+                            a != b
+                                && self.from.iter().any(|t| t == a)
+                                && self.from.iter().any(|t| t == b)
+                        }
+                        _ => false,
+                    }
+                }
+            );
+            if is_join {
+                continue;
+            }
+            let stripped = part.rename_columns(&|c| strip(c));
+            residue = Some(match residue {
+                None => stripped,
+                Some(acc) => acc.and(stripped),
+            });
+        }
+        Ok(residue.unwrap_or(Predicate::True))
+    }
+
+    fn group_attrs(&self) -> Vec<String> {
+        self.group_by.iter().map(|q| strip(&q.qualified())).collect()
+    }
+
+    /// Validates that plain SELECT columns appear in GROUP BY.
+    fn check_plain_columns(&self) -> SqlResult<()> {
+        let groups = self.group_attrs();
+        for item in &self.items {
+            if let SelectItem::Column(q) = item {
+                let name = strip(&q.qualified());
+                if !groups.contains(&name) {
+                    return Err(SqlError::Unsupported(format!(
+                        "column `{name}` selected but not grouped by"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn into_view(mut self, name: String, columns: Option<Vec<String>>) -> SqlResult<SummaryViewDef> {
+        self.check_plain_columns()?;
+        let where_clause = self.finish_where()?;
+        let group_by = self.group_attrs();
+
+        let mut aggs: Vec<(AggFunc, Option<String>)> = Vec::new();
+        for item in self.items {
+            if let SelectItem::Aggregate(f, alias) = item {
+                aggs.push((strip_agg(f), alias));
+            }
+        }
+
+        // Resolve aliases against the optional view column list.
+        let aliases: Vec<String> = match columns {
+            Some(cols) => {
+                if cols.len() != group_by.len() + aggs.len() {
+                    return Err(SqlError::Unsupported(format!(
+                        "view `{name}` lists {} columns but the SELECT produces {}",
+                        cols.len(),
+                        group_by.len() + aggs.len()
+                    )));
+                }
+                for (listed, actual) in cols.iter().zip(&group_by) {
+                    if listed != actual {
+                        return Err(SqlError::Unsupported(format!(
+                            "view column `{listed}` does not match group-by \
+                             attribute `{actual}` (renaming group-by columns is \
+                             not supported)"
+                        )));
+                    }
+                }
+                cols[group_by.len()..].to_vec()
+            }
+            None => aggs
+                .iter()
+                .enumerate()
+                .map(|(i, (f, alias))| alias.clone().unwrap_or_else(|| default_alias(f, i)))
+                .collect(),
+        };
+
+        let mut b = SummaryViewDef::builder(name, self.from[0].clone()).filter(where_clause);
+        for dim in &self.from[1..] {
+            b = b.join_dimension(dim);
+        }
+        b = b.group_by(group_by);
+        for ((f, _), alias) in aggs.into_iter().zip(aliases) {
+            b = b.aggregate(f, alias);
+        }
+        Ok(b.build())
+    }
+
+    fn into_query(mut self) -> SqlResult<AggQuery> {
+        self.check_plain_columns()?;
+        let where_clause = self.finish_where()?;
+        let mut q = AggQuery::over(self.from[0].clone())
+            .group_by(self.group_attrs())
+            .filter(where_clause);
+        for (i, item) in self.items.into_iter().enumerate() {
+            if let SelectItem::Aggregate(f, alias) = item {
+                let f = strip_agg(f);
+                let alias = alias.unwrap_or_else(|| default_alias(&f, i));
+                q = q.aggregate(f, alias);
+            }
+        }
+        Ok(q)
+    }
+}
+
+/// Strips qualifiers inside an aggregate's source expression.
+fn strip_agg(f: AggFunc) -> AggFunc {
+    f.rename_columns(&|c| strip(c))
+}
+
+fn default_alias(f: &AggFunc, i: usize) -> String {
+    let base = match f {
+        AggFunc::CountStar => "count_star".to_string(),
+        AggFunc::Count(e) => format!("count_{}", first_col(e)),
+        AggFunc::Sum(e) => format!("sum_{}", first_col(e)),
+        AggFunc::Min(e) => format!("min_{}", first_col(e)),
+        AggFunc::Max(e) => format!("max_{}", first_col(e)),
+        AggFunc::Avg(e) => format!("avg_{}", first_col(e)),
+    };
+    if base.ends_with('_') {
+        format!("{base}{i}")
+    } else {
+        base
+    }
+}
+
+fn first_col(e: &Expr) -> String {
+    e.columns().into_iter().next().map(|c| strip(&c)).unwrap_or_default()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> SqlResult<Self> {
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.is_kw(kw)).unwrap_or(false)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> SqlResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.pos,
+                format!("expected `{kw}`, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Token::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> SqlResult<()> {
+        if self.eat_punct(c) {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.pos,
+                format!("expected `{c}`, found {:?}", self.peek()),
+            ))
+        }
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if self.peek() == Some(&Token::Op(match op {
+            "+" => "+",
+            "-" => "-",
+            "*" => "*",
+            "/" => "/",
+            "=" => "=",
+            "<" => "<",
+            "<=" => "<=",
+            ">" => ">",
+            ">=" => ">=",
+            "<>" => "<>",
+            _ => return false,
+        })) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> SqlResult<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::parse(
+                self.pos,
+                format!("expected identifier, found {other:?}"),
+            )),
+        }
+    }
+
+    fn expect_end(&self) -> SqlResult<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(SqlError::parse(
+                self.pos,
+                format!("trailing tokens starting at {:?}", self.peek()),
+            ))
+        }
+    }
+
+    // --- SELECT --------------------------------------------------------
+
+    fn parse_select(&mut self) -> SqlResult<Select> {
+        self.expect_kw("SELECT")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat_punct(',') {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.expect_ident()?];
+        while self.eat_punct(',') {
+            from.push(self.expect_ident()?);
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            self.parse_pred()?
+        } else {
+            Predicate::True
+        };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            let mut g = vec![self.parse_qual_name()?];
+            while self.eat_punct(',') {
+                g.push(self.parse_qual_name()?);
+            }
+            g
+        } else {
+            Vec::new()
+        };
+        if self.at_kw("HAVING") {
+            return Err(SqlError::Unsupported(
+                "HAVING clauses (cube views are single-block, §3.2)".into(),
+            ));
+        }
+        Ok(Select {
+            items,
+            from,
+            where_clause,
+            group_by,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> SqlResult<SelectItem> {
+        for (kw, make) in AGG_KEYWORDS {
+            if self.at_kw(kw) && self.tokens.get(self.pos + 1) == Some(&Token::Punct('(')) {
+                self.pos += 2; // keyword + '('
+                let func = if *kw == "COUNT" && self.peek() == Some(&Token::Op("*")) {
+                    self.pos += 1;
+                    AggFunc::CountStar
+                } else {
+                    make(self.parse_expr()?)
+                };
+                self.expect_punct(')')?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.expect_ident()?)
+                } else {
+                    None
+                };
+                return Ok(SelectItem::Aggregate(func, alias));
+            }
+        }
+        Ok(SelectItem::Column(self.parse_qual_name()?))
+    }
+
+    fn parse_qual_name(&mut self) -> SqlResult<QualName> {
+        let first = self.expect_ident()?;
+        if self.eat_punct('.') {
+            let name = self.expect_ident()?;
+            Ok(QualName {
+                qualifier: Some(first),
+                name,
+            })
+        } else {
+            Ok(QualName {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    // --- expressions ----------------------------------------------------
+
+    fn parse_expr(&mut self) -> SqlResult<Expr> {
+        let mut e = self.parse_term()?;
+        loop {
+            if self.eat_op("+") {
+                e = e.add(self.parse_term()?);
+            } else if self.eat_op("-") {
+                e = e.sub(self.parse_term()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> SqlResult<Expr> {
+        let mut e = self.parse_factor()?;
+        loop {
+            if self.eat_op("*") {
+                e = e.mul(self.parse_factor()?);
+            } else if self.eat_op("/") {
+                e = e.div(self.parse_factor()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn parse_factor(&mut self) -> SqlResult<Expr> {
+        if self.eat_op("-") {
+            return Ok(self.parse_factor()?.neg());
+        }
+        if self.eat_punct('(') {
+            let e = self.parse_expr()?;
+            self.expect_punct(')')?;
+            return Ok(e);
+        }
+        // `DATE 'YYYY-MM-DD'` is a literal; a bare `date` is the column of
+        // the same name (the paper's views use `date` as both a dimension
+        // and a measure).
+        if self.at_kw("DATE") {
+            if let Some(Token::Str(s)) = self.tokens.get(self.pos + 1).cloned() {
+                self.pos += 2;
+                let date = parse_date(&s)
+                    .ok_or_else(|| SqlError::Unsupported(format!("bad DATE literal '{s}'")))?;
+                return Ok(Expr::lit(Value::Date(date)));
+            }
+        }
+        if self.at_kw("NULL") {
+            self.pos += 1;
+            return Ok(Expr::lit(Value::Null));
+        }
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::lit(i)),
+            Some(Token::Float(f)) => Ok(Expr::lit(f)),
+            Some(Token::Str(s)) => Ok(Expr::lit(Value::str(s))),
+            Some(Token::Ident(first)) => {
+                if self.eat_punct('.') {
+                    let name = self.expect_ident()?;
+                    Ok(Expr::col(format!("{first}.{name}")))
+                } else {
+                    Ok(Expr::col(first))
+                }
+            }
+            other => Err(SqlError::parse(
+                self.pos,
+                format!("expected expression, found {other:?}"),
+            )),
+        }
+    }
+
+    // --- predicates -------------------------------------------------------
+
+    fn parse_pred(&mut self) -> SqlResult<Predicate> {
+        let mut p = self.parse_and_pred()?;
+        while self.eat_kw("OR") {
+            p = p.or(self.parse_and_pred()?);
+        }
+        Ok(p)
+    }
+
+    fn parse_and_pred(&mut self) -> SqlResult<Predicate> {
+        let mut p = self.parse_not_pred()?;
+        while self.eat_kw("AND") {
+            p = p.and(self.parse_not_pred()?);
+        }
+        Ok(p)
+    }
+
+    fn parse_not_pred(&mut self) -> SqlResult<Predicate> {
+        if self.eat_kw("NOT") {
+            return Ok(self.parse_not_pred()?.not());
+        }
+        // A parenthesis may open a sub-predicate or a sub-expression; try a
+        // predicate first and backtrack on failure.
+        if self.peek() == Some(&Token::Punct('(')) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(p) = self.parse_pred() {
+                if self.eat_punct(')') {
+                    return Ok(p);
+                }
+            }
+            self.pos = save;
+        }
+        let left = self.parse_expr()?;
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            let p = Predicate::IsNull(left);
+            return Ok(if negated { p.not() } else { p });
+        }
+        let op = if self.eat_op("=") {
+            CmpOp::Eq
+        } else if self.eat_op("<>") {
+            CmpOp::Ne
+        } else if self.eat_op("<=") {
+            CmpOp::Le
+        } else if self.eat_op("<") {
+            CmpOp::Lt
+        } else if self.eat_op(">=") {
+            CmpOp::Ge
+        } else if self.eat_op(">") {
+            CmpOp::Gt
+        } else {
+            return Err(SqlError::parse(
+                self.pos,
+                format!("expected comparison operator, found {:?}", self.peek()),
+            ));
+        };
+        let right = self.parse_expr()?;
+        Ok(Predicate::cmp(op, left, right))
+    }
+}
+
+type AggCtor = fn(Expr) -> AggFunc;
+const AGG_KEYWORDS: &[(&str, AggCtor)] = &[
+    ("COUNT", AggFunc::Count as AggCtor),
+    ("SUM", AggFunc::Sum as AggCtor),
+    ("MIN", AggFunc::Min as AggCtor),
+    ("MAX", AggFunc::Max as AggCtor),
+    ("AVG", AggFunc::Avg as AggCtor),
+];
+
+/// Parses `YYYY-MM-DD`.
+fn parse_date(s: &str) -> Option<Date> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(Date::from_ymd(y, m, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1's SiC_sales, byte for byte.
+    const SIC_SQL: &str = "\
+        CREATE VIEW SiC_sales(storeID, category, TotalCount, \
+                              EarliestSale, TotalQuantity) AS \
+        SELECT storeID, category, COUNT(*) AS TotalCount, \
+               MIN(date) AS EarliestSale, \
+               SUM(qty) AS TotalQuantity \
+        FROM pos, items \
+        WHERE pos.itemID = items.itemID \
+        GROUP BY storeID, category";
+
+    #[test]
+    fn figure_1_sic_sales_parses_exactly() {
+        let v = parse_view(SIC_SQL).unwrap();
+        assert_eq!(v.name, "SiC_sales");
+        assert_eq!(v.fact_table, "pos");
+        assert_eq!(v.dim_joins, vec!["items"]);
+        assert_eq!(v.group_by, vec!["storeID", "category"]);
+        assert_eq!(v.where_clause, Predicate::True, "join condition dropped");
+        assert_eq!(v.aggregates.len(), 3);
+        assert_eq!(v.aggregates[0].alias, "TotalCount");
+        assert_eq!(v.aggregates[0].func, AggFunc::CountStar);
+        assert_eq!(v.aggregates[1].alias, "EarliestSale");
+        assert!(matches!(&v.aggregates[1].func, AggFunc::Min(e) if *e == Expr::col("date")));
+        assert_eq!(v.aggregates[2].alias, "TotalQuantity");
+    }
+
+    #[test]
+    fn figure_1_sid_sales_without_column_list() {
+        let v = parse_view(
+            "CREATE VIEW SID_sales AS \
+             SELECT storeID, itemID, date, COUNT(*) AS TotalCount, \
+                    SUM(qty) AS TotalQuantity \
+             FROM pos GROUP BY storeID, itemID, date",
+        )
+        .unwrap();
+        assert_eq!(v.group_by, vec!["storeID", "itemID", "date"]);
+        assert!(v.dim_joins.is_empty());
+    }
+
+    #[test]
+    fn residual_where_survives_join_removal() {
+        let v = parse_view(
+            "CREATE VIEW big AS \
+             SELECT region, COUNT(*) AS cnt FROM pos, stores \
+             WHERE pos.storeID = stores.storeID AND qty >= 5 \
+             GROUP BY region",
+        )
+        .unwrap();
+        assert_eq!(
+            v.where_clause,
+            Predicate::cmp(CmpOp::Ge, Expr::col("qty"), Expr::lit(5i64))
+        );
+    }
+
+    #[test]
+    fn expression_sources_and_arithmetic() {
+        let v = parse_view(
+            "CREATE VIEW rev AS SELECT storeID, SUM(qty * price) AS revenue \
+             FROM pos GROUP BY storeID",
+        )
+        .unwrap();
+        assert!(matches!(
+            &v.aggregates[0].func,
+            AggFunc::Sum(e) if *e == Expr::col("qty").mul(Expr::col("price"))
+        ));
+    }
+
+    #[test]
+    fn date_literals_and_complex_predicates() {
+        let v = parse_view(
+            "CREATE VIEW recent AS SELECT storeID, COUNT(*) AS cnt FROM pos \
+             WHERE (date >= DATE '1997-01-01' OR qty IS NULL) AND NOT qty IS NULL \
+             GROUP BY storeID",
+        )
+        .unwrap();
+        let s = v.where_clause.to_string();
+        assert!(s.contains("1997-01-01"), "{s}");
+        assert!(s.contains("OR"), "{s}");
+        assert!(s.contains("NOT"), "{s}");
+    }
+
+    #[test]
+    fn bare_select_becomes_query() {
+        let q = parse_query(
+            "SELECT region, SUM(qty) AS total, AVG(qty) FROM pos, stores \
+             WHERE pos.storeID = stores.storeID GROUP BY region",
+        )
+        .unwrap();
+        assert_eq!(q.group_by, vec!["region"]);
+        assert_eq!(q.aggregates.len(), 2);
+        assert_eq!(q.aggregates[0].1, "total");
+        assert_eq!(q.aggregates[1].1, "avg_qty", "auto-generated alias");
+    }
+
+    #[test]
+    fn view_column_list_mismatch_rejected() {
+        let err = parse_view(
+            "CREATE VIEW v(a, b) AS SELECT storeID, COUNT(*) AS c, SUM(qty) AS s \
+             FROM pos GROUP BY storeID",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported(_)));
+    }
+
+    #[test]
+    fn group_by_renaming_rejected() {
+        let err = parse_view(
+            "CREATE VIEW v(store, c) AS SELECT storeID, COUNT(*) AS c \
+             FROM pos GROUP BY storeID",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("renaming"));
+    }
+
+    #[test]
+    fn ungrouped_column_rejected() {
+        let err = parse_view(
+            "CREATE VIEW v AS SELECT storeID, itemID, COUNT(*) AS c \
+             FROM pos GROUP BY storeID",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("itemID"));
+    }
+
+    #[test]
+    fn having_is_unsupported() {
+        let err = parse_view(
+            "CREATE VIEW v AS SELECT storeID, COUNT(*) AS c FROM pos \
+             GROUP BY storeID HAVING c > 1",
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported(_)));
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let v = parse_view(
+            "create view V as select storeID, count(*) as c from pos group by storeID",
+        )
+        .unwrap();
+        assert_eq!(v.name, "V");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_view(
+            "CREATE VIEW v AS SELECT COUNT(*) AS c FROM pos EXTRA"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn date_parse_validation() {
+        assert_eq!(parse_date("1997-05-13"), Some(Date::from_ymd(1997, 5, 13)));
+        assert_eq!(parse_date("1997-13-01"), None);
+        assert_eq!(parse_date("nope"), None);
+    }
+}

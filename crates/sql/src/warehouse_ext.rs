@@ -1,0 +1,123 @@
+//! SQL entry points on the [`Warehouse`].
+
+use cubedelta_core::{Answer, CoreError, Warehouse};
+
+use crate::error::{SqlError, SqlResult};
+use crate::parser::{parse_query, parse_view};
+
+/// SQL convenience methods for the warehouse.
+pub trait SqlWarehouse {
+    /// Parses a `CREATE VIEW … AS SELECT …` statement and installs it as a
+    /// materialized summary table.
+    fn create_summary_table_sql(&mut self, sql: &str) -> SqlResult<()>;
+
+    /// Parses a bare `SELECT` statement and answers it from the best
+    /// materialized view (falling back to base tables).
+    fn answer_sql(&self, sql: &str) -> SqlResult<Answer>;
+}
+
+fn core_err(e: CoreError) -> SqlError {
+    SqlError::Unsupported(e.to_string())
+}
+
+impl SqlWarehouse for Warehouse {
+    fn create_summary_table_sql(&mut self, sql: &str) -> SqlResult<()> {
+        let def = parse_view(sql)?;
+        self.create_summary_table(&def).map_err(core_err)
+    }
+
+    fn answer_sql(&self, sql: &str) -> SqlResult<Answer> {
+        let query = parse_query(sql)?;
+        self.answer(&query).map_err(core_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_core::MaintainOptions;
+    use cubedelta_storage::{row, ChangeBatch, Date, DeltaSet, Value};
+    use cubedelta_workload::retail_catalog_small;
+
+    /// Figure 1, all four CREATE VIEW statements, as written in the paper.
+    const FIGURE_1: [&str; 4] = [
+        "CREATE VIEW SID_sales(storeID, itemID, date, TotalCount, TotalQuantity) AS
+         SELECT storeID, itemID, date, COUNT(*) AS TotalCount, SUM(qty) AS TotalQuantity
+         FROM pos
+         GROUP BY storeID, itemID, date",
+        "CREATE VIEW sCD_sales(city, date, TotalCount, TotalQuantity) AS
+         SELECT city, date, COUNT(*) AS TotalCount, SUM(qty) AS TotalQuantity
+         FROM pos, stores
+         WHERE pos.storeID = stores.storeID
+         GROUP BY city, date",
+        "CREATE VIEW SiC_sales(storeID, category, TotalCount, EarliestSale, TotalQuantity) AS
+         SELECT storeID, category, COUNT(*) AS TotalCount,
+                MIN(date) AS EarliestSale,
+                SUM(qty) AS TotalQuantity
+         FROM pos, items
+         WHERE pos.itemID = items.itemID
+         GROUP BY storeID, category",
+        "CREATE VIEW sR_sales(region, TotalCount, TotalQuantity) AS
+         SELECT region, COUNT(*) AS TotalCount, SUM(qty) AS TotalQuantity
+         FROM pos, stores
+         WHERE pos.storeID = stores.storeID
+         GROUP BY region",
+    ];
+
+    #[test]
+    fn figure_1_views_install_and_maintain_via_sql() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for sql in FIGURE_1 {
+            wh.create_summary_table_sql(sql).unwrap();
+        }
+        assert_eq!(wh.views().len(), 4);
+
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![2i64, 20i64, Date(10003), 4i64, 2.0]],
+            deletions: vec![row![1i64, 10i64, Date(10000), 5i64, 1.0]],
+        });
+        wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn sql_queries_are_answered_from_views() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for sql in FIGURE_1 {
+            wh.create_summary_table_sql(sql).unwrap();
+        }
+        let ans = wh
+            .answer_sql(
+                "SELECT region, SUM(qty) AS total FROM pos, stores \
+                 WHERE pos.storeID = stores.storeID GROUP BY region",
+            )
+            .unwrap();
+        assert_ne!(ans.answered_from, "pos");
+        assert_eq!(ans.relation.sorted_rows(), vec![row!["east", 17i64]]);
+    }
+
+    #[test]
+    fn sql_avg_query_recomposes() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for sql in FIGURE_1 {
+            wh.create_summary_table_sql(sql).unwrap();
+        }
+        let ans = wh
+            .answer_sql("SELECT AVG(qty) AS a FROM pos")
+            .unwrap();
+        assert_eq!(ans.relation.rows[0][0], Value::Float(17.0 / 4.0));
+    }
+
+    #[test]
+    fn bad_sql_surfaces_errors() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        assert!(wh.create_summary_table_sql("CREATE TABLE x").is_err());
+        assert!(wh
+            .create_summary_table_sql(
+                "CREATE VIEW v AS SELECT COUNT(*) AS c FROM nonexistent"
+            )
+            .is_err());
+        assert!(wh.answer_sql("SELECT FROM").is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! Robustness: the SQL front-end must never panic — arbitrary input
+//! produces either a parse result or an error.
+
+use cubedelta_sql::{parse_query, parse_view, tokenize};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes-ish strings: lexer and parsers return, never panic.
+    #[test]
+    fn arbitrary_text_never_panics(input in ".{0,120}") {
+        let _ = tokenize(&input);
+        let _ = parse_view(&input);
+        let _ = parse_query(&input);
+    }
+
+    /// SQL-ish soup (keywords, idents, punctuation shuffled): still no
+    /// panics, and successful parses are structurally sane.
+    #[test]
+    fn sql_soup_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GROUP"),
+                Just("BY"), Just("CREATE"), Just("VIEW"), Just("AS"),
+                Just("COUNT"), Just("SUM"), Just("MIN"), Just("AVG"),
+                Just("AND"), Just("OR"), Just("NOT"), Just("IS"), Just("NULL"),
+                Just("DATE"), Just("pos"), Just("stores"), Just("qty"),
+                Just("("), Just(")"), Just(","), Just("*"), Just("="),
+                Just("<="), Just("'97'"), Just("3"), Just("1.5"), Just("."),
+                Just("storeID"), Just("x"),
+            ],
+            0..25,
+        )
+    ) {
+        let input = words.join(" ");
+        if let Ok(q) = parse_query(&input) {
+            prop_assert!(!q.fact_table.is_empty());
+        }
+        if let Ok(v) = parse_view(&input) {
+            prop_assert!(!v.name.is_empty());
+            prop_assert!(!v.fact_table.is_empty());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Round-trip property: a view definition's `Display` form (the paper-style
+//! `CREATE VIEW` text) re-parses to a semantically identical definition.
+//! This is what makes textual persistence of the warehouse schema safe.
+
+use cubedelta_expr::{CmpOp, Expr, Predicate};
+use cubedelta_query::AggFunc;
+use cubedelta_sql::parse_view;
+use cubedelta_storage::{Date, Value};
+use cubedelta_view::{augment, materialize, SummaryViewDef};
+use cubedelta_workload::retail_catalog_small;
+use proptest::prelude::*;
+
+/// Random attribute pool with owning dimensions.
+const ATTRS: &[(&str, Option<&str>)] = &[
+    ("storeID", None),
+    ("itemID", None),
+    ("date", None),
+    ("city", Some("stores")),
+    ("region", Some("stores")),
+    ("category", Some("items")),
+];
+
+fn source_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::col("qty")),
+        Just(Expr::col("price")),
+        Just(Expr::col("qty").mul(Expr::col("price"))),
+        Just(Expr::col("qty").add(Expr::lit(1i64))),
+        Just(Expr::col("qty").neg()),
+    ]
+}
+
+fn agg() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![
+        Just(AggFunc::CountStar),
+        source_expr().prop_map(AggFunc::Count),
+        source_expr().prop_map(AggFunc::Sum),
+        source_expr().prop_map(AggFunc::Min),
+        source_expr().prop_map(AggFunc::Max),
+    ]
+}
+
+fn predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        Just(Predicate::True),
+        (0i64..10).prop_map(|n| Predicate::cmp(CmpOp::Ge, Expr::col("qty"), Expr::lit(n))),
+        (0i32..5).prop_map(|d| Predicate::cmp(
+            CmpOp::Le,
+            Expr::col("date"),
+            Expr::lit(Value::Date(Date(10000 + d))),
+        )),
+        Just(Predicate::IsNull(Expr::col("qty")).not()),
+        (0i64..10).prop_map(|n| {
+            Predicate::cmp(CmpOp::Gt, Expr::col("qty"), Expr::lit(n))
+                .or(Predicate::IsNull(Expr::col("qty")))
+        }),
+    ]
+}
+
+fn view_def() -> impl Strategy<Value = SummaryViewDef> {
+    (
+        proptest::collection::vec(0usize..ATTRS.len(), 0..3),
+        proptest::collection::vec(agg(), 1..4),
+        predicate(),
+        0u32..1000,
+    )
+        .prop_map(|(attr_picks, aggs, pred, salt)| {
+            let mut group: Vec<&str> = Vec::new();
+            let mut dims: std::collections::BTreeSet<&str> = Default::default();
+            for &i in &attr_picks {
+                let (a, d) = ATTRS[i];
+                if !group.contains(&a) {
+                    group.push(a);
+                    if let Some(d) = d {
+                        dims.insert(d);
+                    }
+                }
+            }
+            let mut b = SummaryViewDef::builder(format!("v{salt}"), "pos").filter(pred);
+            for d in dims {
+                b = b.join_dimension(d);
+            }
+            b = b.group_by(group);
+            for (i, f) in aggs.into_iter().enumerate() {
+                b = b.aggregate(f, format!("m{i}"));
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Display → parse preserves the view's skeleton and its materialized
+    /// contents (semantic equality — literal ASTs may differ, e.g. -5 vs
+    /// neg(5)).
+    #[test]
+    fn display_parse_roundtrip(def in view_def()) {
+        let sql = def.to_string();
+        let parsed = parse_view(&sql)
+            .unwrap_or_else(|e| panic!("unparseable display `{sql}`: {e}"));
+        prop_assert_eq!(&parsed.name, &def.name);
+        prop_assert_eq!(&parsed.fact_table, &def.fact_table);
+        prop_assert_eq!(&parsed.group_by, &def.group_by);
+        prop_assert_eq!(&parsed.dim_joins, &def.dim_joins);
+        prop_assert_eq!(parsed.aggregates.len(), def.aggregates.len());
+
+        // Semantic check: both definitions materialize identically.
+        let cat = retail_catalog_small();
+        let a = materialize(&cat, &augment(&cat, &def).unwrap()).unwrap();
+        let b = materialize(&cat, &augment(&cat, &parsed).unwrap()).unwrap();
+        prop_assert_eq!(a.sorted_rows(), b.sorted_rows(), "contents differ for `{}`", sql);
+    }
+}

@@ -1,0 +1,366 @@
+//! The warehouse catalog.
+//!
+//! Tracks every table together with its *role* (fact, dimension, summary),
+//! the foreign keys linking fact tables to dimension tables, and the
+//! functional dependencies inside dimension tables that encode **dimension
+//! hierarchies** (§2, §3.3): `storeID → city → region`,
+//! `itemID → {name, category, cost}`.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::Schema;
+use crate::table::Table;
+
+/// What kind of table this is, warehouse-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableRole {
+    /// A fact table (e.g. `pos`). Duplicates allowed; changes arrive here.
+    Fact,
+    /// A dimension table (e.g. `stores`, `items`). Keyed; joined along FKs.
+    Dimension,
+    /// A materialized summary table (aggregate view contents).
+    Summary,
+    /// Anything else (scratch tables, delta staging, ...).
+    Other,
+}
+
+/// A foreign key from a fact-table column to a dimension-table key.
+///
+/// "Joins between the fact table and dimension tables are always along
+/// foreign keys, so each tuple in the fact table is guaranteed to join with
+/// one and only one tuple from each dimension table" (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// The fact table holding the referencing column.
+    pub fact_table: String,
+    /// The referencing column in the fact table.
+    pub fact_column: String,
+    /// The referenced dimension table.
+    pub dim_table: String,
+    /// The referenced key column of the dimension table.
+    pub dim_key: String,
+}
+
+/// A functional dependency inside a dimension table: `determinant → dependents`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionalDependency {
+    /// Left-hand side attribute (hierarchies are chains, so a single
+    /// attribute suffices: `storeID → city`, `city → region`).
+    pub determinant: String,
+    /// Right-hand side attributes.
+    pub dependents: Vec<String>,
+}
+
+impl FunctionalDependency {
+    /// Builds `determinant → dependents`.
+    pub fn new(determinant: impl Into<String>, dependents: &[&str]) -> Self {
+        FunctionalDependency {
+            determinant: determinant.into(),
+            dependents: dependents.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Dimension metadata: the key column and the hierarchy FDs.
+#[derive(Debug, Clone, Default)]
+pub struct DimensionInfo {
+    /// The dimension key (what fact-table FKs reference).
+    pub key: String,
+    /// Functional dependencies encoding the dimension hierarchy.
+    pub fds: Vec<FunctionalDependency>,
+}
+
+impl DimensionInfo {
+    /// Transitive closure of `attrs` under this dimension's FDs.
+    ///
+    /// Grouping by an attribute yields the same groups as grouping by that
+    /// attribute plus everything it determines (§5.2) — this closure is what
+    /// the lattice-friendly rewriting adds to group-by lists.
+    pub fn fd_closure<'a, I: IntoIterator<Item = &'a str>>(&self, attrs: I) -> BTreeSet<String> {
+        let mut closure: BTreeSet<String> =
+            attrs.into_iter().map(|s| s.to_string()).collect();
+        loop {
+            let mut grew = false;
+            for fd in &self.fds {
+                if closure.contains(&fd.determinant) {
+                    for dep in &fd.dependents {
+                        if closure.insert(dep.clone()) {
+                            grew = true;
+                        }
+                    }
+                }
+            }
+            if !grew {
+                return closure;
+            }
+        }
+    }
+
+    /// True iff `a` (transitively) functionally determines `b`.
+    pub fn determines(&self, a: &str, b: &str) -> bool {
+        self.fd_closure([a]).contains(b)
+    }
+}
+
+/// The warehouse catalog: all tables plus relational metadata.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+    roles: HashMap<String, TableRole>,
+    foreign_keys: Vec<ForeignKey>,
+    dimensions: HashMap<String, DimensionInfo>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a table with a role. Errors if the name is taken.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        role: TableRole,
+    ) -> StorageResult<&mut Table> {
+        if self.tables.contains_key(name) {
+            return Err(StorageError::TableExists(name.to_string()));
+        }
+        self.tables.insert(name.to_string(), Table::new(name, schema));
+        self.roles.insert(name.to_string(), role);
+        Ok(self.tables.get_mut(name).expect("just inserted"))
+    }
+
+    /// Registers an existing table (takes ownership). Errors if taken.
+    pub fn register_table(&mut self, table: Table, role: TableRole) -> StorageResult<()> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        self.roles.insert(name.clone(), role);
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Removes a table from the catalog, returning it.
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<Table> {
+        self.roles.remove(name);
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Shared access to a table.
+    pub fn table(&self, name: &str) -> StorageResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access to a table.
+    pub fn table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// True iff the table exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// The role recorded for a table.
+    pub fn role(&self, name: &str) -> Option<TableRole> {
+        self.roles.get(name).copied()
+    }
+
+    /// All table names with a given role, sorted for determinism.
+    pub fn tables_with_role(&self, role: TableRole) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .roles
+            .iter()
+            .filter(|(_, r)| **r == role)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Registers a foreign key. Both tables and all columns must exist.
+    pub fn add_foreign_key(
+        &mut self,
+        fact_table: &str,
+        fact_column: &str,
+        dim_table: &str,
+        dim_key: &str,
+    ) -> StorageResult<()> {
+        self.table(fact_table)?.schema().index_of(fact_column)?;
+        self.table(dim_table)?.schema().index_of(dim_key)?;
+        self.foreign_keys.push(ForeignKey {
+            fact_table: fact_table.to_string(),
+            fact_column: fact_column.to_string(),
+            dim_table: dim_table.to_string(),
+            dim_key: dim_key.to_string(),
+        });
+        Ok(())
+    }
+
+    /// All registered foreign keys.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// The foreign key linking `fact_table` to `dim_table`, if any.
+    pub fn foreign_key(&self, fact_table: &str, dim_table: &str) -> Option<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .find(|fk| fk.fact_table == fact_table && fk.dim_table == dim_table)
+    }
+
+    /// Registers dimension metadata (key + hierarchy FDs) for a table.
+    pub fn set_dimension_info(&mut self, dim_table: &str, info: DimensionInfo) -> StorageResult<()> {
+        let schema = self.table(dim_table)?.schema();
+        schema.index_of(&info.key)?;
+        for fd in &info.fds {
+            schema.index_of(&fd.determinant)?;
+            for dep in &fd.dependents {
+                schema.index_of(dep)?;
+            }
+        }
+        self.dimensions.insert(dim_table.to_string(), info);
+        Ok(())
+    }
+
+    /// Dimension metadata for a table, if registered.
+    pub fn dimension_info(&self, dim_table: &str) -> Option<&DimensionInfo> {
+        self.dimensions.get(dim_table)
+    }
+
+    /// Finds which dimension table (joined from `fact_table`) owns an
+    /// attribute, searching dimension schemas. Returns the dimension name.
+    pub fn dimension_owning(&self, fact_table: &str, attr: &str) -> Option<&str> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| fk.fact_table == fact_table)
+            .map(|fk| fk.dim_table.as_str())
+            .find(|dim| {
+                self.tables
+                    .get(*dim)
+                    .map(|t| t.schema().contains(attr))
+                    .unwrap_or(false)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::schema::Column;
+
+    fn retail_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "pos",
+            Schema::new(vec![
+                Column::new("storeID", DataType::Int),
+                Column::new("itemID", DataType::Int),
+                Column::new("date", DataType::Date),
+                Column::nullable("qty", DataType::Int),
+                Column::nullable("price", DataType::Float),
+            ]),
+            TableRole::Fact,
+        )
+        .unwrap();
+        cat.create_table(
+            "stores",
+            Schema::new(vec![
+                Column::new("storeID", DataType::Int),
+                Column::new("city", DataType::Str),
+                Column::new("region", DataType::Str),
+            ]),
+            TableRole::Dimension,
+        )
+        .unwrap();
+        cat.add_foreign_key("pos", "storeID", "stores", "storeID").unwrap();
+        cat.set_dimension_info(
+            "stores",
+            DimensionInfo {
+                key: "storeID".into(),
+                fds: vec![
+                    FunctionalDependency::new("storeID", &["city"]),
+                    FunctionalDependency::new("city", &["region"]),
+                ],
+            },
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let cat = retail_catalog();
+        assert!(cat.contains("pos"));
+        assert_eq!(cat.role("pos"), Some(TableRole::Fact));
+        assert_eq!(cat.role("stores"), Some(TableRole::Dimension));
+        assert!(cat.table("nope").is_err());
+        assert_eq!(cat.tables_with_role(TableRole::Fact), vec!["pos"]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = retail_catalog();
+        assert!(matches!(
+            cat.create_table("pos", Schema::default(), TableRole::Other),
+            Err(StorageError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn foreign_key_lookup() {
+        let cat = retail_catalog();
+        let fk = cat.foreign_key("pos", "stores").unwrap();
+        assert_eq!(fk.fact_column, "storeID");
+        assert_eq!(fk.dim_key, "storeID");
+        assert!(cat.foreign_key("pos", "items").is_none());
+    }
+
+    #[test]
+    fn foreign_key_validates_columns() {
+        let mut cat = retail_catalog();
+        assert!(cat.add_foreign_key("pos", "nope", "stores", "storeID").is_err());
+        assert!(cat.add_foreign_key("pos", "storeID", "stores", "nope").is_err());
+    }
+
+    #[test]
+    fn fd_closure_transitive() {
+        let cat = retail_catalog();
+        let info = cat.dimension_info("stores").unwrap();
+        let closure = info.fd_closure(["storeID"]);
+        assert!(closure.contains("city"));
+        assert!(closure.contains("region"));
+        let closure_city = info.fd_closure(["city"]);
+        assert!(closure_city.contains("region"));
+        assert!(!closure_city.contains("storeID"));
+        assert!(info.determines("storeID", "region"));
+        assert!(!info.determines("region", "city"));
+    }
+
+    #[test]
+    fn dimension_owning_attr() {
+        let cat = retail_catalog();
+        assert_eq!(cat.dimension_owning("pos", "city"), Some("stores"));
+        assert_eq!(cat.dimension_owning("pos", "category"), None);
+    }
+
+    #[test]
+    fn drop_table_removes() {
+        let mut cat = retail_catalog();
+        let t = cat.drop_table("stores").unwrap();
+        assert_eq!(t.name(), "stores");
+        assert!(!cat.contains("stores"));
+        assert!(cat.drop_table("stores").is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! CSV import/export for tables.
+//!
+//! Warehouses ingest flat files; this module reads and writes a simple CSV
+//! dialect (comma-separated, double-quote quoting with `""` escapes, one
+//! header row) typed against a [`Schema`]. The empty unquoted field is
+//! NULL; dates use `YYYY-MM-DD`.
+
+use std::fmt::Write as _;
+
+use crate::error::{StorageError, StorageResult};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{Date, Value};
+use crate::DataType;
+
+/// Splits one CSV record into raw fields. Returns `(fields, was_quoted)`.
+fn split_record(line: &str) -> StorageResult<Vec<(String, bool)>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut quoted = false;
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    cur.push('"');
+                    chars.next();
+                }
+                '"' => in_quotes = false,
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => {
+                    in_quotes = true;
+                    quoted = true;
+                }
+                ',' => {
+                    fields.push((std::mem::take(&mut cur), quoted));
+                    quoted = false;
+                }
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::MissingRow(format!(
+            "unterminated quote in CSV record: {line}"
+        )));
+    }
+    fields.push((cur, quoted));
+    Ok(fields)
+}
+
+/// Parses one field into a typed value.
+fn parse_field(raw: &str, quoted: bool, ty: DataType, column: &str) -> StorageResult<Value> {
+    if raw.is_empty() && !quoted {
+        return Ok(Value::Null);
+    }
+    let bad = |expected: &str| StorageError::TypeMismatch {
+        column: column.to_string(),
+        expected: expected.to_string(),
+        actual: format!("`{raw}`"),
+    };
+    Ok(match ty {
+        DataType::Int => Value::Int(raw.trim().parse().map_err(|_| bad("INT"))?),
+        DataType::Float => Value::Float(raw.trim().parse().map_err(|_| bad("FLOAT"))?),
+        DataType::Str => Value::str(raw),
+        DataType::Date => {
+            let mut parts = raw.trim().split('-');
+            let parse_part = |p: Option<&str>| p.and_then(|s| s.parse::<i64>().ok());
+            match (
+                parse_part(parts.next()),
+                parse_part(parts.next()),
+                parse_part(parts.next()),
+                parts.next(),
+            ) {
+                (Some(y), Some(m), Some(d), None)
+                    if (1..=12).contains(&m) && (1..=31).contains(&d) =>
+                {
+                    Value::Date(Date::from_ymd(y as i32, m as u32, d as u32))
+                }
+                _ => return Err(bad("DATE (YYYY-MM-DD)")),
+            }
+        }
+    })
+}
+
+/// Parses CSV text (header row required, column order must match the
+/// schema) into rows.
+pub fn parse_csv(schema: &Schema, text: &str) -> StorageResult<Vec<Row>> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| StorageError::MissingRow("CSV has no header row".into()))?;
+    let names: Vec<String> = split_record(header)?
+        .into_iter()
+        .map(|(f, _)| f)
+        .collect();
+    let expected: Vec<&str> = schema.names();
+    if names != expected {
+        return Err(StorageError::UnknownColumn(format!(
+            "CSV header {names:?} does not match schema columns {expected:?}"
+        )));
+    }
+
+    let mut rows = Vec::new();
+    for line in lines {
+        let fields = split_record(line)?;
+        if fields.len() != schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: schema.arity(),
+                actual: fields.len(),
+            });
+        }
+        let mut vals = Vec::with_capacity(fields.len());
+        for ((raw, quoted), col) in fields.into_iter().zip(schema.columns()) {
+            vals.push(parse_field(&raw, quoted, col.datatype, &col.name)?);
+        }
+        rows.push(Row::new(vals));
+    }
+    Ok(rows)
+}
+
+/// Loads CSV text into a table (validating against its schema).
+pub fn load_csv(table: &mut Table, text: &str) -> StorageResult<usize> {
+    let rows = parse_csv(&table.schema().clone(), text)?;
+    let n = rows.len();
+    table.insert_all(rows)?;
+    Ok(n)
+}
+
+/// Serializes a table (header + rows) as CSV text.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names = table.schema().names();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in table.rows() {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match v {
+                Value::Null => {}
+                Value::Str(s) => {
+                    if s.contains(',') || s.contains('"') || s.is_empty() {
+                        let _ = write!(out, "\"{}\"", s.replace('"', "\"\""));
+                    } else {
+                        out.push_str(s);
+                    }
+                }
+                other => {
+                    let _ = write!(out, "{other}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("id", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::new("day", DataType::Date),
+            Column::nullable("qty", DataType::Int),
+            Column::nullable("price", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut t = Table::new("t", schema());
+        t.insert(row![1i64, "cola", Date::from_ymd(1997, 5, 13), 5i64, 1.25])
+            .unwrap();
+        t.insert(Row::new(vec![
+            Value::Int(2),
+            Value::str("a,b \"weird\" name"),
+            Value::Date(Date::from_ymd(1997, 5, 14)),
+            Value::Null,
+            Value::Null,
+        ]))
+        .unwrap();
+        let csv = to_csv(&t);
+        let mut back = Table::new("t2", schema());
+        assert_eq!(load_csv(&mut back, &csv).unwrap(), 2);
+        assert_eq!(back.sorted_rows(), t.sorted_rows());
+    }
+
+    #[test]
+    fn parses_types_and_nulls() {
+        let csv = "id,name,day,qty,price\n7,juice,1997-01-31,,0.8\n";
+        let rows = parse_csv(&schema(), csv).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(7));
+        assert!(rows[0][3].is_null());
+        assert_eq!(rows[0][4], Value::Float(0.8));
+    }
+
+    #[test]
+    fn quoted_empty_is_empty_string_not_null() {
+        let csv = "id,name,day,qty,price\n1,\"\",1997-01-01,1,1.0\n";
+        let rows = parse_csv(&schema(), csv).unwrap();
+        assert_eq!(rows[0][1], Value::str(""));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let csv = "id,nome,day,qty,price\n";
+        assert!(parse_csv(&schema(), csv).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let csv = "id,name,day,qty,price\n1,x,1997-01-01,2\n";
+        assert!(matches!(
+            parse_csv(&schema(), csv),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_types_rejected() {
+        let csv = "id,name,day,qty,price\nnope,x,1997-01-01,2,1.0\n";
+        assert!(matches!(
+            parse_csv(&schema(), csv),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+        let csv = "id,name,day,qty,price\n1,x,1997-13-01,2,1.0\n";
+        assert!(parse_csv(&schema(), csv).is_err());
+    }
+
+    #[test]
+    fn unterminated_quote_rejected() {
+        let csv = "id,name,day,qty,price\n1,\"open,1997-01-01,2,1.0\n";
+        assert!(parse_csv(&schema(), csv).is_err());
+    }
+}

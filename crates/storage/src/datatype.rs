@@ -1,0 +1,57 @@
+//! Column data types.
+
+use std::fmt;
+
+/// The static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Calendar date (days since 1970-01-01).
+    Date,
+}
+
+impl DataType {
+    /// True iff values of this type support `+`, `-`, `*`, unary `-`.
+    ///
+    /// SUM and COUNT aggregate sources must be numeric; MIN/MAX sources may
+    /// be any ordered type (the paper takes `MIN(date)`).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Str => "STR",
+            DataType::Date => "DATE",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Float.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(!DataType::Date.is_numeric());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataType::Int.to_string(), "INT");
+        assert_eq!(DataType::Date.to_string(), "DATE");
+    }
+}

@@ -1,0 +1,137 @@
+//! Deferred change sets.
+//!
+//! "Source changes received during the day are applied to the views in a
+//! nightly batch window" (§1). A [`DeltaSet`] is the deferred set of
+//! insertions (`pos_ins`) and deletions (`pos_del`) against one table; a
+//! [`ChangeBatch`] bundles the delta sets for all changed tables in one
+//! batch window.
+
+use crate::row::Row;
+
+/// Deferred insertions and deletions against a single table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSet {
+    /// Name of the table the changes target.
+    pub table: String,
+    /// Rows to insert (the paper's `pos_ins`).
+    pub insertions: Vec<Row>,
+    /// Rows to delete, multiset semantics (the paper's `pos_del`).
+    pub deletions: Vec<Row>,
+}
+
+impl DeltaSet {
+    /// An empty delta set for the named table.
+    pub fn new(table: impl Into<String>) -> Self {
+        DeltaSet {
+            table: table.into(),
+            insertions: Vec::new(),
+            deletions: Vec::new(),
+        }
+    }
+
+    /// A delta set holding only insertions.
+    pub fn insertions(table: impl Into<String>, rows: Vec<Row>) -> Self {
+        DeltaSet {
+            table: table.into(),
+            insertions: rows,
+            deletions: Vec::new(),
+        }
+    }
+
+    /// A delta set holding only deletions.
+    pub fn deletions(table: impl Into<String>, rows: Vec<Row>) -> Self {
+        DeltaSet {
+            table: table.into(),
+            insertions: Vec::new(),
+            deletions: rows,
+        }
+    }
+
+    /// Total number of changed rows.
+    pub fn len(&self) -> usize {
+        self.insertions.len() + self.deletions.len()
+    }
+
+    /// True iff the delta set carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.insertions.is_empty() && self.deletions.is_empty()
+    }
+}
+
+/// The complete set of deferred changes for one batch window.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeBatch {
+    /// One delta set per changed table.
+    pub deltas: Vec<DeltaSet>,
+}
+
+impl ChangeBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        ChangeBatch { deltas: Vec::new() }
+    }
+
+    /// A batch holding a single table's delta set.
+    pub fn single(delta: DeltaSet) -> Self {
+        ChangeBatch {
+            deltas: vec![delta],
+        }
+    }
+
+    /// Adds a delta set, merging with an existing one for the same table.
+    pub fn add(&mut self, delta: DeltaSet) {
+        if let Some(existing) = self.deltas.iter_mut().find(|d| d.table == delta.table) {
+            existing.insertions.extend(delta.insertions);
+            existing.deletions.extend(delta.deletions);
+        } else {
+            self.deltas.push(delta);
+        }
+    }
+
+    /// The delta set for a table, if any.
+    pub fn for_table(&self, table: &str) -> Option<&DeltaSet> {
+        self.deltas.iter().find(|d| d.table == table)
+    }
+
+    /// Total number of changed rows across all tables.
+    pub fn len(&self) -> usize {
+        self.deltas.iter().map(DeltaSet::len).sum()
+    }
+
+    /// True iff the batch carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.deltas.iter().all(DeltaSet::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn delta_set_counts() {
+        let d = DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![1i64], row![2i64]],
+            deletions: vec![row![3i64]],
+        };
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!(DeltaSet::new("pos").is_empty());
+    }
+
+    #[test]
+    fn batch_merges_same_table() {
+        let mut b = ChangeBatch::new();
+        b.add(DeltaSet::insertions("pos", vec![row![1i64]]));
+        b.add(DeltaSet::deletions("pos", vec![row![2i64]]));
+        b.add(DeltaSet::insertions("items", vec![row![3i64]]));
+        assert_eq!(b.deltas.len(), 2);
+        let pos = b.for_table("pos").unwrap();
+        assert_eq!(pos.insertions.len(), 1);
+        assert_eq!(pos.deletions.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert!(b.for_table("stores").is_none());
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// No table with this name exists in the catalog.
+    UnknownTable(String),
+    /// No column with this name exists in the schema.
+    UnknownColumn(String),
+    /// A row's arity does not match the table schema.
+    ArityMismatch { expected: usize, actual: usize },
+    /// A value's type does not match the column type.
+    TypeMismatch {
+        column: String,
+        expected: String,
+        actual: String,
+    },
+    /// A NULL was supplied for a non-nullable column.
+    NullViolation(String),
+    /// A unique-index insert collided with an existing key.
+    DuplicateKey(String),
+    /// A deletion referenced a row that is not present in the table.
+    MissingRow(String),
+    /// An index with this name already exists on the table.
+    IndexExists(String),
+    /// No index with this name exists on the table.
+    UnknownIndex(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::TableExists(name) => write!(f, "table `{name}` already exists"),
+            StorageError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            StorageError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity {actual} does not match schema arity {expected}")
+            }
+            StorageError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "type mismatch in column `{column}`: expected {expected}, got {actual}"
+            ),
+            StorageError::NullViolation(column) => {
+                write!(f, "NULL supplied for non-nullable column `{column}`")
+            }
+            StorageError::DuplicateKey(key) => write!(f, "duplicate key {key}"),
+            StorageError::MissingRow(row) => write!(f, "row not found for deletion: {row}"),
+            StorageError::IndexExists(name) => write!(f, "index `{name}` already exists"),
+            StorageError::UnknownIndex(name) => write!(f, "unknown index `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let cases: Vec<(StorageError, &str)> = vec![
+            (StorageError::TableExists("pos".into()), "table `pos` already exists"),
+            (StorageError::UnknownTable("nope".into()), "unknown table `nope`"),
+            (StorageError::UnknownColumn("qty".into()), "unknown column `qty`"),
+            (
+                StorageError::ArityMismatch { expected: 5, actual: 3 },
+                "row arity 3 does not match schema arity 5",
+            ),
+            (
+                StorageError::NullViolation("storeID".into()),
+                "NULL supplied for non-nullable column `storeID`",
+            ),
+        ];
+        for (err, expected) in cases {
+            assert_eq!(err.to_string(), expected);
+        }
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            StorageError::UnknownTable("a".into()),
+            StorageError::UnknownTable("a".into())
+        );
+        assert_ne!(
+            StorageError::UnknownTable("a".into()),
+            StorageError::UnknownTable("b".into())
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Composite hash indexes.
+//!
+//! The paper's experimental setup (§6) gives the fact table a composite
+//! index on `(storeID, itemID, date)` and each summary table a composite
+//! index on its group-by columns. [`HashIndex`] is the multiset variant used
+//! on fact tables; [`UniqueIndex`] is the unique variant used on summary
+//! tables (group-by keys are unique by construction), and is what makes the
+//! refresh function's per-tuple lookup O(1).
+
+use std::collections::HashMap;
+
+use crate::error::{StorageError, StorageResult};
+use crate::row::{Row, RowId};
+
+/// A multiset hash index: key → all row ids carrying that key.
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    cols: Vec<usize>,
+    map: HashMap<Row, Vec<RowId>>,
+}
+
+impl HashIndex {
+    /// An empty index over the given key column positions.
+    pub fn new(cols: Vec<usize>) -> Self {
+        HashIndex {
+            cols,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The indexed column positions.
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Extracts the index key from a full row.
+    pub fn key_of(&self, row: &Row) -> Row {
+        row.project(&self.cols)
+    }
+
+    /// Registers a row under its key.
+    pub fn insert(&mut self, row: &Row, id: RowId) {
+        self.map.entry(self.key_of(row)).or_default().push(id);
+    }
+
+    /// Unregisters a row. No-op if the row was never registered.
+    pub fn remove(&mut self, row: &Row, id: RowId) {
+        let key = self.key_of(row);
+        if let Some(ids) = self.map.get_mut(&key) {
+            if let Some(pos) = ids.iter().position(|&x| x == id) {
+                ids.swap_remove(pos);
+            }
+            if ids.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    /// All row ids under a key.
+    pub fn get(&self, key: &Row) -> &[RowId] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// A unique hash index: key → the single row id carrying that key.
+#[derive(Debug, Clone, Default)]
+pub struct UniqueIndex {
+    cols: Vec<usize>,
+    map: HashMap<Row, RowId>,
+}
+
+impl UniqueIndex {
+    /// An empty unique index over the given key column positions.
+    pub fn new(cols: Vec<usize>) -> Self {
+        UniqueIndex {
+            cols,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The indexed column positions.
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+
+    /// Extracts the index key from a full row.
+    pub fn key_of(&self, row: &Row) -> Row {
+        row.project(&self.cols)
+    }
+
+    /// Registers a row; errors if the key already exists.
+    pub fn insert(&mut self, row: &Row, id: RowId) -> StorageResult<()> {
+        let key = self.key_of(row);
+        match self.map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                Err(StorageError::DuplicateKey(e.key().to_string()))
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(id);
+                Ok(())
+            }
+        }
+    }
+
+    /// Unregisters a row. No-op if absent.
+    pub fn remove(&mut self, row: &Row) {
+        self.map.remove(&self.key_of(row));
+    }
+
+    /// The row id under a key, if any.
+    pub fn get(&self, key: &Row) -> Option<RowId> {
+        self.map.get(key).copied()
+    }
+
+    /// Number of keys (= number of rows indexed).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff the index holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops all entries.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn hash_index_multiset_semantics() {
+        let mut ix = HashIndex::new(vec![0]);
+        let r1 = row![1i64, "a"];
+        let r2 = row![1i64, "b"];
+        ix.insert(&r1, RowId(0));
+        ix.insert(&r2, RowId(1));
+        assert_eq!(ix.get(&row![1i64]).len(), 2);
+        assert_eq!(ix.distinct_keys(), 1);
+
+        ix.remove(&r1, RowId(0));
+        assert_eq!(ix.get(&row![1i64]), &[RowId(1)]);
+        ix.remove(&r2, RowId(1));
+        assert!(ix.get(&row![1i64]).is_empty());
+        assert_eq!(ix.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn hash_index_remove_absent_is_noop() {
+        let mut ix = HashIndex::new(vec![0]);
+        ix.remove(&row![1i64, "a"], RowId(7));
+        assert_eq!(ix.distinct_keys(), 0);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates() {
+        let mut ix = UniqueIndex::new(vec![0, 1]);
+        let r = row![1i64, 2i64, 99i64];
+        ix.insert(&r, RowId(0)).unwrap();
+        let dup = row![1i64, 2i64, 100i64];
+        assert!(matches!(
+            ix.insert(&dup, RowId(1)),
+            Err(StorageError::DuplicateKey(_))
+        ));
+        assert_eq!(ix.get(&row![1i64, 2i64]), Some(RowId(0)));
+        ix.remove(&r);
+        assert_eq!(ix.get(&row![1i64, 2i64]), None);
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn composite_key_extraction() {
+        let ix = UniqueIndex::new(vec![2, 0]);
+        assert_eq!(ix.key_of(&row![1i64, 2i64, 3i64]), row![3i64, 1i64]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # cubedelta-storage
+//!
+//! The storage substrate for CubeDelta: an in-memory relational engine with
+//! multiset (bag) semantics, matching the warehouse model of the paper
+//! *"Maintenance of Data Cubes and Summary Tables in a Warehouse"*
+//! (Mumick, Quass & Mumick, SIGMOD 1997).
+//!
+//! This crate provides:
+//!
+//! * [`Value`] — the SQL-ish value model (integers, floats, strings, dates,
+//!   and NULL) with a total order and hashing so values can serve as
+//!   group-by keys.
+//! * [`Schema`] / [`Column`] — named, typed column lists.
+//! * [`Row`] — a tuple of values.
+//! * [`Table`] — a slotted multiset of rows (duplicates allowed, as the
+//!   paper's `pos` fact table requires) with optional hash indexes.
+//! * [`HashIndex`] / [`UniqueIndex`] — composite hash indexes, mirroring the
+//!   composite indexes on group-by columns used in the paper's §6 study.
+//! * [`Catalog`] — the warehouse catalog: fact tables, dimension tables,
+//!   foreign keys, and functional dependencies (dimension hierarchies).
+//! * [`DeltaSet`] — deferred sets of insertions and deletions, the unit of
+//!   change a warehouse receives during the day and applies in the nightly
+//!   batch window.
+
+pub mod catalog;
+pub mod csv;
+pub mod datatype;
+pub mod delta;
+pub mod error;
+pub mod index;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use csv::{load_csv, parse_csv, to_csv};
+pub use catalog::{Catalog, DimensionInfo, ForeignKey, FunctionalDependency, TableRole};
+pub use datatype::DataType;
+pub use delta::{ChangeBatch, DeltaSet};
+pub use error::{StorageError, StorageResult};
+pub use index::{HashIndex, UniqueIndex};
+pub use row::{Row, RowId};
+pub use schema::{Column, Schema};
+pub use table::Table;
+pub use value::{Date, Value};

@@ -1,0 +1,130 @@
+//! Rows (tuples) and row identifiers.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::value::Value;
+
+/// Identifies a row slot within a [`crate::table::Table`].
+///
+/// Row ids are stable for the lifetime of a row: deleting a row frees its
+/// slot for reuse, so a `RowId` must not be held across deletions of the row
+/// it names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// The slot position as a usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A tuple of values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Builds a row from anything convertible to values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Number of columns in the row.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Extracts the sub-row formed by the given column positions (cloning).
+    ///
+    /// This is the key-extraction primitive for hash indexes and group-by.
+    pub fn project(&self, cols: &[usize]) -> Row {
+        Row(cols.iter().map(|&c| self.0[c].clone()).collect())
+    }
+
+    /// Concatenates two rows (used by joins).
+    pub fn concat(&self, other: &Row) -> Row {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Row(v)
+    }
+
+    /// Iterator over the values.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+}
+
+impl Index<usize> for Row {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Convenience macro for building rows in tests and examples:
+/// `row![1, "a", 2.5]`.
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::row::Row::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn project_extracts_columns() {
+        let r = row![10i64, "x", 2.5];
+        assert_eq!(r.project(&[2, 0]), row![2.5, 10i64]);
+        assert_eq!(r.project(&[]), Row::default());
+    }
+
+    #[test]
+    fn concat_joins_rows() {
+        let a = row![1i64, 2i64];
+        let b = row!["z"];
+        assert_eq!(a.concat(&b), row![1i64, 2i64, "z"]);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(row![1i64, "a"].to_string(), "(1, a)");
+    }
+
+    #[test]
+    fn index_access() {
+        let r = row![5i64, "q"];
+        assert_eq!(r[0], Value::Int(5));
+        assert_eq!(r[1], Value::str("q"));
+        assert_eq!(r.arity(), 2);
+    }
+}

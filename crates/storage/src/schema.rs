@@ -1,0 +1,255 @@
+//! Schemas: ordered, named, typed column lists.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::datatype::DataType;
+use crate::error::{StorageError, StorageResult};
+use crate::row::Row;
+use crate::value::Value;
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (unique within a schema).
+    pub name: String,
+    /// Static type.
+    pub datatype: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: impl Into<String>, datatype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            datatype,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: impl Into<String>, datatype: DataType) -> Self {
+        Column {
+            name: name.into(),
+            datatype,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered list of columns with O(1) name lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema; panics on duplicate column names (a schema is a
+    /// static program artifact, so a duplicate is a programming error).
+    pub fn new(columns: Vec<Column>) -> Self {
+        let mut by_name = HashMap::with_capacity(columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            if by_name.insert(c.name.clone(), i).is_some() {
+                panic!("duplicate column name `{}` in schema", c.name);
+            }
+        }
+        Schema { columns, by_name }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column position by name.
+    pub fn index_of(&self, name: &str) -> StorageResult<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> StorageResult<&Column> {
+        Ok(&self.columns[self.index_of(name)?])
+    }
+
+    /// Column positions for a list of names.
+    pub fn indices_of(&self, names: &[&str]) -> StorageResult<Vec<usize>> {
+        names.iter().map(|n| self.index_of(n)).collect()
+    }
+
+    /// True iff a column with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// All column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Validates a row against this schema: arity, types, nullability.
+    pub fn check_row(&self, row: &Row) -> StorageResult<()> {
+        if row.arity() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.arity(),
+                actual: row.arity(),
+            });
+        }
+        for (col, val) in self.columns.iter().zip(row.iter()) {
+            match val {
+                Value::Null => {
+                    if !col.nullable {
+                        return Err(StorageError::NullViolation(col.name.clone()));
+                    }
+                }
+                v => {
+                    let vt = v.data_type().expect("non-null value has a type");
+                    if vt != col.datatype {
+                        return Err(StorageError::TypeMismatch {
+                            column: col.name.clone(),
+                            expected: col.datatype.to_string(),
+                            actual: vt.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A new schema formed by the given column positions (used by project).
+    pub fn project(&self, cols: &[usize]) -> Schema {
+        Schema::new(cols.iter().map(|&c| self.columns[c].clone()).collect())
+    }
+
+    /// A new schema formed by concatenating two schemas, prefixing any
+    /// colliding names from `other` with `prefix.` (used by joins).
+    pub fn join(&self, other: &Schema, prefix: &str) -> Schema {
+        let mut cols = self.columns.clone();
+        for c in other.columns() {
+            let mut c = c.clone();
+            if self.contains(&c.name) {
+                c.name = format!("{prefix}.{}", c.name);
+            }
+            cols.push(c);
+        }
+        Schema::new(cols)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", c.name, c.datatype)?;
+            if c.nullable {
+                write!(f, " NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn pos_schema() -> Schema {
+        Schema::new(vec![
+            Column::new("storeID", DataType::Int),
+            Column::new("itemID", DataType::Int),
+            Column::new("date", DataType::Date),
+            Column::nullable("qty", DataType::Int),
+            Column::nullable("price", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = pos_schema();
+        assert_eq!(s.index_of("date").unwrap(), 2);
+        assert_eq!(s.indices_of(&["qty", "storeID"]).unwrap(), vec![3, 0]);
+        assert!(s.index_of("nope").is_err());
+        assert!(s.contains("price"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_names_panic() {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("a", DataType::Int),
+        ]);
+    }
+
+    #[test]
+    fn check_row_validates() {
+        let s = pos_schema();
+        let good = Row::new(vec![
+            Value::Int(1),
+            Value::Int(2),
+            Value::Date(crate::value::Date(0)),
+            Value::Null,
+            Value::Float(9.99),
+        ]);
+        assert!(s.check_row(&good).is_ok());
+
+        let wrong_arity = row![1i64];
+        assert!(matches!(
+            s.check_row(&wrong_arity),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+
+        let null_in_key = Row::new(vec![
+            Value::Null,
+            Value::Int(2),
+            Value::Date(crate::value::Date(0)),
+            Value::Int(1),
+            Value::Float(1.0),
+        ]);
+        assert!(matches!(
+            s.check_row(&null_in_key),
+            Err(StorageError::NullViolation(_))
+        ));
+
+        let wrong_type = Row::new(vec![
+            Value::str("x"),
+            Value::Int(2),
+            Value::Date(crate::value::Date(0)),
+            Value::Int(1),
+            Value::Float(1.0),
+        ]);
+        assert!(matches!(
+            s.check_row(&wrong_type),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn project_and_join() {
+        let s = pos_schema();
+        let p = s.project(&[0, 2]);
+        assert_eq!(p.names(), vec!["storeID", "date"]);
+
+        let dim = Schema::new(vec![
+            Column::new("storeID", DataType::Int),
+            Column::new("city", DataType::Str),
+        ]);
+        let j = s.project(&[0, 3]).join(&dim, "stores");
+        assert_eq!(j.names(), vec!["storeID", "qty", "stores.storeID", "city"]);
+    }
+}

@@ -1,0 +1,432 @@
+//! Multiset tables with slotted storage and hash indexes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::delta::DeltaSet;
+use crate::error::{StorageError, StorageResult};
+use crate::index::{HashIndex, UniqueIndex};
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+
+/// An in-memory multiset (bag) of rows.
+///
+/// Duplicates are allowed — the paper's `pos` fact table "is allowed to
+/// contain duplicates, for example, when an item is sold in different
+/// transactions in the same store on the same date" (§2). Rows live in
+/// slots; deleting frees the slot for reuse so row ids stay dense.
+///
+/// A table may carry any number of named multiset [`HashIndex`]es, plus at
+/// most one [`UniqueIndex`] (summary tables use one on their group-by
+/// columns; it backs the O(1) refresh lookup).
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    slots: Vec<Option<Row>>,
+    free: Vec<RowId>,
+    live: usize,
+    indexes: HashMap<String, HashIndex>,
+    unique: Option<UniqueIndex>,
+    /// When false, insert/delete skip per-row schema validation. Bulk loads
+    /// from trusted generators turn this off; the default is on.
+    validate: bool,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Table {
+            name: name.into(),
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            indexes: HashMap::new(),
+            unique: None,
+            validate: true,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Disables per-row validation (for trusted bulk loads).
+    pub fn set_validate(&mut self, validate: bool) {
+        self.validate = validate;
+    }
+
+    /// Creates a named multiset hash index over columns given by name,
+    /// populating it from existing rows.
+    pub fn create_index(&mut self, index_name: &str, columns: &[&str]) -> StorageResult<()> {
+        if self.indexes.contains_key(index_name) {
+            return Err(StorageError::IndexExists(index_name.to_string()));
+        }
+        let cols = self.schema.indices_of(columns)?;
+        let mut ix = HashIndex::new(cols);
+        for (id, row) in self.iter() {
+            ix.insert(row, id);
+        }
+        self.indexes.insert(index_name.to_string(), ix);
+        Ok(())
+    }
+
+    /// Creates the table's unique index over columns given by name,
+    /// populating it from existing rows. Errors if two rows share a key.
+    pub fn create_unique_index(&mut self, columns: &[&str]) -> StorageResult<()> {
+        let cols = self.schema.indices_of(columns)?;
+        let mut ix = UniqueIndex::new(cols);
+        for (id, row) in self.iter() {
+            ix.insert(row, id)?;
+        }
+        self.unique = Some(ix);
+        Ok(())
+    }
+
+    /// The unique index, if one was created.
+    pub fn unique_index(&self) -> Option<&UniqueIndex> {
+        self.unique.as_ref()
+    }
+
+    /// A named multiset index.
+    pub fn index(&self, name: &str) -> StorageResult<&HashIndex> {
+        self.indexes
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownIndex(name.to_string()))
+    }
+
+    /// Inserts a row, returning its id.
+    pub fn insert(&mut self, row: Row) -> StorageResult<RowId> {
+        if self.validate {
+            self.schema.check_row(&row)?;
+        }
+        let id = match self.free.pop() {
+            Some(id) => id,
+            None => {
+                let id = RowId(self.slots.len() as u32);
+                self.slots.push(None);
+                id
+            }
+        };
+        if let Some(ix) = &mut self.unique {
+            if let Err(e) = ix.insert(&row, id) {
+                self.free.push(id);
+                return Err(e);
+            }
+        }
+        for ix in self.indexes.values_mut() {
+            ix.insert(&row, id);
+        }
+        self.slots[id.index()] = Some(row);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Bulk insert.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> StorageResult<()> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches a row by id.
+    pub fn get(&self, id: RowId) -> Option<&Row> {
+        self.slots.get(id.index()).and_then(|s| s.as_ref())
+    }
+
+    /// Deletes a row by id, returning it.
+    pub fn delete(&mut self, id: RowId) -> StorageResult<Row> {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .ok_or_else(|| StorageError::MissingRow(format!("row id {}", id.0)))?;
+        let row = slot
+            .take()
+            .ok_or_else(|| StorageError::MissingRow(format!("row id {}", id.0)))?;
+        if let Some(ix) = &mut self.unique {
+            ix.remove(&row);
+        }
+        for ix in self.indexes.values_mut() {
+            ix.remove(&row, id);
+        }
+        self.free.push(id);
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Replaces the row at `id` in place, keeping indexes consistent.
+    ///
+    /// This is the refresh function's "update tuple" operation.
+    pub fn update(&mut self, id: RowId, new_row: Row) -> StorageResult<()> {
+        if self.validate {
+            self.schema.check_row(&new_row)?;
+        }
+        let old = self
+            .slots
+            .get(id.index())
+            .and_then(|s| s.clone())
+            .ok_or_else(|| StorageError::MissingRow(format!("row id {}", id.0)))?;
+        if let Some(ix) = &mut self.unique {
+            ix.remove(&old);
+            ix.insert(&new_row, id)?;
+        }
+        for ix in self.indexes.values_mut() {
+            ix.remove(&old, id);
+            ix.insert(&new_row, id);
+        }
+        self.slots[id.index()] = Some(new_row);
+        Ok(())
+    }
+
+    /// Iterates over live rows with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u32), r)))
+    }
+
+    /// Iterates over live rows.
+    pub fn rows(&self) -> impl Iterator<Item = &Row> {
+        self.slots.iter().filter_map(|s| s.as_ref())
+    }
+
+    /// Clones all live rows into a vector.
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.rows().cloned().collect()
+    }
+
+    /// Applies a deferred change set: all deletions (multiset semantics —
+    /// each deletion removes exactly one matching occurrence), then all
+    /// insertions. One scan handles the whole deletion batch.
+    ///
+    /// Errors with [`StorageError::MissingRow`] if some deletion has no
+    /// matching row; the table is left with all found deletions applied.
+    pub fn apply_delta(&mut self, delta: &DeltaSet) -> StorageResult<()> {
+        if !delta.deletions.is_empty() {
+            // Count how many occurrences of each row must go.
+            let mut pending: HashMap<&Row, usize> = HashMap::new();
+            for d in &delta.deletions {
+                *pending.entry(d).or_insert(0) += 1;
+            }
+            let mut remaining = delta.deletions.len();
+            let mut to_delete: Vec<RowId> = Vec::with_capacity(remaining);
+            for (id, row) in self.iter() {
+                if remaining == 0 {
+                    break;
+                }
+                if let Some(cnt) = pending.get_mut(row) {
+                    if *cnt > 0 {
+                        *cnt -= 1;
+                        remaining -= 1;
+                        to_delete.push(id);
+                    }
+                }
+            }
+            for id in to_delete {
+                self.delete(id)?;
+            }
+            if remaining > 0 {
+                return Err(StorageError::MissingRow(format!(
+                    "{remaining} deletion(s) had no matching row in `{}`",
+                    self.name
+                )));
+            }
+        }
+        for r in &delta.insertions {
+            self.insert(r.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Removes every row, keeping schema and index definitions.
+    pub fn truncate(&mut self) {
+        self.slots.clear();
+        self.free.clear();
+        self.live = 0;
+        if let Some(ix) = &mut self.unique {
+            ix.clear();
+        }
+        for ix in self.indexes.values_mut() {
+            ix.clear();
+        }
+    }
+
+    /// Sorted snapshot of the rows — canonical form for multiset equality
+    /// in tests ("does incremental maintenance equal rematerialization?").
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut v = self.to_rows();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {} [{} rows]", self.name, self.schema, self.live)?;
+        for row in self.rows() {
+            writeln!(f, "  {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::row;
+    use crate::schema::Column;
+
+    fn table() -> Table {
+        Table::new(
+            "t",
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Str),
+            ]),
+        )
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut t = table();
+        let id = t.insert(row![1i64, "x"]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(id), Some(&row![1i64, "x"]));
+        let r = t.delete(id).unwrap();
+        assert_eq!(r, row![1i64, "x"]);
+        assert!(t.is_empty());
+        assert!(t.get(id).is_none());
+        assert!(t.delete(id).is_err());
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut t = table();
+        let id0 = t.insert(row![1i64, "x"]).unwrap();
+        t.delete(id0).unwrap();
+        let id1 = t.insert(row![2i64, "y"]).unwrap();
+        assert_eq!(id0, id1, "freed slot should be reused");
+    }
+
+    #[test]
+    fn duplicates_allowed() {
+        let mut t = table();
+        t.insert(row![1i64, "x"]).unwrap();
+        t.insert(row![1i64, "x"]).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_rows() {
+        let mut t = table();
+        assert!(t.insert(row![1i64]).is_err());
+        assert!(t.insert(row!["oops", "x"]).is_err());
+        t.set_validate(false);
+        // Trusted mode skips the check.
+        assert!(t.insert(row![1i64]).is_ok());
+    }
+
+    #[test]
+    fn unique_index_enforced_and_maintained() {
+        let mut t = table();
+        t.create_unique_index(&["a"]).unwrap();
+        let id = t.insert(row![1i64, "x"]).unwrap();
+        assert!(t.insert(row![1i64, "y"]).is_err());
+        assert_eq!(t.len(), 1, "failed insert must not leak a row");
+        assert_eq!(t.unique_index().unwrap().get(&row![1i64]), Some(id));
+        t.delete(id).unwrap();
+        assert_eq!(t.unique_index().unwrap().get(&row![1i64]), None);
+        t.insert(row![1i64, "y"]).unwrap();
+    }
+
+    #[test]
+    fn named_index_lookup() {
+        let mut t = table();
+        t.insert(row![1i64, "x"]).unwrap();
+        t.insert(row![1i64, "y"]).unwrap();
+        t.insert(row![2i64, "z"]).unwrap();
+        t.create_index("by_a", &["a"]).unwrap();
+        assert_eq!(t.index("by_a").unwrap().get(&row![1i64]).len(), 2);
+        assert!(t.create_index("by_a", &["a"]).is_err());
+        assert!(t.index("nope").is_err());
+    }
+
+    #[test]
+    fn update_keeps_indexes_consistent() {
+        let mut t = table();
+        t.create_unique_index(&["a"]).unwrap();
+        t.create_index("by_b", &["b"]).unwrap();
+        let id = t.insert(row![1i64, "x"]).unwrap();
+        t.update(id, row![2i64, "y"]).unwrap();
+        assert_eq!(t.unique_index().unwrap().get(&row![1i64]), None);
+        assert_eq!(t.unique_index().unwrap().get(&row![2i64]), Some(id));
+        assert!(t.index("by_b").unwrap().get(&row!["x"]).is_empty());
+        assert_eq!(t.index("by_b").unwrap().get(&row!["y"]), &[id]);
+    }
+
+    #[test]
+    fn apply_delta_multiset_deletion() {
+        let mut t = table();
+        t.insert(row![1i64, "x"]).unwrap();
+        t.insert(row![1i64, "x"]).unwrap();
+        t.insert(row![2i64, "y"]).unwrap();
+        let delta = DeltaSet {
+            table: "t".into(),
+            insertions: vec![row![3i64, "z"]],
+            deletions: vec![row![1i64, "x"]],
+        };
+        t.apply_delta(&delta).unwrap();
+        // Exactly one of the two duplicates goes.
+        assert_eq!(
+            t.sorted_rows(),
+            vec![row![1i64, "x"], row![2i64, "y"], row![3i64, "z"]]
+        );
+    }
+
+    #[test]
+    fn apply_delta_missing_row_errors() {
+        let mut t = table();
+        t.insert(row![1i64, "x"]).unwrap();
+        let delta = DeltaSet {
+            table: "t".into(),
+            insertions: vec![],
+            deletions: vec![row![9i64, "nope"]],
+        };
+        assert!(matches!(
+            t.apply_delta(&delta),
+            Err(StorageError::MissingRow(_))
+        ));
+    }
+
+    #[test]
+    fn truncate_clears_rows_and_indexes() {
+        let mut t = table();
+        t.create_unique_index(&["a"]).unwrap();
+        t.insert(row![1i64, "x"]).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        assert!(t.unique_index().unwrap().is_empty());
+        // Key is reusable after truncate.
+        t.insert(row![1i64, "x"]).unwrap();
+    }
+}

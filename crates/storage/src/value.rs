@@ -1,0 +1,472 @@
+//! The SQL-ish value model.
+//!
+//! Values carry a *total* order and a hash so rows of values can be used
+//! directly as group-by keys in hash aggregation (the core operation of the
+//! summary-delta method). SQL three-valued logic is *not* baked into the
+//! order — NULL sorts first — because aggregate functions themselves skip
+//! NULLs explicitly (§3.1 of the paper), and group-by treats NULLs as equal,
+//! exactly as SQL's `GROUP BY` does.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::datatype::DataType;
+
+/// A calendar date stored as days since the civil epoch 1970-01-01.
+///
+/// Dates appear in the paper both as a *dimension* attribute and as a
+/// *measure* (`MIN(date) AS EarliestSale` in `SiC_sales`), so the type
+/// supports ordering, arithmetic by days, and civil-date conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Builds a date from a civil year/month/day triple.
+    ///
+    /// Uses the classic days-from-civil algorithm (valid for all i32 days
+    /// around the epoch). Months are 1-12, days 1-31; the caller is trusted
+    /// to pass a valid civil date.
+    pub fn from_ymd(y: i32, m: u32, d: u32) -> Self {
+        let y = if m <= 2 { y - 1 } else { y };
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = (y - era * 400) as i64; // [0, 399]
+        let mp = ((m + 9) % 12) as i64; // [0, 11], March = 0
+        let doy = (153 * mp + 2) / 5 + (d as i64 - 1); // [0, 365]
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+        Date((era as i64 * 146097 + doe - 719468) as i32)
+    }
+
+    /// Returns the civil (year, month, day) triple for this date.
+    pub fn to_ymd(self) -> (i32, u32, u32) {
+        let z = self.0 as i64 + 719468;
+        let era = if z >= 0 { z } else { z - 146096 } / 146097;
+        let doe = z - era * 146097; // [0, 146096]
+        let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+        let mp = (5 * doy + 2) / 153; // [0, 11]
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32; // [1, 12]
+        ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+    }
+
+    /// Returns this date shifted by `days`.
+    pub fn plus_days(self, days: i32) -> Self {
+        Date(self.0 + days)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.to_ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+/// A single SQL-ish value.
+///
+/// `Float` values are given a total order via [`f64::total_cmp`] and hashed
+/// by canonicalised bit pattern (`-0.0` folds to `0.0`, all NaNs fold to one
+/// NaN), so `Value` satisfies `Eq + Ord + Hash` and rows of values can key a
+/// hash table.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL. Sorts before every non-NULL value; equal to itself for
+    /// grouping purposes (matching SQL `GROUP BY` semantics).
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float with total ordering.
+    Float(f64),
+    /// Interned UTF-8 string (cheap to clone; group-by keys clone values).
+    Str(Arc<str>),
+    /// Calendar date.
+    Date(Date),
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul/neg take &self and
+// propagate NULL — deliberately not the std operator traits.
+impl Value {
+    /// Builds a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime [`DataType`] of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+            Value::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// True iff the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, coercing `Int` to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the date payload, if this is a `Date`.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Numeric addition with NULL propagation and Int/Float coercion.
+    ///
+    /// Used by the refresh function to fold `sd_` columns into summary
+    /// columns (`t.a = t.a + td.a` for COUNT/SUM in Fig 7).
+    pub fn add(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x + y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Numeric subtraction with NULL propagation and Int/Float coercion.
+    pub fn sub(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Int(a), Value::Int(b)) => Value::Int(a - b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x - y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Numeric multiplication with NULL propagation and Int/Float coercion.
+    pub fn mul(&self, other: &Value) -> Value {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => Value::Null,
+            (Value::Int(a), Value::Int(b)) => Value::Int(a * b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Value::Float(x * y),
+                _ => Value::Null,
+            },
+        }
+    }
+
+    /// Numeric negation with NULL propagation.
+    ///
+    /// This is the heart of Table 1: prepare-deletions negate the
+    /// aggregate-source attributes (`-1 AS _count`, `-qty AS _quantity`).
+    pub fn neg(&self) -> Value {
+        match self {
+            Value::Null => Value::Null,
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            // Negating a non-numeric value has no meaning; deletions of
+            // MIN/MAX sources keep the value as-is (Table 1), so callers
+            // never negate strings or dates. Returning NULL keeps the
+            // operation total.
+            Value::Str(_) | Value::Date(_) => Value::Null,
+        }
+    }
+
+    /// Minimum of two values, skipping NULLs (SQL MIN semantics).
+    pub fn min_sql(&self, other: &Value) -> Value {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Value::Null,
+            (true, false) => other.clone(),
+            (false, true) => self.clone(),
+            (false, false) => {
+                if self <= other {
+                    self.clone()
+                } else {
+                    other.clone()
+                }
+            }
+        }
+    }
+
+    /// Maximum of two values, skipping NULLs (SQL MAX semantics).
+    pub fn max_sql(&self, other: &Value) -> Value {
+        match (self.is_null(), other.is_null()) {
+            (true, true) => Value::Null,
+            (true, false) => other.clone(),
+            (false, true) => self.clone(),
+            (false, false) => {
+                if self >= other {
+                    self.clone()
+                } else {
+                    other.clone()
+                }
+            }
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 1, // numerics compare cross-type
+            Value::Str(_) => 2,
+            Value::Date(_) => 3,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => canonical_f64(*a).total_cmp(&canonical_f64(*b)),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(&canonical_f64(*b)),
+            (Float(a), Int(b)) => canonical_f64(*a).total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            // Integers and integral floats must hash alike because they
+            // compare equal (Int(2) == Float(2.0)).
+            Value::Int(i) => {
+                state.write_u8(1);
+                canonical_f64_bits(*i as f64).hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                canonical_f64_bits(*f).hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                state.write_u8(3);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+/// Canonical float for ordering and hashing: folds `-0.0` into `0.0` and all
+/// NaN payloads into one canonical NaN, so equality, ordering, and hashing
+/// agree (required for values used as hash-map group-by keys).
+fn canonical_f64(f: f64) -> f64 {
+    if f == 0.0 {
+        0.0
+    } else if f.is_nan() {
+        f64::NAN
+    } else {
+        f
+    }
+}
+
+/// Canonical bit pattern for hashing floats.
+fn canonical_f64_bits(f: f64) -> u64 {
+    canonical_f64(f).to_bits()
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn date_roundtrips_epoch() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).0, 0);
+        assert_eq!(Date(0).to_ymd(), (1970, 1, 1));
+    }
+
+    #[test]
+    fn date_roundtrips_many() {
+        for days in (-200_000..200_000).step_by(37) {
+            let d = Date(days);
+            let (y, m, dd) = d.to_ymd();
+            assert_eq!(Date::from_ymd(y, m, dd), d, "roundtrip failed for {days}");
+        }
+    }
+
+    #[test]
+    fn date_known_values() {
+        assert_eq!(Date::from_ymd(1997, 5, 13).to_string(), "1997-05-13");
+        assert_eq!(Date::from_ymd(2000, 2, 29).to_ymd(), (2000, 2, 29));
+        assert_eq!(Date::from_ymd(1996, 12, 31).plus_days(1).to_ymd(), (1997, 1, 1));
+    }
+
+    #[test]
+    fn date_ordering_matches_calendar() {
+        assert!(Date::from_ymd(1997, 1, 1) < Date::from_ymd(1997, 1, 2));
+        assert!(Date::from_ymd(1996, 12, 31) < Date::from_ymd(1997, 1, 1));
+    }
+
+    #[test]
+    fn null_sorts_first() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Null < Value::str(""));
+        assert!(Value::Null < Value::Date(Date(i32::MIN)));
+    }
+
+    #[test]
+    fn cross_numeric_comparison() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn equal_numerics_hash_alike() {
+        assert_eq!(hash_of(&Value::Int(42)), hash_of(&Value::Float(42.0)));
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+    }
+
+    #[test]
+    fn arithmetic_null_propagation() {
+        assert!(Value::Null.add(&Value::Int(1)).is_null());
+        assert!(Value::Int(1).add(&Value::Null).is_null());
+        assert!(Value::Null.neg().is_null());
+    }
+
+    #[test]
+    fn arithmetic_coercion() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)), Value::Int(5));
+        assert_eq!(Value::Int(2).add(&Value::Float(0.5)), Value::Float(2.5));
+        assert_eq!(Value::Float(2.0).mul(&Value::Int(3)), Value::Float(6.0));
+        assert_eq!(Value::Int(7).sub(&Value::Int(9)), Value::Int(-2));
+        assert_eq!(Value::Int(7).neg(), Value::Int(-7));
+    }
+
+    #[test]
+    fn min_max_skip_nulls() {
+        assert_eq!(Value::Null.min_sql(&Value::Int(3)), Value::Int(3));
+        assert_eq!(Value::Int(3).min_sql(&Value::Null), Value::Int(3));
+        assert_eq!(Value::Int(3).min_sql(&Value::Int(5)), Value::Int(3));
+        assert_eq!(Value::Int(3).max_sql(&Value::Int(5)), Value::Int(5));
+        assert!(Value::Null.max_sql(&Value::Null).is_null());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+        assert_eq!(Value::Date(Date::from_ymd(1997, 5, 13)).to_string(), "1997-05-13");
+    }
+
+    #[test]
+    fn data_type_reporting() {
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Float(1.0).data_type(), Some(DataType::Float));
+        assert_eq!(Value::str("x").data_type(), Some(DataType::Str));
+        assert_eq!(Value::Date(Date(0)).data_type(), Some(DataType::Date));
+    }
+}

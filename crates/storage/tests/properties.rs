@@ -1,0 +1,197 @@
+//! Property-based tests for the storage substrate: the value model's
+//! order/equality/hash coherence (required for hash-map group-by keys),
+//! date arithmetic, and table operations against a simple model.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use cubedelta_storage::{Column, DataType, Date, DeltaSet, Row, Schema, Table, Value};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        1 => Just(Value::Null),
+        4 => any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        3 => (-1.0e6f64..1.0e6).prop_map(Value::Float),
+        1 => Just(Value::Float(0.0)),
+        1 => Just(Value::Float(-0.0)),
+        3 => "[a-z]{0,6}".prop_map(Value::str),
+        2 => (-100_000i32..100_000).prop_map(|d| Value::Date(Date(d))),
+    ]
+}
+
+fn hash_of(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    v.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// Total order: reflexive equality, antisymmetry, transitivity on
+    /// triples.
+    #[test]
+    fn value_order_is_total(a in value(), b in value(), c in value()) {
+        prop_assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        if a <= b && b <= a {
+            prop_assert_eq!(&a, &b);
+        }
+        if a <= b && b <= c {
+            prop_assert!(a <= c);
+        }
+    }
+
+    /// Hash coherence: equal values hash equally (the hash-map contract).
+    #[test]
+    fn equal_values_hash_alike(a in value(), b in value()) {
+        if a == b {
+            prop_assert_eq!(hash_of(&a), hash_of(&b));
+        }
+    }
+
+    /// Int/Float cross-type equality is consistent with hashing.
+    #[test]
+    fn numeric_coercion_hash(i in any::<i32>()) {
+        let int = Value::Int(i as i64);
+        let float = Value::Float(i as f64);
+        prop_assert_eq!(&int, &float);
+        prop_assert_eq!(hash_of(&int), hash_of(&float));
+    }
+
+    /// Dates round-trip through civil (y, m, d) form.
+    #[test]
+    fn date_roundtrip(days in -500_000i32..500_000) {
+        let d = Date(days);
+        let (y, m, dd) = d.to_ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd), d);
+        prop_assert!((1..=12).contains(&m));
+        prop_assert!((1..=31).contains(&dd));
+    }
+
+    /// plus_days is additive and ordered.
+    #[test]
+    fn date_arithmetic(base in -10_000i32..10_000, a in -1000i32..1000, b in -1000i32..1000) {
+        let d = Date(base);
+        prop_assert_eq!(d.plus_days(a).plus_days(b), d.plus_days(a + b));
+        if a < b {
+            prop_assert!(d.plus_days(a) < d.plus_days(b));
+        }
+    }
+
+    /// min_sql/max_sql are commutative, idempotent, and NULL-skipping.
+    #[test]
+    fn min_max_lattice_laws(a in value(), b in value()) {
+        prop_assert_eq!(a.min_sql(&b), b.min_sql(&a));
+        prop_assert_eq!(a.max_sql(&b), b.max_sql(&a));
+        prop_assert_eq!(a.min_sql(&a), a.clone());
+        if !a.is_null() {
+            prop_assert_eq!(Value::Null.min_sql(&a), a.clone());
+            prop_assert_eq!(Value::Null.max_sql(&a), a.clone());
+        }
+    }
+
+    /// add/sub/neg agree with i64 arithmetic on ints and propagate NULL.
+    #[test]
+    fn int_arithmetic_model(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let (va, vb) = (Value::Int(a), Value::Int(b));
+        prop_assert_eq!(va.add(&vb), Value::Int(a + b));
+        prop_assert_eq!(va.sub(&vb), Value::Int(a - b));
+        prop_assert_eq!(va.neg(), Value::Int(-a));
+        prop_assert!(va.add(&Value::Null).is_null());
+    }
+}
+
+// --- table vs. model ------------------------------------------------------
+
+fn small_row() -> impl Strategy<Value = Row> {
+    (0i64..5, 0i64..5).prop_map(|(a, b)| Row::new(vec![Value::Int(a), Value::Int(b)]))
+}
+
+proptest! {
+    /// A Table behaves like a multiset under insert + batched deletes:
+    /// applying a delta of (insertions, deletions ⊆ current rows) matches
+    /// the model.
+    #[test]
+    fn table_is_a_multiset(
+        initial in proptest::collection::vec(small_row(), 0..30),
+        inserts in proptest::collection::vec(small_row(), 0..10),
+        del_picks in proptest::collection::vec(0usize..30, 0..10),
+    ) {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::new("b", DataType::Int),
+        ]);
+        let mut table = Table::new("t", schema);
+        table.insert_all(initial.clone()).unwrap();
+
+        // Model: a sorted Vec used as a multiset.
+        let mut model = initial.clone();
+
+        // Pick deletions from distinct current positions.
+        let mut deletions = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for &p in &del_picks {
+            if model.is_empty() { break; }
+            let idx = p % model.len();
+            if used.insert(idx) {
+                deletions.push(model[idx].clone());
+            }
+        }
+        for d in &deletions {
+            let pos = model.iter().position(|r| r == d).unwrap();
+            model.remove(pos);
+        }
+        model.extend(inserts.clone());
+
+        let delta = DeltaSet {
+            table: "t".into(),
+            insertions: inserts,
+            deletions,
+        };
+        table.apply_delta(&delta).unwrap();
+
+        model.sort();
+        prop_assert_eq!(table.sorted_rows(), model);
+    }
+
+    /// The unique index always mirrors table contents through arbitrary
+    /// insert/delete/update sequences.
+    #[test]
+    fn unique_index_stays_consistent(
+        keys in proptest::collection::vec(0i64..8, 1..40),
+    ) {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("v", DataType::Int),
+        ]);
+        let mut table = Table::new("t", schema);
+        table.create_unique_index(&["k"]).unwrap();
+        let mut present = std::collections::HashMap::new();
+
+        for (step, &k) in keys.iter().enumerate() {
+            let key_row = Row::new(vec![Value::Int(k)]);
+            match present.get(&k) {
+                None => {
+                    let rid = table
+                        .insert(Row::new(vec![Value::Int(k), Value::Int(step as i64)]))
+                        .unwrap();
+                    present.insert(k, rid);
+                }
+                Some(&rid) => {
+                    // Alternate: update then delete on revisit.
+                    if step % 2 == 0 {
+                        table
+                            .update(rid, Row::new(vec![Value::Int(k), Value::Int(-1)]))
+                            .unwrap();
+                    } else {
+                        table.delete(rid).unwrap();
+                        present.remove(&k);
+                    }
+                }
+            }
+            // Index agrees with membership.
+            let got = table.unique_index().unwrap().get(&key_row);
+            prop_assert_eq!(got.is_some(), present.contains_key(&k));
+        }
+        prop_assert_eq!(table.len(), present.len());
+    }
+}

@@ -1,0 +1,215 @@
+//! Generalized cube view definitions.
+
+use std::fmt;
+
+use cubedelta_expr::Predicate;
+use cubedelta_query::AggFunc;
+
+/// One aggregate output of a view: a function plus its output alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The output column name in the summary table.
+    pub alias: String,
+}
+
+impl AggSpec {
+    /// Builds an aggregate spec.
+    pub fn new(func: AggFunc, alias: impl Into<String>) -> Self {
+        AggSpec {
+            func,
+            alias: alias.into(),
+        }
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} AS {}", self.func, self.alias)
+    }
+}
+
+/// A generalized cube view (§3.2): one `SELECT-FROM-WHERE-GROUPBY` block
+/// over the fact table joined with zero or more dimension tables along
+/// foreign keys.
+///
+/// Attribute references are by (unqualified) column name. When a name
+/// appears in both the fact table and a joined dimension (only foreign-key /
+/// dimension-key pairs in a star schema), it resolves to the fact column —
+/// harmless, since the FK join makes the two equal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryViewDef {
+    /// View (and summary-table) name, e.g. `SID_sales`.
+    pub name: String,
+    /// The fact table in the FROM clause, e.g. `pos`.
+    pub fact_table: String,
+    /// Dimension tables joined in, e.g. `["stores"]`. Join conditions come
+    /// from the catalog's foreign keys.
+    pub dim_joins: Vec<String>,
+    /// The WHERE clause ([`Predicate::True`] when absent). The paper's
+    /// multi-view results assume views share their WHERE clause (§3.2,
+    /// footnote 1); single-view maintenance supports any predicate.
+    pub where_clause: Predicate,
+    /// Group-by attribute names (fact or dimension columns).
+    pub group_by: Vec<String>,
+    /// Aggregate outputs ("measures").
+    pub aggregates: Vec<AggSpec>,
+}
+
+impl SummaryViewDef {
+    /// Starts a builder for a view over `fact_table`.
+    pub fn builder(name: impl Into<String>, fact_table: impl Into<String>) -> ViewBuilder {
+        ViewBuilder {
+            def: SummaryViewDef {
+                name: name.into(),
+                fact_table: fact_table.into(),
+                dim_joins: Vec::new(),
+                where_clause: Predicate::True,
+                group_by: Vec::new(),
+                aggregates: Vec::new(),
+            },
+        }
+    }
+
+    /// The aggregate spec with the given alias, if any.
+    pub fn aggregate(&self, alias: &str) -> Option<&AggSpec> {
+        self.aggregates.iter().find(|a| a.alias == alias)
+    }
+
+    /// All output column names: group-by attributes then aggregate aliases.
+    pub fn output_names(&self) -> Vec<&str> {
+        self.group_by
+            .iter()
+            .map(String::as_str)
+            .chain(self.aggregates.iter().map(|a| a.alias.as_str()))
+            .collect()
+    }
+}
+
+impl fmt::Display for SummaryViewDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE VIEW {}(", self.name)?;
+        for (i, n) in self.output_names().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, ") AS SELECT ")?;
+        let mut first = true;
+        for g in &self.group_by {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{g}")?;
+        }
+        for a in &self.aggregates {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{a}")?;
+        }
+        write!(f, " FROM {}", self.fact_table)?;
+        for d in &self.dim_joins {
+            write!(f, ", {d}")?;
+        }
+        if self.where_clause != Predicate::True {
+            write!(f, " WHERE {}", self.where_clause)?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`SummaryViewDef`].
+#[derive(Debug, Clone)]
+pub struct ViewBuilder {
+    def: SummaryViewDef,
+}
+
+impl ViewBuilder {
+    /// Joins a dimension table (along the catalog's foreign key).
+    pub fn join_dimension(mut self, dim_table: impl Into<String>) -> Self {
+        self.def.dim_joins.push(dim_table.into());
+        self
+    }
+
+    /// Sets the WHERE clause.
+    pub fn filter(mut self, pred: Predicate) -> Self {
+        self.def.where_clause = pred;
+        self
+    }
+
+    /// Adds group-by attributes.
+    pub fn group_by<I, S>(mut self, attrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.def.group_by.extend(attrs.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds an aggregate output.
+    pub fn aggregate(mut self, func: AggFunc, alias: impl Into<String>) -> Self {
+        self.def.aggregates.push(AggSpec::new(func, alias));
+        self
+    }
+
+    /// Finishes the definition.
+    pub fn build(self) -> SummaryViewDef {
+        self.def
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_expr::Expr;
+
+    fn sid_sales() -> SummaryViewDef {
+        SummaryViewDef::builder("SID_sales", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build()
+    }
+
+    #[test]
+    fn builder_produces_figure_1_view() {
+        let v = sid_sales();
+        assert_eq!(v.name, "SID_sales");
+        assert_eq!(v.group_by, vec!["storeID", "itemID", "date"]);
+        assert_eq!(v.aggregates.len(), 2);
+        assert_eq!(
+            v.output_names(),
+            vec!["storeID", "itemID", "date", "TotalCount", "TotalQuantity"]
+        );
+        assert!(v.aggregate("TotalCount").is_some());
+        assert!(v.aggregate("nope").is_none());
+    }
+
+    #[test]
+    fn display_reads_like_create_view() {
+        let v = SummaryViewDef::builder("sR_sales", "pos")
+            .join_dimension("stores")
+            .group_by(["region"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .build();
+        let s = v.to_string();
+        assert!(s.starts_with("CREATE VIEW sR_sales(region, TotalCount)"));
+        assert!(s.contains("FROM pos, stores"));
+        assert!(s.contains("GROUP BY region"));
+    }
+}

@@ -1,0 +1,69 @@
+//! View-layer errors.
+
+use std::fmt;
+
+use cubedelta_expr::ExprError;
+use cubedelta_query::QueryError;
+use cubedelta_storage::StorageError;
+
+/// Result alias for view operations.
+pub type ViewResult<T> = Result<T, ViewError>;
+
+/// Errors raised while defining, augmenting, or materializing views.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying expression error.
+    Expr(ExprError),
+    /// Underlying query-execution error.
+    Query(QueryError),
+    /// The view definition is malformed (duplicate aliases, no foreign key
+    /// to a joined dimension, unknown group-by attribute, ...).
+    Definition(String),
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::Storage(e) => write!(f, "storage: {e}"),
+            ViewError::Expr(e) => write!(f, "expr: {e}"),
+            ViewError::Query(e) => write!(f, "query: {e}"),
+            ViewError::Definition(m) => write!(f, "view definition: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+impl From<StorageError> for ViewError {
+    fn from(e: StorageError) -> Self {
+        ViewError::Storage(e)
+    }
+}
+
+impl From<ExprError> for ViewError {
+    fn from(e: ExprError) -> Self {
+        ViewError::Expr(e)
+    }
+}
+
+impl From<QueryError> for ViewError {
+    fn from(e: QueryError) -> Self {
+        ViewError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let v: ViewError = StorageError::UnknownTable("t".into()).into();
+        assert!(matches!(v, ViewError::Storage(_)));
+        let v: ViewError = QueryError::Plan("p".into()).into();
+        assert!(matches!(v, ViewError::Query(_)));
+        assert!(ViewError::Definition("dup".into()).to_string().contains("dup"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # cubedelta-view
+//!
+//! Generalized cube views and summary tables.
+//!
+//! A *generalized cube view* (§3.2) is a single-block
+//! `SELECT-FROM-WHERE-GROUPBY` query over a fact table, possibly joined with
+//! dimension tables along foreign keys, computing per-view aggregate
+//! functions. A *summary table* is its materialization in the warehouse.
+//!
+//! This crate provides:
+//!
+//! * [`SummaryViewDef`] — the view definition language (builder API).
+//! * [`AugmentedView`] — the self-maintainable form (§3.1): `COUNT(*)` is
+//!   always present, `SUM/MIN/MAX(e)` over nullable sources gain a
+//!   supporting `COUNT(e)`, and `AVG` is rewritten to `SUM`/`COUNT`.
+//! * [`mod@materialize`] — computing view contents from base tables from
+//!   scratch (the rematerialization baseline of §6 uses this).
+//! * [`install_summary_table`] — materializing into the catalog with the
+//!   composite unique index on the group-by columns that the refresh
+//!   function's per-tuple lookup relies on.
+
+pub mod def;
+pub mod error;
+#[cfg(test)]
+pub(crate) mod test_fixtures;
+pub mod materialize;
+pub mod self_maintain;
+pub mod summary;
+
+pub use def::{AggSpec, SummaryViewDef, ViewBuilder};
+pub use error::{ViewError, ViewResult};
+pub use materialize::{join_dimensions, joined_base, joined_schema, materialize};
+pub use self_maintain::{augment, AugmentedView, AvgOutput};
+pub use summary::{install_summary_table, refresh_from_scratch, summary_schema};

@@ -1,0 +1,374 @@
+//! Self-maintainability analysis and view augmentation (§3.1).
+//!
+//! "A set of aggregate functions is self-maintainable if the new value of
+//! the functions can be computed solely from the old values of the
+//! aggregation functions and from the changes to the base data."
+//!
+//! The augmentation rules implemented here:
+//!
+//! * Every view gains `COUNT(*)` if it does not already compute one —
+//!   required to detect when a group empties under deletions.
+//! * `AVG(e)` (algebraic) is replaced by `SUM(e)` and `COUNT(e)`; the
+//!   original output is recorded as a derived column.
+//! * `SUM(e)`, `MIN(e)`, `MAX(e)` over a *nullable* source gain a supporting
+//!   `COUNT(e)` (with non-nullable sources, `COUNT(*)` already tracks the
+//!   non-null count). `MIN`/`MAX` remain non-self-maintainable under
+//!   deletions — the refresh function detects the cases that force a
+//!   recomputation — but `COUNT(e)` lets refresh null them out when the last
+//!   non-null source value in a surviving group disappears.
+
+use cubedelta_query::AggFunc;
+use cubedelta_storage::Catalog;
+
+use crate::def::{AggSpec, SummaryViewDef};
+use crate::error::{ViewError, ViewResult};
+use crate::materialize::joined_schema;
+
+/// Record of an `AVG` output that was rewritten into SUM/COUNT parts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvgOutput {
+    /// The alias the user gave the AVG.
+    pub alias: String,
+    /// Index (into `def.aggregates`) of the SUM part.
+    pub sum_idx: usize,
+    /// Index (into `def.aggregates`) of the COUNT part.
+    pub count_idx: usize,
+}
+
+/// A view made self-maintainable (modulo MIN/MAX recomputation).
+///
+/// `def.aggregates` is the *augmented* list: the user's aggregates first
+/// (AVG replaced in place by its SUM part), then any appended support
+/// aggregates. Summary tables materialize all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugmentedView {
+    /// The augmented definition.
+    pub def: SummaryViewDef,
+    /// Index of the `COUNT(*)` aggregate in `def.aggregates`.
+    pub count_star: usize,
+    /// For each aggregate `i`, the index of the COUNT aggregate that tracks
+    /// the number of non-NULL inputs of `i`'s source: a dedicated
+    /// `COUNT(e)` when the source is nullable, else `COUNT(*)`. For COUNT
+    /// aggregates this is the aggregate itself.
+    pub support_count: Vec<usize>,
+    /// AVG outputs rewritten into SUM/COUNT parts.
+    pub avgs: Vec<AvgOutput>,
+    /// How many aggregates the user originally asked for (a prefix of
+    /// `def.aggregates`, with AVG replaced by its SUM part).
+    pub user_agg_count: usize,
+}
+
+impl AugmentedView {
+    /// The view name.
+    pub fn name(&self) -> &str {
+        &self.def.name
+    }
+
+    /// Column position of aggregate `agg_idx` within the summary table
+    /// (group-by columns come first).
+    pub fn agg_col(&self, agg_idx: usize) -> usize {
+        self.def.group_by.len() + agg_idx
+    }
+
+    /// Column position of the `COUNT(*)` output in the summary table.
+    pub fn count_star_col(&self) -> usize {
+        self.agg_col(self.count_star)
+    }
+
+    /// Number of group-by columns.
+    pub fn key_width(&self) -> usize {
+        self.def.group_by.len()
+    }
+}
+
+/// Augments a view into self-maintainable form against a catalog.
+///
+/// Also validates the definition: dimension joins must have foreign keys,
+/// group-by attributes and aggregate sources must resolve against the
+/// joined schema, aliases must be unique, and SUM/AVG sources must be
+/// numeric.
+pub fn augment(catalog: &Catalog, def: &SummaryViewDef) -> ViewResult<AugmentedView> {
+    let joined = joined_schema(catalog, def)?;
+
+    // --- validation ---------------------------------------------------
+    let mut seen = std::collections::HashSet::new();
+    for name in def.output_names() {
+        if !seen.insert(name.to_string()) {
+            return Err(ViewError::Definition(format!(
+                "duplicate output column `{name}` in view `{}`",
+                def.name
+            )));
+        }
+    }
+    for g in &def.group_by {
+        if !joined.contains(g) {
+            return Err(ViewError::Definition(format!(
+                "group-by attribute `{g}` not found in `{}` joined with {:?}",
+                def.fact_table, def.dim_joins
+            )));
+        }
+    }
+    for spec in &def.aggregates {
+        if let Some(e) = spec.func.input() {
+            for c in e.columns() {
+                if !joined.contains(&c) {
+                    return Err(ViewError::Definition(format!(
+                        "aggregate `{spec}` references unknown column `{c}`"
+                    )));
+                }
+            }
+            let ty = e.infer_type(&joined)?;
+            if matches!(spec.func, AggFunc::Sum(_) | AggFunc::Avg(_))
+                && !ty.map(|t| t.is_numeric()).unwrap_or(false)
+            {
+                return Err(ViewError::Definition(format!(
+                    "`{spec}` requires a numeric source, got {ty:?}"
+                )));
+            }
+        }
+    }
+
+    // --- AVG rewriting --------------------------------------------------
+    let mut aggs: Vec<AggSpec> = Vec::with_capacity(def.aggregates.len() + 2);
+    let mut avg_pending: Vec<(usize, String)> = Vec::new(); // (sum_idx, alias)
+    for spec in &def.aggregates {
+        match &spec.func {
+            AggFunc::Avg(e) => {
+                let sum_alias = format!("__sum_{}", spec.alias);
+                avg_pending.push((aggs.len(), spec.alias.clone()));
+                aggs.push(AggSpec::new(AggFunc::Sum(e.clone()), sum_alias));
+            }
+            _ => aggs.push(spec.clone()),
+        }
+    }
+    let user_agg_count = aggs.len();
+
+    // --- ensure COUNT(*) -------------------------------------------------
+    let count_star = match aggs.iter().position(|a| a.func == AggFunc::CountStar) {
+        Some(i) => i,
+        None => {
+            aggs.push(AggSpec::new(AggFunc::CountStar, "__count"));
+            aggs.len() - 1
+        }
+    };
+
+    // --- supporting COUNT(e) for nullable SUM/MIN/MAX sources -----------
+    // (and unconditionally for AVG parts, which need COUNT(e) to divide by)
+    let needs_count_e = |i: usize, aggs: &[AggSpec]| -> ViewResult<bool> {
+        let spec = &aggs[i];
+        Ok(match &spec.func {
+            AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => e.maybe_null(&joined)?,
+            _ => false,
+        })
+    };
+    let find_count_of = |aggs: &[AggSpec], source: &cubedelta_expr::Expr| -> Option<usize> {
+        aggs.iter()
+            .position(|a| matches!(&a.func, AggFunc::Count(c) if c == source))
+    };
+
+    let mut support_count = vec![0usize; aggs.len()];
+    let mut i = 0;
+    while i < aggs.len() {
+        let supp = match &aggs[i].func {
+            AggFunc::CountStar | AggFunc::Count(_) => i,
+            AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => {
+                let avg_needs = avg_pending.iter().any(|(si, _)| *si == i);
+                if needs_count_e(i, &aggs)? || avg_needs {
+                    let e = e.clone();
+                    match find_count_of(&aggs, &e) {
+                        Some(c) => c,
+                        None => {
+                            let alias = format!("__count_{}", aggs[i].alias);
+                            aggs.push(AggSpec::new(AggFunc::Count(e), alias));
+                            aggs.len() - 1
+                        }
+                    }
+                } else {
+                    count_star
+                }
+            }
+            AggFunc::Avg(_) => unreachable!("AVG rewritten above"),
+        };
+        if support_count.len() < aggs.len() {
+            support_count.resize(aggs.len(), 0);
+        }
+        support_count[i] = supp;
+        i += 1;
+    }
+
+    let avgs = avg_pending
+        .into_iter()
+        .map(|(sum_idx, alias)| AvgOutput {
+            alias,
+            count_idx: support_count[sum_idx],
+            sum_idx,
+        })
+        .collect();
+
+    let mut def = def.clone();
+    def.aggregates = aggs;
+    Ok(AugmentedView {
+        def,
+        count_star,
+        support_count,
+        avgs,
+        user_agg_count,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::retail_catalog_small;
+    use cubedelta_expr::Expr;
+
+    #[test]
+    fn count_star_added_when_missing() {
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build();
+        let aug = augment(&cat, &def).unwrap();
+        assert_eq!(aug.def.aggregates.len(), 3); // sum, __count, __count_TotalQuantity
+        assert_eq!(aug.def.aggregates[aug.count_star].func, AggFunc::CountStar);
+        assert_eq!(aug.def.aggregates[aug.count_star].alias, "__count");
+        assert_eq!(aug.user_agg_count, 1);
+    }
+
+    #[test]
+    fn count_star_reused_when_present() {
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .build();
+        let aug = augment(&cat, &def).unwrap();
+        assert_eq!(aug.def.aggregates.len(), 1);
+        assert_eq!(aug.count_star, 0);
+        assert_eq!(aug.support_count, vec![0]);
+    }
+
+    #[test]
+    fn nullable_sum_gains_count_e() {
+        // qty is nullable in the fixture, so SUM(qty) needs COUNT(qty).
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .build();
+        let aug = augment(&cat, &def).unwrap();
+        assert_eq!(aug.def.aggregates.len(), 3);
+        let supp = aug.support_count[1];
+        assert!(matches!(&aug.def.aggregates[supp].func, AggFunc::Count(e) if *e == Expr::col("qty")));
+    }
+
+    #[test]
+    fn non_nullable_min_uses_count_star() {
+        // date is non-nullable, so MIN(date) leans on COUNT(*).
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Min(Expr::col("date")), "earliest")
+            .build();
+        let aug = augment(&cat, &def).unwrap();
+        assert_eq!(aug.def.aggregates.len(), 2, "no extra COUNT needed");
+        assert_eq!(aug.support_count[1], aug.count_star);
+    }
+
+    #[test]
+    fn existing_count_e_reused() {
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::Count(Expr::col("qty")), "qty_cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .build();
+        let aug = augment(&cat, &def).unwrap();
+        // count(qty), sum(qty), count(*) — no second count(qty).
+        assert_eq!(aug.def.aggregates.len(), 3);
+        assert_eq!(aug.support_count[1], 0);
+    }
+
+    #[test]
+    fn avg_rewritten_to_sum_count() {
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::Avg(Expr::col("qty")), "avg_qty")
+            .build();
+        let aug = augment(&cat, &def).unwrap();
+        assert!(aug
+            .def
+            .aggregates
+            .iter()
+            .all(|a| !matches!(a.func, AggFunc::Avg(_))));
+        assert_eq!(aug.avgs.len(), 1);
+        let avg = &aug.avgs[0];
+        assert_eq!(avg.alias, "avg_qty");
+        assert!(matches!(
+            aug.def.aggregates[avg.sum_idx].func,
+            AggFunc::Sum(_)
+        ));
+        assert!(matches!(
+            aug.def.aggregates[avg.count_idx].func,
+            AggFunc::Count(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::CountStar, "x")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "x")
+            .build();
+        assert!(matches!(
+            augment(&cat, &def),
+            Err(ViewError::Definition(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_group_by_rejected() {
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .group_by(["city"]) // needs the stores join
+            .aggregate(AggFunc::CountStar, "cnt")
+            .build();
+        assert!(matches!(
+            augment(&cat, &def),
+            Err(ViewError::Definition(_))
+        ));
+    }
+
+    #[test]
+    fn sum_of_string_rejected() {
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .join_dimension("stores")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::Sum(Expr::col("city")), "bad")
+            .build();
+        assert!(matches!(
+            augment(&cat, &def),
+            Err(ViewError::Definition(_))
+        ));
+    }
+
+    #[test]
+    fn helper_positions() {
+        let cat = retail_catalog_small();
+        let def = SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID", "itemID"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .build();
+        let aug = augment(&cat, &def).unwrap();
+        assert_eq!(aug.key_width(), 2);
+        assert_eq!(aug.count_star_col(), 2);
+        assert_eq!(aug.name(), "v");
+    }
+}

@@ -1,0 +1,124 @@
+//! Summary tables: materialized views installed in the catalog.
+
+use cubedelta_query::AggFunc;
+use cubedelta_storage::{Catalog, Column, DataType, Schema, TableRole};
+
+use crate::def::AggSpec;
+use crate::error::{ViewError, ViewResult};
+use crate::materialize::{joined_schema, materialize};
+use crate::self_maintain::AugmentedView;
+
+/// The output [`Column`] for one aggregate, typed against the view's joined
+/// input schema. COUNTs are non-nullable INTs; SUM/MIN/MAX adopt their
+/// source type and are nullable (a surviving group can have all-NULL
+/// sources).
+pub fn agg_output_column(input: &Schema, spec: &AggSpec) -> ViewResult<Column> {
+    Ok(match &spec.func {
+        AggFunc::CountStar | AggFunc::Count(_) => Column::new(&spec.alias, DataType::Int),
+        AggFunc::Sum(e) | AggFunc::Min(e) | AggFunc::Max(e) => {
+            let ty = e.infer_type(input)?.ok_or_else(|| {
+                ViewError::Definition(format!("cannot infer type of `{spec}`"))
+            })?;
+            Column::nullable(&spec.alias, ty)
+        }
+        AggFunc::Avg(_) => Column::nullable(&spec.alias, DataType::Float),
+    })
+}
+
+/// The schema of a summary table: group-by columns (types copied from the
+/// joined input) followed by one column per (augmented) aggregate.
+pub fn summary_schema(catalog: &Catalog, view: &AugmentedView) -> ViewResult<Schema> {
+    let joined = joined_schema(catalog, &view.def)?;
+    let mut cols = Vec::with_capacity(view.def.group_by.len() + view.def.aggregates.len());
+    for g in &view.def.group_by {
+        cols.push(joined.column(g)?.clone());
+    }
+    for spec in &view.def.aggregates {
+        cols.push(agg_output_column(&joined, spec)?);
+    }
+    Ok(Schema::new(cols))
+}
+
+/// Materializes `view` into the catalog as a summary table named after the
+/// view, with the composite **unique index on the group-by columns** that
+/// backs the refresh function's per-tuple lookup (§6's experimental setup).
+pub fn install_summary_table(catalog: &mut Catalog, view: &AugmentedView) -> ViewResult<()> {
+    let schema = summary_schema(catalog, view)?;
+    let contents = materialize(catalog, view)?;
+    let table = catalog.create_table(&view.def.name, schema, TableRole::Summary)?;
+    table.set_validate(false);
+    table.insert_all(contents.rows)?;
+    let group_refs: Vec<&str> = view.def.group_by.iter().map(String::as_str).collect();
+    table.create_unique_index(&group_refs)?;
+    Ok(())
+}
+
+/// Recomputes a summary table's contents from the (already-updated) base
+/// tables — the **rematerialization baseline** the paper compares against
+/// in Figure 9.
+pub fn refresh_from_scratch(catalog: &mut Catalog, view: &AugmentedView) -> ViewResult<()> {
+    let contents = materialize(catalog, view)?;
+    let table = catalog.table_mut(&view.def.name)?;
+    table.truncate();
+    table.insert_all(contents.rows)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::def::SummaryViewDef;
+    use crate::self_maintain::augment;
+    use crate::test_fixtures::retail_catalog_small;
+    use cubedelta_expr::Expr;
+    use cubedelta_storage::row;
+
+    fn sid_sales_aug(cat: &Catalog) -> AugmentedView {
+        let def = SummaryViewDef::builder("SID_sales", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build();
+        augment(cat, &def).unwrap()
+    }
+
+    #[test]
+    fn summary_schema_layout() {
+        let cat = retail_catalog_small();
+        let aug = sid_sales_aug(&cat);
+        let s = summary_schema(&cat, &aug).unwrap();
+        // storeID, itemID, date, TotalCount, TotalQuantity, __count_TotalQuantity
+        assert_eq!(s.arity(), 3 + aug.def.aggregates.len());
+        assert_eq!(s.columns()[0].name, "storeID");
+        assert_eq!(s.columns()[3].name, "TotalCount");
+        assert_eq!(s.columns()[3].datatype, DataType::Int);
+        assert!(!s.columns()[3].nullable);
+        assert_eq!(s.columns()[4].name, "TotalQuantity");
+        assert!(s.columns()[4].nullable);
+    }
+
+    #[test]
+    fn install_creates_indexed_summary() {
+        let mut cat = retail_catalog_small();
+        let aug = sid_sales_aug(&cat);
+        install_summary_table(&mut cat, &aug).unwrap();
+        let t = cat.table("SID_sales").unwrap();
+        assert_eq!(cat.role("SID_sales"), Some(TableRole::Summary));
+        assert_eq!(t.len(), 3);
+        // The unique index is queryable on the group-by prefix.
+        let ix = t.unique_index().expect("unique index installed");
+        let key = row![1i64, 10i64, cubedelta_storage::Date(10000)];
+        assert!(ix.get(&key).is_some());
+    }
+
+    #[test]
+    fn refresh_from_scratch_tracks_base() {
+        let mut cat = retail_catalog_small();
+        let aug = sid_sales_aug(&cat);
+        install_summary_table(&mut cat, &aug).unwrap();
+        // Base changes: drop everything.
+        cat.table_mut("pos").unwrap().truncate();
+        refresh_from_scratch(&mut cat, &aug).unwrap();
+        assert!(cat.table("SID_sales").unwrap().is_empty());
+    }
+}

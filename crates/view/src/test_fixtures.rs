@@ -1,0 +1,105 @@
+//! Shared in-crate test fixtures: a miniature retail warehouse matching the
+//! paper's running example (§2).
+
+use cubedelta_storage::{
+    row, Catalog, Column, DataType, Date, DimensionInfo, FunctionalDependency, Row, Schema,
+    TableRole,
+};
+
+/// A small retail catalog: `pos` (4 rows), `stores` (3 rows),
+/// `items` (3 rows), with foreign keys and dimension hierarchies registered.
+///
+/// `pos` rows (storeID, itemID, date, qty, price):
+/// `(1,10,d0,5,1.0) (1,10,d0,3,1.0) (1,20,d1,2,2.0) (2,10,d0,7,1.0)`
+/// where `d0 = Date(10000)`, `d1 = Date(10001)`.
+pub fn retail_catalog_small() -> Catalog {
+    let mut cat = Catalog::new();
+
+    cat.create_table(
+        "pos",
+        Schema::new(vec![
+            Column::new("storeID", DataType::Int),
+            Column::new("itemID", DataType::Int),
+            Column::new("date", DataType::Date),
+            Column::nullable("qty", DataType::Int),
+            Column::nullable("price", DataType::Float),
+        ]),
+        TableRole::Fact,
+    )
+    .unwrap();
+
+    cat.create_table(
+        "stores",
+        Schema::new(vec![
+            Column::new("storeID", DataType::Int),
+            Column::new("city", DataType::Str),
+            Column::new("region", DataType::Str),
+        ]),
+        TableRole::Dimension,
+    )
+    .unwrap();
+
+    cat.create_table(
+        "items",
+        Schema::new(vec![
+            Column::new("itemID", DataType::Int),
+            Column::new("name", DataType::Str),
+            Column::new("category", DataType::Str),
+            Column::new("cost", DataType::Float),
+        ]),
+        TableRole::Dimension,
+    )
+    .unwrap();
+
+    cat.add_foreign_key("pos", "storeID", "stores", "storeID").unwrap();
+    cat.add_foreign_key("pos", "itemID", "items", "itemID").unwrap();
+    cat.set_dimension_info(
+        "stores",
+        DimensionInfo {
+            key: "storeID".into(),
+            fds: vec![
+                FunctionalDependency::new("storeID", &["city"]),
+                FunctionalDependency::new("city", &["region"]),
+            ],
+        },
+    )
+    .unwrap();
+    cat.set_dimension_info(
+        "items",
+        DimensionInfo {
+            key: "itemID".into(),
+            fds: vec![FunctionalDependency::new("itemID", &["name", "category", "cost"])],
+        },
+    )
+    .unwrap();
+
+    let d0 = Date(10000);
+    let d1 = Date(10001);
+    let pos_rows: Vec<Row> = vec![
+        row![1i64, 10i64, d0, 5i64, 1.0],
+        row![1i64, 10i64, d0, 3i64, 1.0],
+        row![1i64, 20i64, d1, 2i64, 2.0],
+        row![2i64, 10i64, d0, 7i64, 1.0],
+    ];
+    cat.table_mut("pos").unwrap().insert_all(pos_rows).unwrap();
+
+    cat.table_mut("stores")
+        .unwrap()
+        .insert_all(vec![
+            row![1i64, "nyc", "east"],
+            row![2i64, "boston", "east"],
+            row![3i64, "sf", "west"],
+        ])
+        .unwrap();
+
+    cat.table_mut("items")
+        .unwrap()
+        .insert_all(vec![
+            row![10i64, "cola", "drinks", 0.5],
+            row![20i64, "chips", "snacks", 1.0],
+            row![30i64, "juice", "drinks", 0.8],
+        ])
+        .unwrap();
+
+    cat
+}

@@ -1,0 +1,162 @@
+//! Change-set generators for the §6 performance study.
+
+use rand::rngs::StdRng;
+use rand::{seq::index::sample, SeedableRng};
+
+use cubedelta_storage::{Catalog, DeltaSet, Row};
+
+use crate::retail::RetailParams;
+
+/// **Update-generating changes** (§6): insertions and deletions of an equal
+/// number of tuples over *existing* date, store, and item values. These
+/// mostly cause updates amongst the existing tuples in summary tables.
+///
+/// `size` is the total change-set size (`size/2` insertions plus `size/2`
+/// deletions, the deletions drawn from actual `pos` rows so that they apply
+/// cleanly).
+pub fn update_generating(
+    catalog: &Catalog,
+    params: &RetailParams,
+    size: usize,
+    seed: u64,
+) -> DeltaSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos = catalog.table("pos").expect("pos table exists");
+    let n_del = (size / 2).min(pos.len());
+    let n_ins = size - n_del;
+
+    // Sample distinct live rows for deletion.
+    let live: Vec<&Row> = pos.rows().collect();
+    let deletions: Vec<Row> = sample(&mut rng, live.len(), n_del)
+        .into_iter()
+        .map(|i| live[i].clone())
+        .collect();
+
+    let insertions: Vec<Row> = (0..n_ins)
+        .map(|_| params.random_pos_row(&mut rng))
+        .collect();
+
+    DeltaSet {
+        table: "pos".to_string(),
+        insertions,
+        deletions,
+    }
+}
+
+/// **Insertion-generating changes** (§6): insertions over *new* dates but
+/// existing store and item values. "In many data warehousing applications
+/// the only changes to the fact tables are insertions of tuples for new
+/// dates" — these cause pure inserts into summary tables grouped by date.
+///
+/// `new_days` spreads the insertions over that many consecutive new dates
+/// (the nightly batch typically carries one new day, i.e. `new_days = 1`).
+pub fn insertion_generating(
+    params: &RetailParams,
+    size: usize,
+    new_days: usize,
+    seed: u64,
+) -> DeltaSet {
+    assert!(new_days > 0, "need at least one new day");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let insertions: Vec<Row> = (0..size)
+        .map(|i| params.new_date_pos_row(&mut rng, i % new_days))
+        .collect();
+    DeltaSet {
+        table: "pos".to_string(),
+        insertions,
+        deletions: Vec::new(),
+    }
+}
+
+/// A mixed change set: `ins_fraction` of `size` are insertions over existing
+/// values, the rest deletions of existing rows. `ins_fraction = 0.5` matches
+/// [`update_generating`]; `1.0` is pure insertion over existing dates.
+pub fn mixed_changes(
+    catalog: &Catalog,
+    params: &RetailParams,
+    size: usize,
+    ins_fraction: f64,
+    seed: u64,
+) -> DeltaSet {
+    assert!((0.0..=1.0).contains(&ins_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pos = catalog.table("pos").expect("pos table exists");
+    let n_ins = (size as f64 * ins_fraction).round() as usize;
+    let n_del = (size - n_ins).min(pos.len());
+
+    let live: Vec<&Row> = pos.rows().collect();
+    let deletions: Vec<Row> = sample(&mut rng, live.len(), n_del)
+        .into_iter()
+        .map(|i| live[i].clone())
+        .collect();
+    let insertions: Vec<Row> = (0..n_ins)
+        .map(|_| params.random_pos_row(&mut rng))
+        .collect();
+
+    DeltaSet {
+        table: "pos".to_string(),
+        insertions,
+        deletions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retail::{retail_catalog, EPOCH};
+    use crate::scale::WorkloadScale;
+    use cubedelta_storage::Value;
+
+    #[test]
+    fn update_generating_is_balanced_and_applies() {
+        let (mut cat, params) = retail_catalog(WorkloadScale::tiny());
+        let delta = update_generating(&cat, &params, 100, 7);
+        assert_eq!(delta.insertions.len(), 50);
+        assert_eq!(delta.deletions.len(), 50);
+        let before = cat.table("pos").unwrap().len();
+        cat.table_mut("pos").unwrap().apply_delta(&delta).unwrap();
+        assert_eq!(cat.table("pos").unwrap().len(), before);
+    }
+
+    #[test]
+    fn update_generating_uses_existing_dates() {
+        let scale = WorkloadScale::tiny();
+        let (cat, params) = retail_catalog(scale);
+        let delta = update_generating(&cat, &params, 50, 3);
+        for r in &delta.insertions {
+            let Value::Date(d) = r[2] else { panic!() };
+            assert!(d.0 < EPOCH.0 + scale.dates as i32, "existing dates only");
+        }
+    }
+
+    #[test]
+    fn insertion_generating_uses_new_dates() {
+        let scale = WorkloadScale::tiny();
+        let (_, params) = retail_catalog(scale);
+        let delta = insertion_generating(&params, 40, 2, 5);
+        assert_eq!(delta.insertions.len(), 40);
+        assert!(delta.deletions.is_empty());
+        for r in &delta.insertions {
+            let Value::Date(d) = r[2] else { panic!() };
+            assert!(d.0 >= EPOCH.0 + scale.dates as i32, "new dates only");
+        }
+    }
+
+    #[test]
+    fn mixed_respects_fraction() {
+        let (cat, params) = retail_catalog(WorkloadScale::tiny());
+        let delta = mixed_changes(&cat, &params, 100, 0.7, 1);
+        assert_eq!(delta.insertions.len(), 70);
+        assert_eq!(delta.deletions.len(), 30);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let (cat, params) = retail_catalog(WorkloadScale::tiny());
+        let a = update_generating(&cat, &params, 60, 9);
+        let b = update_generating(&cat, &params, 60, 9);
+        assert_eq!(a, b);
+        let c = update_generating(&cat, &params, 60, 10);
+        assert_ne!(a, c);
+    }
+}

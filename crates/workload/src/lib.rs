@@ -1,0 +1,25 @@
+//! # cubedelta-workload
+//!
+//! Synthetic retail workloads matching the paper's experimental setup (§6):
+//! a `pos` fact table of 100k–500k tuples over `stores` and `items`
+//! dimension tables, plus the two change-set generators the performance
+//! study uses:
+//!
+//! * **Update-generating changes** — insertions and deletions of an equal
+//!   number of tuples over *existing* date/store/item values, which mostly
+//!   cause updates to existing summary-table tuples.
+//! * **Insertion-generating changes** — insertions over *new* dates (but
+//!   existing stores/items), which cause pure inserts into summary tables
+//!   grouped by date.
+//!
+//! All generation is deterministic given a seed.
+
+pub mod changes;
+pub mod retail;
+pub mod scale;
+pub mod zipf;
+
+pub use changes::{insertion_generating, mixed_changes, update_generating};
+pub use retail::{retail_catalog, retail_catalog_skewed, retail_catalog_small, ItemSampler, RetailParams};
+pub use scale::{Skew, WorkloadScale};
+pub use zipf::Zipf;

@@ -1,0 +1,357 @@
+//! The synthetic retail warehouse (schema of §2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cubedelta_storage::{
+    row, Catalog, Column, DataType, Date, DimensionInfo, FunctionalDependency, Row, Schema,
+    TableRole,
+};
+
+use crate::scale::{Skew, WorkloadScale};
+use crate::zipf::Zipf;
+
+/// Base date for generated sale dates.
+pub const EPOCH: Date = Date(10000);
+
+/// Handle for re-deriving the generator's value distributions (used by the
+/// change generators to produce changes over *existing* values).
+#[derive(Debug, Clone, Copy)]
+pub struct RetailParams {
+    /// The scale the warehouse was generated at.
+    pub scale: WorkloadScale,
+    /// Item-popularity skew in effect.
+    pub skew: Skew,
+}
+
+/// A prepared item-id sampler (build once per batch; the Zipf CDF is
+/// O(items) to construct).
+#[derive(Debug, Clone)]
+pub enum ItemSampler {
+    /// Uniform over `1..=items`.
+    Uniform(usize),
+    /// Zipf-ranked: rank 0 maps to item 1.
+    Zipf(Zipf),
+}
+
+impl ItemSampler {
+    /// Draws an item id.
+    pub fn sample(&self, rng: &mut StdRng) -> i64 {
+        match self {
+            ItemSampler::Uniform(n) => rng.gen_range(0..*n) as i64 + 1,
+            ItemSampler::Zipf(z) => z.sample(rng) as i64 + 1,
+        }
+    }
+}
+
+impl RetailParams {
+    /// Builds the item sampler matching this workload's skew.
+    pub fn item_sampler(&self) -> ItemSampler {
+        match self.skew {
+            Skew::Uniform => ItemSampler::Uniform(self.scale.items),
+            Skew::Zipf(alpha) => ItemSampler::Zipf(Zipf::new(self.scale.items, alpha)),
+        }
+    }
+
+    /// A random `pos` row drawn with a prepared item sampler, dated inside
+    /// the base range shifted by `extra_days` (0 = existing dates).
+    pub fn pos_row_with(
+        &self,
+        rng: &mut StdRng,
+        items: &ItemSampler,
+        extra_days: usize,
+    ) -> Row {
+        let s = &self.scale;
+        let store = rng.gen_range(0..s.stores) as i64 + 1;
+        let item = items.sample(rng);
+        let date = if extra_days == 0 {
+            EPOCH.plus_days(rng.gen_range(0..s.dates) as i32)
+        } else {
+            EPOCH.plus_days((s.dates + extra_days - 1) as i32)
+        };
+        let qty = rng.gen_range(1..=20i64);
+        let price = (rng.gen_range(50..5000) as f64) / 100.0;
+        row![store, item, date, qty, price]
+    }
+
+    /// A random existing `pos` row drawn from the same distributions the
+    /// base table was filled from. Builds a sampler per call — fine for
+    /// uniform workloads; use [`RetailParams::pos_row_with`] in loops over
+    /// skewed workloads.
+    pub fn random_pos_row(&self, rng: &mut StdRng) -> Row {
+        let sampler = self.item_sampler();
+        self.pos_row_with(rng, &sampler, 0)
+    }
+
+    /// A `pos` row over a *new* date (beyond the base-data date range),
+    /// existing store/item values — the insertion-generating pattern.
+    pub fn new_date_pos_row(&self, rng: &mut StdRng, day_offset: usize) -> Row {
+        let sampler = self.item_sampler();
+        self.pos_row_with(rng, &sampler, day_offset + 1)
+    }
+}
+
+/// The `pos` fact-table schema (§2).
+pub fn pos_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("storeID", DataType::Int),
+        Column::new("itemID", DataType::Int),
+        Column::new("date", DataType::Date),
+        Column::nullable("qty", DataType::Int),
+        Column::nullable("price", DataType::Float),
+    ])
+}
+
+/// The `stores` dimension schema (§2).
+pub fn stores_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("storeID", DataType::Int),
+        Column::new("city", DataType::Str),
+        Column::new("region", DataType::Str),
+    ])
+}
+
+/// The `items` dimension schema (§2).
+pub fn items_schema() -> Schema {
+    Schema::new(vec![
+        Column::new("itemID", DataType::Int),
+        Column::new("name", DataType::Str),
+        Column::new("category", DataType::Str),
+        Column::new("cost", DataType::Float),
+    ])
+}
+
+/// Generates the full retail warehouse at the given scale: `pos`, `stores`,
+/// `items` with foreign keys and dimension hierarchies registered.
+///
+/// Stores map onto cities by `storeID mod cities`, cities onto regions by
+/// `city mod regions`, items onto categories by `itemID mod categories` —
+/// preserving the functional dependencies `storeID → city → region` and
+/// `itemID → category` exactly.
+pub fn retail_catalog(scale: WorkloadScale) -> (Catalog, RetailParams) {
+    retail_catalog_skewed(scale, Skew::Uniform)
+}
+
+/// [`retail_catalog`] with item-popularity skew: `Skew::Zipf(α)` makes a
+/// few items dominate sales, the shape real retail data has.
+pub fn retail_catalog_skewed(scale: WorkloadScale, skew: Skew) -> (Catalog, RetailParams) {
+    let mut cat = Catalog::new();
+    cat.create_table("pos", pos_schema(), TableRole::Fact).unwrap();
+    cat.create_table("stores", stores_schema(), TableRole::Dimension)
+        .unwrap();
+    cat.create_table("items", items_schema(), TableRole::Dimension)
+        .unwrap();
+    cat.add_foreign_key("pos", "storeID", "stores", "storeID").unwrap();
+    cat.add_foreign_key("pos", "itemID", "items", "itemID").unwrap();
+    cat.set_dimension_info(
+        "stores",
+        DimensionInfo {
+            key: "storeID".into(),
+            fds: vec![
+                FunctionalDependency::new("storeID", &["city"]),
+                FunctionalDependency::new("city", &["region"]),
+            ],
+        },
+    )
+    .unwrap();
+    cat.set_dimension_info(
+        "items",
+        DimensionInfo {
+            key: "itemID".into(),
+            fds: vec![FunctionalDependency::new(
+                "itemID",
+                &["name", "category", "cost"],
+            )],
+        },
+    )
+    .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(scale.seed);
+
+    {
+        let stores = cat.table_mut("stores").unwrap();
+        stores.set_validate(false);
+        for s in 1..=scale.stores as i64 {
+            let city = (s as usize - 1) % scale.cities;
+            let region = city % scale.regions;
+            stores
+                .insert(row![s, format!("city{city}"), format!("region{region}")])
+                .unwrap();
+        }
+    }
+    {
+        let items = cat.table_mut("items").unwrap();
+        items.set_validate(false);
+        for i in 1..=scale.items as i64 {
+            let category = (i as usize - 1) % scale.categories;
+            let cost = (i % 100) as f64 / 10.0;
+            items
+                .insert(row![
+                    i,
+                    format!("item{i}"),
+                    format!("cat{category}"),
+                    cost
+                ])
+                .unwrap();
+        }
+    }
+
+    let params = RetailParams { scale, skew };
+    {
+        let sampler = params.item_sampler();
+        let pos = cat.table_mut("pos").unwrap();
+        pos.set_validate(false);
+        for _ in 0..scale.pos_rows {
+            let r = params.pos_row_with(&mut rng, &sampler, 0);
+            pos.insert(r).unwrap();
+        }
+    }
+
+    (cat, params)
+}
+
+/// The fixed 4-row miniature warehouse used across unit tests (identical to
+/// the fixture embedded in `cubedelta-view`'s tests):
+///
+/// `pos` rows (storeID, itemID, date, qty, price):
+/// `(1,10,d0,5,1.0) (1,10,d0,3,1.0) (1,20,d1,2,2.0) (2,10,d0,7,1.0)`
+/// with `d0 = Date(10000)`, `d1 = Date(10001)`; stores 1,2 in the east,
+/// store 3 west; items 10 (drinks), 20 (snacks), 30 (drinks).
+pub fn retail_catalog_small() -> Catalog {
+    let (mut cat, _) = retail_catalog(WorkloadScale {
+        stores: 0,
+        cities: 1,
+        regions: 1,
+        items: 0,
+        categories: 1,
+        dates: 1,
+        pos_rows: 0,
+        seed: 0,
+    });
+    let d0 = Date(10000);
+    let d1 = Date(10001);
+    cat.table_mut("pos")
+        .unwrap()
+        .insert_all(vec![
+            row![1i64, 10i64, d0, 5i64, 1.0],
+            row![1i64, 10i64, d0, 3i64, 1.0],
+            row![1i64, 20i64, d1, 2i64, 2.0],
+            row![2i64, 10i64, d0, 7i64, 1.0],
+        ])
+        .unwrap();
+    cat.table_mut("stores")
+        .unwrap()
+        .insert_all(vec![
+            row![1i64, "nyc", "east"],
+            row![2i64, "boston", "east"],
+            row![3i64, "sf", "west"],
+        ])
+        .unwrap();
+    cat.table_mut("items")
+        .unwrap()
+        .insert_all(vec![
+            row![10i64, "cola", "drinks", 0.5],
+            row![20i64, "chips", "snacks", 1.0],
+            row![30i64, "juice", "drinks", 0.8],
+        ])
+        .unwrap();
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_storage::Value;
+
+    #[test]
+    fn generated_sizes_match_scale() {
+        let scale = WorkloadScale::tiny();
+        let (cat, _) = retail_catalog(scale);
+        assert_eq!(cat.table("pos").unwrap().len(), scale.pos_rows);
+        assert_eq!(cat.table("stores").unwrap().len(), scale.stores);
+        assert_eq!(cat.table("items").unwrap().len(), scale.items);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = retail_catalog(WorkloadScale::tiny());
+        let (b, _) = retail_catalog(WorkloadScale::tiny());
+        assert_eq!(
+            a.table("pos").unwrap().sorted_rows(),
+            b.table("pos").unwrap().sorted_rows()
+        );
+        let (c, _) = retail_catalog(WorkloadScale::tiny().with_seed(7));
+        assert_ne!(
+            a.table("pos").unwrap().sorted_rows(),
+            c.table("pos").unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn fact_rows_reference_existing_dimensions() {
+        let scale = WorkloadScale::tiny();
+        let (cat, _) = retail_catalog(scale);
+        let stores = cat.table("stores").unwrap();
+        let max_store = scale.stores as i64;
+        for r in cat.table("pos").unwrap().rows() {
+            let sid = r[0].as_int().unwrap();
+            assert!(sid >= 1 && sid <= max_store);
+        }
+        // FDs hold in the dimension data: same city ⇒ same region.
+        let mut city_region = std::collections::HashMap::new();
+        for r in stores.rows() {
+            let city = r[1].clone();
+            let region = r[2].clone();
+            let prev = city_region.insert(city, region.clone());
+            if let Some(prev) = prev {
+                assert_eq!(prev, region, "city → region FD violated");
+            }
+        }
+    }
+
+    #[test]
+    fn dates_stay_in_range() {
+        let scale = WorkloadScale::tiny();
+        let (cat, _) = retail_catalog(scale);
+        for r in cat.table("pos").unwrap().rows() {
+            let Value::Date(d) = r[2] else {
+                panic!("date column holds a date")
+            };
+            assert!(d.0 >= EPOCH.0 && d.0 < EPOCH.0 + scale.dates as i32);
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_item_sales() {
+        let scale = WorkloadScale {
+            items: 100,
+            pos_rows: 5_000,
+            ..WorkloadScale::tiny()
+        };
+        let (uniform, _) = retail_catalog_skewed(scale, Skew::Uniform);
+        let (skewed, _) = retail_catalog_skewed(scale, Skew::Zipf(1.2));
+        let top_item_share = |cat: &Catalog| {
+            let mut counts = std::collections::HashMap::new();
+            for r in cat.table("pos").unwrap().rows() {
+                *counts.entry(r[1].clone()).or_insert(0usize) += 1;
+            }
+            *counts.values().max().unwrap() as f64 / scale.pos_rows as f64
+        };
+        let u = top_item_share(&uniform);
+        let z = top_item_share(&skewed);
+        assert!(
+            z > 3.0 * u,
+            "Zipf top item share {z:.3} not ≫ uniform {u:.3}"
+        );
+    }
+
+    #[test]
+    fn small_fixture_shape() {
+        let cat = retail_catalog_small();
+        assert_eq!(cat.table("pos").unwrap().len(), 4);
+        assert_eq!(cat.table("stores").unwrap().len(), 3);
+        assert_eq!(cat.table("items").unwrap().len(), 3);
+        assert!(cat.foreign_key("pos", "stores").is_some());
+        assert!(cat.dimension_info("items").is_some());
+    }
+}

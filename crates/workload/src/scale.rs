@@ -1,0 +1,99 @@
+//! Workload scale parameters.
+
+/// Cardinalities for the synthetic retail warehouse.
+///
+/// Defaults mirror the paper's §6 setup in spirit: hundreds of stores, a
+/// few thousand items, a year of dates, and a `pos` table whose size is the
+/// primary experimental variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadScale {
+    /// Number of stores (each mapped to a city and region).
+    pub stores: usize,
+    /// Number of distinct cities (stores hash onto cities).
+    pub cities: usize,
+    /// Number of distinct regions (cities hash onto regions).
+    pub regions: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Number of distinct categories (items hash onto categories).
+    pub categories: usize,
+    /// Number of distinct sale dates in the base data.
+    pub dates: usize,
+    /// Number of `pos` fact tuples.
+    pub pos_rows: usize,
+    /// RNG seed; equal seeds give identical workloads.
+    pub seed: u64,
+}
+
+/// Item-popularity skew applied on top of a scale.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Every item equally likely (the paper's setting).
+    Uniform,
+    /// Zipf(α) over item ranks — real retail's hot-seller shape.
+    Zipf(f64),
+}
+
+impl Default for Skew {
+    fn default() -> Self {
+        Skew::Uniform
+    }
+}
+
+impl WorkloadScale {
+    /// A small scale for unit tests (hundreds of rows).
+    pub fn tiny() -> Self {
+        WorkloadScale {
+            stores: 10,
+            cities: 5,
+            regions: 2,
+            items: 20,
+            categories: 4,
+            dates: 7,
+            pos_rows: 300,
+            seed: 42,
+        }
+    }
+
+    /// The paper's §6 shape with a parameterized `pos` size
+    /// (100k–500k in the study).
+    pub fn paper(pos_rows: usize) -> Self {
+        WorkloadScale {
+            stores: 300,
+            cities: 60,
+            regions: 8,
+            items: 3000,
+            categories: 50,
+            dates: 365,
+            pos_rows,
+            seed: 1997,
+        }
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl Default for WorkloadScale {
+    fn default() -> Self {
+        WorkloadScale::tiny()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let t = WorkloadScale::tiny();
+        assert!(t.pos_rows < 1000);
+        let p = WorkloadScale::paper(500_000);
+        assert_eq!(p.pos_rows, 500_000);
+        assert_eq!(p.stores, 300);
+        assert_eq!(p.with_seed(7).seed, 7);
+    }
+}

@@ -1,0 +1,104 @@
+//! A small Zipf sampler for skewed workloads.
+//!
+//! Real retail data is heavily skewed — a few items dominate sales. The
+//! paper's study uses uniform data; we keep uniform as the default and
+//! offer Zipf(α) as an option so the benches can probe how skew shifts the
+//! propagate/refresh balance (skew concentrates changes into fewer groups:
+//! smaller summary-deltas, more updates relative to inserts).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `1..=n`, sampled by inverted CDF over
+/// a precomputed table. `α = 0` degenerates to uniform.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution. `n` must be positive; typical α ∈ [0.5, 1.5].
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs a positive support");
+        assert!(alpha >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        // First index whose cdf ≥ u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf has no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn histogram(z: &Zipf, samples: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = vec![0usize; z.n()];
+        for _ in 0..samples {
+            h[z.sample(&mut rng)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn alpha_zero_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let h = histogram(&z, 50_000, 1);
+        let (min, max) = (h.iter().min().unwrap(), h.iter().max().unwrap());
+        assert!(
+            (*max as f64) / (*min as f64) < 1.2,
+            "uniform histogram too skewed: {h:?}"
+        );
+    }
+
+    #[test]
+    fn high_alpha_concentrates_mass() {
+        let z = Zipf::new(100, 1.2);
+        let h = histogram(&z, 50_000, 2);
+        assert!(h[0] > h[10] && h[10] > h[60], "not monotone-ish: {:?}", &h[..12]);
+        // Rank 0 should dominate: more than 10% of all samples.
+        assert!(h[0] > 5_000, "rank 0 got {}", h[0]);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive support")]
+    fn empty_support_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,85 @@
+//! A tour of the paper's lattice machinery, regenerating Figures 4, 5,
+//! and 8 as text, and showing the §5.2 lattice-friendly rewriting plus the
+//! §5.5 propagation plan.
+//!
+//! ```sh
+//! cargo run --example lattice_tour
+//! ```
+
+use cubedelta::expr::Expr;
+use cubedelta::lattice::{
+    combined_lattice, cube_lattice, make_lattice_friendly, Hierarchy, ViewLattice,
+};
+use cubedelta::query::AggFunc;
+use cubedelta::view::{augment, SummaryViewDef};
+use cubedelta::workload::retail_catalog_small;
+
+fn main() {
+    // --- Figure 4: the data-cube lattice --------------------------------
+    println!("== Figure 4: cube lattice over (storeID, itemID, date) ==");
+    let fig4 = cube_lattice(&["storeID", "itemID", "date"]);
+    println!("{fig4}");
+
+    // --- Figure 5: the combined lattice ---------------------------------
+    println!("== Figure 5: combined lattice (store & item hierarchies) ==");
+    let fig5 = combined_lattice(&[
+        Hierarchy::new("stores", &["storeID", "city", "region"]),
+        Hierarchy::new("items", &["itemID", "category"]),
+        Hierarchy::flat("date"),
+    ]);
+    println!("{} nodes, {} covering edges", fig5.len(), fig5.edges().len());
+    println!("{fig5}");
+
+    // --- Figure 8: the V-lattice of the four summary tables -------------
+    let cat = retail_catalog_small();
+    let defs = vec![
+        SummaryViewDef::builder("SID_sales", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("sCD_sales", "pos")
+            .join_dimension("stores")
+            .group_by(["city", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("SiC_sales", "pos")
+            .join_dimension("items")
+            .group_by(["storeID", "category"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Min(Expr::col("date")), "EarliestSale")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("sR_sales", "pos")
+            .join_dimension("stores")
+            .group_by(["region"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+    ];
+
+    println!("== Figure 8: V-lattice of the Figure-1 summary tables ==");
+    let views: Vec<_> = defs.iter().map(|d| augment(&cat, d).unwrap()).collect();
+    let vlat = ViewLattice::build(&cat, views).unwrap();
+    println!("{}", vlat.render());
+
+    // --- §5.2: lattice-friendly rewriting --------------------------------
+    println!("== After lattice-friendly rewriting (sCD_sales gains region) ==");
+    let friendly = make_lattice_friendly(&cat, &defs).unwrap();
+    for d in &friendly {
+        println!("  {}({})", d.name, d.group_by.join(", "));
+    }
+    let views: Vec<_> = friendly.iter().map(|d| augment(&cat, d).unwrap()).collect();
+    let vlat = ViewLattice::build(&cat, views).unwrap();
+    println!("\n{}", vlat.render());
+
+    // --- §5.5: the propagation plan over the D-lattice -------------------
+    println!("== Propagation plan (D-lattice ≡ V-lattice, Theorem 5.1) ==");
+    let plan = vlat
+        .choose_plan(&cat, |name| {
+            cat.table(name).map(|t| t.len()).unwrap_or(usize::MAX)
+        })
+        .unwrap();
+    print!("{plan}");
+}

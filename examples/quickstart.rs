@@ -1,0 +1,105 @@
+//! Quickstart: build a tiny retail warehouse, define one summary table, and
+//! run a nightly maintenance batch with the summary-delta method.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::expr::Expr;
+use cubedelta::query::AggFunc;
+use cubedelta::storage::{
+    row, ChangeBatch, Column, DataType, Date, DeltaSet, DimensionInfo, FunctionalDependency,
+    Schema,
+};
+use cubedelta::view::SummaryViewDef;
+
+fn main() {
+    let mut wh = Warehouse::new();
+
+    // --- base tables (the paper's §2 schema) ---------------------------
+    wh.create_fact_table(
+        "pos",
+        Schema::new(vec![
+            Column::new("storeID", DataType::Int),
+            Column::new("itemID", DataType::Int),
+            Column::new("date", DataType::Date),
+            Column::nullable("qty", DataType::Int),
+            Column::nullable("price", DataType::Float),
+        ]),
+    )
+    .unwrap();
+    wh.create_dimension_table(
+        "stores",
+        Schema::new(vec![
+            Column::new("storeID", DataType::Int),
+            Column::new("city", DataType::Str),
+            Column::new("region", DataType::Str),
+        ]),
+        DimensionInfo {
+            key: "storeID".into(),
+            fds: vec![
+                FunctionalDependency::new("storeID", &["city"]),
+                FunctionalDependency::new("city", &["region"]),
+            ],
+        },
+    )
+    .unwrap();
+    wh.add_foreign_key("pos", "storeID", "stores", "storeID").unwrap();
+
+    wh.insert(
+        "stores",
+        vec![row![1i64, "nyc", "east"], row![2i64, "sf", "west"]],
+    )
+    .unwrap();
+    let d0 = Date::from_ymd(1997, 5, 12);
+    wh.insert(
+        "pos",
+        vec![
+            row![1i64, 100i64, d0, 5i64, 1.25],
+            row![1i64, 100i64, d0, 3i64, 1.25],
+            row![2i64, 200i64, d0, 2i64, 4.00],
+        ],
+    )
+    .unwrap();
+
+    // --- a summary table (Figure 1's SID_sales) ------------------------
+    let sid_sales = SummaryViewDef::builder("SID_sales", "pos")
+        .group_by(["storeID", "itemID", "date"])
+        .aggregate(AggFunc::CountStar, "TotalCount")
+        .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+        .build();
+    println!("{sid_sales}\n");
+    wh.create_summary_table(&sid_sales).unwrap();
+    println!("Initial summary table:\n{}", wh.catalog().table("SID_sales").unwrap());
+
+    // --- a day of deferred changes --------------------------------------
+    let d1 = d0.plus_days(1);
+    let batch = ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        insertions: vec![
+            row![1i64, 100i64, d1, 7i64, 1.25], // new group (next day)
+            row![2i64, 200i64, d0, 1i64, 4.00], // updates existing group
+        ],
+        deletions: vec![
+            row![1i64, 100i64, d0, 3i64, 1.25], // shrinks a group
+        ],
+    });
+
+    // --- the nightly batch window ---------------------------------------
+    let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    println!("After maintenance:\n{}", wh.catalog().table("SID_sales").unwrap());
+
+    let v = report.view("SID_sales").unwrap();
+    println!(
+        "summary-delta rows: {}  inserted: {}  updated: {}  deleted: {}",
+        v.delta_rows, v.refresh.inserted, v.refresh.updated, v.refresh.deleted
+    );
+    println!(
+        "propagate: {:?} (outside the batch window)  refresh: {:?} (inside)",
+        report.propagate_time, report.refresh_time
+    );
+
+    wh.check_consistency().unwrap();
+    println!("consistency check: OK");
+}

@@ -1,0 +1,124 @@
+//! The paper's full retail scenario: all four Figure-1 summary tables over
+//! a generated warehouse, maintained through simulated nightly batches,
+//! with the summary-delta method raced against rematerialization (a small
+//! interactive version of the §6 study).
+//!
+//! ```sh
+//! cargo run --release --example retail_batch
+//! ```
+
+use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::expr::Expr;
+use cubedelta::query::AggFunc;
+use cubedelta::storage::ChangeBatch;
+use cubedelta::view::SummaryViewDef;
+use cubedelta::workload::{
+    insertion_generating, retail_catalog, update_generating, WorkloadScale,
+};
+
+fn figure1_defs() -> Vec<SummaryViewDef> {
+    vec![
+        SummaryViewDef::builder("SID_sales", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("sCD_sales", "pos")
+            .join_dimension("stores")
+            .group_by(["city", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("SiC_sales", "pos")
+            .join_dimension("items")
+            .group_by(["storeID", "category"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Min(Expr::col("date")), "EarliestSale")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("sR_sales", "pos")
+            .join_dimension("stores")
+            .group_by(["region"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+    ]
+}
+
+fn build(scale: WorkloadScale) -> (Warehouse, cubedelta::workload::RetailParams) {
+    let (cat, params) = retail_catalog(scale);
+    let mut wh = Warehouse::from_catalog(cat);
+    for def in figure1_defs() {
+        wh.create_summary_table(&def).unwrap();
+    }
+    (wh, params)
+}
+
+fn main() {
+    let scale = WorkloadScale::paper(100_000);
+    println!(
+        "Generating warehouse: pos={} stores={} items={} dates={}",
+        scale.pos_rows, scale.stores, scale.items, scale.dates
+    );
+    let (mut wh, params) = build(scale);
+    for def in figure1_defs() {
+        println!(
+            "  {:10}: {:>7} rows",
+            def.name,
+            wh.catalog().table(&def.name).unwrap().len()
+        );
+    }
+
+    // --- night 1: update-generating changes ----------------------------
+    println!("\n== Night 1: update-generating changes (5,000 ins + 5,000 del) ==");
+    let batch = ChangeBatch::single(update_generating(wh.catalog(), &params, 10_000, 1));
+    let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    print_report(&report);
+    wh.check_consistency().unwrap();
+
+    // --- night 2: insertion-generating changes -------------------------
+    println!("\n== Night 2: insertion-generating changes (10,000 new-date inserts) ==");
+    let batch = ChangeBatch::single(insertion_generating(&params, 10_000, 1, 2));
+    let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    print_report(&report);
+    wh.check_consistency().unwrap();
+
+    // --- the same night, rematerialized, for comparison -----------------
+    println!("\n== Same change set, rematerialization baseline ==");
+    let (mut rem, _) = build(scale);
+    let b1 = ChangeBatch::single(update_generating(rem.catalog(), &params, 10_000, 1));
+    rem.maintain(&b1, &MaintainOptions::default()).unwrap();
+    let b2 = ChangeBatch::single(insertion_generating(&params, 10_000, 1, 2));
+    let rem_report = rem.rematerialize(&b2, true).unwrap();
+    println!(
+        "rematerialize (lattice): {:>8.1?} total  vs summary-delta: {:>8.1?} total",
+        rem_report.total_time(),
+        report.total_time()
+    );
+    println!(
+        "batch-window time alone: {:>8.1?} (remat) vs {:>8.1?} (refresh only)",
+        rem_report.refresh_time, report.refresh_time
+    );
+}
+
+fn print_report(report: &cubedelta::core::MaintenanceReport) {
+    println!(
+        "propagate {:>8.1?} | apply {:>8.1?} | refresh {:>8.1?} | total {:>8.1?}",
+        report.propagate_time,
+        report.apply_base_time,
+        report.refresh_time,
+        report.total_time()
+    );
+    for v in &report.per_view {
+        println!(
+            "  {:10} <- {:10} delta={:>6} ins={:>5} upd={:>5} del={:>4} recomp={:>3}",
+            v.view,
+            v.source,
+            v.delta_rows,
+            v.refresh.inserted,
+            v.refresh.updated,
+            v.refresh.deleted,
+            v.refresh.recomputed
+        );
+    }
+}

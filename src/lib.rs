@@ -1,0 +1,72 @@
+//! # CubeDelta
+//!
+//! A from-scratch Rust reproduction of **"Maintenance of Data Cubes and
+//! Summary Tables in a Warehouse"** (Mumick, Quass & Mumick, SIGMOD 1997):
+//! the *summary-delta table method* for incrementally maintaining
+//! materialized aggregate views, the propagate/refresh split, and the
+//! V-/D-lattice machinery for maintaining many summary tables together.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`storage`] — in-memory relational substrate (values, multiset tables,
+//!   hash indexes, catalog, deferred change sets).
+//! * [`expr`] — scalar expressions and predicates.
+//! * [`query`] — relational operators and aggregate accumulators.
+//! * [`view`] — generalized cube views, self-maintainability augmentation,
+//!   summary tables.
+//! * [`lattice`] — cube lattices, dimension hierarchies, the derives
+//!   relation, V-/D-lattices, lattice-friendly rewriting.
+//! * [`core`] — the summary-delta method itself: prepare, propagate,
+//!   refresh, multi-view plans, baselines, and the [`Warehouse`] facade.
+//! * [`workload`] — the synthetic retail workload of the paper's §6 study.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cubedelta::{MaintainOptions, Warehouse};
+//! use cubedelta::expr::Expr;
+//! use cubedelta::query::AggFunc;
+//! use cubedelta::storage::{row, ChangeBatch, DeltaSet};
+//! use cubedelta::view::SummaryViewDef;
+//! use cubedelta::workload::retail_catalog_small;
+//!
+//! // A retail warehouse with the paper's pos/stores/items schema.
+//! let mut wh = Warehouse::from_catalog(retail_catalog_small());
+//!
+//! // Figure 1's SID_sales summary table.
+//! wh.create_summary_table(
+//!     &SummaryViewDef::builder("SID_sales", "pos")
+//!         .group_by(["storeID", "itemID", "date"])
+//!         .aggregate(AggFunc::CountStar, "TotalCount")
+//!         .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+//!         .build(),
+//! )
+//! .unwrap();
+//!
+//! // A nightly batch: propagate, apply, refresh.
+//! let batch = ChangeBatch::single(DeltaSet::insertions(
+//!     "pos",
+//!     vec![row![1i64, 10i64, cubedelta::storage::Date(10000), 2i64, 1.0]],
+//! ));
+//! wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+//! wh.check_consistency().unwrap();
+//! ```
+
+pub mod persist;
+
+pub use cubedelta_core as core;
+pub use cubedelta_expr as expr;
+pub use cubedelta_lattice as lattice;
+pub use cubedelta_query as query;
+pub use cubedelta_sql as sql;
+pub use cubedelta_storage as storage;
+pub use cubedelta_view as view;
+pub use cubedelta_workload as workload;
+
+pub use cubedelta_core::{
+    AggQuery, CubeBudget, CubeSpec, MaintainOptions, MaintenanceReport, RefreshOptions,
+    RefreshStats, ViewReport, Warehouse,
+};
+pub use cubedelta_lattice::ViewLattice;
+pub use cubedelta_sql::SqlWarehouse;
+pub use cubedelta_view::SummaryViewDef;

@@ -1,0 +1,362 @@
+//! Saving and restoring a warehouse as a directory of flat files.
+//!
+//! Layout written by [`save_warehouse`]:
+//!
+//! ```text
+//! dir/
+//!   schema.txt    base-table schemas, roles, foreign keys, dimension FDs
+//!   views.sql     one CREATE VIEW statement per line (paper-style SQL)
+//!   <table>.csv   contents of every fact and dimension table
+//! ```
+//!
+//! [`load_warehouse`] reverses it: base tables are loaded from CSV, then
+//! every view is re-created (and rematerialized) from its SQL — summary
+//! tables are derived state, so persisting their *definitions* suffices and
+//! keeps the format trivially auditable.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use cubedelta_core::{CoreError, Warehouse};
+use cubedelta_sql::SqlWarehouse;
+use cubedelta_storage::{
+    load_csv, to_csv, Column, DataType, DimensionInfo, FunctionalDependency, Schema, TableRole,
+};
+
+/// Errors from saving or loading a warehouse directory.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem trouble.
+    Io(std::io::Error),
+    /// A malformed line in `schema.txt`.
+    Manifest(String),
+    /// An engine error while rebuilding.
+    Engine(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io: {e}"),
+            PersistError::Manifest(m) => write!(f, "manifest: {m}"),
+            PersistError::Engine(m) => write!(f, "engine: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CoreError> for PersistError {
+    fn from(e: CoreError) -> Self {
+        PersistError::Engine(e.to_string())
+    }
+}
+
+fn role_name(role: TableRole) -> &'static str {
+    match role {
+        TableRole::Fact => "fact",
+        TableRole::Dimension => "dimension",
+        TableRole::Summary => "summary",
+        TableRole::Other => "other",
+    }
+}
+
+fn type_name(t: DataType) -> &'static str {
+    match t {
+        DataType::Int => "int",
+        DataType::Float => "float",
+        DataType::Str => "str",
+        DataType::Date => "date",
+    }
+}
+
+fn parse_type(s: &str) -> Result<DataType, PersistError> {
+    Ok(match s {
+        "int" => DataType::Int,
+        "float" => DataType::Float,
+        "str" => DataType::Str,
+        "date" => DataType::Date,
+        other => return Err(PersistError::Manifest(format!("unknown type `{other}`"))),
+    })
+}
+
+/// Writes the warehouse's base tables, relational metadata, and view
+/// definitions under `dir` (created if missing). Summary-table *contents*
+/// are not written; they are derived state, rebuilt on load.
+pub fn save_warehouse(wh: &Warehouse, dir: &Path) -> Result<(), PersistError> {
+    fs::create_dir_all(dir)?;
+    let cat = wh.catalog();
+
+    let mut schema_out = String::new();
+    for role in [TableRole::Fact, TableRole::Dimension] {
+        for name in cat.tables_with_role(role) {
+            let table = cat.table(name).expect("listed table exists");
+            schema_out.push_str(&format!("table|{name}|{}\n", role_name(role)));
+            for c in table.schema().columns() {
+                schema_out.push_str(&format!(
+                    "column|{name}|{}|{}|{}\n",
+                    c.name,
+                    type_name(c.datatype),
+                    if c.nullable { "null" } else { "notnull" }
+                ));
+            }
+            if let Some(info) = cat.dimension_info(name) {
+                schema_out.push_str(&format!("dimkey|{name}|{}\n", info.key));
+                for fd in &info.fds {
+                    schema_out.push_str(&format!(
+                        "fd|{name}|{}|{}\n",
+                        fd.determinant,
+                        fd.dependents.join(",")
+                    ));
+                }
+            }
+            // Contents.
+            fs::write(dir.join(format!("{name}.csv")), to_csv(table))?;
+        }
+    }
+    for fk in cat.foreign_keys() {
+        schema_out.push_str(&format!(
+            "fk|{}|{}|{}|{}\n",
+            fk.fact_table, fk.fact_column, fk.dim_table, fk.dim_key
+        ));
+    }
+    fs::write(dir.join("schema.txt"), schema_out)?;
+
+    let mut views = fs::File::create(dir.join("views.sql"))?;
+    for view in wh.views() {
+        // The augmented definition's user prefix is what the owner wrote;
+        // re-augmentation on load regenerates the support columns. We strip
+        // augmentation by rebuilding the definition from the user prefix.
+        let mut def = view.def.clone();
+        def.aggregates.truncate(view.user_agg_count);
+        writeln!(views, "{def}")?;
+    }
+    Ok(())
+}
+
+/// Restores a warehouse saved by [`save_warehouse`]: loads base tables from
+/// CSV, re-registers metadata, then re-creates (and rematerializes) every
+/// view from its SQL.
+pub fn load_warehouse(dir: &Path) -> Result<Warehouse, PersistError> {
+    let mut wh = Warehouse::new();
+    let schema_text = fs::read_to_string(dir.join("schema.txt"))?;
+
+    // Pass 1: gather column definitions per table.
+    let mut tables: Vec<(String, TableRole)> = Vec::new();
+    let mut columns: Vec<(String, Column)> = Vec::new();
+    let mut dim_infos: Vec<(String, DimensionInfo)> = Vec::new();
+    let mut fks: Vec<(String, String, String, String)> = Vec::new();
+
+    for line in schema_text.lines().filter(|l| !l.trim().is_empty()) {
+        let parts: Vec<&str> = line.split('|').collect();
+        match parts.as_slice() {
+            ["table", name, role] => {
+                let role = match *role {
+                    "fact" => TableRole::Fact,
+                    "dimension" => TableRole::Dimension,
+                    other => {
+                        return Err(PersistError::Manifest(format!("unknown role `{other}`")))
+                    }
+                };
+                tables.push((name.to_string(), role));
+            }
+            ["column", table, name, ty, nullness] => {
+                let ty = parse_type(ty)?;
+                let col = match *nullness {
+                    "null" => Column::nullable(*name, ty),
+                    "notnull" => Column::new(*name, ty),
+                    other => {
+                        return Err(PersistError::Manifest(format!(
+                            "unknown nullability `{other}`"
+                        )))
+                    }
+                };
+                columns.push((table.to_string(), col));
+            }
+            ["dimkey", table, key] => {
+                dim_infos.push((
+                    table.to_string(),
+                    DimensionInfo {
+                        key: key.to_string(),
+                        fds: Vec::new(),
+                    },
+                ));
+            }
+            ["fd", table, det, deps] => {
+                let info = dim_infos
+                    .iter_mut()
+                    .find(|(t, _)| t == table)
+                    .ok_or_else(|| {
+                        PersistError::Manifest(format!("fd before dimkey for `{table}`"))
+                    })?;
+                info.1.fds.push(FunctionalDependency::new(
+                    *det,
+                    &deps.split(',').collect::<Vec<_>>(),
+                ));
+            }
+            ["fk", fact, fcol, dim, dkey] => {
+                fks.push((
+                    fact.to_string(),
+                    fcol.to_string(),
+                    dim.to_string(),
+                    dkey.to_string(),
+                ));
+            }
+            other => {
+                return Err(PersistError::Manifest(format!("bad line {other:?}")));
+            }
+        }
+    }
+
+    // Pass 2: create tables, metadata, load contents.
+    for (name, role) in &tables {
+        let cols: Vec<Column> = columns
+            .iter()
+            .filter(|(t, _)| t == name)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let schema = Schema::new(cols);
+        match role {
+            TableRole::Fact => wh.create_fact_table(name, schema)?,
+            TableRole::Dimension => {
+                let info = dim_infos
+                    .iter()
+                    .find(|(t, _)| t == name)
+                    .map(|(_, i)| i.clone())
+                    .unwrap_or_default();
+                wh.create_dimension_table(name, schema, info)?
+            }
+            _ => unreachable!("only fact/dimension roles are written"),
+        }
+        let csv = fs::read_to_string(dir.join(format!("{name}.csv")))?;
+        load_csv(wh.catalog_mut().table_mut(name).map_err(CoreError::from)?, &csv)
+            .map_err(|e| PersistError::Engine(e.to_string()))?;
+    }
+    for (fact, fcol, dim, dkey) in fks {
+        wh.add_foreign_key(&fact, &fcol, &dim, &dkey)?;
+    }
+
+    // Pass 3: views.
+    let views_path = dir.join("views.sql");
+    if views_path.exists() {
+        for line in fs::read_to_string(views_path)?
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+        {
+            wh.create_summary_table_sql(line)
+                .map_err(|e| PersistError::Engine(e.to_string()))?;
+        }
+    }
+    Ok(wh)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_core::MaintainOptions;
+    use cubedelta_expr::{CmpOp, Expr, Predicate};
+    use cubedelta_query::AggFunc;
+    use cubedelta_storage::{row, ChangeBatch, Date, DeltaSet};
+    use cubedelta_view::SummaryViewDef;
+    use cubedelta_workload::retail_catalog_small;
+
+    fn tempdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("cubedelta_persist_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_warehouse() -> Warehouse {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        wh.create_summary_table(
+            &SummaryViewDef::builder("SID_sales", "pos")
+                .group_by(["storeID", "itemID", "date"])
+                .aggregate(AggFunc::CountStar, "TotalCount")
+                .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+                .build(),
+        )
+        .unwrap();
+        wh.create_summary_table(
+            &SummaryViewDef::builder("big_region", "pos")
+                .join_dimension("stores")
+                .filter(Predicate::cmp(CmpOp::Ge, Expr::col("qty"), Expr::lit(3i64)))
+                .group_by(["region"])
+                .aggregate(AggFunc::CountStar, "cnt")
+                .aggregate(AggFunc::Min(Expr::col("date")), "first")
+                .build(),
+        )
+        .unwrap();
+        wh
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let wh = sample_warehouse();
+        let dir = tempdir("roundtrip");
+        save_warehouse(&wh, &dir).unwrap();
+        let restored = load_warehouse(&dir).unwrap();
+
+        // Base tables identical.
+        for t in ["pos", "stores", "items"] {
+            assert_eq!(
+                restored.catalog().table(t).unwrap().sorted_rows(),
+                wh.catalog().table(t).unwrap().sorted_rows(),
+                "{t} differs"
+            );
+        }
+        // Views rebuilt with identical contents (incl. the filtered one).
+        for v in wh.views() {
+            assert_eq!(
+                restored.catalog().table(&v.def.name).unwrap().sorted_rows(),
+                wh.catalog().table(&v.def.name).unwrap().sorted_rows(),
+                "{} differs",
+                v.def.name
+            );
+        }
+        restored.check_consistency().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn restored_warehouse_maintains() {
+        let wh = sample_warehouse();
+        let dir = tempdir("maintain");
+        save_warehouse(&wh, &dir).unwrap();
+        let mut restored = load_warehouse(&dir).unwrap();
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![3i64, 30i64, Date(10002), 8i64, 0.8]],
+            deletions: vec![row![1i64, 10i64, Date(10000), 5i64, 1.0]],
+        });
+        restored.maintain(&batch, &MaintainOptions::default()).unwrap();
+        restored.check_consistency().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        assert!(matches!(
+            load_warehouse(Path::new("/nonexistent/cubedelta")),
+            Err(PersistError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_manifest_errors() {
+        let dir = tempdir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("schema.txt"), "nonsense|line\n").unwrap();
+        assert!(matches!(
+            load_warehouse(&dir),
+            Err(PersistError::Manifest(_))
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,100 @@
+#![allow(dead_code)] // shared across integration-test binaries; each uses a subset
+//! Shared helpers for the integration tests.
+
+use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::expr::Expr;
+use cubedelta::query::AggFunc;
+use cubedelta::storage::{row, Catalog, ChangeBatch, Date, DeltaSet, Row, Value};
+use cubedelta::view::SummaryViewDef;
+use cubedelta::workload::retail_catalog_small;
+
+/// The paper's four Figure-1 views.
+pub fn figure1_defs() -> Vec<SummaryViewDef> {
+    vec![
+        SummaryViewDef::builder("SID_sales", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("sCD_sales", "pos")
+            .join_dimension("stores")
+            .group_by(["city", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("SiC_sales", "pos")
+            .join_dimension("items")
+            .group_by(["storeID", "category"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Min(Expr::col("date")), "EarliestSale")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+        SummaryViewDef::builder("sR_sales", "pos")
+            .join_dimension("stores")
+            .group_by(["region"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+    ]
+}
+
+/// A warehouse over the miniature retail fixture with all Figure-1 views
+/// installed.
+pub fn small_warehouse() -> Warehouse {
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    for def in figure1_defs() {
+        wh.create_summary_table(&def).unwrap();
+    }
+    wh
+}
+
+/// Deterministic pseudo-random pos row over the small fixture's dimensions
+/// (stores 1–3, items 10/20/30, a few dates, occasional NULL qty).
+pub fn synth_pos_row(seed: u64) -> Row {
+    let store = (seed % 3) as i64 + 1;
+    let item = [10i64, 20, 30][(seed / 3 % 3) as usize];
+    let date = Date(10000 + (seed / 9 % 4) as i32);
+    if seed % 11 == 0 {
+        Row::new(vec![
+            Value::Int(store),
+            Value::Int(item),
+            Value::Date(date),
+            Value::Null,
+            Value::Float(1.0),
+        ])
+    } else {
+        let qty = (seed % 7) as i64 + 1;
+        row![store, item, date, qty, 1.0]
+    }
+}
+
+/// Applies a batch with the summary-delta method and asserts every summary
+/// table still matches recomputation from base data.
+pub fn maintain_and_check(wh: &mut Warehouse, batch: &ChangeBatch, opts: &MaintainOptions) {
+    wh.maintain(batch, opts).unwrap();
+    wh.check_consistency().unwrap();
+}
+
+/// Collects up to `n` current pos rows for deletion batches.
+pub fn existing_pos_rows(catalog: &Catalog, n: usize) -> Vec<Row> {
+    catalog
+        .table("pos")
+        .unwrap()
+        .rows()
+        .take(n)
+        .cloned()
+        .collect()
+}
+
+/// A balanced update-generating batch over the small fixture.
+pub fn small_update_batch(wh: &Warehouse, seed: u64, size: usize) -> ChangeBatch {
+    let dels = existing_pos_rows(wh.catalog(), size / 2);
+    let ins: Vec<Row> = (0..size - dels.len())
+        .map(|i| synth_pos_row(seed.wrapping_mul(31).wrapping_add(i as u64)))
+        .collect();
+    ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        insertions: ins,
+        deletions: dels,
+    })
+}

@@ -1,0 +1,125 @@
+//! Integration tests for dimension-table changes (§4.1.4): prepare views
+//! derived from changed dimension tables, combined fact+dimension batches,
+//! and hierarchy reorganizations.
+
+mod common;
+
+use common::*;
+use cubedelta::core::MaintainOptions;
+use cubedelta::storage::{row, ChangeBatch, Date, DeltaSet};
+
+fn d(offset: i32) -> Date {
+    Date(10000 + offset)
+}
+
+#[test]
+fn item_category_reassignment() {
+    // The §4.1.4 example: an item moves category; SiC_sales regroups.
+    let mut wh = small_warehouse();
+    let mut batch = ChangeBatch::new();
+    batch.add(DeltaSet {
+        table: "items".into(),
+        insertions: vec![row![10i64, "cola", "beverages", 0.5]],
+        deletions: vec![row![10i64, "cola", "drinks", 0.5]],
+    });
+    maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+    let sic = wh.catalog().table("SiC_sales").unwrap();
+    // Item 10's three pos rows regrouped under beverages.
+    assert!(sic
+        .rows()
+        .any(|r| r[1] == cubedelta::storage::Value::str("beverages")));
+    assert!(!sic
+        .rows()
+        .any(|r| r[1] == cubedelta::storage::Value::str("drinks")
+            && r[2] != cubedelta::storage::Value::Int(0)));
+}
+
+#[test]
+fn store_city_move_hits_city_and_region_views() {
+    // Store 2 relocates from boston/east to sf/west.
+    let mut wh = small_warehouse();
+    let mut batch = ChangeBatch::new();
+    batch.add(DeltaSet {
+        table: "stores".into(),
+        insertions: vec![row![2i64, "sf", "west"]],
+        deletions: vec![row![2i64, "boston", "east"]],
+    });
+    maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+    let sr = wh.catalog().table("sR_sales").unwrap();
+    // Store 2 had one pos row (qty 7): east loses it, west gains it.
+    let get = |region: &str| {
+        sr.rows()
+            .find(|r| r[0] == cubedelta::storage::Value::str(region))
+            .map(|r| (r[1].clone(), r[2].clone()))
+    };
+    let (east_cnt, east_qty) = get("east").expect("east row");
+    assert_eq!(east_cnt, cubedelta::storage::Value::Int(3));
+    assert_eq!(east_qty, cubedelta::storage::Value::Int(10));
+    let (west_cnt, west_qty) = get("west").expect("west row");
+    assert_eq!(west_cnt, cubedelta::storage::Value::Int(1));
+    assert_eq!(west_qty, cubedelta::storage::Value::Int(7));
+}
+
+#[test]
+fn new_dimension_rows_with_new_facts_in_one_batch() {
+    // A brand-new store opens and sells on the same day.
+    let mut wh = small_warehouse();
+    let mut batch = ChangeBatch::new();
+    batch.add(DeltaSet::insertions(
+        "stores",
+        vec![row![4i64, "austin", "south"]],
+    ));
+    batch.add(DeltaSet::insertions(
+        "pos",
+        vec![
+            row![4i64, 10i64, d(2), 3i64, 1.0],
+            row![4i64, 20i64, d(2), 1i64, 2.0],
+        ],
+    ));
+    maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+    let sr = wh.catalog().table("sR_sales").unwrap();
+    assert!(
+        sr.rows()
+            .any(|r| r[0] == cubedelta::storage::Value::str("south")),
+        "new region appears"
+    );
+}
+
+#[test]
+fn dimension_delete_removes_orphaned_fact_contributions() {
+    // Close store 3 (no pos rows) — summary tables unchanged; then close
+    // store 2 together with deleting its pos row.
+    let mut wh = small_warehouse();
+    let mut batch = ChangeBatch::new();
+    batch.add(DeltaSet::deletions("stores", vec![row![3i64, "sf", "west"]]));
+    maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+
+    let mut batch = ChangeBatch::new();
+    batch.add(DeltaSet::deletions(
+        "stores",
+        vec![row![2i64, "boston", "east"]],
+    ));
+    batch.add(DeltaSet::deletions(
+        "pos",
+        vec![row![2i64, 10i64, d(0), 7i64, 1.0]],
+    ));
+    maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+}
+
+#[test]
+fn repeated_dimension_churn_stays_consistent() {
+    let mut wh = small_warehouse();
+    let cities = ["nyc", "boston", "sf", "austin"];
+    let regions = ["east", "east", "west", "south"];
+    for round in 0..6usize {
+        let from = round % cities.len();
+        let to = (round + 1) % cities.len();
+        let mut batch = ChangeBatch::new();
+        batch.add(DeltaSet {
+            table: "stores".into(),
+            insertions: vec![row![1i64, cities[to], regions[to]]],
+            deletions: vec![row![1i64, cities[from], regions[from]]],
+        });
+        maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+    }
+}

@@ -1,0 +1,152 @@
+//! Integration tests reproducing the paper's lattice figures: the cube
+//! lattice (Figure 4), the combined lattice (Figure 5), partially
+//! materialized lattices (§3.4), the V-lattice of Figure 8, and
+//! lattice-friendly rewriting (§5.2).
+
+mod common;
+
+use common::figure1_defs;
+use cubedelta::lattice::{
+    combined_lattice, cube_lattice, make_lattice_friendly, Hierarchy, ViewLattice,
+};
+use cubedelta::view::augment;
+use cubedelta::workload::retail_catalog_small;
+
+#[test]
+fn figure_4_cube_lattice() {
+    let lat = cube_lattice(&["storeID", "itemID", "date"]);
+    assert_eq!(lat.len(), 8);
+    assert_eq!(lat.edges().len(), 12);
+    // Spot-check the rendered levels match the figure's rows.
+    let render = lat.render();
+    let lines: Vec<&str> = render.lines().collect();
+    assert_eq!(lines[0], "(date, itemID, storeID)");
+    assert_eq!(lines[3], "()");
+    assert_eq!(lines[1].matches('(').count(), 3, "three 2-attribute views");
+    assert_eq!(lines[2].matches('(').count(), 3, "three 1-attribute views");
+}
+
+#[test]
+fn figure_5_combined_lattice() {
+    let hierarchies = vec![
+        Hierarchy::new("stores", &["storeID", "city", "region"]),
+        Hierarchy::new("items", &["itemID", "category"]),
+        Hierarchy::flat("date"),
+    ];
+    let lat = combined_lattice(&hierarchies);
+    assert_eq!(lat.len(), 24);
+
+    // Every node from the figure is present.
+    for node in [
+        vec!["storeID", "itemID", "date"],
+        vec!["storeID", "itemID"],
+        vec!["storeID", "category", "date"],
+        vec!["city", "itemID", "date"],
+        vec!["storeID", "category"],
+        vec!["city", "itemID"],
+        vec!["storeID", "date"],
+        vec!["city", "category", "date"],
+        vec!["region", "itemID", "date"],
+        vec!["storeID"],
+        vec!["city", "category"],
+        vec!["region", "itemID"],
+        vec!["city", "date"],
+        vec!["region", "category", "date"],
+        vec!["itemID", "date"],
+        vec!["city"],
+        vec!["region", "category"],
+        vec!["itemID"],
+        vec!["region", "date"],
+        vec!["category", "date"],
+        vec!["region"],
+        vec!["category"],
+        vec!["date"],
+        vec![],
+    ] {
+        assert!(
+            lat.find(node.clone()).is_some(),
+            "Figure 5 node {node:?} missing"
+        );
+    }
+}
+
+#[test]
+fn figure_5_from_catalog_hierarchies() {
+    // The same lattice can be built from catalog metadata.
+    let cat = retail_catalog_small();
+    let stores = Hierarchy::from_catalog(&cat, "stores", &[]).unwrap();
+    let items = Hierarchy::from_catalog(&cat, "items", &["category"]).unwrap();
+    let lat = combined_lattice(&[stores, items, Hierarchy::flat("date")]);
+    assert_eq!(lat.len(), 24);
+}
+
+#[test]
+fn partial_materialization_rewires_transitively() {
+    // Drop (city, itemID, date) and (storeID, itemID) from a slice of
+    // Figure 5; (city, itemID) must still derive from the top.
+    let hierarchies = vec![
+        Hierarchy::new("stores", &["storeID", "city"]),
+        Hierarchy::new("items", &["itemID"]),
+    ];
+    let mut lat = combined_lattice(&hierarchies);
+    let top = lat.find(["storeID", "itemID"]).unwrap();
+    let ci = lat.find(["city", "itemID"]).unwrap();
+    assert!(lat.derivable(ci, top));
+    // Remove the only intermediate node between them, if any exist.
+    let removed = lat.find(["city", "itemID"]).unwrap();
+    assert_eq!(removed, ci);
+    lat.remove_node(ci);
+    // (city) now hangs below (storeID, itemID) through (storeID) or
+    // directly; every remaining node still reachable from the top.
+    let top = lat.find(["storeID", "itemID"]).unwrap();
+    for i in 0..lat.len() {
+        assert!(
+            i == top || lat.derivable(i, top),
+            "node {:?} lost derivability",
+            lat.nodes()[i]
+        );
+    }
+}
+
+#[test]
+fn figure_8_v_lattice_shape_and_annotations() {
+    let cat = retail_catalog_small();
+    let views: Vec<_> = figure1_defs()
+        .iter()
+        .map(|d| augment(&cat, d).unwrap())
+        .collect();
+    let lat = ViewLattice::build(&cat, views).unwrap();
+    let render = lat.render();
+    // Figure 8's edges with their dimension-join labels.
+    assert!(render.contains("SID_sales -> SiC_sales [join items]"));
+    assert!(render.contains("SID_sales -> sCD_sales [join stores]"));
+    assert!(render.contains("SiC_sales -> sR_sales [join stores]"));
+    assert!(render.contains("sCD_sales -> sR_sales [join stores]"));
+    // SID on top, sR at the bottom.
+    let first_line = render.lines().next().unwrap();
+    assert!(first_line.contains("SID_sales"));
+}
+
+#[test]
+fn lattice_friendly_rewriting_gives_figure_8_join_free_edge() {
+    // After §5.2 widening, sCD_sales carries region and the sCD → sR edge
+    // loses its stores join, exactly as Figure 8 shows.
+    let cat = retail_catalog_small();
+    let friendly = make_lattice_friendly(&cat, &figure1_defs()).unwrap();
+    let scd = friendly.iter().find(|d| d.name == "sCD_sales").unwrap();
+    assert!(scd.group_by.contains(&"region".to_string()));
+    let views: Vec<_> = friendly.iter().map(|d| augment(&cat, d).unwrap()).collect();
+    let lat = ViewLattice::build(&cat, views).unwrap();
+    assert!(
+        lat.render().contains("sCD_sales -> sR_sales\n"),
+        "expected a join-free edge:\n{}",
+        lat.render()
+    );
+}
+
+#[test]
+fn cube_views_count_scales_exponentially() {
+    assert_eq!(cube_lattice(&["a"]).len(), 2);
+    assert_eq!(cube_lattice(&["a", "b"]).len(), 4);
+    assert_eq!(cube_lattice(&["a", "b", "c", "d"]).len(), 16);
+}

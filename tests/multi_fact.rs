@@ -1,0 +1,139 @@
+//! Warehouses with more than one fact table: views over different fact
+//! tables never derive from each other, form separate lattice components,
+//! and maintain independently within one batch.
+
+mod common;
+
+use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::expr::Expr;
+use cubedelta::query::AggFunc;
+use cubedelta::storage::{
+    row, ChangeBatch, Column, DataType, Date, DeltaSet, Schema,
+};
+use cubedelta::view::SummaryViewDef;
+use cubedelta::workload::retail_catalog_small;
+
+/// Adds a second fact table, `returns(storeID, itemID, date, qty)`, to the
+/// retail fixture.
+fn two_fact_warehouse() -> Warehouse {
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    wh.create_fact_table(
+        "returns",
+        Schema::new(vec![
+            Column::new("storeID", DataType::Int),
+            Column::new("itemID", DataType::Int),
+            Column::new("date", DataType::Date),
+            Column::nullable("qty", DataType::Int),
+        ]),
+    )
+    .unwrap();
+    wh.add_foreign_key("returns", "storeID", "stores", "storeID").unwrap();
+    wh.insert(
+        "returns",
+        vec![
+            row![1i64, 10i64, Date(10001), 1i64],
+            row![2i64, 10i64, Date(10002), 2i64],
+        ],
+    )
+    .unwrap();
+
+    wh.create_summary_table(
+        &SummaryViewDef::builder("sales_by_store", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "sold")
+            .build(),
+    )
+    .unwrap();
+    wh.create_summary_table(
+        &SummaryViewDef::builder("returns_by_store", "returns")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "returned")
+            .build(),
+    )
+    .unwrap();
+    wh.create_summary_table(
+        &SummaryViewDef::builder("returns_by_region", "returns")
+            .join_dimension("stores")
+            .group_by(["region"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "returned")
+            .build(),
+    )
+    .unwrap();
+    wh
+}
+
+#[test]
+fn views_over_different_facts_are_unrelated() {
+    let mut wh = two_fact_warehouse();
+    let lat = wh.lattice().unwrap();
+    let idx = |name: &str| {
+        lat.views()
+            .iter()
+            .position(|v| v.def.name == name)
+            .unwrap()
+    };
+    let sales = idx("sales_by_store");
+    let ret_store = idx("returns_by_store");
+    let ret_region = idx("returns_by_region");
+    // Same group-by, different fact tables: no derivation either way.
+    assert!(!lat.strictly_below(sales, ret_store));
+    assert!(!lat.strictly_below(ret_store, sales));
+    // Within the returns component, the region view derives from the store
+    // view.
+    assert!(lat.strictly_below(ret_region, ret_store));
+}
+
+#[test]
+fn one_batch_maintains_both_components() {
+    let mut wh = two_fact_warehouse();
+    let mut batch = ChangeBatch::new();
+    batch.add(DeltaSet::insertions(
+        "pos",
+        vec![row![3i64, 30i64, Date(10003), 4i64, 0.8]],
+    ));
+    batch.add(DeltaSet {
+        table: "returns".into(),
+        insertions: vec![row![3i64, 30i64, Date(10003), 1i64]],
+        deletions: vec![row![1i64, 10i64, Date(10001), 1i64]],
+    });
+    let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    wh.check_consistency().unwrap();
+    assert_eq!(report.per_view.len(), 3);
+    // returns_by_region cascades from returns_by_store.
+    let rr = report
+        .per_view
+        .iter()
+        .find(|v| v.view == "returns_by_region")
+        .unwrap();
+    assert_eq!(rr.source, "returns_by_store");
+}
+
+#[test]
+fn changes_to_one_fact_leave_other_views_untouched() {
+    let mut wh = two_fact_warehouse();
+    let before = wh
+        .catalog()
+        .table("sales_by_store")
+        .unwrap()
+        .sorted_rows();
+    let batch = ChangeBatch::single(DeltaSet::deletions(
+        "returns",
+        vec![row![2i64, 10i64, Date(10002), 2i64]],
+    ));
+    let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    wh.check_consistency().unwrap();
+    assert_eq!(
+        wh.catalog().table("sales_by_store").unwrap().sorted_rows(),
+        before
+    );
+    let sales = report
+        .per_view
+        .iter()
+        .find(|v| v.view == "sales_by_store")
+        .unwrap();
+    assert_eq!(sales.delta_rows, 0);
+    assert_eq!(sales.refresh.total(), 0);
+}

@@ -1,0 +1,177 @@
+//! Integration tests: maintaining the paper's four summary tables together
+//! through the D-lattice (§5), including Theorem 5.1 equivalences and the
+//! Figure-3 delta cascade.
+
+mod common;
+
+use common::*;
+use cubedelta::core::{propagate_plan, MaintainOptions, PropagateOptions, Warehouse};
+use cubedelta::lattice::{DeltaSource, ViewLattice};
+use cubedelta::storage::{row, ChangeBatch, Date, DeltaSet};
+use cubedelta::view::augment;
+use cubedelta::workload::retail_catalog_small;
+
+fn d(offset: i32) -> Date {
+    Date(10000 + offset)
+}
+
+#[test]
+fn figure_3_cascade_runs_through_lattice() {
+    // The optimized plan must derive sCD and SiC from SID's delta, and sR
+    // from one of the intermediates — never recompute from raw changes.
+    let mut wh = small_warehouse();
+    let batch = small_update_batch(&wh, 3, 6);
+    let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    let sid = report.view("SID_sales").unwrap();
+    assert_eq!(sid.source, "changes");
+    let scd = report.view("sCD_sales").unwrap();
+    assert_eq!(scd.source, "SID_sales");
+    let sic = report.view("SiC_sales").unwrap();
+    assert_eq!(sic.source, "SID_sales");
+    let sr = report.view("sR_sales").unwrap();
+    assert!(
+        sr.source == "sCD_sales" || sr.source == "SiC_sales" || sr.source == "SID_sales",
+        "sR derived from an ancestor's delta, got {}",
+        sr.source
+    );
+    wh.check_consistency().unwrap();
+}
+
+#[test]
+fn lattice_and_direct_maintenance_agree_over_many_nights() {
+    let mut with_lattice = small_warehouse();
+    let mut without = small_warehouse();
+    for night in 0..8u64 {
+        let batch = small_update_batch(&with_lattice, night * 13 + 5, 6);
+        with_lattice
+            .maintain(&batch, &MaintainOptions::default())
+            .unwrap();
+        without
+            .maintain(
+                &batch,
+                &MaintainOptions {
+                    use_lattice: false,
+                    pre_aggregate: false,
+                },
+            )
+            .unwrap();
+        for def in figure1_defs() {
+            assert_eq!(
+                with_lattice
+                    .catalog()
+                    .table(&def.name)
+                    .unwrap()
+                    .sorted_rows(),
+                without.catalog().table(&def.name).unwrap().sorted_rows(),
+                "night {night}: {} diverged",
+                def.name
+            );
+        }
+    }
+    with_lattice.check_consistency().unwrap();
+}
+
+#[test]
+fn theorem_5_1_deltas_agree_for_insertion_only_batches() {
+    let cat = retail_catalog_small();
+    let views: Vec<_> = figure1_defs()
+        .iter()
+        .map(|defn| augment(&cat, defn).unwrap())
+        .collect();
+    let lat = ViewLattice::build(&cat, views.clone()).unwrap();
+    let batch = ChangeBatch::single(DeltaSet::insertions(
+        "pos",
+        vec![
+            row![1i64, 10i64, d(7), 3i64, 1.0],
+            row![2i64, 20i64, d(7), 1i64, 2.0],
+            row![3i64, 30i64, d(8), 2i64, 0.8],
+        ],
+    ));
+    let plan = lat.choose_plan(&cat, |_| 1).unwrap();
+    let lattice_deltas =
+        propagate_plan(&cat, &views, &plan, &batch, &PropagateOptions::default()).unwrap();
+    let direct_deltas = propagate_plan(
+        &cat,
+        &views,
+        &lat.direct_plan(),
+        &batch,
+        &PropagateOptions::default(),
+    )
+    .unwrap();
+    for v in &views {
+        assert_eq!(
+            lattice_deltas[&v.def.name].sorted_rows(),
+            direct_deltas[&v.def.name].sorted_rows(),
+            "{} deltas differ",
+            v.def.name
+        );
+    }
+}
+
+#[test]
+fn adding_views_incrementally_rebuilds_the_lattice() {
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    let defs = figure1_defs();
+    // Install views one at a time, maintaining in between.
+    for (i, def) in defs.iter().enumerate() {
+        wh.create_summary_table(def).unwrap();
+        let batch = small_update_batch(&wh, i as u64 + 40, 4);
+        maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+    }
+    let lat = wh.lattice().unwrap();
+    assert_eq!(lat.views().len(), 4);
+}
+
+#[test]
+fn plan_adapts_to_view_sizes() {
+    // After maintenance, the plan should prefer the smaller intermediate
+    // parent for sR_sales. In the tiny fixture sCD and SiC are both small;
+    // just assert the plan remains topologically valid and uses parents.
+    let mut wh = small_warehouse();
+    let batch = small_update_batch(&wh, 9, 4);
+    wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    let catalog = wh.catalog().clone();
+    let lat = wh.lattice().unwrap();
+    let plan = lat
+        .choose_plan(&catalog, |name| {
+            catalog.table(name).map(|t| t.len()).unwrap_or(usize::MAX)
+        })
+        .unwrap();
+    let from_parent = plan
+        .steps
+        .iter()
+        .filter(|s| matches!(s.source, DeltaSource::FromParent(_)))
+        .count();
+    assert_eq!(from_parent, 3, "three of four views derive from parents");
+    // Validate topological order: parents placed before children.
+    let mut seen = std::collections::HashSet::new();
+    for step in &plan.steps {
+        if let DeltaSource::FromParent(eq) = &step.source {
+            assert!(seen.contains(eq.parent.as_str()), "plan out of order");
+        }
+        seen.insert(step.view.as_str());
+    }
+}
+
+#[test]
+fn empty_batch_is_a_no_op() {
+    let mut wh = small_warehouse();
+    let before: Vec<_> = figure1_defs()
+        .iter()
+        .map(|defn| wh.catalog().table(&defn.name).unwrap().sorted_rows())
+        .collect();
+    let report = wh
+        .maintain(&ChangeBatch::new(), &MaintainOptions::default())
+        .unwrap();
+    for (def, want) in figure1_defs().iter().zip(before) {
+        assert_eq!(
+            wh.catalog().table(&def.name).unwrap().sorted_rows(),
+            want,
+            "{} changed on an empty batch",
+            def.name
+        );
+    }
+    for v in &report.per_view {
+        assert_eq!(v.refresh.inserted + v.refresh.deleted + v.refresh.recomputed, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Property-based integration tests (proptest): the summary-delta method is
+//! equivalent to recomputation for *arbitrary* base states and change
+//! sequences, and the D-lattice deltas match direct deltas (Theorem 5.1).
+
+mod common;
+
+use common::figure1_defs;
+use cubedelta::core::{propagate_plan, MaintainOptions, PropagateOptions, Warehouse};
+use cubedelta::lattice::ViewLattice;
+use cubedelta::storage::{ChangeBatch, Date, DeltaSet, Row, Value};
+use cubedelta::view::augment;
+use cubedelta::workload::retail_catalog_small;
+use proptest::prelude::*;
+
+/// Strategy: a pos row over small domains, with NULL-able qty.
+fn pos_row() -> impl Strategy<Value = Row> {
+    (
+        1i64..=3,
+        prop_oneof![Just(10i64), Just(20i64), Just(30i64)],
+        0i32..4,
+        prop_oneof![
+            3 => (1i64..=9).prop_map(Value::Int),
+            1 => Just(Value::Null)
+        ],
+        1u32..=3,
+    )
+        .prop_map(|(s, i, doff, qty, price)| {
+            Row::new(vec![
+                Value::Int(s),
+                Value::Int(i),
+                Value::Date(Date(10000 + doff)),
+                qty,
+                Value::Float(price as f64),
+            ])
+        })
+}
+
+/// Strategy: a change script. Each step inserts some rows and deletes a few
+/// indexes into the current table (resolved at runtime so deletions always
+/// hit live rows).
+fn change_script() -> impl Strategy<Value = Vec<(Vec<Row>, Vec<usize>)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(pos_row(), 0..5),
+            proptest::collection::vec(0usize..64, 0..4),
+        ),
+        1..5,
+    )
+}
+
+fn batch_from_step(wh: &Warehouse, ins: &[Row], del_seeds: &[usize]) -> ChangeBatch {
+    let live: Vec<Row> = wh
+        .catalog()
+        .table("pos")
+        .unwrap()
+        .rows()
+        .cloned()
+        .collect();
+    let mut deletions = Vec::new();
+    let mut used = std::collections::HashSet::new();
+    for &s in del_seeds {
+        if live.is_empty() {
+            break;
+        }
+        let idx = s % live.len();
+        if used.insert(idx) {
+            deletions.push(live[idx].clone());
+        }
+    }
+    ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        insertions: ins.to_vec(),
+        deletions,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The headline invariant: after any change script, every Figure-1
+    /// summary table maintained incrementally equals recomputation.
+    #[test]
+    fn maintenance_equals_recomputation(script in change_script()) {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for def in figure1_defs() {
+            wh.create_summary_table(&def).unwrap();
+        }
+        for (ins, dels) in &script {
+            let batch = batch_from_step(&wh, ins, dels);
+            wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+            wh.check_consistency().unwrap();
+        }
+    }
+
+    /// Theorem 5.1: the D-lattice propagation plan produces the same
+    /// summary-deltas as direct propagation, for arbitrary fact changes.
+    #[test]
+    fn lattice_deltas_equal_direct_deltas(
+        ins in proptest::collection::vec(pos_row(), 0..6),
+        del_seeds in proptest::collection::vec(0usize..64, 0..4),
+    ) {
+        let cat = retail_catalog_small();
+        let views: Vec<_> = figure1_defs()
+            .iter()
+            .map(|d| augment(&cat, d).unwrap())
+            .collect();
+        let lat = ViewLattice::build(&cat, views.clone()).unwrap();
+
+        let live: Vec<Row> = cat.table("pos").unwrap().rows().cloned().collect();
+        let mut deletions = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for &s in &del_seeds {
+            let idx = s % live.len();
+            if used.insert(idx) {
+                deletions.push(live[idx].clone());
+            }
+        }
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: ins,
+            deletions,
+        });
+
+        let plan = lat.choose_plan(&cat, |_| 1).unwrap();
+        let via = propagate_plan(&cat, &views, &plan, &batch, &PropagateOptions::default()).unwrap();
+        let direct = propagate_plan(
+            &cat, &views, &lat.direct_plan(), &batch, &PropagateOptions::default(),
+        ).unwrap();
+        for v in &views {
+            prop_assert_eq!(
+                via[&v.def.name].sorted_rows(),
+                direct[&v.def.name].sorted_rows(),
+                "deltas differ for {}", &v.def.name
+            );
+        }
+    }
+
+    /// Pre-aggregation (§4.1.3) never changes the computed delta.
+    #[test]
+    fn preaggregation_is_transparent(
+        ins in proptest::collection::vec(pos_row(), 0..6),
+        del_seeds in proptest::collection::vec(0usize..64, 0..3),
+    ) {
+        let cat = retail_catalog_small();
+        let views: Vec<_> = figure1_defs()
+            .iter()
+            .map(|d| augment(&cat, d).unwrap())
+            .collect();
+        let lat = ViewLattice::build(&cat, views.clone()).unwrap();
+
+        let live: Vec<Row> = cat.table("pos").unwrap().rows().cloned().collect();
+        let mut deletions = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for &s in &del_seeds {
+            let idx = s % live.len();
+            if used.insert(idx) {
+                deletions.push(live[idx].clone());
+            }
+        }
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: ins,
+            deletions,
+        });
+
+        let plain = propagate_plan(
+            &cat, &views, &lat.direct_plan(), &batch,
+            &PropagateOptions { pre_aggregate: false },
+        ).unwrap();
+        let pre = propagate_plan(
+            &cat, &views, &lat.direct_plan(), &batch,
+            &PropagateOptions { pre_aggregate: true },
+        ).unwrap();
+        for v in &views {
+            prop_assert_eq!(
+                plain[&v.def.name].sorted_rows(),
+                pre[&v.def.name].sorted_rows(),
+                "pre-aggregation changed the delta for {}", &v.def.name
+            );
+        }
+    }
+
+    /// COUNT(*) never goes negative and a group row exists iff its count is
+    /// positive — the §3.1 self-maintainability bookkeeping.
+    #[test]
+    fn counts_stay_positive(script in change_script()) {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for def in figure1_defs() {
+            wh.create_summary_table(&def).unwrap();
+        }
+        for (ins, dels) in &script {
+            let batch = batch_from_step(&wh, ins, dels);
+            wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+            for view in wh.views() {
+                let cs = view.count_star_col();
+                for r in wh.catalog().table(&view.def.name).unwrap().rows() {
+                    let c = r[cs].as_int().expect("COUNT(*) is an int");
+                    prop_assert!(c > 0, "group with COUNT(*) = {c} in {}", view.def.name);
+                }
+            }
+        }
+    }
+}

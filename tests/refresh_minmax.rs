@@ -1,0 +1,248 @@
+//! Integration tests for the hard part of refresh: MIN/MAX under deletions
+//! (§3.1: "MIN and MAX are not self-maintainable with respect to deletions,
+//! and cannot be made self-maintainable"), plus NULL bookkeeping via
+//! COUNT(e).
+
+mod common;
+
+use common::*;
+use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::expr::Expr;
+use cubedelta::query::AggFunc;
+use cubedelta::storage::{row, ChangeBatch, Date, DeltaSet, Row, Value};
+use cubedelta::view::SummaryViewDef;
+use cubedelta::workload::retail_catalog_small;
+
+fn d(offset: i32) -> Date {
+    Date(10000 + offset)
+}
+
+fn minmax_view() -> SummaryViewDef {
+    SummaryViewDef::builder("mm", "pos")
+        .group_by(["storeID", "itemID"])
+        .aggregate(AggFunc::CountStar, "cnt")
+        .aggregate(AggFunc::Min(Expr::col("date")), "first_sale")
+        .aggregate(AggFunc::Max(Expr::col("date")), "last_sale")
+        .aggregate(AggFunc::Min(Expr::col("qty")), "min_q")
+        .aggregate(AggFunc::Max(Expr::col("qty")), "max_q")
+        .build()
+}
+
+fn fresh() -> Warehouse {
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    wh.create_summary_table(&minmax_view()).unwrap();
+    wh
+}
+
+fn lookup(wh: &Warehouse, store: i64, item: i64) -> Option<Row> {
+    let t = wh.catalog().table("mm").unwrap();
+    t.unique_index()
+        .unwrap()
+        .get(&row![store, item])
+        .and_then(|rid| t.get(rid).cloned())
+}
+
+#[test]
+fn deleting_the_unique_minimum_advances_it() {
+    let mut wh = fresh();
+    // Group (1,10) has rows on d0 only; add a d5 row, then delete both d0
+    // rows in a second batch — min must advance to d5.
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(5), 1i64, 1.0]],
+        )),
+        &MaintainOptions::default(),
+    );
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::deletions(
+            "pos",
+            vec![
+                row![1i64, 10i64, d(0), 5i64, 1.0],
+                row![1i64, 10i64, d(0), 3i64, 1.0],
+            ],
+        )),
+        &MaintainOptions::default(),
+    );
+    let r = lookup(&wh, 1, 10).unwrap();
+    assert_eq!(r[3], Value::Date(d(5)), "first_sale advanced");
+}
+
+#[test]
+fn deleting_the_maximum_retreats_it() {
+    let mut wh = fresh();
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![2i64, 10i64, d(9), 8i64, 1.0]],
+        )),
+        &MaintainOptions::default(),
+    );
+    // Max(date) for (2,10) is now d9; delete it.
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::deletions(
+            "pos",
+            vec![row![2i64, 10i64, d(9), 8i64, 1.0]],
+        )),
+        &MaintainOptions::default(),
+    );
+    let r = lookup(&wh, 2, 10).unwrap();
+    assert_eq!(r[4], Value::Date(d(0)), "last_sale retreated to d0");
+}
+
+#[test]
+fn duplicate_extremum_survives_single_deletion() {
+    let mut wh = fresh();
+    // (1,10) has two rows at d0 (qty 5 and 3): delete the qty-5 row; min
+    // date stays d0 (via recompute), min_q becomes 3.
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::deletions(
+            "pos",
+            vec![row![1i64, 10i64, d(0), 5i64, 1.0]],
+        )),
+        &MaintainOptions::default(),
+    );
+    let r = lookup(&wh, 1, 10).unwrap();
+    assert_eq!(r[3], Value::Date(d(0)));
+    assert_eq!(r[5], Value::Int(3)); // min_q
+    assert_eq!(r[6], Value::Int(3)); // max_q (only one row left)
+}
+
+#[test]
+fn alternating_insert_delete_extrema_stress() {
+    let mut wh = fresh();
+    // Walk min down and max up, then delete them back, over many nights.
+    for k in 1..=6i64 {
+        maintain_and_check(
+            &mut wh,
+            &ChangeBatch::single(DeltaSet::insertions(
+                "pos",
+                vec![
+                    row![1i64, 10i64, d(-(k as i32)), 10 + k, 1.0],
+                    row![1i64, 10i64, d(10 + k as i32), k, 1.0],
+                ],
+            )),
+            &MaintainOptions::default(),
+        );
+    }
+    for k in (1..=6i64).rev() {
+        maintain_and_check(
+            &mut wh,
+            &ChangeBatch::single(DeltaSet::deletions(
+                "pos",
+                vec![
+                    row![1i64, 10i64, d(-(k as i32)), 10 + k, 1.0],
+                    row![1i64, 10i64, d(10 + k as i32), k, 1.0],
+                ],
+            )),
+            &MaintainOptions::default(),
+        );
+    }
+    let r = lookup(&wh, 1, 10).unwrap();
+    assert_eq!(r[3], Value::Date(d(0)));
+    assert_eq!(r[4], Value::Date(d(0)));
+}
+
+#[test]
+fn null_qty_rows_do_not_disturb_min_max() {
+    let mut wh = fresh();
+    let null_qty = Row::new(vec![
+        Value::Int(1),
+        Value::Int(10),
+        Value::Date(d(2)),
+        Value::Null,
+        Value::Float(1.0),
+    ]);
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::insertions("pos", vec![null_qty.clone()])),
+        &MaintainOptions::default(),
+    );
+    let r = lookup(&wh, 1, 10).unwrap();
+    assert_eq!(r[5], Value::Int(3), "NULL qty ignored by MIN");
+    // Delete it again; still consistent.
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::deletions("pos", vec![null_qty])),
+        &MaintainOptions::default(),
+    );
+}
+
+#[test]
+fn group_of_only_null_measures_has_null_min_max() {
+    let mut wh = fresh();
+    let null_row = Row::new(vec![
+        Value::Int(3),
+        Value::Int(30),
+        Value::Date(d(1)),
+        Value::Null,
+        Value::Float(1.0),
+    ]);
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::insertions("pos", vec![null_row])),
+        &MaintainOptions::default(),
+    );
+    let r = lookup(&wh, 3, 30).unwrap();
+    assert_eq!(r[3], Value::Date(d(1)), "date is non-null");
+    assert!(r[5].is_null(), "min_q NULL for all-NULL group");
+    assert!(r[6].is_null(), "max_q NULL for all-NULL group");
+}
+
+#[test]
+fn last_non_null_measure_deleted_nulls_out_min_max() {
+    let mut wh = fresh();
+    // Group (3,30): one NULL-qty row and one qty=7 row; delete the qty=7
+    // row: min_q/max_q must become NULL while the group survives.
+    let null_row = Row::new(vec![
+        Value::Int(3),
+        Value::Int(30),
+        Value::Date(d(1)),
+        Value::Null,
+        Value::Float(1.0),
+    ]);
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![null_row, row![3i64, 30i64, d(1), 7i64, 1.0]],
+        )),
+        &MaintainOptions::default(),
+    );
+    maintain_and_check(
+        &mut wh,
+        &ChangeBatch::single(DeltaSet::deletions(
+            "pos",
+            vec![row![3i64, 30i64, d(1), 7i64, 1.0]],
+        )),
+        &MaintainOptions::default(),
+    );
+    let r = lookup(&wh, 3, 30).unwrap();
+    assert_eq!(r[2], Value::Int(1), "group survives on the NULL row");
+    assert!(r[5].is_null());
+    assert!(r[6].is_null());
+}
+
+#[test]
+fn insertions_only_batches_never_recompute() {
+    let mut wh = fresh();
+    let mut total_recomputed = 0;
+    for k in 0..8i64 {
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(-(k as i32)), k + 1, 1.0]],
+        ));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        total_recomputed += report.view("mm").unwrap().refresh.recomputed;
+        wh.check_consistency().unwrap();
+    }
+    assert_eq!(
+        total_recomputed, 0,
+        "insertions-only batches take the fast path even as MIN shrinks"
+    );
+}

@@ -1,0 +1,223 @@
+//! Integration tests: single-view maintenance equals recomputation across a
+//! spread of view shapes and change patterns (the paper's core correctness
+//! claim for the summary-delta method, §4).
+
+mod common;
+
+use common::*;
+use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::expr::{CmpOp, Expr, Predicate};
+use cubedelta::query::AggFunc;
+use cubedelta::storage::{row, ChangeBatch, Date, DeltaSet};
+use cubedelta::view::SummaryViewDef;
+use cubedelta::workload::retail_catalog_small;
+
+fn d(offset: i32) -> Date {
+    Date(10000 + offset)
+}
+
+/// Installs one view, runs a batch, checks consistency.
+fn run_one(def: SummaryViewDef, batch: ChangeBatch) {
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    wh.create_summary_table(&def).unwrap();
+    maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+}
+
+fn mixed_batch() -> ChangeBatch {
+    ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        insertions: vec![
+            row![1i64, 10i64, d(0), 9i64, 1.5],
+            row![2i64, 20i64, d(3), 2i64, 2.0],
+            row![3i64, 30i64, d(1), 4i64, 0.8],
+        ],
+        deletions: vec![
+            row![1i64, 10i64, d(0), 5i64, 1.0],
+            row![1i64, 20i64, d(1), 2i64, 2.0],
+        ],
+    })
+}
+
+#[test]
+fn plain_cube_view() {
+    run_one(
+        SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .build(),
+        mixed_batch(),
+    );
+}
+
+#[test]
+fn apex_view_global_totals() {
+    run_one(
+        SummaryViewDef::builder("apex", "pos")
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .aggregate(AggFunc::Min(Expr::col("date")), "first")
+            .aggregate(AggFunc::Max(Expr::col("date")), "last")
+            .build(),
+        mixed_batch(),
+    );
+}
+
+#[test]
+fn view_with_min_max_over_measure() {
+    run_one(
+        SummaryViewDef::builder("mm", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::Min(Expr::col("qty")), "min_q")
+            .aggregate(AggFunc::Max(Expr::col("qty")), "max_q")
+            .aggregate(AggFunc::CountStar, "cnt")
+            .build(),
+        mixed_batch(),
+    );
+}
+
+#[test]
+fn view_with_avg_rewritten() {
+    run_one(
+        SummaryViewDef::builder("avg_v", "pos")
+            .group_by(["itemID"])
+            .aggregate(AggFunc::Avg(Expr::col("qty")), "avg_q")
+            .build(),
+        mixed_batch(),
+    );
+}
+
+#[test]
+fn view_with_expression_source() {
+    // SUM(qty * price): revenue per store.
+    run_one(
+        SummaryViewDef::builder("rev", "pos")
+            .group_by(["storeID"])
+            .aggregate(
+                AggFunc::Sum(Expr::col("qty").mul(Expr::col("price"))),
+                "revenue",
+            )
+            .build(),
+        mixed_batch(),
+    );
+}
+
+#[test]
+fn view_with_where_clause() {
+    run_one(
+        SummaryViewDef::builder("big_sales", "pos")
+            .filter(Predicate::cmp(CmpOp::Ge, Expr::col("qty"), Expr::lit(4i64)))
+            .group_by(["storeID", "date"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .build(),
+        mixed_batch(),
+    );
+}
+
+#[test]
+fn view_with_two_dimension_joins() {
+    run_one(
+        SummaryViewDef::builder("cc", "pos")
+            .join_dimension("stores")
+            .join_dimension("items")
+            .group_by(["region", "category"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .aggregate(AggFunc::Min(Expr::col("date")), "first")
+            .build(),
+        mixed_batch(),
+    );
+}
+
+#[test]
+fn deletions_that_empty_every_group() {
+    // Delete all four base rows: every summary group must vanish.
+    let cat = retail_catalog_small();
+    let all_rows: Vec<_> = cat.table("pos").unwrap().rows().cloned().collect();
+    let mut wh = Warehouse::from_catalog(cat);
+    wh.create_summary_table(
+        &SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .build(),
+    )
+    .unwrap();
+    let batch = ChangeBatch::single(DeltaSet::deletions("pos", all_rows));
+    maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+    assert!(wh.catalog().table("v").unwrap().is_empty());
+}
+
+#[test]
+fn null_heavy_changes() {
+    // Insertions with NULL qty mixed with deletions of non-null rows.
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    wh.create_summary_table(
+        &SummaryViewDef::builder("v", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .aggregate(AggFunc::Min(Expr::col("qty")), "min_q")
+            .build(),
+    )
+    .unwrap();
+    let null_row = |s: i64, i: i64, off: i32| {
+        cubedelta::storage::Row::new(vec![
+            cubedelta::storage::Value::Int(s),
+            cubedelta::storage::Value::Int(i),
+            cubedelta::storage::Value::Date(d(off)),
+            cubedelta::storage::Value::Null,
+            cubedelta::storage::Value::Float(1.0),
+        ])
+    };
+    let batch = ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        insertions: vec![null_row(1, 10, 0), null_row(5, 20, 2)],
+        deletions: vec![row![1i64, 10i64, d(0), 5i64, 1.0]],
+    });
+    maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+}
+
+#[test]
+fn repeated_batches_stay_consistent() {
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    wh.create_summary_table(
+        &SummaryViewDef::builder("v", "pos")
+            .join_dimension("items")
+            .group_by(["storeID", "category"])
+            .aggregate(AggFunc::CountStar, "cnt")
+            .aggregate(AggFunc::Min(Expr::col("date")), "first")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .build(),
+    )
+    .unwrap();
+    for night in 0..10u64 {
+        let batch = small_update_batch(&wh, night, 4);
+        maintain_and_check(&mut wh, &batch, &MaintainOptions::default());
+    }
+}
+
+#[test]
+fn pre_aggregation_equivalence_over_batches() {
+    for pre in [false, true] {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        wh.create_summary_table(
+            &SummaryViewDef::builder("v", "pos")
+                .join_dimension("stores")
+                .group_by(["city", "date"])
+                .aggregate(AggFunc::CountStar, "cnt")
+                .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+                .build(),
+        )
+        .unwrap();
+        let opts = MaintainOptions {
+            use_lattice: true,
+            pre_aggregate: pre,
+        };
+        for night in 0..5u64 {
+            let batch = small_update_batch(&wh, night * 7 + 1, 6);
+            maintain_and_check(&mut wh, &batch, &opts);
+        }
+    }
+}

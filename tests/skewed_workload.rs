@@ -1,0 +1,114 @@
+//! Skewed workloads: Zipf item popularity concentrates changes into hot
+//! groups. Correctness must be skew-agnostic; the action mix (updates vs
+//! inserts) should shift as the theory predicts.
+
+mod common;
+
+use common::figure1_defs;
+use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::storage::{ChangeBatch, DeltaSet};
+use cubedelta::workload::{retail_catalog_skewed, Skew, WorkloadScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scale() -> WorkloadScale {
+    WorkloadScale {
+        stores: 15,
+        cities: 6,
+        regions: 3,
+        items: 200,
+        categories: 8,
+        dates: 10,
+        pos_rows: 3_000,
+        seed: 23,
+    }
+}
+
+fn build(skew: Skew) -> (Warehouse, cubedelta::workload::RetailParams) {
+    let (cat, params) = retail_catalog_skewed(scale(), skew);
+    let mut wh = Warehouse::from_catalog(cat);
+    for def in figure1_defs() {
+        wh.create_summary_table(&def).unwrap();
+    }
+    (wh, params)
+}
+
+/// A change batch drawn with the workload's own skew.
+fn skewed_batch(
+    wh: &Warehouse,
+    params: &cubedelta::workload::RetailParams,
+    size: usize,
+    seed: u64,
+) -> ChangeBatch {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = params.item_sampler();
+    let insertions = (0..size / 2)
+        .map(|_| params.pos_row_with(&mut rng, &sampler, 0))
+        .collect();
+    let deletions = wh
+        .catalog()
+        .table("pos")
+        .unwrap()
+        .rows()
+        .take(size / 2)
+        .cloned()
+        .collect();
+    ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        insertions,
+        deletions,
+    })
+}
+
+#[test]
+fn skewed_maintenance_stays_consistent() {
+    for skew in [Skew::Uniform, Skew::Zipf(0.8), Skew::Zipf(1.5)] {
+        let (mut wh, params) = build(skew);
+        for night in 0..3u64 {
+            let batch = skewed_batch(&wh, &params, 300, night + 7);
+            wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+            wh.check_consistency().unwrap();
+        }
+    }
+}
+
+#[test]
+fn skew_shrinks_summary_tables() {
+    // Hot items repeat (store, item, date) combinations more often, so the
+    // SID_sales summary is smaller relative to the fact table under skew.
+    let (uniform, _) = build(Skew::Uniform);
+    let (skewed, _) = build(Skew::Zipf(1.5));
+    let ratio = |wh: &Warehouse| {
+        wh.catalog().table("SID_sales").unwrap().len() as f64
+            / wh.catalog().table("pos").unwrap().len() as f64
+    };
+    let (u, z) = (ratio(&uniform), ratio(&skewed));
+    assert!(
+        z < u,
+        "Zipf should compress SID_sales: skewed ratio {z:.3} vs uniform {u:.3}"
+    );
+}
+
+#[test]
+fn skewed_changes_hit_fewer_groups() {
+    // The summary-delta for SID_sales under skew has fewer rows than the
+    // same-size uniform delta — the aggregation compresses harder.
+    let (uniform_wh, uniform_params) = build(Skew::Uniform);
+    let (skewed_wh, skewed_params) = build(Skew::Zipf(1.5));
+
+    let delta_rows = |wh: &mut Warehouse,
+                      params: &cubedelta::workload::RetailParams| {
+        let batch = skewed_batch(wh, params, 1_000, 99);
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+        report.view("SID_sales").unwrap().delta_rows
+    };
+    let mut uniform_wh = uniform_wh;
+    let mut skewed_wh = skewed_wh;
+    let u = delta_rows(&mut uniform_wh, &uniform_params);
+    let z = delta_rows(&mut skewed_wh, &skewed_params);
+    assert!(
+        z <= u,
+        "skewed delta should not exceed uniform: {z} vs {u}"
+    );
+}

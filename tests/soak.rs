@@ -1,0 +1,113 @@
+//! Lifecycle soak test: many nights of mixed operations — fact changes,
+//! dimension changes, views added and dropped mid-stream, occasional
+//! rematerialization — with a full consistency audit after every night.
+
+mod common;
+
+use common::figure1_defs;
+use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::expr::Expr;
+use cubedelta::query::AggFunc;
+use cubedelta::storage::{row, ChangeBatch, DeltaSet, Row};
+use cubedelta::view::SummaryViewDef;
+use cubedelta::workload::{retail_catalog, update_generating, WorkloadScale};
+
+#[test]
+fn twenty_nights_of_everything() {
+    let scale = WorkloadScale {
+        stores: 12,
+        cities: 5,
+        regions: 2,
+        items: 40,
+        categories: 5,
+        dates: 8,
+        pos_rows: 1_500,
+        seed: 77,
+    };
+    let (cat, params) = retail_catalog(scale);
+    let mut wh = Warehouse::from_catalog(cat);
+    for def in figure1_defs() {
+        wh.create_summary_table(&def).unwrap();
+    }
+
+    let mut extra_view_installed = false;
+    for night in 0..20u64 {
+        match night % 5 {
+            // Regular update-generating night.
+            0 | 1 | 3 => {
+                let batch = ChangeBatch::single(update_generating(
+                    wh.catalog(),
+                    &params,
+                    120,
+                    night + 1,
+                ));
+                let opts = MaintainOptions {
+                    use_lattice: night % 2 == 0,
+                    pre_aggregate: night % 3 == 0,
+                };
+                wh.maintain(&batch, &opts).unwrap();
+            }
+            // Dimension churn: a store hops city.
+            2 => {
+                let store = (night % scale.stores as u64) as i64 + 1;
+                let old: Row = wh
+                    .catalog()
+                    .table("stores")
+                    .unwrap()
+                    .rows()
+                    .find(|r| r[0] == cubedelta::storage::Value::Int(store))
+                    .unwrap()
+                    .clone();
+                let mut batch = ChangeBatch::new();
+                batch.add(DeltaSet {
+                    table: "stores".into(),
+                    insertions: vec![row![store, "roaming", "nomad"]],
+                    deletions: vec![old],
+                });
+                wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+                // Move it back next step implicitly via another hop later.
+            }
+            // View lifecycle: add/drop an extra view.
+            4 => {
+                if extra_view_installed {
+                    wh.drop_summary_table("nightly_extra").unwrap();
+                    extra_view_installed = false;
+                } else {
+                    wh.create_summary_table(
+                        &SummaryViewDef::builder("nightly_extra", "pos")
+                            .join_dimension("items")
+                            .group_by(["category", "date"])
+                            .aggregate(AggFunc::CountStar, "cnt")
+                            .aggregate(AggFunc::Max(Expr::col("qty")), "peak")
+                            .build(),
+                    )
+                    .unwrap();
+                    extra_view_installed = true;
+                }
+            }
+            _ => unreachable!(),
+        }
+        wh.check_consistency()
+            .unwrap_or_else(|e| panic!("night {night}: {e}"));
+    }
+
+    // Finish with a rematerialization and confirm it changes nothing.
+    let before: Vec<_> = wh
+        .views()
+        .iter()
+        .map(|v| {
+            (
+                v.def.name.clone(),
+                wh.catalog().table(&v.def.name).unwrap().sorted_rows(),
+            )
+        })
+        .collect();
+    wh.rematerialize(&ChangeBatch::new(), true).unwrap();
+    for (name, rows) in before {
+        assert_eq!(
+            wh.catalog().table(&name).unwrap().sorted_rows(),
+            rows,
+            "rematerializing a consistent warehouse changed {name}"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Integration tests for [HRU96] view selection driving real
+//! materialization: the greedy picks reduce measured query cost, and the
+//! selected subset maintains correctly as a partially-materialized cube.
+
+mod common;
+
+use cubedelta::core::{AggQuery, CubeBudget, CubeSpec, MaintainOptions, Warehouse};
+use cubedelta::expr::Expr;
+use cubedelta::lattice::{cube_lattice, SelectionProblem};
+use cubedelta::query::AggFunc;
+use cubedelta::storage::ChangeBatch;
+use cubedelta::workload::{retail_catalog, update_generating, WorkloadScale};
+
+fn scale() -> WorkloadScale {
+    WorkloadScale {
+        stores: 30,
+        cities: 10,
+        regions: 3,
+        items: 100,
+        categories: 8,
+        dates: 12,
+        pos_rows: 5_000,
+        seed: 11,
+    }
+}
+
+fn cube_spec(budget: CubeBudget) -> CubeSpec {
+    CubeSpec::new("c", "pos")
+        .dimension("storeID")
+        .dimension("category")
+        .dimension("date")
+        .measure(AggFunc::CountStar, "cnt")
+        .measure(AggFunc::Sum(Expr::col("qty")), "total")
+        .budget(budget)
+}
+
+/// Measured cost of a set of probe queries = rows scanned in the chosen
+/// sources (the §3.2 linear cost model, on real tables).
+fn probe_cost(wh: &Warehouse) -> usize {
+    let probes = [
+        vec!["storeID"],
+        vec!["category"],
+        vec!["date"],
+        vec!["storeID", "date"],
+        vec!["category", "date"],
+        vec![],
+    ];
+    probes
+        .iter()
+        .map(|group| {
+            let q = AggQuery::over("pos")
+                .group_by(group.clone())
+                .aggregate(AggFunc::Sum(Expr::col("qty")), "total");
+            wh.answer(&q).unwrap().rows_scanned
+        })
+        .sum()
+}
+
+#[test]
+fn greedy_picks_lower_measured_query_cost() {
+    let (cat, _) = retail_catalog(scale());
+    // Budget 0: only the forced top view.
+    let mut top_only = Warehouse::from_catalog(cat.clone());
+    top_only.create_cube(&cube_spec(CubeBudget::TopK(0))).unwrap();
+    // Budget 3: three greedy picks on top.
+    let mut picked = Warehouse::from_catalog(cat.clone());
+    picked.create_cube(&cube_spec(CubeBudget::TopK(3))).unwrap();
+    // Full cube.
+    let mut full = Warehouse::from_catalog(cat);
+    full.create_cube(&cube_spec(CubeBudget::All)).unwrap();
+
+    let (c_top, c_picked, c_full) = (probe_cost(&top_only), probe_cost(&picked), probe_cost(&full));
+    assert!(
+        c_picked < c_top,
+        "3 greedy picks must beat top-only: {c_picked} vs {c_top}"
+    );
+    assert!(
+        c_full <= c_picked,
+        "full cube is at least as cheap: {c_full} vs {c_picked}"
+    );
+}
+
+#[test]
+fn selected_subset_maintains_like_the_full_cube() {
+    let (cat, params) = retail_catalog(scale());
+    let mut partial = Warehouse::from_catalog(cat.clone());
+    partial.create_cube(&cube_spec(CubeBudget::TopK(3))).unwrap();
+    let mut full = Warehouse::from_catalog(cat);
+    full.create_cube(&cube_spec(CubeBudget::All)).unwrap();
+
+    for night in 0..3u64 {
+        let batch = ChangeBatch::single(update_generating(
+            partial.catalog(),
+            &params,
+            400,
+            night + 1,
+        ));
+        partial.maintain(&batch, &MaintainOptions::default()).unwrap();
+        full.maintain(&batch, &MaintainOptions::default()).unwrap();
+        partial.check_consistency().unwrap();
+        full.check_consistency().unwrap();
+    }
+    // Views present in both warehouses hold identical contents.
+    for v in partial.views() {
+        assert_eq!(
+            partial.catalog().table(&v.def.name).unwrap().sorted_rows(),
+            full.catalog().table(&v.def.name).unwrap().sorted_rows(),
+            "{} differs between partial and full cubes",
+            v.def.name
+        );
+    }
+}
+
+#[test]
+fn selection_problem_benefits_match_real_sizes() {
+    // Build the selection problem from *actual* materialized sizes and
+    // check monotonicity: the model's total cost with all views chosen
+    // equals the sum of real sizes.
+    let (cat, _) = retail_catalog(scale());
+    let mut wh = Warehouse::from_catalog(cat);
+    wh.create_cube(&cube_spec(CubeBudget::All)).unwrap();
+
+    let lat = cube_lattice(&["storeID", "category", "date"]);
+    let spec = cube_spec(CubeBudget::All);
+    let sizes: Vec<u64> = lat
+        .nodes()
+        .iter()
+        .map(|attrs| {
+            let names: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            // Restore spec order for the view name.
+            let ordered: Vec<&str> = ["storeID", "category", "date"]
+                .iter()
+                .copied()
+                .filter(|d| names.contains(d))
+                .collect();
+            wh.catalog()
+                .table(&spec.view_name(&ordered))
+                .unwrap()
+                .len()
+                .max(1) as u64
+        })
+        .collect();
+    let min_cost: u64 = sizes.iter().sum();
+    let problem = SelectionProblem::new(&lat, sizes).unwrap();
+    let all = problem.select_k(usize::MAX);
+    assert_eq!(all.total_cost, min_cost);
+}

@@ -1,0 +1,139 @@
+//! Integration tests at workload scale: the §6 generators driving multiple
+//! nightly batches over a generated warehouse, checking full consistency
+//! after every night.
+
+mod common;
+
+use common::figure1_defs;
+use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::storage::ChangeBatch;
+use cubedelta::workload::{
+    insertion_generating, retail_catalog, update_generating, WorkloadScale,
+};
+
+fn midsize() -> WorkloadScale {
+    WorkloadScale {
+        stores: 20,
+        cities: 8,
+        regions: 3,
+        items: 50,
+        categories: 6,
+        dates: 10,
+        pos_rows: 2_000,
+        seed: 7,
+    }
+}
+
+fn build_warehouse(scale: WorkloadScale) -> (Warehouse, cubedelta::workload::RetailParams) {
+    let (cat, params) = retail_catalog(scale);
+    let mut wh = Warehouse::from_catalog(cat);
+    for def in figure1_defs() {
+        wh.create_summary_table(&def).unwrap();
+    }
+    (wh, params)
+}
+
+#[test]
+fn update_generating_nights() {
+    let (mut wh, params) = build_warehouse(midsize());
+    for night in 0..3u64 {
+        let delta = update_generating(wh.catalog(), &params, 200, night + 1);
+        let batch = ChangeBatch::single(delta);
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+        // Update-generating changes mostly update SID_sales rows.
+        let sid = report.view("SID_sales").unwrap();
+        assert!(
+            sid.refresh.updated + sid.refresh.recomputed + sid.refresh.deleted
+                + sid.refresh.inserted
+                > 0
+        );
+    }
+}
+
+#[test]
+fn insertion_generating_nights_insert_into_date_views() {
+    let (mut wh, params) = build_warehouse(midsize());
+    for night in 0..3u64 {
+        let delta = insertion_generating(&params, 200, (night + 1) as usize, night + 77);
+        let batch = ChangeBatch::single(delta);
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+        if night == 0 {
+            // §6: insertions over new dates cause only inserts into the two
+            // views grouped by date…
+            let sid = report.view("SID_sales").unwrap();
+            assert_eq!(
+                sid.refresh.updated, 0,
+                "new dates cannot update existing SID groups"
+            );
+            assert!(sid.refresh.inserted > 0);
+            let scd = report.view("sCD_sales").unwrap();
+            assert_eq!(scd.refresh.updated, 0);
+            // …and mostly updates into the other two.
+            let sic = report.view("SiC_sales").unwrap();
+            assert!(sic.refresh.updated > 0);
+            let sr = report.view("sR_sales").unwrap();
+            assert!(sr.refresh.updated > 0);
+            assert_eq!(sr.refresh.inserted, 0, "regions already exist");
+        }
+    }
+}
+
+#[test]
+fn lattice_vs_direct_agree_at_scale() {
+    let scale = midsize();
+    let (mut a, params) = build_warehouse(scale);
+    let (mut b, _) = build_warehouse(scale);
+    let delta = update_generating(a.catalog(), &params, 300, 5);
+    let batch = ChangeBatch::single(delta);
+    a.maintain(&batch, &MaintainOptions::default()).unwrap();
+    b.maintain(
+        &batch,
+        &MaintainOptions {
+            use_lattice: false,
+            pre_aggregate: false,
+        },
+    )
+    .unwrap();
+    for def in figure1_defs() {
+        assert_eq!(
+            a.catalog().table(&def.name).unwrap().sorted_rows(),
+            b.catalog().table(&def.name).unwrap().sorted_rows(),
+            "{} diverged at scale",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn rematerialize_matches_incremental_at_scale() {
+    let scale = midsize();
+    let (mut inc, params) = build_warehouse(scale);
+    let (mut rem, _) = build_warehouse(scale);
+    let delta = update_generating(inc.catalog(), &params, 300, 9);
+    let batch = ChangeBatch::single(delta);
+    inc.maintain(&batch, &MaintainOptions::default()).unwrap();
+    rem.rematerialize(&batch, true).unwrap();
+    for def in figure1_defs() {
+        assert_eq!(
+            inc.catalog().table(&def.name).unwrap().sorted_rows(),
+            rem.catalog().table(&def.name).unwrap().sorted_rows(),
+            "{} diverged from rematerialization",
+            def.name
+        );
+    }
+}
+
+#[test]
+fn summary_tables_are_smaller_than_the_fact_table() {
+    // The premise of the whole enterprise: aggregation compresses.
+    let (wh, _) = build_warehouse(midsize());
+    let pos = wh.catalog().table("pos").unwrap().len();
+    for def in figure1_defs() {
+        let n = wh.catalog().table(&def.name).unwrap().len();
+        assert!(n <= pos, "{} larger than the fact table?", def.name);
+    }
+    let sr = wh.catalog().table("sR_sales").unwrap().len();
+    assert!(sr <= 3, "one row per region");
+}
