@@ -16,11 +16,19 @@
 //!
 //! Series: Propagate (lattice), Summary Delta Maint. (propagate+refresh),
 //! Rematerialize (lattice cascade), Propagate (w/o lattice).
+//!
+//! Besides the human-readable tables, every measured point is collected
+//! into `BENCH_fig9.json` (written to the working directory): per-phase
+//! timings in microseconds, per-view refresh actions, and the full
+//! operator-counter set from the summary-delta run — the machine-readable
+//! companion to `EXPERIMENTS.md`.
 
 use cubedelta_bench::{
-    build_warehouse, insertion_batch, run_strategy, secs, update_batch, Strategy,
+    build_warehouse, insertion_batch, run_strategy, run_strategy_reported, secs, update_batch,
+    Strategy,
 };
 use cubedelta_core::Warehouse;
+use cubedelta_obs::json::JsonValue;
 use cubedelta_storage::ChangeBatch;
 use cubedelta_workload::RetailParams;
 
@@ -28,6 +36,15 @@ use cubedelta_workload::RetailParams;
 enum ChangeKind {
     Update,
     Insertion,
+}
+
+impl ChangeKind {
+    fn label(self) -> &'static str {
+        match self {
+            ChangeKind::Update => "update-generating",
+            ChangeKind::Insertion => "insertion-generating",
+        }
+    }
 }
 
 fn make_batch(
@@ -56,10 +73,16 @@ fn header() {
     );
 }
 
-fn run_point(wh: &Warehouse, params: &RetailParams, kind: ChangeKind, size: usize, seed: u64) {
+fn run_point(
+    wh: &Warehouse,
+    params: &RetailParams,
+    kind: ChangeKind,
+    size: usize,
+    seed: u64,
+) -> JsonValue {
     let batch = make_batch(kind, wh, params, size, seed);
 
-    let (sd, done_sd) = run_strategy(wh, &batch, Strategy::SummaryDelta);
+    let (sd, report, done_sd) = run_strategy_reported(wh, &batch, Strategy::SummaryDelta);
     let (nolat, _) = run_strategy(wh, &batch, Strategy::SummaryDeltaNoLattice);
     let (remat, done_remat) = run_strategy(wh, &batch, Strategy::Rematerialize);
 
@@ -83,26 +106,63 @@ fn run_point(wh: &Warehouse, params: &RetailParams, kind: ChangeKind, size: usiz
         secs(nolat.propagate),
         format!("refresh={}", secs(sd.refresh).trim()),
     );
+
+    JsonValue::object([
+        (
+            "pos_rows",
+            JsonValue::from(wh.catalog().table("pos").unwrap().len()),
+        ),
+        ("change_rows", JsonValue::from(size)),
+        ("change_kind", JsonValue::from(kind.label())),
+        ("seed", JsonValue::from(seed)),
+        (
+            "summary_delta_total_us",
+            JsonValue::from(sd.total.as_micros() as u64),
+        ),
+        (
+            "no_lattice_propagate_us",
+            JsonValue::from(nolat.propagate.as_micros() as u64),
+        ),
+        (
+            "rematerialize_total_us",
+            JsonValue::from(remat.total.as_micros() as u64),
+        ),
+        // Per-phase timings, cycle-wide operator counters, per-view detail.
+        ("summary_delta_report", report.to_json()),
+    ])
 }
 
-fn panel_change_sweep(kind: ChangeKind, pos_rows: usize, sizes: &[usize], title: &str) {
+fn panel_change_sweep(
+    kind: ChangeKind,
+    pos_rows: usize,
+    sizes: &[usize],
+    title: &str,
+) -> JsonValue {
     println!("\n== {title} (pos = {pos_rows}) ==");
     println!("(all times in seconds)");
     let (wh, params) = build_warehouse(pos_rows);
     header();
-    for (i, &size) in sizes.iter().enumerate() {
-        run_point(&wh, &params, kind, size, 100 + i as u64);
-    }
+    let points = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| run_point(&wh, &params, kind, size, 100 + i as u64));
+    JsonValue::array(points.collect::<Vec<_>>())
 }
 
-fn panel_pos_sweep(kind: ChangeKind, change_size: usize, pos_sizes: &[usize], title: &str) {
+fn panel_pos_sweep(
+    kind: ChangeKind,
+    change_size: usize,
+    pos_sizes: &[usize],
+    title: &str,
+) -> JsonValue {
     println!("\n== {title} (changes = {change_size}) ==");
     println!("(all times in seconds)");
     header();
-    for (i, &pos_rows) in pos_sizes.iter().enumerate() {
+    let points = pos_sizes.iter().enumerate().map(|(i, &pos_rows)| {
         let (wh, params) = build_warehouse(pos_rows);
-        run_point(&wh, &params, kind, change_size, 200 + i as u64);
-    }
+        run_point(&wh, &params, kind, change_size, 200 + i as u64)
+    });
+    JsonValue::array(points.collect::<Vec<_>>())
 }
 
 fn main() {
@@ -126,36 +186,69 @@ fn main() {
     };
     let big_pos = 500_000;
 
+    let mut panels = JsonValue::Object(Vec::new());
     if which == "a" || which == "all" {
-        panel_change_sweep(
-            ChangeKind::Update,
-            big_pos,
-            &change_sizes,
-            "Figure 9(a): varying change size, update-generating changes",
+        panels.push_field(
+            "a",
+            panel_change_sweep(
+                ChangeKind::Update,
+                big_pos,
+                &change_sizes,
+                "Figure 9(a): varying change size, update-generating changes",
+            ),
         );
     }
     if which == "b" || which == "all" {
-        panel_pos_sweep(
-            ChangeKind::Update,
-            10_000,
-            &pos_sizes,
-            "Figure 9(b): varying pos size, update-generating changes",
+        panels.push_field(
+            "b",
+            panel_pos_sweep(
+                ChangeKind::Update,
+                10_000,
+                &pos_sizes,
+                "Figure 9(b): varying pos size, update-generating changes",
+            ),
         );
     }
     if which == "c" || which == "all" {
-        panel_change_sweep(
-            ChangeKind::Insertion,
-            big_pos,
-            &change_sizes,
-            "Figure 9(c): varying change size, insertion-generating changes",
+        panels.push_field(
+            "c",
+            panel_change_sweep(
+                ChangeKind::Insertion,
+                big_pos,
+                &change_sizes,
+                "Figure 9(c): varying change size, insertion-generating changes",
+            ),
         );
     }
     if which == "d" || which == "all" {
-        panel_pos_sweep(
-            ChangeKind::Insertion,
-            10_000,
-            &pos_sizes,
-            "Figure 9(d): varying pos size, insertion-generating changes",
+        panels.push_field(
+            "d",
+            panel_pos_sweep(
+                ChangeKind::Insertion,
+                10_000,
+                &pos_sizes,
+                "Figure 9(d): varying pos size, insertion-generating changes",
+            ),
         );
+    }
+
+    let telemetry = JsonValue::object([
+        (
+            "benchmark",
+            JsonValue::from("fig9: summary-delta maintenance vs rematerialization"),
+        ),
+        (
+            "paper",
+            JsonValue::from(
+                "Maintenance of Data Cubes and Summary Tables in a Warehouse (SIGMOD 1997)",
+            ),
+        ),
+        ("quick", JsonValue::from(quick)),
+        ("panels", panels),
+    ]);
+    let out = "BENCH_fig9.json";
+    match std::fs::write(out, telemetry.render_pretty() + "\n") {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
     }
 }

@@ -15,7 +15,7 @@
 
 use std::time::{Duration, Instant};
 
-use cubedelta_core::{MaintainOptions, Warehouse};
+use cubedelta_core::{MaintainOptions, MaintenanceReport, Warehouse};
 use cubedelta_expr::Expr;
 use cubedelta_query::AggFunc;
 use cubedelta_storage::ChangeBatch;
@@ -124,6 +124,17 @@ pub fn run_strategy(
     batch: &ChangeBatch,
     strategy: Strategy,
 ) -> (Timings, Warehouse) {
+    let (timings, _, w) = run_strategy_reported(wh, batch, strategy);
+    (timings, w)
+}
+
+/// [`run_strategy`], additionally returning the full [`MaintenanceReport`]
+/// (per-view phase timings and operator counters) for telemetry emission.
+pub fn run_strategy_reported(
+    wh: &Warehouse,
+    batch: &ChangeBatch,
+    strategy: Strategy,
+) -> (Timings, MaintenanceReport, Warehouse) {
     let mut w = wh.clone();
     let t0 = Instant::now();
     let report = match strategy {
@@ -151,6 +162,7 @@ pub fn run_strategy(
             refresh: report.refresh_time,
             total,
         },
+        report,
         w,
     )
 }

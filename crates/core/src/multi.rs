@@ -13,14 +13,32 @@
 //! lattice edge query (Theorem 5.1).
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use cubedelta_lattice::{derive_child, DeltaSource, MaintenancePlan};
+use cubedelta_obs::ExecutionMetrics;
 use cubedelta_query::Relation;
 use cubedelta_storage::{Catalog, ChangeBatch};
 use cubedelta_view::AugmentedView;
 
 use crate::error::{CoreError, CoreResult};
-use crate::propagate::{propagate_view, PropagateOptions};
+use crate::propagate::{propagate_view_metered, PropagateOptions};
+
+/// Per-step observability record from [`propagate_plan_metered`]: which
+/// view was propagated, where its delta came from, how long it took, and
+/// the operator work it performed.
+#[derive(Debug, Clone)]
+pub struct PropagationStepReport {
+    /// View whose summary-delta this step computed.
+    pub view: String,
+    /// Parent view name when derived through a lattice edge (Theorem 5.1),
+    /// `None` for direct propagation from the change set.
+    pub source: Option<String>,
+    /// Wall-clock time for this step alone.
+    pub time: Duration,
+    /// Operator counters booked while computing this step's delta.
+    pub metrics: ExecutionMetrics,
+}
 
 /// Executes a propagation plan, returning one summary-delta relation per
 /// view (keyed by view name). Steps must be topologically ordered, as
@@ -32,18 +50,36 @@ pub fn propagate_plan(
     batch: &ChangeBatch,
     opts: &PropagateOptions,
 ) -> CoreResult<HashMap<String, Relation>> {
+    propagate_plan_metered(catalog, views, plan, batch, opts).map(|(deltas, _)| deltas)
+}
+
+/// [`propagate_plan`], additionally returning one [`PropagationStepReport`]
+/// per plan step (in plan order) with per-step timing and operator
+/// counters.
+pub fn propagate_plan_metered(
+    catalog: &Catalog,
+    views: &[AugmentedView],
+    plan: &MaintenancePlan,
+    batch: &ChangeBatch,
+    opts: &PropagateOptions,
+) -> CoreResult<(HashMap<String, Relation>, Vec<PropagationStepReport>)> {
     let by_name: HashMap<&str, &AugmentedView> = views
         .iter()
         .map(|v| (v.def.name.as_str(), v))
         .collect();
 
     let mut deltas: HashMap<String, Relation> = HashMap::with_capacity(plan.len());
+    let mut reports: Vec<PropagationStepReport> = Vec::with_capacity(plan.len());
     for step in &plan.steps {
         let view = by_name.get(step.view.as_str()).ok_or_else(|| {
             CoreError::Maintenance(format!("plan references unknown view `{}`", step.view))
         })?;
-        let sd = match &step.source {
-            DeltaSource::Direct => propagate_view(catalog, view, batch, opts)?,
+        let start = Instant::now();
+        let mut m = ExecutionMetrics::new();
+        let (sd, source) = match &step.source {
+            DeltaSource::Direct => {
+                (propagate_view_metered(catalog, view, batch, opts, &mut m)?, None)
+            }
             DeltaSource::FromParent(eq) => {
                 let parent_sd = deltas.get(&eq.parent).ok_or_else(|| {
                     CoreError::Maintenance(format!(
@@ -51,12 +87,24 @@ pub fn propagate_plan(
                         step.view, eq.parent
                     ))
                 })?;
-                derive_child(catalog, parent_sd, eq)?
+                // The edge query re-aggregates the parent's delta.
+                m.rows_scanned += parent_sd.len() as u64;
+                let child = derive_child(catalog, parent_sd, eq)?;
+                m.delta_rows += child.len() as u64;
+                m.rows_emitted += child.len() as u64;
+                m.groups_touched += child.len() as u64;
+                (child, Some(eq.parent.clone()))
             }
         };
+        reports.push(PropagationStepReport {
+            view: step.view.clone(),
+            source,
+            time: start.elapsed(),
+            metrics: m,
+        });
         deltas.insert(step.view.clone(), sd);
     }
-    Ok(deltas)
+    Ok((deltas, reports))
 }
 
 #[cfg(test)]
@@ -125,6 +173,35 @@ mod tests {
             let b = direct[&v.def.name].sorted_rows();
             assert_eq!(a, b, "D-lattice delta differs for {}", v.def.name);
         }
+    }
+
+    #[test]
+    fn metered_plan_reports_every_step() {
+        let cat = retail_catalog_small();
+        let vs = views(&cat);
+        let lat = ViewLattice::build(&cat, vs.clone()).unwrap();
+        let plan = lat.choose_plan(&cat, |_| 1).unwrap();
+        let (deltas, reports) = propagate_plan_metered(
+            &cat,
+            &vs,
+            &plan,
+            &mixed_batch(),
+            &PropagateOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(reports.len(), plan.len());
+        for r in &reports {
+            assert_eq!(
+                r.metrics.delta_rows,
+                deltas[&r.view].len() as u64,
+                "{}: delta_rows must equal the step's sd cardinality",
+                r.view
+            );
+        }
+        // This plan mixes direct and lattice-derived steps; both kinds must
+        // be attributed.
+        assert!(reports.iter().any(|r| r.source.is_some()));
+        assert!(reports.iter().any(|r| r.source.is_none()));
     }
 
     #[test]

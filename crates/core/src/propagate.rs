@@ -18,7 +18,11 @@
 //!   derivative `Δ(F ⋈ D1 ⋈ … ⋈ Dk)` telescoped one table at a time.
 
 use cubedelta_expr::Expr;
-use cubedelta_query::{filter, hash_aggregate, hash_join, union_all, AggFunc, Relation};
+use cubedelta_obs::ExecutionMetrics;
+use cubedelta_query::{
+    filter_metered, hash_aggregate_metered, hash_join_metered, union_all_metered, AggFunc,
+    Relation,
+};
 use cubedelta_storage::{Catalog, ChangeBatch, Column, Table};
 use cubedelta_view::{augment, summary_schema, AugmentedView, SummaryViewDef};
 
@@ -44,6 +48,17 @@ pub fn sd_from_prepare(
     view: &AugmentedView,
     prepare: &Relation,
 ) -> CoreResult<Relation> {
+    sd_from_prepare_metered(catalog, view, prepare, &mut ExecutionMetrics::new())
+}
+
+/// [`sd_from_prepare`], booking the aggregation's operator counters into
+/// `m`.
+pub fn sd_from_prepare_metered(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    prepare: &Relation,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<Relation> {
     let out_schema = summary_schema(catalog, view)?;
     let mut aggs: Vec<(AggFunc, Column)> = Vec::with_capacity(view.def.aggregates.len());
     for (i, spec) in view.def.aggregates.iter().enumerate() {
@@ -62,7 +77,7 @@ pub fn sd_from_prepare(
         aggs.push((func, out_col));
     }
     let group_refs: Vec<&str> = view.def.group_by.iter().map(String::as_str).collect();
-    Ok(hash_aggregate(prepare, &group_refs, &aggs)?)
+    Ok(hash_aggregate_metered(prepare, &group_refs, &aggs, m)?)
 }
 
 /// A relation holding a table's contents *after* applying its delta — used
@@ -88,6 +103,7 @@ fn join_chain(
     view: &AugmentedView,
     fact_rel: Relation,
     dim_rels: &[Relation],
+    m: &mut ExecutionMetrics,
 ) -> CoreResult<Relation> {
     let mut rel = fact_rel;
     for (dim, dim_rel) in view.def.dim_joins.iter().zip(dim_rels) {
@@ -99,9 +115,9 @@ fn join_chain(
                     view.def.fact_table
                 ))
             })?;
-        rel = hash_join(&rel, dim_rel, &[&fk.fact_column], &[&fk.dim_key], dim)?;
+        rel = hash_join_metered(&rel, dim_rel, &[&fk.fact_column], &[&fk.dim_key], dim, m)?;
     }
-    Ok(filter(&rel, &view.def.where_clause)?)
+    Ok(filter_metered(&rel, &view.def.where_clause, m)?)
 }
 
 /// Computes the summary-delta for one view directly from the change batch.
@@ -125,6 +141,18 @@ pub fn propagate_view(
     batch: &ChangeBatch,
     opts: &PropagateOptions,
 ) -> CoreResult<Relation> {
+    propagate_view_metered(catalog, view, batch, opts, &mut ExecutionMetrics::new())
+}
+
+/// [`propagate_view`], booking every operator's work plus the resulting
+/// summary-delta cardinality into `m`.
+pub fn propagate_view_metered(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    batch: &ChangeBatch,
+    opts: &PropagateOptions,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<Relation> {
     let dims_changed = view
         .def
         .dim_joins
@@ -132,7 +160,8 @@ pub fn propagate_view(
         .any(|d| batch.for_table(d).map(|x| !x.is_empty()).unwrap_or(false));
 
     if opts.pre_aggregate && !dims_changed {
-        if let Some(sd) = propagate_preaggregated(catalog, view, batch)? {
+        if let Some(sd) = propagate_preaggregated(catalog, view, batch, m)? {
+            m.delta_rows += sd.len() as u64;
             return Ok(sd);
         }
     }
@@ -160,7 +189,7 @@ pub fn propagate_view(
             continue;
         }
         let rel = Relation::new(fact_schema.clone(), rows.clone());
-        let joined = join_chain(catalog, view, rel, &old_dims)?;
+        let joined = join_chain(catalog, view, rel, &old_dims, m)?;
         prepared.push(prepare_project(catalog, view, &joined, sign)?);
     }
 
@@ -190,7 +219,7 @@ pub fn propagate_view(
                     continue;
                 }
                 dim_rels[i] = Relation::new(dim_schema.clone(), rows.clone());
-                let joined = join_chain(catalog, view, fact_new.clone(), &dim_rels)?;
+                let joined = join_chain(catalog, view, fact_new.clone(), &dim_rels, m)?;
                 prepared.push(prepare_project(catalog, view, &joined, sign)?);
             }
         }
@@ -206,6 +235,7 @@ pub fn propagate_view(
                 view,
                 Relation::empty(fact_schema),
                 &old_dims,
+                m,
             )?;
             prepare_project(catalog, view, &joined, Sign::Insert)?
         }
@@ -214,12 +244,14 @@ pub fn propagate_view(
             let mut it = prepared.into_iter();
             let mut acc = it.next().expect("non-empty");
             for r in it {
-                acc = union_all(&acc, &r)?;
+                acc = union_all_metered(&acc, &r, m)?;
             }
             acc
         }
     };
-    sd_from_prepare(catalog, view, &prepare_changes)
+    let sd = sd_from_prepare_metered(catalog, view, &prepare_changes, m)?;
+    m.delta_rows += sd.len() as u64;
+    Ok(sd)
 }
 
 /// The §4.1.3 pre-aggregation path: propagate a virtual view grouped by the
@@ -232,6 +264,7 @@ fn propagate_preaggregated(
     catalog: &Catalog,
     view: &AugmentedView,
     batch: &ChangeBatch,
+    m: &mut ExecutionMetrics,
 ) -> CoreResult<Option<Relation>> {
     let fact_schema = catalog.table(&view.def.fact_table)?.schema().clone();
 
@@ -280,14 +313,21 @@ fn propagate_preaggregated(
     };
     let eq = cubedelta_lattice::build_edge_query(catalog, &virtual_view, view, &info)?;
 
-    let partial = propagate_view(
+    // The virtual view's propagation counts as this view's work, except
+    // its delta cardinality: only the final summary-delta is `delta_rows`.
+    let mut partial_m = ExecutionMetrics::new();
+    let partial = propagate_view_metered(
         catalog,
         &virtual_view,
         batch,
         &PropagateOptions {
             pre_aggregate: false,
         },
+        &mut partial_m,
     )?;
+    partial_m.delta_rows = 0;
+    m.merge(&partial_m);
+    m.rows_scanned += partial.len() as u64;
     Ok(Some(cubedelta_lattice::derive_child(catalog, &partial, &eq)?))
 }
 
@@ -461,6 +501,25 @@ mod tests {
         {
             assert_eq!(g[2], Value::Int(0), "net count for (3, drinks) is zero");
         }
+    }
+
+    #[test]
+    fn metered_propagation_books_work() {
+        let cat = retail_catalog_small();
+        let sic = augment(&cat, &sic_sales()).unwrap();
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![2i64, 20i64, d(5), 6i64, 2.0]],
+        ));
+        let mut m = ExecutionMetrics::new();
+        let sd =
+            propagate_view_metered(&cat, &sic, &batch, &PropagateOptions::default(), &mut m)
+                .unwrap();
+        assert_eq!(m.delta_rows, sd.len() as u64);
+        assert!(m.rows_scanned > 0, "join inputs were scanned");
+        assert!(m.hash_build_rows > 0, "dimension build side was hashed");
+        assert!(m.groups_touched > 0, "aggregation touched groups");
+        assert!(m.rows_emitted > 0);
     }
 
     #[test]

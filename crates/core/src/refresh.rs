@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 
+use cubedelta_obs::ExecutionMetrics;
 use cubedelta_query::{AggFunc, AggState, Relation};
 use cubedelta_storage::{Catalog, Row, RowId, Value};
 use cubedelta_view::{joined_schema, AugmentedView};
@@ -195,12 +196,28 @@ pub fn refresh(
     sd: &Relation,
     opts: &RefreshOptions,
 ) -> CoreResult<RefreshStats> {
+    refresh_metered(catalog, view, sd, opts, &mut ExecutionMetrics::new())
+}
+
+/// [`refresh`], booking index probes/hits, groups touched, and (when
+/// MIN/MAX recomputation runs) the base-table scan into `m`.
+pub fn refresh_metered(
+    catalog: &mut Catalog,
+    view: &AugmentedView,
+    sd: &Relation,
+    opts: &RefreshOptions,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<RefreshStats> {
     let mut stats = RefreshStats::default();
     let k = view.key_width();
     let cs = view.count_star_col();
 
     let mut ops: Vec<Op> = Vec::with_capacity(sd.len());
     let mut recompute_keys: Vec<(Row, RowId)> = Vec::new();
+
+    // Every summary-delta tuple addresses exactly one group.
+    m.rows_scanned += sd.len() as u64;
+    m.groups_touched += sd.len() as u64;
 
     {
         let table = catalog.table(&view.def.name)?;
@@ -214,7 +231,7 @@ pub fn refresh(
         for td in &sd.rows {
             let key = Row(td.0[..k].to_vec());
             let sd_count = int_of(&td[cs], "sd COUNT(*)")?;
-            match index.get(&key) {
+            match index.probe(&key, m) {
                 None => {
                     if sd_count == 0 {
                         stats.skipped += 1;
@@ -251,7 +268,7 @@ pub fn refresh(
 
     // Batch recomputation for threatened MIN/MAX groups.
     if !recompute_keys.is_empty() {
-        ops.extend(recompute_ops(catalog, view, recompute_keys)?);
+        ops.extend(recompute_ops(catalog, view, recompute_keys, m)?);
     }
 
     // Apply all operations.
@@ -291,6 +308,18 @@ pub fn refresh_join(
     sd: &Relation,
     opts: &RefreshOptions,
 ) -> CoreResult<RefreshStats> {
+    refresh_join_metered(catalog, view, sd, opts, &mut ExecutionMetrics::new())
+}
+
+/// [`refresh_join`], booking the delta hash build, the summary-table
+/// streaming pass, and groups touched into `m`.
+pub fn refresh_join_metered(
+    catalog: &mut Catalog,
+    view: &AugmentedView,
+    sd: &Relation,
+    opts: &RefreshOptions,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<RefreshStats> {
     let mut stats = RefreshStats::default();
     let k = view.key_width();
     let cs = view.count_star_col();
@@ -300,6 +329,8 @@ pub fn refresh_join(
     for td in &sd.rows {
         pending.insert(Row(td.0[..k].to_vec()), td);
     }
+    m.hash_build_rows += sd.len() as u64;
+    m.groups_touched += sd.len() as u64;
 
     let mut ops: Vec<Op> = Vec::new();
     let mut recompute_keys: Vec<(Row, RowId)> = Vec::new();
@@ -307,6 +338,8 @@ pub fn refresh_join(
     {
         let table = catalog.table(&view.def.name)?;
         // Probe side: one pass over the summary table.
+        m.rows_scanned += table.len() as u64;
+        m.hash_probes += table.len() as u64;
         for (rid, t) in table.iter() {
             let key = Row(t.0[..k].to_vec());
             let Some(td) = pending.remove(&key) else {
@@ -346,7 +379,7 @@ pub fn refresh_join(
     }
 
     if !recompute_keys.is_empty() {
-        ops.extend(recompute_ops(catalog, view, recompute_keys)?);
+        ops.extend(recompute_ops(catalog, view, recompute_keys, m)?);
     }
 
     let table = catalog.table_mut(&view.def.name)?;
@@ -375,6 +408,7 @@ fn recompute_ops(
     catalog: &Catalog,
     view: &AugmentedView,
     recompute_keys: Vec<(Row, RowId)>,
+    m: &mut ExecutionMetrics,
 ) -> CoreResult<Vec<Op>> {
     let k = view.key_width();
     let n_aggs = view.def.aggregates.len();
@@ -397,6 +431,7 @@ fn recompute_ops(
             .rows()
             .map(|r| (r[key_idx].clone(), r))
             .collect();
+        m.hash_build_rows += map.len() as u64;
         dim_maps.push((fk_idx, map));
     }
 
@@ -454,11 +489,12 @@ fn recompute_ops(
         .collect();
 
     let mut key_buf: Vec<Value> = Vec::with_capacity(k);
-    'rows: for r in fact.rows() {
+    'rows: for r in fact.scan(m) {
         // Resolve this row's dimension matches (FK join semantics: a
         // missing or NULL key means the row does not join).
         let mut dim_rows: Vec<&Row> = Vec::with_capacity(dim_maps.len());
         for (fk_idx, map) in &dim_maps {
+            m.hash_probes += 1;
             match map.get(&r[*fk_idx]) {
                 Some(d) => dim_rows.push(d),
                 None => continue 'rows,
@@ -725,6 +761,32 @@ mod tests {
             expect.into_table("x").sorted_rows()
         );
         assert_eq!(stats.total(), 1);
+    }
+
+    #[test]
+    fn metered_refresh_counts_probes_and_groups() {
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![
+                row![1i64, 10i64, d(0), 2i64, 1.0],
+                row![7i64, 30i64, d(4), 4i64, 0.8],
+            ],
+            deletions: vec![row![1i64, 20i64, d(1), 2i64, 2.0]],
+        });
+        let mut cat = retail_catalog_small();
+        let view = augment(&cat, &sid_sales()).unwrap();
+        install_summary_table(&mut cat, &view).unwrap();
+        let sd = propagate_view(&cat, &view, &batch, &PropagateOptions::default()).unwrap();
+        for delta in &batch.deltas {
+            cat.table_mut(&delta.table).unwrap().apply_delta(delta).unwrap();
+        }
+        let mut m = ExecutionMetrics::new();
+        let stats =
+            refresh_metered(&mut cat, &view, &sd, &RefreshOptions::default(), &mut m).unwrap();
+        // One unique-index probe and one touched group per sd tuple.
+        assert_eq!(m.index_probes, sd.len() as u64);
+        assert_eq!(m.groups_touched, sd.len() as u64);
+        assert_eq!(stats.total(), sd.len());
     }
 
     #[test]

@@ -4,15 +4,17 @@
 use std::time::{Duration, Instant};
 
 use cubedelta_lattice::{DeltaSource, ViewLattice};
+use cubedelta_obs::json::{duration_us, JsonValue};
+use cubedelta_obs::{trace, ExecutionMetrics, MetricsRegistry};
 use cubedelta_storage::{Catalog, ChangeBatch, DimensionInfo, Row, Schema, TableRole};
 use cubedelta_view::{augment, install_summary_table, AugmentedView, SummaryViewDef};
 
 use crate::baseline::{rematerialize_direct, rematerialize_with_lattice};
 use crate::consistency::check_view_consistency;
 use crate::error::{CoreError, CoreResult};
-use crate::multi::propagate_plan;
+use crate::multi::propagate_plan_metered;
 use crate::propagate::PropagateOptions;
-use crate::refresh::{refresh, RefreshOptions, RefreshStats};
+use crate::refresh::{refresh_metered, RefreshOptions, RefreshStats};
 
 /// Options for one maintenance cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +46,36 @@ pub struct ViewReport {
     pub delta_rows: usize,
     /// What refresh did.
     pub refresh: RefreshStats,
+    /// Wall-clock time computing this view's summary-delta.
+    pub propagate_time: Duration,
+    /// Wall-clock time refreshing this view's summary table.
+    pub refresh_time: Duration,
+    /// Operator counters for this view's propagate + refresh work.
+    pub metrics: ExecutionMetrics,
+}
+
+impl ViewReport {
+    /// This view's report as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("view", JsonValue::from(self.view.clone())),
+            ("source", JsonValue::from(self.source.clone())),
+            ("delta_rows", JsonValue::from(self.delta_rows)),
+            ("propagate_us", duration_us(self.propagate_time)),
+            ("refresh_us", duration_us(self.refresh_time)),
+            (
+                "refresh",
+                JsonValue::object([
+                    ("inserted", JsonValue::from(self.refresh.inserted)),
+                    ("deleted", JsonValue::from(self.refresh.deleted)),
+                    ("updated", JsonValue::from(self.refresh.updated)),
+                    ("recomputed", JsonValue::from(self.refresh.recomputed)),
+                    ("skipped", JsonValue::from(self.refresh.skipped)),
+                ]),
+            ),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
 }
 
 /// Timing and action report for one maintenance (or rematerialization)
@@ -59,6 +91,8 @@ pub struct MaintenanceReport {
     pub refresh_time: Duration,
     /// Per-view details.
     pub per_view: Vec<ViewReport>,
+    /// Operator counters summed across every view's propagate + refresh.
+    pub metrics: ExecutionMetrics,
 }
 
 impl MaintenanceReport {
@@ -70,6 +104,22 @@ impl MaintenanceReport {
     /// The report for one view.
     pub fn view(&self, name: &str) -> Option<&ViewReport> {
         self.per_view.iter().find(|v| v.view == name)
+    }
+
+    /// The whole report as a JSON object — phase timings in microseconds,
+    /// cycle-wide operator counters, and one entry per maintained view.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("propagate_us", duration_us(self.propagate_time)),
+            ("apply_base_us", duration_us(self.apply_base_time)),
+            ("refresh_us", duration_us(self.refresh_time)),
+            ("total_us", duration_us(self.total_time())),
+            ("metrics", self.metrics.to_json()),
+            (
+                "per_view",
+                JsonValue::array(self.per_view.iter().map(|v| v.to_json())),
+            ),
+        ])
     }
 }
 
@@ -83,18 +133,26 @@ impl std::fmt::Display for MaintenanceReport {
             self.refresh_time,
             self.total_time()
         )?;
+        if !self.metrics.is_zero() {
+            writeln!(f, "cycle counters: {}", self.metrics)?;
+        }
         for v in &self.per_view {
             writeln!(
                 f,
-                "  {:<16} <- {:<16} delta={:>6} ins={:>5} upd={:>5} del={:>4} recomp={:>3}",
+                "  {:<16} <- {:<16} delta={:>6} ins={:>5} upd={:>5} del={:>4} recomp={:>3} prop={:?} refr={:?}",
                 v.view,
                 v.source,
                 v.delta_rows,
                 v.refresh.inserted,
                 v.refresh.updated,
                 v.refresh.deleted,
-                v.refresh.recomputed
+                v.refresh.recomputed,
+                v.propagate_time,
+                v.refresh_time
             )?;
+            if !v.metrics.is_zero() {
+                writeln!(f, "    {}", v.metrics)?;
+            }
         }
         Ok(())
     }
@@ -105,12 +163,14 @@ impl std::fmt::Display for MaintenanceReport {
 ///
 /// `Clone` snapshots the entire warehouse (base data, summary tables, view
 /// metadata) — handy for racing maintenance strategies on identical states,
-/// as the benchmark harness does.
+/// as the benchmark harness does. The metrics registry is Arc-shared, so a
+/// clone reports into the same registry as the original.
 #[derive(Default, Clone)]
 pub struct Warehouse {
     catalog: Catalog,
     views: Vec<AugmentedView>,
     lattice: Option<ViewLattice>,
+    registry: MetricsRegistry,
 }
 
 impl Warehouse {
@@ -126,12 +186,21 @@ impl Warehouse {
             catalog,
             views: Vec::new(),
             lattice: None,
+            registry: MetricsRegistry::new(),
         }
     }
 
     /// Read access to the catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// The warehouse-lifetime metrics registry: per-cycle latency
+    /// histograms (`maintain.propagate_us`, `maintain.refresh_us`,
+    /// `maintain.total_us`) and the `maintain.cycles` counter accumulate
+    /// here across every [`Warehouse::maintain`] call.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
     }
 
     /// Write access to the catalog. Mutating base data through this without
@@ -307,16 +376,23 @@ impl Warehouse {
             pre_aggregate: opts.pre_aggregate,
         };
         let insertions_only = self.insertions_only(batch);
+        let _cycle_span = trace::span(|| "maintain".to_string());
 
         // --- propagate --------------------------------------------------
         let t0 = Instant::now();
-        let deltas = propagate_plan(&self.catalog, &self.views, plan, batch, &popts)?;
+        let (deltas, step_reports) = {
+            let _span = trace::span(|| "propagate".to_string());
+            propagate_plan_metered(&self.catalog, &self.views, plan, batch, &popts)?
+        };
         let propagate_time = t0.elapsed();
 
         // --- apply base changes -----------------------------------------
         let t1 = Instant::now();
-        for delta in &batch.deltas {
-            self.catalog.table_mut(&delta.table)?.apply_delta(delta)?;
+        {
+            let _span = trace::span(|| "apply_base".to_string());
+            for delta in &batch.deltas {
+                self.catalog.table_mut(&delta.table)?.apply_delta(delta)?;
+            }
         }
         let apply_base_time = t1.elapsed();
 
@@ -324,34 +400,61 @@ impl Warehouse {
         let t2 = Instant::now();
         let ropts = RefreshOptions { insertions_only };
         let mut per_view = Vec::with_capacity(self.views.len());
-        for step in &plan.steps {
-            let view = self
-                .views
-                .iter()
-                .find(|v| v.def.name == step.view)
-                .ok_or_else(|| {
-                    CoreError::Maintenance(format!("plan step for unknown view `{}`", step.view))
-                })?
-                .clone();
-            let sd = &deltas[&step.view];
-            let stats = refresh(&mut self.catalog, &view, sd, &ropts)?;
-            per_view.push(ViewReport {
-                view: step.view.clone(),
-                source: match &step.source {
-                    DeltaSource::Direct => "changes".to_string(),
-                    DeltaSource::FromParent(eq) => eq.parent.clone(),
-                },
-                delta_rows: sd.len(),
-                refresh: stats,
-            });
+        let mut cycle_metrics = ExecutionMetrics::new();
+        {
+            let _span = trace::span(|| "refresh".to_string());
+            for (step, prop) in plan.steps.iter().zip(&step_reports) {
+                let view = self
+                    .views
+                    .iter()
+                    .find(|v| v.def.name == step.view)
+                    .ok_or_else(|| {
+                        CoreError::Maintenance(format!(
+                            "plan step for unknown view `{}`",
+                            step.view
+                        ))
+                    })?
+                    .clone();
+                let sd = &deltas[&step.view];
+                let _view_span = trace::span(|| format!("refresh:{}", step.view));
+                let rt0 = Instant::now();
+                let mut vm = prop.metrics;
+                let stats = refresh_metered(&mut self.catalog, &view, sd, &ropts, &mut vm)?;
+                let view_refresh_time = rt0.elapsed();
+                cycle_metrics.merge(&vm);
+                per_view.push(ViewReport {
+                    view: step.view.clone(),
+                    source: match &step.source {
+                        DeltaSource::Direct => "changes".to_string(),
+                        DeltaSource::FromParent(eq) => eq.parent.clone(),
+                    },
+                    delta_rows: sd.len(),
+                    refresh: stats,
+                    propagate_time: prop.time,
+                    refresh_time: view_refresh_time,
+                    metrics: vm,
+                });
+            }
         }
         let refresh_time = t2.elapsed();
+
+        self.registry.counter("maintain.cycles").inc();
+        self.registry
+            .histogram("maintain.propagate_us")
+            .record(propagate_time);
+        self.registry
+            .histogram("maintain.refresh_us")
+            .record(refresh_time);
+        self.registry
+            .histogram("maintain.total_us")
+            .record(propagate_time + apply_base_time + refresh_time);
 
         Ok(MaintenanceReport {
             propagate_time,
             apply_base_time,
             refresh_time,
             per_view,
+            metrics: cycle_metrics,
         })
     }
 
@@ -396,6 +499,9 @@ impl Warehouse {
                     },
                     delta_rows: 0,
                     refresh: RefreshStats::default(),
+                    propagate_time: Duration::ZERO,
+                    refresh_time: Duration::ZERO,
+                    metrics: ExecutionMetrics::new(),
                 })
                 .collect();
         } else {
@@ -409,6 +515,9 @@ impl Warehouse {
                     source: "base".to_string(),
                     delta_rows: 0,
                     refresh: RefreshStats::default(),
+                    propagate_time: Duration::ZERO,
+                    refresh_time: Duration::ZERO,
+                    metrics: ExecutionMetrics::new(),
                 })
                 .collect();
         }
@@ -419,6 +528,7 @@ impl Warehouse {
             apply_base_time,
             refresh_time,
             per_view,
+            metrics: ExecutionMetrics::new(),
         })
     }
 
@@ -594,6 +704,87 @@ mod tests {
         assert!(text.contains("propagate"));
         assert!(text.contains("SID_sales"));
         assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn maintain_reports_operator_metrics() {
+        let mut wh = warehouse_with_figure1_views();
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![
+                row![1i64, 20i64, d(0), 4i64, 1.0],
+                row![3i64, 30i64, d(2), 1i64, 0.5],
+            ],
+            deletions: vec![row![2i64, 10i64, d(0), 7i64, 1.0]],
+        });
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        // The cycle did real operator work across several counter kinds.
+        assert!(report.metrics.rows_scanned > 0);
+        assert!(report.metrics.groups_touched > 0);
+        assert!(report.metrics.index_probes > 0);
+        assert!(report.metrics.delta_rows > 0);
+        assert!(report.metrics.distinct_nonzero() >= 6);
+        for v in &report.per_view {
+            // Propagate's delta-cardinality counter equals the sd size, and
+            // refresh accounts for every sd tuple exactly once.
+            assert_eq!(v.metrics.delta_rows as usize, v.delta_rows, "{}", v.view);
+            assert_eq!(v.refresh.total(), v.delta_rows, "{}", v.view);
+        }
+    }
+
+    #[test]
+    fn registry_accumulates_across_cycles() {
+        let mut wh = warehouse_with_figure1_views();
+        for qty in [1i64, 2, 3] {
+            let batch = ChangeBatch::single(DeltaSet::insertions(
+                "pos",
+                vec![row![1i64, 10i64, d(0), qty, 1.0]],
+            ));
+            wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        }
+        assert_eq!(wh.metrics().counter("maintain.cycles").get(), 3);
+        assert_eq!(wh.metrics().histogram("maintain.total_us").count(), 3);
+        assert_eq!(wh.metrics().histogram("maintain.propagate_us").count(), 3);
+        assert_eq!(wh.metrics().histogram("maintain.refresh_us").count(), 3);
+    }
+
+    #[test]
+    fn report_to_json_is_machine_readable() {
+        let mut wh = warehouse_with_figure1_views();
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(0), 1i64, 1.0]],
+        ));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let rendered = report.to_json().render();
+        for key in [
+            "\"propagate_us\"",
+            "\"apply_base_us\"",
+            "\"refresh_us\"",
+            "\"total_us\"",
+            "\"metrics\"",
+            "\"per_view\"",
+            "\"rows_scanned\"",
+            "\"SID_sales\"",
+        ] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+    }
+
+    #[cfg(feature = "tracing")]
+    #[test]
+    fn maintain_records_tracing_spans() {
+        let mut wh = warehouse_with_figure1_views();
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(0), 1i64, 1.0]],
+        ));
+        let _ = cubedelta_obs::trace::take_spans();
+        wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let spans = cubedelta_obs::trace::take_spans();
+        assert!(spans.iter().any(|s| s.name == "maintain"));
+        assert!(spans.iter().any(|s| s.name == "propagate"));
+        assert!(spans.iter().any(|s| s.name.starts_with("refresh:")));
     }
 
     #[test]

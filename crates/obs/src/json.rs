@@ -1,0 +1,254 @@
+//! A minimal JSON value model and serializer.
+//!
+//! The workspace builds offline, so there is no serde; reports and bench
+//! telemetry are assembled as [`JsonValue`] trees and rendered directly.
+//! Output is valid RFC 8259 JSON: strings are escaped, non-finite floats
+//! render as `null`, and object key order is the insertion order (kept
+//! deterministic by construction).
+
+use std::fmt;
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn object<K: Into<String>, I: IntoIterator<Item = (K, JsonValue)>>(
+        fields: I,
+    ) -> JsonValue {
+        JsonValue::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array from values.
+    pub fn array<I: IntoIterator<Item = JsonValue>>(items: I) -> JsonValue {
+        JsonValue::Array(items.into_iter().collect())
+    }
+
+    /// Appends a field to an object; panics on non-objects.
+    pub fn push_field(&mut self, key: impl Into<String>, value: JsonValue) {
+        match self {
+            JsonValue::Object(fields) => fields.push((key.into(), value)),
+            other => panic!("push_field on non-object JSON value: {other:?}"),
+        }
+    }
+
+    /// Compact rendering (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation — the format used for
+    /// checked-in bench telemetry, so diffs stay reviewable.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(n) => out.push_str(&n.to_string()),
+            JsonValue::UInt(n) => out.push_str(&n.to_string()),
+            JsonValue::Float(x) => {
+                if x.is_finite() {
+                    // Keep integral floats readable but unambiguous.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        out.push_str(&format!("{x:.1}"));
+                    } else {
+                        out.push_str(&format!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    item.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(n: u64) -> Self {
+        JsonValue::UInt(n)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(n: i64) -> Self {
+        JsonValue::Int(n)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(n: usize) -> Self {
+        JsonValue::UInt(n as u64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Float(x)
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+/// Microsecond rendering of a duration, the unit used throughout the
+/// bench telemetry.
+pub fn duration_us(d: std::time::Duration) -> JsonValue {
+    JsonValue::UInt(d.as_micros().min(u64::MAX as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_nesting() {
+        let v = JsonValue::object([
+            ("name", JsonValue::from("SID_sales")),
+            ("rows", JsonValue::from(42u64)),
+            ("neg", JsonValue::from(-3i64)),
+            ("ok", JsonValue::from(true)),
+            ("ratio", JsonValue::from(0.5)),
+            ("none", JsonValue::Null),
+            (
+                "phases",
+                JsonValue::array([JsonValue::from("propagate"), JsonValue::from("refresh")]),
+            ),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"SID_sales","rows":42,"neg":-3,"ok":true,"ratio":0.5,"none":null,"phases":["propagate","refresh"]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = JsonValue::from("a\"b\\c\nd\te\u{1}");
+        assert_eq!(v.render(), r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(JsonValue::Float(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_indents() {
+        let v = JsonValue::object([("a", JsonValue::array([JsonValue::from(1u64)]))]);
+        assert_eq!(v.render_pretty(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn empty_containers_stay_compact() {
+        assert_eq!(JsonValue::Array(vec![]).render_pretty(), "[]");
+        assert_eq!(JsonValue::Object(vec![]).render_pretty(), "{}");
+    }
+
+    #[test]
+    fn duration_renders_in_micros() {
+        let d = std::time::Duration::from_millis(3);
+        assert_eq!(duration_us(d).render(), "3000");
+    }
+}

@@ -1,0 +1,32 @@
+//! Observability core for the cubedelta workspace.
+//!
+//! The paper's evaluation (§6, Figure 9) is entirely about *where time
+//! goes* in propagate vs. refresh; this crate supplies the machinery to
+//! answer that question honestly at every layer:
+//!
+//! * [`ExecutionMetrics`] — a plain struct of operator-level counters
+//!   (rows scanned, hash probes, index probes, groups touched, …)
+//!   threaded by `&mut` through the query operators and the
+//!   propagate/refresh pipeline. Zero overhead beyond the increments.
+//! * [`MetricsRegistry`] — shared, thread-safe counters, gauges, and
+//!   fixed-bucket latency histograms for long-lived aggregation across
+//!   maintenance cycles (the warehouse owns one).
+//! * [`json`] — a minimal JSON value model and serializer (the
+//!   workspace is offline: no serde), used for machine-readable
+//!   maintenance reports and bench telemetry.
+//! * [`trace`] — lightweight wall-clock spans behind the `tracing`
+//!   cargo feature; a no-op with zero argument evaluation when the
+//!   feature is off.
+//!
+//! This crate deliberately has no dependencies so every other crate can
+//! use it, including `cubedelta-storage` at the bottom of the stack.
+
+pub mod json;
+mod metrics;
+mod registry;
+pub mod trace;
+
+pub use metrics::ExecutionMetrics;
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,
+};

@@ -1,0 +1,169 @@
+//! Operator-level execution counters, threaded by `&mut` through the
+//! query operators and the maintenance pipeline.
+
+use std::fmt;
+
+/// Counters for one unit of query/maintenance work.
+///
+/// The struct is plain data: operators increment fields directly
+/// (`metrics.rows_scanned += n`), callers [`merge`](Self::merge) child
+/// metrics upward, and reports serialize the whole set. Keeping it a
+/// value type (no atomics, no locks) means instrumentation costs one
+/// integer add per event on the hot path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionMetrics {
+    /// Input rows consumed by operators (scans, filter/project/aggregate
+    /// inputs, union arms, recompute fact scans).
+    pub rows_scanned: u64,
+    /// Rows produced by operators.
+    pub rows_emitted: u64,
+    /// Point lookups against a storage-level unique index (refresh §4.2).
+    pub index_probes: u64,
+    /// Index probes that found a row.
+    pub index_hits: u64,
+    /// Rows inserted into join/aggregate hash tables.
+    pub hash_build_rows: u64,
+    /// Probes against join hash tables.
+    pub hash_probes: u64,
+    /// Distinct groups touched by aggregation.
+    pub groups_touched: u64,
+    /// Predicate evaluations and sort/merge key comparisons.
+    pub comparisons: u64,
+    /// Summary-delta tuples produced by propagate (delta cardinality).
+    pub delta_rows: u64,
+}
+
+impl ExecutionMetrics {
+    /// A fresh, all-zero metrics value.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates `other` into `self` field-by-field.
+    pub fn merge(&mut self, other: &ExecutionMetrics) {
+        self.rows_scanned += other.rows_scanned;
+        self.rows_emitted += other.rows_emitted;
+        self.index_probes += other.index_probes;
+        self.index_hits += other.index_hits;
+        self.hash_build_rows += other.hash_build_rows;
+        self.hash_probes += other.hash_probes;
+        self.groups_touched += other.groups_touched;
+        self.comparisons += other.comparisons;
+        self.delta_rows += other.delta_rows;
+    }
+
+    /// `(name, value)` pairs in a fixed order, for serialization.
+    pub fn as_pairs(&self) -> [(&'static str, u64); 9] {
+        [
+            ("rows_scanned", self.rows_scanned),
+            ("rows_emitted", self.rows_emitted),
+            ("index_probes", self.index_probes),
+            ("index_hits", self.index_hits),
+            ("hash_build_rows", self.hash_build_rows),
+            ("hash_probes", self.hash_probes),
+            ("groups_touched", self.groups_touched),
+            ("comparisons", self.comparisons),
+            ("delta_rows", self.delta_rows),
+        ]
+    }
+
+    /// `true` when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.as_pairs().iter().all(|(_, v)| *v == 0)
+    }
+
+    /// Number of counters that are non-zero.
+    pub fn distinct_nonzero(&self) -> usize {
+        self.as_pairs().iter().filter(|(_, v)| *v != 0).count()
+    }
+
+    /// This metrics set as a JSON object.
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        crate::json::JsonValue::object(
+            self.as_pairs()
+                .iter()
+                .map(|(k, v)| (k.to_string(), crate::json::JsonValue::UInt(*v))),
+        )
+    }
+}
+
+impl std::ops::AddAssign<&ExecutionMetrics> for ExecutionMetrics {
+    fn add_assign(&mut self, rhs: &ExecutionMetrics) {
+        self.merge(rhs);
+    }
+}
+
+impl fmt::Display for ExecutionMetrics {
+    /// Compact `name=value` listing of the non-zero counters.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (name, value) in self.as_pairs() {
+            if value == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{name}={value}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(no work recorded)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_every_field() {
+        let mut a = ExecutionMetrics::new();
+        let mut b = ExecutionMetrics::new();
+        // Set each field to a distinct value so a dropped field shows up.
+        for (i, slot) in [
+            &mut b.rows_scanned,
+            &mut b.rows_emitted,
+            &mut b.index_probes,
+            &mut b.index_hits,
+            &mut b.hash_build_rows,
+            &mut b.hash_probes,
+            &mut b.groups_touched,
+            &mut b.comparisons,
+            &mut b.delta_rows,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            *slot = (i + 1) as u64;
+        }
+        a.merge(&b);
+        a += &b;
+        for (i, (_, v)) in a.as_pairs().iter().enumerate() {
+            assert_eq!(*v, 2 * (i as u64 + 1));
+        }
+        assert_eq!(a.distinct_nonzero(), 9);
+    }
+
+    #[test]
+    fn display_lists_only_nonzero() {
+        let mut m = ExecutionMetrics::new();
+        assert_eq!(m.to_string(), "(no work recorded)");
+        m.rows_scanned = 5;
+        m.delta_rows = 2;
+        assert_eq!(m.to_string(), "rows_scanned=5 delta_rows=2");
+    }
+
+    #[test]
+    fn json_has_all_counters() {
+        let m = ExecutionMetrics {
+            rows_scanned: 1,
+            ..Default::default()
+        };
+        let rendered = m.to_json().render();
+        assert!(rendered.contains("\"rows_scanned\":1"));
+        assert!(rendered.contains("\"delta_rows\":0"));
+    }
+}

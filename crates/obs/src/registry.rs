@@ -1,0 +1,447 @@
+//! Shared, thread-safe metrics: counters, gauges, and fixed-bucket
+//! latency histograms, grouped in a [`MetricsRegistry`].
+//!
+//! Unlike [`crate::ExecutionMetrics`] (per-call-tree plain data), these
+//! are long-lived and shared: the warehouse owns one registry and every
+//! maintenance cycle records into it, so operators and tests can observe
+//! totals across cycles. Handles are cheap clones of `Arc`s; updates are
+//! relaxed atomics (totals, not synchronization).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::json::JsonValue;
+
+/// Monotonic counter handle.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Last-value-wins gauge handle.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Upper bounds (inclusive) of the latency buckets, in microseconds.
+/// Roughly 1-2-5 per decade from 10µs to 10s, plus an overflow bucket.
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
+    500_000, 1_000_000, 2_000_000, 5_000_000, 10_000_000,
+];
+
+#[derive(Debug)]
+struct HistogramInner {
+    // One slot per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+/// Fixed-bucket latency histogram handle (microsecond resolution).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: (0..=LATENCY_BUCKETS_US.len())
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+                count: AtomicU64::new(0),
+                sum_us: AtomicU64::new(0),
+                max_us: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation, in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS_US.len());
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.inner.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] observation.
+    pub fn record(&self, d: Duration) {
+        self.record_us(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .inner
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.inner.count.load(Ordering::Relaxed),
+            sum_us: self.inner.sum_us.load(Ordering::Relaxed),
+            max_us: self.inner.max_us.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.inner.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.inner.count.store(0, Ordering::Relaxed);
+        self.inner.sum_us.store(0, Ordering::Relaxed);
+        self.inner.max_us.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts; the final slot is the overflow bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations, µs.
+    pub sum_us: u64,
+    /// Largest observation, µs.
+    pub max_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (µs) of the bucket containing the `q`-quantile
+    /// observation, `q` in `[0, 1]`. Returns `max_us` for the overflow
+    /// bucket so the estimate stays finite.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(self.max_us);
+            }
+        }
+        self.max_us
+    }
+
+    /// This snapshot as a JSON object.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("count", JsonValue::UInt(self.count)),
+            ("sum_us", JsonValue::UInt(self.sum_us)),
+            ("max_us", JsonValue::UInt(self.max_us)),
+            ("mean_us", JsonValue::Float(self.mean_us())),
+            ("p50_us", JsonValue::UInt(self.quantile_us(0.5))),
+            ("p99_us", JsonValue::UInt(self.quantile_us(0.99))),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A named family of shared metrics. Cloning shares the same store.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, creating it at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner
+            .counters
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, creating it at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner
+            .gauges
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The latency histogram named `name`, creating it empty on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .expect("registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Zeroes every metric (handles stay valid — they share the same
+    /// atomics, so outstanding clones observe the reset too).
+    pub fn reset(&self) {
+        for c in self.inner.counters.lock().expect("registry poisoned").values() {
+            c.reset();
+        }
+        for g in self.inner.gauges.lock().expect("registry poisoned").values() {
+            g.reset();
+        }
+        for h in self
+            .inner
+            .histograms
+            .lock()
+            .expect("registry poisoned")
+            .values()
+        {
+            h.reset();
+        }
+    }
+}
+
+/// Point-in-time copy of a whole registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// The snapshot as a JSON object with `counters`/`gauges`/`histograms`
+    /// sections (keys sorted — `BTreeMap` order — for stable diffs).
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            (
+                "counters",
+                JsonValue::object(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::UInt(*v))),
+                ),
+            ),
+            (
+                "gauges",
+                JsonValue::object(
+                    self.gauges
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Int(*v))),
+                ),
+            ),
+            (
+                "histograms",
+                JsonValue::object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, v)| (k.clone(), v.to_json())),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_semantics() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("maintain.cycles");
+        c.inc();
+        c.add(4);
+        // Same name returns the same underlying counter.
+        assert_eq!(reg.counter("maintain.cycles").get(), 5);
+        // Different name is independent.
+        assert_eq!(reg.counter("other").get(), 0);
+    }
+
+    #[test]
+    fn gauge_semantics() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("views.materialized");
+        g.set(4);
+        g.add(-1);
+        assert_eq!(reg.gauge("views.materialized").get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        // 10 fast, 10 slow observations.
+        for _ in 0..10 {
+            h.record_us(5);
+        }
+        for _ in 0..10 {
+            h.record_us(150_000);
+        }
+        h.record(Duration::from_secs(20)); // overflow bucket
+        let s = h.snapshot();
+        assert_eq!(s.count, 21);
+        assert_eq!(s.max_us, 20_000_000);
+        assert_eq!(s.buckets[0], 10); // ≤10µs
+        assert_eq!(*s.buckets.last().unwrap(), 1); // overflow
+        assert_eq!(s.quantile_us(0.25), 10);
+        assert_eq!(s.quantile_us(0.75), 200_000);
+        assert_eq!(s.quantile_us(1.0), 20_000_000);
+        assert!(s.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn snapshot_then_reset() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").add(7);
+        reg.gauge("b").set(-2);
+        reg.histogram("h").record_us(42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["a"], 7);
+        assert_eq!(snap.gauges["b"], -2);
+        assert_eq!(snap.histograms["h"].count, 1);
+
+        reg.reset();
+        let after = reg.snapshot();
+        assert_eq!(after.counters["a"], 0);
+        assert_eq!(after.gauges["b"], 0);
+        assert_eq!(after.histograms["h"].count, 0);
+        // Snapshot taken before the reset is unaffected.
+        assert_eq!(snap.counters["a"], 7);
+    }
+
+    #[test]
+    fn clones_share_storage_across_threads() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("shared");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("shared").get(), 4000);
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let reg = MetricsRegistry::new();
+        reg.counter("x").inc();
+        reg.histogram("lat").record_us(99);
+        let json = reg.snapshot().to_json().render();
+        assert!(json.contains("\"counters\":{\"x\":1}"));
+        assert!(json.contains("\"p50_us\""));
+    }
+}

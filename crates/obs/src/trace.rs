@@ -1,0 +1,166 @@
+//! Wall-clock tracing spans behind the `tracing` cargo feature.
+//!
+//! With the feature **off** (the default) [`span`] compiles to nothing:
+//! the name closure is never evaluated and the guard is a zero-sized
+//! type, so benches measure the uninstrumented pipeline. With the
+//! feature **on**, spans record name, nesting depth, and wall-clock
+//! duration into a process-global buffer that [`take_spans`] drains and
+//! [`render_spans`] pretty-prints.
+//!
+//! ```
+//! let _guard = cubedelta_obs::trace::span(|| "maintain".to_string());
+//! // ... timed work; the span closes when the guard drops.
+//! ```
+
+/// One completed span (only ever produced with the `tracing` feature).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `propagate:SID_sales`.
+    pub name: String,
+    /// Nesting depth at entry (0 = root).
+    pub depth: usize,
+    /// Wall-clock time between entry and guard drop, µs.
+    pub wall_us: u64,
+}
+
+/// Renders spans as an indented tree, one per line.
+pub fn render_spans(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        for _ in 0..s.depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!("{} {}µs\n", s.name, s.wall_us));
+    }
+    out
+}
+
+#[cfg(feature = "tracing")]
+mod enabled {
+    use super::SpanRecord;
+    use std::cell::Cell;
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    static FINISHED: Mutex<Vec<SpanRecord>> = Mutex::new(Vec::new());
+
+    thread_local! {
+        static DEPTH: Cell<usize> = const { Cell::new(0) };
+    }
+
+    /// Active-span guard; records on drop.
+    pub struct SpanGuard {
+        name: String,
+        depth: usize,
+        start: Instant,
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            DEPTH.with(|d| d.set(self.depth));
+            let wall_us = self.start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            FINISHED.lock().expect("span buffer poisoned").push(SpanRecord {
+                name: std::mem::take(&mut self.name),
+                depth: self.depth,
+                wall_us,
+            });
+        }
+    }
+
+    /// Opens a span named by `name()`; it closes when the guard drops.
+    pub fn span<F: FnOnce() -> String>(name: F) -> SpanGuard {
+        let depth = DEPTH.with(|d| {
+            let cur = d.get();
+            d.set(cur + 1);
+            cur
+        });
+        SpanGuard {
+            name: name(),
+            depth,
+            start: Instant::now(),
+        }
+    }
+
+    /// Drains and returns every finished span recorded so far (in
+    /// completion order: children before parents).
+    pub fn take_spans() -> Vec<SpanRecord> {
+        std::mem::take(&mut *FINISHED.lock().expect("span buffer poisoned"))
+    }
+}
+
+#[cfg(feature = "tracing")]
+pub use enabled::{span, take_spans, SpanGuard};
+
+#[cfg(not(feature = "tracing"))]
+mod disabled {
+    use super::SpanRecord;
+
+    /// Zero-sized no-op guard.
+    pub struct SpanGuard;
+
+    /// No-op: `name` is never evaluated.
+    #[inline(always)]
+    pub fn span<F: FnOnce() -> String>(_name: F) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// Always empty without the `tracing` feature.
+    #[inline(always)]
+    pub fn take_spans() -> Vec<SpanRecord> {
+        Vec::new()
+    }
+}
+
+#[cfg(not(feature = "tracing"))]
+pub use disabled::{span, take_spans, SpanGuard};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(not(feature = "tracing"))]
+    #[test]
+    fn disabled_spans_never_evaluate_names() {
+        let _g = span(|| panic!("name closure must not run"));
+        assert!(take_spans().is_empty());
+    }
+
+    #[cfg(feature = "tracing")]
+    #[test]
+    fn enabled_spans_record_nesting_and_time() {
+        let _ = take_spans(); // isolate from other tests
+        {
+            let _outer = span(|| "outer".to_string());
+            {
+                let _inner = span(|| "inner".to_string());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let spans = take_spans();
+        let inner = spans.iter().find(|s| s.name == "inner").expect("inner span");
+        let outer = spans.iter().find(|s| s.name == "outer").expect("outer span");
+        assert_eq!(inner.depth, 1);
+        assert_eq!(outer.depth, 0);
+        assert!(outer.wall_us >= inner.wall_us);
+        assert!(inner.wall_us >= 1_000, "slept 2ms, saw {}µs", inner.wall_us);
+        let rendered = render_spans(&spans);
+        assert!(rendered.contains("  inner"));
+    }
+
+    #[test]
+    fn render_indents_by_depth() {
+        let spans = vec![
+            SpanRecord {
+                name: "child".into(),
+                depth: 1,
+                wall_us: 5,
+            },
+            SpanRecord {
+                name: "root".into(),
+                depth: 0,
+                wall_us: 9,
+            },
+        ];
+        assert_eq!(render_spans(&spans), "  child 5µs\nroot 9µs\n");
+    }
+}

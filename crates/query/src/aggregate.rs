@@ -17,6 +17,7 @@
 use std::fmt;
 
 use cubedelta_expr::Expr;
+use cubedelta_obs::ExecutionMetrics;
 use cubedelta_storage::Value;
 
 /// The paper's three-way classification of aggregate functions (§3.1,
@@ -181,6 +182,22 @@ impl AggState {
         }
     }
 
+    /// [`AggState::update`], booking one key comparison into `m` when a
+    /// MIN/MAX accumulator actually orders two non-NULL values. MIN/MAX
+    /// comparison volume is the cost driver that makes those functions
+    /// non-self-maintainable under deletions (§4.2), so it is surfaced
+    /// as an operator counter.
+    pub fn update_metered(&mut self, func: &AggFunc, value: &Value, m: &mut ExecutionMetrics) {
+        if let (AggState::Min(acc) | AggState::Max(acc), AggFunc::Min(_) | AggFunc::Max(_)) =
+            (&*self, func)
+        {
+            if !acc.is_null() && !value.is_null() {
+                m.comparisons += 1;
+            }
+        }
+        self.update(func, value);
+    }
+
     /// Finalizes the accumulator into the aggregate's output value.
     pub fn finalize(&self) -> Value {
         match self {
@@ -211,6 +228,28 @@ mod tests {
             st.update(func, v);
         }
         st.finalize()
+    }
+
+    #[test]
+    fn metered_update_counts_minmax_comparisons() {
+        let f = AggFunc::Min(Expr::col("q"));
+        let mut st = f.new_state();
+        let mut m = ExecutionMetrics::new();
+        // First non-NULL value seeds the accumulator without comparing;
+        // NULL inputs never compare; each later non-NULL input compares once.
+        for v in [Value::Int(3), Value::Null, Value::Int(1), Value::Int(2)] {
+            st.update_metered(&f, &v, &mut m);
+        }
+        assert_eq!(m.comparisons, 2);
+        assert_eq!(st.finalize(), Value::Int(1));
+
+        // Non-ordering aggregates book nothing.
+        let f = AggFunc::Sum(Expr::col("q"));
+        let mut st = f.new_state();
+        let mut m = ExecutionMetrics::new();
+        st.update_metered(&f, &Value::Int(4), &mut m);
+        st.update_metered(&f, &Value::Int(5), &mut m);
+        assert!(m.is_zero());
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! Relational operators over materialized [`Relation`]s.
+//!
+//! Every operator comes in two forms: the plain entry point and a
+//! `*_metered` variant threading an [`ExecutionMetrics`] by `&mut`, which
+//! books rows scanned/emitted, hash builds/probes, groups touched, and
+//! predicate evaluations. The plain form delegates with a scratch metrics
+//! value, so instrumentation costs nothing to callers that don't ask.
 
 use std::collections::HashMap;
 
 use cubedelta_expr::{Expr, Predicate};
+use cubedelta_obs::ExecutionMetrics;
 use cubedelta_storage::{Column, Row, Schema};
 
 use crate::aggregate::{AggFunc, AggState};
@@ -11,13 +18,26 @@ use crate::relation::Relation;
 
 /// `SELECT * FROM rel WHERE pred`.
 pub fn filter(rel: &Relation, pred: &Predicate) -> QueryResult<Relation> {
+    filter_metered(rel, pred, &mut ExecutionMetrics::new())
+}
+
+/// [`filter`], booking one scan + one predicate evaluation per input row
+/// and one emit per surviving row into `m`.
+pub fn filter_metered(
+    rel: &Relation,
+    pred: &Predicate,
+    m: &mut ExecutionMetrics,
+) -> QueryResult<Relation> {
     let bound = pred.bind(&rel.schema)?;
     let mut rows = Vec::new();
+    m.rows_scanned += rel.rows.len() as u64;
+    m.comparisons += rel.rows.len() as u64;
     for r in &rel.rows {
         if bound.eval(r)? {
             rows.push(r.clone());
         }
     }
+    m.rows_emitted += rows.len() as u64;
     Ok(Relation::new(rel.schema.clone(), rows))
 }
 
@@ -27,6 +47,15 @@ pub fn filter(rel: &Relation, pred: &Predicate) -> QueryResult<Relation> {
 /// definition (name + declared type; computed columns are typically declared
 /// nullable since arithmetic can produce NULL).
 pub fn project(rel: &Relation, outputs: &[(Expr, Column)]) -> QueryResult<Relation> {
+    project_metered(rel, outputs, &mut ExecutionMetrics::new())
+}
+
+/// [`project`], booking scans and emits into `m`.
+pub fn project_metered(
+    rel: &Relation,
+    outputs: &[(Expr, Column)],
+    m: &mut ExecutionMetrics,
+) -> QueryResult<Relation> {
     let bound: Vec<Expr> = outputs
         .iter()
         .map(|(e, _)| e.bind(&rel.schema))
@@ -40,6 +69,8 @@ pub fn project(rel: &Relation, outputs: &[(Expr, Column)]) -> QueryResult<Relati
         }
         rows.push(Row::new(out));
     }
+    m.rows_scanned += rel.rows.len() as u64;
+    m.rows_emitted += rows.len() as u64;
     Ok(Relation::new(schema, rows))
 }
 
@@ -58,6 +89,26 @@ pub fn hash_join(
     right_keys: &[&str],
     prefix: &str,
 ) -> QueryResult<Relation> {
+    hash_join_metered(
+        left,
+        right,
+        left_keys,
+        right_keys,
+        prefix,
+        &mut ExecutionMetrics::new(),
+    )
+}
+
+/// [`hash_join`], booking build rows (right side), probes (left side),
+/// scans, and emits into `m`.
+pub fn hash_join_metered(
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[&str],
+    right_keys: &[&str],
+    prefix: &str,
+    m: &mut ExecutionMetrics,
+) -> QueryResult<Relation> {
     if left_keys.len() != right_keys.len() {
         return Err(QueryError::Plan(format!(
             "join key arity mismatch: {} vs {}",
@@ -68,6 +119,7 @@ pub fn hash_join(
     let lk = left.schema.indices_of(left_keys)?;
     let rk = right.schema.indices_of(right_keys)?;
 
+    m.rows_scanned += (left.rows.len() + right.rows.len()) as u64;
     let mut build: HashMap<Row, Vec<&Row>> = HashMap::with_capacity(right.rows.len());
     for r in &right.rows {
         let key = r.project(&rk);
@@ -75,6 +127,7 @@ pub fn hash_join(
             continue;
         }
         build.entry(key).or_default().push(r);
+        m.hash_build_rows += 1;
     }
 
     let schema = left.schema.join(&right.schema, prefix);
@@ -84,12 +137,14 @@ pub fn hash_join(
         if key.iter().any(|v| v.is_null()) {
             continue;
         }
+        m.hash_probes += 1;
         if let Some(matches) = build.get(&key) {
             for r in matches {
                 rows.push(l.concat(r));
             }
         }
     }
+    m.rows_emitted += rows.len() as u64;
     Ok(Relation::new(schema, rows))
 }
 
@@ -97,6 +152,15 @@ pub fn hash_join(
 /// output (the paper's prepare-changes union the prepare-insertions and
 /// prepare-deletions views, which share a schema by construction).
 pub fn union_all(a: &Relation, b: &Relation) -> QueryResult<Relation> {
+    union_all_metered(a, b, &mut ExecutionMetrics::new())
+}
+
+/// [`union_all`], booking scans and emits into `m`.
+pub fn union_all_metered(
+    a: &Relation,
+    b: &Relation,
+    m: &mut ExecutionMetrics,
+) -> QueryResult<Relation> {
     if a.schema.arity() != b.schema.arity() {
         return Err(QueryError::Plan(format!(
             "union arity mismatch: {} vs {}",
@@ -107,6 +171,8 @@ pub fn union_all(a: &Relation, b: &Relation) -> QueryResult<Relation> {
     let mut rows = Vec::with_capacity(a.rows.len() + b.rows.len());
     rows.extend(a.rows.iter().cloned());
     rows.extend(b.rows.iter().cloned());
+    m.rows_scanned += rows.len() as u64;
+    m.rows_emitted += rows.len() as u64;
     Ok(Relation::new(a.schema.clone(), rows))
 }
 
@@ -120,6 +186,17 @@ pub fn hash_aggregate(
     rel: &Relation,
     group_cols: &[&str],
     aggs: &[(AggFunc, Column)],
+) -> QueryResult<Relation> {
+    hash_aggregate_metered(rel, group_cols, aggs, &mut ExecutionMetrics::new())
+}
+
+/// [`hash_aggregate`], booking one scan + one hash probe per input row,
+/// one build row per new group, groups touched, and emits into `m`.
+pub fn hash_aggregate_metered(
+    rel: &Relation,
+    group_cols: &[&str],
+    aggs: &[(AggFunc, Column)],
+    m: &mut ExecutionMetrics,
 ) -> QueryResult<Relation> {
     let gidx = rel.schema.indices_of(group_cols)?;
     // Bind aggregate inputs once against the child schema.
@@ -135,11 +212,14 @@ pub fn hash_aggregate(
     // Preserve first-seen group order for deterministic output.
     let mut order: Vec<Row> = Vec::new();
 
+    m.rows_scanned += rel.rows.len() as u64;
+    m.hash_probes += rel.rows.len() as u64;
     for r in &rel.rows {
         let key = r.project(&gidx);
         let states = match groups.get_mut(&key) {
             Some(s) => s,
             None => {
+                m.hash_build_rows += 1;
                 order.push(key.clone());
                 groups
                     .entry(key)
@@ -151,7 +231,7 @@ pub fn hash_aggregate(
                 Some(e) => e.eval(r)?,
                 None => cubedelta_storage::Value::Int(1), // COUNT(*) marker
             };
-            state.update(func, &v);
+            state.update_metered(func, &v, m);
         }
     }
 
@@ -181,6 +261,8 @@ pub fn hash_aggregate(
         out.extend(states.iter().map(AggState::finalize));
         rows.push(Row::new(out));
     }
+    m.groups_touched += rows.len() as u64;
+    m.rows_emitted += rows.len() as u64;
     Ok(Relation::new(schema, rows))
 }
 
@@ -387,6 +469,47 @@ mod tests {
         assert_eq!(store1[1], Value::Int(2)); // min
         assert_eq!(store1[2], Value::Int(5)); // max
         assert_eq!(store1[3], Value::Int(3)); // null qty not counted
+    }
+
+    #[test]
+    fn metered_operators_book_their_work() {
+        let mut m = ExecutionMetrics::new();
+        let out = filter_metered(
+            &pos(),
+            &Predicate::cmp(CmpOp::Gt, Expr::col("qty"), Expr::lit(3i64)),
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(m.rows_scanned, 4);
+        assert_eq!(m.comparisons, 4);
+        assert_eq!(m.rows_emitted, out.len() as u64);
+
+        let mut m = ExecutionMetrics::new();
+        let out = hash_join_metered(&pos(), &items(), &["itemID"], &["itemID"], "i", &mut m)
+            .unwrap();
+        assert_eq!(m.rows_scanned, 6); // 4 left + 2 right
+        assert_eq!(m.hash_build_rows, 2);
+        assert_eq!(m.hash_probes, 4);
+        assert_eq!(m.rows_emitted, out.len() as u64);
+
+        let mut m = ExecutionMetrics::new();
+        let out = hash_aggregate_metered(
+            &pos(),
+            &["storeID"],
+            &[(AggFunc::CountStar, Column::new("cnt", DataType::Int))],
+            &mut m,
+        )
+        .unwrap();
+        assert_eq!(m.rows_scanned, 4);
+        assert_eq!(m.hash_probes, 4);
+        assert_eq!(m.hash_build_rows, 2); // two distinct stores
+        assert_eq!(m.groups_touched, 2);
+        assert_eq!(m.rows_emitted, out.len() as u64);
+
+        let mut m = ExecutionMetrics::new();
+        union_all_metered(&pos(), &pos(), &mut m).unwrap();
+        assert_eq!(m.rows_scanned, 8);
+        assert_eq!(m.rows_emitted, 8);
     }
 
     #[test]

@@ -20,7 +20,14 @@ pub mod sort;
 
 pub use aggregate::{AggClass, AggFunc, AggState};
 pub use error::{QueryError, QueryResult};
-pub use exec::{filter, hash_aggregate, hash_join, project, union_all};
-pub use parallel::hash_aggregate_parallel;
+pub use exec::{
+    filter, filter_metered, hash_aggregate, hash_aggregate_metered, hash_join,
+    hash_join_metered, project, project_metered, union_all, union_all_metered,
+};
+pub use parallel::{hash_aggregate_parallel, hash_aggregate_parallel_metered};
 pub use relation::Relation;
-pub use sort::sort_aggregate;
+pub use sort::{sort_aggregate, sort_aggregate_metered};
+
+// Re-export so operator callers can name the counters type without a
+// direct `cubedelta-obs` dependency.
+pub use cubedelta_obs::ExecutionMetrics;

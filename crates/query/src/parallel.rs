@@ -10,26 +10,40 @@
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
+use cubedelta_obs::ExecutionMetrics;
 use cubedelta_storage::{Column, Row};
 
 use crate::aggregate::AggFunc;
 use crate::error::QueryResult;
-use crate::exec::hash_aggregate;
+use crate::exec::hash_aggregate_metered;
 use crate::relation::Relation;
 
-/// Like [`hash_aggregate`], but partitions the input across `threads`
-/// worker threads by group-key hash. Falls back to the sequential operator
-/// for trivial inputs (small relations, one thread, or a global aggregate,
-/// where partitioning cannot help).
+/// Like [`crate::exec::hash_aggregate`], but partitions the input across
+/// `threads` worker threads by group-key hash. Falls back to the sequential
+/// operator for trivial inputs (small relations, one thread, or a global
+/// aggregate, where partitioning cannot help).
 pub fn hash_aggregate_parallel(
     rel: &Relation,
     group_cols: &[&str],
     aggs: &[(AggFunc, Column)],
     threads: usize,
 ) -> QueryResult<Relation> {
+    hash_aggregate_parallel_metered(rel, group_cols, aggs, threads, &mut ExecutionMetrics::new())
+}
+
+/// [`hash_aggregate_parallel`] with per-thread [`ExecutionMetrics`]: each
+/// worker counts into its own value and the partials merge into `m` at the
+/// join point, so counters need no atomics on the hot path.
+pub fn hash_aggregate_parallel_metered(
+    rel: &Relation,
+    group_cols: &[&str],
+    aggs: &[(AggFunc, Column)],
+    threads: usize,
+    m: &mut ExecutionMetrics,
+) -> QueryResult<Relation> {
     const MIN_PARALLEL_ROWS: usize = 4096;
     if threads <= 1 || group_cols.is_empty() || rel.rows.len() < MIN_PARALLEL_ROWS {
-        return hash_aggregate(rel, group_cols, aggs);
+        return hash_aggregate_metered(rel, group_cols, aggs, m);
     }
 
     let gidx = rel.schema.indices_of(group_cols)?;
@@ -45,27 +59,30 @@ pub fn hash_aggregate_parallel(
     }
 
     // Aggregate each partition on its own thread.
-    let results: Vec<QueryResult<Relation>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = partitions
-            .into_iter()
-            .map(|rows| {
-                let schema = rel.schema.clone();
-                scope.spawn(move |_| {
-                    let part = Relation::new(schema, rows);
-                    hash_aggregate(&part, group_cols, aggs)
+    let results: Vec<(QueryResult<Relation>, ExecutionMetrics)> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .map(|rows| {
+                    let schema = rel.schema.clone();
+                    scope.spawn(move || {
+                        let part = Relation::new(schema, rows);
+                        let mut pm = ExecutionMetrics::new();
+                        let out = hash_aggregate_metered(&part, group_cols, aggs, &mut pm);
+                        (out, pm)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("aggregation worker panicked"))
-            .collect()
-    })
-    .expect("scope propagates panics");
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("aggregation worker panicked"))
+                .collect()
+        });
 
     // Concatenate: partitions hold disjoint groups.
     let mut out: Option<Relation> = None;
-    for part in results {
+    for (part, pm) in results {
+        m.merge(&pm);
         let part = part?;
         match &mut out {
             None => out = Some(part),
@@ -80,6 +97,7 @@ pub fn hash_aggregate_parallel(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::hash_aggregate;
     use cubedelta_expr::Expr;
     use cubedelta_storage::{row, DataType, Schema};
 
@@ -135,6 +153,19 @@ mod tests {
         let rel = big_relation(10_000);
         let par = hash_aggregate_parallel(&rel, &[], &aggs(), 4).unwrap();
         assert_eq!(par.len(), 1);
+    }
+
+    #[test]
+    fn parallel_metrics_cover_every_row() {
+        let rel = big_relation(20_000);
+        let mut m = ExecutionMetrics::new();
+        let out =
+            hash_aggregate_parallel_metered(&rel, &["k"], &aggs(), 4, &mut m).unwrap();
+        // Partitions cover the input exactly once; merged counters see all.
+        assert_eq!(m.rows_scanned, 20_000);
+        assert_eq!(m.hash_probes, 20_000);
+        assert_eq!(m.groups_touched, out.len() as u64);
+        assert_eq!(m.rows_emitted, out.len() as u64);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! wants sorted summary tables, and cache-friendlier than hashing when the
 //! input is nearly sorted (e.g. date-appended change sets).
 
+use std::cell::Cell;
+
+use cubedelta_obs::ExecutionMetrics;
 use cubedelta_storage::{Column, Row};
 
 use crate::aggregate::{AggFunc, AggState};
@@ -21,6 +24,17 @@ pub fn sort_aggregate(
     group_cols: &[&str],
     aggs: &[(AggFunc, Column)],
 ) -> QueryResult<Relation> {
+    sort_aggregate_metered(rel, group_cols, aggs, &mut ExecutionMetrics::new())
+}
+
+/// [`sort_aggregate`], booking scans, sort key comparisons, groups
+/// touched, and emits into `m`.
+pub fn sort_aggregate_metered(
+    rel: &Relation,
+    group_cols: &[&str],
+    aggs: &[(AggFunc, Column)],
+    m: &mut ExecutionMetrics,
+) -> QueryResult<Relation> {
     let gidx = rel.schema.indices_of(group_cols)?;
     let bound: Vec<(AggFunc, Option<cubedelta_expr::Expr>)> = aggs
         .iter()
@@ -30,9 +44,13 @@ pub fn sort_aggregate(
         })
         .collect::<Result<_, _>>()?;
 
-    // Sort row references by group key.
+    // Sort row references by group key, counting key comparisons (the
+    // sort-vs-hash cost the §5.5 literature weighs).
+    m.rows_scanned += rel.rows.len() as u64;
+    let cmp_count = Cell::new(0u64);
     let mut order: Vec<&Row> = rel.rows.iter().collect();
     order.sort_by(|a, b| {
+        cmp_count.set(cmp_count.get() + 1);
         for &c in &gidx {
             match a[c].cmp(&b[c]) {
                 std::cmp::Ordering::Equal => continue,
@@ -41,6 +59,7 @@ pub fn sort_aggregate(
         }
         std::cmp::Ordering::Equal
     });
+    m.comparisons += cmp_count.get();
 
     let mut cols: Vec<Column> = gidx
         .iter()
@@ -79,7 +98,7 @@ pub fn sort_aggregate(
                 Some(e) => e.eval(r)?,
                 None => cubedelta_storage::Value::Int(1),
             };
-            state.update(func, &v);
+            state.update_metered(func, &v, m);
         }
     }
     flush(&mut current, &mut rows);
@@ -90,6 +109,8 @@ pub fn sort_aggregate(
         rows.push(Row::new(states.iter().map(AggState::finalize).collect()));
     }
 
+    m.groups_touched += rows.len() as u64;
+    m.rows_emitted += rows.len() as u64;
     Ok(Relation::new(schema, rows))
 }
 
@@ -159,6 +180,16 @@ mod tests {
         let empty = Relation::empty(rel().schema);
         let out = sort_aggregate(&empty, &["k"], &aggs()).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn metered_sort_counts_comparisons() {
+        let mut m = ExecutionMetrics::new();
+        let out = sort_aggregate_metered(&rel(), &["k"], &aggs(), &mut m).unwrap();
+        assert_eq!(m.rows_scanned, 5);
+        assert!(m.comparisons > 0, "sorting 5 rows must compare keys");
+        assert_eq!(m.groups_touched, 3);
+        assert_eq!(m.rows_emitted, out.len() as u64);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use std::collections::HashMap;
 
+use cubedelta_obs::ExecutionMetrics;
+
 use crate::error::{StorageError, StorageResult};
 use crate::row::{Row, RowId};
 
@@ -59,6 +61,17 @@ impl HashIndex {
     /// All row ids under a key.
     pub fn get(&self, key: &Row) -> &[RowId] {
         self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Like [`get`](Self::get), but counts the lookup (and whether it
+    /// found anything) into `m`.
+    pub fn probe(&self, key: &Row, m: &mut ExecutionMetrics) -> &[RowId] {
+        m.index_probes += 1;
+        let ids = self.get(key);
+        if !ids.is_empty() {
+            m.index_hits += 1;
+        }
+        ids
     }
 
     /// Number of distinct keys.
@@ -120,6 +133,17 @@ impl UniqueIndex {
     /// The row id under a key, if any.
     pub fn get(&self, key: &Row) -> Option<RowId> {
         self.map.get(key).copied()
+    }
+
+    /// Like [`get`](Self::get), but counts the lookup (and whether it hit)
+    /// into `m` — the refresh function's per-tuple probe (§4.2).
+    pub fn probe(&self, key: &Row, m: &mut ExecutionMetrics) -> Option<RowId> {
+        m.index_probes += 1;
+        let id = self.get(key);
+        if id.is_some() {
+            m.index_hits += 1;
+        }
+        id
     }
 
     /// Number of keys (= number of rows indexed).
@@ -187,5 +211,22 @@ mod tests {
     fn composite_key_extraction() {
         let ix = UniqueIndex::new(vec![2, 0]);
         assert_eq!(ix.key_of(&row![1i64, 2i64, 3i64]), row![3i64, 1i64]);
+    }
+
+    #[test]
+    fn probes_count_lookups_and_hits() {
+        let mut m = ExecutionMetrics::new();
+        let mut uix = UniqueIndex::new(vec![0]);
+        uix.insert(&row![1i64, "a"], RowId(0)).unwrap();
+        assert_eq!(uix.probe(&row![1i64], &mut m), Some(RowId(0)));
+        assert_eq!(uix.probe(&row![2i64], &mut m), None);
+
+        let mut hix = HashIndex::new(vec![0]);
+        hix.insert(&row![1i64, "a"], RowId(0));
+        assert_eq!(hix.probe(&row![1i64], &mut m), &[RowId(0)]);
+        assert!(hix.probe(&row![2i64], &mut m).is_empty());
+
+        assert_eq!(m.index_probes, 4);
+        assert_eq!(m.index_hits, 2);
     }
 }

@@ -209,6 +209,14 @@ impl Table {
         self.slots.iter().filter_map(|s| s.as_ref())
     }
 
+    /// Like [`rows`](Self::rows), but books the full pass as `live` rows
+    /// scanned in `m`. Callers that may abandon the iterator early should
+    /// count per-row instead.
+    pub fn scan(&self, m: &mut cubedelta_obs::ExecutionMetrics) -> impl Iterator<Item = &Row> {
+        m.rows_scanned += self.live as u64;
+        self.rows()
+    }
+
     /// Clones all live rows into a vector.
     pub fn to_rows(&self) -> Vec<Row> {
         self.rows().cloned().collect()
@@ -416,6 +424,16 @@ mod tests {
             t.apply_delta(&delta),
             Err(StorageError::MissingRow(_))
         ));
+    }
+
+    #[test]
+    fn scan_books_rows_scanned() {
+        let mut t = table();
+        t.insert(row![1i64, "x"]).unwrap();
+        t.insert(row![2i64, "y"]).unwrap();
+        let mut m = cubedelta_obs::ExecutionMetrics::new();
+        assert_eq!(t.scan(&mut m).count(), 2);
+        assert_eq!(m.rows_scanned, 2);
     }
 
     #[test]

@@ -26,18 +26,13 @@ pub struct WorkloadScale {
 }
 
 /// Item-popularity skew applied on top of a scale.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Skew {
     /// Every item equally likely (the paper's setting).
+    #[default]
     Uniform,
     /// Zipf(α) over item ranks — real retail's hot-seller shape.
     Zipf(f64),
-}
-
-impl Default for Skew {
-    fn default() -> Self {
-        Skew::Uniform
-    }
 }
 
 impl WorkloadScale {

@@ -19,6 +19,8 @@
 //! * [`core`] — the summary-delta method itself: prepare, propagate,
 //!   refresh, multi-view plans, baselines, and the [`Warehouse`] facade.
 //! * [`workload`] — the synthetic retail workload of the paper's §6 study.
+//! * [`obs`] — observability: operator counters, a metrics registry,
+//!   JSON report serialization, and feature-gated tracing spans.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@ pub mod persist;
 pub use cubedelta_core as core;
 pub use cubedelta_expr as expr;
 pub use cubedelta_lattice as lattice;
+pub use cubedelta_obs as obs;
 pub use cubedelta_query as query;
 pub use cubedelta_sql as sql;
 pub use cubedelta_storage as storage;
@@ -64,8 +67,8 @@ pub use cubedelta_view as view;
 pub use cubedelta_workload as workload;
 
 pub use cubedelta_core::{
-    AggQuery, CubeBudget, CubeSpec, MaintainOptions, MaintenanceReport, RefreshOptions,
-    RefreshStats, ViewReport, Warehouse,
+    AggQuery, CubeBudget, CubeSpec, ExecutionMetrics, MaintainOptions, MaintenanceReport,
+    MetricsRegistry, RefreshOptions, RefreshStats, ViewReport, Warehouse,
 };
 pub use cubedelta_lattice::ViewLattice;
 pub use cubedelta_sql::SqlWarehouse;

@@ -1,0 +1,740 @@
+//! A vendored, offline subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so the slice of
+//! proptest this workspace uses is implemented here: the [`Strategy`]
+//! trait with `prop_map`/`prop_recursive`/`boxed`, range and tuple and
+//! `Just` strategies, weighted unions via [`prop_oneof!`], collection
+//! and string-pattern strategies, and the [`proptest!`] test macro.
+//!
+//! Two deliberate simplifications versus real proptest:
+//!
+//! * **No shrinking.** A failing case is reported with its case number
+//!   and the (deterministic) per-test seed; re-running reproduces it.
+//! * **Deterministic seeds.** Each test function derives its RNG seed
+//!   from its own fully-qualified name, so runs are reproducible and
+//!   CI is stable. Set `PROPTEST_SEED=<n>` to mix in a different seed.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG for one test function: FNV-1a of the test's
+    /// fully-qualified name, optionally mixed with `$PROPTEST_SEED`.
+    pub fn fresh_rng(test_name: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = extra.trim().parse::<u64>() {
+                h ^= n.rotate_left(17);
+            }
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::sync::Arc;
+
+    /// A generator of random values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking; `sample`
+    /// draws one value directly.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (cheaply clonable).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Arc::new(self),
+            }
+        }
+
+        /// Recursive structures: `recurse` receives a strategy for the
+        /// previous depth level and returns one generating a node above
+        /// it. `depth` bounds nesting; at each level a leaf is still
+        /// chosen with weight 1 vs 2 for recursing, so generated trees
+        /// vary in depth. `_desired_size` and `_expected_branch_size`
+        /// are accepted for API compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(cur).boxed();
+                cur = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+            }
+            cur
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] for type erasure.
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut StdRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut StdRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased, clonable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Arc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.inner.sample_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Weighted choice between strategies (the engine behind
+    /// [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof!: total weight must be positive");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    // --- string pattern strategies ------------------------------------
+
+    /// One parsed regex-subset piece: an atom plus repetition bounds.
+    enum Piece {
+        /// `.` — any printable character (plus a sprinkle of awkward ones).
+        Any { min: usize, max: usize },
+        /// `[a-z0]`-style class, expanded to candidate chars.
+        Class { chars: Vec<char>, min: usize, max: usize },
+        /// A literal character.
+        Lit { ch: char, min: usize, max: usize },
+    }
+
+    /// Parses the tiny regex subset the workspace uses in string
+    /// strategies: literal chars, `.`, simple `[a-z]` classes, and the
+    /// quantifiers `{m}`, `{m,n}`, `*`, `+`, `?`.
+    fn parse_pattern(pat: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Piece::Any { min: 1, max: 1 }
+                }
+                '[' => {
+                    let mut opts = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            for c in lo..=hi {
+                                opts.push(c);
+                            }
+                            i += 3;
+                        } else {
+                            opts.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated [class] in pattern `{pat}`");
+                    i += 1; // consume ']'
+                    assert!(!opts.is_empty(), "empty [class] in pattern `{pat}`");
+                    Piece::Class {
+                        chars: opts,
+                        min: 1,
+                        max: 1,
+                    }
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "trailing escape in pattern `{pat}`");
+                    let ch = chars[i + 1];
+                    i += 2;
+                    Piece::Lit { ch, min: 1, max: 1 }
+                }
+                ch => {
+                    i += 1;
+                    Piece::Lit { ch, min: 1, max: 1 }
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .map(|p| i + p)
+                            .unwrap_or_else(|| panic!("unterminated {{}} in pattern `{pat}`"));
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("bad {m,n} lower bound"),
+                                hi.trim().parse().expect("bad {m,n} upper bound"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("bad {n} bound");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(match atom {
+                Piece::Any { .. } => Piece::Any { min, max },
+                Piece::Class { chars, .. } => Piece::Class { chars, min, max },
+                Piece::Lit { ch, .. } => Piece::Lit { ch, min, max },
+            });
+        }
+        pieces
+    }
+
+    fn sample_any_char(rng: &mut StdRng) -> char {
+        // Mostly printable ASCII, with occasional awkward characters so
+        // lexers see multi-byte UTF-8 and control characters too.
+        const AWKWARD: &[char] = &['\t', '\u{0}', 'é', 'Ω', '→', '日', '𝄞'];
+        if rng.gen_bool(0.05) {
+            AWKWARD[rng.gen_range(0..AWKWARD.len())]
+        } else {
+            (rng.gen_range(0x20u32..0x7f) as u8) as char
+        }
+    }
+
+    /// `&str` patterns act as string strategies (regex subset).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for piece in parse_pattern(self) {
+                match piece {
+                    Piece::Any { min, max } => {
+                        for _ in 0..rng.gen_range(min..=max) {
+                            out.push(sample_any_char(rng));
+                        }
+                    }
+                    Piece::Class { chars, min, max } => {
+                        for _ in 0..rng.gen_range(min..=max) {
+                            out.push(chars[rng.gen_range(0..chars.len())]);
+                        }
+                    }
+                    Piece::Lit { ch, min, max } => {
+                        for _ in 0..rng.gen_range(min..=max) {
+                            out.push(ch);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything" strategy ([`any`]).
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut StdRng) -> Self {
+            // Finite, wide-range floats; NaN handling is not under test.
+            let mag: f64 = rng.gen_range(-1.0e12..1.0e12);
+            mag
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// An unconstrained strategy for `T`, like `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Admissible length specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range for collection::vec");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A `Vec` strategy with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies, all
+/// yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::fresh_rng(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__cfg.cases {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                // The body runs in a Result-returning closure so that, as
+                // in real proptest, tests may `return Ok(())` to skip a
+                // case early.
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(__msg)) => {
+                        panic!(
+                            "proptest: case {}/{} of `{}` rejected: {}",
+                            __case + 1,
+                            __cfg.cases,
+                            stringify!($name),
+                            __msg,
+                        );
+                    }
+                    ::std::result::Result::Err(__payload) => {
+                        eprintln!(
+                            "proptest: case {}/{} of `{}` failed (deterministic seed; \
+                             re-run reproduces it)",
+                            __case + 1,
+                            __cfg.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(__payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::fresh_rng;
+
+    #[test]
+    fn ranges_tuples_and_maps_sample_in_bounds() {
+        let mut rng = fresh_rng("ranges");
+        let strat = (0i64..10, 1u32..=3, -1.0f64..1.0).prop_map(|(a, b, c)| (a, b, c));
+        for _ in 0..500 {
+            let (a, b, c) = strat.sample(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((1..=3).contains(&b));
+            assert!((-1.0..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_zero_weight_absence() {
+        let mut rng = fresh_rng("oneof");
+        let strat = prop_oneof![1 => Just(1i64), 3 => Just(2i64)];
+        let mut saw = [0usize; 3];
+        for _ in 0..400 {
+            let v = strat.sample(&mut rng) as usize;
+            saw[v] += 1;
+        }
+        assert_eq!(saw[0], 0);
+        assert!(saw[1] > 0 && saw[2] > saw[1], "weights skew toward 2: {saw:?}");
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = fresh_rng("strings");
+        for _ in 0..200 {
+            let s: String = "[a-z]{0,6}".sample(&mut rng);
+            assert!(s.chars().count() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t: String = ".{0,120}".sample(&mut rng);
+            assert!(t.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn collection_vec_respects_len() {
+        let mut rng = fresh_rng("vec");
+        let strat = crate::collection::vec(0usize..5, 2..7);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = fresh_rng("recursive");
+        let mut max_seen = 0;
+        for _ in 0..300 {
+            let t = strat.sample(&mut rng);
+            max_seen = max_seen.max(depth(&t));
+        }
+        assert!(max_seen > 1, "recursion never taken");
+        assert!(max_seen <= 4, "depth bound exceeded: {max_seen}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The proptest! macro itself: multiple bindings, trailing comma,
+        /// doc comments, and prop_assert forms.
+        #[test]
+        fn macro_smoke(a in 0i64..100, b in prop_oneof![Just(1i64), Just(2i64)],) {
+            prop_assert!(a < 100, "a = {}", a);
+            prop_assert!(b == 1 || b == 2);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(b, 0);
+        }
+    }
+}
