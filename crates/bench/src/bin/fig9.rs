@@ -22,12 +22,19 @@
 //! timings in microseconds, per-view refresh actions, and the full
 //! operator-counter set from the summary-delta run — the machine-readable
 //! companion to `EXPERIMENTS.md`.
+//!
+//! The summary-delta run uses the parallel propagate scheduler at the
+//! `CUBEDELTA_THREADS` thread count (minimum 2, so the telemetry always
+//! carries a real multi-thread run) and additionally measures a
+//! single-thread propagate over identical state (`propagate_1thread_us`)
+//! for the scheduler comparison. `host_parallelism` records how many cores
+//! the runs actually had.
 
 use cubedelta_bench::{
-    build_warehouse, insertion_batch, run_strategy, run_strategy_reported, secs, update_batch,
-    Strategy,
+    build_warehouse, insertion_batch, run_strategy, run_summary_delta_threaded, secs,
+    update_batch, Strategy,
 };
-use cubedelta_core::Warehouse;
+use cubedelta_core::{MaintenancePolicy, Warehouse};
 use cubedelta_obs::json::JsonValue;
 use cubedelta_storage::ChangeBatch;
 use cubedelta_workload::RetailParams;
@@ -82,7 +89,12 @@ fn run_point(
 ) -> JsonValue {
     let batch = make_batch(kind, wh, params, size, seed);
 
-    let (sd, report, done_sd) = run_strategy_reported(wh, &batch, Strategy::SummaryDelta);
+    // The parallel propagate scheduler at the policy thread count (forced to
+    // at least 2 so the JSON always records a genuine multi-thread run), and
+    // the single-thread executor on identical state for comparison.
+    let threads = MaintenancePolicy::from_env().threads.max(2);
+    let (sd1, _, _) = run_summary_delta_threaded(wh, &batch, 1);
+    let (sd, report, done_sd) = run_summary_delta_threaded(wh, &batch, threads);
     let (nolat, _) = run_strategy(wh, &batch, Strategy::SummaryDeltaNoLattice);
     let (remat, done_remat) = run_strategy(wh, &batch, Strategy::Rematerialize);
 
@@ -115,9 +127,18 @@ fn run_point(
         ("change_rows", JsonValue::from(size)),
         ("change_kind", JsonValue::from(kind.label())),
         ("seed", JsonValue::from(seed)),
+        ("threads", JsonValue::from(threads)),
         (
             "summary_delta_total_us",
             JsonValue::from(sd.total.as_micros() as u64),
+        ),
+        (
+            "propagate_us",
+            JsonValue::from(sd.propagate.as_micros() as u64),
+        ),
+        (
+            "propagate_1thread_us",
+            JsonValue::from(sd1.propagate.as_micros() as u64),
         ),
         (
             "no_lattice_propagate_us",
@@ -244,6 +265,16 @@ fn main() {
             ),
         ),
         ("quick", JsonValue::from(quick)),
+        (
+            "threads",
+            JsonValue::from(MaintenancePolicy::from_env().threads.max(2)),
+        ),
+        (
+            "host_parallelism",
+            JsonValue::from(
+                std::thread::available_parallelism().map_or(1, |n| n.get()),
+            ),
+        ),
         ("panels", panels),
     ]);
     let out = "BENCH_fig9.json";

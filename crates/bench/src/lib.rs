@@ -15,7 +15,7 @@
 
 use std::time::{Duration, Instant};
 
-use cubedelta_core::{MaintainOptions, MaintenanceReport, Warehouse};
+use cubedelta_core::{MaintainOptions, MaintenancePolicy, MaintenanceReport, Warehouse};
 use cubedelta_expr::Expr;
 use cubedelta_query::AggFunc;
 use cubedelta_storage::ChangeBatch;
@@ -155,6 +155,32 @@ pub fn run_strategy_reported(
             w.rematerialize(batch, false).expect("rematerialize")
         }
     };
+    let total = t0.elapsed();
+    (
+        Timings {
+            propagate: report.propagate_time,
+            refresh: report.refresh_time,
+            total,
+        },
+        report,
+        w,
+    )
+}
+
+/// Runs the summary-delta strategy against a clone of the warehouse with a
+/// pinned propagate thread count (ignoring `CUBEDELTA_THREADS` and the
+/// machine default), for scheduler comparisons at fixed state.
+pub fn run_summary_delta_threaded(
+    wh: &Warehouse,
+    batch: &ChangeBatch,
+    threads: usize,
+) -> (Timings, MaintenanceReport, Warehouse) {
+    let mut w = wh.clone();
+    w.set_maintenance_policy(MaintenancePolicy::with_threads(threads));
+    let t0 = Instant::now();
+    let report = w
+        .maintain(batch, &MaintainOptions::default())
+        .expect("maintain");
     let total = t0.elapsed();
     (
         Timings {

@@ -78,13 +78,20 @@ pub use baseline::{propagate_without_lattice, rematerialize_direct, rematerializ
 pub use consistency::check_view_consistency;
 pub use cube::{CubeBudget, CubeReport, CubeSpec};
 pub use error::{CoreError, CoreResult};
-pub use multi::{propagate_plan, propagate_plan_metered, PropagationStepReport};
+pub use multi::{
+    plan_levels, propagate_plan, propagate_plan_leveled, propagate_plan_metered, LevelReport,
+    PropagationStepReport,
+};
 pub use prepare::{prepare_changes, prepare_deletions, prepare_insertions, Sign};
-pub use propagate::{propagate_view, propagate_view_metered, PropagateOptions};
+pub use propagate::{
+    propagate_view, propagate_view_metered, sd_from_prepare_threaded, PropagateOptions,
+};
 pub use refresh::{
     refresh, refresh_join, refresh_join_metered, refresh_metered, RefreshOptions, RefreshStats,
 };
-pub use warehouse::{MaintainOptions, MaintenanceReport, ViewReport, Warehouse};
+pub use warehouse::{
+    MaintainOptions, MaintenancePolicy, MaintenanceReport, ViewReport, Warehouse, THREADS_ENV_VAR,
+};
 
 // Observability re-exports: the counters type every metered entry point
 // takes, and the registry the warehouse aggregates into.

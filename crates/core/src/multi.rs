@@ -11,6 +11,14 @@
 //! root views compute their summary-delta directly from the change set;
 //! every other view derives its delta from an ancestor's delta through the
 //! lattice edge query (Theorem 5.1).
+//!
+//! [`propagate_plan_leveled`] is the parallel scheduler (§4.1.2): the plan
+//! is topologically *leveled* — a step's level is one past its parent's, so
+//! every view in a level depends only on earlier levels — and each level's
+//! steps run concurrently on scoped worker threads. Results are merged back
+//! in plan order at each level's join point, so reports, merged metrics,
+//! and (for a fixed thread count) summary-delta row order are all
+//! deterministic.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -105,6 +113,225 @@ pub fn propagate_plan_metered(
         deltas.insert(step.view.clone(), sd);
     }
     Ok((deltas, reports))
+}
+
+/// Everything [`propagate_plan_leveled`] produces: the summary-deltas keyed
+/// by view name, one report per plan step (in plan order), and one timing
+/// record per level.
+pub type LeveledPropagation =
+    (HashMap<String, Relation>, Vec<PropagationStepReport>, Vec<LevelReport>);
+
+/// Timing record for one level of a leveled plan execution: which views ran
+/// concurrently and how long the whole level took wall-clock.
+#[derive(Debug, Clone)]
+pub struct LevelReport {
+    /// Level number (0 = plan steps with no in-plan parent).
+    pub level: usize,
+    /// Views propagated in this level, in plan order.
+    pub views: Vec<String>,
+    /// Wall-clock time for the level (its slowest step plus scheduling).
+    pub time: Duration,
+}
+
+/// Groups the plan's step indexes into dependency levels: a `Direct` step
+/// sits at level 0, a `FromParent` step one level below its parent. All
+/// steps in a level depend only on strictly earlier levels, so they can
+/// execute concurrently. Errors when a step references a parent that does
+/// not precede it (the same ordering violation the sequential executor
+/// detects).
+pub fn plan_levels(plan: &MaintenancePlan) -> CoreResult<Vec<Vec<usize>>> {
+    let mut level_of: HashMap<&str, usize> = HashMap::with_capacity(plan.len());
+    let mut levels: Vec<Vec<usize>> = Vec::new();
+    for (i, step) in plan.steps.iter().enumerate() {
+        let lvl = match &step.source {
+            DeltaSource::Direct => 0,
+            DeltaSource::FromParent(eq) => {
+                *level_of.get(eq.parent.as_str()).ok_or_else(|| {
+                    CoreError::Maintenance(format!(
+                        "plan step `{}` runs before its parent `{}`",
+                        step.view, eq.parent
+                    ))
+                })? + 1
+            }
+        };
+        level_of.insert(step.view.as_str(), lvl);
+        if levels.len() <= lvl {
+            levels.resize_with(lvl + 1, Vec::new);
+        }
+        levels[lvl].push(i);
+    }
+    Ok(levels)
+}
+
+/// Output of one plan step executed by the leveled scheduler.
+struct StepOutcome {
+    sd: Relation,
+    source: Option<String>,
+    time: Duration,
+    metrics: ExecutionMetrics,
+}
+
+/// Executes one plan step against the deltas of earlier levels.
+fn run_step(
+    catalog: &Catalog,
+    by_name: &HashMap<&str, &AugmentedView>,
+    deltas: &HashMap<String, Relation>,
+    step: &cubedelta_lattice::vlattice::PlanStep,
+    batch: &ChangeBatch,
+    opts: &PropagateOptions,
+) -> CoreResult<StepOutcome> {
+    let view = by_name.get(step.view.as_str()).ok_or_else(|| {
+        CoreError::Maintenance(format!("plan references unknown view `{}`", step.view))
+    })?;
+    let start = Instant::now();
+    let mut m = ExecutionMetrics::new();
+    let (sd, source) = match &step.source {
+        DeltaSource::Direct => {
+            (propagate_view_metered(catalog, view, batch, opts, &mut m)?, None)
+        }
+        DeltaSource::FromParent(eq) => {
+            let parent_sd = deltas.get(&eq.parent).ok_or_else(|| {
+                CoreError::Maintenance(format!(
+                    "plan step `{}` runs before its parent `{}`",
+                    step.view, eq.parent
+                ))
+            })?;
+            m.rows_scanned += parent_sd.len() as u64;
+            let child = derive_child(catalog, parent_sd, eq)?;
+            m.delta_rows += child.len() as u64;
+            m.rows_emitted += child.len() as u64;
+            m.groups_touched += child.len() as u64;
+            (child, Some(eq.parent.clone()))
+        }
+    };
+    Ok(StepOutcome {
+        sd,
+        source,
+        time: start.elapsed(),
+        metrics: m,
+    })
+}
+
+/// The parallel plan executor: levels the plan with [`plan_levels`], then
+/// runs each level's steps concurrently on up to `threads` scoped worker
+/// threads, with each step's summary-delta aggregation itself
+/// hash-partitioned across the level's leftover thread budget
+/// (`threads / concurrent_steps`, at least 1).
+///
+/// Determinism: worker results are collected per level and merged strictly
+/// in plan order — reports, the metrics merge sequence, and the first error
+/// surfaced are identical run to run. Summary-delta *contents* equal the
+/// sequential executor's for any thread count (sorted-row equality; the
+/// intra-relation row order may differ across thread counts because the
+/// group partitioning differs).
+///
+/// `threads <= 1` degenerates to sequential execution of each level in
+/// plan order, which books the same work as [`propagate_plan_metered`].
+pub fn propagate_plan_leveled(
+    catalog: &Catalog,
+    views: &[AugmentedView],
+    plan: &MaintenancePlan,
+    batch: &ChangeBatch,
+    opts: &PropagateOptions,
+    threads: usize,
+) -> CoreResult<LeveledPropagation> {
+    let by_name: HashMap<&str, &AugmentedView> = views
+        .iter()
+        .map(|v| (v.def.name.as_str(), v))
+        .collect();
+    let levels = plan_levels(plan)?;
+
+    let mut deltas: HashMap<String, Relation> = HashMap::with_capacity(plan.len());
+    // Slot per plan step: levels may interleave plan positions (two Direct
+    // roots can straddle a FromParent step), but callers zip reports with
+    // `plan.steps`, so the final vector must be in plan order.
+    let mut report_slots: Vec<Option<PropagationStepReport>> = Vec::new();
+    report_slots.resize_with(plan.len(), || None);
+    let mut level_reports: Vec<LevelReport> = Vec::with_capacity(levels.len());
+
+    for (lvl, step_idxs) in levels.iter().enumerate() {
+        let level_start = Instant::now();
+        let concurrent = threads.max(1).min(step_idxs.len());
+        // Divide the thread budget: across steps first, leftover into each
+        // step's partitioned aggregation.
+        let step_opts = PropagateOptions {
+            threads: (threads.max(1) / concurrent.max(1)).max(1),
+            ..*opts
+        };
+
+        let mut outcomes: Vec<(usize, CoreResult<StepOutcome>)> =
+            Vec::with_capacity(step_idxs.len());
+        if concurrent <= 1 {
+            for &i in step_idxs {
+                outcomes.push((
+                    i,
+                    run_step(catalog, &by_name, &deltas, &plan.steps[i], batch, &step_opts),
+                ));
+            }
+        } else {
+            // Chunk the level's steps across `concurrent` workers; each
+            // worker runs its chunk sequentially and ships results home.
+            let chunk = step_idxs.len().div_ceil(concurrent);
+            let shared_deltas = &deltas;
+            let shared_names = &by_name;
+            let results: Vec<Vec<(usize, CoreResult<StepOutcome>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = step_idxs
+                        .chunks(chunk)
+                        .map(|idxs| {
+                            scope.spawn(move || {
+                                idxs.iter()
+                                    .map(|&i| {
+                                        (
+                                            i,
+                                            run_step(
+                                                catalog,
+                                                shared_names,
+                                                shared_deltas,
+                                                &plan.steps[i],
+                                                batch,
+                                                &step_opts,
+                                            ),
+                                        )
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("propagation worker panicked"))
+                        .collect()
+                });
+            outcomes.extend(results.into_iter().flatten());
+        }
+
+        // Join point: merge in plan order regardless of completion order.
+        outcomes.sort_by_key(|(i, _)| *i);
+        for (i, outcome) in outcomes {
+            let outcome = outcome?;
+            report_slots[i] = Some(PropagationStepReport {
+                view: plan.steps[i].view.clone(),
+                source: outcome.source,
+                time: outcome.time,
+                metrics: outcome.metrics,
+            });
+            deltas.insert(plan.steps[i].view.clone(), outcome.sd);
+        }
+        level_reports.push(LevelReport {
+            level: lvl,
+            views: step_idxs
+                .iter()
+                .map(|&i| plan.steps[i].view.clone())
+                .collect(),
+            time: level_start.elapsed(),
+        });
+    }
+    let reports: Vec<PropagationStepReport> = report_slots
+        .into_iter()
+        .map(|r| r.expect("every plan step executed exactly once"))
+        .collect();
+    Ok((deltas, reports, level_reports))
 }
 
 #[cfg(test)]
@@ -219,6 +446,126 @@ mod tests {
             &PropagateOptions::default(),
         );
         assert!(matches!(err, Err(CoreError::Maintenance(_))));
+    }
+
+    #[test]
+    fn plan_levels_respect_parent_depth() {
+        let cat = retail_catalog_small();
+        let vs = views(&cat);
+        let lat = ViewLattice::build(&cat, vs.clone()).unwrap();
+        let plan = lat.choose_plan(&cat, |_| 1).unwrap();
+        let levels = plan_levels(&plan).unwrap();
+        // Every step appears exactly once.
+        let mut seen: Vec<usize> = levels.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..plan.len()).collect::<Vec<_>>());
+        // A FromParent step's level is exactly one past its parent's.
+        let level_of = |name: &str| {
+            levels
+                .iter()
+                .position(|lvl| lvl.iter().any(|&i| plan.steps[i].view == name))
+                .unwrap()
+        };
+        for step in &plan.steps {
+            match &step.source {
+                DeltaSource::Direct => assert_eq!(level_of(&step.view), 0),
+                DeltaSource::FromParent(eq) => {
+                    assert_eq!(level_of(&step.view), level_of(&eq.parent) + 1)
+                }
+            }
+        }
+        assert!(levels.len() > 1, "lattice plan should have depth");
+    }
+
+    #[test]
+    fn plan_levels_detect_ordering_violation() {
+        let cat = retail_catalog_small();
+        let vs = views(&cat);
+        let lat = ViewLattice::build(&cat, vs.clone()).unwrap();
+        let mut plan = lat.choose_plan(&cat, |_| 1).unwrap();
+        plan.steps.reverse();
+        assert!(matches!(plan_levels(&plan), Err(CoreError::Maintenance(_))));
+        let err = propagate_plan_leveled(
+            &cat,
+            &vs,
+            &plan,
+            &mixed_batch(),
+            &PropagateOptions::default(),
+            4,
+        );
+        assert!(matches!(err, Err(CoreError::Maintenance(_))));
+    }
+
+    #[test]
+    fn leveled_executor_matches_sequential_for_any_thread_count() {
+        let cat = retail_catalog_small();
+        let vs = views(&cat);
+        let lat = ViewLattice::build(&cat, vs.clone()).unwrap();
+        let plan = lat.choose_plan(&cat, |_| 1).unwrap();
+        let batch = mixed_batch();
+        let opts = PropagateOptions::default();
+        let (seq_deltas, seq_reports) =
+            propagate_plan_metered(&cat, &vs, &plan, &batch, &opts).unwrap();
+        for threads in [1usize, 2, 3, 8] {
+            let (deltas, reports, levels) =
+                propagate_plan_leveled(&cat, &vs, &plan, &batch, &opts, threads).unwrap();
+            assert_eq!(deltas.len(), seq_deltas.len(), "threads={threads}");
+            for (name, sd) in &seq_deltas {
+                assert_eq!(
+                    deltas[name].sorted_rows(),
+                    sd.sorted_rows(),
+                    "threads={threads}: delta differs for {name}"
+                );
+            }
+            // Reports come back in plan order with identical work counters.
+            for (a, b) in reports.iter().zip(&seq_reports) {
+                assert_eq!(a.view, b.view, "threads={threads}");
+                assert_eq!(a.source, b.source, "threads={threads}");
+                assert_eq!(
+                    a.metrics.work_pairs(),
+                    b.metrics.work_pairs(),
+                    "threads={threads}: work differs for {}",
+                    a.view
+                );
+            }
+            let leveled: usize = levels.iter().map(|l| l.views.len()).sum();
+            assert_eq!(leveled, plan.len(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn leveled_executor_orders_reports_by_plan_position() {
+        // Hand-build a plan whose levels interleave plan positions: Direct,
+        // FromParent, Direct. The report vector must still be in plan order.
+        let cat = retail_catalog_small();
+        let vs = views(&cat);
+        let lat = ViewLattice::build(&cat, vs.clone()).unwrap();
+        let auto = lat.choose_plan(&cat, |_| 1).unwrap();
+        let mut steps = auto.steps.clone();
+        // Move one Direct step (not the first) to the end if the plan shape
+        // allows; otherwise the plan is already a fine input.
+        if let Some(pos) = steps
+            .iter()
+            .skip(1)
+            .position(|s| matches!(s.source, DeltaSource::Direct))
+        {
+            let s = steps.remove(pos + 1);
+            steps.push(s);
+        }
+        let plan = MaintenancePlan { steps };
+        let batch = mixed_batch();
+        let (_, reports, _) = propagate_plan_leveled(
+            &cat,
+            &vs,
+            &plan,
+            &batch,
+            &PropagateOptions::default(),
+            4,
+        )
+        .unwrap();
+        let got: Vec<&str> = reports.iter().map(|r| r.view.as_str()).collect();
+        let want: Vec<&str> = plan.steps.iter().map(|s| s.view.as_str()).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

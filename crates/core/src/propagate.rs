@@ -20,8 +20,8 @@
 use cubedelta_expr::Expr;
 use cubedelta_obs::ExecutionMetrics;
 use cubedelta_query::{
-    filter_metered, hash_aggregate_metered, hash_join_metered, union_all_metered, AggFunc,
-    Relation,
+    filter_metered, hash_aggregate_parallel_metered, hash_join_metered, union_all_metered,
+    AggFunc, Relation,
 };
 use cubedelta_storage::{Catalog, ChangeBatch, Column, Table};
 use cubedelta_view::{augment, summary_schema, AugmentedView, SummaryViewDef};
@@ -30,13 +30,30 @@ use crate::error::{CoreError, CoreResult};
 use crate::prepare::{prepare_project, source_column_name, Sign};
 
 /// Options controlling summary-delta computation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PropagateOptions {
     /// Pre-aggregate changes before joining dimension tables (§4.1.3).
     /// Applies when the batch holds only fact-table changes and every
     /// aggregate source is a fact-table expression; otherwise it is
     /// silently skipped.
     pub pre_aggregate: bool,
+    /// Worker threads for the summary-delta aggregation itself (§4.1.2:
+    /// distributive aggregates hash-partition on the group-by key, so each
+    /// partition aggregates independently). `1` (the default) aggregates
+    /// sequentially; larger values engage
+    /// [`cubedelta_query::hash_aggregate_parallel_metered`], which still
+    /// falls back to the sequential operator below
+    /// [`cubedelta_query::MIN_PARALLEL_ROWS`] input rows.
+    pub threads: usize,
+}
+
+impl Default for PropagateOptions {
+    fn default() -> Self {
+        PropagateOptions {
+            pre_aggregate: false,
+            threads: 1,
+        }
+    }
 }
 
 /// Aggregates a prepare-changes relation into the summary-delta relation
@@ -59,6 +76,20 @@ pub fn sd_from_prepare_metered(
     prepare: &Relation,
     m: &mut ExecutionMetrics,
 ) -> CoreResult<Relation> {
+    sd_from_prepare_threaded(catalog, view, prepare, 1, m)
+}
+
+/// [`sd_from_prepare_metered`] with the aggregation hash-partitioned across
+/// `threads` workers (§4.1.2). Partition outputs concatenate in fixed
+/// partition order, so the result is deterministic for a given thread
+/// count, and its sorted rows equal the sequential result's for any.
+pub fn sd_from_prepare_threaded(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    prepare: &Relation,
+    threads: usize,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<Relation> {
     let out_schema = summary_schema(catalog, view)?;
     let mut aggs: Vec<(AggFunc, Column)> = Vec::with_capacity(view.def.aggregates.len());
     for (i, spec) in view.def.aggregates.iter().enumerate() {
@@ -77,7 +108,13 @@ pub fn sd_from_prepare_metered(
         aggs.push((func, out_col));
     }
     let group_refs: Vec<&str> = view.def.group_by.iter().map(String::as_str).collect();
-    Ok(hash_aggregate_metered(prepare, &group_refs, &aggs, m)?)
+    Ok(hash_aggregate_parallel_metered(
+        prepare,
+        &group_refs,
+        &aggs,
+        threads,
+        m,
+    )?)
 }
 
 /// A relation holding a table's contents *after* applying its delta — used
@@ -160,7 +197,7 @@ pub fn propagate_view_metered(
         .any(|d| batch.for_table(d).map(|x| !x.is_empty()).unwrap_or(false));
 
     if opts.pre_aggregate && !dims_changed {
-        if let Some(sd) = propagate_preaggregated(catalog, view, batch, m)? {
+        if let Some(sd) = propagate_preaggregated(catalog, view, batch, opts.threads, m)? {
             m.delta_rows += sd.len() as u64;
             return Ok(sd);
         }
@@ -249,7 +286,7 @@ pub fn propagate_view_metered(
             acc
         }
     };
-    let sd = sd_from_prepare_metered(catalog, view, &prepare_changes, m)?;
+    let sd = sd_from_prepare_threaded(catalog, view, &prepare_changes, opts.threads, m)?;
     m.delta_rows += sd.len() as u64;
     Ok(sd)
 }
@@ -264,6 +301,7 @@ fn propagate_preaggregated(
     catalog: &Catalog,
     view: &AugmentedView,
     batch: &ChangeBatch,
+    threads: usize,
     m: &mut ExecutionMetrics,
 ) -> CoreResult<Option<Relation>> {
     let fact_schema = catalog.table(&view.def.fact_table)?.schema().clone();
@@ -322,6 +360,7 @@ fn propagate_preaggregated(
         batch,
         &PropagateOptions {
             pre_aggregate: false,
+            threads,
         },
         &mut partial_m,
     )?;
@@ -424,6 +463,7 @@ mod tests {
                 &batch,
                 &PropagateOptions {
                     pre_aggregate: true,
+                    ..Default::default()
                 },
             )
             .unwrap();

@@ -12,9 +12,63 @@ use cubedelta_view::{augment, install_summary_table, AugmentedView, SummaryViewD
 use crate::baseline::{rematerialize_direct, rematerialize_with_lattice};
 use crate::consistency::check_view_consistency;
 use crate::error::{CoreError, CoreResult};
-use crate::multi::propagate_plan_metered;
+use crate::multi::{propagate_plan_leveled, LevelReport};
 use crate::propagate::PropagateOptions;
 use crate::refresh::{refresh_metered, RefreshOptions, RefreshStats};
+
+/// Environment variable that overrides the maintenance thread count.
+pub const THREADS_ENV_VAR: &str = "CUBEDELTA_THREADS";
+
+/// How a warehouse schedules maintenance work.
+///
+/// Currently one knob: the number of worker threads for the propagate
+/// phase. Levels of the propagation plan run their independent steps
+/// concurrently (§4.1.2 — distributive aggregates partition cleanly), and
+/// any thread budget left over within a level goes to hash-partitioned
+/// aggregation inside each step. `threads = 1` is exactly the sequential
+/// executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenancePolicy {
+    /// Worker threads for the propagate phase (minimum 1).
+    pub threads: usize,
+}
+
+impl MaintenancePolicy {
+    /// A policy with an explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        MaintenancePolicy {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Thread count from the environment: `CUBEDELTA_THREADS` if set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV_VAR)
+            .ok()
+            .and_then(|s| parse_threads(&s))
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            });
+        MaintenancePolicy::with_threads(threads)
+    }
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy::from_env()
+    }
+}
+
+/// Parses a `CUBEDELTA_THREADS` value: a positive integer, or `None` for
+/// anything unusable (empty, zero, garbage), which falls through to the
+/// machine default.
+fn parse_threads(s: &str) -> Option<usize> {
+    match s.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
 
 /// Options for one maintenance cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +147,12 @@ pub struct MaintenanceReport {
     pub per_view: Vec<ViewReport>,
     /// Operator counters summed across every view's propagate + refresh.
     pub metrics: ExecutionMetrics,
+    /// Worker threads the propagate phase was scheduled with (1 for the
+    /// sequential executor and the rematerialize baselines).
+    pub threads: usize,
+    /// Per-level propagate timings: each level groups plan steps whose
+    /// parents finished in earlier levels, so its steps ran concurrently.
+    pub levels: Vec<LevelReport>,
 }
 
 impl MaintenanceReport {
@@ -114,6 +174,22 @@ impl MaintenanceReport {
             ("apply_base_us", duration_us(self.apply_base_time)),
             ("refresh_us", duration_us(self.refresh_time)),
             ("total_us", duration_us(self.total_time())),
+            ("threads", JsonValue::from(self.threads)),
+            (
+                "levels",
+                JsonValue::array(self.levels.iter().map(|l| {
+                    JsonValue::object([
+                        ("level", JsonValue::from(l.level)),
+                        (
+                            "views",
+                            JsonValue::array(
+                                l.views.iter().map(|v| JsonValue::from(v.clone())),
+                            ),
+                        ),
+                        ("time_us", duration_us(l.time)),
+                    ])
+                })),
+            ),
             ("metrics", self.metrics.to_json()),
             (
                 "per_view",
@@ -127,14 +203,24 @@ impl std::fmt::Display for MaintenanceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "propagate {:?} | apply {:?} | refresh {:?} | total {:?}",
+            "propagate {:?} | apply {:?} | refresh {:?} | total {:?} | threads {}",
             self.propagate_time,
             self.apply_base_time,
             self.refresh_time,
-            self.total_time()
+            self.total_time(),
+            self.threads
         )?;
         if !self.metrics.is_zero() {
             writeln!(f, "cycle counters: {}", self.metrics)?;
+        }
+        for l in &self.levels {
+            writeln!(
+                f,
+                "  level {}: [{}] {:?}",
+                l.level,
+                l.views.join(", "),
+                l.time
+            )?;
         }
         for v in &self.per_view {
             writeln!(
@@ -171,6 +257,7 @@ pub struct Warehouse {
     views: Vec<AugmentedView>,
     lattice: Option<ViewLattice>,
     registry: MetricsRegistry,
+    policy: MaintenancePolicy,
 }
 
 impl Warehouse {
@@ -187,7 +274,19 @@ impl Warehouse {
             views: Vec::new(),
             lattice: None,
             registry: MetricsRegistry::new(),
+            policy: MaintenancePolicy::default(),
         }
+    }
+
+    /// The current maintenance scheduling policy.
+    pub fn maintenance_policy(&self) -> MaintenancePolicy {
+        self.policy
+    }
+
+    /// Replaces the maintenance scheduling policy (e.g. to pin the thread
+    /// count regardless of `CUBEDELTA_THREADS` / machine parallelism).
+    pub fn set_maintenance_policy(&mut self, policy: MaintenancePolicy) {
+        self.policy = MaintenancePolicy::with_threads(policy.threads);
     }
 
     /// Read access to the catalog.
@@ -372,17 +471,19 @@ impl Warehouse {
         plan: &cubedelta_lattice::MaintenancePlan,
         opts: &MaintainOptions,
     ) -> CoreResult<MaintenanceReport> {
+        let threads = self.policy.threads.max(1);
         let popts = PropagateOptions {
             pre_aggregate: opts.pre_aggregate,
+            threads,
         };
         let insertions_only = self.insertions_only(batch);
         let _cycle_span = trace::span(|| "maintain".to_string());
 
         // --- propagate --------------------------------------------------
         let t0 = Instant::now();
-        let (deltas, step_reports) = {
+        let (deltas, step_reports, levels) = {
             let _span = trace::span(|| "propagate".to_string());
-            propagate_plan_metered(&self.catalog, &self.views, plan, batch, &popts)?
+            propagate_plan_leveled(&self.catalog, &self.views, plan, batch, &popts, threads)?
         };
         let propagate_time = t0.elapsed();
 
@@ -455,6 +556,8 @@ impl Warehouse {
             refresh_time,
             per_view,
             metrics: cycle_metrics,
+            threads,
+            levels,
         })
     }
 
@@ -529,6 +632,8 @@ impl Warehouse {
             refresh_time,
             per_view,
             metrics: ExecutionMetrics::new(),
+            threads: 1,
+            levels: Vec::new(),
         })
     }
 
@@ -785,6 +890,77 @@ mod tests {
         assert!(spans.iter().any(|s| s.name == "maintain"));
         assert!(spans.iter().any(|s| s.name == "propagate"));
         assert!(spans.iter().any(|s| s.name.starts_with("refresh:")));
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 2 "), Some(2));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("lots"), None);
+        assert_eq!(parse_threads("-1"), None);
+    }
+
+    #[test]
+    fn policy_clamps_to_at_least_one_thread() {
+        assert_eq!(MaintenancePolicy::with_threads(0).threads, 1);
+        assert_eq!(MaintenancePolicy::with_threads(7).threads, 7);
+        assert!(MaintenancePolicy::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn parallel_maintenance_matches_sequential() {
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![
+                row![1i64, 20i64, d(0), 4i64, 1.0],
+                row![3i64, 30i64, d(2), 1i64, 0.5],
+            ],
+            deletions: vec![row![2i64, 10i64, d(0), 7i64, 1.0]],
+        });
+        let mut seq = warehouse_with_figure1_views();
+        seq.set_maintenance_policy(MaintenancePolicy::with_threads(1));
+        let seq_report = seq.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let mut par = warehouse_with_figure1_views();
+        par.set_maintenance_policy(MaintenancePolicy::with_threads(4));
+        let par_report = par.maintain(&batch, &MaintainOptions::default()).unwrap();
+
+        assert_eq!(seq_report.threads, 1);
+        assert_eq!(par_report.threads, 4);
+        for v in seq.views() {
+            let name = &v.def.name;
+            assert_eq!(
+                seq.catalog().table(name).unwrap().sorted_rows(),
+                par.catalog().table(name).unwrap().sorted_rows(),
+                "{name} differs between thread counts"
+            );
+        }
+        par.check_consistency().unwrap();
+        // The same work happened regardless of schedule.
+        assert_eq!(seq_report.metrics.work_pairs(), par_report.metrics.work_pairs());
+    }
+
+    #[test]
+    fn report_levels_cover_every_plan_step() {
+        let mut wh = warehouse_with_figure1_views();
+        wh.set_maintenance_policy(MaintenancePolicy::with_threads(2));
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(0), 1i64, 1.0]],
+        ));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let leveled: usize = report.levels.iter().map(|l| l.views.len()).sum();
+        assert_eq!(leveled, report.per_view.len());
+        // Levels are contiguous from zero and a lattice plan has depth > 1.
+        for (i, l) in report.levels.iter().enumerate() {
+            assert_eq!(l.level, i);
+        }
+        assert!(report.levels.len() > 1, "lattice plan should have depth");
+        let rendered = report.to_json().render();
+        assert!(rendered.contains("\"threads\":2"));
+        assert!(rendered.contains("\"levels\""));
+        assert!(report.to_string().contains("level 0"));
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct ExecutionMetrics {
     pub comparisons: u64,
     /// Summary-delta tuples produced by propagate (delta cardinality).
     pub delta_rows: u64,
+    /// Parallel-operator invocations that fell back to the sequential path
+    /// (input too small, single thread requested, or a global aggregate).
+    /// Unlike the work counters above, this one is scheduling-dependent: a
+    /// single-thread run books zero fallbacks because parallelism was never
+    /// requested.
+    pub par_fallbacks: u64,
 }
 
 impl ExecutionMetrics {
@@ -50,10 +56,30 @@ impl ExecutionMetrics {
         self.groups_touched += other.groups_touched;
         self.comparisons += other.comparisons;
         self.delta_rows += other.delta_rows;
+        self.par_fallbacks += other.par_fallbacks;
     }
 
     /// `(name, value)` pairs in a fixed order, for serialization.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 9] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 10] {
+        [
+            ("rows_scanned", self.rows_scanned),
+            ("rows_emitted", self.rows_emitted),
+            ("index_probes", self.index_probes),
+            ("index_hits", self.index_hits),
+            ("hash_build_rows", self.hash_build_rows),
+            ("hash_probes", self.hash_probes),
+            ("groups_touched", self.groups_touched),
+            ("comparisons", self.comparisons),
+            ("delta_rows", self.delta_rows),
+            ("par_fallbacks", self.par_fallbacks),
+        ]
+    }
+
+    /// The scheduling-independent *work* counters — everything except
+    /// `par_fallbacks`. Two runs of the same maintenance over different
+    /// thread counts must agree on these (and the test suites assert it);
+    /// fallback counts legitimately differ with the schedule.
+    pub fn work_pairs(&self) -> [(&'static str, u64); 9] {
         [
             ("rows_scanned", self.rows_scanned),
             ("rows_emitted", self.rows_emitted),
@@ -133,6 +159,7 @@ mod tests {
             &mut b.groups_touched,
             &mut b.comparisons,
             &mut b.delta_rows,
+            &mut b.par_fallbacks,
         ]
         .into_iter()
         .enumerate()
@@ -144,7 +171,21 @@ mod tests {
         for (i, (_, v)) in a.as_pairs().iter().enumerate() {
             assert_eq!(*v, 2 * (i as u64 + 1));
         }
-        assert_eq!(a.distinct_nonzero(), 9);
+        assert_eq!(a.distinct_nonzero(), 10);
+    }
+
+    #[test]
+    fn work_pairs_exclude_scheduling_counters() {
+        let m = ExecutionMetrics {
+            rows_scanned: 3,
+            par_fallbacks: 7,
+            ..Default::default()
+        };
+        assert!(m.work_pairs().iter().all(|(n, _)| *n != "par_fallbacks"));
+        assert_eq!(m.work_pairs()[0], ("rows_scanned", 3));
+        // But the full pair set and JSON carry it.
+        assert!(m.as_pairs().contains(&("par_fallbacks", 7)));
+        assert!(m.to_json().render().contains("\"par_fallbacks\":7"));
     }
 
     #[test]

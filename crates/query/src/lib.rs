@@ -24,7 +24,9 @@ pub use exec::{
     filter, filter_metered, hash_aggregate, hash_aggregate_metered, hash_join,
     hash_join_metered, project, project_metered, union_all, union_all_metered,
 };
-pub use parallel::{hash_aggregate_parallel, hash_aggregate_parallel_metered};
+pub use parallel::{
+    hash_aggregate_parallel, hash_aggregate_parallel_metered, MIN_PARALLEL_ROWS,
+};
 pub use relation::Relation;
 pub use sort::{sort_aggregate, sort_aggregate_metered};
 

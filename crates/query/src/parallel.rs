@@ -18,10 +18,18 @@ use crate::error::QueryResult;
 use crate::exec::hash_aggregate_metered;
 use crate::relation::Relation;
 
+/// Inputs below this row count aggregate sequentially even when parallelism
+/// is requested: partitioning (one row clone per input row plus a thread
+/// spawn per partition) costs more than it saves on small relations.
+pub const MIN_PARALLEL_ROWS: usize = 4096;
+
 /// Like [`crate::exec::hash_aggregate`], but partitions the input across
 /// `threads` worker threads by group-key hash. Falls back to the sequential
 /// operator for trivial inputs (small relations, one thread, or a global
-/// aggregate, where partitioning cannot help).
+/// aggregate, where partitioning cannot help). When parallelism was
+/// requested (`threads > 1`) but the fallback is taken, the decision is
+/// recorded in [`ExecutionMetrics::par_fallbacks`] so schedulers and tests
+/// can see which branch actually ran.
 pub fn hash_aggregate_parallel(
     rel: &Relation,
     group_cols: &[&str],
@@ -41,8 +49,12 @@ pub fn hash_aggregate_parallel_metered(
     threads: usize,
     m: &mut ExecutionMetrics,
 ) -> QueryResult<Relation> {
-    const MIN_PARALLEL_ROWS: usize = 4096;
     if threads <= 1 || group_cols.is_empty() || rel.rows.len() < MIN_PARALLEL_ROWS {
+        // A single-thread request is a deliberate sequential run, not a
+        // fallback; anything else here is parallelism declined.
+        if threads > 1 {
+            m.par_fallbacks += 1;
+        }
         return hash_aggregate_metered(rel, group_cols, aggs, m);
     }
 
@@ -141,18 +153,42 @@ mod tests {
     }
 
     #[test]
-    fn small_inputs_fall_back() {
+    fn small_inputs_fall_back_and_record_it() {
         let rel = big_relation(100);
-        let par = hash_aggregate_parallel(&rel, &["k"], &aggs(), 4).unwrap();
+        let mut m = ExecutionMetrics::new();
+        let par =
+            hash_aggregate_parallel_metered(&rel, &["k"], &aggs(), 4, &mut m).unwrap();
         let seq = hash_aggregate(&rel, &["k"], &aggs()).unwrap();
         assert_eq!(par.sorted_rows(), seq.sorted_rows());
+        assert_eq!(m.par_fallbacks, 1, "declined parallelism must be visible");
+        // Work counters still book the sequential pass.
+        assert_eq!(m.rows_scanned, 100);
     }
 
     #[test]
-    fn global_aggregate_falls_back() {
+    fn global_aggregate_falls_back_and_records_it() {
         let rel = big_relation(10_000);
-        let par = hash_aggregate_parallel(&rel, &[], &aggs(), 4).unwrap();
+        let mut m = ExecutionMetrics::new();
+        let par = hash_aggregate_parallel_metered(&rel, &[], &aggs(), 4, &mut m).unwrap();
         assert_eq!(par.len(), 1);
+        assert_eq!(m.par_fallbacks, 1);
+    }
+
+    #[test]
+    fn single_thread_request_is_not_a_fallback() {
+        let rel = big_relation(10_000);
+        let mut m = ExecutionMetrics::new();
+        hash_aggregate_parallel_metered(&rel, &["k"], &aggs(), 1, &mut m).unwrap();
+        assert_eq!(m.par_fallbacks, 0, "threads=1 is deliberate, not declined");
+    }
+
+    #[test]
+    fn parallel_branch_records_no_fallback() {
+        let rel = big_relation(MIN_PARALLEL_ROWS * 2);
+        let mut m = ExecutionMetrics::new();
+        hash_aggregate_parallel_metered(&rel, &["k"], &aggs(), 4, &mut m).unwrap();
+        assert_eq!(m.par_fallbacks, 0);
+        assert_eq!(m.rows_scanned, (MIN_PARALLEL_ROWS * 2) as u64);
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Differential testing: seeded randomized workloads through the
+//! summary-delta maintenance pipeline AND the full-recompute baseline
+//! (`core::baseline`), asserting every summary table agrees after every
+//! cycle.
+//!
+//! Three warehouses start from identical state and receive identical
+//! batches each cycle:
+//!
+//! * `inc`   — incremental maintenance, sequential (1 thread)
+//! * `par`   — incremental maintenance, parallel scheduler (4 threads)
+//! * `base`  — the rematerialize-from-scratch baseline (direct recompute,
+//!   no lattice), i.e. the ground truth
+//!
+//! Batches mix fact insertions/deletions (update-generating and
+//! insertion-heavy mixes) with periodic dimension changes (an item moved to
+//! a new category, a store moved to a new city) — the §4.1.4 path that
+//! forces a Direct plan.
+//!
+//! Cycle count defaults to 6; override with `CUBEDELTA_DIFF_CYCLES` (CI
+//! quick mode uses 3).
+
+use cubedelta::core::{MaintainOptions, MaintenancePolicy, Warehouse};
+use cubedelta::storage::{ChangeBatch, DeltaSet, Row, Value};
+use cubedelta::workload::{mixed_changes, retail_catalog, RetailParams, WorkloadScale};
+
+mod common;
+
+fn cycles() -> usize {
+    std::env::var("CUBEDELTA_DIFF_CYCLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(6)
+}
+
+/// A warehouse over the tiny retail workload with the Figure-1 views.
+fn workload_warehouse(seed: u64) -> (Warehouse, RetailParams) {
+    let (catalog, params) = retail_catalog(WorkloadScale::tiny().with_seed(seed));
+    let mut wh = Warehouse::from_catalog(catalog);
+    for def in common::figure1_defs() {
+        wh.create_summary_table(&def).unwrap();
+    }
+    (wh, params)
+}
+
+/// Moves one dimension row to a fresh attribute value: an item to a new
+/// category (cycle parity even) or a store to a new city (odd). Dimension
+/// updates travel as delete + insert pairs.
+fn dimension_change(wh: &Warehouse, cycle: usize) -> DeltaSet {
+    let (table, col) = if cycle % 2 == 0 {
+        ("items", 2) // category
+    } else {
+        ("stores", 1) // city
+    };
+    let t = wh.catalog().table(table).unwrap();
+    let old = t
+        .rows()
+        .nth(cycle * 7 % t.len())
+        .expect("dimension table is non-empty")
+        .clone();
+    let moved: Row = old
+        .values()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if i == col {
+                Value::Str(format!("relabelled-{cycle}").into())
+            } else {
+                v.clone()
+            }
+        })
+        .collect();
+    DeltaSet {
+        table: table.to_string(),
+        insertions: vec![moved],
+        deletions: vec![old],
+    }
+}
+
+/// One cycle's change batch: a seeded fact mix, plus a dimension move
+/// every third cycle.
+fn cycle_batch(wh: &Warehouse, params: &RetailParams, seed: u64, cycle: usize) -> ChangeBatch {
+    let ins_fraction = [0.3, 0.5, 0.8][cycle % 3];
+    let fact = mixed_changes(
+        wh.catalog(),
+        params,
+        120,
+        ins_fraction,
+        seed.wrapping_mul(1_000_003).wrapping_add(cycle as u64),
+    );
+    let mut batch = ChangeBatch::single(fact);
+    if cycle % 3 == 2 {
+        batch.add(dimension_change(wh, cycle));
+    }
+    batch
+}
+
+fn assert_views_match(a: &Warehouse, b: &Warehouse, label: &str, cycle: usize) {
+    for v in a.views() {
+        let name = &v.def.name;
+        assert_eq!(
+            a.catalog().table(name).unwrap().sorted_rows(),
+            b.catalog().table(name).unwrap().sorted_rows(),
+            "cycle {cycle}: {name} diverges ({label})"
+        );
+    }
+}
+
+fn run_differential(seed: u64) {
+    let (mut inc, params) = workload_warehouse(seed);
+    inc.set_maintenance_policy(MaintenancePolicy::with_threads(1));
+    let mut par = inc.clone();
+    par.set_maintenance_policy(MaintenancePolicy::with_threads(4));
+    let mut base = inc.clone();
+
+    for cycle in 0..cycles() {
+        let batch = cycle_batch(&inc, &params, seed, cycle);
+
+        let inc_report = inc.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let par_report = par.maintain(&batch, &MaintainOptions::default()).unwrap();
+        base.rematerialize(&batch, false).unwrap();
+
+        assert_views_match(&inc, &base, "incremental vs full recompute", cycle);
+        assert_views_match(&par, &base, "parallel vs full recompute", cycle);
+        // Base tables advanced identically, so the next cycle's deletions
+        // (sampled from `inc`) apply cleanly everywhere.
+        assert_eq!(
+            inc.catalog().table("pos").unwrap().sorted_rows(),
+            base.catalog().table("pos").unwrap().sorted_rows(),
+            "cycle {cycle}: base fact tables diverge"
+        );
+        assert_eq!(inc_report.threads, 1);
+        assert_eq!(par_report.threads, 4);
+        assert_eq!(
+            inc_report.metrics.work_pairs(),
+            par_report.metrics.work_pairs(),
+            "cycle {cycle}: schedule changed the work done"
+        );
+    }
+    inc.check_consistency().unwrap();
+    par.check_consistency().unwrap();
+}
+
+#[test]
+fn randomized_workloads_match_full_recompute_seed_a() {
+    run_differential(0xC0FFEE);
+}
+
+#[test]
+fn randomized_workloads_match_full_recompute_seed_b() {
+    run_differential(1997);
+}
+
+#[test]
+fn insertion_only_cycles_match_full_recompute() {
+    // Pure-insertion batches take the §4.2 insertions-only refresh
+    // shortcut; the baseline must still agree.
+    let (mut inc, params) = workload_warehouse(7);
+    let mut base = inc.clone();
+    for cycle in 0..cycles().min(4) {
+        let fact = cubedelta::workload::insertion_generating(
+            &params,
+            80,
+            1 + cycle % 2,
+            900 + cycle as u64,
+        );
+        let batch = ChangeBatch::single(fact);
+        inc.maintain(&batch, &MaintainOptions::default()).unwrap();
+        base.rematerialize(&batch, false).unwrap();
+        assert_views_match(&inc, &base, "insertion-only", cycle);
+    }
+    inc.check_consistency().unwrap();
+}

@@ -1,0 +1,274 @@
+//! Parallel-scheduler equivalence tests.
+//!
+//! The leveled executor (`propagate_plan_leveled`) must be a pure
+//! scheduling change: for any generated batch and any thread count, the
+//! summary-deltas (sorted) are byte-identical to the sequential executor's
+//! and the merged `ExecutionMetrics` work counters agree with a
+//! single-thread run. Also covers the MIN/MAX eviction-recompute refresh
+//! path under both schedules (§4.2 — deletions are not self-maintainable
+//! for MIN/MAX).
+
+mod common;
+
+use common::figure1_defs;
+use cubedelta::core::{
+    plan_levels, propagate_plan_leveled, propagate_plan_metered, MaintainOptions,
+    MaintenancePolicy, PropagateOptions, Warehouse,
+};
+use cubedelta::lattice::ViewLattice;
+use cubedelta::storage::{row, ChangeBatch, Date, DeltaSet, Row, Value};
+use cubedelta::view::augment;
+use cubedelta::workload::retail_catalog_small;
+use proptest::prelude::*;
+
+/// Strategy: a pos row over small domains, with NULL-able qty.
+fn pos_row() -> impl Strategy<Value = Row> {
+    (
+        1i64..=3,
+        prop_oneof![Just(10i64), Just(20i64), Just(30i64)],
+        0i32..4,
+        prop_oneof![
+            3 => (1i64..=9).prop_map(Value::Int),
+            1 => Just(Value::Null)
+        ],
+        1u32..=3,
+    )
+        .prop_map(|(s, i, doff, qty, price)| {
+            Row::new(vec![
+                Value::Int(s),
+                Value::Int(i),
+                Value::Date(Date(10000 + doff)),
+                qty,
+                Value::Float(price as f64),
+            ])
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For any batch and any `threads in 1..=8`, the parallel executor's
+    /// deltas equal the sequential executor's (sorted), and the merged
+    /// work counters match per step.
+    #[test]
+    fn leveled_propagate_equals_sequential(
+        ins in proptest::collection::vec(pos_row(), 0..6),
+        del_seeds in proptest::collection::vec(0usize..64, 0..4),
+        threads in 1usize..=8,
+    ) {
+        let cat = retail_catalog_small();
+        let views: Vec<_> = figure1_defs()
+            .iter()
+            .map(|d| augment(&cat, d).unwrap())
+            .collect();
+        let lat = ViewLattice::build(&cat, views.clone()).unwrap();
+
+        let live: Vec<Row> = cat.table("pos").unwrap().rows().cloned().collect();
+        let mut deletions = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for &s in &del_seeds {
+            let idx = s % live.len();
+            if used.insert(idx) {
+                deletions.push(live[idx].clone());
+            }
+        }
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: ins,
+            deletions,
+        });
+
+        let plan = lat.choose_plan(&cat, |_| 1).unwrap();
+        let opts = PropagateOptions::default();
+        let (seq, seq_reports) =
+            propagate_plan_metered(&cat, &views, &plan, &batch, &opts).unwrap();
+        let (par, par_reports, levels) =
+            propagate_plan_leveled(&cat, &views, &plan, &batch, &opts, threads).unwrap();
+
+        for v in &views {
+            prop_assert_eq!(
+                par[&v.def.name].sorted_rows(),
+                seq[&v.def.name].sorted_rows(),
+                "threads={}: delta differs for {}", threads, &v.def.name
+            );
+        }
+        prop_assert_eq!(par_reports.len(), seq_reports.len());
+        for (a, b) in par_reports.iter().zip(&seq_reports) {
+            prop_assert_eq!(&a.view, &b.view);
+            prop_assert_eq!(
+                a.metrics.work_pairs(),
+                b.metrics.work_pairs(),
+                "threads={}: work counters differ for {}", threads, &a.view
+            );
+        }
+        // The leveling is a partition of the plan.
+        prop_assert_eq!(
+            levels.iter().map(|l| l.views.len()).sum::<usize>(),
+            plan.len()
+        );
+
+        // Same batch through the Warehouse facade at this thread count.
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for def in figure1_defs() {
+            wh.create_summary_table(&def).unwrap();
+        }
+        wh.set_maintenance_policy(MaintenancePolicy::with_threads(threads));
+        wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+    }
+}
+
+/// Fixed thread count means a fixed partition assignment: two runs of the
+/// parallel executor over the same inputs are byte-identical, not just
+/// equal as bags.
+#[test]
+fn leveled_propagate_is_deterministic_for_fixed_thread_count() {
+    let cat = retail_catalog_small();
+    let views: Vec<_> = figure1_defs()
+        .iter()
+        .map(|d| augment(&cat, d).unwrap())
+        .collect();
+    let lat = ViewLattice::build(&cat, views.clone()).unwrap();
+    let plan = lat.choose_plan(&cat, |_| 1).unwrap();
+    let batch = ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        insertions: vec![
+            row![1i64, 20i64, Date(10000), 4i64, 1.0],
+            row![2i64, 30i64, Date(10002), 1i64, 0.5],
+        ],
+        deletions: vec![row![2i64, 10i64, Date(10000), 7i64, 1.0]],
+    });
+    let opts = PropagateOptions::default();
+    let (a, _, _) =
+        propagate_plan_leveled(&cat, &views, &plan, &batch, &opts, 4).unwrap();
+    let (b, _, _) =
+        propagate_plan_leveled(&cat, &views, &plan, &batch, &opts, 4).unwrap();
+    for v in &views {
+        assert_eq!(
+            a[&v.def.name].rows, b[&v.def.name].rows,
+            "{}: same thread count must give identical row order",
+            v.def.name
+        );
+    }
+    // And the leveling itself is deterministic.
+    assert_eq!(plan_levels(&plan).unwrap(), plan_levels(&plan).unwrap());
+}
+
+/// A warehouse whose SiC_sales MIN(date) extremum sits on exactly one pos
+/// row, so deleting that row forces the §4.2 eviction recompute.
+fn min_eviction_fixture() -> (Warehouse, ChangeBatch, Row) {
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    // A uniquely-early sale: deleting it evicts MIN(date) for its
+    // (storeID, category) group.
+    let earliest = row![1i64, 10i64, Date(9000), 2i64, 1.0];
+    wh.catalog_mut()
+        .table_mut("pos")
+        .unwrap()
+        .insert_all(vec![earliest.clone()])
+        .unwrap();
+    for def in figure1_defs() {
+        wh.create_summary_table(&def).unwrap();
+    }
+    let batch = ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        // Unrelated churn so the cycle does more than the one eviction.
+        insertions: vec![row![3i64, 30i64, Date(10001), 5i64, 1.0]],
+        deletions: vec![earliest.clone()],
+    });
+    (wh, batch, earliest)
+}
+
+/// Deleting the row that carries a group's MIN triggers the recompute
+/// branch identically under sequential and parallel maintenance, and the
+/// refresh accounting invariant (every summary-delta tuple handled exactly
+/// once) holds for both.
+#[test]
+fn min_eviction_recompute_matches_across_schedules() {
+    let reports: Vec<_> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            let (mut wh, batch, _) = min_eviction_fixture();
+            wh.set_maintenance_policy(MaintenancePolicy::with_threads(threads));
+            let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+            wh.check_consistency().unwrap();
+            (threads, wh, report)
+        })
+        .collect();
+
+    let (_, seq_wh, seq_report) = &reports[0];
+    let (_, par_wh, par_report) = &reports[1];
+
+    // The eviction actually exercised the recompute branch, equally.
+    let seq_sic = seq_report.view("SiC_sales").unwrap();
+    let par_sic = par_report.view("SiC_sales").unwrap();
+    assert!(seq_sic.refresh.recomputed > 0, "MIN eviction must recompute");
+    assert_eq!(seq_sic.refresh.recomputed, par_sic.refresh.recomputed);
+
+    for (seq_v, par_v) in seq_report.per_view.iter().zip(&par_report.per_view) {
+        assert_eq!(seq_v.view, par_v.view);
+        assert_eq!(seq_v.refresh, par_v.refresh, "{}", seq_v.view);
+        // Accounting invariant: refresh handles each sd tuple exactly once.
+        assert_eq!(seq_v.refresh.total(), seq_v.delta_rows, "{}", seq_v.view);
+        assert_eq!(par_v.refresh.total(), par_v.delta_rows, "{}", par_v.view);
+        assert_eq!(
+            seq_v.metrics.work_pairs(),
+            par_v.metrics.work_pairs(),
+            "{}: schedule changed the work done",
+            seq_v.view
+        );
+    }
+    for v in seq_wh.views() {
+        let name = &v.def.name;
+        assert_eq!(
+            seq_wh.catalog().table(name).unwrap().sorted_rows(),
+            par_wh.catalog().table(name).unwrap().sorted_rows(),
+            "{name} differs between schedules"
+        );
+    }
+}
+
+/// The MAX twin: a uniquely-late date whose deletion evicts a maximum.
+/// Built on a bespoke view because the Figure-1 set only carries MIN.
+#[test]
+fn max_eviction_recompute_matches_across_schedules() {
+    use cubedelta::expr::Expr;
+    use cubedelta::query::AggFunc;
+    use cubedelta::view::SummaryViewDef;
+
+    let build = |threads: usize| {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        let latest = row![2i64, 20i64, Date(20000), 3i64, 1.0];
+        wh.catalog_mut()
+            .table_mut("pos")
+            .unwrap()
+            .insert_all(vec![latest.clone()])
+            .unwrap();
+        let def = SummaryViewDef::builder("store_span", "pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Max(Expr::col("date")), "LatestSale")
+            .build();
+        wh.create_summary_table(&def).unwrap();
+        wh.set_maintenance_policy(MaintenancePolicy::with_threads(threads));
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![],
+            deletions: vec![latest],
+        });
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+        (wh, report)
+    };
+    let (seq_wh, seq_report) = build(1);
+    let (par_wh, par_report) = build(4);
+
+    let seq_v = seq_report.view("store_span").unwrap();
+    let par_v = par_report.view("store_span").unwrap();
+    assert!(seq_v.refresh.recomputed > 0, "MAX eviction must recompute");
+    assert_eq!(seq_v.refresh, par_v.refresh);
+    assert_eq!(seq_v.refresh.total(), seq_v.delta_rows);
+    assert_eq!(
+        seq_wh.catalog().table("store_span").unwrap().sorted_rows(),
+        par_wh.catalog().table("store_span").unwrap().sorted_rows()
+    );
+}

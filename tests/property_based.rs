@@ -165,11 +165,11 @@ proptest! {
 
         let plain = propagate_plan(
             &cat, &views, &lat.direct_plan(), &batch,
-            &PropagateOptions { pre_aggregate: false },
+            &PropagateOptions { pre_aggregate: false, ..Default::default() },
         ).unwrap();
         let pre = propagate_plan(
             &cat, &views, &lat.direct_plan(), &batch,
-            &PropagateOptions { pre_aggregate: true },
+            &PropagateOptions { pre_aggregate: true, ..Default::default() },
         ).unwrap();
         for v in &views {
             prop_assert_eq!(
