@@ -23,12 +23,14 @@
 //! operator-counter set from the summary-delta run — the machine-readable
 //! companion to `EXPERIMENTS.md`.
 //!
-//! The summary-delta run uses the parallel propagate scheduler at the
-//! `CUBEDELTA_THREADS` thread count (minimum 2, so the telemetry always
-//! carries a real multi-thread run) and additionally measures a
-//! single-thread propagate over identical state (`propagate_1thread_us`)
-//! for the scheduler comparison. `host_parallelism` records how many cores
-//! the runs actually had.
+//! The summary-delta run uses the parallel propagate + refresh schedulers
+//! at the `CUBEDELTA_THREADS` thread count (minimum 2, so the telemetry
+//! always carries a real multi-thread run) and additionally measures a
+//! single-thread cycle over identical state (`propagate_1thread_us`,
+//! `refresh_1thread_us`) for the scheduler comparison. `host_parallelism`
+//! records how many cores the runs actually had, and `speedup_valid` is
+//! `false` on a single-core host, where the multi-thread and single-thread
+//! numbers time-slice the same CPU and their ratio is meaningless.
 
 use cubedelta_bench::{
     build_warehouse, insertion_batch, run_strategy, run_summary_delta_threaded, secs,
@@ -139,6 +141,14 @@ fn run_point(
         (
             "propagate_1thread_us",
             JsonValue::from(sd1.propagate.as_micros() as u64),
+        ),
+        (
+            "refresh_us",
+            JsonValue::from(sd.refresh.as_micros() as u64),
+        ),
+        (
+            "refresh_1thread_us",
+            JsonValue::from(sd1.refresh.as_micros() as u64),
         ),
         (
             "no_lattice_propagate_us",
@@ -253,6 +263,7 @@ fn main() {
         );
     }
 
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
     let telemetry = JsonValue::object([
         (
             "benchmark",
@@ -269,12 +280,12 @@ fn main() {
             "threads",
             JsonValue::from(MaintenancePolicy::from_env().threads.max(2)),
         ),
-        (
-            "host_parallelism",
-            JsonValue::from(
-                std::thread::available_parallelism().map_or(1, |n| n.get()),
-            ),
-        ),
+        ("host_parallelism", JsonValue::from(host_parallelism)),
+        // On a single-core host the multi-thread and single-thread runs
+        // time-slice the same CPU, so `*_us` vs `*_1thread_us` ratios say
+        // nothing about the scheduler. Downstream readers must not report
+        // ≈1.0× as a regression when this flag is false.
+        ("speedup_valid", JsonValue::from(host_parallelism > 1)),
         ("panels", panels),
     ]);
     let out = "BENCH_fig9.json";

@@ -79,15 +79,16 @@ pub use consistency::check_view_consistency;
 pub use cube::{CubeBudget, CubeReport, CubeSpec};
 pub use error::{CoreError, CoreResult};
 pub use multi::{
-    plan_levels, propagate_plan, propagate_plan_leveled, propagate_plan_metered, LevelReport,
-    PropagationStepReport,
+    plan_levels, propagate_plan, propagate_plan_leveled, propagate_plan_metered,
+    refresh_plan_leveled, LevelReport, PropagationStepReport, RefreshStepReport,
 };
 pub use prepare::{prepare_changes, prepare_deletions, prepare_insertions, Sign};
 pub use propagate::{
     propagate_view, propagate_view_metered, sd_from_prepare_threaded, PropagateOptions,
 };
 pub use refresh::{
-    refresh, refresh_join, refresh_join_metered, refresh_metered, RefreshOptions, RefreshStats,
+    apply_refresh_ops, plan_refresh_ops, refresh, refresh_join, refresh_join_metered,
+    refresh_metered, PlannedRefresh, RecomputeSource, RefreshOptions, RefreshStats,
 };
 pub use warehouse::{
     MaintainOptions, MaintenancePolicy, MaintenanceReport, ViewReport, Warehouse, THREADS_ENV_VAR,

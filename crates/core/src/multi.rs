@@ -21,16 +21,20 @@
 //! deterministic.
 
 use std::collections::HashMap;
+use std::sync::{Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
 use cubedelta_lattice::{derive_child, DeltaSource, MaintenancePlan};
-use cubedelta_obs::ExecutionMetrics;
+use cubedelta_obs::{trace, ExecutionMetrics};
 use cubedelta_query::Relation;
-use cubedelta_storage::{Catalog, ChangeBatch};
+use cubedelta_storage::{Catalog, ChangeBatch, Table, TableRole};
 use cubedelta_view::AugmentedView;
 
 use crate::error::{CoreError, CoreResult};
 use crate::propagate::{propagate_view_metered, PropagateOptions};
+use crate::refresh::{
+    apply_refresh_ops, plan_refresh_ops, RecomputeSource, RefreshOptions, RefreshStats,
+};
 
 /// Per-step observability record from [`propagate_plan_metered`]: which
 /// view was propagated, where its delta came from, how long it took, and
@@ -332,6 +336,258 @@ pub fn propagate_plan_leveled(
         .map(|r| r.expect("every plan step executed exactly once"))
         .collect();
     Ok((deltas, reports, level_reports))
+}
+
+/// Per-step observability record from [`refresh_plan_leveled`]: which view
+/// was refreshed, Figure 7's action counts, wall-clock time, and operator
+/// work (including lock waits when another worker held the table).
+#[derive(Debug, Clone)]
+pub struct RefreshStepReport {
+    /// View whose summary table this step refreshed.
+    pub view: String,
+    /// Figure-7 action counts for the step.
+    pub stats: RefreshStats,
+    /// Wall-clock time for this step alone (including any lock wait).
+    pub time: Duration,
+    /// Operator counters booked while planning and applying the step.
+    pub metrics: ExecutionMetrics,
+}
+
+/// Everything [`refresh_plan_leveled`] produces: one report per plan step
+/// (in plan order) and one timing record per level.
+pub type LeveledRefresh = (Vec<RefreshStepReport>, Vec<LevelReport>);
+
+/// Output of one refresh step executed by the leveled scheduler.
+struct RefreshOutcome {
+    stats: RefreshStats,
+    time: Duration,
+    metrics: ExecutionMetrics,
+}
+
+/// Refreshes one view: canonicalize its summary-delta, lock its summary
+/// table, plan Figure 7's ops against the shared catalog snapshot, apply
+/// under the lock.
+fn run_refresh_step(
+    catalog: &Catalog,
+    tables: &HashMap<&str, (Mutex<Table>, TableRole)>,
+    by_name: &HashMap<&str, &AugmentedView>,
+    deltas: &HashMap<String, Relation>,
+    step: &cubedelta_lattice::vlattice::PlanStep,
+    opts: &RefreshOptions,
+) -> CoreResult<RefreshOutcome> {
+    let view = by_name.get(step.view.as_str()).ok_or_else(|| {
+        CoreError::Maintenance(format!("plan references unknown view `{}`", step.view))
+    })?;
+    let sd = deltas.get(step.view.as_str()).ok_or_else(|| {
+        CoreError::Maintenance(format!("no summary-delta for view `{}`", step.view))
+    })?;
+    let _span = trace::span(|| format!("refresh:{}", step.view));
+    let start = Instant::now();
+    let mut m = ExecutionMetrics::new();
+    // Canonicalize first: the parallel propagate emits summary-delta rows
+    // in a thread-count-dependent order, and the op sequence (hence the
+    // slotted table's byte layout) follows the delta order. Sorting pins
+    // the sequence, making refreshed tables byte-identical across thread
+    // counts, not just bag-equal.
+    let sd = sd.canonicalized();
+    let source = match &step.source {
+        DeltaSource::Direct => RecomputeSource::Base,
+        DeltaSource::FromParent(eq) => RecomputeSource::Parent(eq),
+    };
+    let (lock, _) = tables
+        .get(step.view.as_str())
+        .expect("level tables include every step in the level");
+    let mut table = match lock.try_lock() {
+        Ok(guard) => guard,
+        Err(TryLockError::WouldBlock) => {
+            m.lock_waits += 1;
+            let wait = Instant::now();
+            let guard = lock.lock().expect("refresh table lock poisoned");
+            m.lock_wait_us += wait.elapsed().as_micros() as u64;
+            guard
+        }
+        Err(TryLockError::Poisoned(_)) => {
+            return Err(CoreError::Maintenance(format!(
+                "refresh lock poisoned for `{}`",
+                step.view
+            )))
+        }
+    };
+    let planned = plan_refresh_ops(catalog, &table, view, &sd, opts, source, &mut m)?;
+    let stats = apply_refresh_ops(&mut table, planned)?;
+    Ok(RefreshOutcome {
+        stats,
+        time: start.elapsed(),
+        metrics: m,
+    })
+}
+
+/// Puts a level's tables back into the catalog, in the level's step order.
+/// Infallible in practice (the names were just taken); errors only if a
+/// name was re-registered concurrently, which the `&mut Catalog` receiver
+/// rules out.
+fn restore_level_tables(
+    catalog: &mut Catalog,
+    plan: &MaintenancePlan,
+    step_idxs: &[usize],
+    tables: &mut HashMap<&str, (Mutex<Table>, TableRole)>,
+) -> CoreResult<()> {
+    for &i in step_idxs {
+        if let Some((lock, role)) = tables.remove(plan.steps[i].view.as_str()) {
+            let table = lock.into_inner().expect("refresh table lock poisoned");
+            catalog.restore_table(table, role)?;
+        }
+    }
+    Ok(())
+}
+
+/// The parallel refresh executor (the batch-window half of §4): levels the
+/// plan with [`plan_levels`] and refreshes each level's views concurrently
+/// on up to `threads` scoped worker threads.
+///
+/// Lock ordering: each level's summary tables are *removed* from the
+/// catalog and wrapped in per-table mutexes before any worker starts, so a
+/// worker can only ever touch its own step's table; everything still in
+/// the catalog — base tables, dimensions, and the already-refreshed
+/// summary tables of earlier levels — is a shared read-only snapshot for
+/// the level's duration. Each worker takes exactly one lock and holds no
+/// other, so no lock-order cycle is possible.
+///
+/// Dependency ordering: a `FromParent` step recomputes threatened MIN/MAX
+/// groups from its *parent's* summary table ([`RecomputeSource::Parent`]),
+/// which is only sound against a fully-refreshed parent — exactly what the
+/// level barrier guarantees, since the parent sits one level earlier.
+/// Insertions-only batches never recompute, so the plan collapses into a
+/// single all-parallel level.
+///
+/// Determinism: summary-deltas are canonicalized before planning and
+/// outcomes are merged strictly in plan order, so the op sequence per
+/// table — and therefore the refreshed tables' byte layout — is identical
+/// for *any* thread count, and reports/errors are identical run to run.
+pub fn refresh_plan_leveled(
+    catalog: &mut Catalog,
+    views: &[AugmentedView],
+    plan: &MaintenancePlan,
+    deltas: &HashMap<String, Relation>,
+    opts: &RefreshOptions,
+    threads: usize,
+) -> CoreResult<LeveledRefresh> {
+    let by_name: HashMap<&str, &AugmentedView> = views
+        .iter()
+        .map(|v| (v.def.name.as_str(), v))
+        .collect();
+    // Leveling also validates plan ordering, even when we then flatten.
+    let mut levels = plan_levels(plan)?;
+    if opts.insertions_only && levels.len() > 1 {
+        levels = vec![(0..plan.len()).collect()];
+    }
+    let threads = threads.max(1);
+
+    let mut report_slots: Vec<Option<RefreshStepReport>> = Vec::new();
+    report_slots.resize_with(plan.len(), || None);
+    let mut level_reports: Vec<LevelReport> = Vec::with_capacity(levels.len());
+
+    for (lvl, step_idxs) in levels.iter().enumerate() {
+        let level_start = Instant::now();
+        let concurrent = threads.min(step_idxs.len());
+
+        let mut tables: HashMap<&str, (Mutex<Table>, TableRole)> =
+            HashMap::with_capacity(step_idxs.len());
+        for &i in step_idxs {
+            let name = plan.steps[i].view.as_str();
+            match catalog.take_table(name) {
+                Ok((t, role)) => {
+                    tables.insert(name, (Mutex::new(t), role));
+                }
+                Err(e) => {
+                    restore_level_tables(catalog, plan, step_idxs, &mut tables)?;
+                    return Err(e.into());
+                }
+            }
+        }
+
+        let mut outcomes: Vec<(usize, CoreResult<RefreshOutcome>)> =
+            Vec::with_capacity(step_idxs.len());
+        if concurrent <= 1 {
+            for &i in step_idxs {
+                outcomes.push((
+                    i,
+                    run_refresh_step(catalog, &tables, &by_name, deltas, &plan.steps[i], opts),
+                ));
+            }
+        } else {
+            let chunk = step_idxs.len().div_ceil(concurrent);
+            let shared_catalog: &Catalog = catalog;
+            let shared_tables = &tables;
+            let shared_names = &by_name;
+            let results: Vec<Vec<(usize, CoreResult<RefreshOutcome>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = step_idxs
+                        .chunks(chunk)
+                        .map(|idxs| {
+                            scope.spawn(move || {
+                                idxs.iter()
+                                    .map(|&i| {
+                                        (
+                                            i,
+                                            run_refresh_step(
+                                                shared_catalog,
+                                                shared_tables,
+                                                shared_names,
+                                                deltas,
+                                                &plan.steps[i],
+                                                opts,
+                                            ),
+                                        )
+                                    })
+                                    .collect()
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("refresh worker panicked"))
+                        .collect()
+                });
+            outcomes.extend(results.into_iter().flatten());
+        }
+
+        // Put every table back before surfacing any step error, so the
+        // catalog is structurally intact even on failure.
+        restore_level_tables(catalog, plan, step_idxs, &mut tables)?;
+
+        // Join point: merge in plan order regardless of completion order.
+        outcomes.sort_by_key(|(i, _)| *i);
+        let declined = threads > 1 && concurrent <= 1;
+        for (i, outcome) in outcomes {
+            let mut outcome = outcome?;
+            if declined {
+                // Parallelism was requested but this level had a single
+                // view — no across-view work to split (mirrors propagate's
+                // `par_fallbacks`).
+                outcome.metrics.refresh_par_fallbacks += 1;
+            }
+            report_slots[i] = Some(RefreshStepReport {
+                view: plan.steps[i].view.clone(),
+                stats: outcome.stats,
+                time: outcome.time,
+                metrics: outcome.metrics,
+            });
+        }
+        level_reports.push(LevelReport {
+            level: lvl,
+            views: step_idxs
+                .iter()
+                .map(|&i| plan.steps[i].view.clone())
+                .collect(),
+            time: level_start.elapsed(),
+        });
+    }
+    let reports: Vec<RefreshStepReport> = report_slots
+        .into_iter()
+        .map(|r| r.expect("every plan step refreshed exactly once"))
+        .collect();
+    Ok((reports, level_reports))
 }
 
 #[cfg(test)]

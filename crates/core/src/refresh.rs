@@ -25,9 +25,10 @@
 
 use std::collections::HashMap;
 
+use cubedelta_lattice::{derive_child, EdgeQuery};
 use cubedelta_obs::ExecutionMetrics;
 use cubedelta_query::{AggFunc, AggState, Relation};
-use cubedelta_storage::{Catalog, Row, RowId, Value};
+use cubedelta_storage::{Catalog, Row, RowId, Table, Value};
 use cubedelta_view::{joined_schema, AugmentedView};
 
 use crate::error::{CoreError, CoreResult};
@@ -65,10 +66,34 @@ impl RefreshStats {
     }
 }
 
-enum Op {
+pub(crate) enum Op {
     Insert(Row),
     Delete(RowId),
     Update(RowId, Row),
+}
+
+/// Where Figure 7's MIN/MAX recomputation reads fresh aggregates from.
+#[derive(Debug, Clone, Copy)]
+pub enum RecomputeSource<'a> {
+    /// Stream the (already-updated) base fact table — always valid.
+    Base,
+    /// Re-aggregate the *parent* view's summary table through the lattice
+    /// edge query (§5.5, Theorem 5.1). The parent is usually orders of
+    /// magnitude smaller than the fact table, but this is only sound once
+    /// the parent has been fully refreshed — the leveled refresh scheduler
+    /// guarantees that with a barrier between lattice levels.
+    Parent(&'a EdgeQuery),
+}
+
+/// The outcome of [`plan_refresh_ops`]: the storage operations to apply
+/// plus the Figure-7 action counts. Planning is read-only; the ops are
+/// applied separately with [`apply_refresh_ops`], which lets the parallel
+/// refresh executor plan against a shared catalog snapshot and apply under
+/// a per-table lock.
+pub struct PlannedRefresh {
+    pub(crate) ops: Vec<Op>,
+    /// Action counts for the planned operations.
+    pub stats: RefreshStats,
 }
 
 /// What a matched (summary row, delta row) pair calls for.
@@ -208,6 +233,28 @@ pub fn refresh_metered(
     opts: &RefreshOptions,
     m: &mut ExecutionMetrics,
 ) -> CoreResult<RefreshStats> {
+    let planned = {
+        let table = catalog.table(&view.def.name)?;
+        plan_refresh_ops(catalog, table, view, sd, opts, RecomputeSource::Base, m)?
+    };
+    apply_refresh_ops(catalog.table_mut(&view.def.name)?, planned)
+}
+
+/// The read-only half of [`refresh`]: probes the summary table's unique
+/// index for every summary-delta tuple, runs Figure 7's per-tuple logic,
+/// and batches recomputation for threatened MIN/MAX groups — but mutates
+/// nothing. `table` is the view's summary table, passed separately from
+/// the catalog so the parallel refresh executor can hold it behind a lock
+/// while the catalog stays a shared snapshot.
+pub fn plan_refresh_ops(
+    catalog: &Catalog,
+    table: &Table,
+    view: &AugmentedView,
+    sd: &Relation,
+    opts: &RefreshOptions,
+    source: RecomputeSource<'_>,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<PlannedRefresh> {
     let mut stats = RefreshStats::default();
     let k = view.key_width();
     let cs = view.count_star_col();
@@ -219,47 +266,44 @@ pub fn refresh_metered(
     m.rows_scanned += sd.len() as u64;
     m.groups_touched += sd.len() as u64;
 
-    {
-        let table = catalog.table(&view.def.name)?;
-        let index = table.unique_index().ok_or_else(|| {
-            CoreError::Maintenance(format!(
-                "summary table `{}` lacks its group-by unique index",
-                view.def.name
-            ))
-        })?;
+    let index = table.unique_index().ok_or_else(|| {
+        CoreError::Maintenance(format!(
+            "summary table `{}` lacks its group-by unique index",
+            view.def.name
+        ))
+    })?;
 
-        for td in &sd.rows {
-            let key = Row(td.0[..k].to_vec());
-            let sd_count = int_of(&td[cs], "sd COUNT(*)")?;
-            match index.probe(&key, m) {
-                None => {
-                    if sd_count == 0 {
-                        stats.skipped += 1;
-                    } else if sd_count < 0 {
-                        return Err(CoreError::Maintenance(format!(
-                            "deletion from non-existent group {key} in `{}`",
-                            view.def.name
-                        )));
-                    } else {
-                        ops.push(Op::Insert(td.clone()));
-                        stats.inserted += 1;
-                    }
+    for td in &sd.rows {
+        let key = Row(td.0[..k].to_vec());
+        let sd_count = int_of(&td[cs], "sd COUNT(*)")?;
+        match index.probe(&key, m) {
+            None => {
+                if sd_count == 0 {
+                    stats.skipped += 1;
+                } else if sd_count < 0 {
+                    return Err(CoreError::Maintenance(format!(
+                        "deletion from non-existent group {key} in `{}`",
+                        view.def.name
+                    )));
+                } else {
+                    ops.push(Op::Insert(td.clone()));
+                    stats.inserted += 1;
                 }
-                Some(rid) => {
-                    let t = table.get(rid).expect("indexed row exists");
-                    match decide(view, t, td, opts)? {
-                        MatchDecision::Delete => {
-                            ops.push(Op::Delete(rid));
-                            stats.deleted += 1;
-                        }
-                        MatchDecision::Recompute => {
-                            recompute_keys.push((key, rid));
-                            stats.recomputed += 1;
-                        }
-                        MatchDecision::Update(row) => {
-                            ops.push(Op::Update(rid, row));
-                            stats.updated += 1;
-                        }
+            }
+            Some(rid) => {
+                let t = table.get(rid).expect("indexed row exists");
+                match decide(view, t, td, opts)? {
+                    MatchDecision::Delete => {
+                        ops.push(Op::Delete(rid));
+                        stats.deleted += 1;
+                    }
+                    MatchDecision::Recompute => {
+                        recompute_keys.push((key, rid));
+                        stats.recomputed += 1;
+                    }
+                    MatchDecision::Update(row) => {
+                        ops.push(Op::Update(rid, row));
+                        stats.updated += 1;
                     }
                 }
             }
@@ -268,12 +312,25 @@ pub fn refresh_metered(
 
     // Batch recomputation for threatened MIN/MAX groups.
     if !recompute_keys.is_empty() {
-        ops.extend(recompute_ops(catalog, view, recompute_keys, m)?);
+        match source {
+            RecomputeSource::Base => {
+                ops.extend(recompute_ops(catalog, view, recompute_keys, m)?);
+            }
+            RecomputeSource::Parent(eq) => {
+                ops.extend(recompute_ops_from_parent(catalog, view, eq, recompute_keys, m)?);
+            }
+        }
     }
 
-    // Apply all operations.
-    let table = catalog.table_mut(&view.def.name)?;
-    for op in ops {
+    Ok(PlannedRefresh { ops, stats })
+}
+
+/// The write half: applies a planned op sequence to the summary table.
+/// Given the same op sequence, the slotted table's layout (including slot
+/// reuse) is deterministic — this is what makes parallel refresh
+/// byte-identical across thread counts once deltas are canonicalized.
+pub fn apply_refresh_ops(table: &mut Table, planned: PlannedRefresh) -> CoreResult<RefreshStats> {
+    for op in planned.ops {
         match op {
             Op::Insert(r) => {
                 table.insert(r)?;
@@ -286,8 +343,7 @@ pub fn refresh_metered(
             }
         }
     }
-
-    Ok(stats)
+    Ok(planned.stats)
 }
 
 
@@ -548,6 +604,58 @@ fn recompute_ops(
                 row.push(s.finalize());
             }
             ops.push(Op::Update(rid, Row(row)));
+        }
+    }
+    Ok(ops)
+}
+
+/// Figure 7's recomputation path through the D-lattice (§5.5): instead of
+/// streaming the fact table, re-aggregate the *parent view's* refreshed
+/// summary table through the lattice edge query. Theorem 5.1 makes the
+/// derived child rows exactly the child's recomputed contents, so the
+/// fresh aggregates for every threatened group can be read off the
+/// (much smaller) derived relation in one pass.
+///
+/// Soundness requires the parent's summary table to already hold its
+/// post-refresh state; callers (the leveled refresh scheduler) enforce
+/// that ordering.
+fn recompute_ops_from_parent(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    eq: &EdgeQuery,
+    recompute_keys: Vec<(Row, RowId)>,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<Vec<Op>> {
+    let k = view.key_width();
+    let cs = view.count_star_col();
+    let parent = catalog.table(&eq.parent)?;
+    m.rows_scanned += parent.len() as u64;
+    let derived = derive_child(catalog, &Relation::from_table(parent), eq)?;
+    m.rows_emitted += derived.len() as u64;
+
+    // Derived rows share the child summary schema: key prefix, then
+    // aggregates. Index them by group key for the threatened lookups.
+    let fresh: HashMap<Row, &Row> = derived
+        .rows
+        .iter()
+        .map(|r| (Row(r.0[..k].to_vec()), r))
+        .collect();
+    m.hash_build_rows += fresh.len() as u64;
+
+    let mut ops: Vec<Op> = Vec::with_capacity(recompute_keys.len());
+    for (key, rid) in recompute_keys {
+        m.hash_probes += 1;
+        match fresh.get(&key) {
+            // The group vanished from the parent (and hence the base).
+            None => ops.push(Op::Delete(rid)),
+            Some(r) => {
+                let count_star = int_of(&r[cs], "derived COUNT(*)")?;
+                if count_star == 0 {
+                    ops.push(Op::Delete(rid));
+                } else {
+                    ops.push(Op::Update(rid, (*r).clone()));
+                }
+            }
         }
     }
     Ok(ops)

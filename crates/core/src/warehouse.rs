@@ -12,24 +12,26 @@ use cubedelta_view::{augment, install_summary_table, AugmentedView, SummaryViewD
 use crate::baseline::{rematerialize_direct, rematerialize_with_lattice};
 use crate::consistency::check_view_consistency;
 use crate::error::{CoreError, CoreResult};
-use crate::multi::{propagate_plan_leveled, LevelReport};
+use crate::multi::{propagate_plan_leveled, refresh_plan_leveled, LevelReport};
 use crate::propagate::PropagateOptions;
-use crate::refresh::{refresh_metered, RefreshOptions, RefreshStats};
+use crate::refresh::{RefreshOptions, RefreshStats};
 
 /// Environment variable that overrides the maintenance thread count.
 pub const THREADS_ENV_VAR: &str = "CUBEDELTA_THREADS";
 
 /// How a warehouse schedules maintenance work.
 ///
-/// Currently one knob: the number of worker threads for the propagate
-/// phase. Levels of the propagation plan run their independent steps
-/// concurrently (§4.1.2 — distributive aggregates partition cleanly), and
-/// any thread budget left over within a level goes to hash-partitioned
-/// aggregation inside each step. `threads = 1` is exactly the sequential
-/// executor.
+/// Currently one knob: the number of worker threads for both maintenance
+/// phases. During propagate, levels of the plan run their independent
+/// steps concurrently (§4.1.2 — distributive aggregates partition
+/// cleanly), with any leftover thread budget going to hash-partitioned
+/// aggregation inside each step. During refresh — the batch window — the
+/// same levels refresh disjoint summary tables concurrently under
+/// per-table locks. `threads = 1` is exactly the sequential executor, and
+/// refreshed tables are byte-identical for any thread count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MaintenancePolicy {
-    /// Worker threads for the propagate phase (minimum 1).
+    /// Worker threads for the propagate and refresh phases (minimum 1).
     pub threads: usize,
 }
 
@@ -153,12 +155,23 @@ pub struct MaintenanceReport {
     /// Per-level propagate timings: each level groups plan steps whose
     /// parents finished in earlier levels, so its steps ran concurrently.
     pub levels: Vec<LevelReport>,
+    /// Per-level refresh timings — the batch-window counterpart of
+    /// `levels`; empty for the rematerialize baselines.
+    pub refresh_levels: Vec<LevelReport>,
 }
 
 impl MaintenanceReport {
     /// Total maintenance time (propagate + apply + refresh).
     pub fn total_time(&self) -> Duration {
         self.propagate_time + self.apply_base_time + self.refresh_time
+    }
+
+    /// The serialized-refresh estimate: the sum of every view's individual
+    /// refresh time. At `threads = 1` this equals `refresh_time` (minus
+    /// scheduling overhead); at higher thread counts the gap between the
+    /// two is the batch-window time parallelism saved.
+    pub fn refresh_1thread_time(&self) -> Duration {
+        self.per_view.iter().map(|v| v.refresh_time).sum()
     }
 
     /// The report for one view.
@@ -173,23 +186,11 @@ impl MaintenanceReport {
             ("propagate_us", duration_us(self.propagate_time)),
             ("apply_base_us", duration_us(self.apply_base_time)),
             ("refresh_us", duration_us(self.refresh_time)),
+            ("refresh_1thread_us", duration_us(self.refresh_1thread_time())),
             ("total_us", duration_us(self.total_time())),
             ("threads", JsonValue::from(self.threads)),
-            (
-                "levels",
-                JsonValue::array(self.levels.iter().map(|l| {
-                    JsonValue::object([
-                        ("level", JsonValue::from(l.level)),
-                        (
-                            "views",
-                            JsonValue::array(
-                                l.views.iter().map(|v| JsonValue::from(v.clone())),
-                            ),
-                        ),
-                        ("time_us", duration_us(l.time)),
-                    ])
-                })),
-            ),
+            ("levels", levels_json(&self.levels)),
+            ("refresh_levels", levels_json(&self.refresh_levels)),
             ("metrics", self.metrics.to_json()),
             (
                 "per_view",
@@ -199,14 +200,29 @@ impl MaintenanceReport {
     }
 }
 
+/// Renders a level list as JSON (shared by propagate and refresh levels).
+fn levels_json(levels: &[LevelReport]) -> JsonValue {
+    JsonValue::array(levels.iter().map(|l| {
+        JsonValue::object([
+            ("level", JsonValue::from(l.level)),
+            (
+                "views",
+                JsonValue::array(l.views.iter().map(|v| JsonValue::from(v.clone()))),
+            ),
+            ("time_us", duration_us(l.time)),
+        ])
+    }))
+}
+
 impl std::fmt::Display for MaintenanceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "propagate {:?} | apply {:?} | refresh {:?} | total {:?} | threads {}",
+            "propagate {:?} | apply {:?} | refresh {:?} (serialized {:?}) | total {:?} | threads {}",
             self.propagate_time,
             self.apply_base_time,
             self.refresh_time,
+            self.refresh_1thread_time(),
             self.total_time(),
             self.threads
         )?;
@@ -217,6 +233,15 @@ impl std::fmt::Display for MaintenanceReport {
             writeln!(
                 f,
                 "  level {}: [{}] {:?}",
+                l.level,
+                l.views.join(", "),
+                l.time
+            )?;
+        }
+        for l in &self.refresh_levels {
+            writeln!(
+                f,
+                "  refresh level {}: [{}] {:?}",
                 l.level,
                 l.views.join(", "),
                 l.time
@@ -497,49 +522,46 @@ impl Warehouse {
         }
         let apply_base_time = t1.elapsed();
 
-        // --- refresh ------------------------------------------------------
+        // --- refresh (the batch window) -----------------------------------
         let t2 = Instant::now();
         let ropts = RefreshOptions { insertions_only };
-        let mut per_view = Vec::with_capacity(self.views.len());
-        let mut cycle_metrics = ExecutionMetrics::new();
-        {
+        let (refresh_reports, refresh_levels) = {
             let _span = trace::span(|| "refresh".to_string());
-            for (step, prop) in plan.steps.iter().zip(&step_reports) {
-                let view = self
-                    .views
-                    .iter()
-                    .find(|v| v.def.name == step.view)
-                    .ok_or_else(|| {
-                        CoreError::Maintenance(format!(
-                            "plan step for unknown view `{}`",
-                            step.view
-                        ))
-                    })?
-                    .clone();
-                let sd = &deltas[&step.view];
-                let _view_span = trace::span(|| format!("refresh:{}", step.view));
-                let rt0 = Instant::now();
-                let mut vm = prop.metrics;
-                let stats = refresh_metered(&mut self.catalog, &view, sd, &ropts, &mut vm)?;
-                let view_refresh_time = rt0.elapsed();
-                cycle_metrics.merge(&vm);
-                per_view.push(ViewReport {
-                    view: step.view.clone(),
-                    source: match &step.source {
-                        DeltaSource::Direct => "changes".to_string(),
-                        DeltaSource::FromParent(eq) => eq.parent.clone(),
-                    },
-                    delta_rows: sd.len(),
-                    refresh: stats,
-                    propagate_time: prop.time,
-                    refresh_time: view_refresh_time,
-                    metrics: vm,
-                });
-            }
-        }
+            refresh_plan_leveled(
+                &mut self.catalog,
+                &self.views,
+                plan,
+                &deltas,
+                &ropts,
+                threads,
+            )?
+        };
         let refresh_time = t2.elapsed();
 
+        let mut per_view = Vec::with_capacity(plan.len());
+        let mut cycle_metrics = ExecutionMetrics::new();
+        for ((step, prop), refr) in plan.steps.iter().zip(&step_reports).zip(&refresh_reports) {
+            let mut vm = prop.metrics;
+            vm.merge(&refr.metrics);
+            cycle_metrics.merge(&vm);
+            per_view.push(ViewReport {
+                view: step.view.clone(),
+                source: match &step.source {
+                    DeltaSource::Direct => "changes".to_string(),
+                    DeltaSource::FromParent(eq) => eq.parent.clone(),
+                },
+                delta_rows: deltas[&step.view].len(),
+                refresh: refr.stats,
+                propagate_time: prop.time,
+                refresh_time: refr.time,
+                metrics: vm,
+            });
+        }
+
         self.registry.counter("maintain.cycles").inc();
+        self.registry
+            .counter("maintain.refresh_par_fallbacks")
+            .add(cycle_metrics.refresh_par_fallbacks);
         self.registry
             .histogram("maintain.propagate_us")
             .record(propagate_time);
@@ -558,6 +580,7 @@ impl Warehouse {
             metrics: cycle_metrics,
             threads,
             levels,
+            refresh_levels,
         })
     }
 
@@ -634,6 +657,7 @@ impl Warehouse {
             metrics: ExecutionMetrics::new(),
             threads: 1,
             levels: Vec::new(),
+            refresh_levels: Vec::new(),
         })
     }
 
@@ -866,6 +890,8 @@ mod tests {
             "\"propagate_us\"",
             "\"apply_base_us\"",
             "\"refresh_us\"",
+            "\"refresh_1thread_us\"",
+            "\"refresh_levels\"",
             "\"total_us\"",
             "\"metrics\"",
             "\"per_view\"",
@@ -957,6 +983,12 @@ mod tests {
             assert_eq!(l.level, i);
         }
         assert!(report.levels.len() > 1, "lattice plan should have depth");
+        // Refresh runs the same plan, so its levels cover the steps too.
+        // (This batch is insertions-only, so the refresh scheduler may
+        // flatten the plan into a single all-parallel level.)
+        let refresh_leveled: usize =
+            report.refresh_levels.iter().map(|l| l.views.len()).sum();
+        assert_eq!(refresh_leveled, report.per_view.len());
         let rendered = report.to_json().render();
         assert!(rendered.contains("\"threads\":2"));
         assert!(rendered.contains("\"levels\""));

@@ -37,6 +37,17 @@ pub struct ExecutionMetrics {
     /// single-thread run books zero fallbacks because parallelism was never
     /// requested.
     pub par_fallbacks: u64,
+    /// Refresh-scheduler levels that declined parallelism (threads were
+    /// requested but the level held a single view, so there was no
+    /// across-view work to split). Scheduling-dependent, like
+    /// `par_fallbacks`.
+    pub refresh_par_fallbacks: u64,
+    /// Per-table lock acquisitions that found the lock already held and
+    /// had to block. Scheduling-dependent.
+    pub lock_waits: u64,
+    /// Total wall-clock microseconds spent blocked on per-table locks.
+    /// Scheduling-dependent.
+    pub lock_wait_us: u64,
 }
 
 impl ExecutionMetrics {
@@ -57,10 +68,13 @@ impl ExecutionMetrics {
         self.comparisons += other.comparisons;
         self.delta_rows += other.delta_rows;
         self.par_fallbacks += other.par_fallbacks;
+        self.refresh_par_fallbacks += other.refresh_par_fallbacks;
+        self.lock_waits += other.lock_waits;
+        self.lock_wait_us += other.lock_wait_us;
     }
 
     /// `(name, value)` pairs in a fixed order, for serialization.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 10] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 13] {
         [
             ("rows_scanned", self.rows_scanned),
             ("rows_emitted", self.rows_emitted),
@@ -72,13 +86,17 @@ impl ExecutionMetrics {
             ("comparisons", self.comparisons),
             ("delta_rows", self.delta_rows),
             ("par_fallbacks", self.par_fallbacks),
+            ("refresh_par_fallbacks", self.refresh_par_fallbacks),
+            ("lock_waits", self.lock_waits),
+            ("lock_wait_us", self.lock_wait_us),
         ]
     }
 
     /// The scheduling-independent *work* counters — everything except
-    /// `par_fallbacks`. Two runs of the same maintenance over different
-    /// thread counts must agree on these (and the test suites assert it);
-    /// fallback counts legitimately differ with the schedule.
+    /// `par_fallbacks`, `refresh_par_fallbacks`, and the lock-wait pair.
+    /// Two runs of the same maintenance over different thread counts must
+    /// agree on these (and the test suites assert it); fallback and
+    /// lock-contention counts legitimately differ with the schedule.
     pub fn work_pairs(&self) -> [(&'static str, u64); 9] {
         [
             ("rows_scanned", self.rows_scanned),
@@ -160,6 +178,9 @@ mod tests {
             &mut b.comparisons,
             &mut b.delta_rows,
             &mut b.par_fallbacks,
+            &mut b.refresh_par_fallbacks,
+            &mut b.lock_waits,
+            &mut b.lock_wait_us,
         ]
         .into_iter()
         .enumerate()
@@ -171,7 +192,7 @@ mod tests {
         for (i, (_, v)) in a.as_pairs().iter().enumerate() {
             assert_eq!(*v, 2 * (i as u64 + 1));
         }
-        assert_eq!(a.distinct_nonzero(), 10);
+        assert_eq!(a.distinct_nonzero(), 13);
     }
 
     #[test]
@@ -179,13 +200,18 @@ mod tests {
         let m = ExecutionMetrics {
             rows_scanned: 3,
             par_fallbacks: 7,
+            refresh_par_fallbacks: 5,
+            lock_waits: 2,
+            lock_wait_us: 90,
             ..Default::default()
         };
-        assert!(m.work_pairs().iter().all(|(n, _)| *n != "par_fallbacks"));
+        for scheduling in ["par_fallbacks", "refresh_par_fallbacks", "lock_waits", "lock_wait_us"] {
+            assert!(m.work_pairs().iter().all(|(n, _)| *n != scheduling));
+            // But the full pair set and JSON carry them.
+            assert!(m.as_pairs().iter().any(|(n, _)| *n == scheduling));
+            assert!(m.to_json().render().contains(&format!("\"{scheduling}\":")));
+        }
         assert_eq!(m.work_pairs()[0], ("rows_scanned", 3));
-        // But the full pair set and JSON carry it.
-        assert!(m.as_pairs().contains(&("par_fallbacks", 7)));
-        assert!(m.to_json().render().contains("\"par_fallbacks\":7"));
     }
 
     #[test]

@@ -65,6 +65,18 @@ impl Relation {
         v.sort();
         v
     }
+
+    /// A copy of this relation with its rows in canonical (sorted) order.
+    ///
+    /// Parallel operators are free to emit rows in a schedule-dependent
+    /// order; consumers that must behave identically regardless of how a
+    /// relation was produced (the refresh apply path) canonicalize first.
+    pub fn canonicalized(&self) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            rows: self.sorted_rows(),
+        }
+    }
 }
 
 impl fmt::Display for Relation {
@@ -97,6 +109,15 @@ mod tests {
         assert_eq!(t.len(), 2);
         let back = Relation::from_table(&t);
         assert_eq!(back.sorted_rows(), rel.sorted_rows());
+    }
+
+    #[test]
+    fn canonicalized_is_order_insensitive() {
+        let a = Relation::new(schema(), vec![row![2i64, "y"], row![1i64, "x"]]);
+        let b = Relation::new(schema(), vec![row![1i64, "x"], row![2i64, "y"]]);
+        assert_ne!(a.rows, b.rows);
+        assert_eq!(a.canonicalized(), b.canonicalized());
+        assert_eq!(a.canonicalized().rows, a.sorted_rows());
     }
 
     #[test]

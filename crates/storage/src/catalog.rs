@@ -152,6 +152,26 @@ impl Catalog {
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
+    /// Removes a table together with its recorded role, handing both to the
+    /// caller. This is how the parallel refresh executor gives each worker
+    /// exclusive ownership of its summary table while the rest of the
+    /// catalog stays readable; pair with [`Catalog::restore_table`].
+    pub fn take_table(&mut self, name: &str) -> StorageResult<(Table, TableRole)> {
+        let role = self.roles.get(name).copied().unwrap_or(TableRole::Other);
+        let table = self
+            .tables
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        self.roles.remove(name);
+        Ok((table, role))
+    }
+
+    /// Puts back a table taken with [`Catalog::take_table`], restoring its
+    /// role. Errors if the name was re-registered in the meantime.
+    pub fn restore_table(&mut self, table: Table, role: TableRole) -> StorageResult<()> {
+        self.register_table(table, role)
+    }
+
     /// Shared access to a table.
     pub fn table(&self, name: &str) -> StorageResult<&Table> {
         self.tables
@@ -353,6 +373,24 @@ mod tests {
         let cat = retail_catalog();
         assert_eq!(cat.dimension_owning("pos", "city"), Some("stores"));
         assert_eq!(cat.dimension_owning("pos", "category"), None);
+    }
+
+    #[test]
+    fn take_and_restore_round_trips() {
+        let mut cat = retail_catalog();
+        let (t, role) = cat.take_table("stores").unwrap();
+        assert_eq!(t.name(), "stores");
+        assert_eq!(role, TableRole::Dimension);
+        assert!(!cat.contains("stores"));
+        assert!(cat.role("stores").is_none());
+        assert!(cat.take_table("stores").is_err());
+        cat.restore_table(t, role).unwrap();
+        assert!(cat.contains("stores"));
+        assert_eq!(cat.role("stores"), Some(TableRole::Dimension));
+        // Restoring over an existing name is rejected.
+        let (t2, r2) = cat.take_table("pos").unwrap();
+        cat.restore_table(t2.clone(), r2).unwrap();
+        assert!(cat.restore_table(t2, r2).is_err());
     }
 
     #[test]

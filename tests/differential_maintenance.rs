@@ -7,9 +7,16 @@
 //! batches each cycle:
 //!
 //! * `inc`   — incremental maintenance, sequential (1 thread)
-//! * `par`   — incremental maintenance, parallel scheduler (4 threads)
+//! * `par`   — incremental maintenance, parallel propagate **and refresh**
+//!   schedulers (4 threads)
 //! * `base`  — the rematerialize-from-scratch baseline (direct recompute,
 //!   no lattice), i.e. the ground truth
+//!
+//! Beyond bag equality with the baseline, every cycle also asserts the
+//! 1-thread and 4-thread warehouses are *byte-identical* (same physical
+//! row order in every summary table) and that refresh took the same
+//! Figure-7 actions per view — the parallel batch window is a pure
+//! scheduling change.
 //!
 //! Batches mix fact insertions/deletions (update-generating and
 //! insertion-heavy mixes) with periodic dimension changes (an item moved to
@@ -122,6 +129,25 @@ fn run_differential(seed: u64) {
 
         assert_views_match(&inc, &base, "incremental vs full recompute", cycle);
         assert_views_match(&par, &base, "parallel vs full recompute", cycle);
+        // Parallel refresh canonicalizes each summary-delta before applying,
+        // so even the physical layout matches the 1-thread run byte for
+        // byte, and each view's refresh took identical Figure-7 actions.
+        for v in inc.views() {
+            let name = &v.def.name;
+            assert_eq!(
+                par.catalog().table(name).unwrap().to_rows(),
+                inc.catalog().table(name).unwrap().to_rows(),
+                "cycle {cycle}: {name} byte layout differs between 1 and 4 threads"
+            );
+        }
+        for (a, b) in inc_report.per_view.iter().zip(&par_report.per_view) {
+            assert_eq!(a.view, b.view, "cycle {cycle}: per-view order differs");
+            assert_eq!(
+                a.refresh, b.refresh,
+                "cycle {cycle}: {} refresh actions differ across schedules",
+                a.view
+            );
+        }
         // Base tables advanced identically, so the next cycle's deletions
         // (sampled from `inc`) apply cleanly everywhere.
         assert_eq!(
