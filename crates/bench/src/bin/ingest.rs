@@ -1,0 +1,210 @@
+//! One-shot harness for the async ingestion front-end
+//! ([`cubedelta_core::WarehouseService`]): sustained ingest throughput and
+//! staleness as the producer count scales.
+//!
+//! ```sh
+//! cargo run --release -p cubedelta-bench --bin ingest
+//! cargo run --release -p cubedelta-bench --bin ingest -- --quick
+//! ```
+//!
+//! For each producer count (1, 2, 4, 8) the harness starts a service over
+//! the §6 retail warehouse, races the producers through blocking `ingest`
+//! with insertion-generating deltas, then `flush`es and shuts down. It
+//! reports:
+//!
+//! * **throughput** — accepted rows per second of wall clock, from the
+//!   first `ingest` to the completed `flush` (so the denominator includes
+//!   every maintenance cycle the rows forced);
+//! * **staleness** — the `flush_latency_us` histogram: time from a batch's
+//!   first staged row to that batch's cycle completing, i.e. how old a
+//!   delta can get before a reader of the summary tables sees it;
+//! * queue pressure — sealed-batch count and producer `backpressure_waits`.
+//!
+//! Results are collected into `BENCH_ingest.json` (written to the working
+//! directory), the machine-readable companion to `EXPERIMENTS.md`. As with
+//! `BENCH_fig9.json`, `host_parallelism` records the cores the run really
+//! had and `scaling_valid` is `false` on hosts with too few cores for the
+//! producer counts to run concurrently — downstream readers must not treat
+//! flat throughput there as a regression.
+
+use std::time::{Duration, Instant};
+
+use cubedelta_bench::build_warehouse;
+use cubedelta_core::{BatchPolicy, MaintenancePolicy, WarehouseService};
+use cubedelta_obs::json::JsonValue;
+use cubedelta_workload::insertion_generating;
+
+const PRODUCER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct RunConfig {
+    pos_rows: usize,
+    /// Rows each producer ingests in total.
+    rows_per_producer: usize,
+    /// Rows per ingested delta.
+    delta_rows: usize,
+    policy: BatchPolicy,
+}
+
+fn run_point(cfg: &RunConfig, producers: usize) -> JsonValue {
+    let (mut wh, params) = build_warehouse(cfg.pos_rows);
+    // Pin the maintenance thread count so every point runs the same
+    // refresh schedule; the sweep varies only the producer side.
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(
+        MaintenancePolicy::from_env().threads.max(2),
+    ));
+    let svc = WarehouseService::start(wh, cfg.policy);
+
+    let deltas_per_producer = cfg.rows_per_producer.div_ceil(cfg.delta_rows);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let svc = &svc;
+            let params = &params;
+            scope.spawn(move || {
+                for i in 0..deltas_per_producer {
+                    let seed = (p * 1_000_000 + i) as u64;
+                    let delta = insertion_generating(params, cfg.delta_rows, 1, seed);
+                    svc.ingest(delta).expect("ingest");
+                }
+            });
+        }
+    });
+    svc.flush().expect("flush");
+    let elapsed = t0.elapsed();
+
+    let latency = svc.metrics().histogram("flush_latency_us").snapshot();
+    let backpressure_waits = svc.metrics().counter("backpressure_waits").get();
+    let report = svc.shutdown();
+    assert!(report.error.is_none(), "cycle failed: {:?}", report.error);
+    assert!(report.unapplied.is_empty());
+    assert_eq!(report.rows_applied, report.rows_ingested);
+
+    let rows = report.rows_applied;
+    let throughput = rows as f64 / elapsed.as_secs_f64();
+    println!(
+        "{:>10} {:>12} {:>14.0} {:>10} {:>14.1} {:>14} {:>14}",
+        producers,
+        rows,
+        throughput,
+        report.batches_sealed,
+        latency.mean_us() / 1_000.0,
+        latency.quantile_us(0.95) / 1_000,
+        backpressure_waits,
+    );
+
+    JsonValue::object([
+        ("producers", JsonValue::from(producers)),
+        ("rows_ingested", JsonValue::from(rows)),
+        ("cycles", JsonValue::from(report.cycles)),
+        ("batches_sealed", JsonValue::from(report.batches_sealed)),
+        ("elapsed_us", JsonValue::from(elapsed.as_micros() as u64)),
+        ("throughput_rows_per_s", JsonValue::from(throughput)),
+        ("staleness_mean_us", JsonValue::from(latency.mean_us())),
+        (
+            "staleness_p50_us",
+            JsonValue::from(latency.quantile_us(0.50)),
+        ),
+        (
+            "staleness_p95_us",
+            JsonValue::from(latency.quantile_us(0.95)),
+        ),
+        (
+            "staleness_max_us",
+            JsonValue::from(latency.quantile_us(1.0)),
+        ),
+        ("backpressure_waits", JsonValue::from(backpressure_waits)),
+    ])
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let cfg = if quick {
+        RunConfig {
+            pos_rows: 20_000,
+            rows_per_producer: 4_000,
+            delta_rows: 64,
+            policy: BatchPolicy {
+                max_rows: 1_024,
+                max_batches: 4,
+                flush_interval: Duration::from_millis(10),
+            },
+        }
+    } else {
+        RunConfig {
+            pos_rows: 100_000,
+            rows_per_producer: 20_000,
+            delta_rows: 64,
+            policy: BatchPolicy {
+                max_rows: 4_096,
+                max_batches: 4,
+                flush_interval: Duration::from_millis(25),
+            },
+        }
+    };
+
+    println!("== ingestion front-end: throughput & staleness vs producers ==");
+    println!(
+        "(pos = {}, {} rows/producer, {}-row deltas, max_rows = {}, flush = {:?})",
+        cfg.pos_rows,
+        cfg.rows_per_producer,
+        cfg.delta_rows,
+        cfg.policy.max_rows,
+        cfg.policy.flush_interval,
+    );
+    println!(
+        "{:>10} {:>12} {:>14} {:>10} {:>14} {:>14} {:>14}",
+        "producers",
+        "rows",
+        "rows/s",
+        "batches",
+        "stale-mean-ms",
+        "stale-p95-ms",
+        "bp-waits"
+    );
+
+    let points: Vec<JsonValue> = PRODUCER_COUNTS
+        .iter()
+        .map(|&p| run_point(&cfg, p))
+        .collect();
+
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let telemetry = JsonValue::object([
+        (
+            "benchmark",
+            JsonValue::from("ingest: async batched ingestion throughput & staleness"),
+        ),
+        (
+            "paper",
+            JsonValue::from(
+                "Maintenance of Data Cubes and Summary Tables in a Warehouse (SIGMOD 1997)",
+            ),
+        ),
+        ("quick", JsonValue::from(quick)),
+        ("pos_rows", JsonValue::from(cfg.pos_rows)),
+        ("rows_per_producer", JsonValue::from(cfg.rows_per_producer)),
+        ("delta_rows", JsonValue::from(cfg.delta_rows)),
+        ("batch_max_rows", JsonValue::from(cfg.policy.max_rows)),
+        ("batch_max_batches", JsonValue::from(cfg.policy.max_batches)),
+        (
+            "flush_interval_us",
+            JsonValue::from(cfg.policy.flush_interval.as_micros() as u64),
+        ),
+        (
+            "maintenance_threads",
+            JsonValue::from(MaintenancePolicy::from_env().threads.max(2)),
+        ),
+        ("host_parallelism", JsonValue::from(host_parallelism)),
+        // Producers + the worker time-slice on a small host; throughput
+        // there measures the scheduler, not the front-end.
+        (
+            "scaling_valid",
+            JsonValue::from(host_parallelism > PRODUCER_COUNTS[PRODUCER_COUNTS.len() - 1]),
+        ),
+        ("points", JsonValue::array(points)),
+    ]);
+    let out = "BENCH_ingest.json";
+    match std::fs::write(out, telemetry.render_pretty() + "\n") {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    }
+}

@@ -27,6 +27,14 @@ pub enum CoreError {
     /// A maintenance invariant was violated (e.g. negative COUNT(*), a plan
     /// step referencing a missing delta).
     Maintenance(String),
+    /// The ingestion queue is at capacity and the caller declined to block
+    /// (`try_ingest`). Retry later, or use the blocking `ingest`.
+    Backpressure,
+    /// The ingestion front-end refused the request: the service is shutting
+    /// down, or a previous maintenance cycle failed and the service is
+    /// holding its staged deltas for the operator (see
+    /// `ShutdownReport::unapplied`).
+    Ingest(String),
 }
 
 impl fmt::Display for CoreError {
@@ -38,6 +46,8 @@ impl fmt::Display for CoreError {
             CoreError::View(e) => write!(f, "view: {e}"),
             CoreError::Lattice(e) => write!(f, "lattice: {e}"),
             CoreError::Maintenance(m) => write!(f, "maintenance: {m}"),
+            CoreError::Backpressure => write!(f, "ingest: queue full (backpressure)"),
+            CoreError::Ingest(m) => write!(f, "ingest: {m}"),
         }
     }
 }

@@ -1,0 +1,757 @@
+//! Async, batched ingestion front-end.
+//!
+//! The paper's propagate/refresh split (§4) assumes deltas *accumulate*
+//! between refreshes: "source changes received during the day are applied
+//! in a nightly batch window". Until now that accumulation was the
+//! caller's problem — every maintenance cycle was a synchronous call on
+//! the caller's thread. [`WarehouseService`] supplies the missing layer:
+//!
+//! * many producer threads hand fact/dimension [`DeltaSet`]s to
+//!   [`WarehouseService::ingest`] (blocking under backpressure) or
+//!   [`WarehouseService::try_ingest`] (fails fast with
+//!   [`CoreError::Backpressure`]);
+//! * deltas are *staged* and coalesced per table into one pending
+//!   [`ChangeBatch`];
+//! * a [`BatchPolicy`] decides when the staged batch is *sealed* — by row
+//!   count (`max_rows`), by age (`flush_interval`), or on demand
+//!   ([`WarehouseService::flush`] / shutdown) — and handed to a background
+//!   maintenance worker that owns the [`Warehouse`] and runs
+//!   propagate + refresh for each sealed batch, in seal order;
+//! * the queue is bounded: at most `max_batches` sealed batches may wait
+//!   behind the in-flight cycle (plus the staging area), so producers
+//!   that outrun maintenance block instead of growing memory without
+//!   bound;
+//! * a failed cycle never silently drops deltas: the failing batch is
+//!   parked in [`ShutdownReport::unapplied`], the error becomes sticky
+//!   (subsequent `ingest` calls and `flush` surface it), and everything
+//!   still queued at shutdown is folded into `unapplied` too. Even a
+//!   *panicking* cycle (see `multi::failpoints`) is caught, keeping the
+//!   worker — and the warehouse it owns — recoverable.
+//!
+//! Determinism: the service applies sealed batches strictly in seal
+//! order, and each cycle's refreshed tables are byte-identical to a
+//! single-threaded run of the same batch (see `refresh_plan_leveled`), so
+//! replaying [`ShutdownReport::applied`] on a copy of the initial
+//! warehouse reproduces the final tables byte for byte — the invariant
+//! `tests/ingestion.rs` races N producers against.
+//!
+//! Observability: the service reports into the warehouse's
+//! [`MetricsRegistry`](cubedelta_obs::MetricsRegistry) — counters
+//! `ingest_rows`, `batches_sealed`, `backpressure_waits`, gauge
+//! `queue_depth` (pending rows: staged + sealed + in flight), histogram
+//! `flush_latency_us` (first staged row → batch applied, the staleness a
+//! reader of the summary tables observes).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cubedelta_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use cubedelta_storage::{ChangeBatch, DeltaSet};
+
+use crate::error::{CoreError, CoreResult};
+use crate::warehouse::{MaintainOptions, Warehouse};
+
+/// When the staged batch is sealed and handed to the maintenance worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Seal the staged batch once it holds this many rows. One oversized
+    /// delta is still accepted whole (a batch may exceed `max_rows` by the
+    /// final delta's size); the threshold gates *staging more*, not the
+    /// size of one delta.
+    pub max_rows: usize,
+    /// How many sealed batches may queue behind the in-flight cycle.
+    /// Together with the staging area this bounds pending rows at roughly
+    /// `max_rows × (max_batches + 2)`; past that, producers block
+    /// (`ingest`) or get [`CoreError::Backpressure`] (`try_ingest`).
+    pub max_batches: usize,
+    /// Seal a non-empty staged batch this long after its first row
+    /// arrived, even if `max_rows` was never reached — the freshness bound
+    /// for trickle traffic.
+    pub flush_interval: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_rows: 4096,
+            max_batches: 4,
+            flush_interval: Duration::from_millis(50),
+        }
+    }
+}
+
+impl BatchPolicy {
+    /// Clamps degenerate settings (zero rows/batches) up to 1.
+    fn normalized(self) -> Self {
+        BatchPolicy {
+            max_rows: self.max_rows.max(1),
+            max_batches: self.max_batches.max(1),
+            flush_interval: self.flush_interval,
+        }
+    }
+}
+
+/// A staged batch that has been sealed and waits for the worker.
+struct SealedBatch {
+    batch: ChangeBatch,
+    rows: usize,
+    /// When the batch's first row was staged — the start of its staleness
+    /// clock.
+    staged_at: Instant,
+}
+
+/// Registry handles the service reports through (cheap `Arc` clones of
+/// entries in the warehouse's own registry).
+struct Obs {
+    ingest_rows: Counter,
+    batches_sealed: Counter,
+    queue_depth: Gauge,
+    flush_latency: Histogram,
+    backpressure_waits: Counter,
+}
+
+/// Mutable queue state behind the service mutex.
+#[derive(Default)]
+struct QueueState {
+    staged: ChangeBatch,
+    staged_rows: usize,
+    staged_since: Option<Instant>,
+    sealed: VecDeque<SealedBatch>,
+    sealed_rows: usize,
+    in_flight_rows: usize,
+    shutdown: bool,
+    /// Sticky first failure; set once, never cleared.
+    error: Option<CoreError>,
+    /// Deltas from failed cycles (and, after shutdown, everything still
+    /// queued) — surfaced, never dropped.
+    unapplied: ChangeBatch,
+    /// Every successfully applied batch, in application order, for
+    /// deterministic replay.
+    applied: Vec<ChangeBatch>,
+    cycles: u64,
+    batches_sealed: u64,
+    rows_ingested: u64,
+    rows_applied: u64,
+}
+
+impl QueueState {
+    /// Rows not yet applied: staged + sealed + the in-flight cycle.
+    fn pending_rows(&self) -> usize {
+        self.staged_rows + self.sealed_rows + self.in_flight_rows
+    }
+}
+
+/// State shared between producers, the worker, and the service handle.
+struct Shared {
+    state: Mutex<QueueState>,
+    /// Signals the worker: new work staged/sealed, or shutdown.
+    work: Condvar,
+    /// Signals producers and flushers: a sealed slot freed, a cycle
+    /// finished, or the service failed/shut down.
+    room: Condvar,
+    policy: BatchPolicy,
+    opts: MaintainOptions,
+    obs: Obs,
+    registry: MetricsRegistry,
+}
+
+impl Shared {
+    /// Locks the queue state, recovering from poisoning (the state is
+    /// plain data and every writer restores its invariants before any
+    /// point that could panic).
+    fn lock(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Moves the staged batch into the sealed queue. Caller ensures the
+    /// staged batch is non-empty.
+    fn seal(&self, st: &mut QueueState) {
+        debug_assert!(st.staged_rows > 0);
+        let batch = std::mem::take(&mut st.staged);
+        let rows = std::mem::take(&mut st.staged_rows);
+        let staged_at = st
+            .staged_since
+            .take()
+            .expect("non-empty staged batch has a start time");
+        st.sealed.push_back(SealedBatch {
+            batch,
+            rows,
+            staged_at,
+        });
+        st.sealed_rows += rows;
+        st.batches_sealed += 1;
+        self.obs.batches_sealed.inc();
+    }
+
+    fn publish_depth(&self, st: &QueueState) {
+        self.obs.queue_depth.set(st.pending_rows() as i64);
+    }
+}
+
+/// Everything the service hands back on [`WarehouseService::shutdown`].
+pub struct ShutdownReport {
+    /// The warehouse, with every successfully applied batch maintained.
+    pub warehouse: Warehouse,
+    /// Maintenance cycles that completed successfully.
+    pub cycles: u64,
+    /// Batches sealed over the service's lifetime.
+    pub batches_sealed: u64,
+    /// Rows accepted by `ingest`/`try_ingest`.
+    pub rows_ingested: u64,
+    /// Rows applied by successful cycles.
+    pub rows_applied: u64,
+    /// The first failure, if any cycle failed (sticky; later batches were
+    /// not attempted).
+    pub error: Option<CoreError>,
+    /// Deltas that were accepted but never applied: the failing batch
+    /// plus everything still staged/sealed at shutdown. Empty on a clean
+    /// drain. Re-ingest these into a fresh service (after repairing the
+    /// warehouse) to lose nothing.
+    pub unapplied: ChangeBatch,
+    /// Successfully applied batches in application order — replaying them
+    /// on a copy of the initial warehouse reproduces the final tables
+    /// byte for byte.
+    pub applied: Vec<ChangeBatch>,
+}
+
+/// Point-in-time service statistics (see [`WarehouseService::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Rows accepted so far.
+    pub rows_ingested: u64,
+    /// Batches sealed so far.
+    pub batches_sealed: u64,
+    /// Cycles completed so far.
+    pub cycles: u64,
+    /// Rows staged, sealed, or in flight right now.
+    pub pending_rows: usize,
+    /// Whether a cycle has failed (the error is sticky).
+    pub failed: bool,
+}
+
+/// A [`Warehouse`] wrapped in a concurrent ingestion front-end: producers
+/// stage deltas from any number of threads; a background worker seals
+/// batches per the [`BatchPolicy`] and runs maintenance cycles off the
+/// callers' threads. See the module docs for the full contract.
+pub struct WarehouseService {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<Warehouse>>,
+}
+
+impl WarehouseService {
+    /// Starts the service with default [`MaintainOptions`]. The worker
+    /// uses the warehouse's own [`MaintenancePolicy`]
+    /// (`crate::MaintenancePolicy`) — thread count is sampled once when
+    /// the `Warehouse` is constructed, never re-read mid-run.
+    pub fn start(warehouse: Warehouse, policy: BatchPolicy) -> Self {
+        Self::start_with_options(warehouse, policy, MaintainOptions::default())
+    }
+
+    /// Starts the service with explicit maintenance options.
+    pub fn start_with_options(
+        warehouse: Warehouse,
+        policy: BatchPolicy,
+        opts: MaintainOptions,
+    ) -> Self {
+        let registry = warehouse.metrics().clone();
+        let obs = Obs {
+            ingest_rows: registry.counter("ingest_rows"),
+            batches_sealed: registry.counter("batches_sealed"),
+            queue_depth: registry.gauge("queue_depth"),
+            flush_latency: registry.histogram("flush_latency_us"),
+            backpressure_waits: registry.counter("backpressure_waits"),
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(QueueState::default()),
+            work: Condvar::new(),
+            room: Condvar::new(),
+            policy: policy.normalized(),
+            opts,
+            obs,
+            registry,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("cubedelta-ingest".into())
+            .spawn(move || worker_loop(worker_shared, warehouse))
+            .expect("spawn ingestion worker");
+        WarehouseService {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Stages a delta, blocking while the queue is at capacity.
+    /// Per-producer FIFO holds: two deltas ingested by the same thread are
+    /// applied in that order (possibly coalesced into the same batch), so
+    /// a producer may safely delete rows it inserted earlier.
+    pub fn ingest(&self, delta: DeltaSet) -> CoreResult<()> {
+        self.ingest_inner(delta, true)
+    }
+
+    /// Stages a delta without blocking: returns
+    /// [`CoreError::Backpressure`] when the queue is at capacity.
+    pub fn try_ingest(&self, delta: DeltaSet) -> CoreResult<()> {
+        self.ingest_inner(delta, false)
+    }
+
+    fn ingest_inner(&self, delta: DeltaSet, block: bool) -> CoreResult<()> {
+        let rows = delta.len();
+        if rows == 0 {
+            return Ok(());
+        }
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(e) = &st.error {
+                return Err(CoreError::Ingest(format!(
+                    "maintenance cycle failed, staged deltas are held for the operator: {e}"
+                )));
+            }
+            if st.shutdown {
+                return Err(CoreError::Ingest("service is shutting down".into()));
+            }
+            if st.staged_rows < self.shared.policy.max_rows {
+                break; // room to stage
+            }
+            if st.sealed.len() < self.shared.policy.max_batches {
+                // Staging area full but the sealed queue has a slot: seal
+                // the full batch ourselves so this delta starts a new one.
+                self.shared.seal(&mut st);
+                self.shared.work.notify_one();
+                break;
+            }
+            if !block {
+                return Err(CoreError::Backpressure);
+            }
+            self.shared.obs.backpressure_waits.inc();
+            st = self
+                .shared
+                .room
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+        if st.staged_rows == 0 {
+            st.staged_since = Some(Instant::now());
+        }
+        st.staged.add(delta);
+        st.staged_rows += rows;
+        st.rows_ingested += rows as u64;
+        self.shared.obs.ingest_rows.add(rows as u64);
+        if st.staged_rows >= self.shared.policy.max_rows
+            && st.sealed.len() < self.shared.policy.max_batches
+        {
+            self.shared.seal(&mut st);
+        }
+        self.shared.publish_depth(&st);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Seals whatever is staged and blocks until every pending row has
+    /// been applied (or a cycle fails — the sticky error is returned).
+    pub fn flush(&self) -> CoreResult<()> {
+        let mut st = self.shared.lock();
+        loop {
+            if let Some(e) = &st.error {
+                return Err(e.clone());
+            }
+            if st.pending_rows() == 0 {
+                return Ok(());
+            }
+            if st.staged_rows > 0 && st.sealed.len() < self.shared.policy.max_batches {
+                self.shared.seal(&mut st);
+                self.shared.work.notify_one();
+            }
+            st = self
+                .shared
+                .room
+                .wait(st)
+                .unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Rows staged, sealed, or in flight right now (the `queue_depth`
+    /// gauge reports the same quantity).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lock().pending_rows()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> IngestStats {
+        let st = self.shared.lock();
+        IngestStats {
+            rows_ingested: st.rows_ingested,
+            batches_sealed: st.batches_sealed,
+            cycles: st.cycles,
+            pending_rows: st.pending_rows(),
+            failed: st.error.is_some(),
+        }
+    }
+
+    /// The metrics registry the service (and its warehouse) report into.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.registry
+    }
+
+    /// Stops accepting deltas, drains every staged and sealed batch
+    /// (unless a cycle fails), joins the worker, and returns the warehouse
+    /// together with the full accounting — including any deltas that were
+    /// accepted but never applied.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.begin_shutdown();
+        let warehouse = self
+            .worker
+            .take()
+            .expect("worker present until shutdown")
+            .join()
+            .expect("ingestion worker panicked outside the maintenance firewall");
+        let mut st = self.shared.lock();
+        let mut unapplied = std::mem::take(&mut st.unapplied);
+        for job in st.sealed.drain(..) {
+            unapplied.merge(job.batch);
+        }
+        st.sealed_rows = 0;
+        let staged = std::mem::take(&mut st.staged);
+        st.staged_rows = 0;
+        unapplied.merge(staged);
+        ShutdownReport {
+            warehouse,
+            cycles: st.cycles,
+            batches_sealed: st.batches_sealed,
+            rows_ingested: st.rows_ingested,
+            rows_applied: st.rows_applied,
+            error: st.error.clone(),
+            unapplied,
+            applied: std::mem::take(&mut st.applied),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        let mut st = self.shared.lock();
+        st.shutdown = true;
+        drop(st);
+        self.shared.work.notify_all();
+        self.shared.room.notify_all();
+    }
+}
+
+impl Drop for WarehouseService {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            self.begin_shutdown();
+            let _ = worker.join();
+        }
+    }
+}
+
+/// The background maintenance worker: seals due batches, applies sealed
+/// batches in order, surfaces failures, and returns the warehouse when the
+/// queue is drained after shutdown.
+fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
+    loop {
+        let mut st = shared.lock();
+        let job = loop {
+            if st.error.is_some() {
+                // Sticky failure: stop applying (order matters — batch N+1
+                // must not land when batch N didn't); park until shutdown.
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.work.wait(st).unwrap_or_else(|p| p.into_inner());
+                continue;
+            }
+            let flush_due = st
+                .staged_since
+                .is_some_and(|t0| t0.elapsed() >= shared.policy.flush_interval);
+            if st.staged_rows > 0
+                && (flush_due || st.staged_rows >= shared.policy.max_rows || st.shutdown)
+            {
+                shared.seal(&mut st);
+            }
+            if let Some(job) = st.sealed.pop_front() {
+                st.sealed_rows -= job.rows;
+                st.in_flight_rows = job.rows;
+                break Some(job);
+            }
+            if st.shutdown {
+                break None; // fully drained
+            }
+            st = match st.staged_since {
+                // Sleep exactly until the staged batch comes due.
+                Some(t0) => {
+                    let wait = shared
+                        .policy
+                        .flush_interval
+                        .saturating_sub(t0.elapsed())
+                        .max(Duration::from_millis(1));
+                    shared
+                        .work
+                        .wait_timeout(st, wait)
+                        .unwrap_or_else(|p| p.into_inner())
+                        .0
+                }
+                None => shared.work.wait(st).unwrap_or_else(|p| p.into_inner()),
+            };
+        };
+        let Some(job) = job else {
+            shared.publish_depth(&st);
+            drop(st);
+            shared.room.notify_all();
+            return wh;
+        };
+        shared.publish_depth(&st);
+        drop(st);
+        // A sealed slot just freed; blocked producers can seal into it.
+        shared.room.notify_all();
+
+        // The cycle runs outside the queue lock: producers keep staging
+        // while propagate + refresh execute. The panic firewall keeps the
+        // worker (and the warehouse it owns) alive even if a cycle blows
+        // up — the batch is parked in `unapplied`, not lost.
+        let result = catch_unwind(AssertUnwindSafe(|| wh.maintain(&job.batch, &shared.opts)));
+        let staleness = job.staged_at.elapsed();
+
+        let mut st = shared.lock();
+        st.in_flight_rows = 0;
+        match result {
+            Ok(Ok(_report)) => {
+                st.cycles += 1;
+                st.rows_applied += job.rows as u64;
+                st.applied.push(job.batch);
+                shared.obs.flush_latency.record(staleness);
+            }
+            Ok(Err(e)) => {
+                st.unapplied.merge(job.batch);
+                st.error = Some(e);
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                st.unapplied.merge(job.batch);
+                st.error = Some(CoreError::Ingest(format!(
+                    "maintenance cycle panicked: {msg}"
+                )));
+            }
+        }
+        shared.publish_depth(&st);
+        drop(st);
+        shared.room.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use crate::warehouse::MaintenancePolicy;
+    use cubedelta_storage::{row, Date, DeltaSet};
+
+    fn service_warehouse() -> Warehouse {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for def in figure1_defs() {
+            wh.create_summary_table(&def).unwrap();
+        }
+        wh.set_maintenance_policy(MaintenancePolicy::with_threads(2));
+        wh
+    }
+
+    fn pos_insert(seed: i64) -> DeltaSet {
+        DeltaSet::insertions(
+            "pos",
+            vec![row![
+                (seed % 3) + 1,
+                [10i64, 20, 30][(seed % 3) as usize],
+                Date(10000 + (seed % 4) as i32),
+                seed % 7 + 1,
+                1.0
+            ]],
+        )
+    }
+
+    #[test]
+    fn single_producer_drains_and_matches_direct_maintenance() {
+        let wh = service_warehouse();
+        let baseline = wh.clone();
+        let svc = WarehouseService::start(
+            wh,
+            BatchPolicy {
+                max_rows: 3,
+                max_batches: 2,
+                flush_interval: Duration::from_millis(5),
+            },
+        );
+        for seed in 0..10 {
+            svc.ingest(pos_insert(seed)).unwrap();
+        }
+        svc.flush().unwrap();
+        let report = svc.shutdown();
+        assert!(report.error.is_none());
+        assert!(report.unapplied.is_empty());
+        assert_eq!(report.rows_ingested, 10);
+        assert_eq!(report.rows_applied, 10);
+        assert!(report.cycles >= 1);
+        assert_eq!(report.applied.len(), report.cycles as usize);
+        report.warehouse.check_consistency().unwrap();
+
+        // Replaying the applied batches reproduces the tables byte for
+        // byte.
+        let mut replay = baseline;
+        for batch in &report.applied {
+            replay.maintain(batch, &MaintainOptions::default()).unwrap();
+        }
+        for v in replay.views() {
+            let name = &v.def.name;
+            assert_eq!(
+                replay.catalog().table(name).unwrap().to_rows(),
+                report.warehouse.catalog().table(name).unwrap().to_rows(),
+                "{name} differs from replay"
+            );
+        }
+    }
+
+    #[test]
+    fn try_ingest_reports_backpressure_when_full() {
+        // A worker stuck behind a deliberately huge flush interval and a
+        // tiny queue: capacity is max_rows (staged) + max_batches sealed.
+        let svc = WarehouseService::start(
+            service_warehouse(),
+            BatchPolicy {
+                max_rows: 1,
+                max_batches: 1,
+                flush_interval: Duration::from_secs(3600),
+            },
+        );
+        // First row fills (and seals) the staging area; the worker will
+        // pick it up, so give it a moment to go in flight, then saturate.
+        svc.ingest(pos_insert(0)).unwrap();
+        let mut accepted = 0;
+        let mut saw_backpressure = false;
+        for seed in 1..50 {
+            match svc.try_ingest(pos_insert(seed)) {
+                Ok(()) => accepted += 1,
+                Err(CoreError::Backpressure) => {
+                    saw_backpressure = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(
+            saw_backpressure,
+            "a 2-row queue accepted {accepted} extra rows without backpressure"
+        );
+        let report = svc.shutdown();
+        assert!(report.error.is_none());
+        assert!(report.unapplied.is_empty(), "shutdown drains the queue");
+        assert_eq!(report.rows_applied, report.rows_ingested);
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let svc = WarehouseService::start(service_warehouse(), BatchPolicy::default());
+        svc.ingest(DeltaSet::new("pos")).unwrap();
+        assert_eq!(svc.stats().rows_ingested, 0);
+        let report = svc.shutdown();
+        assert_eq!(report.cycles, 0);
+        assert_eq!(report.batches_sealed, 0);
+    }
+
+    #[test]
+    fn flush_interval_seals_trickle_traffic() {
+        let svc = WarehouseService::start(
+            service_warehouse(),
+            BatchPolicy {
+                max_rows: 1_000_000,
+                max_batches: 2,
+                flush_interval: Duration::from_millis(5),
+            },
+        );
+        svc.ingest(pos_insert(1)).unwrap();
+        // Well under max_rows: only the interval can seal this.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while svc.stats().cycles == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(svc.stats().cycles >= 1, "flush_interval never fired");
+        let report = svc.shutdown();
+        assert!(report.error.is_none());
+        assert_eq!(report.rows_applied, 1);
+    }
+
+    #[test]
+    fn failed_cycle_surfaces_error_and_parks_deltas() {
+        // A deletion of a row that does not exist drives COUNT(*) negative
+        // — the maintenance invariant error, surfaced through the service.
+        let svc = WarehouseService::start(
+            service_warehouse(),
+            BatchPolicy {
+                max_rows: 4,
+                max_batches: 2,
+                flush_interval: Duration::from_millis(5),
+            },
+        );
+        svc.ingest(DeltaSet::deletions(
+            "pos",
+            vec![row![99i64, 99i64, Date(1), 1i64, 9.9]],
+        ))
+        .unwrap();
+        assert!(svc.flush().is_err());
+        // The error is sticky: further ingests are refused...
+        assert!(matches!(
+            svc.ingest(pos_insert(0)),
+            Err(CoreError::Ingest(_))
+        ));
+        let report = svc.shutdown();
+        // ...and the failing batch is surfaced, not dropped.
+        assert!(report.error.is_some());
+        assert_eq!(report.unapplied.len(), 1);
+        assert_eq!(report.rows_applied, 0);
+    }
+
+    #[test]
+    fn service_metrics_reach_the_registry() {
+        let svc = WarehouseService::start(
+            service_warehouse(),
+            BatchPolicy {
+                max_rows: 2,
+                max_batches: 2,
+                flush_interval: Duration::from_millis(5),
+            },
+        );
+        for seed in 0..6 {
+            svc.ingest(pos_insert(seed)).unwrap();
+        }
+        svc.flush().unwrap();
+        let report = svc.shutdown();
+        let reg = report.warehouse.metrics();
+        assert_eq!(reg.counter("ingest_rows").get(), 6);
+        assert!(reg.counter("batches_sealed").get() >= 1);
+        assert_eq!(reg.gauge("queue_depth").get(), 0);
+        assert_eq!(
+            reg.histogram("flush_latency_us").count(),
+            report.cycles
+        );
+        assert_eq!(
+            reg.counter("maintain.cycles").get(),
+            report.cycles
+        );
+    }
+
+    #[test]
+    fn policy_normalization_clamps_zeros() {
+        let p = BatchPolicy {
+            max_rows: 0,
+            max_batches: 0,
+            flush_interval: Duration::ZERO,
+        }
+        .normalized();
+        assert_eq!(p.max_rows, 1);
+        assert_eq!(p.max_batches, 1);
+    }
+}

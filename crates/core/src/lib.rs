@@ -65,6 +65,7 @@ pub mod baseline;
 pub mod consistency;
 pub mod cube;
 pub mod error;
+pub mod ingest;
 #[cfg(test)]
 pub(crate) mod test_fixtures;
 pub mod multi;
@@ -78,6 +79,7 @@ pub use baseline::{propagate_without_lattice, rematerialize_direct, rematerializ
 pub use consistency::check_view_consistency;
 pub use cube::{CubeBudget, CubeReport, CubeSpec};
 pub use error::{CoreError, CoreResult};
+pub use ingest::{BatchPolicy, IngestStats, ShutdownReport, WarehouseService};
 pub use multi::{
     plan_levels, propagate_plan, propagate_plan_leveled, propagate_plan_metered,
     refresh_plan_leveled, LevelReport, PropagationStepReport, RefreshStepReport,

@@ -21,6 +21,8 @@
 //! deterministic.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
@@ -273,32 +275,36 @@ pub fn propagate_plan_leveled(
                 ));
             }
         } else {
-            // Chunk the level's steps across `concurrent` workers; each
-            // worker runs its chunk sequentially and ships results home.
-            let chunk = step_idxs.len().div_ceil(concurrent);
+            // Dynamic dispatch: workers pull the next unclaimed step off a
+            // shared cursor, so a skewed level (one huge Direct step next to
+            // tiny siblings) never leaves a worker idle while claimed-ahead
+            // work is still queued behind a slow chunk.
+            let cursor = AtomicUsize::new(0);
             let shared_deltas = &deltas;
             let shared_names = &by_name;
             let results: Vec<Vec<(usize, CoreResult<StepOutcome>)>> =
                 std::thread::scope(|scope| {
-                    let handles: Vec<_> = step_idxs
-                        .chunks(chunk)
-                        .map(|idxs| {
+                    let handles: Vec<_> = (0..concurrent)
+                        .map(|_| {
+                            let cursor = &cursor;
                             scope.spawn(move || {
-                                idxs.iter()
-                                    .map(|&i| {
-                                        (
-                                            i,
-                                            run_step(
-                                                catalog,
-                                                shared_names,
-                                                shared_deltas,
-                                                &plan.steps[i],
-                                                batch,
-                                                &step_opts,
-                                            ),
-                                        )
-                                    })
-                                    .collect()
+                                let mut done = Vec::new();
+                                loop {
+                                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&i) = step_idxs.get(k) else { break };
+                                    done.push((
+                                        i,
+                                        run_step(
+                                            catalog,
+                                            shared_names,
+                                            shared_deltas,
+                                            &plan.steps[i],
+                                            batch,
+                                            &step_opts,
+                                        ),
+                                    ));
+                                }
+                                done
                             })
                         })
                         .collect();
@@ -336,6 +342,47 @@ pub fn propagate_plan_leveled(
         .map(|r| r.expect("every plan step executed exactly once"))
         .collect();
     Ok((deltas, reports, level_reports))
+}
+
+/// Fault-injection hooks for crash/panic-safety tests.
+///
+/// A refresh step can be armed to panic *after* it has taken its summary
+/// table's lock — the worst spot: the mutex is poisoned mid-batch-window.
+/// The failpoint is one-shot (it disarms as it fires) and matches by view
+/// name, so suites that exercise it should use a view name no concurrent
+/// test refreshes. Production code never arms it; the check is one relaxed
+/// atomic load per refresh step.
+#[doc(hidden)]
+pub mod failpoints {
+    use super::*;
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+    static VIEW: Mutex<Option<String>> = Mutex::new(None);
+
+    /// Arms a one-shot panic inside the named view's next refresh step.
+    pub fn arm_refresh_panic(view: &str) {
+        *VIEW.lock().unwrap_or_else(|p| p.into_inner()) = Some(view.to_string());
+        ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms the failpoint (idempotent).
+    pub fn disarm() {
+        ARMED.store(false, Ordering::SeqCst);
+        *VIEW.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    pub(super) fn maybe_panic(view: &str) {
+        if !ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut armed_view = VIEW.lock().unwrap_or_else(|p| p.into_inner());
+        if armed_view.as_deref() == Some(view) {
+            *armed_view = None;
+            ARMED.store(false, Ordering::SeqCst);
+            drop(armed_view); // don't poison the failpoint's own mutex
+            panic!("injected refresh failpoint for `{view}`");
+        }
+    }
 }
 
 /// Per-step observability record from [`refresh_plan_leveled`]: which view
@@ -413,12 +460,43 @@ fn run_refresh_step(
             )))
         }
     };
+    failpoints::maybe_panic(step.view.as_str());
     let planned = plan_refresh_ops(catalog, &table, view, &sd, opts, source, &mut m)?;
     let stats = apply_refresh_ops(&mut table, planned)?;
     Ok(RefreshOutcome {
         stats,
         time: start.elapsed(),
         metrics: m,
+    })
+}
+
+/// [`run_refresh_step`] with a panic firewall: a panicking step (poisoning
+/// its table's mutex mid-window) is converted into a [`CoreError`] instead
+/// of tearing down the worker, so sibling steps keep running, every table
+/// is restored to the catalog afterwards, and the caller sees the failure
+/// as an ordinary error.
+#[allow(clippy::too_many_arguments)]
+fn run_refresh_step_caught(
+    catalog: &Catalog,
+    tables: &HashMap<&str, (Mutex<Table>, TableRole)>,
+    by_name: &HashMap<&str, &AugmentedView>,
+    deltas: &HashMap<String, Relation>,
+    step: &cubedelta_lattice::vlattice::PlanStep,
+    opts: &RefreshOptions,
+) -> CoreResult<RefreshOutcome> {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_refresh_step(catalog, tables, by_name, deltas, step, opts)
+    }))
+    .unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(CoreError::Maintenance(format!(
+            "refresh step for `{}` panicked: {msg}",
+            step.view
+        )))
     })
 }
 
@@ -434,7 +512,11 @@ fn restore_level_tables(
 ) -> CoreResult<()> {
     for &i in step_idxs {
         if let Some((lock, role)) = tables.remove(plan.steps[i].view.as_str()) {
-            let table = lock.into_inner().expect("refresh table lock poisoned");
+            // A panicking refresh step poisons its table's mutex; the value
+            // inside is still the table (possibly mid-refresh, which the
+            // step's error already reports). Recover it rather than panic,
+            // so one bad step never costs the catalog its other tables.
+            let table = lock.into_inner().unwrap_or_else(|p| p.into_inner());
             catalog.restore_table(table, role)?;
         }
     }
@@ -464,6 +546,14 @@ fn restore_level_tables(
 /// outcomes are merged strictly in plan order, so the op sequence per
 /// table — and therefore the refreshed tables' byte layout — is identical
 /// for *any* thread count, and reports/errors are identical run to run.
+/// Scheduling within a level is dynamic (workers pull steps off a shared
+/// cursor), which only affects which thread runs a step, never the result.
+///
+/// Panic safety: a panicking step is caught at the step boundary and
+/// surfaced as a [`CoreError`]; its table's mutex may be poisoned, but the
+/// poisoned value is recovered and *every* level table is restored to the
+/// catalog before the error returns, so the catalog never loses a summary
+/// table to a mid-window panic.
 pub fn refresh_plan_leveled(
     catalog: &mut Catalog,
     views: &[AugmentedView],
@@ -512,35 +602,47 @@ pub fn refresh_plan_leveled(
             for &i in step_idxs {
                 outcomes.push((
                     i,
-                    run_refresh_step(catalog, &tables, &by_name, deltas, &plan.steps[i], opts),
+                    run_refresh_step_caught(
+                        catalog,
+                        &tables,
+                        &by_name,
+                        deltas,
+                        &plan.steps[i],
+                        opts,
+                    ),
                 ));
             }
         } else {
-            let chunk = step_idxs.len().div_ceil(concurrent);
+            // Dynamic dispatch (same scheme as propagate): workers pull the
+            // next unclaimed step off a shared cursor, so one huge view in
+            // the level can't strand its siblings behind a static chunk.
+            let cursor = AtomicUsize::new(0);
             let shared_catalog: &Catalog = catalog;
             let shared_tables = &tables;
             let shared_names = &by_name;
             let results: Vec<Vec<(usize, CoreResult<RefreshOutcome>)>> =
                 std::thread::scope(|scope| {
-                    let handles: Vec<_> = step_idxs
-                        .chunks(chunk)
-                        .map(|idxs| {
+                    let handles: Vec<_> = (0..concurrent)
+                        .map(|_| {
+                            let cursor = &cursor;
                             scope.spawn(move || {
-                                idxs.iter()
-                                    .map(|&i| {
-                                        (
-                                            i,
-                                            run_refresh_step(
-                                                shared_catalog,
-                                                shared_tables,
-                                                shared_names,
-                                                deltas,
-                                                &plan.steps[i],
-                                                opts,
-                                            ),
-                                        )
-                                    })
-                                    .collect()
+                                let mut done = Vec::new();
+                                loop {
+                                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                                    let Some(&i) = step_idxs.get(k) else { break };
+                                    done.push((
+                                        i,
+                                        run_refresh_step_caught(
+                                            shared_catalog,
+                                            shared_tables,
+                                            shared_names,
+                                            deltas,
+                                            &plan.steps[i],
+                                            opts,
+                                        ),
+                                    ));
+                                }
+                                done
                             })
                         })
                         .collect();

@@ -936,6 +936,32 @@ mod tests {
     }
 
     #[test]
+    fn warehouse_samples_thread_env_once_at_construction() {
+        // Resolution order (documented in DESIGN.md §11): CUBEDELTA_THREADS
+        // is read exactly once, when the Warehouse is constructed; changing
+        // the variable mid-run must not change a live warehouse's schedule.
+        // Only set_maintenance_policy may do that.
+        let saved = std::env::var(THREADS_ENV_VAR).ok();
+        std::env::set_var(THREADS_ENV_VAR, "3");
+        let mut wh = warehouse_with_figure1_views();
+        assert_eq!(wh.maintenance_policy().threads, 3);
+        std::env::set_var(THREADS_ENV_VAR, "7");
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(0), 1i64, 1.0]],
+        ));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        assert_eq!(report.threads, 3, "policy must not re-read the env mid-run");
+        wh.set_maintenance_policy(MaintenancePolicy::with_threads(2));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        assert_eq!(report.threads, 2);
+        match saved {
+            Some(v) => std::env::set_var(THREADS_ENV_VAR, v),
+            None => std::env::remove_var(THREADS_ENV_VAR),
+        }
+    }
+
+    #[test]
     fn parallel_maintenance_matches_sequential() {
         let batch = ChangeBatch::single(DeltaSet {
             table: "pos".into(),

@@ -14,13 +14,37 @@ use crate::table::Table;
 use crate::value::{Date, Value};
 use crate::DataType;
 
-/// Splits one CSV record into raw fields. Returns `(fields, was_quoted)`.
-fn split_record(line: &str) -> StorageResult<Vec<(String, bool)>> {
-    let mut fields = Vec::new();
+/// One parsed CSV record: raw fields with a `was_quoted` flag each.
+type RawRecord = Vec<(String, bool)>;
+
+/// Finishes the record under construction. Whitespace-only unquoted
+/// single-field records (blank lines) are dropped, matching the loader's
+/// historical tolerance for trailing newlines and spacer lines.
+fn flush_record(
+    records: &mut Vec<RawRecord>,
+    fields: &mut RawRecord,
+    cur: &mut String,
+    quoted: &mut bool,
+) {
+    if fields.is_empty() && !*quoted && cur.trim().is_empty() {
+        cur.clear();
+        return;
+    }
+    fields.push((std::mem::take(cur), std::mem::take(quoted)));
+    records.push(std::mem::take(fields));
+}
+
+/// Splits CSV text into records of raw fields. Quote-aware across line
+/// breaks: a quoted field may contain commas, `""`-escaped quotes, and
+/// embedded `\n`/`\r` — records are terminated only by `\n` or `\r\n`
+/// *outside* quotes (a lone `\r` is field data).
+fn split_records(text: &str) -> StorageResult<Vec<RawRecord>> {
+    let mut records = Vec::new();
+    let mut fields: RawRecord = Vec::new();
     let mut cur = String::new();
     let mut quoted = false;
     let mut in_quotes = false;
-    let mut chars = line.chars().peekable();
+    let mut chars = text.chars().peekable();
     while let Some(c) = chars.next() {
         if in_quotes {
             match c {
@@ -41,17 +65,22 @@ fn split_record(line: &str) -> StorageResult<Vec<(String, bool)>> {
                     fields.push((std::mem::take(&mut cur), quoted));
                     quoted = false;
                 }
+                '\r' if chars.peek() == Some(&'\n') => {
+                    chars.next();
+                    flush_record(&mut records, &mut fields, &mut cur, &mut quoted);
+                }
+                '\n' => flush_record(&mut records, &mut fields, &mut cur, &mut quoted),
                 other => cur.push(other),
             }
         }
     }
     if in_quotes {
-        return Err(StorageError::MissingRow(format!(
-            "unterminated quote in CSV record: {line}"
-        )));
+        return Err(StorageError::MissingRow(
+            "unterminated quote in CSV text".into(),
+        ));
     }
-    fields.push((cur, quoted));
-    Ok(fields)
+    flush_record(&mut records, &mut fields, &mut cur, &mut quoted);
+    Ok(records)
 }
 
 /// Parses one field into a typed value.
@@ -91,14 +120,11 @@ fn parse_field(raw: &str, quoted: bool, ty: DataType, column: &str) -> StorageRe
 /// Parses CSV text (header row required, column order must match the
 /// schema) into rows.
 pub fn parse_csv(schema: &Schema, text: &str) -> StorageResult<Vec<Row>> {
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines
+    let mut records = split_records(text)?.into_iter();
+    let header = records
         .next()
         .ok_or_else(|| StorageError::MissingRow("CSV has no header row".into()))?;
-    let names: Vec<String> = split_record(header)?
-        .into_iter()
-        .map(|(f, _)| f)
-        .collect();
+    let names: Vec<String> = header.into_iter().map(|(f, _)| f).collect();
     let expected: Vec<&str> = schema.names();
     if names != expected {
         return Err(StorageError::UnknownColumn(format!(
@@ -107,8 +133,7 @@ pub fn parse_csv(schema: &Schema, text: &str) -> StorageResult<Vec<Row>> {
     }
 
     let mut rows = Vec::new();
-    for line in lines {
-        let fields = split_record(line)?;
+    for fields in records {
         if fields.len() != schema.arity() {
             return Err(StorageError::ArityMismatch {
                 expected: schema.arity(),
@@ -146,7 +171,10 @@ pub fn to_csv(table: &Table) -> String {
             match v {
                 Value::Null => {}
                 Value::Str(s) => {
-                    if s.contains(',') || s.contains('"') || s.is_empty() {
+                    // Quote anything ambiguous: separators, quotes, line
+                    // breaks (which would otherwise split the record), and
+                    // the empty string (unquoted-empty means NULL).
+                    if s.is_empty() || s.contains([',', '"', '\n', '\r']) {
                         let _ = write!(out, "\"{}\"", s.replace('"', "\"\""));
                     } else {
                         out.push_str(s);
@@ -238,6 +266,48 @@ mod tests {
         ));
         let csv = "id,name,day,qty,price\n1,x,1997-13-01,2,1.0\n";
         assert!(parse_csv(&schema(), csv).is_err());
+    }
+
+    #[test]
+    fn embedded_line_breaks_roundtrip() {
+        let mut t = Table::new("t", schema());
+        t.insert(Row::new(vec![
+            Value::Int(1),
+            Value::str("line one\nline two"),
+            Value::Date(Date::from_ymd(1997, 5, 13)),
+            Value::Null,
+            Value::Null,
+        ]))
+        .unwrap();
+        t.insert(Row::new(vec![
+            Value::Int(2),
+            Value::str("crlf\r\ninside"),
+            Value::Date(Date::from_ymd(1997, 5, 14)),
+            Value::Null,
+            Value::Null,
+        ]))
+        .unwrap();
+        t.insert(Row::new(vec![
+            Value::Int(3),
+            Value::str("trailing cr\r"),
+            Value::Date(Date::from_ymd(1997, 5, 15)),
+            Value::Null,
+            Value::Null,
+        ]))
+        .unwrap();
+        let csv = to_csv(&t);
+        let mut back = Table::new("t2", schema());
+        assert_eq!(load_csv(&mut back, &csv).unwrap(), 3);
+        assert_eq!(back.sorted_rows(), t.sorted_rows());
+    }
+
+    #[test]
+    fn crlf_record_separators_accepted() {
+        let csv = "id,name,day,qty,price\r\n7,juice,1997-01-31,,0.8\r\n";
+        let rows = parse_csv(&schema(), csv).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::str("juice"));
+        assert!(rows[0][3].is_null());
     }
 
     #[test]

@@ -88,6 +88,14 @@ impl ChangeBatch {
         }
     }
 
+    /// Folds another batch into this one, coalescing per table (each of
+    /// `other`'s delta sets goes through [`ChangeBatch::add`]).
+    pub fn merge(&mut self, other: ChangeBatch) {
+        for delta in other.deltas {
+            self.add(delta);
+        }
+    }
+
     /// The delta set for a table, if any.
     pub fn for_table(&self, table: &str) -> Option<&DeltaSet> {
         self.deltas.iter().find(|d| d.table == table)
@@ -119,6 +127,17 @@ mod tests {
         assert_eq!(d.len(), 3);
         assert!(!d.is_empty());
         assert!(DeltaSet::new("pos").is_empty());
+    }
+
+    #[test]
+    fn batch_merge_coalesces_per_table() {
+        let mut a = ChangeBatch::single(DeltaSet::insertions("pos", vec![row![1i64]]));
+        let mut b = ChangeBatch::single(DeltaSet::deletions("pos", vec![row![2i64]]));
+        b.add(DeltaSet::insertions("items", vec![row![3i64]]));
+        a.merge(b);
+        assert_eq!(a.deltas.len(), 2);
+        assert_eq!(a.for_table("pos").unwrap().len(), 2);
+        assert_eq!(a.len(), 3);
     }
 
     #[test]

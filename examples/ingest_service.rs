@@ -1,0 +1,83 @@
+//! Async batched ingestion: wrap a [`Warehouse`] in a
+//! [`WarehouseService`], stream deltas from several producer threads, and
+//! let the background worker seal batches and run maintenance cycles.
+//!
+//! ```sh
+//! cargo run --example ingest_service
+//! ```
+
+use std::time::Duration;
+
+use cubedelta::core::{BatchPolicy, WarehouseService};
+use cubedelta::expr::Expr;
+use cubedelta::query::AggFunc;
+use cubedelta::storage::{row, Date, DeltaSet};
+use cubedelta::view::SummaryViewDef;
+use cubedelta::workload::retail_catalog_small;
+use cubedelta::Warehouse;
+
+fn main() {
+    // A small retail warehouse with one summary table over pos.
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    wh.create_summary_table(
+        &SummaryViewDef::builder("SID_sales", "pos")
+            .group_by(["storeID", "itemID", "date"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+    )
+    .unwrap();
+
+    // Hand the warehouse to the service. The policy seals a staged batch
+    // at 256 rows or 20ms of age, whichever comes first, and lets at most
+    // 4 sealed batches queue before producers feel backpressure.
+    let svc = WarehouseService::start(
+        wh,
+        BatchPolicy {
+            max_rows: 256,
+            max_batches: 4,
+            flush_interval: Duration::from_millis(20),
+        },
+    );
+
+    // Four producers race blocking `ingest`; the worker runs
+    // propagate + refresh cycles behind them, in seal order.
+    std::thread::scope(|scope| {
+        for producer in 0..4i64 {
+            let svc = &svc;
+            scope.spawn(move || {
+                for i in 0..500i64 {
+                    let store = (producer + i) % 3 + 1;
+                    let item = [10i64, 20, 30][(i % 3) as usize];
+                    let delta = DeltaSet::insertions(
+                        "pos",
+                        vec![row![store, item, Date(10_000 + (i % 4) as i32), i % 7 + 1, 1.0]],
+                    );
+                    svc.ingest(delta).expect("ingest");
+                }
+            });
+        }
+    });
+
+    // Drain everything staged, then stop the worker and take the
+    // warehouse back, with the full accounting.
+    svc.flush().expect("flush");
+    let report = svc.shutdown();
+    assert!(report.error.is_none() && report.unapplied.is_empty());
+
+    println!(
+        "ingested {} rows in {} batches over {} cycles",
+        report.rows_ingested, report.batches_sealed, report.cycles
+    );
+    println!(
+        "SID_sales now has {} groups",
+        report
+            .warehouse
+            .catalog()
+            .table("SID_sales")
+            .unwrap()
+            .len()
+    );
+    report.warehouse.check_consistency().unwrap();
+    println!("summary tables consistent with base data");
+}

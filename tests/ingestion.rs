@@ -1,0 +1,244 @@
+//! Integration tests for the async ingestion front-end
+//! ([`cubedelta::core::WarehouseService`]): concurrent producers racing
+//! the background maintenance worker, shutdown/drain semantics, and the
+//! panic firewall around refresh (injected via `multi::failpoints`).
+
+mod common;
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use common::{figure1_defs, small_warehouse, synth_pos_row};
+use cubedelta::core::multi::failpoints;
+use cubedelta::core::{
+    BatchPolicy, CoreError, MaintainOptions, MaintenancePolicy, Warehouse, WarehouseService,
+};
+use cubedelta::expr::Expr;
+use cubedelta::query::AggFunc;
+use cubedelta::storage::{ChangeBatch, DeltaSet};
+use cubedelta::view::SummaryViewDef;
+use cubedelta::workload::retail_catalog_small;
+
+/// The failpoint slot is process-global and one-shot; tests that arm it
+/// serialize through this lock so they cannot steal each other's shot.
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Asserts two warehouses hold byte-identical tables for `pos` and every
+/// Figure-1 view.
+fn assert_tables_identical(a: &Warehouse, b: &Warehouse, context: &str) {
+    let mut names: Vec<String> = figure1_defs().into_iter().map(|d| d.name).collect();
+    names.push("pos".to_string());
+    for name in names {
+        assert_eq!(
+            a.catalog().table(&name).unwrap().to_rows(),
+            b.catalog().table(&name).unwrap().to_rows(),
+            "table `{name}` differs ({context})"
+        );
+    }
+}
+
+/// The acceptance bar: N producers race `ingest` against background
+/// maintenance cycles; the final tables must be byte-identical to a
+/// single-threaded replay of the applied batches on a copy of the initial
+/// warehouse.
+#[test]
+fn four_producers_match_single_threaded_replay() {
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(4));
+    let baseline = wh.clone();
+
+    const PRODUCERS: u64 = 4;
+    const DELTAS_PER_PRODUCER: u64 = 60;
+    let svc = WarehouseService::start(
+        wh,
+        BatchPolicy {
+            max_rows: 8, // small: forces many seals and real backpressure
+            max_batches: 2,
+            flush_interval: Duration::from_millis(2),
+        },
+    );
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let svc = &svc;
+            scope.spawn(move || {
+                for i in 0..DELTAS_PER_PRODUCER {
+                    let seed = p * 10_000 + i;
+                    svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+                        .unwrap();
+                }
+            });
+        }
+    });
+    svc.flush().unwrap();
+    let report = svc.shutdown();
+
+    assert!(report.error.is_none(), "cycle failed: {:?}", report.error);
+    assert!(report.unapplied.is_empty());
+    assert_eq!(report.rows_ingested, PRODUCERS * DELTAS_PER_PRODUCER);
+    assert_eq!(report.rows_applied, report.rows_ingested);
+    report.warehouse.check_consistency().unwrap();
+
+    // Single-threaded replay: same batches, same order, one thread.
+    let mut replay = baseline;
+    replay.set_maintenance_policy(MaintenancePolicy::with_threads(1));
+    for batch in &report.applied {
+        replay.maintain(batch, &MaintainOptions::default()).unwrap();
+    }
+    assert_tables_identical(&replay, &report.warehouse, "replay vs service");
+}
+
+/// Shutdown without an explicit flush still drains everything staged and
+/// sealed — no accepted delta is lost on a clean exit.
+#[test]
+fn shutdown_drains_staged_and_sealed_batches() {
+    let svc = WarehouseService::start(
+        small_warehouse(),
+        BatchPolicy {
+            max_rows: 1_000_000,
+            max_batches: 4,
+            // Far beyond the test's lifetime: only shutdown can seal.
+            flush_interval: Duration::from_secs(3600),
+        },
+    );
+    for seed in 0..25 {
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+            .unwrap();
+    }
+    let report = svc.shutdown();
+    assert!(report.error.is_none());
+    assert!(report.unapplied.is_empty(), "shutdown dropped staged rows");
+    assert_eq!(report.rows_ingested, 25);
+    assert_eq!(report.rows_applied, 25);
+    report.warehouse.check_consistency().unwrap();
+}
+
+/// A warehouse with a single, uniquely named summary view, so an armed
+/// failpoint cannot fire in an unrelated test's refresh.
+fn probe_warehouse(view: &str) -> Warehouse {
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    wh.create_summary_table(
+        &SummaryViewDef::builder(view, "pos")
+            .group_by(["storeID", "itemID"])
+            .aggregate(AggFunc::CountStar, "TotalCount")
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "TotalQuantity")
+            .build(),
+    )
+    .unwrap();
+    wh
+}
+
+/// Regression for the poisoned-lock hole in `restore_level_tables`: a
+/// panic inside a refresh step must come back as a `CoreError`, leave
+/// every summary table byte-identical to its pre-refresh state (the level
+/// snapshot restored through the poisoned mutex), and leave the warehouse
+/// usable — not a lost table or a propagated panic.
+#[test]
+fn injected_refresh_panic_restores_tables_and_surfaces_error() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    const VIEW: &str = "panic_probe_direct";
+    let mut wh = probe_warehouse(VIEW);
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(2));
+    let summary_before = wh.catalog().table(VIEW).unwrap().to_rows();
+
+    failpoints::arm_refresh_panic(VIEW);
+    let batch = ChangeBatch::single(DeltaSet::insertions("pos", vec![synth_pos_row(7)]));
+    let err = wh
+        .maintain(&batch, &MaintainOptions::default())
+        .expect_err("armed failpoint must fail the cycle");
+    failpoints::disarm();
+    assert!(
+        err.to_string().contains("panicked"),
+        "expected a panic-derived error, got: {err}"
+    );
+
+    // The summary table survived the poisoned lock: restored, not lost.
+    assert_eq!(wh.catalog().table(VIEW).unwrap().to_rows(), summary_before);
+
+    // The warehouse is still operable: base changes landed before the
+    // refresh window, so rematerializing repairs the stale summary.
+    wh.rematerialize(&ChangeBatch::default(), false).unwrap();
+    wh.check_consistency().unwrap();
+    wh.maintain(
+        &ChangeBatch::single(DeltaSet::insertions("pos", vec![synth_pos_row(8)])),
+        &MaintainOptions::default(),
+    )
+    .unwrap();
+    wh.check_consistency().unwrap();
+}
+
+/// The same injected panic through the service: the worker's firewall
+/// catches it, the batch is parked (not dropped), the error is sticky,
+/// and shutdown still hands back a live warehouse.
+#[test]
+fn service_survives_injected_refresh_panic() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    const VIEW: &str = "panic_probe_service";
+    let svc = WarehouseService::start(
+        probe_warehouse(VIEW),
+        BatchPolicy {
+            max_rows: 4,
+            max_batches: 2,
+            flush_interval: Duration::from_millis(2),
+        },
+    );
+    failpoints::arm_refresh_panic(VIEW);
+    svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(3)]))
+        .unwrap();
+    let err = svc.flush().expect_err("panicking cycle must surface");
+    failpoints::disarm();
+    assert!(
+        err.to_string().contains("panicked"),
+        "expected a panic-derived error, got: {err}"
+    );
+    // Sticky: the service refuses further work rather than applying batch
+    // N+1 on top of a missing batch N.
+    assert!(matches!(
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(4)])),
+        Err(CoreError::Ingest(_))
+    ));
+
+    let report = svc.shutdown();
+    assert!(report.error.is_some());
+    assert_eq!(report.rows_applied, 0);
+    assert_eq!(report.unapplied.len(), 1, "failing batch must be parked");
+
+    // The returned warehouse lost nothing and can be repaired in place.
+    let mut wh = report.warehouse;
+    assert!(wh.catalog().table(VIEW).is_ok());
+    wh.rematerialize(&ChangeBatch::default(), false).unwrap();
+    wh.check_consistency().unwrap();
+}
+
+/// Blocking `ingest` under sustained backpressure makes progress and the
+/// `backpressure_waits` counter records the stalls.
+#[test]
+fn blocking_ingest_progresses_under_backpressure() {
+    let svc = WarehouseService::start(
+        small_warehouse(),
+        BatchPolicy {
+            max_rows: 2,
+            max_batches: 1,
+            flush_interval: Duration::from_millis(1),
+        },
+    );
+    std::thread::scope(|scope| {
+        for p in 0..3u64 {
+            let svc = &svc;
+            scope.spawn(move || {
+                for i in 0..20 {
+                    svc.ingest(DeltaSet::insertions(
+                        "pos",
+                        vec![synth_pos_row(p * 100 + i)],
+                    ))
+                    .unwrap();
+                }
+            });
+        }
+    });
+    svc.flush().unwrap();
+    let report = svc.shutdown();
+    assert!(report.error.is_none());
+    assert_eq!(report.rows_applied, 60);
+    assert!(report.unapplied.is_empty());
+    report.warehouse.check_consistency().unwrap();
+}
