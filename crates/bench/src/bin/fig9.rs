@@ -33,8 +33,8 @@
 //! numbers time-slice the same CPU and their ratio is meaningless.
 
 use cubedelta_bench::{
-    build_warehouse, insertion_batch, run_strategy, run_summary_delta_threaded, secs,
-    update_batch, Strategy,
+    build_warehouse, concurrency_gate, host_parallelism, insertion_batch, run_strategy,
+    run_summary_delta_sharded, run_summary_delta_threaded, secs, update_batch, Strategy,
 };
 use cubedelta_core::{MaintenancePolicy, Warehouse};
 use cubedelta_obs::json::JsonValue;
@@ -94,11 +94,29 @@ fn run_point(
     // The parallel propagate scheduler at the policy thread count (forced to
     // at least 2 so the JSON always records a genuine multi-thread run), and
     // the single-thread executor on identical state for comparison.
-    let threads = MaintenancePolicy::from_env().threads.max(2);
+    let env_policy = MaintenancePolicy::from_env();
+    let threads = env_policy.threads.max(2);
+    let shards = env_policy.shards.max(1);
     let (sd1, _, _) = run_summary_delta_threaded(wh, &batch, 1);
     let (sd, report, done_sd) = run_summary_delta_threaded(wh, &batch, threads);
     let (nolat, _) = run_strategy(wh, &batch, Strategy::SummaryDeltaNoLattice);
     let (remat, done_remat) = run_strategy(wh, &batch, Strategy::Rematerialize);
+
+    // Cross-shard propagate over identical state when `CUBEDELTA_SHARDS`
+    // asks for it; the refreshed tables must be byte-identical to the
+    // unsharded run (the sharding equivalence contract).
+    let sharded = (shards > 1).then(|| {
+        let (t, r, done) = run_summary_delta_sharded(wh, &batch, threads, shards);
+        for def in cubedelta_bench::figure1_defs() {
+            assert_eq!(
+                done_sd.catalog().table(&def.name).unwrap().to_rows(),
+                done.catalog().table(&def.name).unwrap().to_rows(),
+                "sharded maintenance diverged on {}",
+                def.name
+            );
+        }
+        (t, r)
+    });
 
     // Sanity: both strategies leave identical summary tables.
     for def in cubedelta_bench::figure1_defs() {
@@ -121,7 +139,7 @@ fn run_point(
         format!("refresh={}", secs(sd.refresh).trim()),
     );
 
-    JsonValue::object([
+    let mut point = JsonValue::object([
         (
             "pos_rows",
             JsonValue::from(wh.catalog().table("pos").unwrap().len()),
@@ -130,6 +148,7 @@ fn run_point(
         ("change_kind", JsonValue::from(kind.label())),
         ("seed", JsonValue::from(seed)),
         ("threads", JsonValue::from(threads)),
+        ("shards", JsonValue::from(shards)),
         (
             "summary_delta_total_us",
             JsonValue::from(sd.total.as_micros() as u64),
@@ -160,7 +179,19 @@ fn run_point(
         ),
         // Per-phase timings, cycle-wide operator counters, per-view detail.
         ("summary_delta_report", report.to_json()),
-    ])
+    ]);
+    if let Some((st, sr)) = sharded {
+        point.push_field(
+            "propagate_sharded_us",
+            JsonValue::from(st.propagate.as_micros() as u64),
+        );
+        point.push_field(
+            "summary_delta_sharded_total_us",
+            JsonValue::from(st.total.as_micros() as u64),
+        );
+        point.push_field("sharded_report", sr.to_json());
+    }
+    point
 }
 
 fn panel_change_sweep(
@@ -263,7 +294,9 @@ fn main() {
         );
     }
 
-    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host = host_parallelism();
+    let env_policy = MaintenancePolicy::from_env();
+    let shards = env_policy.shards.max(1);
     let telemetry = JsonValue::object([
         (
             "benchmark",
@@ -276,16 +309,21 @@ fn main() {
             ),
         ),
         ("quick", JsonValue::from(quick)),
-        (
-            "threads",
-            JsonValue::from(MaintenancePolicy::from_env().threads.max(2)),
-        ),
-        ("host_parallelism", JsonValue::from(host_parallelism)),
+        ("threads", JsonValue::from(env_policy.threads.max(2))),
+        ("shards", JsonValue::from(shards)),
+        ("host_parallelism", JsonValue::from(host)),
         // On a single-core host the multi-thread and single-thread runs
         // time-slice the same CPU, so `*_us` vs `*_1thread_us` ratios say
         // nothing about the scheduler. Downstream readers must not report
         // ≈1.0× as a regression when this flag is false.
-        ("speedup_valid", JsonValue::from(host_parallelism > 1)),
+        ("speedup_valid", JsonValue::from(concurrency_gate(host))),
+        // Same gate for the cross-shard propagate comparison: only
+        // meaningful when shards were requested *and* the host can run
+        // shard workers concurrently.
+        (
+            "shard_speedup_valid",
+            JsonValue::from(shards > 1 && concurrency_gate(host)),
+        ),
         ("panels", panels),
     ]);
     let out = "BENCH_fig9.json";

@@ -193,6 +193,47 @@ pub fn run_summary_delta_threaded(
     )
 }
 
+/// Runs the summary-delta strategy against a clone of the warehouse with a
+/// pinned thread count *and* shard count, for cross-shard propagate
+/// comparisons at fixed state.
+pub fn run_summary_delta_sharded(
+    wh: &Warehouse,
+    batch: &ChangeBatch,
+    threads: usize,
+    shards: usize,
+) -> (Timings, MaintenanceReport, Warehouse) {
+    let mut w = wh.clone();
+    w.set_maintenance_policy(MaintenancePolicy::with_threads(threads).with_shards(shards));
+    let t0 = Instant::now();
+    let report = w
+        .maintain(batch, &MaintainOptions::default())
+        .expect("maintain");
+    let total = t0.elapsed();
+    (
+        Timings {
+            propagate: report.propagate_time,
+            refresh: report.refresh_time,
+            total,
+        },
+        report,
+        w,
+    )
+}
+
+/// The host's available parallelism, defaulting to 1 when unknown.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The shared validity gate for concurrency-scaling claims in bench
+/// telemetry (`speedup_valid`, `scaling_valid`, `shard_speedup_valid`):
+/// a speedup measured on a single-core host is noise, not signal, so
+/// downstream consumers only trust scaling numbers when the host could
+/// actually run the compared configurations concurrently.
+pub fn concurrency_gate(host_parallelism: usize) -> bool {
+    host_parallelism > 1
+}
+
 /// Formats a duration in seconds with millisecond precision.
 pub fn secs(d: Duration) -> String {
     format!("{:8.3}", d.as_secs_f64())

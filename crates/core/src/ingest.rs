@@ -37,10 +37,12 @@
 //!
 //! Observability: the service reports into the warehouse's
 //! [`MetricsRegistry`](cubedelta_obs::MetricsRegistry) — counters
-//! `ingest_rows`, `batches_sealed`, `backpressure_waits`, gauge
-//! `queue_depth` (pending rows: staged + sealed + in flight), histogram
-//! `flush_latency_us` (first staged row → batch applied, the staleness a
-//! reader of the summary tables observes).
+//! `ingest_rows`, `batches_sealed`, `backpressure_waits`,
+//! `shard_routed_rows` (fact rows reordered into shard order at seal
+//! time when the warehouse is sharded), gauge `queue_depth` (pending
+//! rows: staged + sealed + in flight), histogram `flush_latency_us`
+//! (first staged row → batch applied, the staleness a reader of the
+//! summary tables observes).
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -52,7 +54,7 @@ use cubedelta_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use cubedelta_storage::{ChangeBatch, DeltaSet};
 
 use crate::error::{CoreError, CoreResult};
-use crate::warehouse::{MaintainOptions, Warehouse};
+use crate::warehouse::{MaintainOptions, ShardRouter, Warehouse};
 
 /// When the staged batch is sealed and handed to the maintenance worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,6 +113,7 @@ struct Obs {
     queue_depth: Gauge,
     flush_latency: Histogram,
     backpressure_waits: Counter,
+    shard_routed_rows: Counter,
 }
 
 /// Mutable queue state behind the service mutex.
@@ -156,6 +159,10 @@ struct Shared {
     opts: MaintainOptions,
     obs: Obs,
     registry: MetricsRegistry,
+    /// Snapshot of the warehouse's shard layout, taken at service start.
+    /// Inactive (routes nothing) when the maintenance policy runs one
+    /// shard.
+    router: ShardRouter,
 }
 
 impl Shared {
@@ -168,10 +175,25 @@ impl Shared {
 
     /// Moves the staged batch into the sealed queue. Caller ensures the
     /// staged batch is non-empty.
+    ///
+    /// When the warehouse is sharded, each fact delta's rows are reordered
+    /// into shard order here — once per batch, off the maintenance worker's
+    /// critical path — so propagate receives pre-grouped deltas. Reordering
+    /// within a delta is multiset-neutral, so replay byte-identity is
+    /// unaffected (the applied batch *is* the reordered one).
     fn seal(&self, st: &mut QueueState) {
         debug_assert!(st.staged_rows > 0);
-        let batch = std::mem::take(&mut st.staged);
+        let mut batch = std::mem::take(&mut st.staged);
         let rows = std::mem::take(&mut st.staged_rows);
+        if self.router.is_active() {
+            let mut routed = 0u64;
+            for delta in &mut batch.deltas {
+                routed += self.router.route(delta);
+            }
+            if routed > 0 {
+                self.obs.shard_routed_rows.add(routed);
+            }
+        }
         let staged_at = st
             .staged_since
             .take()
@@ -263,7 +285,9 @@ impl WarehouseService {
             queue_depth: registry.gauge("queue_depth"),
             flush_latency: registry.histogram("flush_latency_us"),
             backpressure_waits: registry.counter("backpressure_waits"),
+            shard_routed_rows: registry.counter("shard_routed_rows"),
         };
+        let router = warehouse.shard_router();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState::default()),
             work: Condvar::new(),
@@ -272,6 +296,7 @@ impl WarehouseService {
             opts,
             obs,
             registry,
+            router,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()

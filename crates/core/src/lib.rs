@@ -81,19 +81,22 @@ pub use cube::{CubeBudget, CubeReport, CubeSpec};
 pub use error::{CoreError, CoreResult};
 pub use ingest::{BatchPolicy, IngestStats, ShutdownReport, WarehouseService};
 pub use multi::{
-    plan_levels, propagate_plan, propagate_plan_leveled, propagate_plan_metered,
-    refresh_plan_leveled, LevelReport, PropagationStepReport, RefreshStepReport,
+    plan_levels, propagate_plan, propagate_plan_leveled, propagate_plan_leveled_sharded,
+    propagate_plan_metered, refresh_plan_leveled, LevelReport, PropagationStepReport,
+    RefreshStepReport,
 };
 pub use prepare::{prepare_changes, prepare_deletions, prepare_insertions, Sign};
 pub use propagate::{
-    propagate_view, propagate_view_metered, sd_from_prepare_threaded, PropagateOptions,
+    propagate_view, propagate_view_metered, propagate_view_sharded, sd_from_prepare_threaded,
+    PropagateOptions, ShardStepStats,
 };
 pub use refresh::{
     apply_refresh_ops, plan_refresh_ops, refresh, refresh_join, refresh_join_metered,
     refresh_metered, PlannedRefresh, RecomputeSource, RefreshOptions, RefreshStats,
 };
 pub use warehouse::{
-    MaintainOptions, MaintenancePolicy, MaintenanceReport, ViewReport, Warehouse, THREADS_ENV_VAR,
+    MaintainOptions, MaintenancePolicy, MaintenanceReport, ShardRouter, ViewReport, Warehouse,
+    SHARDS_ENV_VAR, THREADS_ENV_VAR,
 };
 
 // Observability re-exports: the counters type every metered entry point

@@ -29,11 +29,13 @@ use std::time::{Duration, Instant};
 use cubedelta_lattice::{derive_child, DeltaSource, MaintenancePlan};
 use cubedelta_obs::{trace, ExecutionMetrics};
 use cubedelta_query::Relation;
-use cubedelta_storage::{Catalog, ChangeBatch, Table, TableRole};
+use cubedelta_storage::{Catalog, ChangeBatch, ShardedTable, Table, TableRole};
 use cubedelta_view::AugmentedView;
 
 use crate::error::{CoreError, CoreResult};
-use crate::propagate::{propagate_view_metered, PropagateOptions};
+use crate::propagate::{
+    propagate_view_metered, propagate_view_sharded, PropagateOptions, ShardStepStats,
+};
 use crate::refresh::{
     apply_refresh_ops, plan_refresh_ops, RecomputeSource, RefreshOptions, RefreshStats,
 };
@@ -52,6 +54,9 @@ pub struct PropagationStepReport {
     pub time: Duration,
     /// Operator counters booked while computing this step's delta.
     pub metrics: ExecutionMetrics,
+    /// Per-shard telemetry when this step ran over a sharded fact table
+    /// (`None` for unsharded or parent-derived steps).
+    pub shard: Option<ShardStepStats>,
 }
 
 /// Executes a propagation plan, returning one summary-delta relation per
@@ -115,6 +120,7 @@ pub fn propagate_plan_metered(
             source,
             time: start.elapsed(),
             metrics: m,
+            shard: None,
         });
         deltas.insert(step.view.clone(), sd);
     }
@@ -175,6 +181,7 @@ struct StepOutcome {
     source: Option<String>,
     time: Duration,
     metrics: ExecutionMetrics,
+    shard: Option<ShardStepStats>,
 }
 
 /// Executes one plan step against the deltas of earlier levels.
@@ -185,15 +192,26 @@ fn run_step(
     step: &cubedelta_lattice::vlattice::PlanStep,
     batch: &ChangeBatch,
     opts: &PropagateOptions,
+    shard_tables: Option<&HashMap<String, ShardedTable>>,
 ) -> CoreResult<StepOutcome> {
     let view = by_name.get(step.view.as_str()).ok_or_else(|| {
         CoreError::Maintenance(format!("plan references unknown view `{}`", step.view))
     })?;
     let start = Instant::now();
     let mut m = ExecutionMetrics::new();
+    let mut shard_stats = None;
     let (sd, source) = match &step.source {
         DeltaSource::Direct => {
-            (propagate_view_metered(catalog, view, batch, opts, &mut m)?, None)
+            let sharded = shard_tables.and_then(|t| t.get(view.def.fact_table.as_str()));
+            match sharded {
+                Some(st) if st.num_shards() > 1 => {
+                    let (sd, stats) =
+                        propagate_view_sharded(catalog, st, view, batch, opts, &mut m)?;
+                    shard_stats = Some(stats);
+                    (sd, None)
+                }
+                _ => (propagate_view_metered(catalog, view, batch, opts, &mut m)?, None),
+            }
         }
         DeltaSource::FromParent(eq) => {
             let parent_sd = deltas.get(&eq.parent).ok_or_else(|| {
@@ -215,6 +233,7 @@ fn run_step(
         source,
         time: start.elapsed(),
         metrics: m,
+        shard: shard_stats,
     })
 }
 
@@ -240,6 +259,25 @@ pub fn propagate_plan_leveled(
     batch: &ChangeBatch,
     opts: &PropagateOptions,
     threads: usize,
+) -> CoreResult<LeveledPropagation> {
+    propagate_plan_leveled_sharded(catalog, views, plan, batch, opts, threads, None)
+}
+
+/// [`propagate_plan_leveled`] over sharded fact tables: `Direct` steps whose
+/// fact table appears in `shard_tables` (with more than one shard) compute
+/// per-shard partial summary-deltas via
+/// [`crate::propagate::propagate_view_sharded`] and record
+/// [`ShardStepStats`] on their report; everything else — `FromParent`
+/// derivation, leveling, plan-order merging — is unchanged, and refresh
+/// stays shard-oblivious downstream.
+pub fn propagate_plan_leveled_sharded(
+    catalog: &Catalog,
+    views: &[AugmentedView],
+    plan: &MaintenancePlan,
+    batch: &ChangeBatch,
+    opts: &PropagateOptions,
+    threads: usize,
+    shard_tables: Option<&HashMap<String, ShardedTable>>,
 ) -> CoreResult<LeveledPropagation> {
     let by_name: HashMap<&str, &AugmentedView> = views
         .iter()
@@ -271,7 +309,15 @@ pub fn propagate_plan_leveled(
             for &i in step_idxs {
                 outcomes.push((
                     i,
-                    run_step(catalog, &by_name, &deltas, &plan.steps[i], batch, &step_opts),
+                    run_step(
+                        catalog,
+                        &by_name,
+                        &deltas,
+                        &plan.steps[i],
+                        batch,
+                        &step_opts,
+                        shard_tables,
+                    ),
                 ));
             }
         } else {
@@ -301,6 +347,7 @@ pub fn propagate_plan_leveled(
                                             &plan.steps[i],
                                             batch,
                                             &step_opts,
+                                            shard_tables,
                                         ),
                                     ));
                                 }
@@ -325,6 +372,7 @@ pub fn propagate_plan_leveled(
                 source: outcome.source,
                 time: outcome.time,
                 metrics: outcome.metrics,
+                shard: outcome.shard,
             });
             deltas.insert(plan.steps[i].view.clone(), outcome.sd);
         }
@@ -381,6 +429,38 @@ pub mod failpoints {
             ARMED.store(false, Ordering::SeqCst);
             drop(armed_view); // don't poison the failpoint's own mutex
             panic!("injected refresh failpoint for `{view}`");
+        }
+    }
+
+    static MERGE_ARMED: AtomicBool = AtomicBool::new(false);
+    static MERGE_VIEW: Mutex<Option<String>> = Mutex::new(None);
+
+    /// Arms a one-shot panic just before the named view's next sharded
+    /// partial-delta merge — mid-propagate, after every shard's partial has
+    /// been computed. Propagation is read-only, so recovery must leave all
+    /// shards and summary tables untouched.
+    pub fn arm_merge_panic(view: &str) {
+        *MERGE_VIEW.lock().unwrap_or_else(|p| p.into_inner()) = Some(view.to_string());
+        MERGE_ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarms both failpoints (idempotent).
+    pub fn disarm_all() {
+        disarm();
+        MERGE_ARMED.store(false, Ordering::SeqCst);
+        *MERGE_VIEW.lock().unwrap_or_else(|p| p.into_inner()) = None;
+    }
+
+    pub(crate) fn maybe_panic_merge(view: &str) {
+        if !MERGE_ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut armed_view = MERGE_VIEW.lock().unwrap_or_else(|p| p.into_inner());
+        if armed_view.as_deref() == Some(view) {
+            *armed_view = None;
+            MERGE_ARMED.store(false, Ordering::SeqCst);
+            drop(armed_view); // don't poison the failpoint's own mutex
+            panic!("injected merge failpoint for `{view}`");
         }
     }
 }

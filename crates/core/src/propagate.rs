@@ -17,13 +17,19 @@
 //!   dimension table (`pi_items_SiC_sales` in the paper), via the multiset
 //!   derivative `Δ(F ⋈ D1 ⋈ … ⋈ Dk)` telescoped one table at a time.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
 use cubedelta_expr::Expr;
 use cubedelta_obs::ExecutionMetrics;
 use cubedelta_query::{
     filter_metered, hash_aggregate_parallel_metered, hash_join_metered, union_all_metered,
     AggFunc, Relation,
 };
-use cubedelta_storage::{Catalog, ChangeBatch, Column, Table};
+use cubedelta_storage::{Catalog, ChangeBatch, Column, DeltaSet, Row, ShardedTable, Table, Value};
 use cubedelta_view::{augment, summary_schema, AugmentedView, SummaryViewDef};
 
 use crate::error::{CoreError, CoreResult};
@@ -190,6 +196,23 @@ pub fn propagate_view_metered(
     opts: &PropagateOptions,
     m: &mut ExecutionMetrics,
 ) -> CoreResult<Relation> {
+    let fact = catalog.table(&view.def.fact_table)?;
+    propagate_with_fact(catalog, fact, view, batch, opts, m)
+}
+
+/// [`propagate_view_metered`] with the fact table supplied by the caller
+/// instead of looked up in the catalog — the hook that lets the sharded
+/// path run the identical propagation per shard: pass shard `s`'s rows as
+/// `fact` and a batch whose fact delta is restricted to shard `s`, and the
+/// result is that shard's partial summary-delta.
+fn propagate_with_fact(
+    catalog: &Catalog,
+    fact: &Table,
+    view: &AugmentedView,
+    batch: &ChangeBatch,
+    opts: &PropagateOptions,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<Relation> {
     let dims_changed = view
         .def
         .dim_joins
@@ -197,13 +220,13 @@ pub fn propagate_view_metered(
         .any(|d| batch.for_table(d).map(|x| !x.is_empty()).unwrap_or(false));
 
     if opts.pre_aggregate && !dims_changed {
-        if let Some(sd) = propagate_preaggregated(catalog, view, batch, opts.threads, m)? {
+        if let Some(sd) = propagate_preaggregated(catalog, fact, view, batch, opts.threads, m)? {
             m.delta_rows += sd.len() as u64;
             return Ok(sd);
         }
     }
 
-    let fact_schema = catalog.table(&view.def.fact_table)?.schema().clone();
+    let fact_schema = fact.schema().clone();
     let empty_delta = cubedelta_storage::DeltaSet::new(&view.def.fact_table);
     let fact_delta = batch
         .for_table(&view.def.fact_table)
@@ -232,7 +255,7 @@ pub fn propagate_view_metered(
 
     // --- dimension-change terms ------------------------------------------
     if dims_changed {
-        let fact_new = updated_relation(catalog.table(&view.def.fact_table)?, batch)?;
+        let fact_new = updated_relation(fact, batch)?;
         for (i, dim) in view.def.dim_joins.iter().enumerate() {
             let Some(dim_delta) = batch.for_table(dim).filter(|d| !d.is_empty()) else {
                 continue;
@@ -299,12 +322,13 @@ pub fn propagate_view_metered(
 /// source references dimension attributes).
 fn propagate_preaggregated(
     catalog: &Catalog,
+    fact: &Table,
     view: &AugmentedView,
     batch: &ChangeBatch,
     threads: usize,
     m: &mut ExecutionMetrics,
 ) -> CoreResult<Option<Relation>> {
-    let fact_schema = catalog.table(&view.def.fact_table)?.schema().clone();
+    let fact_schema = fact.schema().clone();
 
     // Eligibility: every aggregate source ranges over fact columns.
     for spec in &view.def.aggregates {
@@ -354,8 +378,9 @@ fn propagate_preaggregated(
     // The virtual view's propagation counts as this view's work, except
     // its delta cardinality: only the final summary-delta is `delta_rows`.
     let mut partial_m = ExecutionMetrics::new();
-    let partial = propagate_view_metered(
+    let partial = propagate_with_fact(
         catalog,
+        fact,
         &virtual_view,
         batch,
         &PropagateOptions {
@@ -368,6 +393,272 @@ fn propagate_preaggregated(
     m.merge(&partial_m);
     m.rows_scanned += partial.len() as u64;
     Ok(Some(cubedelta_lattice::derive_child(catalog, &partial, &eq)?))
+}
+
+/// Per-step shard telemetry from [`propagate_view_sharded`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShardStepStats {
+    /// Shards the step ran over.
+    pub shards: usize,
+    /// Rows scanned across all per-shard propagations.
+    pub rows_scanned: u64,
+    /// Wall-clock time of the partial-delta merge, in microseconds.
+    pub merge_us: u64,
+    /// Partial summary-delta cardinality per shard — the skew signal.
+    pub per_shard_delta_rows: Vec<u64>,
+}
+
+impl ShardStepStats {
+    /// Max/mean of the per-shard partial-delta cardinalities; `0.0` when no
+    /// shard produced rows. `1.0` means perfectly balanced.
+    pub fn skew(&self) -> f64 {
+        let total: u64 = self.per_shard_delta_rows.iter().sum();
+        if total == 0 || self.per_shard_delta_rows.is_empty() {
+            return 0.0;
+        }
+        let max = *self.per_shard_delta_rows.iter().max().expect("non-empty") as f64;
+        let mean = total as f64 / self.per_shard_delta_rows.len() as f64;
+        max / mean
+    }
+}
+
+/// Combines two partial aggregate values for the same group, one from each
+/// side of a shard boundary — the self-maintainable combine rules: COUNT
+/// and SUM add (NULL, "no rows in this shard", is the identity); MIN/MAX
+/// take the null-skipping extremum. Exactly matches what
+/// [`cubedelta_query::AggState`] would have produced over the union of the
+/// shards' prepare tuples, which is what makes the merged summary-delta
+/// bag-equal to the unsharded one.
+fn combine_aggregate(func: &AggFunc, a: &Value, b: &Value) -> CoreResult<Value> {
+    Ok(match func {
+        AggFunc::CountStar | AggFunc::Count(_) | AggFunc::Sum(_) => {
+            if a.is_null() {
+                b.clone()
+            } else if b.is_null() {
+                a.clone()
+            } else {
+                a.add(b)
+            }
+        }
+        AggFunc::Min(_) => a.min_sql(b),
+        AggFunc::Max(_) => a.max_sql(b),
+        AggFunc::Avg(_) => {
+            return Err(CoreError::Maintenance(
+                "AVG must be rewritten before maintenance".to_string(),
+            ))
+        }
+    })
+}
+
+/// Merges per-shard partial summary-deltas into the view's summary-delta.
+///
+/// Groups are matched on the view's group-by prefix; aggregate columns
+/// combine per [`combine_aggregate`]. Row order is deterministic: first
+/// occurrence wins (partials are visited in shard order), so the merged
+/// relation is identical run to run for a fixed shard count. Groups that
+/// net to a zero count are kept — refresh needs them to process deletions.
+fn merge_partial_sds(view: &AugmentedView, partials: Vec<Relation>) -> CoreResult<Relation> {
+    let key_width = view.key_width();
+    let schema = partials
+        .first()
+        .expect("at least one shard partial")
+        .schema
+        .clone();
+    let mut rows: Vec<Row> = Vec::new();
+    let mut index: HashMap<Row, usize> = HashMap::new();
+    for part in partials {
+        for row in part.rows {
+            let key = Row::new(row.values()[..key_width].to_vec());
+            match index.entry(key) {
+                Entry::Vacant(e) => {
+                    e.insert(rows.len());
+                    rows.push(row);
+                }
+                Entry::Occupied(e) => {
+                    let acc = &mut rows[*e.get()];
+                    for (i, spec) in view.def.aggregates.iter().enumerate() {
+                        let col = key_width + i;
+                        acc.0[col] = combine_aggregate(&spec.func, &acc[col], &row[col])?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(Relation::new(schema, rows))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "sharded propagation panicked".to_string())
+}
+
+/// Computes the summary-delta for one view over a sharded fact table:
+/// per-shard partial summary-deltas (the identical propagation, fed shard
+/// `s`'s rows and the fact delta routed to shard `s`, with dimension
+/// tables and deltas unrestricted) computed concurrently on up to
+/// `opts.threads` scoped workers, then merged with the self-maintainable
+/// combine rules. The union of the shards' inputs is exactly the unsharded
+/// input, so the merged summary-delta is bag-equal to the unsharded one —
+/// refresh canonicalizes it, making the refreshed tables byte-identical.
+///
+/// Panic-safe: a panic in a shard worker or mid-merge is caught and
+/// surfaced as [`CoreError::Maintenance`]; propagation never mutates the
+/// catalog, so no state needs restoring.
+pub fn propagate_view_sharded(
+    catalog: &Catalog,
+    sharded: &ShardedTable,
+    view: &AugmentedView,
+    batch: &ChangeBatch,
+    opts: &PropagateOptions,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<(Relation, ShardStepStats)> {
+    if sharded.name() != view.def.fact_table {
+        return Err(CoreError::Maintenance(format!(
+            "sharded table `{}` does not back view `{}` (fact table `{}`)",
+            sharded.name(),
+            view.def.name,
+            view.def.fact_table
+        )));
+    }
+    let n = sharded.num_shards();
+    if n <= 1 {
+        let sd = propagate_with_fact(catalog, sharded.shard(0), view, batch, opts, m)?;
+        let stats = ShardStepStats {
+            shards: 1,
+            rows_scanned: 0,
+            merge_us: 0,
+            per_shard_delta_rows: vec![sd.len() as u64],
+        };
+        return Ok((sd, stats));
+    }
+
+    // Route the fact delta; dimension deltas replicate to every shard (the
+    // telescoped dimension-change terms join each shard's fact rows against
+    // the full dimension delta, and the per-shard terms union to the
+    // unsharded term because F' = ⊎ F'_s).
+    let empty_delta = DeltaSet::new(&view.def.fact_table);
+    let fact_delta = batch
+        .for_table(&view.def.fact_table)
+        .unwrap_or(&empty_delta);
+    let routed = sharded.route_delta(fact_delta);
+    let shard_batches: Vec<ChangeBatch> = routed
+        .into_iter()
+        .map(|d| {
+            let mut deltas: Vec<DeltaSet> = batch
+                .deltas
+                .iter()
+                .filter(|x| x.table != view.def.fact_table)
+                .cloned()
+                .collect();
+            deltas.push(d);
+            ChangeBatch { deltas }
+        })
+        .collect();
+
+    let caught = catch_unwind(AssertUnwindSafe(|| -> CoreResult<_> {
+        let workers = opts.threads.max(1).min(n);
+        // Thread budget splits across shards first; leftovers go into each
+        // shard's own partitioned aggregation.
+        let shard_opts = PropagateOptions {
+            threads: (opts.threads.max(1) / workers).max(1),
+            ..*opts
+        };
+        let mut partials: Vec<(Relation, ExecutionMetrics)> = Vec::with_capacity(n);
+        if workers <= 1 {
+            for (s, shard_batch) in shard_batches.iter().enumerate() {
+                let mut pm = ExecutionMetrics::new();
+                let sd = propagate_with_fact(
+                    catalog,
+                    sharded.shard(s),
+                    view,
+                    shard_batch,
+                    &shard_opts,
+                    &mut pm,
+                )?;
+                partials.push((sd, pm));
+            }
+        } else {
+            type ShardOutcome = (usize, CoreResult<(Relation, ExecutionMetrics)>);
+            let cursor = AtomicUsize::new(0);
+            let shard_batches = &shard_batches;
+            let results: Vec<Vec<ShardOutcome>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            let cursor = &cursor;
+                            let shard_opts = &shard_opts;
+                            scope.spawn(move || {
+                                let mut done = Vec::new();
+                                loop {
+                                    let s = cursor.fetch_add(1, Ordering::Relaxed);
+                                    if s >= n {
+                                        break;
+                                    }
+                                    let mut pm = ExecutionMetrics::new();
+                                    let sd = propagate_with_fact(
+                                        catalog,
+                                        sharded.shard(s),
+                                        view,
+                                        &shard_batches[s],
+                                        shard_opts,
+                                        &mut pm,
+                                    );
+                                    done.push((s, sd.map(|sd| (sd, pm))));
+                                }
+                                done
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(v) => v,
+                            Err(p) => std::panic::resume_unwind(p),
+                        })
+                        .collect()
+                });
+            let mut outcomes: Vec<ShardOutcome> = results.into_iter().flatten().collect();
+            outcomes.sort_by_key(|(s, _)| *s);
+            for (_, outcome) in outcomes {
+                partials.push(outcome?);
+            }
+        }
+
+        let mut stats = ShardStepStats {
+            shards: n,
+            rows_scanned: 0,
+            merge_us: 0,
+            per_shard_delta_rows: Vec::with_capacity(n),
+        };
+        let mut sds = Vec::with_capacity(n);
+        for (sd, mut pm) in partials {
+            // Only the merged summary-delta counts as this step's
+            // delta_rows; the partials' cardinalities go to the skew stat.
+            stats.rows_scanned += pm.rows_scanned;
+            stats.per_shard_delta_rows.push(sd.len() as u64);
+            pm.delta_rows = 0;
+            m.merge(&pm);
+            sds.push(sd);
+        }
+
+        crate::multi::failpoints::maybe_panic_merge(&view.def.name);
+        let merge_start = Instant::now();
+        let merged = merge_partial_sds(view, sds)?;
+        stats.merge_us = merge_start.elapsed().as_micros() as u64;
+        m.delta_rows += merged.len() as u64;
+        Ok((merged, stats))
+    }));
+    match caught {
+        Ok(result) => result,
+        Err(payload) => Err(CoreError::Maintenance(format!(
+            "sharded propagation of `{}` panicked: {}",
+            view.def.name,
+            panic_message(payload)
+        ))),
+    }
 }
 
 #[cfg(test)]

@@ -6,53 +6,81 @@ use std::time::{Duration, Instant};
 use cubedelta_lattice::{DeltaSource, ViewLattice};
 use cubedelta_obs::json::{duration_us, JsonValue};
 use cubedelta_obs::{trace, ExecutionMetrics, MetricsRegistry};
-use cubedelta_storage::{Catalog, ChangeBatch, DimensionInfo, Row, Schema, TableRole};
+use std::collections::HashMap;
+
+use cubedelta_storage::{
+    Catalog, ChangeBatch, DimensionInfo, Row, Schema, ShardKey, ShardedTable, TableRole,
+};
 use cubedelta_view::{augment, install_summary_table, AugmentedView, SummaryViewDef};
 
 use crate::baseline::{rematerialize_direct, rematerialize_with_lattice};
 use crate::consistency::check_view_consistency;
 use crate::error::{CoreError, CoreResult};
-use crate::multi::{propagate_plan_leveled, refresh_plan_leveled, LevelReport};
+use crate::multi::{propagate_plan_leveled_sharded, refresh_plan_leveled, LevelReport};
 use crate::propagate::PropagateOptions;
 use crate::refresh::{RefreshOptions, RefreshStats};
 
 /// Environment variable that overrides the maintenance thread count.
 pub const THREADS_ENV_VAR: &str = "CUBEDELTA_THREADS";
 
+/// Environment variable that overrides the fact-table shard count.
+pub const SHARDS_ENV_VAR: &str = "CUBEDELTA_SHARDS";
+
 /// How a warehouse schedules maintenance work.
 ///
-/// Currently one knob: the number of worker threads for both maintenance
-/// phases. During propagate, levels of the plan run their independent
-/// steps concurrently (§4.1.2 — distributive aggregates partition
-/// cleanly), with any leftover thread budget going to hash-partitioned
-/// aggregation inside each step. During refresh — the batch window — the
-/// same levels refresh disjoint summary tables concurrently under
-/// per-table locks. `threads = 1` is exactly the sequential executor, and
-/// refreshed tables are byte-identical for any thread count.
+/// Two knobs. `threads` is the number of worker threads for both
+/// maintenance phases: during propagate, levels of the plan run their
+/// independent steps concurrently (§4.1.2 — distributive aggregates
+/// partition cleanly), with any leftover thread budget going to
+/// hash-partitioned aggregation inside each step; during refresh — the
+/// batch window — the same levels refresh disjoint summary tables
+/// concurrently under per-table locks. `shards` horizontally partitions
+/// each fact table so `Direct` propagate steps compute per-shard partial
+/// summary-deltas concurrently and merge them — parallelism beyond the
+/// lattice width. `threads = 1, shards = 1` is exactly the sequential
+/// executor, and refreshed tables are byte-identical for any combination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MaintenancePolicy {
     /// Worker threads for the propagate and refresh phases (minimum 1).
     pub threads: usize,
+    /// Fact-table shards for cross-shard propagate parallelism (minimum 1;
+    /// 1 = unsharded).
+    pub shards: usize,
 }
 
 impl MaintenancePolicy {
-    /// A policy with an explicit thread count (clamped to at least 1).
+    /// A policy with an explicit thread count (clamped to at least 1) and
+    /// an unsharded fact table.
     pub fn with_threads(threads: usize) -> Self {
         MaintenancePolicy {
             threads: threads.max(1),
+            shards: 1,
         }
     }
 
-    /// Thread count from the environment: `CUBEDELTA_THREADS` if set to a
-    /// positive integer, otherwise the machine's available parallelism.
+    /// This policy with an explicit shard count (clamped to at least 1).
+    pub fn with_shards(self, shards: usize) -> Self {
+        MaintenancePolicy {
+            shards: shards.max(1),
+            ..self
+        }
+    }
+
+    /// Thread and shard counts from the environment: `CUBEDELTA_THREADS` /
+    /// `CUBEDELTA_SHARDS` if set to positive integers, otherwise the
+    /// machine's available parallelism and 1 shard respectively.
     pub fn from_env() -> Self {
         let threads = std::env::var(THREADS_ENV_VAR)
             .ok()
-            .and_then(|s| parse_threads(&s))
+            .and_then(|s| parse_positive(&s))
             .unwrap_or_else(|| {
                 std::thread::available_parallelism().map_or(1, |n| n.get())
             });
-        MaintenancePolicy::with_threads(threads)
+        let shards = std::env::var(SHARDS_ENV_VAR)
+            .ok()
+            .and_then(|s| parse_positive(&s))
+            .unwrap_or(1);
+        MaintenancePolicy::with_threads(threads).with_shards(shards)
     }
 }
 
@@ -62,10 +90,10 @@ impl Default for MaintenancePolicy {
     }
 }
 
-/// Parses a `CUBEDELTA_THREADS` value: a positive integer, or `None` for
-/// anything unusable (empty, zero, garbage), which falls through to the
-/// machine default.
-fn parse_threads(s: &str) -> Option<usize> {
+/// Parses a `CUBEDELTA_THREADS` / `CUBEDELTA_SHARDS` value: a positive
+/// integer, or `None` for anything unusable (empty, zero, garbage), which
+/// falls through to the default.
+fn parse_positive(s: &str) -> Option<usize> {
     match s.trim().parse::<usize>() {
         Ok(n) if n >= 1 => Some(n),
         _ => None,
@@ -158,6 +186,18 @@ pub struct MaintenanceReport {
     /// Per-level refresh timings — the batch-window counterpart of
     /// `levels`; empty for the rematerialize baselines.
     pub refresh_levels: Vec<LevelReport>,
+    /// Fact-table shards the propagate phase ran over (1 = unsharded).
+    pub shards: usize,
+    /// Rows scanned inside per-shard propagations, summed over the cycle's
+    /// sharded steps (0 when unsharded).
+    pub shard_rows_scanned: u64,
+    /// Time merging per-shard partial summary-deltas, in microseconds,
+    /// summed over the cycle's sharded steps.
+    pub shard_merge_us: u64,
+    /// Max/mean of per-shard partial-delta rows across the cycle — `1.0`
+    /// is perfectly balanced, `shards as f64` is fully skewed, `0.0` when
+    /// unsharded or no shard produced rows.
+    pub shard_skew: f64,
 }
 
 impl MaintenanceReport {
@@ -189,6 +229,10 @@ impl MaintenanceReport {
             ("refresh_1thread_us", duration_us(self.refresh_1thread_time())),
             ("total_us", duration_us(self.total_time())),
             ("threads", JsonValue::from(self.threads)),
+            ("shards", JsonValue::from(self.shards)),
+            ("shard_rows_scanned", JsonValue::from(self.shard_rows_scanned)),
+            ("shard_merge_us", JsonValue::from(self.shard_merge_us)),
+            ("shard_skew", JsonValue::from(self.shard_skew)),
             ("levels", levels_json(&self.levels)),
             ("refresh_levels", levels_json(&self.refresh_levels)),
             ("metrics", self.metrics.to_json()),
@@ -226,6 +270,13 @@ impl std::fmt::Display for MaintenanceReport {
             self.total_time(),
             self.threads
         )?;
+        if self.shards > 1 {
+            writeln!(
+                f,
+                "shards {} | shard rows scanned {} | merge {}us | skew {:.2}",
+                self.shards, self.shard_rows_scanned, self.shard_merge_us, self.shard_skew
+            )?;
+        }
         if !self.metrics.is_zero() {
             writeln!(f, "cycle counters: {}", self.metrics)?;
         }
@@ -269,6 +320,45 @@ impl std::fmt::Display for MaintenanceReport {
     }
 }
 
+/// Shard routing spec consumed by the ingestion service at seal time: for
+/// each sharded fact table, the key, its resolved column position, and the
+/// shard count. Snapshotted from [`Warehouse::shard_router`] before the
+/// worker thread takes ownership of the warehouse.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRouter {
+    tables: HashMap<String, (ShardKey, usize, usize)>,
+}
+
+impl ShardRouter {
+    /// Whether any fact table routes to more than one shard.
+    pub fn is_active(&self) -> bool {
+        !self.tables.is_empty()
+    }
+
+    /// The shard `row` of `table` routes to; `None` when the table is not
+    /// sharded.
+    pub fn shard_of(&self, table: &str, row: &Row) -> Option<usize> {
+        let (key, key_idx, shards) = self.tables.get(table)?;
+        Some(key.shard_of(&row[*key_idx], *shards))
+    }
+
+    /// Reorders a sharded fact table's delta rows into shard order (stable
+    /// within each shard) so the batch arrives at propagate pre-grouped.
+    /// Reordering within one `DeltaSet` is multiset-neutral: apply and
+    /// replay semantics are unchanged. Returns the number of rows routed.
+    pub fn route(&self, delta: &mut cubedelta_storage::DeltaSet) -> u64 {
+        let Some((key, key_idx, shards)) = self.tables.get(&delta.table) else {
+            return 0;
+        };
+        let mut routed = 0u64;
+        for rows in [&mut delta.insertions, &mut delta.deletions] {
+            routed += rows.len() as u64;
+            rows.sort_by_key(|r| key.shard_of(&r[*key_idx], *shards));
+        }
+        routed
+    }
+}
+
 /// A data warehouse: base tables, summary tables, and the summary-delta
 /// maintenance machinery. See the crate-level example.
 ///
@@ -283,6 +373,15 @@ pub struct Warehouse {
     lattice: Option<ViewLattice>,
     registry: MetricsRegistry,
     policy: MaintenancePolicy,
+    /// Configured shard keys per fact table; fact tables without an entry
+    /// default to hashing their first column.
+    shard_keys: HashMap<String, ShardKey>,
+    /// Cached shard partitions per fact table, maintained incrementally by
+    /// the apply phase and rebuilt by `ensure_shard_tables` when stale.
+    /// The catalog's monolithic fact table stays authoritative — refresh
+    /// recomputes (MIN/MAX evictions) stream it directly, which is how a
+    /// recompute "reads across all shards" for free.
+    shard_tables: HashMap<String, ShardedTable>,
 }
 
 impl Warehouse {
@@ -300,6 +399,8 @@ impl Warehouse {
             lattice: None,
             registry: MetricsRegistry::new(),
             policy: MaintenancePolicy::default(),
+            shard_keys: HashMap::new(),
+            shard_tables: HashMap::new(),
         }
     }
 
@@ -309,9 +410,88 @@ impl Warehouse {
     }
 
     /// Replaces the maintenance scheduling policy (e.g. to pin the thread
-    /// count regardless of `CUBEDELTA_THREADS` / machine parallelism).
+    /// or shard count regardless of `CUBEDELTA_THREADS` /
+    /// `CUBEDELTA_SHARDS` / machine parallelism). A shard-count change
+    /// takes effect at the next maintenance cycle, which repartitions.
     pub fn set_maintenance_policy(&mut self, policy: MaintenancePolicy) {
-        self.policy = MaintenancePolicy::with_threads(policy.threads);
+        self.policy = MaintenancePolicy::with_threads(policy.threads).with_shards(policy.shards);
+    }
+
+    /// Sets the shard key for a fact table (default: hash the table's
+    /// first column — `storeID` for the paper's `pos`). Takes effect at the
+    /// next maintenance cycle; an existing partitioning under a different
+    /// key is discarded.
+    pub fn set_shard_key(&mut self, table: &str, key: ShardKey) {
+        self.shard_tables.remove(table);
+        self.shard_keys.insert(table.to_string(), key);
+    }
+
+    /// The shard routing spec for each fact table, as the ingestion service
+    /// consumes it at seal time: `(table, key, key position, shard count)`.
+    /// Empty when the policy is unsharded.
+    pub fn shard_router(&self) -> ShardRouter {
+        let shards = self.policy.shards.max(1);
+        let mut tables = HashMap::new();
+        if shards > 1 {
+            for name in self.catalog.tables_with_role(TableRole::Fact) {
+                let Ok(table) = self.catalog.table(name) else {
+                    continue;
+                };
+                let key = self.shard_key_for(name, table);
+                if let Ok(key_idx) = table.schema().index_of(key.column()) {
+                    tables.insert(name.to_string(), (key, key_idx, shards));
+                }
+            }
+        }
+        ShardRouter { tables }
+    }
+
+    /// The effective shard key for a fact table.
+    fn shard_key_for(&self, name: &str, table: &cubedelta_storage::Table) -> ShardKey {
+        self.shard_keys.get(name).cloned().unwrap_or_else(|| {
+            ShardKey::hash(
+                table
+                    .schema()
+                    .columns()
+                    .first()
+                    .map(|c| c.name.as_str())
+                    .unwrap_or_default(),
+            )
+        })
+    }
+
+    /// Brings the cached shard partitions in line with the policy and the
+    /// catalog: clears them when unsharded, (re)builds a fact table's
+    /// partitioning when missing, keyed differently, sized differently, or
+    /// out of sync with the catalog's row count (e.g. after a bulk load).
+    fn ensure_shard_tables(&mut self) -> CoreResult<()> {
+        let shards = self.policy.shards.max(1);
+        if shards <= 1 {
+            self.shard_tables.clear();
+            return Ok(());
+        }
+        let facts: Vec<String> = self
+            .catalog
+            .tables_with_role(TableRole::Fact)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        self.shard_tables.retain(|name, _| facts.iter().any(|f| f == name));
+        for name in facts {
+            let table = self.catalog.table(&name)?;
+            let key = self.shard_key_for(&name, table);
+            let stale = match self.shard_tables.get(&name) {
+                Some(st) => {
+                    st.num_shards() != shards || st.key() != &key || st.len() != table.len()
+                }
+                None => true,
+            };
+            if stale {
+                self.shard_tables
+                    .insert(name.clone(), ShardedTable::from_table(table, key, shards)?);
+            }
+        }
+        Ok(())
     }
 
     /// Read access to the catalog.
@@ -329,8 +509,11 @@ impl Warehouse {
 
     /// Write access to the catalog. Mutating base data through this without
     /// a maintenance cycle leaves summary tables stale (as in any
-    /// warehouse); [`Warehouse::check_consistency`] will say so.
+    /// warehouse); [`Warehouse::check_consistency`] will say so. Cached
+    /// shard partitions are dropped — the caller may change anything — and
+    /// rebuilt at the next maintenance cycle.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
+        self.shard_tables.clear();
         &mut self.catalog
     }
 
@@ -369,6 +552,7 @@ impl Warehouse {
     /// Bulk-inserts rows into a base table (loading, not maintenance).
     pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> CoreResult<()> {
         self.catalog.table_mut(table)?.insert_all(rows)?;
+        self.shard_tables.remove(table); // repartitioned at the next cycle
         Ok(())
     }
 
@@ -497,6 +681,7 @@ impl Warehouse {
         opts: &MaintainOptions,
     ) -> CoreResult<MaintenanceReport> {
         let threads = self.policy.threads.max(1);
+        let shards = self.policy.shards.max(1);
         let popts = PropagateOptions {
             pre_aggregate: opts.pre_aggregate,
             threads,
@@ -506,9 +691,18 @@ impl Warehouse {
 
         // --- propagate --------------------------------------------------
         let t0 = Instant::now();
+        self.ensure_shard_tables()?;
         let (deltas, step_reports, levels) = {
             let _span = trace::span(|| "propagate".to_string());
-            propagate_plan_leveled(&self.catalog, &self.views, plan, batch, &popts, threads)?
+            propagate_plan_leveled_sharded(
+                &self.catalog,
+                &self.views,
+                plan,
+                batch,
+                &popts,
+                threads,
+                (shards > 1).then_some(&self.shard_tables),
+            )?
         };
         let propagate_time = t0.elapsed();
 
@@ -518,6 +712,11 @@ impl Warehouse {
             let _span = trace::span(|| "apply_base".to_string());
             for delta in &batch.deltas {
                 self.catalog.table_mut(&delta.table)?.apply_delta(delta)?;
+                // Keep the shard partitions in sync; if this errors the
+                // cache self-heals (row-count mismatch) next cycle.
+                if let Some(st) = self.shard_tables.get_mut(&delta.table) {
+                    st.apply_delta(delta)?;
+                }
             }
         }
         let apply_base_time = t1.elapsed();
@@ -558,6 +757,29 @@ impl Warehouse {
             });
         }
 
+        // Per-shard telemetry, summed across the cycle's sharded steps.
+        let mut shard_rows_scanned = 0u64;
+        let mut shard_merge_us = 0u64;
+        let mut per_shard_totals = vec![0u64; shards];
+        for prop in &step_reports {
+            if let Some(s) = &prop.shard {
+                shard_rows_scanned += s.rows_scanned;
+                shard_merge_us += s.merge_us;
+                for (slot, rows) in per_shard_totals.iter_mut().zip(&s.per_shard_delta_rows) {
+                    *slot += rows;
+                }
+            }
+        }
+        let shard_skew = {
+            let total: u64 = per_shard_totals.iter().sum();
+            if shards <= 1 || total == 0 {
+                0.0
+            } else {
+                let max = *per_shard_totals.iter().max().expect("non-empty") as f64;
+                max / (total as f64 / shards as f64)
+            }
+        };
+
         self.registry.counter("maintain.cycles").inc();
         self.registry
             .counter("maintain.refresh_par_fallbacks")
@@ -571,6 +793,14 @@ impl Warehouse {
         self.registry
             .histogram("maintain.total_us")
             .record(propagate_time + apply_base_time + refresh_time);
+        if shards > 1 {
+            self.registry
+                .counter("maintain.shard_rows_scanned")
+                .add(shard_rows_scanned);
+            self.registry
+                .histogram("maintain.shard_merge_us")
+                .record_us(shard_merge_us);
+        }
 
         Ok(MaintenanceReport {
             propagate_time,
@@ -581,6 +811,10 @@ impl Warehouse {
             threads,
             levels,
             refresh_levels,
+            shards,
+            shard_rows_scanned,
+            shard_merge_us,
+            shard_skew,
         })
     }
 
@@ -596,6 +830,7 @@ impl Warehouse {
         let t1 = Instant::now();
         for delta in &batch.deltas {
             self.catalog.table_mut(&delta.table)?.apply_delta(delta)?;
+            self.shard_tables.remove(&delta.table); // rebuilt next cycle
         }
         let apply_base_time = t1.elapsed();
 
@@ -658,6 +893,10 @@ impl Warehouse {
             threads: 1,
             levels: Vec::new(),
             refresh_levels: Vec::new(),
+            shards: 1,
+            shard_rows_scanned: 0,
+            shard_merge_us: 0,
+            shard_skew: 0.0,
         })
     }
 
@@ -919,13 +1158,13 @@ mod tests {
     }
 
     #[test]
-    fn parse_threads_accepts_positive_integers_only() {
-        assert_eq!(parse_threads("4"), Some(4));
-        assert_eq!(parse_threads(" 2 "), Some(2));
-        assert_eq!(parse_threads("0"), None);
-        assert_eq!(parse_threads(""), None);
-        assert_eq!(parse_threads("lots"), None);
-        assert_eq!(parse_threads("-1"), None);
+    fn parse_positive_accepts_positive_integers_only() {
+        assert_eq!(parse_positive("4"), Some(4));
+        assert_eq!(parse_positive(" 2 "), Some(2));
+        assert_eq!(parse_positive("0"), None);
+        assert_eq!(parse_positive(""), None);
+        assert_eq!(parse_positive("lots"), None);
+        assert_eq!(parse_positive("-1"), None);
     }
 
     #[test]
@@ -933,6 +1172,44 @@ mod tests {
         assert_eq!(MaintenancePolicy::with_threads(0).threads, 1);
         assert_eq!(MaintenancePolicy::with_threads(7).threads, 7);
         assert!(MaintenancePolicy::from_env().threads >= 1);
+    }
+
+    #[test]
+    fn policy_clamps_to_at_least_one_shard() {
+        assert_eq!(MaintenancePolicy::with_threads(2).shards, 1);
+        assert_eq!(MaintenancePolicy::with_threads(2).with_shards(0).shards, 1);
+        assert_eq!(MaintenancePolicy::with_threads(2).with_shards(4).shards, 4);
+        assert!(MaintenancePolicy::from_env().shards >= 1);
+    }
+
+    #[test]
+    fn set_maintenance_policy_preserves_shards() {
+        let mut wh = warehouse_with_figure1_views();
+        wh.set_maintenance_policy(MaintenancePolicy::with_threads(2).with_shards(3));
+        assert_eq!(wh.maintenance_policy().threads, 2);
+        assert_eq!(wh.maintenance_policy().shards, 3);
+    }
+
+    #[test]
+    fn warehouse_samples_shard_env_once_at_construction() {
+        // Mirrors the CUBEDELTA_THREADS resolution order: the shard count
+        // is read exactly once, at Warehouse construction.
+        let saved = std::env::var(SHARDS_ENV_VAR).ok();
+        std::env::set_var(SHARDS_ENV_VAR, "2");
+        let mut wh = warehouse_with_figure1_views();
+        assert_eq!(wh.maintenance_policy().shards, 2);
+        std::env::set_var(SHARDS_ENV_VAR, "5");
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(0), 1i64, 1.0]],
+        ));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        assert_eq!(report.shards, 2, "policy must not re-read the env mid-run");
+        match saved {
+            Some(v) => std::env::set_var(SHARDS_ENV_VAR, v),
+            None => std::env::remove_var(SHARDS_ENV_VAR),
+        }
+        wh.check_consistency().unwrap();
     }
 
     #[test]

@@ -32,6 +32,8 @@ pub enum StorageError {
     IndexExists(String),
     /// No index with this name exists on the table.
     UnknownIndex(String),
+    /// A sharded table was requested with zero shards.
+    InvalidShardCount,
 }
 
 impl fmt::Display for StorageError {
@@ -58,6 +60,9 @@ impl fmt::Display for StorageError {
             StorageError::MissingRow(row) => write!(f, "row not found for deletion: {row}"),
             StorageError::IndexExists(name) => write!(f, "index `{name}` already exists"),
             StorageError::UnknownIndex(name) => write!(f, "unknown index `{name}`"),
+            StorageError::InvalidShardCount => {
+                write!(f, "sharded table requires at least one shard")
+            }
         }
     }
 }

@@ -30,6 +30,7 @@ pub mod error;
 pub mod index;
 pub mod row;
 pub mod schema;
+pub mod shard;
 pub mod table;
 pub mod value;
 
@@ -41,5 +42,6 @@ pub use error::{StorageError, StorageResult};
 pub use index::{HashIndex, UniqueIndex};
 pub use row::{Row, RowId};
 pub use schema::{Column, Schema};
+pub use shard::{ShardKey, ShardedTable};
 pub use table::Table;
 pub use value::{Date, Value};

@@ -1,0 +1,351 @@
+//! Horizontal partitioning of a fact table into shards.
+//!
+//! A [`ShardedTable`] splits one logical fact table into `N` disjoint
+//! [`Table`] partitions, keyed by a [`ShardKey`] — either hash-by-column
+//! (e.g. by store) or range-by-column (e.g. by date). Every shard keeps
+//! the parent's name and schema, so a shard can stand in for the full
+//! table anywhere a `&Table` is expected (scans, joins, delta routing);
+//! the union of the shards' rows is always bag-equal to the logical
+//! table. The propagate phase exploits this: per-shard partial
+//! summary-deltas are computed concurrently and merged with the
+//! self-maintainable-aggregate combine rules, while refresh stays
+//! shard-oblivious.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::delta::DeltaSet;
+use crate::error::{StorageError, StorageResult};
+use crate::row::Row;
+use crate::table::Table;
+use crate::value::Value;
+
+/// How rows are assigned to shards.
+///
+/// Both variants key off a single column of the sharded table; the column
+/// is resolved to a position once at [`ShardedTable`] construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardKey {
+    /// Hash the key column's value (deterministic across runs: the hasher
+    /// uses fixed keys). Spreads e.g. stores evenly across shards.
+    Hash {
+        /// Column whose value is hashed.
+        column: String,
+    },
+    /// Range-partition on the key column using sorted split points:
+    /// shard `i` holds rows with `boundaries[i-1] <= key < boundaries[i]`
+    /// (values below the first boundary go to shard 0, values at or above
+    /// the last go to the final shard). Suits date-partitioned facts.
+    Range {
+        /// Column whose value is compared against the boundaries.
+        column: String,
+        /// Ascending split points; `boundaries.len() + 1` natural buckets,
+        /// clamped to the shard count.
+        boundaries: Vec<Value>,
+    },
+}
+
+impl ShardKey {
+    /// Hash-by-column key.
+    pub fn hash(column: impl Into<String>) -> Self {
+        ShardKey::Hash {
+            column: column.into(),
+        }
+    }
+
+    /// Range-by-column key with ascending boundaries.
+    pub fn range(column: impl Into<String>, boundaries: Vec<Value>) -> Self {
+        ShardKey::Range {
+            column: column.into(),
+            boundaries,
+        }
+    }
+
+    /// The column the key routes on.
+    pub fn column(&self) -> &str {
+        match self {
+            ShardKey::Hash { column } | ShardKey::Range { column, .. } => column,
+        }
+    }
+
+    /// The shard for `value`, among `shards` shards.
+    pub fn shard_of(&self, value: &Value, shards: usize) -> usize {
+        match self {
+            ShardKey::Hash { .. } => {
+                // DefaultHasher with `new()` uses fixed keys, so routing is
+                // deterministic across processes — required for replay and
+                // byte-identity tests.
+                let mut h = DefaultHasher::new();
+                value.hash(&mut h);
+                (h.finish() % shards as u64) as usize
+            }
+            ShardKey::Range { boundaries, .. } => {
+                let bucket = boundaries.partition_point(|b| b <= value);
+                bucket.min(shards - 1)
+            }
+        }
+    }
+}
+
+/// A fact table horizontally partitioned into `N` shards.
+///
+/// Shards share the parent's name and schema; rows are routed by the
+/// [`ShardKey`]. Deltas route the same way — a deletion lands on the shard
+/// holding the row it names, because routing is a pure function of row
+/// values.
+#[derive(Debug, Clone)]
+pub struct ShardedTable {
+    key: ShardKey,
+    key_idx: usize,
+    shards: Vec<Table>,
+}
+
+impl ShardedTable {
+    /// Partitions `table` into `shards` shards routed by `key`.
+    ///
+    /// Fails if the key column is missing or `shards` is zero. Indexes on
+    /// the source table are not carried over; use [`Self::create_index`].
+    pub fn from_table(table: &Table, key: ShardKey, shards: usize) -> StorageResult<Self> {
+        if shards == 0 {
+            return Err(StorageError::InvalidShardCount);
+        }
+        let key_idx = table.schema().index_of(key.column())?;
+        let mut parts: Vec<Table> = (0..shards)
+            .map(|_| Table::new(table.name(), table.schema().clone()))
+            .collect();
+        for row in table.rows() {
+            let s = key.shard_of(&row[key_idx], shards);
+            parts[s].insert(row.clone())?;
+        }
+        Ok(ShardedTable {
+            key,
+            key_idx,
+            shards: parts,
+        })
+    }
+
+    /// The logical table name (every shard shares it).
+    pub fn name(&self) -> &str {
+        self.shards[0].name()
+    }
+
+    /// The routing key.
+    pub fn key(&self) -> &ShardKey {
+        &self.key
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total rows across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Table::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Shard `i` as a plain table (same name and schema as the parent).
+    pub fn shard(&self, i: usize) -> &Table {
+        &self.shards[i]
+    }
+
+    /// Row counts per shard (skew diagnostics).
+    pub fn rows_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(Table::len).collect()
+    }
+
+    /// The shard `row` routes to.
+    pub fn shard_of_row(&self, row: &Row) -> usize {
+        self.key.shard_of(&row[self.key_idx], self.shards.len())
+    }
+
+    /// Splits `delta` into per-shard deltas; slot `i` holds the insertions
+    /// and deletions routed to shard `i`. Row order within each slot
+    /// follows the input order (stable), so routing is deterministic.
+    pub fn route_delta(&self, delta: &DeltaSet) -> Vec<DeltaSet> {
+        let mut out: Vec<DeltaSet> = (0..self.shards.len())
+            .map(|_| DeltaSet::new(delta.table.clone()))
+            .collect();
+        for row in &delta.insertions {
+            out[self.shard_of_row(row)].insertions.push(row.clone());
+        }
+        for row in &delta.deletions {
+            out[self.shard_of_row(row)].deletions.push(row.clone());
+        }
+        out
+    }
+
+    /// Applies `delta`, routing each insertion and deletion to its shard.
+    ///
+    /// Mirrors [`Table::apply_delta`]: deletions first (multiset
+    /// semantics), then insertions, per shard.
+    pub fn apply_delta(&mut self, delta: &DeltaSet) -> StorageResult<()> {
+        let routed = self.route_delta(delta);
+        for (shard, part) in self.shards.iter_mut().zip(&routed) {
+            shard.apply_delta(part)?;
+        }
+        Ok(())
+    }
+
+    /// Creates the same hash index on every shard.
+    pub fn create_index(&mut self, name: &str, columns: &[&str]) -> StorageResult<()> {
+        for shard in &mut self.shards {
+            shard.create_index(name, columns)?;
+        }
+        Ok(())
+    }
+
+    /// Iterates rows across all shards, shard 0 first.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.shards.iter().flat_map(|s| s.rows())
+    }
+
+    /// Collects all shards' rows into one unsharded table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(self.name(), self.shards[0].schema().clone());
+        for row in self.iter() {
+            t.insert(row.clone()).expect("schema matches by construction");
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::row;
+    use crate::schema::{Column, Schema};
+
+    fn pos_like() -> Table {
+        let mut t = Table::new(
+            "pos",
+            Schema::new(vec![
+                Column::new("storeID", DataType::Int),
+                Column::new("itemID", DataType::Int),
+                Column::new("qty", DataType::Int),
+            ]),
+        );
+        for s in 0..6i64 {
+            for i in 0..4i64 {
+                t.insert(row![s, 10 + i, s * 10 + i]).unwrap();
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn hash_sharding_partitions_all_rows() {
+        let t = pos_like();
+        let st = ShardedTable::from_table(&t, ShardKey::hash("storeID"), 4).unwrap();
+        assert_eq!(st.num_shards(), 4);
+        assert_eq!(st.len(), t.len());
+        // Union of shards is bag-equal to the source.
+        let mut merged = st.to_table().sorted_rows();
+        let mut orig = t.sorted_rows();
+        merged.sort();
+        orig.sort();
+        assert_eq!(merged, orig);
+        // Same store always lands on the same shard.
+        for row in t.rows() {
+            let s = st.shard_of_row(row);
+            assert!(st.shard(s).rows().any(|r| r == row));
+        }
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic() {
+        let t = pos_like();
+        let a = ShardedTable::from_table(&t, ShardKey::hash("storeID"), 4).unwrap();
+        let b = ShardedTable::from_table(&t, ShardKey::hash("storeID"), 4).unwrap();
+        for i in 0..4 {
+            assert_eq!(a.shard(i).to_rows(), b.shard(i).to_rows());
+        }
+    }
+
+    #[test]
+    fn range_sharding_respects_boundaries() {
+        let t = pos_like();
+        let key = ShardKey::range("storeID", vec![Value::Int(2), Value::Int(4)]);
+        let st = ShardedTable::from_table(&t, key, 3).unwrap();
+        for row in st.shard(0).rows() {
+            assert!(row[0] < Value::Int(2));
+        }
+        for row in st.shard(1).rows() {
+            assert!(row[0] >= Value::Int(2) && row[0] < Value::Int(4));
+        }
+        for row in st.shard(2).rows() {
+            assert!(row[0] >= Value::Int(4));
+        }
+        assert_eq!(st.len(), t.len());
+    }
+
+    #[test]
+    fn range_with_more_boundaries_than_shards_clamps() {
+        let t = pos_like();
+        let key = ShardKey::range(
+            "storeID",
+            vec![Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)],
+        );
+        let st = ShardedTable::from_table(&t, key, 2).unwrap();
+        assert_eq!(st.len(), t.len());
+        for row in st.shard(1).rows() {
+            assert!(row[0] >= Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn route_and_apply_delta_agree_with_unsharded() {
+        let t = pos_like();
+        let mut st = ShardedTable::from_table(&t, ShardKey::hash("storeID"), 3).unwrap();
+        let mut delta = DeltaSet::new("pos");
+        delta.insertions.push(row![7i64, 99, 1]);
+        delta.insertions.push(row![0i64, 98, 2]);
+        delta.deletions.push(row![0i64, 10, 0]); // exists in shard of store 0
+        let routed = st.route_delta(&delta);
+        assert_eq!(routed.len(), 3);
+        let total: usize = routed.iter().map(|d| d.len()).sum();
+        assert_eq!(total, delta.len());
+        st.apply_delta(&delta).unwrap();
+
+        let mut unsharded = t.clone();
+        unsharded.apply_delta(&delta).unwrap();
+        let mut a = st.to_table().sorted_rows();
+        let mut b = unsharded.sorted_rows();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deletion_of_missing_row_errors() {
+        let t = pos_like();
+        let mut st = ShardedTable::from_table(&t, ShardKey::hash("storeID"), 2).unwrap();
+        let mut delta = DeltaSet::new("pos");
+        delta.deletions.push(row![0i64, 10, 999]);
+        assert!(st.apply_delta(&delta).is_err());
+    }
+
+    #[test]
+    fn zero_shards_rejected_and_unknown_column_rejected() {
+        let t = pos_like();
+        assert!(matches!(
+            ShardedTable::from_table(&t, ShardKey::hash("storeID"), 0),
+            Err(StorageError::InvalidShardCount)
+        ));
+        assert!(ShardedTable::from_table(&t, ShardKey::hash("nope"), 2).is_err());
+    }
+
+    #[test]
+    fn single_shard_holds_everything() {
+        let t = pos_like();
+        let st = ShardedTable::from_table(&t, ShardKey::hash("storeID"), 1).unwrap();
+        assert_eq!(st.shard(0).len(), t.len());
+        assert_eq!(st.rows_per_shard(), vec![t.len()]);
+    }
+}

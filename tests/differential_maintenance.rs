@@ -9,14 +9,16 @@
 //! * `inc`   — incremental maintenance, sequential (1 thread)
 //! * `par`   — incremental maintenance, parallel propagate **and refresh**
 //!   schedulers (4 threads)
+//! * `shd`   — incremental maintenance with the fact table split into 4
+//!   shards (cross-shard propagate + partial-sd merge), 4 threads
 //! * `base`  — the rematerialize-from-scratch baseline (direct recompute,
 //!   no lattice), i.e. the ground truth
 //!
 //! Beyond bag equality with the baseline, every cycle also asserts the
-//! 1-thread and 4-thread warehouses are *byte-identical* (same physical
-//! row order in every summary table) and that refresh took the same
-//! Figure-7 actions per view — the parallel batch window is a pure
-//! scheduling change.
+//! 1-thread, 4-thread, and sharded warehouses are *byte-identical* (same
+//! physical row order in every summary table) and that refresh took the
+//! same Figure-7 actions per view — the parallel batch window and the
+//! sharded propagate are pure scheduling changes.
 //!
 //! Batches mix fact insertions/deletions (update-generating and
 //! insertion-heavy mixes) with periodic dimension changes (an item moved to
@@ -118,6 +120,8 @@ fn run_differential(seed: u64) {
     inc.set_maintenance_policy(MaintenancePolicy::with_threads(1));
     let mut par = inc.clone();
     par.set_maintenance_policy(MaintenancePolicy::with_threads(4));
+    let mut shd = inc.clone();
+    shd.set_maintenance_policy(MaintenancePolicy::with_threads(4).with_shards(4));
     let mut base = inc.clone();
 
     for cycle in 0..cycles() {
@@ -125,19 +129,28 @@ fn run_differential(seed: u64) {
 
         let inc_report = inc.maintain(&batch, &MaintainOptions::default()).unwrap();
         let par_report = par.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let shd_report = shd.maintain(&batch, &MaintainOptions::default()).unwrap();
         base.rematerialize(&batch, false).unwrap();
 
         assert_views_match(&inc, &base, "incremental vs full recompute", cycle);
         assert_views_match(&par, &base, "parallel vs full recompute", cycle);
+        assert_views_match(&shd, &base, "sharded vs full recompute", cycle);
         // Parallel refresh canonicalizes each summary-delta before applying,
         // so even the physical layout matches the 1-thread run byte for
         // byte, and each view's refresh took identical Figure-7 actions.
+        // The same holds for the sharded run: merging per-shard partial
+        // summary-deltas is invisible after canonicalization.
         for v in inc.views() {
             let name = &v.def.name;
             assert_eq!(
                 par.catalog().table(name).unwrap().to_rows(),
                 inc.catalog().table(name).unwrap().to_rows(),
                 "cycle {cycle}: {name} byte layout differs between 1 and 4 threads"
+            );
+            assert_eq!(
+                shd.catalog().table(name).unwrap().to_rows(),
+                inc.catalog().table(name).unwrap().to_rows(),
+                "cycle {cycle}: {name} byte layout differs between sharded and unsharded"
             );
         }
         for (a, b) in inc_report.per_view.iter().zip(&par_report.per_view) {
@@ -148,6 +161,14 @@ fn run_differential(seed: u64) {
                 a.view
             );
         }
+        for (a, b) in inc_report.per_view.iter().zip(&shd_report.per_view) {
+            assert_eq!(a.view, b.view, "cycle {cycle}: sharded per-view order differs");
+            assert_eq!(
+                a.refresh, b.refresh,
+                "cycle {cycle}: {} refresh actions differ under sharding",
+                a.view
+            );
+        }
         // Base tables advanced identically, so the next cycle's deletions
         // (sampled from `inc`) apply cleanly everywhere.
         assert_eq!(
@@ -155,8 +176,14 @@ fn run_differential(seed: u64) {
             base.catalog().table("pos").unwrap().sorted_rows(),
             "cycle {cycle}: base fact tables diverge"
         );
+        assert_eq!(
+            shd.catalog().table("pos").unwrap().sorted_rows(),
+            base.catalog().table("pos").unwrap().sorted_rows(),
+            "cycle {cycle}: sharded base fact table diverges"
+        );
         assert_eq!(inc_report.threads, 1);
         assert_eq!(par_report.threads, 4);
+        assert_eq!(shd_report.shards, 4, "cycle {cycle}: report lost shard count");
         assert_eq!(
             inc_report.metrics.work_pairs(),
             par_report.metrics.work_pairs(),
@@ -165,6 +192,7 @@ fn run_differential(seed: u64) {
     }
     inc.check_consistency().unwrap();
     par.check_consistency().unwrap();
+    shd.check_consistency().unwrap();
 }
 
 #[test]

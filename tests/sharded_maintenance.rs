@@ -1,0 +1,527 @@
+//! The sharding equivalence test battery.
+//!
+//! Splitting the fact table into shards and propagating per-shard partial
+//! summary-deltas (merged with the self-maintainable combine rules) must
+//! be a pure scheduling change: for any batch, any shard count, and any
+//! thread count, the refreshed summary tables are **byte-identical** to
+//! the unsharded single-threaded run. This file pins that contract with:
+//!
+//! * a proptest matrix over seeded fact + dimension delta batches ×
+//!   shards ∈ {1, 2, 4, 8} × threads ∈ {1, 4};
+//! * named edge cases: an empty shard, all deltas skewed onto one shard,
+//!   a batch straddling every shard, a MIN/MAX eviction whose recompute
+//!   reads across all shards, and a range-by-date shard key;
+//! * a failpoint test injecting a panic mid-merge and proving every
+//!   table is left untouched (and the warehouse recovers);
+//! * seal-time routing through the ingestion front-end, proving the
+//!   reordered batches still replay byte-identically.
+
+mod common;
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use common::{figure1_defs, small_update_batch, small_warehouse, synth_pos_row};
+use cubedelta::core::multi::failpoints;
+use cubedelta::core::{
+    propagate_plan_leveled_sharded, propagate_plan_metered, BatchPolicy, MaintainOptions,
+    MaintenancePolicy, PropagateOptions, Warehouse,
+    WarehouseService,
+};
+use cubedelta::lattice::ViewLattice;
+use cubedelta::storage::{
+    row, ChangeBatch, Date, DeltaSet, Row, ShardKey, ShardedTable, Value,
+};
+use cubedelta::view::augment;
+use cubedelta::workload::retail_catalog_small;
+use proptest::prelude::*;
+
+/// The merge failpoint slot is process-global and one-shot; tests that arm
+/// it serialize through this lock.
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Every table whose bytes the equivalence contract covers: the fact
+/// table, both dimensions, and all Figure-1 summary tables.
+fn covered_tables() -> Vec<String> {
+    let mut names: Vec<String> = figure1_defs().into_iter().map(|d| d.name).collect();
+    names.push("pos".into());
+    names.push("stores".into());
+    names.push("items".into());
+    names
+}
+
+/// Asserts byte-identical physical contents (same rows, same order) for
+/// every covered table.
+fn assert_byte_identical(a: &Warehouse, b: &Warehouse, context: &str) {
+    for name in covered_tables() {
+        assert_eq!(
+            a.catalog().table(&name).unwrap().to_rows(),
+            b.catalog().table(&name).unwrap().to_rows(),
+            "table `{name}` differs ({context})"
+        );
+    }
+}
+
+/// Snapshot of every covered table's physical contents.
+fn snapshot(wh: &Warehouse) -> Vec<(String, Vec<Row>)> {
+    covered_tables()
+        .into_iter()
+        .map(|name| {
+            let rows = wh.catalog().table(&name).unwrap().to_rows();
+            (name, rows)
+        })
+        .collect()
+}
+
+/// Strategy: a pos row over small domains, with NULL-able qty (matches
+/// the other equivalence suites).
+fn pos_row() -> impl Strategy<Value = Row> {
+    (
+        1i64..=3,
+        prop_oneof![Just(10i64), Just(20i64), Just(30i64)],
+        0i32..4,
+        prop_oneof![
+            3 => (1i64..=9).prop_map(Value::Int),
+            1 => Just(Value::Null)
+        ],
+        1u32..=3,
+    )
+        .prop_map(|(s, i, doff, qty, price)| {
+            Row::new(vec![
+                Value::Int(s),
+                Value::Int(i),
+                Value::Date(Date(10000 + doff)),
+                qty,
+                Value::Float(price as f64),
+            ])
+        })
+}
+
+/// Moves one dimension row to a fresh attribute value (an item to a new
+/// category, or a store to a new city) — the §4.1.4 path that forces a
+/// Direct plan, exercised here *through* the sharded executor.
+fn dimension_move(wh: &Warehouse, items: bool, idx: usize) -> DeltaSet {
+    let (table, col) = if items { ("items", 2) } else { ("stores", 1) };
+    let t = wh.catalog().table(table).unwrap();
+    let old = t.rows().nth(idx % t.len()).unwrap().clone();
+    let moved: Row = old
+        .values()
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            if i == col {
+                Value::Str(format!("moved-{idx}").into())
+            } else {
+                v.clone()
+            }
+        })
+        .collect();
+    DeltaSet {
+        table: table.to_string(),
+        insertions: vec![moved],
+        deletions: vec![old],
+    }
+}
+
+/// Runs one batch through a fresh small warehouse at the given policy.
+fn run_once(batch: &ChangeBatch, threads: usize, shards: usize) -> (Warehouse, usize) {
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(threads).with_shards(shards));
+    let report = wh.maintain(batch, &MaintainOptions::default()).unwrap();
+    wh.check_consistency().unwrap();
+    (wh, report.shards)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any seeded fact + dimension batch, every (shards, threads)
+    /// configuration leaves every table byte-identical to the unsharded
+    /// single-threaded run.
+    #[test]
+    fn sharded_maintenance_is_byte_identical(
+        ins in proptest::collection::vec(pos_row(), 0..8),
+        del_seeds in proptest::collection::vec(0usize..64, 0..4),
+        dim in prop_oneof![
+            1 => Just(None),
+            1 => (any::<bool>(), 0usize..16).prop_map(Some)
+        ],
+    ) {
+        let template = small_warehouse();
+        let live: Vec<Row> = template
+            .catalog()
+            .table("pos")
+            .unwrap()
+            .rows()
+            .cloned()
+            .collect();
+        let mut deletions = Vec::new();
+        let mut used = std::collections::HashSet::new();
+        for &s in &del_seeds {
+            let idx = s % live.len();
+            if used.insert(idx) {
+                deletions.push(live[idx].clone());
+            }
+        }
+        let mut batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: ins,
+            deletions,
+        });
+        if let Some((items, idx)) = dim {
+            batch.add(dimension_move(&template, items, idx));
+        }
+
+        let (baseline, _) = run_once(&batch, 1, 1);
+        for shards in [1usize, 2, 4, 8] {
+            for threads in [1usize, 4] {
+                let (wh, reported) = run_once(&batch, threads, shards);
+                prop_assert_eq!(reported, shards);
+                for name in covered_tables() {
+                    prop_assert_eq!(
+                        wh.catalog().table(&name).unwrap().to_rows(),
+                        baseline.catalog().table(&name).unwrap().to_rows(),
+                        "shards={} threads={}: {} diverged from the \
+                         unsharded single-threaded run",
+                        shards, threads, &name
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A shard that holds no rows and receives no deltas must not disturb the
+/// merge: range boundaries far above every storeID leave shards 1 and 2
+/// permanently empty.
+#[test]
+fn empty_shards_are_harmless() {
+    let batch = small_update_batch(&small_warehouse(), 42, 12);
+    let (control, _) = run_once(&batch, 1, 1);
+
+    let mut wh = small_warehouse();
+    wh.set_shard_key("pos", ShardKey::range("storeID", vec![Value::Int(100), Value::Int(200)]));
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(4).with_shards(3));
+    let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    wh.check_consistency().unwrap();
+
+    assert_eq!(report.shards, 3);
+    // Everything landed on shard 0 — maximal skew across 3 shards.
+    assert!(
+        report.shard_skew > 2.9,
+        "expected skew ≈ 3.0 with two empty shards, got {}",
+        report.shard_skew
+    );
+    assert_byte_identical(&wh, &control, "empty shards");
+}
+
+/// All delta rows hitting a single store (one hash shard) — the skew
+/// telemetry must report it and the result must still match.
+#[test]
+fn skewed_batch_on_one_shard_matches_and_reports_skew() {
+    let mut batch = ChangeBatch::new();
+    batch.add(DeltaSet {
+        table: "pos".into(),
+        insertions: (0..10)
+            .map(|i| row![1i64, [10i64, 20, 30][i % 3], Date(10000 + (i % 4) as i32), i as i64 + 1, 1.0])
+            .collect(),
+        deletions: vec![],
+    });
+    let (control, _) = run_once(&batch, 1, 1);
+
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(4).with_shards(4));
+    let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    wh.check_consistency().unwrap();
+
+    assert_eq!(report.shards, 4);
+    assert!(
+        report.shard_skew > 1.5,
+        "all deltas route to store 1's shard; expected skew > 1.5, got {}",
+        report.shard_skew
+    );
+    assert!(report.shard_rows_scanned > 0, "per-shard scans were not booked");
+    assert_byte_identical(&wh, &control, "skewed batch");
+}
+
+/// A batch straddling every shard: with `storeID` range boundaries [2, 3]
+/// each of the three stores owns one shard, so every shard receives deltas
+/// and produces a non-empty partial summary-delta. Checks the per-shard
+/// telemetry on the Direct step and the merged deltas against the
+/// sequential executor.
+#[test]
+fn straddling_batch_produces_partials_on_every_shard() {
+    let mut cat = retail_catalog_small();
+    // The small fixture has no store-3 sales; add one so every range
+    // bucket holds base rows.
+    cat.table_mut("pos")
+        .unwrap()
+        .insert_all(vec![row![3i64, 30i64, Date(10000), 1i64, 1.0]])
+        .unwrap();
+    let views: Vec<_> = figure1_defs()
+        .iter()
+        .map(|d| augment(&cat, d).unwrap())
+        .collect();
+    let lat = ViewLattice::build(&cat, views.clone()).unwrap();
+    let plan = lat.choose_plan(&cat, |_| 1).unwrap();
+
+    let batch = ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        insertions: vec![
+            row![1i64, 10i64, Date(10000), 4i64, 1.0],
+            row![2i64, 20i64, Date(10001), 2i64, 1.0],
+            row![3i64, 30i64, Date(10002), 7i64, 1.0],
+        ],
+        deletions: vec![],
+    });
+
+    let key = ShardKey::range("storeID", vec![Value::Int(2), Value::Int(3)]);
+    let sharded =
+        ShardedTable::from_table(cat.table("pos").unwrap(), key, 3).unwrap();
+    assert!(
+        sharded.rows_per_shard().iter().all(|&n| n > 0),
+        "fixture must populate every shard"
+    );
+    let mut shard_tables = HashMap::new();
+    shard_tables.insert("pos".to_string(), sharded);
+
+    let opts = PropagateOptions::default();
+    let (seq, _) = propagate_plan_metered(&cat, &views, &plan, &batch, &opts).unwrap();
+    let (shd, reports, _) = propagate_plan_leveled_sharded(
+        &cat,
+        &views,
+        &plan,
+        &batch,
+        &opts,
+        4,
+        Some(&shard_tables),
+    )
+    .unwrap();
+
+    for v in &views {
+        assert_eq!(
+            shd[&v.def.name].sorted_rows(),
+            seq[&v.def.name].sorted_rows(),
+            "{}: merged sharded delta differs from sequential",
+            v.def.name
+        );
+    }
+    // SID_sales is the lattice root, so it propagates Direct from the
+    // change set and carries per-shard telemetry.
+    let sid = reports
+        .iter()
+        .find(|r| r.view == "SID_sales")
+        .expect("SID_sales step present");
+    let stats = sid.shard.as_ref().expect("Direct step has shard stats");
+    assert_eq!(stats.shards, 3);
+    assert_eq!(stats.per_shard_delta_rows.len(), 3);
+    assert!(
+        stats.per_shard_delta_rows.iter().all(|&n| n > 0),
+        "each shard saw one store's insert, so each partial is non-empty: {:?}",
+        stats.per_shard_delta_rows
+    );
+}
+
+/// Deleting the row carrying a group's MIN forces the §4.2 eviction
+/// recompute. Under sharding, the recompute streams the *catalog's*
+/// monolithic fact table — i.e. it reads across all shards — and must
+/// land on exactly the same result.
+#[test]
+fn min_eviction_recompute_reads_across_all_shards() {
+    let build = |threads: usize, shards: usize| {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        let earliest = row![1i64, 10i64, Date(9000), 2i64, 1.0];
+        wh.catalog_mut()
+            .table_mut("pos")
+            .unwrap()
+            .insert_all(vec![earliest.clone()])
+            .unwrap();
+        for def in figure1_defs() {
+            wh.create_summary_table(&def).unwrap();
+        }
+        wh.set_maintenance_policy(
+            MaintenancePolicy::with_threads(threads).with_shards(shards),
+        );
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![3i64, 30i64, Date(10001), 5i64, 1.0]],
+            deletions: vec![earliest],
+        });
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+        (wh, report)
+    };
+    let (control, control_report) = build(1, 1);
+    let (sharded, sharded_report) = build(4, 4);
+
+    let c = control_report.view("SiC_sales").unwrap();
+    let s = sharded_report.view("SiC_sales").unwrap();
+    assert!(c.refresh.recomputed > 0, "MIN eviction must recompute");
+    assert_eq!(c.refresh, s.refresh, "sharding changed the refresh actions");
+    for name in covered_tables() {
+        assert_eq!(
+            sharded.catalog().table(&name).unwrap().to_rows(),
+            control.catalog().table(&name).unwrap().to_rows(),
+            "{name} differs after MIN-eviction recompute under sharding"
+        );
+    }
+}
+
+/// The MAX twin, on a bespoke view (the Figure-1 set only carries MIN).
+#[test]
+fn max_eviction_recompute_matches_under_sharding() {
+    use cubedelta::expr::Expr;
+    use cubedelta::query::AggFunc;
+    use cubedelta::view::SummaryViewDef;
+
+    let build = |threads: usize, shards: usize| {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        let latest = row![2i64, 20i64, Date(20000), 3i64, 1.0];
+        wh.catalog_mut()
+            .table_mut("pos")
+            .unwrap()
+            .insert_all(vec![latest.clone()])
+            .unwrap();
+        wh.create_summary_table(
+            &SummaryViewDef::builder("store_span", "pos")
+                .group_by(["storeID"])
+                .aggregate(AggFunc::CountStar, "TotalCount")
+                .aggregate(AggFunc::Max(Expr::col("date")), "LatestSale")
+                .build(),
+        )
+        .unwrap();
+        wh.set_maintenance_policy(
+            MaintenancePolicy::with_threads(threads).with_shards(shards),
+        );
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![],
+            deletions: vec![latest],
+        });
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        wh.check_consistency().unwrap();
+        (wh, report)
+    };
+    let (control, control_report) = build(1, 1);
+    let (sharded, sharded_report) = build(2, 8);
+
+    let c = control_report.view("store_span").unwrap();
+    let s = sharded_report.view("store_span").unwrap();
+    assert!(c.refresh.recomputed > 0, "MAX eviction must recompute");
+    assert_eq!(c.refresh, s.refresh);
+    assert_eq!(
+        sharded.catalog().table("store_span").unwrap().to_rows(),
+        control.catalog().table("store_span").unwrap().to_rows()
+    );
+}
+
+/// A panic injected between per-shard propagation and the partial-sd merge
+/// must leave every table — fact, dimensions, views — byte-for-byte
+/// untouched, and the warehouse must complete the same cycle cleanly once
+/// the failpoint is disarmed.
+#[test]
+fn merge_failpoint_leaves_every_shard_restored() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+
+    let batch = small_update_batch(&small_warehouse(), 7, 10);
+    let (control, _) = run_once(&batch, 1, 1);
+
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(4).with_shards(4));
+    let before = snapshot(&wh);
+
+    // SID_sales is the lattice root: always a Direct step, so the sharded
+    // path (and its merge) is guaranteed to run for it.
+    failpoints::arm_merge_panic("SID_sales");
+    let err = wh
+        .maintain(&batch, &MaintainOptions::default())
+        .expect_err("armed merge failpoint must fail the cycle");
+    failpoints::disarm_all();
+    assert!(
+        err.to_string().contains("injected merge failpoint"),
+        "unexpected error: {err}"
+    );
+
+    // Propagate runs outside the batch window; a mid-merge panic must not
+    // have touched any state.
+    for (name, rows) in &before {
+        assert_eq!(
+            &wh.catalog().table(name).unwrap().to_rows(),
+            rows,
+            "failed merge modified `{name}`"
+        );
+    }
+    wh.check_consistency().unwrap();
+
+    // The same warehouse completes the identical cycle once disarmed.
+    wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    wh.check_consistency().unwrap();
+    assert_byte_identical(&wh, &control, "post-recovery cycle");
+}
+
+/// Range partitioning by date (the other natural warehouse layout) obeys
+/// the same equivalence contract.
+#[test]
+fn range_sharding_by_date_is_byte_identical() {
+    let batch = small_update_batch(&small_warehouse(), 1997, 14);
+    let (control, _) = run_once(&batch, 1, 1);
+
+    let mut wh = small_warehouse();
+    wh.set_shard_key(
+        "pos",
+        ShardKey::range(
+            "date",
+            vec![Value::Date(Date(10001)), Value::Date(Date(10003))],
+        ),
+    );
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(2).with_shards(3));
+    let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    wh.check_consistency().unwrap();
+    assert_eq!(report.shards, 3);
+    assert_byte_identical(&wh, &control, "range-by-date sharding");
+}
+
+/// Seal-time routing through the ingestion front-end: with a sharded
+/// policy the service reorders each sealed fact delta into shard order
+/// (booking `shard_routed_rows`), and the applied batches still replay
+/// byte-identically on an *unsharded* copy — routing is multiset-neutral.
+#[test]
+fn service_routes_at_seal_time_and_replay_stays_byte_identical() {
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(2).with_shards(4));
+    let baseline = wh.clone();
+
+    let svc = WarehouseService::start(
+        wh,
+        BatchPolicy {
+            max_rows: 8,
+            max_batches: 2,
+            flush_interval: Duration::from_millis(2),
+        },
+    );
+    for seed in 0..60u64 {
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+            .unwrap();
+    }
+    svc.flush().unwrap();
+    let report = svc.shutdown();
+    assert!(report.error.is_none(), "cycle failed: {:?}", report.error);
+    assert_eq!(report.rows_applied, 60);
+    report.warehouse.check_consistency().unwrap();
+
+    let routed = report.warehouse.metrics().counter("shard_routed_rows").get();
+    assert_eq!(
+        routed, 60,
+        "every ingested fact row passes through the seal-time router"
+    );
+
+    // Replay on an unsharded single-threaded copy: seal-time reordering
+    // must be invisible in the final bytes.
+    let mut replay = baseline;
+    replay.set_maintenance_policy(MaintenancePolicy::with_threads(1));
+    for batch in &report.applied {
+        replay.maintain(batch, &MaintainOptions::default()).unwrap();
+    }
+    assert_byte_identical(&replay, &report.warehouse, "sharded service vs replay");
+}

@@ -5,7 +5,7 @@
 mod common;
 
 use common::figure1_defs;
-use cubedelta::core::{MaintainOptions, Warehouse};
+use cubedelta::core::{MaintainOptions, MaintenancePolicy, Warehouse};
 use cubedelta::expr::Expr;
 use cubedelta::query::AggFunc;
 use cubedelta::storage::{row, ChangeBatch, DeltaSet, Row};
@@ -14,6 +14,18 @@ use cubedelta::workload::{retail_catalog, update_generating, WorkloadScale};
 
 #[test]
 fn twenty_nights_of_everything() {
+    twenty_nights(MaintenancePolicy::default());
+}
+
+/// The same twenty nights with the fact table split into three shards —
+/// dimension churn, view lifecycle, and rematerialization must all keep
+/// the cached shard partitions coherent with the catalog.
+#[test]
+fn twenty_nights_of_everything_sharded() {
+    twenty_nights(MaintenancePolicy::with_threads(4).with_shards(3));
+}
+
+fn twenty_nights(policy: MaintenancePolicy) {
     let scale = WorkloadScale {
         stores: 12,
         cities: 5,
@@ -26,6 +38,7 @@ fn twenty_nights_of_everything() {
     };
     let (cat, params) = retail_catalog(scale);
     let mut wh = Warehouse::from_catalog(cat);
+    wh.set_maintenance_policy(policy);
     for def in figure1_defs() {
         wh.create_summary_table(&def).unwrap();
     }
