@@ -191,6 +191,30 @@ fn run_point(
         );
         point.push_field("sharded_report", sr.to_json());
     }
+
+    // Flight-recorder cross-check: the cycle reconstructed from the
+    // journal's event stream must agree with the report the cycle
+    // returned — a bench-time replay of the journal equivalence
+    // contract over the full-size workload.
+    let cycle = cubedelta_obs::reconstruct_cycles(&done_sd.journal().events())
+        .into_iter()
+        .find(|c| c.cycle == report.cycle)
+        .expect("measured cycle missing from the flight recorder");
+    let report_delta_rows: u64 = report.per_view.iter().map(|v| v.delta_rows as u64).sum();
+    assert_eq!(
+        cycle.total_delta_rows(),
+        report_delta_rows,
+        "flight recorder disagrees with the maintenance report"
+    );
+    point.push_field("cycle", JsonValue::from(report.cycle));
+    point.push_field(
+        "journal_delta_rows",
+        JsonValue::from(cycle.total_delta_rows()),
+    );
+    point.push_field(
+        "journal_refresh_rows",
+        JsonValue::from(cycle.total_refresh_rows()),
+    );
     point
 }
 

@@ -74,10 +74,22 @@ fn run_point(cfg: &RunConfig, producers: usize) -> JsonValue {
 
     let latency = svc.metrics().histogram("flush_latency_us").snapshot();
     let backpressure_waits = svc.metrics().counter("backpressure_waits").get();
+    let healthy = svc.health().is_healthy();
     let report = svc.shutdown();
     assert!(report.error.is_none(), "cycle failed: {:?}", report.error);
     assert!(report.unapplied.is_empty());
     assert_eq!(report.rows_applied, report.rows_ingested);
+    assert!(healthy, "drained service reported degraded health");
+
+    // Flight-recorder cross-check: the journal must reconstruct exactly
+    // the cycles the service ran (the ring may have evicted the oldest
+    // events on long runs — only assert when it kept everything).
+    let journal = report.warehouse.journal();
+    let summaries = cubedelta_obs::reconstruct_cycles(&journal.events());
+    if journal.dropped() == 0 {
+        let committed = summaries.iter().filter(|c| c.committed).count() as u64;
+        assert_eq!(committed, report.cycles, "journal lost committed cycles");
+    }
 
     let rows = report.rows_applied;
     let throughput = rows as f64 / elapsed.as_secs_f64();
@@ -113,6 +125,9 @@ fn run_point(cfg: &RunConfig, producers: usize) -> JsonValue {
             JsonValue::from(latency.quantile_us(1.0)),
         ),
         ("backpressure_waits", JsonValue::from(backpressure_waits)),
+        ("journal_events", JsonValue::from(journal.len())),
+        ("journal_events_dropped", JsonValue::from(journal.dropped())),
+        ("healthy_after_drain", JsonValue::from(healthy)),
     ])
 }
 

@@ -39,22 +39,41 @@
 //! [`MetricsRegistry`](cubedelta_obs::MetricsRegistry) — counters
 //! `ingest_rows`, `batches_sealed`, `backpressure_waits`,
 //! `shard_routed_rows` (fact rows reordered into shard order at seal
-//! time when the warehouse is sharded), gauge `queue_depth` (pending
-//! rows: staged + sealed + in flight), histogram `flush_latency_us`
+//! time when the warehouse is sharded), gauges `queue_depth` (pending
+//! rows: staged + sealed + in flight), `unapplied_rows` (rows parked by
+//! failed cycles), `oldest_unapplied_batch_age_us` and `cycles_behind`
+//! (the lag signals), histograms `flush_latency_us` and `staleness_us`
 //! (first staged row → batch applied, the staleness a reader of the
-//! summary tables observes).
+//! summary tables observes). Lifecycle events (batch sealed,
+//! backpressure, cycle failure on panic, shutdown drain) append to the
+//! warehouse's [`Journal`] flight recorder, and [`WarehouseService::health`]
+//! folds the sticky-error state, queue pressure, and lag into a
+//! [`Health`] verdict against a [`SloPolicy`]. Set
+//! `CUBEDELTA_METRICS_ADDR` (or call
+//! [`WarehouseService::serve_metrics`]) to expose it all on a Prometheus
+//! scrape endpoint.
 
 use std::collections::VecDeque;
+use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cubedelta_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use cubedelta_obs::{
+    Counter, Gauge, Histogram, Journal, JournalEvent, MetricsRegistry, MetricsServer,
+};
 use cubedelta_storage::{ChangeBatch, DeltaSet};
 
 use crate::error::{CoreError, CoreResult};
 use crate::warehouse::{MaintainOptions, ShardRouter, Warehouse};
+
+/// Environment variable naming a `host:port` to serve the Prometheus
+/// scrape endpoint on (e.g. `127.0.0.1:9187`). Read once, at
+/// [`WarehouseService::start_with_options`]; a bind failure is reported
+/// to stderr but never stops the service — telemetry must not take the
+/// warehouse down.
+pub const METRICS_ADDR_ENV_VAR: &str = "CUBEDELTA_METRICS_ADDR";
 
 /// When the staged batch is sealed and handed to the maintenance worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +115,66 @@ impl BatchPolicy {
     }
 }
 
+/// Staleness/lag objectives a running service is judged against
+/// (see [`WarehouseService::health`]).
+///
+/// The thresholds are *operator intent*, not mechanism: nothing slows
+/// down or sheds load when one is crossed — the service only reports
+/// [`Health::Degraded`] with the reasons, and the `healthy` gauge drops
+/// to 0 for alerting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloPolicy {
+    /// Oldest tolerated ingest→visible lag: if any accepted row has been
+    /// waiting (staged, sealed, or in flight) longer than this, the
+    /// service is degraded.
+    pub max_staleness: Duration,
+    /// Queue-pressure threshold as a fraction of capacity
+    /// (`max_rows × (max_batches + 2)` pending rows). At or above it the
+    /// service is degraded — producers are about to hit backpressure.
+    pub max_queue_frac: f64,
+    /// Maximum tolerated backlog in *batches* (sealed + in flight +
+    /// a non-empty staging area) before the service is degraded.
+    pub max_cycles_behind: u64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            max_staleness: Duration::from_secs(5),
+            max_queue_frac: 0.9,
+            max_cycles_behind: 8,
+        }
+    }
+}
+
+/// Point-in-time health verdict (see [`WarehouseService::health`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Health {
+    /// No SLO violated, no sticky failure.
+    Healthy,
+    /// At least one objective violated; `reasons` says which, in a fixed
+    /// order (failure, queue pressure, staleness, backlog).
+    Degraded {
+        /// Human-readable violations, one per crossed threshold.
+        reasons: Vec<String>,
+    },
+}
+
+impl Health {
+    /// True iff the verdict is [`Health::Healthy`].
+    pub fn is_healthy(&self) -> bool {
+        matches!(self, Health::Healthy)
+    }
+
+    /// The violation messages (empty when healthy).
+    pub fn reasons(&self) -> &[String] {
+        match self {
+            Health::Healthy => &[],
+            Health::Degraded { reasons } => reasons,
+        }
+    }
+}
+
 /// A staged batch that has been sealed and waits for the worker.
 struct SealedBatch {
     batch: ChangeBatch,
@@ -111,7 +190,12 @@ struct Obs {
     ingest_rows: Counter,
     batches_sealed: Counter,
     queue_depth: Gauge,
+    unapplied_rows: Gauge,
+    oldest_age: Gauge,
+    cycles_behind: Gauge,
+    healthy: Gauge,
     flush_latency: Histogram,
+    staleness: Histogram,
     backpressure_waits: Counter,
     shard_routed_rows: Counter,
 }
@@ -125,6 +209,10 @@ struct QueueState {
     sealed: VecDeque<SealedBatch>,
     sealed_rows: usize,
     in_flight_rows: usize,
+    /// Staleness-clock start of the batch the worker is applying right
+    /// now (None between cycles) — so the lag gauges keep seeing the
+    /// oldest accepted row while it is in flight.
+    in_flight_staged_at: Option<Instant>,
     shutdown: bool,
     /// Sticky first failure; set once, never cleared.
     error: Option<CoreError>,
@@ -159,6 +247,10 @@ struct Shared {
     opts: MaintainOptions,
     obs: Obs,
     registry: MetricsRegistry,
+    /// The warehouse's flight recorder (`Arc`-shared with the worker's
+    /// warehouse) — seal, backpressure, panic, and drain events land here
+    /// interleaved with the cycles they surround.
+    journal: Journal,
     /// Snapshot of the warehouse's shard layout, taken at service start.
     /// Inactive (routes nothing) when the maintenance policy runs one
     /// shard.
@@ -198,6 +290,7 @@ impl Shared {
             .staged_since
             .take()
             .expect("non-empty staged batch has a start time");
+        let tables = batch.deltas.len() as u64;
         st.sealed.push_back(SealedBatch {
             batch,
             rows,
@@ -206,10 +299,91 @@ impl Shared {
         st.sealed_rows += rows;
         st.batches_sealed += 1;
         self.obs.batches_sealed.inc();
+        self.journal.record(JournalEvent::BatchSealed {
+            seq: self.journal.next_seal_seq(),
+            rows: rows as u64,
+            tables,
+        });
     }
 
-    fn publish_depth(&self, st: &QueueState) {
+    /// Start of the staleness clock of the oldest accepted-but-unapplied
+    /// row: the in-flight batch (oldest), then the sealed queue's front,
+    /// then the staging area.
+    fn oldest_staged_at(&self, st: &QueueState) -> Option<Instant> {
+        let mut oldest = st.staged_since;
+        if let Some(front) = st.sealed.front() {
+            oldest = Some(oldest.map_or(front.staged_at, |o| o.min(front.staged_at)));
+        }
+        if let Some(t) = st.in_flight_staged_at {
+            oldest = Some(oldest.map_or(t, |o| o.min(t)));
+        }
+        oldest
+    }
+
+    /// Batches that must complete before everything accepted so far is
+    /// visible: sealed + in flight + a non-empty staging area.
+    fn batches_behind(&self, st: &QueueState) -> u64 {
+        st.sealed.len() as u64
+            + u64::from(st.in_flight_rows > 0)
+            + u64::from(st.staged_rows > 0)
+    }
+
+    /// Judges the queue state against an [`SloPolicy`]. Reason order is
+    /// fixed: sticky failure, queue pressure, staleness, backlog.
+    fn health_of(&self, st: &QueueState, slo: &SloPolicy) -> Health {
+        let mut reasons = Vec::new();
+        if let Some(e) = &st.error {
+            reasons.push(format!("maintenance failed (sticky): {e}"));
+        }
+        let capacity = self.policy.max_rows * (self.policy.max_batches + 2);
+        let threshold = (capacity as f64 * slo.max_queue_frac).ceil() as usize;
+        let pending = st.pending_rows();
+        if pending >= threshold.max(1) {
+            reasons.push(format!(
+                "queue at {pending}/{capacity} pending rows (>= {:.0}% of capacity)",
+                slo.max_queue_frac * 100.0
+            ));
+        }
+        if let Some(t0) = self.oldest_staged_at(st) {
+            let age = t0.elapsed();
+            if age > slo.max_staleness {
+                reasons.push(format!(
+                    "oldest unapplied batch is {}us old (SLO {}us)",
+                    age.as_micros(),
+                    slo.max_staleness.as_micros()
+                ));
+            }
+        }
+        let behind = self.batches_behind(st);
+        if behind > slo.max_cycles_behind {
+            reasons.push(format!(
+                "{behind} batches behind (SLO {})",
+                slo.max_cycles_behind
+            ));
+        }
+        if reasons.is_empty() {
+            Health::Healthy
+        } else {
+            Health::Degraded { reasons }
+        }
+    }
+
+    /// Publishes every queue-derived gauge. Called on each queue
+    /// transition (stage, seal, cycle end, shutdown) and from
+    /// [`WarehouseService::health`]; between calls the age gauge holds
+    /// its last published value, so scrape-time readings lag by at most
+    /// one transition.
+    fn publish_gauges(&self, st: &QueueState) {
         self.obs.queue_depth.set(st.pending_rows() as i64);
+        self.obs.unapplied_rows.set(st.unapplied.len() as i64);
+        let age_us = self
+            .oldest_staged_at(st)
+            .map(|t0| t0.elapsed().as_micros().min(i64::MAX as u128) as i64)
+            .unwrap_or(0);
+        self.obs.oldest_age.set(age_us);
+        self.obs.cycles_behind.set(self.batches_behind(st) as i64);
+        let healthy = self.health_of(st, &SloPolicy::default()).is_healthy();
+        self.obs.healthy.set(i64::from(healthy));
     }
 }
 
@@ -261,6 +435,10 @@ pub struct IngestStats {
 pub struct WarehouseService {
     shared: Arc<Shared>,
     worker: Option<JoinHandle<Warehouse>>,
+    /// Prometheus scrape endpoint, when one is bound (via
+    /// `CUBEDELTA_METRICS_ADDR` or [`WarehouseService::serve_metrics`]).
+    /// Shut down when the service is dropped or shut down.
+    metrics_server: Option<MetricsServer>,
 }
 
 impl WarehouseService {
@@ -279,14 +457,21 @@ impl WarehouseService {
         opts: MaintainOptions,
     ) -> Self {
         let registry = warehouse.metrics().clone();
+        let journal = warehouse.journal().clone();
         let obs = Obs {
             ingest_rows: registry.counter("ingest_rows"),
             batches_sealed: registry.counter("batches_sealed"),
             queue_depth: registry.gauge("queue_depth"),
+            unapplied_rows: registry.gauge("unapplied_rows"),
+            oldest_age: registry.gauge("oldest_unapplied_batch_age_us"),
+            cycles_behind: registry.gauge("cycles_behind"),
+            healthy: registry.gauge("healthy"),
             flush_latency: registry.histogram("flush_latency_us"),
+            staleness: registry.histogram("staleness_us"),
             backpressure_waits: registry.counter("backpressure_waits"),
             shard_routed_rows: registry.counter("shard_routed_rows"),
         };
+        obs.healthy.set(1);
         let router = warehouse.shard_router();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState::default()),
@@ -296,6 +481,7 @@ impl WarehouseService {
             opts,
             obs,
             registry,
+            journal,
             router,
         });
         let worker_shared = Arc::clone(&shared);
@@ -303,10 +489,62 @@ impl WarehouseService {
             .name("cubedelta-ingest".into())
             .spawn(move || worker_loop(worker_shared, warehouse))
             .expect("spawn ingestion worker");
+        let metrics_server = match std::env::var(METRICS_ADDR_ENV_VAR) {
+            Ok(addr) if !addr.is_empty() => {
+                match MetricsServer::bind(&addr, shared.registry.clone()) {
+                    Ok(server) => Some(server),
+                    Err(e) => {
+                        // Telemetry must never stop the warehouse: report
+                        // and run without an endpoint.
+                        eprintln!("cubedelta: cannot serve metrics on {addr}: {e}");
+                        None
+                    }
+                }
+            }
+            _ => None,
+        };
         WarehouseService {
             shared,
             worker: Some(worker),
+            metrics_server,
         }
+    }
+
+    /// Binds (or re-binds) the Prometheus scrape endpoint explicitly,
+    /// replacing any server started via `CUBEDELTA_METRICS_ADDR`. Pass
+    /// `"127.0.0.1:0"` to let the OS pick a free port and read it back
+    /// from [`WarehouseService::metrics_addr`].
+    pub fn serve_metrics(&mut self, addr: &str) -> std::io::Result<SocketAddr> {
+        let server = MetricsServer::bind(addr, self.shared.registry.clone())?;
+        let bound = server.addr();
+        self.metrics_server = Some(server); // old server (if any) drops → shuts down
+        Ok(bound)
+    }
+
+    /// The scrape endpoint's bound address, if one is serving.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_server.as_ref().map(|s| s.addr())
+    }
+
+    /// Judges the service against the default [`SloPolicy`].
+    pub fn health(&self) -> Health {
+        self.health_with(&SloPolicy::default())
+    }
+
+    /// Judges the service against an explicit [`SloPolicy`]: sticky
+    /// cycle failures, queue pressure relative to capacity, the age of
+    /// the oldest accepted-but-unapplied row, and the batch backlog.
+    /// Also refreshes the lag gauges (`oldest_unapplied_batch_age_us`,
+    /// `cycles_behind`, `healthy`), so polling `health()` keeps scrapes
+    /// current even on an idle queue.
+    pub fn health_with(&self, slo: &SloPolicy) -> Health {
+        let st = self.shared.lock();
+        self.shared.publish_gauges(&st);
+        let health = self.shared.health_of(&st, slo);
+        // `publish_gauges` judges with the default policy; re-publish the
+        // verdict actually returned when the caller's policy differs.
+        self.shared.obs.healthy.set(i64::from(health.is_healthy()));
+        health
     }
 
     /// Stages a delta, blocking while the queue is at capacity.
@@ -352,6 +590,9 @@ impl WarehouseService {
                 return Err(CoreError::Backpressure);
             }
             self.shared.obs.backpressure_waits.inc();
+            self.shared.journal.record(JournalEvent::Backpressure {
+                pending_rows: st.pending_rows() as u64,
+            });
             st = self
                 .shared
                 .room
@@ -370,7 +611,7 @@ impl WarehouseService {
         {
             self.shared.seal(&mut st);
         }
-        self.shared.publish_depth(&st);
+        self.shared.publish_gauges(&st);
         self.shared.work.notify_one();
         Ok(())
     }
@@ -441,7 +682,14 @@ impl WarehouseService {
         st.sealed_rows = 0;
         let staged = std::mem::take(&mut st.staged);
         st.staged_rows = 0;
+        st.staged_since = None;
         unapplied.merge(staged);
+        // Final gauge states: the queue is gone; what survives is the
+        // unapplied set handed back in the report.
+        self.shared.obs.queue_depth.set(0);
+        self.shared.obs.oldest_age.set(0);
+        self.shared.obs.cycles_behind.set(0);
+        self.shared.obs.unapplied_rows.set(unapplied.len() as i64);
         ShutdownReport {
             warehouse,
             cycles: st.cycles,
@@ -499,6 +747,7 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
             if let Some(job) = st.sealed.pop_front() {
                 st.sealed_rows -= job.rows;
                 st.in_flight_rows = job.rows;
+                st.in_flight_staged_at = Some(job.staged_at);
                 break Some(job);
             }
             if st.shutdown {
@@ -522,12 +771,17 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
             };
         };
         let Some(job) = job else {
-            shared.publish_depth(&st);
+            shared.publish_gauges(&st);
+            shared.journal.record(JournalEvent::ShutdownDrain {
+                cycles: st.cycles,
+                applied_rows: st.rows_applied,
+                unapplied_rows: (st.unapplied.len() + st.sealed_rows + st.staged_rows) as u64,
+            });
             drop(st);
             shared.room.notify_all();
             return wh;
         };
-        shared.publish_depth(&st);
+        shared.publish_gauges(&st);
         drop(st);
         // A sealed slot just freed; blocked producers can seal into it.
         shared.room.notify_all();
@@ -541,14 +795,18 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
 
         let mut st = shared.lock();
         st.in_flight_rows = 0;
+        st.in_flight_staged_at = None;
         match result {
             Ok(Ok(_report)) => {
                 st.cycles += 1;
                 st.rows_applied += job.rows as u64;
                 st.applied.push(job.batch);
                 shared.obs.flush_latency.record(staleness);
+                shared.obs.staleness.record(staleness);
             }
             Ok(Err(e)) => {
+                // `maintain` already journaled CycleFailed before
+                // returning the error.
                 st.unapplied.merge(job.batch);
                 st.error = Some(e);
             }
@@ -558,13 +816,20 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
                     .map(|s| s.to_string())
                     .or_else(|| payload.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_string());
+                // A panic unwound past `maintain`'s error path, so no
+                // CycleFailed was journaled — write it here, against the
+                // cycle id the aborted CycleStarted claimed.
+                shared.journal.record(JournalEvent::CycleFailed {
+                    cycle: shared.journal.last_cycle_id(),
+                    error: format!("panicked: {msg}"),
+                });
                 st.unapplied.merge(job.batch);
                 st.error = Some(CoreError::Ingest(format!(
                     "maintenance cycle panicked: {msg}"
                 )));
             }
         }
-        shared.publish_depth(&st);
+        shared.publish_gauges(&st);
         drop(st);
         shared.room.notify_all();
     }

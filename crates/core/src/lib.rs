@@ -79,10 +79,14 @@ pub use baseline::{propagate_without_lattice, rematerialize_direct, rematerializ
 pub use consistency::check_view_consistency;
 pub use cube::{CubeBudget, CubeReport, CubeSpec};
 pub use error::{CoreError, CoreResult};
-pub use ingest::{BatchPolicy, IngestStats, ShutdownReport, WarehouseService};
+pub use ingest::{
+    BatchPolicy, Health, IngestStats, ShutdownReport, SloPolicy, WarehouseService,
+    METRICS_ADDR_ENV_VAR,
+};
 pub use multi::{
-    plan_levels, propagate_plan, propagate_plan_leveled, propagate_plan_leveled_sharded,
-    propagate_plan_metered, refresh_plan_leveled, LevelReport, PropagationStepReport,
+    plan_levels, propagate_plan, propagate_plan_leveled, propagate_plan_leveled_journaled,
+    propagate_plan_leveled_sharded, propagate_plan_metered, refresh_plan_leveled,
+    refresh_plan_leveled_journaled, CycleJournal, LevelReport, PropagationStepReport,
     RefreshStepReport,
 };
 pub use prepare::{prepare_changes, prepare_deletions, prepare_insertions, Sign};
@@ -100,5 +104,6 @@ pub use warehouse::{
 };
 
 // Observability re-exports: the counters type every metered entry point
-// takes, and the registry the warehouse aggregates into.
-pub use cubedelta_obs::{ExecutionMetrics, MetricsRegistry};
+// takes, the registry the warehouse aggregates into, and the flight
+// recorder the maintenance cycle appends to.
+pub use cubedelta_obs::{ExecutionMetrics, Journal, JournalEvent, MetricsRegistry};

@@ -27,7 +27,7 @@ use std::sync::{Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
 use cubedelta_lattice::{derive_child, DeltaSource, MaintenancePlan};
-use cubedelta_obs::{trace, ExecutionMetrics};
+use cubedelta_obs::{trace, ExecutionMetrics, Journal, JournalEvent};
 use cubedelta_query::Relation;
 use cubedelta_storage::{Catalog, ChangeBatch, ShardedTable, Table, TableRole};
 use cubedelta_view::AugmentedView;
@@ -39,6 +39,64 @@ use crate::propagate::{
 use crate::refresh::{
     apply_refresh_ops, plan_refresh_ops, RecomputeSource, RefreshOptions, RefreshStats,
 };
+
+/// A journal handle scoped to one maintenance cycle: every event the
+/// executors emit through it carries the cycle id, so the flight
+/// recorder's stream can be replayed into per-cycle summaries. Step
+/// events are emitted at each level's join point, in plan order, so the
+/// journal's event order is deterministic for any thread count.
+#[derive(Debug, Clone)]
+pub struct CycleJournal {
+    journal: Journal,
+    cycle: u64,
+}
+
+impl CycleJournal {
+    /// Scopes `journal` to the given cycle id.
+    pub fn new(journal: Journal, cycle: u64) -> Self {
+        CycleJournal { journal, cycle }
+    }
+
+    /// The cycle id events are tagged with.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Appends `event` to the underlying journal.
+    pub fn record(&self, event: JournalEvent) {
+        self.journal.record(event);
+    }
+
+    fn record_propagate_step(&self, report: &PropagationStepReport, delta_rows: u64) {
+        let shard = report.shard.as_ref();
+        self.record(JournalEvent::PropagateStep {
+            cycle: self.cycle,
+            view: report.view.clone(),
+            source: report
+                .source
+                .clone()
+                .unwrap_or_else(|| "changes".to_string()),
+            delta_rows,
+            time_us: report.time.as_micros().min(u64::MAX as u128) as u64,
+            shards: shard.map_or(0, |s| s.shards as u64),
+            shard_rows_scanned: shard.map_or(0, |s| s.rows_scanned),
+            shard_merge_us: shard.map_or(0, |s| s.merge_us),
+        });
+    }
+
+    fn record_refresh_step(&self, report: &RefreshStepReport) {
+        self.record(JournalEvent::RefreshStep {
+            cycle: self.cycle,
+            view: report.view.clone(),
+            inserted: report.stats.inserted as u64,
+            deleted: report.stats.deleted as u64,
+            updated: report.stats.updated as u64,
+            recomputed: report.stats.recomputed as u64,
+            skipped: report.stats.skipped as u64,
+            time_us: report.time.as_micros().min(u64::MAX as u128) as u64,
+        });
+    }
+}
 
 /// Per-step observability record from [`propagate_plan_metered`]: which
 /// view was propagated, where its delta came from, how long it took, and
@@ -279,6 +337,24 @@ pub fn propagate_plan_leveled_sharded(
     threads: usize,
     shard_tables: Option<&HashMap<String, ShardedTable>>,
 ) -> CoreResult<LeveledPropagation> {
+    propagate_plan_leveled_journaled(catalog, views, plan, batch, opts, threads, shard_tables, None)
+}
+
+/// [`propagate_plan_leveled_sharded`] with a flight-recorder hook: when a
+/// [`CycleJournal`] is supplied, one [`JournalEvent::PropagateStep`] is
+/// emitted per plan step at its level's join point (plan order), carrying
+/// the step's delta cardinality, timing, and shard stats.
+#[allow(clippy::too_many_arguments)]
+pub fn propagate_plan_leveled_journaled(
+    catalog: &Catalog,
+    views: &[AugmentedView],
+    plan: &MaintenancePlan,
+    batch: &ChangeBatch,
+    opts: &PropagateOptions,
+    threads: usize,
+    shard_tables: Option<&HashMap<String, ShardedTable>>,
+    journal: Option<&CycleJournal>,
+) -> CoreResult<LeveledPropagation> {
     let by_name: HashMap<&str, &AugmentedView> = views
         .iter()
         .map(|v| (v.def.name.as_str(), v))
@@ -367,13 +443,17 @@ pub fn propagate_plan_leveled_sharded(
         outcomes.sort_by_key(|(i, _)| *i);
         for (i, outcome) in outcomes {
             let outcome = outcome?;
-            report_slots[i] = Some(PropagationStepReport {
+            let report = PropagationStepReport {
                 view: plan.steps[i].view.clone(),
                 source: outcome.source,
                 time: outcome.time,
                 metrics: outcome.metrics,
                 shard: outcome.shard,
-            });
+            };
+            if let Some(j) = journal {
+                j.record_propagate_step(&report, outcome.sd.len() as u64);
+            }
+            report_slots[i] = Some(report);
             deltas.insert(plan.steps[i].view.clone(), outcome.sd);
         }
         level_reports.push(LevelReport {
@@ -642,6 +722,22 @@ pub fn refresh_plan_leveled(
     opts: &RefreshOptions,
     threads: usize,
 ) -> CoreResult<LeveledRefresh> {
+    refresh_plan_leveled_journaled(catalog, views, plan, deltas, opts, threads, None)
+}
+
+/// [`refresh_plan_leveled`] with a flight-recorder hook: when a
+/// [`CycleJournal`] is supplied, one [`JournalEvent::RefreshStep`] is
+/// emitted per plan step at its level's join point (plan order), carrying
+/// the step's Figure-7 action counts and timing.
+pub fn refresh_plan_leveled_journaled(
+    catalog: &mut Catalog,
+    views: &[AugmentedView],
+    plan: &MaintenancePlan,
+    deltas: &HashMap<String, Relation>,
+    opts: &RefreshOptions,
+    threads: usize,
+    journal: Option<&CycleJournal>,
+) -> CoreResult<LeveledRefresh> {
     let by_name: HashMap<&str, &AugmentedView> = views
         .iter()
         .map(|v| (v.def.name.as_str(), v))
@@ -749,12 +845,16 @@ pub fn refresh_plan_leveled(
                 // `par_fallbacks`).
                 outcome.metrics.refresh_par_fallbacks += 1;
             }
-            report_slots[i] = Some(RefreshStepReport {
+            let report = RefreshStepReport {
                 view: plan.steps[i].view.clone(),
                 stats: outcome.stats,
                 time: outcome.time,
                 metrics: outcome.metrics,
-            });
+            };
+            if let Some(j) = journal {
+                j.record_refresh_step(&report);
+            }
+            report_slots[i] = Some(report);
         }
         level_reports.push(LevelReport {
             level: lvl,

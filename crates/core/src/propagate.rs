@@ -420,6 +420,22 @@ impl ShardStepStats {
         let mean = total as f64 / self.per_shard_delta_rows.len() as f64;
         max / mean
     }
+
+    /// These stats as a JSON object (skew is `null` when undefined — no
+    /// shard produced rows — rather than NaN).
+    pub fn to_json(&self) -> cubedelta_obs::json::JsonValue {
+        use cubedelta_obs::json::JsonValue;
+        JsonValue::object([
+            ("shards", JsonValue::from(self.shards)),
+            ("rows_scanned", JsonValue::from(self.rows_scanned)),
+            ("merge_us", JsonValue::from(self.merge_us)),
+            ("skew", JsonValue::from(self.skew())),
+            (
+                "per_shard_delta_rows",
+                JsonValue::array(self.per_shard_delta_rows.iter().map(|&r| JsonValue::from(r))),
+            ),
+        ])
+    }
 }
 
 /// Combines two partial aggregate values for the same group, one from each

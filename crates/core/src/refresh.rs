@@ -64,6 +64,19 @@ impl RefreshStats {
     pub fn total(&self) -> usize {
         self.inserted + self.deleted + self.updated + self.recomputed + self.skipped
     }
+
+    /// These stats as a JSON object — the shape used by `ViewReport` and
+    /// the journal's refresh-step events.
+    pub fn to_json(&self) -> cubedelta_obs::json::JsonValue {
+        use cubedelta_obs::json::JsonValue;
+        JsonValue::object([
+            ("inserted", JsonValue::from(self.inserted)),
+            ("deleted", JsonValue::from(self.deleted)),
+            ("updated", JsonValue::from(self.updated)),
+            ("recomputed", JsonValue::from(self.recomputed)),
+            ("skipped", JsonValue::from(self.skipped)),
+        ])
+    }
 }
 
 pub(crate) enum Op {

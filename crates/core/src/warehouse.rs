@@ -5,7 +5,7 @@ use std::time::{Duration, Instant};
 
 use cubedelta_lattice::{DeltaSource, ViewLattice};
 use cubedelta_obs::json::{duration_us, JsonValue};
-use cubedelta_obs::{trace, ExecutionMetrics, MetricsRegistry};
+use cubedelta_obs::{trace, ExecutionMetrics, Journal, JournalEvent, MetricsRegistry};
 use std::collections::HashMap;
 
 use cubedelta_storage::{
@@ -16,7 +16,9 @@ use cubedelta_view::{augment, install_summary_table, AugmentedView, SummaryViewD
 use crate::baseline::{rematerialize_direct, rematerialize_with_lattice};
 use crate::consistency::check_view_consistency;
 use crate::error::{CoreError, CoreResult};
-use crate::multi::{propagate_plan_leveled_sharded, refresh_plan_leveled, LevelReport};
+use crate::multi::{
+    propagate_plan_leveled_journaled, refresh_plan_leveled_journaled, CycleJournal, LevelReport,
+};
 use crate::propagate::PropagateOptions;
 use crate::refresh::{RefreshOptions, RefreshStats};
 
@@ -147,16 +149,7 @@ impl ViewReport {
             ("delta_rows", JsonValue::from(self.delta_rows)),
             ("propagate_us", duration_us(self.propagate_time)),
             ("refresh_us", duration_us(self.refresh_time)),
-            (
-                "refresh",
-                JsonValue::object([
-                    ("inserted", JsonValue::from(self.refresh.inserted)),
-                    ("deleted", JsonValue::from(self.refresh.deleted)),
-                    ("updated", JsonValue::from(self.refresh.updated)),
-                    ("recomputed", JsonValue::from(self.refresh.recomputed)),
-                    ("skipped", JsonValue::from(self.refresh.skipped)),
-                ]),
-            ),
+            ("refresh", self.refresh.to_json()),
             ("metrics", self.metrics.to_json()),
         ])
     }
@@ -166,6 +159,9 @@ impl ViewReport {
 /// cycle — the quantities plotted in Figure 9.
 #[derive(Debug, Clone, Default)]
 pub struct MaintenanceReport {
+    /// Flight-recorder cycle id this report corresponds to (0 for the
+    /// rematerialize baselines, which bypass the summary-delta pipeline).
+    pub cycle: u64,
     /// Time spent computing summary-delta tables (outside the batch
     /// window).
     pub propagate_time: Duration,
@@ -223,6 +219,7 @@ impl MaintenanceReport {
     /// cycle-wide operator counters, and one entry per maintained view.
     pub fn to_json(&self) -> JsonValue {
         JsonValue::object([
+            ("cycle", JsonValue::from(self.cycle)),
             ("propagate_us", duration_us(self.propagate_time)),
             ("apply_base_us", duration_us(self.apply_base_time)),
             ("refresh_us", duration_us(self.refresh_time)),
@@ -372,6 +369,11 @@ pub struct Warehouse {
     views: Vec<AugmentedView>,
     lattice: Option<ViewLattice>,
     registry: MetricsRegistry,
+    /// Flight recorder for maintenance lifecycle events. Arc-shared like
+    /// the registry, so clones append to the same journal. Configured
+    /// from `CUBEDELTA_JOURNAL_CAP` / `CUBEDELTA_JOURNAL_PATH` at
+    /// construction.
+    journal: Journal,
     policy: MaintenancePolicy,
     /// Configured shard keys per fact table; fact tables without an entry
     /// default to hashing their first column.
@@ -398,6 +400,7 @@ impl Warehouse {
             views: Vec::new(),
             lattice: None,
             registry: MetricsRegistry::new(),
+            journal: Journal::default(),
             policy: MaintenancePolicy::default(),
             shard_keys: HashMap::new(),
             shard_tables: HashMap::new(),
@@ -505,6 +508,13 @@ impl Warehouse {
     /// here across every [`Warehouse::maintain`] call.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// The warehouse's cycle flight recorder: one structured event per
+    /// maintenance lifecycle step, replayable into per-cycle summaries
+    /// with [`cubedelta_obs::reconstruct_cycles`]. Shared across clones.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// Write access to the catalog. Mutating base data through this without
@@ -680,6 +690,44 @@ impl Warehouse {
         plan: &cubedelta_lattice::MaintenancePlan,
         opts: &MaintainOptions,
     ) -> CoreResult<MaintenanceReport> {
+        let rows = batch.len() as u64;
+        let cj = CycleJournal::new(self.journal.clone(), self.journal.next_cycle_id());
+        cj.record(JournalEvent::CycleStarted {
+            cycle: cj.cycle(),
+            rows,
+        });
+        match self.maintain_cycle(batch, plan, opts, &cj) {
+            Ok(report) => {
+                cj.record(JournalEvent::CycleCommitted {
+                    cycle: cj.cycle(),
+                    rows,
+                    propagate_us: report.propagate_time.as_micros().min(u64::MAX as u128) as u64,
+                    apply_base_us: report.apply_base_time.as_micros().min(u64::MAX as u128)
+                        as u64,
+                    refresh_us: report.refresh_time.as_micros().min(u64::MAX as u128) as u64,
+                });
+                Ok(report)
+            }
+            Err(e) => {
+                cj.record(JournalEvent::CycleFailed {
+                    cycle: cj.cycle(),
+                    error: e.to_string(),
+                });
+                Err(e)
+            }
+        }
+    }
+
+    /// The body of one journaled maintenance cycle (propagate → apply →
+    /// refresh); `maintain_with_plan` brackets it with cycle start/commit/
+    /// fail events.
+    fn maintain_cycle(
+        &mut self,
+        batch: &ChangeBatch,
+        plan: &cubedelta_lattice::MaintenancePlan,
+        opts: &MaintainOptions,
+        cj: &CycleJournal,
+    ) -> CoreResult<MaintenanceReport> {
         let threads = self.policy.threads.max(1);
         let shards = self.policy.shards.max(1);
         let popts = PropagateOptions {
@@ -694,7 +742,7 @@ impl Warehouse {
         self.ensure_shard_tables()?;
         let (deltas, step_reports, levels) = {
             let _span = trace::span(|| "propagate".to_string());
-            propagate_plan_leveled_sharded(
+            propagate_plan_leveled_journaled(
                 &self.catalog,
                 &self.views,
                 plan,
@@ -702,6 +750,7 @@ impl Warehouse {
                 &popts,
                 threads,
                 (shards > 1).then_some(&self.shard_tables),
+                Some(cj),
             )?
         };
         let propagate_time = t0.elapsed();
@@ -726,13 +775,14 @@ impl Warehouse {
         let ropts = RefreshOptions { insertions_only };
         let (refresh_reports, refresh_levels) = {
             let _span = trace::span(|| "refresh".to_string());
-            refresh_plan_leveled(
+            refresh_plan_leveled_journaled(
                 &mut self.catalog,
                 &self.views,
                 plan,
                 &deltas,
                 &ropts,
                 threads,
+                Some(cj),
             )?
         };
         let refresh_time = t2.elapsed();
@@ -803,6 +853,7 @@ impl Warehouse {
         }
 
         Ok(MaintenanceReport {
+            cycle: cj.cycle(),
             propagate_time,
             apply_base_time,
             refresh_time,
@@ -885,6 +936,7 @@ impl Warehouse {
         let refresh_time = t2.elapsed();
 
         Ok(MaintenanceReport {
+            cycle: 0,
             propagate_time: Duration::ZERO,
             apply_base_time,
             refresh_time,

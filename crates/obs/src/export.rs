@@ -1,0 +1,586 @@
+//! Prometheus text-format export and a zero-dependency scrape endpoint.
+//!
+//! [`render_prometheus`] serializes a [`RegistrySnapshot`] to the
+//! Prometheus text exposition format (version 0.0.4): counters become
+//! `_total` series, gauges map directly, and histograms expand to the
+//! cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+//! [`parse_prometheus`] is the matching strict reader used by the test
+//! suite and the CI `obs-smoke` job to validate live scrapes, and
+//! [`MetricsServer`] serves `GET /metrics` over a plain
+//! [`std::net::TcpListener`] so the service stays dependency-free.
+//!
+//! Metric names in the registry use dotted paths (`maintain.cycles`);
+//! the exporter prefixes them with `cubedelta_` and rewrites every
+//! character outside `[a-zA-Z0-9_:]` to `_`, so `maintain.cycles`
+//! scrapes as `cubedelta_maintain_cycles_total`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::registry::{HistogramSnapshot, MetricsRegistry, RegistrySnapshot, LATENCY_BUCKETS_US};
+
+/// Prefix applied to every exported metric name.
+pub const METRIC_PREFIX: &str = "cubedelta_";
+
+/// Rewrites a registry metric name into a valid Prometheus metric name:
+/// prefixes [`METRIC_PREFIX`] and maps invalid characters to `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(METRIC_PREFIX.len() + name.len());
+    out.push_str(METRIC_PREFIX);
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        let mut s = format!("{v}");
+        if !s.contains('.') && !s.contains('e') && !s.contains("Inf") && !s.contains("NaN") {
+            s.push_str(".0");
+        }
+        s
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    let mut cumulative = 0u64;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        cumulative += n;
+        let le = match LATENCY_BUCKETS_US.get(i) {
+            Some(&bound) => fmt_f64(bound as f64),
+            None => "+Inf".to_string(),
+        };
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+    }
+    out.push_str(&format!("{name}_sum {}\n", h.sum_us));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+}
+
+/// Renders a registry snapshot in the Prometheus text exposition format.
+/// The output always ends with a newline (required by the format).
+pub fn render_prometheus(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let name = format!("{}_total", sanitize_metric_name(name));
+        out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let name = sanitize_metric_name(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        write_histogram(&mut out, &sanitize_metric_name(name), h);
+    }
+    out
+}
+
+/// One sample row: `(sample name, labels, value)`. Labels are
+/// `(key, value)` pairs; histogram buckets carry their `le` label.
+pub type PromSample = (String, Vec<(String, String)>, f64);
+
+/// One parsed metric family: a `# TYPE` declaration plus its samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromFamily {
+    /// Family name as declared by `# TYPE`.
+    pub name: String,
+    /// `counter`, `gauge`, or `histogram`.
+    pub kind: String,
+    /// Sample rows in document order.
+    pub samples: Vec<PromSample>,
+}
+
+impl PromFamily {
+    /// The value of the sample named exactly `sample` with no labels.
+    pub fn value(&self, sample: &str) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|(n, labels, _)| n == sample && labels.is_empty())
+            .map(|&(_, _, v)| v)
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("invalid sample value `{other}`")),
+    }
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    // `key="value",key2="value2"` — values may contain escaped quotes.
+    let mut labels = Vec::new();
+    let mut rest = text;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("missing `=` in labels `{text}`"))?;
+        let key = rest[..eq].trim().to_string();
+        if !valid_name(&key) {
+            return Err(format!("invalid label name `{key}`"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("unquoted label value in `{text}`"))?;
+        let mut value = String::new();
+        let mut closed = false;
+        let mut chars = rest.char_indices();
+        let mut consumed = rest.len();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, '\\')) => value.push('\\'),
+                    _ => return Err(format!("bad escape in label value `{text}`")),
+                },
+                '"' => {
+                    closed = true;
+                    consumed = i + 1;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated label value in `{text}`"));
+        }
+        labels.push((key, value));
+        rest = &rest[consumed..];
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+/// Strict parser for the Prometheus text exposition format subset the
+/// exporter emits. Validates metric-name charsets, numeric sample
+/// values, that every sample belongs to the most recent `# TYPE` family,
+/// histogram invariants (cumulative non-decreasing buckets ending in
+/// `+Inf`, `+Inf` bucket equal to `_count`), and the trailing newline.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, String> {
+    if !text.is_empty() && !text.ends_with('\n') {
+        return Err("exposition must end with a newline".to_string());
+    }
+    let mut families: Vec<PromFamily> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without name", lineno + 1))?;
+            let kind = parts
+                .next()
+                .ok_or_else(|| format!("line {}: TYPE without kind", lineno + 1))?;
+            if !valid_name(name) {
+                return Err(format!("line {}: invalid metric name `{name}`", lineno + 1));
+            }
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(format!("line {}: invalid TYPE kind `{kind}`", lineno + 1));
+            }
+            if families.iter().any(|f| f.name == name) {
+                return Err(format!("line {}: duplicate TYPE for `{name}`", lineno + 1));
+            }
+            families.push(PromFamily {
+                name: name.to_string(),
+                kind: kind.to_string(),
+                samples: Vec::new(),
+            });
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample line: `name[{labels}] value`
+        let (name_part, value_part) = match line.find('{') {
+            Some(_) => {
+                let close = line
+                    .rfind('}')
+                    .ok_or_else(|| format!("line {}: unterminated labels", lineno + 1))?;
+                (line[..close + 1].to_string(), line[close + 1..].trim())
+            }
+            None => {
+                let sp = line
+                    .find(' ')
+                    .ok_or_else(|| format!("line {}: sample without value", lineno + 1))?;
+                (line[..sp].to_string(), line[sp + 1..].trim())
+            }
+        };
+        let (name, labels) = match name_part.find('{') {
+            Some(brace) => {
+                let inner = &name_part[brace + 1..name_part.len() - 1];
+                (
+                    name_part[..brace].to_string(),
+                    parse_labels(inner).map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                )
+            }
+            None => (name_part, Vec::new()),
+        };
+        if !valid_name(&name) {
+            return Err(format!("line {}: invalid sample name `{name}`", lineno + 1));
+        }
+        let value =
+            parse_value(value_part).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let family = families.last_mut().ok_or_else(|| {
+            format!("line {}: sample `{name}` before any TYPE line", lineno + 1)
+        })?;
+        let belongs = name == family.name
+            || (family.kind == "histogram"
+                && [format!("{}_bucket", family.name), format!("{}_sum", family.name),
+                    format!("{}_count", family.name)]
+                .contains(&name));
+        if !belongs {
+            return Err(format!(
+                "line {}: sample `{name}` does not belong to family `{}`",
+                lineno + 1,
+                family.name
+            ));
+        }
+        family.samples.push((name, labels, value));
+    }
+    // Histogram invariants.
+    for f in &families {
+        if f.kind != "histogram" {
+            continue;
+        }
+        let buckets: Vec<_> = f
+            .samples
+            .iter()
+            .filter(|(n, _, _)| *n == format!("{}_bucket", f.name))
+            .collect();
+        if buckets.is_empty() {
+            return Err(format!("histogram `{}` has no buckets", f.name));
+        }
+        let mut prev = 0.0f64;
+        for (_, labels, v) in &buckets {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("histogram `{}` bucket without le", f.name))?;
+            parse_value(le)
+                .map_err(|_| format!("histogram `{}` has bad le `{le}`", f.name))?;
+            if *v < prev {
+                return Err(format!("histogram `{}` buckets are not cumulative", f.name));
+            }
+            prev = *v;
+        }
+        let (_, last_labels, last_v) = buckets.last().unwrap();
+        let last_le = last_labels.iter().find(|(k, _)| k == "le").unwrap().1.as_str();
+        if last_le != "+Inf" {
+            return Err(format!("histogram `{}` last bucket is not +Inf", f.name));
+        }
+        let count = f
+            .value(&format!("{}_count", f.name))
+            .ok_or_else(|| format!("histogram `{}` missing _count", f.name))?;
+        if (*last_v - count).abs() > f64::EPSILON {
+            return Err(format!(
+                "histogram `{}` +Inf bucket {last_v} != _count {count}",
+                f.name
+            ));
+        }
+        if f.value(&format!("{}_sum", f.name)).is_none() {
+            return Err(format!("histogram `{}` missing _sum", f.name));
+        }
+    }
+    Ok(families)
+}
+
+/// A minimal HTTP/1.1 scrape endpoint serving `GET /metrics` from a
+/// shared [`MetricsRegistry`]. One accept-loop thread, one request per
+/// connection — enough for a Prometheus scraper on an internal port,
+/// with zero dependencies.
+///
+/// The listener shuts down when the server is dropped (or
+/// [`MetricsServer::shutdown`] is called explicitly).
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
+    /// serving scrapes of `registry` on a background thread.
+    pub fn bind(addr: &str, registry: MetricsRegistry) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cubedelta-metrics".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if thread_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        // Scrapes are tiny; serve inline on the accept thread.
+                        let _ = serve_one(stream, &registry);
+                    }
+                }
+            })
+            .expect("spawn metrics server thread");
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    // Read the request line; drain headers best-effort.
+    let mut buf = [0u8; 4096];
+    let mut req = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 64 * 1024 {
+            break;
+        }
+    }
+    let request_line = req
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).into_owned())
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n".to_string(),
+        )
+    } else if path == "/metrics" || path.starts_with("/metrics?") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_prometheus(&registry.snapshot()),
+        )
+    } else {
+        (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; scrape /metrics\n".to_string(),
+        )
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Performs one blocking scrape of `addr` and returns the body, for
+/// tests and the smoke harness (not a general HTTP client).
+pub fn scrape_once(addr: SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no HTTP body"))?;
+    if !response.starts_with("HTTP/1.1 200") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("scrape failed: {}", response.lines().next().unwrap_or("")),
+        ));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        reg.counter("maintain.cycles").add(3);
+        reg.counter("ingest.rows").add(1200);
+        reg.gauge("service.queue_depth").set(0);
+        reg.gauge("service.cycles_behind").set(2);
+        let h = reg.histogram("maintain.propagate_us");
+        h.record_us(5);
+        h.record_us(150);
+        h.record_us(30_000_000); // overflow
+        reg
+    }
+
+    #[test]
+    fn renders_and_parses_round_trip() {
+        let reg = sample_registry();
+        let text = render_prometheus(&reg.snapshot());
+        let families = parse_prometheus(&text).unwrap();
+        let cycles = families
+            .iter()
+            .find(|f| f.name == "cubedelta_maintain_cycles_total")
+            .expect("counter family");
+        assert_eq!(cycles.kind, "counter");
+        assert_eq!(cycles.value("cubedelta_maintain_cycles_total"), Some(3.0));
+        let depth = families
+            .iter()
+            .find(|f| f.name == "cubedelta_service_cycles_behind")
+            .expect("gauge family");
+        assert_eq!(depth.kind, "gauge");
+        assert_eq!(depth.value("cubedelta_service_cycles_behind"), Some(2.0));
+        let hist = families
+            .iter()
+            .find(|f| f.name == "cubedelta_maintain_propagate_us")
+            .expect("histogram family");
+        assert_eq!(hist.kind, "histogram");
+        assert_eq!(hist.value("cubedelta_maintain_propagate_us_count"), Some(3.0));
+        assert_eq!(
+            hist.value("cubedelta_maintain_propagate_us_sum"),
+            Some(30_000_155.0)
+        );
+        // Cumulative buckets: one per bound plus +Inf.
+        let buckets: Vec<_> = hist
+            .samples
+            .iter()
+            .filter(|(n, _, _)| n == "cubedelta_maintain_propagate_us_bucket")
+            .collect();
+        assert_eq!(buckets.len(), LATENCY_BUCKETS_US.len() + 1);
+        assert_eq!(buckets.last().unwrap().2, 3.0); // +Inf == count
+    }
+
+    #[test]
+    fn sanitizes_dotted_names() {
+        assert_eq!(
+            sanitize_metric_name("maintain.propagate_us"),
+            "cubedelta_maintain_propagate_us"
+        );
+        assert_eq!(sanitize_metric_name("a-b c"), "cubedelta_a_b_c");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_expositions() {
+        // Missing trailing newline.
+        assert!(parse_prometheus("# TYPE a counter\na 1").is_err());
+        // Sample before any TYPE line.
+        assert!(parse_prometheus("a 1\n").is_err());
+        // Sample outside its family.
+        assert!(parse_prometheus("# TYPE a counter\nb 1\n").is_err());
+        // Bad metric name.
+        assert!(parse_prometheus("# TYPE 1bad counter\n1bad 1\n").is_err());
+        // Non-numeric value.
+        assert!(parse_prometheus("# TYPE a counter\na x\n").is_err());
+        // Non-cumulative histogram buckets.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1.0\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(parse_prometheus(bad).is_err());
+        // +Inf bucket disagreeing with _count.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n";
+        assert!(parse_prometheus(bad).is_err());
+        // Histogram without +Inf terminal bucket.
+        let bad = "# TYPE h histogram\nh_bucket{le=\"1.0\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(parse_prometheus(bad).is_err());
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_exposition() {
+        let text = render_prometheus(&MetricsRegistry::new().snapshot());
+        assert!(text.is_empty());
+        assert_eq!(parse_prometheus(&text).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn server_serves_metrics_and_rejects_other_paths() {
+        let reg = sample_registry();
+        let mut server = MetricsServer::bind("127.0.0.1:0", reg.clone()).unwrap();
+        let body = scrape_once(server.addr()).unwrap();
+        let families = parse_prometheus(&body).unwrap();
+        assert!(families
+            .iter()
+            .any(|f| f.name == "cubedelta_maintain_cycles_total"));
+
+        // Metrics recorded after bind show up on the next scrape.
+        reg.counter("maintain.cycles").add(7);
+        let body = parse_prometheus(&scrape_once(server.addr()).unwrap()).unwrap();
+        let cycles = body
+            .iter()
+            .find(|f| f.name == "cubedelta_maintain_cycles_total")
+            .unwrap();
+        assert_eq!(cycles.value("cubedelta_maintain_cycles_total"), Some(10.0));
+
+        // Unknown path → 404.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "GET /nope HTTP/1.1\r\n\r\n").unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 404"));
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn label_values_with_escapes_parse() {
+        let text = "# TYPE a gauge\na{x=\"q\\\"uo\\\\te\\n\"} 1\n";
+        let families = parse_prometheus(text).unwrap();
+        assert_eq!(families[0].samples[0].1, vec![(
+            "x".to_string(),
+            "q\"uo\\te\n".to_string()
+        )]);
+    }
+}

@@ -1,0 +1,772 @@
+//! Cycle flight recorder: a bounded journal of structured maintenance
+//! lifecycle events.
+//!
+//! The warehouse appends one [`JournalEvent`] per lifecycle step — batch
+//! sealed, cycle started, per-view propagate/refresh step, cycle
+//! committed or failed, ingest backpressure, shutdown drain — into a
+//! bounded in-memory ring (oldest events drop first) and, optionally, a
+//! line-delimited JSON file sink. [`reconstruct_cycles`] replays an
+//! event stream back into per-cycle [`CycleSummary`] totals equivalent
+//! to the `MaintenanceReport` the cycle returned, which is what the
+//! journal-replay tests assert byte-for-byte and what post-hoc tooling
+//! (and the planned adaptive-lattice cost model) reads.
+//!
+//! Event serialization is the crate's own [`crate::json`]; every event
+//! renders to a single-line JSON object tagged `{"event": "..."}` and
+//! parses back losslessly.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::{self, JsonValue};
+
+/// Env var naming a file to mirror journal events into (line-delimited
+/// JSON). Sampled when the journal is constructed.
+pub const JOURNAL_PATH_ENV_VAR: &str = "CUBEDELTA_JOURNAL_PATH";
+
+/// Env var overriding the in-memory ring capacity (events). Sampled when
+/// the journal is constructed.
+pub const JOURNAL_CAP_ENV_VAR: &str = "CUBEDELTA_JOURNAL_CAP";
+
+/// Default ring capacity: enough for several hundred cycles of a
+/// four-view warehouse.
+pub const DEFAULT_JOURNAL_CAP: usize = 4096;
+
+/// One structured lifecycle event. Timings are µs; `cycle` numbers are
+/// assigned by [`Journal::next_cycle_id`] and are unique per journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// The ingest front-end sealed a staged batch for the worker.
+    BatchSealed {
+        /// Seal sequence number (per journal).
+        seq: u64,
+        /// Base-table rows in the sealed batch.
+        rows: u64,
+        /// Number of distinct tables touched.
+        tables: u64,
+    },
+    /// A maintenance cycle began.
+    CycleStarted {
+        cycle: u64,
+        /// Base-delta rows entering the cycle.
+        rows: u64,
+    },
+    /// One view's propagate step finished.
+    PropagateStep {
+        cycle: u64,
+        view: String,
+        /// The table or view the summary delta was computed from.
+        source: String,
+        /// Rows in the computed summary delta.
+        delta_rows: u64,
+        time_us: u64,
+        /// Shards the step scanned (0 when unsharded).
+        shards: u64,
+        shard_rows_scanned: u64,
+        shard_merge_us: u64,
+    },
+    /// One view's refresh step finished.
+    RefreshStep {
+        cycle: u64,
+        view: String,
+        inserted: u64,
+        deleted: u64,
+        updated: u64,
+        recomputed: u64,
+        skipped: u64,
+        time_us: u64,
+    },
+    /// The cycle committed; phase totals mirror the `MaintenanceReport`.
+    CycleCommitted {
+        cycle: u64,
+        rows: u64,
+        propagate_us: u64,
+        apply_base_us: u64,
+        refresh_us: u64,
+    },
+    /// The cycle failed (error or panic); views may be partially stale.
+    CycleFailed { cycle: u64, error: String },
+    /// A producer blocked on the bounded ingest queue.
+    Backpressure {
+        /// Rows pending (staged + sealed + in flight) when the wait began.
+        pending_rows: u64,
+    },
+    /// The service drained at shutdown.
+    ShutdownDrain {
+        /// Cycles run over the service's lifetime.
+        cycles: u64,
+        applied_rows: u64,
+        unapplied_rows: u64,
+    },
+}
+
+impl JournalEvent {
+    /// The event's type tag, as used in the JSON `"event"` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::BatchSealed { .. } => "batch_sealed",
+            JournalEvent::CycleStarted { .. } => "cycle_started",
+            JournalEvent::PropagateStep { .. } => "propagate_step",
+            JournalEvent::RefreshStep { .. } => "refresh_step",
+            JournalEvent::CycleCommitted { .. } => "cycle_committed",
+            JournalEvent::CycleFailed { .. } => "cycle_failed",
+            JournalEvent::Backpressure { .. } => "backpressure",
+            JournalEvent::ShutdownDrain { .. } => "shutdown_drain",
+        }
+    }
+
+    /// The cycle this event belongs to, when it has one.
+    pub fn cycle(&self) -> Option<u64> {
+        match self {
+            JournalEvent::CycleStarted { cycle, .. }
+            | JournalEvent::PropagateStep { cycle, .. }
+            | JournalEvent::RefreshStep { cycle, .. }
+            | JournalEvent::CycleCommitted { cycle, .. }
+            | JournalEvent::CycleFailed { cycle, .. } => Some(*cycle),
+            _ => None,
+        }
+    }
+
+    /// This event as a single JSON object tagged with `"event"`.
+    pub fn to_json(&self) -> JsonValue {
+        let u = JsonValue::UInt;
+        match self {
+            JournalEvent::BatchSealed { seq, rows, tables } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("seq", u(*seq)),
+                ("rows", u(*rows)),
+                ("tables", u(*tables)),
+            ]),
+            JournalEvent::CycleStarted { cycle, rows } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("cycle", u(*cycle)),
+                ("rows", u(*rows)),
+            ]),
+            JournalEvent::PropagateStep {
+                cycle,
+                view,
+                source,
+                delta_rows,
+                time_us,
+                shards,
+                shard_rows_scanned,
+                shard_merge_us,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("cycle", u(*cycle)),
+                ("view", JsonValue::from(view.as_str())),
+                ("source", JsonValue::from(source.as_str())),
+                ("delta_rows", u(*delta_rows)),
+                ("time_us", u(*time_us)),
+                ("shards", u(*shards)),
+                ("shard_rows_scanned", u(*shard_rows_scanned)),
+                ("shard_merge_us", u(*shard_merge_us)),
+            ]),
+            JournalEvent::RefreshStep {
+                cycle,
+                view,
+                inserted,
+                deleted,
+                updated,
+                recomputed,
+                skipped,
+                time_us,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("cycle", u(*cycle)),
+                ("view", JsonValue::from(view.as_str())),
+                ("inserted", u(*inserted)),
+                ("deleted", u(*deleted)),
+                ("updated", u(*updated)),
+                ("recomputed", u(*recomputed)),
+                ("skipped", u(*skipped)),
+                ("time_us", u(*time_us)),
+            ]),
+            JournalEvent::CycleCommitted {
+                cycle,
+                rows,
+                propagate_us,
+                apply_base_us,
+                refresh_us,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("cycle", u(*cycle)),
+                ("rows", u(*rows)),
+                ("propagate_us", u(*propagate_us)),
+                ("apply_base_us", u(*apply_base_us)),
+                ("refresh_us", u(*refresh_us)),
+            ]),
+            JournalEvent::CycleFailed { cycle, error } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("cycle", u(*cycle)),
+                ("error", JsonValue::from(error.as_str())),
+            ]),
+            JournalEvent::Backpressure { pending_rows } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("pending_rows", u(*pending_rows)),
+            ]),
+            JournalEvent::ShutdownDrain {
+                cycles,
+                applied_rows,
+                unapplied_rows,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("cycles", u(*cycles)),
+                ("applied_rows", u(*applied_rows)),
+                ("unapplied_rows", u(*unapplied_rows)),
+            ]),
+        }
+    }
+
+    /// Parses an event from its [`JournalEvent::to_json`] object form.
+    pub fn from_json(v: &JsonValue) -> Result<JournalEvent, String> {
+        let kind = v
+            .get("event")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing `event` tag")?;
+        let field = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("{kind}: missing or non-integer `{name}`"))
+        };
+        let text = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{kind}: missing `{name}`"))
+        };
+        Ok(match kind {
+            "batch_sealed" => JournalEvent::BatchSealed {
+                seq: field("seq")?,
+                rows: field("rows")?,
+                tables: field("tables")?,
+            },
+            "cycle_started" => JournalEvent::CycleStarted {
+                cycle: field("cycle")?,
+                rows: field("rows")?,
+            },
+            "propagate_step" => JournalEvent::PropagateStep {
+                cycle: field("cycle")?,
+                view: text("view")?,
+                source: text("source")?,
+                delta_rows: field("delta_rows")?,
+                time_us: field("time_us")?,
+                shards: field("shards")?,
+                shard_rows_scanned: field("shard_rows_scanned")?,
+                shard_merge_us: field("shard_merge_us")?,
+            },
+            "refresh_step" => JournalEvent::RefreshStep {
+                cycle: field("cycle")?,
+                view: text("view")?,
+                inserted: field("inserted")?,
+                deleted: field("deleted")?,
+                updated: field("updated")?,
+                recomputed: field("recomputed")?,
+                skipped: field("skipped")?,
+                time_us: field("time_us")?,
+            },
+            "cycle_committed" => JournalEvent::CycleCommitted {
+                cycle: field("cycle")?,
+                rows: field("rows")?,
+                propagate_us: field("propagate_us")?,
+                apply_base_us: field("apply_base_us")?,
+                refresh_us: field("refresh_us")?,
+            },
+            "cycle_failed" => JournalEvent::CycleFailed {
+                cycle: field("cycle")?,
+                error: text("error")?,
+            },
+            "backpressure" => JournalEvent::Backpressure {
+                pending_rows: field("pending_rows")?,
+            },
+            "shutdown_drain" => JournalEvent::ShutdownDrain {
+                cycles: field("cycles")?,
+                applied_rows: field("applied_rows")?,
+                unapplied_rows: field("unapplied_rows")?,
+            },
+            other => return Err(format!("unknown event kind `{other}`")),
+        })
+    }
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    ring: Mutex<VecDeque<JournalEvent>>,
+    cap: usize,
+    /// Events evicted from the ring (the file sink, if any, still has them).
+    dropped: AtomicU64,
+    seal_seq: AtomicU64,
+    cycle_seq: AtomicU64,
+    sink: Mutex<Option<File>>,
+}
+
+/// Shared handle to a bounded event journal. Cloning shares the ring,
+/// sequence counters, and file sink, so a cloned `Warehouse` keeps
+/// appending to the same flight recorder.
+#[derive(Debug, Clone)]
+pub struct Journal {
+    inner: Arc<JournalInner>,
+}
+
+impl Default for Journal {
+    /// Equivalent to [`Journal::from_env`]: capacity from
+    /// `CUBEDELTA_JOURNAL_CAP`, file sink from `CUBEDELTA_JOURNAL_PATH`.
+    fn default() -> Self {
+        Journal::from_env()
+    }
+}
+
+impl Journal {
+    /// A journal with an explicit ring capacity and no file sink.
+    pub fn with_capacity(cap: usize) -> Journal {
+        Journal {
+            inner: Arc::new(JournalInner {
+                ring: Mutex::new(VecDeque::with_capacity(cap.min(1024))),
+                cap: cap.max(1),
+                dropped: AtomicU64::new(0),
+                seal_seq: AtomicU64::new(0),
+                cycle_seq: AtomicU64::new(0),
+                sink: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A journal configured from the environment, sampled once here:
+    /// `CUBEDELTA_JOURNAL_CAP` overrides the ring capacity and
+    /// `CUBEDELTA_JOURNAL_PATH` attaches a line-delimited JSON file sink.
+    /// Unparseable values and file-open failures fall back to the
+    /// in-memory defaults — telemetry must never stop the warehouse.
+    pub fn from_env() -> Journal {
+        let cap = std::env::var(JOURNAL_CAP_ENV_VAR)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(DEFAULT_JOURNAL_CAP);
+        let journal = Journal::with_capacity(cap);
+        if let Ok(path) = std::env::var(JOURNAL_PATH_ENV_VAR) {
+            if !path.trim().is_empty() {
+                let _ = journal.attach_file(path.trim());
+            }
+        }
+        journal
+    }
+
+    /// Attaches (or replaces) a file sink; subsequent events append as
+    /// one JSON object per line.
+    pub fn attach_file<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        *self.inner.sink.lock().expect("journal sink poisoned") = Some(file);
+        Ok(())
+    }
+
+    /// Appends one event to the ring (evicting the oldest past capacity)
+    /// and the file sink, if attached.
+    pub fn record(&self, event: JournalEvent) {
+        if let Some(file) = self
+            .inner
+            .sink
+            .lock()
+            .expect("journal sink poisoned")
+            .as_mut()
+        {
+            let _ = writeln!(file, "{}", event.to_json().render());
+            let _ = file.flush();
+        }
+        let mut ring = self.inner.ring.lock().expect("journal ring poisoned");
+        if ring.len() == self.inner.cap {
+            ring.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    /// Allocates the next batch-seal sequence number.
+    pub fn next_seal_seq(&self) -> u64 {
+        self.inner.seal_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Allocates the next cycle id (1-based).
+    pub fn next_cycle_id(&self) -> u64 {
+        self.inner.cycle_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The most recently allocated cycle id (0 before any cycle).
+    pub fn last_cycle_id(&self) -> u64 {
+        self.inner.cycle_seq.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the ring's current contents, oldest first.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        self.inner
+            .ring
+            .lock()
+            .expect("journal ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.ring.lock().expect("journal ring poisoned").len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// The retained events as line-delimited JSON (the file-sink format).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in self.events() {
+            out.push_str(&e.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Per-view totals reconstructed for one cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewCycleTotals {
+    pub view: String,
+    pub source: String,
+    pub delta_rows: u64,
+    pub propagate_us: u64,
+    pub inserted: u64,
+    pub deleted: u64,
+    pub updated: u64,
+    pub recomputed: u64,
+    pub skipped: u64,
+    pub refresh_us: u64,
+    pub shards: u64,
+    pub shard_rows_scanned: u64,
+    pub shard_merge_us: u64,
+}
+
+/// One maintenance cycle reconstructed from the event stream —
+/// equivalent in its counters to the `MaintenanceReport` the cycle
+/// returned.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CycleSummary {
+    pub cycle: u64,
+    /// Base-delta rows entering the cycle.
+    pub rows: u64,
+    pub committed: bool,
+    /// Error text when the cycle failed.
+    pub error: Option<String>,
+    pub propagate_us: u64,
+    pub apply_base_us: u64,
+    pub refresh_us: u64,
+    /// Per-view totals in event order (plan order).
+    pub per_view: Vec<ViewCycleTotals>,
+}
+
+impl CycleSummary {
+    /// Sum of per-view summary-delta rows.
+    pub fn total_delta_rows(&self) -> u64 {
+        self.per_view.iter().map(|v| v.delta_rows).sum()
+    }
+
+    /// Sum of per-view refresh row effects (inserted+deleted+updated).
+    pub fn total_refresh_rows(&self) -> u64 {
+        self.per_view
+            .iter()
+            .map(|v| v.inserted + v.deleted + v.updated)
+            .sum()
+    }
+}
+
+/// Replays an event stream into per-cycle summaries, ordered by cycle
+/// id. Events without a cycle (seals, backpressure, shutdown) are
+/// skipped; steps for a cycle whose `CycleStarted` was evicted from the
+/// ring still accumulate into that cycle's summary.
+pub fn reconstruct_cycles(events: &[JournalEvent]) -> Vec<CycleSummary> {
+    let mut cycles: Vec<CycleSummary> = Vec::new();
+    let mut index: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    let mut slot = |cycles: &mut Vec<CycleSummary>, id: u64| -> usize {
+        *index.entry(id).or_insert_with(|| {
+            cycles.push(CycleSummary {
+                cycle: id,
+                ..CycleSummary::default()
+            });
+            cycles.len() - 1
+        })
+    };
+    for e in events {
+        match e {
+            JournalEvent::CycleStarted { cycle, rows } => {
+                let i = slot(&mut cycles, *cycle);
+                cycles[i].rows = *rows;
+            }
+            JournalEvent::PropagateStep {
+                cycle,
+                view,
+                source,
+                delta_rows,
+                time_us,
+                shards,
+                shard_rows_scanned,
+                shard_merge_us,
+            } => {
+                let i = slot(&mut cycles, *cycle);
+                cycles[i].per_view.push(ViewCycleTotals {
+                    view: view.clone(),
+                    source: source.clone(),
+                    delta_rows: *delta_rows,
+                    propagate_us: *time_us,
+                    shards: *shards,
+                    shard_rows_scanned: *shard_rows_scanned,
+                    shard_merge_us: *shard_merge_us,
+                    ..ViewCycleTotals::default()
+                });
+            }
+            JournalEvent::RefreshStep {
+                cycle,
+                view,
+                inserted,
+                deleted,
+                updated,
+                recomputed,
+                skipped,
+                time_us,
+            } => {
+                let i = slot(&mut cycles, *cycle);
+                let summary = &mut cycles[i];
+                let entry = match summary.per_view.iter_mut().find(|v| v.view == *view) {
+                    Some(entry) => entry,
+                    None => {
+                        summary.per_view.push(ViewCycleTotals {
+                            view: view.clone(),
+                            ..ViewCycleTotals::default()
+                        });
+                        summary.per_view.last_mut().expect("just pushed")
+                    }
+                };
+                entry.inserted = *inserted;
+                entry.deleted = *deleted;
+                entry.updated = *updated;
+                entry.recomputed = *recomputed;
+                entry.skipped = *skipped;
+                entry.refresh_us = *time_us;
+            }
+            JournalEvent::CycleCommitted {
+                cycle,
+                rows,
+                propagate_us,
+                apply_base_us,
+                refresh_us,
+            } => {
+                let i = slot(&mut cycles, *cycle);
+                let summary = &mut cycles[i];
+                summary.committed = true;
+                if summary.rows == 0 {
+                    summary.rows = *rows;
+                }
+                summary.propagate_us = *propagate_us;
+                summary.apply_base_us = *apply_base_us;
+                summary.refresh_us = *refresh_us;
+            }
+            JournalEvent::CycleFailed { cycle, error } => {
+                let i = slot(&mut cycles, *cycle);
+                cycles[i].committed = false;
+                cycles[i].error = Some(error.clone());
+            }
+            JournalEvent::BatchSealed { .. }
+            | JournalEvent::Backpressure { .. }
+            | JournalEvent::ShutdownDrain { .. } => {}
+        }
+    }
+    cycles.sort_by_key(|c| c.cycle);
+    cycles
+}
+
+/// Parses a line-delimited JSON journal (the [`Journal::render`] / file
+/// sink format) back into events. Blank lines are skipped; any malformed
+/// line is an error naming its line number.
+pub fn parse_journal(text: &str) -> Result<Vec<JournalEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(
+            JournalEvent::from_json(&value).map_err(|e| format!("line {}: {e}", lineno + 1))?,
+        );
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events(cycle: u64) -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::BatchSealed {
+                seq: cycle,
+                rows: 100,
+                tables: 1,
+            },
+            JournalEvent::CycleStarted { cycle, rows: 100 },
+            JournalEvent::PropagateStep {
+                cycle,
+                view: "SID_sales".into(),
+                source: "pos".into(),
+                delta_rows: 42,
+                time_us: 900,
+                shards: 4,
+                shard_rows_scanned: 100,
+                shard_merge_us: 30,
+            },
+            JournalEvent::RefreshStep {
+                cycle,
+                view: "SID_sales".into(),
+                inserted: 10,
+                deleted: 2,
+                updated: 30,
+                recomputed: 0,
+                skipped: 0,
+                time_us: 800,
+            },
+            JournalEvent::CycleCommitted {
+                cycle,
+                rows: 100,
+                propagate_us: 1000,
+                apply_base_us: 50,
+                refresh_us: 900,
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let mut all = sample_events(1);
+        all.push(JournalEvent::CycleFailed {
+            cycle: 2,
+            error: "refresh panicked: \"boom\"\n".into(),
+        });
+        all.push(JournalEvent::Backpressure { pending_rows: 512 });
+        all.push(JournalEvent::ShutdownDrain {
+            cycles: 2,
+            applied_rows: 100,
+            unapplied_rows: 64,
+        });
+        for e in &all {
+            let rendered = e.to_json().render();
+            let back = JournalEvent::from_json(&json::parse(&rendered).unwrap()).unwrap();
+            assert_eq!(&back, e, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn journal_ring_is_bounded() {
+        let j = Journal::with_capacity(3);
+        for seq in 0..5 {
+            j.record(JournalEvent::BatchSealed {
+                seq,
+                rows: 1,
+                tables: 1,
+            });
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        match &j.events()[0] {
+            JournalEvent::BatchSealed { seq, .. } => assert_eq!(*seq, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sequence_counters_are_monotone_and_shared() {
+        let j = Journal::with_capacity(8);
+        let clone = j.clone();
+        assert_eq!(j.last_cycle_id(), 0);
+        assert_eq!(j.next_cycle_id(), 1);
+        assert_eq!(clone.next_cycle_id(), 2);
+        assert_eq!(j.last_cycle_id(), 2);
+        assert_eq!(j.next_seal_seq(), 1);
+        assert_eq!(clone.next_seal_seq(), 2);
+        // Clones share the ring too.
+        clone.record(JournalEvent::Backpressure { pending_rows: 1 });
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn reconstructs_cycle_summaries() {
+        let mut events = sample_events(1);
+        events.extend(sample_events(2));
+        events.push(JournalEvent::CycleStarted { cycle: 3, rows: 7 });
+        events.push(JournalEvent::CycleFailed {
+            cycle: 3,
+            error: "boom".into(),
+        });
+        let cycles = reconstruct_cycles(&events);
+        assert_eq!(cycles.len(), 3);
+        let c1 = &cycles[0];
+        assert_eq!(c1.cycle, 1);
+        assert!(c1.committed);
+        assert_eq!(c1.rows, 100);
+        assert_eq!(c1.propagate_us, 1000);
+        assert_eq!(c1.per_view.len(), 1);
+        let v = &c1.per_view[0];
+        assert_eq!(v.view, "SID_sales");
+        assert_eq!(v.delta_rows, 42);
+        assert_eq!(v.inserted, 10);
+        assert_eq!(v.shards, 4);
+        assert_eq!(c1.total_delta_rows(), 42);
+        assert_eq!(c1.total_refresh_rows(), 42);
+        let c3 = &cycles[2];
+        assert!(!c3.committed);
+        assert_eq!(c3.error.as_deref(), Some("boom"));
+    }
+
+    #[test]
+    fn render_and_parse_journal_round_trip() {
+        let j = Journal::with_capacity(64);
+        for e in sample_events(1) {
+            j.record(e);
+        }
+        let text = j.render();
+        let parsed = parse_journal(&text).unwrap();
+        assert_eq!(parsed, j.events());
+        assert!(parse_journal("not json\n").is_err());
+        assert!(parse_journal("{\"event\":\"martian\"}\n").is_err());
+        assert_eq!(parse_journal("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn file_sink_mirrors_events() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "cubedelta-journal-test-{}.jsonl",
+            std::process::id()
+        ));
+        let j = Journal::with_capacity(2); // smaller than the event count
+        j.attach_file(&path).unwrap();
+        for e in sample_events(1) {
+            j.record(e);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let parsed = parse_journal(&text).unwrap();
+        // The file kept everything even though the ring evicted.
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(j.len(), 2);
+        let cycles = reconstruct_cycles(&parsed);
+        assert_eq!(cycles.len(), 1);
+        assert!(cycles[0].committed);
+    }
+}

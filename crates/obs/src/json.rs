@@ -1,10 +1,16 @@
-//! A minimal JSON value model and serializer.
+//! A minimal JSON value model, serializer, and parser.
 //!
 //! The workspace builds offline, so there is no serde; reports and bench
 //! telemetry are assembled as [`JsonValue`] trees and rendered directly.
 //! Output is valid RFC 8259 JSON: strings are escaped, non-finite floats
 //! render as `null`, and object key order is the insertion order (kept
 //! deterministic by construction).
+//!
+//! [`parse`] is the inverse: a strict RFC 8259 reader used by the journal
+//! replay machinery (`crate::journal`) and by tests that validate emitted
+//! telemetry really is well-formed. Numbers without a fraction or exponent
+//! parse to [`JsonValue::UInt`]/[`JsonValue::Int`] so integer payloads
+//! round-trip exactly.
 
 use std::fmt;
 
@@ -39,6 +45,60 @@ impl JsonValue {
         match self {
             JsonValue::Object(fields) => fields.push((key.into(), value)),
             other => panic!("push_field on non-object JSON value: {other:?}"),
+        }
+    }
+
+    /// The value under `key` when this is an object, else `None`.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// This value as a `u64` (integral `Int`/`UInt` only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
+            JsonValue::Int(n) if *n >= 0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// This value as an `i64` (integral `Int`/`UInt` only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(n) => Some(*n),
+            JsonValue::UInt(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// This value as an `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Float(x) => Some(*x),
+            JsonValue::Int(n) => Some(*n as f64),
+            JsonValue::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
         }
     }
 
@@ -198,6 +258,273 @@ pub fn duration_us(d: std::time::Duration) -> JsonValue {
     JsonValue::UInt(d.as_micros().min(u64::MAX as u128) as u64)
 }
 
+/// Parses one JSON document (RFC 8259). Trailing non-whitespace is an
+/// error. Integers without fraction/exponent become `UInt` (or `Int` when
+/// negative) so the renderer's integer output round-trips exactly; all
+/// other numbers become `Float`.
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing characters at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        self.skip_ws();
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.skip_ws();
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require \uXXXX low half.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                } else {
+                                    return Err("lone high surrogate".into());
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".into());
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| "invalid unicode escape".to_string())?,
+                            );
+                        }
+                        other => {
+                            return Err(format!("invalid escape `\\{}`", other as char))
+                        }
+                    }
+                }
+                Some(c) if c < 0x20 => {
+                    return Err("unescaped control character in string".into())
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "non-ascii \\u escape".to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut saw_digit = false;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+            saw_digit = true;
+        }
+        if !saw_digit {
+            return Err(format!("invalid number at byte {start}"));
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            let mut frac = false;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                frac = true;
+            }
+            if !frac {
+                return Err(format!("missing fraction digits at byte {}", self.pos));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = false;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+                exp = true;
+            }
+            if !exp {
+                return Err(format!("missing exponent digits at byte {}", self.pos));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if integral {
+            if let Some(stripped) = text.strip_prefix('-') {
+                // `-0` and friends still parse as Int.
+                if let Ok(n) = stripped.parse::<u64>() {
+                    if n <= i64::MAX as u64 {
+                        return Ok(JsonValue::Int(-(n as i64)));
+                    }
+                }
+            } else if let Ok(n) = text.parse::<u64>() {
+                return Ok(JsonValue::UInt(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| format!("invalid number `{text}`"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +577,101 @@ mod tests {
     fn duration_renders_in_micros() {
         let d = std::time::Duration::from_millis(3);
         assert_eq!(duration_us(d).render(), "3000");
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_values() {
+        let v = JsonValue::object([
+            ("name", JsonValue::from("SID_sales")),
+            ("rows", JsonValue::from(42u64)),
+            ("neg", JsonValue::Int(-3)),
+            ("big", JsonValue::UInt(u64::MAX)),
+            ("ok", JsonValue::Bool(true)),
+            ("ratio", JsonValue::Float(0.5)),
+            ("none", JsonValue::Null),
+            (
+                "phases",
+                JsonValue::array([JsonValue::from("propagate"), JsonValue::from("refresh")]),
+            ),
+        ]);
+        let text = v.render();
+        let back = parse(&text).unwrap();
+        assert_eq!(back, v);
+        // Pretty output parses back to the same value too.
+        assert_eq!(parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_integer_vs_float_discrimination() {
+        assert_eq!(parse("7").unwrap(), JsonValue::UInt(7));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse("7.0").unwrap(), JsonValue::Float(7.0));
+        assert_eq!(parse("7e2").unwrap(), JsonValue::Float(700.0));
+        assert_eq!(parse("-0").unwrap(), JsonValue::Int(0));
+        assert_eq!(
+            parse("18446744073709551615").unwrap(),
+            JsonValue::UInt(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parse_string_escapes_and_unicode() {
+        assert_eq!(
+            parse(r#""a\"b\\c\nd\te\u0001""#).unwrap(),
+            JsonValue::from("a\"b\\c\nd\te\u{1}")
+        );
+        assert_eq!(parse(r#""\u00e9""#).unwrap(), JsonValue::from("é"));
+        // Surrogate pair for U+1F600.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), JsonValue::from("😀"));
+        // Raw UTF-8 passes through unescaped.
+        assert_eq!(parse("\"héllo\"").unwrap(), JsonValue::from("héllo"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1,}").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("\"\\ud83d\"").is_err()); // lone high surrogate
+        assert!(parse("1.").is_err());
+        assert!(parse("1e").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_null() {
+        // The renderer guards non-finite floats (empty-histogram means,
+        // single-shard skew) into `null`; the parser must accept that.
+        let v = JsonValue::object([
+            ("mean", JsonValue::Float(f64::NAN)),
+            ("skew", JsonValue::Float(f64::INFINITY)),
+            ("lag", JsonValue::Float(f64::NEG_INFINITY)),
+        ]);
+        let text = v.render();
+        assert_eq!(text, r#"{"mean":null,"skew":null,"lag":null}"#);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.get("mean"), Some(&JsonValue::Null));
+        assert_eq!(back.get("skew"), Some(&JsonValue::Null));
+        assert_eq!(back.get("lag"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn accessors_extract_fields() {
+        let v = parse(r#"{"a":1,"b":-2,"c":1.5,"d":"x","e":[1,2]}"#).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(v.get("b").and_then(JsonValue::as_i64), Some(-2));
+        assert_eq!(v.get("c").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(v.get("d").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(v.get("e").and_then(JsonValue::as_array).map(<[_]>::len), Some(2));
+        assert_eq!(v.get("missing"), None);
+        // Cross-variant numeric coercions.
+        assert_eq!(JsonValue::Int(3).as_u64(), Some(3));
+        assert_eq!(JsonValue::Int(-3).as_u64(), None);
+        assert_eq!(JsonValue::UInt(3).as_i64(), Some(3));
+        assert_eq!(JsonValue::UInt(u64::MAX).as_i64(), None);
+        assert_eq!(JsonValue::UInt(2).as_f64(), Some(2.0));
     }
 }

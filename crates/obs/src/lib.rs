@@ -11,9 +11,16 @@
 //! * [`MetricsRegistry`] — shared, thread-safe counters, gauges, and
 //!   fixed-bucket latency histograms for long-lived aggregation across
 //!   maintenance cycles (the warehouse owns one).
-//! * [`json`] — a minimal JSON value model and serializer (the
-//!   workspace is offline: no serde), used for machine-readable
-//!   maintenance reports and bench telemetry.
+//! * [`json`] — a minimal JSON value model, serializer, and strict
+//!   parser (the workspace is offline: no serde), used for
+//!   machine-readable maintenance reports, bench telemetry, and the
+//!   journal's replay machinery.
+//! * [`export`] — Prometheus text-format rendering of a
+//!   [`RegistrySnapshot`], a matching validating parser, and a
+//!   zero-dependency TCP scrape endpoint ([`MetricsServer`]).
+//! * [`journal`] — the cycle flight recorder: a bounded ring (plus
+//!   optional file sink) of structured per-cycle lifecycle events, with
+//!   a reader that reconstructs per-cycle summaries from the stream.
 //! * [`trace`] — lightweight wall-clock spans behind the `tracing`
 //!   cargo feature; a no-op with zero argument evaluation when the
 //!   feature is off.
@@ -21,11 +28,18 @@
 //! This crate deliberately has no dependencies so every other crate can
 //! use it, including `cubedelta-storage` at the bottom of the stack.
 
+pub mod export;
+pub mod journal;
 pub mod json;
 mod metrics;
 mod registry;
 pub mod trace;
 
+pub use export::{parse_prometheus, render_prometheus, scrape_once, MetricsServer, PromFamily};
+pub use journal::{
+    parse_journal, reconstruct_cycles, CycleSummary, Journal, JournalEvent, ViewCycleTotals,
+    DEFAULT_JOURNAL_CAP, JOURNAL_CAP_ENV_VAR, JOURNAL_PATH_ENV_VAR,
+};
 pub use metrics::ExecutionMetrics;
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, RegistrySnapshot,

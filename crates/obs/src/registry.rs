@@ -177,8 +177,10 @@ impl HistogramSnapshot {
     }
 
     /// Upper bound (µs) of the bucket containing the `q`-quantile
-    /// observation, `q` in `[0, 1]`. Returns `max_us` for the overflow
-    /// bucket so the estimate stays finite.
+    /// observation, `q` in `[0, 1]`, capped at `max_us` so the estimate
+    /// never exceeds an observed value (a single 5µs sample reports
+    /// p50 = 5, not the 10µs bucket bound). Returns `max_us` for the
+    /// overflow bucket so the estimate stays finite, and 0 when empty.
     pub fn quantile_us(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -188,7 +190,11 @@ impl HistogramSnapshot {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return LATENCY_BUCKETS_US.get(i).copied().unwrap_or(self.max_us);
+                return LATENCY_BUCKETS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(self.max_us)
+                    .min(self.max_us);
             }
         }
         self.max_us
@@ -202,6 +208,7 @@ impl HistogramSnapshot {
             ("max_us", JsonValue::UInt(self.max_us)),
             ("mean_us", JsonValue::Float(self.mean_us())),
             ("p50_us", JsonValue::UInt(self.quantile_us(0.5))),
+            ("p90_us", JsonValue::UInt(self.quantile_us(0.9))),
             ("p99_us", JsonValue::UInt(self.quantile_us(0.99))),
         ])
     }
@@ -291,6 +298,15 @@ impl MetricsRegistry {
 
     /// Zeroes every metric (handles stay valid — they share the same
     /// atomics, so outstanding clones observe the reset too).
+    ///
+    /// Every metric in the registry is a *lifetime* total: counters are
+    /// monotonic for the life of the process and the Prometheus exporter
+    /// ([`crate::export`]) publishes them as `_total` series, so calling
+    /// `reset` while a scrape endpoint is live makes counters go
+    /// backwards and breaks `rate()` over the scrape series. `reset` is
+    /// intended for bench harnesses and tests that reuse one warehouse
+    /// across measurement windows; production services should never call
+    /// it — take a [`MetricsRegistry::snapshot`] and diff instead.
     pub fn reset(&self) {
         for c in self.inner.counters.lock().expect("registry poisoned").values() {
             c.reset();
@@ -396,6 +412,79 @@ mod tests {
         assert_eq!(s.quantile_us(0.75), 200_000);
         assert_eq!(s.quantile_us(1.0), 20_000_000);
         assert!(s.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let h = Histogram::default();
+        // A spread across several buckets including the overflow bucket.
+        for us in [3, 7, 15, 80, 450, 9_000, 75_000, 300_000, 4_000_000, 15_000_000] {
+            h.record_us(us);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile_us(0.5);
+        let p90 = s.quantile_us(0.9);
+        let p99 = s.quantile_us(0.99);
+        assert!(p50 <= p90, "p50={p50} > p90={p90}");
+        assert!(p90 <= p99, "p90={p90} > p99={p99}");
+        assert!(p99 <= s.max_us, "p99={p99} > max={}", s.max_us);
+        assert_eq!(s.quantile_us(1.0), s.max_us);
+    }
+
+    #[test]
+    fn single_sample_quantiles_equal_the_sample() {
+        // Regression: a lone 5µs observation used to report p50 = 10 (the
+        // bucket upper bound), violating p50 ≤ max. The estimate is capped
+        // at max_us.
+        let h = Histogram::default();
+        h.record_us(5);
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.quantile_us(q), 5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!(s.count, 0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile_us(q), 0, "q={q}");
+        }
+        assert_eq!(s.mean_us(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundary_values_land_in_their_bucket() {
+        // Bounds are inclusive: an observation exactly at a bound counts
+        // in that bucket, one past it rolls to the next.
+        let h = Histogram::default();
+        h.record_us(10);
+        h.record_us(11);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[0], 1); // ≤10µs
+        assert_eq!(s.buckets[1], 1); // ≤20µs
+        assert_eq!(s.quantile_us(0.5), 10);
+        // p100 reports the bucket bound capped at the observed max (11).
+        assert_eq!(s.quantile_us(1.0), 11);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_max() {
+        let h = Histogram::default();
+        h.record_us(30_000_000); // past the last 10s bound
+        let s = h.snapshot();
+        assert_eq!(*s.buckets.last().unwrap(), 1);
+        assert_eq!(s.quantile_us(0.5), 30_000_000);
+    }
+
+    #[test]
+    fn out_of_range_q_clamps() {
+        let h = Histogram::default();
+        h.record_us(100);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_us(-1.0), s.quantile_us(0.0));
+        assert_eq!(s.quantile_us(2.0), s.quantile_us(1.0));
     }
 
     #[test]

@@ -62,6 +62,10 @@ fn main() {
     // Drain everything staged, then stop the worker and take the
     // warehouse back, with the full accounting.
     svc.flush().expect("flush");
+    println!(
+        "health after drain: {}",
+        if svc.health().is_healthy() { "healthy" } else { "degraded" }
+    );
     let report = svc.shutdown();
     assert!(report.error.is_none() && report.unapplied.is_empty());
 

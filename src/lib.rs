@@ -67,8 +67,9 @@ pub use cubedelta_view as view;
 pub use cubedelta_workload as workload;
 
 pub use cubedelta_core::{
-    AggQuery, CubeBudget, CubeSpec, ExecutionMetrics, MaintainOptions, MaintenanceReport,
-    MetricsRegistry, RefreshOptions, RefreshStats, ViewReport, Warehouse,
+    AggQuery, CubeBudget, CubeSpec, ExecutionMetrics, Health, Journal, JournalEvent,
+    MaintainOptions, MaintenanceReport, MetricsRegistry, RefreshOptions, RefreshStats, SloPolicy,
+    ViewReport, Warehouse, WarehouseService,
 };
 pub use cubedelta_lattice::ViewLattice;
 pub use cubedelta_sql::SqlWarehouse;

@@ -11,7 +11,8 @@ use std::time::Duration;
 use common::{figure1_defs, small_warehouse, synth_pos_row};
 use cubedelta::core::multi::failpoints;
 use cubedelta::core::{
-    BatchPolicy, CoreError, MaintainOptions, MaintenancePolicy, Warehouse, WarehouseService,
+    BatchPolicy, CoreError, JournalEvent, MaintainOptions, MaintenancePolicy, SloPolicy,
+    Warehouse, WarehouseService,
 };
 use cubedelta::expr::Expr;
 use cubedelta::query::AggFunc;
@@ -241,4 +242,119 @@ fn blocking_ingest_progresses_under_backpressure() {
     assert_eq!(report.rows_applied, 60);
     assert!(report.unapplied.is_empty());
     report.warehouse.check_consistency().unwrap();
+}
+
+/// The gauge-lifecycle audit under the panic firewall: when a cycle
+/// panics and its batch parks in `unapplied`, `queue_depth` must return
+/// to 0 (the rows are no longer pending), `unapplied_rows` must pick
+/// them up, and `healthy` must drop — at the failure, not only at
+/// shutdown. The flight recorder must carry the `CycleFailed` event.
+#[test]
+fn gauges_stay_accurate_when_a_cycle_panics() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    const VIEW: &str = "panic_probe_gauges";
+    let svc = WarehouseService::start(
+        probe_warehouse(VIEW),
+        BatchPolicy {
+            max_rows: 4,
+            max_batches: 2,
+            flush_interval: Duration::from_millis(2),
+        },
+    );
+    failpoints::arm_refresh_panic(VIEW);
+    svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(11)]))
+        .unwrap();
+    svc.flush().expect_err("panicking cycle must surface");
+    failpoints::disarm();
+
+    let reg = svc.metrics().clone();
+    assert_eq!(reg.gauge("queue_depth").get(), 0, "parked rows are not pending");
+    assert_eq!(reg.gauge("unapplied_rows").get(), 1, "parked rows are unapplied");
+    assert_eq!(reg.gauge("healthy").get(), 0, "sticky failure must show");
+    let health = svc.health();
+    assert!(!health.is_healthy());
+    assert!(
+        health.reasons().iter().any(|r| r.contains("maintenance failed")),
+        "missing failure reason in {:?}",
+        health.reasons()
+    );
+
+    let report = svc.shutdown();
+    assert_eq!(report.unapplied.len(), 1);
+    assert_eq!(reg.gauge("queue_depth").get(), 0, "queue gone at shutdown");
+    assert_eq!(
+        reg.gauge("unapplied_rows").get(),
+        report.unapplied.len() as i64,
+        "final unapplied gauge matches the report"
+    );
+    assert!(
+        report
+            .warehouse
+            .journal()
+            .events()
+            .iter()
+            .any(|e| matches!(e, JournalEvent::CycleFailed { .. })),
+        "flight recorder missing the failed cycle"
+    );
+}
+
+/// Health judges lag and backlog against the caller's `SloPolicy`: a row
+/// stuck in the staging area degrades a strict policy (staleness +
+/// backlog + queue pressure, each with its own reason) while the default
+/// policy stays content.
+#[test]
+fn health_judges_lag_and_backlog_against_policy() {
+    let svc = WarehouseService::start(
+        small_warehouse(),
+        BatchPolicy {
+            max_rows: 1_000_000,
+            max_batches: 2,
+            flush_interval: Duration::from_secs(3600),
+        },
+    );
+    svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(5)]))
+        .unwrap();
+    // One row staged, nothing sealed: only the hour-long flush interval
+    // will ever seal it, so the lag is deterministic from here.
+    let strict = SloPolicy {
+        max_staleness: Duration::ZERO,
+        max_queue_frac: 1.0,
+        max_cycles_behind: 0,
+    };
+    let verdict = svc.health_with(&strict);
+    assert!(!verdict.is_healthy());
+    assert!(
+        verdict.reasons().iter().any(|r| r.contains("oldest unapplied")),
+        "missing staleness reason in {:?}",
+        verdict.reasons()
+    );
+    assert!(
+        verdict.reasons().iter().any(|r| r.contains("behind")),
+        "missing backlog reason in {:?}",
+        verdict.reasons()
+    );
+    assert_eq!(svc.metrics().gauge("healthy").get(), 0);
+
+    let pressure = SloPolicy {
+        max_queue_frac: 0.0,
+        ..SloPolicy::default()
+    };
+    let verdict = svc.health_with(&pressure);
+    assert!(
+        verdict.reasons().iter().any(|r| r.contains("pending rows")),
+        "missing queue-pressure reason in {:?}",
+        verdict.reasons()
+    );
+
+    // The default policy tolerates one fresh staged row.
+    assert!(svc.health().is_healthy());
+    assert_eq!(svc.metrics().gauge("healthy").get(), 1);
+    assert!(svc.metrics().gauge("cycles_behind").get() >= 1);
+    assert!(svc.metrics().gauge("oldest_unapplied_batch_age_us").get() >= 0);
+
+    // Shutdown still drains the staged row cleanly.
+    let report = svc.shutdown();
+    assert!(report.error.is_none());
+    assert_eq!(report.rows_applied, 1);
+    assert!(report.unapplied.is_empty());
 }

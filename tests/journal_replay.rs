@@ -1,0 +1,271 @@
+//! The flight-recorder equivalence battery.
+//!
+//! The journal is only trustworthy if an operator can reconstruct, from
+//! the event stream alone, exactly what each maintenance cycle reported
+//! at the time — otherwise post-hoc debugging reads fiction. This file
+//! pins that contract:
+//!
+//! * a matrix of seeded mixed fact + dimension cycles at
+//!   threads × shards ∈ {1, 4} × {1, 4}, replayed through
+//!   [`reconstruct_cycles`], with every reconstructed counter compared
+//!   field-for-field against the [`MaintenanceReport`] the cycle
+//!   returned;
+//! * a proptest over seeds, cycle counts, and scheduling policies
+//!   asserting the same equivalence;
+//! * the file sink: events written through `attach_file` parse back
+//!   byte-equal to the in-memory ring;
+//! * failed cycles: the error lands in the stream, the cycle
+//!   reconstructs as uncommitted, and the next cycle journals cleanly.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{small_update_batch, small_warehouse};
+use cubedelta::core::{MaintainOptions, MaintenancePolicy, Warehouse};
+use cubedelta::obs::{parse_journal, reconstruct_cycles, CycleSummary, JournalEvent};
+use cubedelta::storage::{row, ChangeBatch, DeltaSet};
+use cubedelta::MaintenanceReport;
+use proptest::prelude::*;
+
+fn us(d: Duration) -> u64 {
+    d.as_micros().min(u64::MAX as u128) as u64
+}
+
+/// Mixed batch for sequential cycle `i` (seeded by `seed`): balanced pos
+/// updates, with a dimension move riding along every third cycle (store 3
+/// bounces between sf and la, both west — city totals move, region
+/// totals hold). The move's direction alternates with `i`, so `i` must
+/// count this warehouse's cycles 0, 1, 2, … for the deleted dimension
+/// row to exist.
+fn mixed_batch_seeded(wh: &Warehouse, seed: u64, i: u64) -> ChangeBatch {
+    let mut batch = small_update_batch(wh, seed.wrapping_mul(131).wrapping_add(7), 6);
+    if i % 3 == 0 {
+        let (from, to) = if (i / 3) % 2 == 0 {
+            ("sf", "la")
+        } else {
+            ("la", "sf")
+        };
+        batch.add(DeltaSet {
+            table: "stores".into(),
+            insertions: vec![row![3i64, to, "west"]],
+            deletions: vec![row![3i64, from, "west"]],
+        });
+    }
+    batch
+}
+
+/// [`mixed_batch_seeded`] with the cycle index doubling as the seed.
+fn mixed_batch(wh: &Warehouse, i: u64) -> ChangeBatch {
+    mixed_batch_seeded(wh, i, i)
+}
+
+/// Runs `cycles` seeded maintenance cycles on a fresh small warehouse at
+/// the given policy, returning the warehouse and each cycle's
+/// (batch rows, report).
+fn run_cycles(
+    threads: usize,
+    shards: usize,
+    cycles: u64,
+) -> (Warehouse, Vec<(u64, MaintenanceReport)>) {
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(threads).with_shards(shards));
+    let mut reports = Vec::with_capacity(cycles as usize);
+    for i in 0..cycles {
+        let batch = mixed_batch(&wh, i);
+        let rows = batch.len() as u64;
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        reports.push((rows, report));
+    }
+    wh.check_consistency().unwrap();
+    (wh, reports)
+}
+
+/// Field-for-field comparison of a reconstructed cycle against the
+/// report the cycle returned at the time.
+fn assert_summary_matches(
+    summary: &CycleSummary,
+    rows: u64,
+    report: &MaintenanceReport,
+    context: &str,
+) {
+    assert_eq!(summary.cycle, report.cycle, "{context}: cycle id");
+    assert_eq!(summary.rows, rows, "{context}: base-delta rows");
+    assert!(summary.committed, "{context}: committed");
+    assert_eq!(summary.error, None, "{context}: error");
+    assert_eq!(
+        summary.propagate_us,
+        us(report.propagate_time),
+        "{context}: propagate_us"
+    );
+    assert_eq!(
+        summary.apply_base_us,
+        us(report.apply_base_time),
+        "{context}: apply_base_us"
+    );
+    assert_eq!(
+        summary.refresh_us,
+        us(report.refresh_time),
+        "{context}: refresh_us"
+    );
+    assert_eq!(
+        summary.per_view.len(),
+        report.per_view.len(),
+        "{context}: per-view count"
+    );
+    for (got, want) in summary.per_view.iter().zip(&report.per_view) {
+        let ctx = format!("{context}: view `{}`", want.view);
+        assert_eq!(got.view, want.view, "{ctx}: name/order");
+        assert_eq!(got.source, want.source, "{ctx}: source");
+        assert_eq!(got.delta_rows, want.delta_rows as u64, "{ctx}: delta_rows");
+        assert_eq!(got.propagate_us, us(want.propagate_time), "{ctx}: propagate_us");
+        assert_eq!(got.refresh_us, us(want.refresh_time), "{ctx}: refresh_us");
+        assert_eq!(got.inserted, want.refresh.inserted as u64, "{ctx}: inserted");
+        assert_eq!(got.deleted, want.refresh.deleted as u64, "{ctx}: deleted");
+        assert_eq!(got.updated, want.refresh.updated as u64, "{ctx}: updated");
+        assert_eq!(
+            got.recomputed,
+            want.refresh.recomputed as u64,
+            "{ctx}: recomputed"
+        );
+        assert_eq!(got.skipped, want.refresh.skipped as u64, "{ctx}: skipped");
+    }
+    // Cycle-level shard totals re-derive exactly from the per-view
+    // events.
+    let scanned: u64 = summary.per_view.iter().map(|v| v.shard_rows_scanned).sum();
+    assert_eq!(
+        scanned, report.shard_rows_scanned,
+        "{context}: shard rows scanned"
+    );
+    let merged: u64 = summary.per_view.iter().map(|v| v.shard_merge_us).sum();
+    assert_eq!(merged, report.shard_merge_us, "{context}: shard merge time");
+    for v in &summary.per_view {
+        assert!(
+            v.shards == 0 || v.shards == report.shards as u64,
+            "{context}: view `{}` claims {} shards, cycle ran {}",
+            v.view,
+            v.shards,
+            report.shards
+        );
+    }
+}
+
+/// Replays the warehouse's journal and matches every committed cycle
+/// against its report.
+fn assert_journal_matches(wh: &Warehouse, reports: &[(u64, MaintenanceReport)], context: &str) {
+    let events = wh.journal().events();
+    let summaries = reconstruct_cycles(&events);
+    assert_eq!(
+        summaries.len(),
+        reports.len(),
+        "{context}: reconstructed cycle count"
+    );
+    for (summary, (rows, report)) in summaries.iter().zip(reports) {
+        assert_summary_matches(summary, *rows, report, context);
+    }
+}
+
+/// The acceptance matrix: ≥20 seeded mixed cycles across
+/// threads × shards ∈ {1, 4} × {1, 4}, every reconstructed counter equal
+/// to its report.
+#[test]
+fn matrix_replay_matches_reports() {
+    for &(threads, shards) in &[(1usize, 1usize), (1, 4), (4, 1), (4, 4)] {
+        let (wh, reports) = run_cycles(threads, shards, 6);
+        assert_journal_matches(&wh, &reports, &format!("threads={threads} shards={shards}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Same equivalence for arbitrary seeds, cycle counts, and policies.
+    #[test]
+    fn reconstructed_cycles_match_reports(
+        seed in 0u64..1_000,
+        cycles in 1u64..6,
+        threads in prop_oneof![Just(1usize), Just(4usize)],
+        shards in prop_oneof![Just(1usize), Just(4usize)],
+    ) {
+        let mut wh = small_warehouse();
+        wh.set_maintenance_policy(
+            MaintenancePolicy::with_threads(threads).with_shards(shards),
+        );
+        let mut reports = Vec::new();
+        for i in 0..cycles {
+            let batch = mixed_batch_seeded(&wh, seed.wrapping_mul(977).wrapping_add(i), i);
+            let rows = batch.len() as u64;
+            let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+            reports.push((rows, report));
+        }
+        wh.check_consistency().unwrap();
+        assert_journal_matches(&wh, &reports, &format!("seed={seed}"));
+    }
+}
+
+/// The file sink is a faithful copy of the ring: parsing the sink file
+/// yields exactly the in-memory events, and the reconstruction built
+/// from the file matches the reports too.
+#[test]
+fn file_sink_round_trips() {
+    let path = std::env::temp_dir().join(format!(
+        "cubedelta-journal-replay-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(2).with_shards(2));
+    wh.journal().attach_file(&path).unwrap();
+    let mut reports = Vec::new();
+    for i in 0..5 {
+        let batch = mixed_batch(&wh, i);
+        let rows = batch.len() as u64;
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        reports.push((rows, report));
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let from_file = parse_journal(&text).unwrap();
+    assert_eq!(from_file, wh.journal().events(), "sink differs from ring");
+    let summaries = reconstruct_cycles(&from_file);
+    assert_eq!(summaries.len(), reports.len());
+    for (summary, (rows, report)) in summaries.iter().zip(&reports) {
+        assert_summary_matches(summary, *rows, report, "file sink");
+    }
+}
+
+/// A failed cycle lands in the stream as `CycleFailed`, reconstructs as
+/// uncommitted with the error text, and the next cycle journals under a
+/// fresh id.
+#[test]
+fn failed_cycle_reconstructs_as_uncommitted() {
+    let mut wh = small_warehouse();
+    // Deleting a row that does not exist drives COUNT(*) negative — the
+    // maintenance invariant error.
+    let bad = ChangeBatch::single(DeltaSet::deletions(
+        "pos",
+        vec![row![99i64, 99i64, cubedelta::storage::Date(1), 1i64, 9.9]],
+    ));
+    let err = wh
+        .maintain(&bad, &MaintainOptions::default())
+        .expect_err("invariant violation must fail the cycle");
+
+    let good = mixed_batch(&wh, 1);
+    let rows = good.len() as u64;
+    let report = wh.maintain(&good, &MaintainOptions::default()).unwrap();
+    wh.check_consistency().unwrap();
+
+    let events = wh.journal().events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, JournalEvent::CycleFailed { cycle: 1, .. })),
+        "no CycleFailed for cycle 1 in {events:?}"
+    );
+    let summaries = reconstruct_cycles(&events);
+    assert_eq!(summaries.len(), 2);
+    assert!(!summaries[0].committed);
+    let msg = summaries[0].error.as_deref().unwrap_or_default();
+    assert_eq!(msg, err.to_string(), "journaled error text");
+    assert_summary_matches(&summaries[1], rows, &report, "cycle after failure");
+}

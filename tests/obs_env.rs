@@ -1,0 +1,94 @@
+//! Environment-variable wiring for the observability pipeline. These
+//! tests mutate process-global env vars, so they live in their own test
+//! binary and serialize through one lock — the other integration suites
+//! never see the variables set.
+
+mod common;
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use common::{small_warehouse, synth_pos_row};
+use cubedelta::core::{BatchPolicy, MaintainOptions, Warehouse, WarehouseService};
+use cubedelta::obs::{
+    parse_journal, parse_prometheus, scrape_once, JOURNAL_PATH_ENV_VAR,
+};
+use cubedelta::storage::{ChangeBatch, DeltaSet};
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+struct EnvGuard(&'static str);
+
+impl EnvGuard {
+    fn set(key: &'static str, value: &str) -> Self {
+        std::env::set_var(key, value);
+        EnvGuard(key)
+    }
+}
+
+impl Drop for EnvGuard {
+    fn drop(&mut self) {
+        std::env::remove_var(self.0);
+    }
+}
+
+/// `CUBEDELTA_METRICS_ADDR` makes `start_with_options` bind the scrape
+/// endpoint without any code changes; port 0 picks a free port, read
+/// back through `metrics_addr`.
+#[test]
+fn metrics_addr_env_var_binds_exporter() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _env = EnvGuard::set(cubedelta::core::METRICS_ADDR_ENV_VAR, "127.0.0.1:0");
+    let svc = WarehouseService::start(
+        small_warehouse(),
+        BatchPolicy {
+            max_rows: 4,
+            max_batches: 2,
+            flush_interval: Duration::from_millis(5),
+        },
+    );
+    let addr = svc.metrics_addr().expect("env var must bind the exporter");
+    svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(1)]))
+        .unwrap();
+    svc.flush().unwrap();
+    let families = parse_prometheus(&scrape_once(addr).unwrap()).unwrap();
+    assert!(families.iter().any(|f| f.name == "cubedelta_ingest_rows_total"));
+    svc.shutdown();
+}
+
+/// An unbindable address is reported but never fatal: the service runs
+/// without an endpoint.
+#[test]
+fn bad_metrics_addr_is_not_fatal() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _env = EnvGuard::set(cubedelta::core::METRICS_ADDR_ENV_VAR, "not-an-address");
+    let svc = WarehouseService::start(small_warehouse(), BatchPolicy::default());
+    assert_eq!(svc.metrics_addr(), None);
+    svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(2)]))
+        .unwrap();
+    svc.flush().unwrap();
+    let report = svc.shutdown();
+    assert!(report.error.is_none());
+}
+
+/// `CUBEDELTA_JOURNAL_PATH` attaches the file sink at warehouse
+/// construction; the sink parses back to the in-memory ring.
+#[test]
+fn journal_path_env_var_attaches_file_sink() {
+    let _guard = ENV_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let path = std::env::temp_dir().join(format!(
+        "cubedelta-journal-env-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let _env = EnvGuard::set(JOURNAL_PATH_ENV_VAR, path.to_str().unwrap());
+    let mut wh: Warehouse = small_warehouse();
+    let batch = ChangeBatch::single(DeltaSet::insertions(
+        "pos",
+        (0..8).map(synth_pos_row).collect(),
+    ));
+    wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(parse_journal(&text).unwrap(), wh.journal().events());
+}

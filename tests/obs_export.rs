@@ -1,0 +1,101 @@
+//! Prometheus exporter integration tests: the rendered registry must be
+//! valid exposition format (checked with the in-repo parser, which
+//! enforces the histogram invariants), and a live scrape of a running
+//! [`WarehouseService`] must reflect the service's actual state.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{small_warehouse, synth_pos_row};
+use cubedelta::core::{BatchPolicy, MaintainOptions, WarehouseService};
+use cubedelta::obs::{parse_prometheus, render_prometheus, scrape_once, PromFamily};
+use cubedelta::storage::{ChangeBatch, DeltaSet};
+
+fn family<'a>(families: &'a [PromFamily], name: &str) -> &'a PromFamily {
+    families
+        .iter()
+        .find(|f| f.name == name)
+        .unwrap_or_else(|| panic!("family `{name}` missing"))
+}
+
+/// The single (unlabelled) sample value of a counter/gauge family.
+fn scalar(families: &[PromFamily], name: &str) -> f64 {
+    family(families, name)
+        .value(name)
+        .unwrap_or_else(|| panic!("`{name}` has no unlabelled sample"))
+}
+
+/// A warehouse that has done real work renders to exposition text the
+/// strict in-repo parser accepts, with every family under the
+/// `cubedelta_` prefix and the maintenance counters present.
+#[test]
+fn rendered_registry_is_valid_exposition() {
+    let mut wh = small_warehouse();
+    let batch = ChangeBatch::single(DeltaSet::insertions(
+        "pos",
+        (0..32).map(synth_pos_row).collect(),
+    ));
+    wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+
+    let text = render_prometheus(&wh.metrics().snapshot());
+    let families = parse_prometheus(&text).unwrap();
+    assert!(!families.is_empty());
+    for fam in &families {
+        assert!(
+            fam.name.starts_with("cubedelta_"),
+            "family `{}` escaped the namespace",
+            fam.name
+        );
+    }
+    assert_eq!(scalar(&families, "cubedelta_maintain_cycles_total"), 1.0);
+    // Dotted registry names sanitize to underscores, and histograms
+    // carry the full bucket/sum/count series (invariants enforced by
+    // `parse_prometheus`).
+    let hist = family(&families, "cubedelta_maintain_propagate_us");
+    assert!(hist.samples.iter().any(|s| s.0.ends_with("_bucket")));
+}
+
+/// Scraping a live service over HTTP reflects its queue state, SLO
+/// verdict, and ingest counters.
+#[test]
+fn live_scrape_reflects_service_state() {
+    let mut svc = WarehouseService::start(
+        small_warehouse(),
+        BatchPolicy {
+            max_rows: 4,
+            max_batches: 2,
+            flush_interval: Duration::from_millis(5),
+        },
+    );
+    let addr = svc.serve_metrics("127.0.0.1:0").unwrap();
+    assert_eq!(svc.metrics_addr(), Some(addr));
+
+    for seed in 0..10 {
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+            .unwrap();
+    }
+    svc.flush().unwrap();
+    assert!(svc.health().is_healthy(), "drained service must be healthy");
+
+    let text = scrape_once(addr).unwrap();
+    let families = parse_prometheus(&text).unwrap();
+    assert_eq!(scalar(&families, "cubedelta_ingest_rows_total"), 10.0);
+    assert_eq!(scalar(&families, "cubedelta_queue_depth"), 0.0);
+    assert_eq!(scalar(&families, "cubedelta_healthy"), 1.0);
+    assert_eq!(scalar(&families, "cubedelta_cycles_behind"), 0.0);
+    let count = family(&families, "cubedelta_staleness_us")
+        .value("cubedelta_staleness_us_count")
+        .unwrap();
+    assert!(count >= 1.0, "staleness histogram never recorded");
+
+    // Re-binding replaces the endpoint; the old port stops serving.
+    let addr2 = svc.serve_metrics("127.0.0.1:0").unwrap();
+    assert_ne!(addr, addr2);
+    assert!(scrape_once(addr2).is_ok());
+
+    let report = svc.shutdown();
+    assert!(report.error.is_none());
+    // The endpoint died with the service handle.
+    assert!(scrape_once(addr2).is_err(), "server must stop at shutdown");
+}
