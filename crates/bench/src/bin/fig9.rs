@@ -91,6 +91,22 @@ fn run_point(
 ) -> JsonValue {
     let batch = make_batch(kind, wh, params, size, seed);
 
+    // Durability cost of this change set: the bytes a sealed batch of this
+    // shape occupies on the commitlog and what encoding it costs, so log
+    // volume per Figure-9 point can be read straight from the JSON. The
+    // round-trip doubles as a full-size encode/decode equivalence check.
+    let enc_t = std::time::Instant::now();
+    let encoded = cubedelta_storage::encode_batch(&batch);
+    let log_encode_us = enc_t.elapsed().as_micros() as u64;
+    let decoded = cubedelta_storage::decode_batch(&encoded).expect("bench batch must round-trip");
+    assert_eq!(
+        cubedelta_storage::encode_batch(&decoded),
+        encoded,
+        "commitlog encoding is lossy on a {size}-row {} batch",
+        kind.label()
+    );
+    let log_frame_bytes = encoded.len();
+
     // The parallel propagate scheduler at the policy thread count (forced to
     // at least 2 so the JSON always records a genuine multi-thread run), and
     // the single-thread executor on identical state for comparison.
@@ -177,6 +193,8 @@ fn run_point(
             "rematerialize_total_us",
             JsonValue::from(remat.total.as_micros() as u64),
         ),
+        ("log_frame_bytes", JsonValue::from(log_frame_bytes)),
+        ("log_encode_us", JsonValue::from(log_encode_us)),
         // Per-phase timings, cycle-wide operator counters, per-view detail.
         ("summary_delta_report", report.to_json()),
     ]);

@@ -26,11 +26,19 @@
 //! had and `scaling_valid` is `false` on hosts with too few cores for the
 //! producer counts to run concurrently — downstream readers must not treat
 //! flat throughput there as a regression.
+//!
+//! Set `CUBEDELTA_COMMITLOG_DIR=/some/dir` to measure the **durable**
+//! path instead: every sealed batch is appended + fsync'd to a commitlog
+//! (one subdirectory per producer count) before the seal is acknowledged,
+//! and each point additionally reports `log_appended_bytes` and the
+//! `fsync_us` latency distribution — the price of crash safety in the
+//! same units as the rest of the sweep.
 
 use std::time::{Duration, Instant};
 
 use cubedelta_bench::build_warehouse;
-use cubedelta_core::{BatchPolicy, MaintenancePolicy, WarehouseService};
+use cubedelta_core::ingest::DurabilityPolicy;
+use cubedelta_core::{BatchPolicy, MaintainOptions, MaintenancePolicy, WarehouseService};
 use cubedelta_obs::json::JsonValue;
 use cubedelta_workload::insertion_generating;
 
@@ -52,7 +60,27 @@ fn run_point(cfg: &RunConfig, producers: usize) -> JsonValue {
     wh.set_maintenance_policy(MaintenancePolicy::with_threads(
         MaintenancePolicy::from_env().threads.max(2),
     ));
-    let svc = WarehouseService::start(wh, cfg.policy);
+    // With CUBEDELTA_COMMITLOG_DIR set, every sealed batch is appended to
+    // an fsync'd commitlog before the seal is acknowledged — the point
+    // then measures durable-path throughput and the fsync tax shows up in
+    // `fsync_us`. Each producer count logs to its own subdirectory so the
+    // points stay independent.
+    let durability = DurabilityPolicy::from_env().map(|p| {
+        let dir = p.dir.join(format!("p{producers}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        DurabilityPolicy::new(dir)
+    });
+    let durable = durability.is_some();
+    let svc = match durability {
+        Some(d) => WarehouseService::start_with_durability(
+            wh,
+            cfg.policy,
+            MaintainOptions::default(),
+            d,
+        )
+        .expect("open commitlog"),
+        None => WarehouseService::start(wh, cfg.policy),
+    };
 
     let deltas_per_producer = cfg.rows_per_producer.div_ceil(cfg.delta_rows);
     let t0 = Instant::now();
@@ -74,6 +102,8 @@ fn run_point(cfg: &RunConfig, producers: usize) -> JsonValue {
 
     let latency = svc.metrics().histogram("flush_latency_us").snapshot();
     let backpressure_waits = svc.metrics().counter("backpressure_waits").get();
+    let log_appended_bytes = svc.metrics().counter("log_appended_bytes").get();
+    let fsync = svc.metrics().histogram("fsync_us").snapshot();
     let healthy = svc.health().is_healthy();
     let report = svc.shutdown();
     assert!(report.error.is_none(), "cycle failed: {:?}", report.error);
@@ -125,6 +155,11 @@ fn run_point(cfg: &RunConfig, producers: usize) -> JsonValue {
             JsonValue::from(latency.quantile_us(1.0)),
         ),
         ("backpressure_waits", JsonValue::from(backpressure_waits)),
+        ("durable", JsonValue::from(durable)),
+        ("log_appended_bytes", JsonValue::from(log_appended_bytes)),
+        ("fsync_count", JsonValue::from(fsync.count)),
+        ("fsync_mean_us", JsonValue::from(fsync.mean_us())),
+        ("fsync_p95_us", JsonValue::from(fsync.quantile_us(0.95))),
         ("journal_events", JsonValue::from(journal.len())),
         ("journal_events_dropped", JsonValue::from(journal.dropped())),
         ("healthy_after_drain", JsonValue::from(healthy)),
@@ -209,6 +244,10 @@ fn main() {
             JsonValue::from(MaintenancePolicy::from_env().threads.max(2)),
         ),
         ("host_parallelism", JsonValue::from(host_parallelism)),
+        (
+            "durable",
+            JsonValue::from(DurabilityPolicy::from_env().is_some()),
+        ),
         // Same gate as fig9's `speedup_valid`: scaling ratios measured on
         // a single-core host time-slice one CPU and say nothing about the
         // front-end. (The old gate demanded more cores than the largest

@@ -1,0 +1,576 @@
+//! Append-only commitlog of sealed change batches.
+//!
+//! The paper's batch-maintenance model (§4) already gives deltas the shape
+//! of a write-ahead log: deltas are sealed into deterministic batches and
+//! replayed in order. This module makes that log durable, so a crash loses
+//! no accepted batch — recovery is "load snapshot, replay the log tail",
+//! and because maintenance is deterministic the result is byte-identical
+//! to the uninterrupted run.
+//!
+//! ## Frame format
+//!
+//! One frame per sealed batch, appended to `commit.log`:
+//!
+//! ```text
+//! frame   := [len: u32 LE] [checksum: u64 LE] [payload]
+//! payload := [lsn: u64 LE] [encoded batch — storage::binenc]
+//! ```
+//!
+//! `len` is the payload length; `checksum` is FNV-1a 64 over the payload.
+//! LSNs are assigned contiguously starting at 1. After each append the
+//! file is flushed with `sync_data` *before* the seal is acknowledged, so
+//! every batch a caller has been told is accepted survives power loss.
+//!
+//! ## Torn tails vs. corruption
+//!
+//! On reopen the log is scanned front to back. A frame that fails its
+//! length or checksum check **at the end of the file** is a torn tail —
+//! the expected residue of a crash mid-append. It is truncated away with a
+//! logged warning, never an error. The same failure *followed by more
+//! frames* cannot be a torn write and is reported as
+//! [`CommitLogError::Corrupt`] with the byte offset.
+//!
+//! ## Manifest and compaction
+//!
+//! A `MANIFEST` file in the same directory records the snapshot the log
+//! tail is relative to and the last LSN the maintenance worker has
+//! applied. It is rewritten atomically (tmp + rename + dir fsync).
+//! [`CommitLog::compact`] drops frames already covered by a snapshot by
+//! rewriting the log with only the surviving frames, also via tmp+rename.
+
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use cubedelta_storage::{decode_batch, encode_batch, fnv1a_64, ChangeBatch};
+
+/// Frame header size: u32 length + u64 checksum.
+const HEADER: usize = 12;
+/// Payloads larger than this are implausible and treated as corruption
+/// (protects the scanner from allocating on a garbage length field).
+const MAX_PAYLOAD: u32 = 1 << 30;
+
+pub const LOG_FILE: &str = "commit.log";
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Failures from the commitlog. Torn tails are *not* errors — they are
+/// handled (truncated + warned) inside [`CommitLog::open`].
+#[derive(Debug)]
+pub enum CommitLogError {
+    Io(std::io::Error),
+    /// A frame in the *interior* of the log failed validation: bad length,
+    /// bad checksum, or an undecodable payload with valid frames after it.
+    Corrupt { offset: u64, detail: String },
+}
+
+impl fmt::Display for CommitLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitLogError::Io(e) => write!(f, "commitlog I/O error: {e}"),
+            CommitLogError::Corrupt { offset, detail } => {
+                write!(f, "commitlog corrupt at byte {offset}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommitLogError {}
+
+impl From<std::io::Error> for CommitLogError {
+    fn from(e: std::io::Error) -> Self {
+        CommitLogError::Io(e)
+    }
+}
+
+/// Where an appended frame landed; returned so callers can journal the
+/// log position and account fsync latency.
+#[derive(Debug, Clone, Copy)]
+pub struct LogPosition {
+    /// LSN assigned to the batch.
+    pub lsn: u64,
+    /// Byte offset of the frame start in the log file.
+    pub offset: u64,
+    /// Total frame size (header + payload) in bytes.
+    pub bytes: u64,
+    /// Wall-clock microseconds spent in `sync_data`.
+    pub fsync_us: u64,
+}
+
+/// One validated record scanned out of the log on open.
+#[derive(Debug, Clone)]
+pub struct LogRecord {
+    pub lsn: u64,
+    pub batch: ChangeBatch,
+}
+
+/// What [`CommitLog::open`] found on disk.
+#[derive(Debug)]
+pub struct OpenReport {
+    /// All validated records, in LSN order.
+    pub records: Vec<LogRecord>,
+    /// Bytes discarded from a torn tail (0 on a clean log).
+    pub torn_bytes_discarded: u64,
+}
+
+/// The durable manifest: which snapshot the log tail is relative to and
+/// how far the worker has applied. Plain `key=value` lines.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// LSN covered by the newest snapshot (0 = the initial snapshot,
+    /// taken before any batch was logged).
+    pub snapshot_lsn: u64,
+    /// Directory name (relative to the commitlog dir) of that snapshot.
+    pub snapshot_dir: String,
+    /// Highest LSN the maintenance worker has fully applied.
+    pub last_applied_lsn: u64,
+}
+
+impl Manifest {
+    fn to_text(&self) -> String {
+        format!(
+            "snapshot_lsn={}\nsnapshot_dir={}\nlast_applied_lsn={}\n",
+            self.snapshot_lsn, self.snapshot_dir, self.last_applied_lsn
+        )
+    }
+
+    fn parse(text: &str) -> Result<Manifest, String> {
+        let mut m = Manifest::default();
+        let mut seen = 0u8;
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, val) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key=value, got {line:?}", i + 1))?;
+            let num = || {
+                val.parse::<u64>()
+                    .map_err(|_| format!("line {}: {key} is not a number: {val:?}", i + 1))
+            };
+            match key {
+                "snapshot_lsn" => {
+                    m.snapshot_lsn = num()?;
+                    seen |= 1;
+                }
+                "snapshot_dir" => {
+                    m.snapshot_dir = val.to_string();
+                    seen |= 2;
+                }
+                "last_applied_lsn" => {
+                    m.last_applied_lsn = num()?;
+                    seen |= 4;
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", i + 1)),
+            }
+        }
+        if seen != 7 {
+            return Err("manifest missing required keys".to_string());
+        }
+        Ok(m)
+    }
+
+    /// Reads `MANIFEST` from `dir`. `Ok(None)` when the file does not
+    /// exist (fresh directory).
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, CommitLogError> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        Manifest::parse(&text).map(Some).map_err(|detail| {
+            CommitLogError::Corrupt {
+                offset: 0,
+                detail: format!("manifest: {detail}"),
+            }
+        })
+    }
+
+    /// Writes the manifest atomically: tmp file, fsync, rename, dir fsync.
+    /// A crash at any point leaves either the old or the new manifest.
+    pub fn store(&self, dir: &Path) -> Result<(), CommitLogError> {
+        let tmp = dir.join("MANIFEST.tmp");
+        let fin = dir.join(MANIFEST_FILE);
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &fin)?;
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_data();
+        }
+        Ok(())
+    }
+}
+
+/// The append-only log. Single writer (the `WarehouseService` seal path);
+/// callers serialize access externally.
+#[derive(Debug)]
+pub struct CommitLog {
+    dir: PathBuf,
+    file: File,
+    /// Current end-of-log offset (== file length).
+    end: u64,
+    /// LSN the next append will be assigned.
+    next_lsn: u64,
+}
+
+impl CommitLog {
+    /// Opens (creating if absent) the log in `dir`, scanning and
+    /// validating every frame. A torn tail is truncated with a warning;
+    /// interior corruption is a hard error.
+    pub fn open(dir: &Path) -> Result<(CommitLog, OpenReport), CommitLogError> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(LOG_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)?;
+
+        let mut bytes = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut bytes)?;
+
+        let mut records = Vec::new();
+        let mut pos: usize = 0;
+        let mut torn_at: Option<(usize, String)> = None;
+        while pos < bytes.len() {
+            match Self::scan_frame(&bytes, pos) {
+                Ok((lsn, batch, next)) => {
+                    records.push(LogRecord { lsn, batch });
+                    pos = next;
+                }
+                Err(detail) => {
+                    torn_at = Some((pos, detail));
+                    break;
+                }
+            }
+        }
+
+        let mut torn_bytes_discarded = 0u64;
+        if let Some((at, detail)) = torn_at {
+            // A failed frame is a torn tail only if nothing valid follows
+            // it. Look for any later offset that parses as a frame chain
+            // reaching EOF; if one exists the failure is interior corruption.
+            if Self::valid_suffix_exists(&bytes, at + 1) {
+                return Err(CommitLogError::Corrupt {
+                    offset: at as u64,
+                    detail,
+                });
+            }
+            torn_bytes_discarded = (bytes.len() - at) as u64;
+            eprintln!(
+                "[cubedelta] warning: commitlog {path:?} has a torn tail at byte {at} \
+                 ({torn_bytes_discarded} bytes discarded): {detail}",
+                path = path
+            );
+            file.set_len(at as u64)?;
+            file.sync_data()?;
+        }
+
+        let end = bytes.len() as u64 - torn_bytes_discarded;
+        let next_lsn = records.last().map(|r| r.lsn + 1).unwrap_or(1);
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            CommitLog {
+                dir: dir.to_path_buf(),
+                file,
+                end,
+                next_lsn,
+            },
+            OpenReport {
+                records,
+                torn_bytes_discarded,
+            },
+        ))
+    }
+
+    /// Tries to parse one frame at `pos`; returns `(lsn, batch, next_pos)`
+    /// or a description of why it is invalid.
+    fn scan_frame(bytes: &[u8], pos: usize) -> Result<(u64, ChangeBatch, usize), String> {
+        let header = bytes
+            .get(pos..pos + HEADER)
+            .ok_or_else(|| format!("truncated frame header ({} bytes)", bytes.len() - pos))?;
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        if !(8..=MAX_PAYLOAD).contains(&len) {
+            return Err(format!("implausible payload length {len}"));
+        }
+        let want = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        let payload = bytes
+            .get(pos + HEADER..pos + HEADER + len as usize)
+            .ok_or_else(|| format!("truncated payload (want {len} bytes)"))?;
+        if fnv1a_64(payload) != want {
+            return Err("checksum mismatch".to_string());
+        }
+        let lsn = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let batch = decode_batch(&payload[8..]).map_err(|e| format!("payload: {e}"))?;
+        Ok((lsn, batch, pos + HEADER + len as usize))
+    }
+
+    /// True if some suffix of `bytes` starting at or after `from` parses
+    /// as a valid frame chain that reaches EOF exactly — meaning the
+    /// earlier failure cannot be a torn tail.
+    fn valid_suffix_exists(bytes: &[u8], from: usize) -> bool {
+        for start in from..bytes.len().saturating_sub(HEADER) {
+            let mut pos = start;
+            let mut any = false;
+            while pos < bytes.len() {
+                match Self::scan_frame(bytes, pos) {
+                    Ok((_, _, next)) => {
+                        any = true;
+                        pos = next;
+                    }
+                    Err(_) => break,
+                }
+            }
+            if any && pos == bytes.len() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// LSN the next [`append`](Self::append) will assign.
+    pub fn next_lsn(&self) -> u64 {
+        self.next_lsn
+    }
+
+    /// Current log size in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.end
+    }
+
+    /// Appends one sealed batch, fsyncs, and returns its position. The
+    /// frame is durable when this returns.
+    pub fn append(&mut self, batch: &ChangeBatch) -> Result<LogPosition, CommitLogError> {
+        let lsn = self.next_lsn;
+        let mut payload = Vec::with_capacity(8 + 64);
+        payload.extend_from_slice(&lsn.to_le_bytes());
+        payload.extend_from_slice(&encode_batch(batch));
+        let mut frame = Vec::with_capacity(HEADER + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a_64(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        let offset = self.end;
+        self.file.write_all(&frame)?;
+        let t0 = Instant::now();
+        self.file.sync_data()?;
+        let fsync_us = t0.elapsed().as_micros() as u64;
+
+        self.end += frame.len() as u64;
+        self.next_lsn += 1;
+        Ok(LogPosition {
+            lsn,
+            offset,
+            bytes: frame.len() as u64,
+            fsync_us,
+        })
+    }
+
+    /// Drops all frames with `lsn <= cutoff` (they are covered by a
+    /// snapshot) by rewriting the log atomically. Returns bytes reclaimed.
+    pub fn compact(&mut self, cutoff: u64) -> Result<u64, CommitLogError> {
+        let path = self.dir.join(LOG_FILE);
+        let mut bytes = Vec::new();
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.read_to_end(&mut bytes)?;
+
+        let mut kept = Vec::new();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let (lsn, _, next) = Self::scan_frame(&bytes, pos)
+                .map_err(|detail| CommitLogError::Corrupt {
+                    offset: pos as u64,
+                    detail,
+                })?;
+            if lsn > cutoff {
+                kept.extend_from_slice(&bytes[pos..next]);
+            }
+            pos = next;
+        }
+
+        let reclaimed = bytes.len() as u64 - kept.len() as u64;
+        if reclaimed == 0 {
+            self.file.seek(SeekFrom::End(0))?;
+            return Ok(0);
+        }
+
+        let tmp = self.dir.join("commit.log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&kept)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &path)?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_data();
+        }
+        self.file = OpenOptions::new().read(true).append(true).open(&path)?;
+        self.end = kept.len() as u64;
+        Ok(reclaimed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cubedelta_storage::{row, DeltaSet};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "cubedelta_commitlog_{tag}_{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn batch(n: i64) -> ChangeBatch {
+        ChangeBatch::single(DeltaSet::insertions("pos", vec![row![n, n * 10]]))
+    }
+
+    #[test]
+    fn append_reopen_replays_in_order() {
+        let dir = tempdir("roundtrip");
+        {
+            let (mut log, report) = CommitLog::open(&dir).unwrap();
+            assert!(report.records.is_empty());
+            for i in 1..=5 {
+                let pos = log.append(&batch(i)).unwrap();
+                assert_eq!(pos.lsn, i as u64);
+            }
+        }
+        let (log, report) = CommitLog::open(&dir).unwrap();
+        assert_eq!(report.torn_bytes_discarded, 0);
+        let lsns: Vec<u64> = report.records.iter().map(|r| r.lsn).collect();
+        assert_eq!(lsns, vec![1, 2, 3, 4, 5]);
+        assert_eq!(report.records[2].batch.deltas, batch(3).deltas);
+        assert_eq!(log.next_lsn(), 6);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_with_warning_not_error() {
+        let dir = tempdir("torn");
+        let full_len;
+        {
+            let (mut log, _) = CommitLog::open(&dir).unwrap();
+            log.append(&batch(1)).unwrap();
+            log.append(&batch(2)).unwrap();
+            full_len = log.len_bytes();
+        }
+        // Chop mid-way through the second frame: a torn write.
+        let path = dir.join(LOG_FILE);
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full_len - 5).unwrap();
+        drop(f);
+
+        let (log, report) = CommitLog::open(&dir).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert!(report.torn_bytes_discarded > 0);
+        // The tail was physically removed and the log is appendable again.
+        assert_eq!(log.next_lsn(), 2);
+        let (_, report2) = CommitLog::open(&dir).unwrap();
+        assert_eq!(report2.torn_bytes_discarded, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_tail_bytes_are_discarded() {
+        let dir = tempdir("garbage");
+        {
+            let (mut log, _) = CommitLog::open(&dir).unwrap();
+            log.append(&batch(1)).unwrap();
+        }
+        let path = dir.join(LOG_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        drop(f);
+        let (_, report) = CommitLog::open(&dir).unwrap();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.torn_bytes_discarded, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_corruption_is_a_hard_error() {
+        let dir = tempdir("interior");
+        let first_end;
+        {
+            let (mut log, _) = CommitLog::open(&dir).unwrap();
+            let p1 = log.append(&batch(1)).unwrap();
+            first_end = p1.offset + p1.bytes;
+            log.append(&batch(2)).unwrap();
+        }
+        // Flip a payload byte inside frame 1; frame 2 stays valid, so this
+        // cannot be a torn tail.
+        let path = dir.join(LOG_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let victim = HEADER + 9; // inside frame 1's batch payload
+        assert!((victim as u64) < first_end);
+        bytes[victim] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+
+        match CommitLog::open(&dir) {
+            Err(CommitLogError::Corrupt { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compact_drops_covered_frames() {
+        let dir = tempdir("compact");
+        let (mut log, _) = CommitLog::open(&dir).unwrap();
+        for i in 1..=6 {
+            log.append(&batch(i)).unwrap();
+        }
+        let reclaimed = log.compact(4).unwrap();
+        assert!(reclaimed > 0);
+        // Appends continue with the next LSN after compaction.
+        let pos = log.append(&batch(7)).unwrap();
+        assert_eq!(pos.lsn, 7);
+        drop(log);
+        let (_, report) = CommitLog::open(&dir).unwrap();
+        let lsns: Vec<u64> = report.records.iter().map(|r| r.lsn).collect();
+        assert_eq!(lsns, vec![5, 6, 7]);
+        // Compacting below the floor is a no-op.
+        let (mut log, _) = CommitLog::open(&dir).unwrap();
+        assert_eq!(log.compact(2).unwrap(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_errors() {
+        let dir = tempdir("manifest");
+        assert!(Manifest::load(&dir).unwrap().is_none());
+        let m = Manifest {
+            snapshot_lsn: 12,
+            snapshot_dir: "snapshot-12".into(),
+            last_applied_lsn: 15,
+        };
+        m.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m));
+
+        fs::write(dir.join(MANIFEST_FILE), "snapshot_lsn=nope\n").unwrap();
+        match Manifest::load(&dir) {
+            Err(CommitLogError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("manifest"), "{detail}")
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

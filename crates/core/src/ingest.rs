@@ -56,6 +56,7 @@
 use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -65,6 +66,7 @@ use cubedelta_obs::{
 };
 use cubedelta_storage::{ChangeBatch, DeltaSet};
 
+use crate::commitlog::{CommitLog, Manifest};
 use crate::error::{CoreError, CoreResult};
 use crate::warehouse::{MaintainOptions, ShardRouter, Warehouse};
 
@@ -74,6 +76,120 @@ use crate::warehouse::{MaintainOptions, ShardRouter, Warehouse};
 /// to stderr but never stops the service — telemetry must not take the
 /// warehouse down.
 pub const METRICS_ADDR_ENV_VAR: &str = "CUBEDELTA_METRICS_ADDR";
+
+/// Environment variable naming the commitlog directory. When set (and the
+/// service is started through a constructor that consults it, e.g.
+/// [`DurabilityPolicy::from_env`]), every sealed batch is appended to an
+/// fsync'd commitlog there before the seal is acknowledged.
+pub const COMMITLOG_DIR_ENV_VAR: &str = "CUBEDELTA_COMMITLOG_DIR";
+
+/// How a warehouse snapshot is written, injected by the embedding layer.
+///
+/// `cubedelta-core` cannot depend on the top-level persistence module (it
+/// lives above the SQL crate), so the durable service takes the snapshot
+/// writer as a closure: `(warehouse, target_dir) -> Result<(), String>`.
+/// The blessed implementation is `cubedelta::durability::start_durable`,
+/// which wires in `persist::save_snapshot`.
+pub type SnapshotFn = Arc<dyn Fn(&Warehouse, &Path) -> Result<(), String> + Send + Sync>;
+
+/// Durability configuration for [`WarehouseService::start_with_durability`].
+#[derive(Clone)]
+pub struct DurabilityPolicy {
+    /// Directory holding `commit.log`, `MANIFEST`, and `snapshot-<lsn>/`
+    /// subdirectories.
+    pub dir: PathBuf,
+    /// Take a snapshot (and compact the log) every this many applied
+    /// batches. `0` disables periodic snapshots — the log then only
+    /// compacts at a clean shutdown.
+    pub snapshot_every: u64,
+    /// Snapshot writer; `None` disables snapshots entirely (the log grows
+    /// until an external compaction).
+    pub snapshot_fn: Option<SnapshotFn>,
+}
+
+impl std::fmt::Debug for DurabilityPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityPolicy")
+            .field("dir", &self.dir)
+            .field("snapshot_every", &self.snapshot_every)
+            .field("snapshot_fn", &self.snapshot_fn.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+impl DurabilityPolicy {
+    /// A policy logging to `dir`, snapshotting every 32 applied batches
+    /// once a snapshot writer is attached.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityPolicy {
+            dir: dir.into(),
+            snapshot_every: 32,
+            snapshot_fn: None,
+        }
+    }
+
+    /// Sets the snapshot cadence (`0` = only at clean shutdown).
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = every;
+        self
+    }
+
+    /// Attaches the snapshot writer.
+    pub fn with_snapshot_fn(mut self, f: SnapshotFn) -> Self {
+        self.snapshot_fn = Some(f);
+        self
+    }
+
+    /// Builds a policy from `CUBEDELTA_COMMITLOG_DIR`, or `None` when the
+    /// variable is unset/empty. Sampled once, at the call — consistent
+    /// with how the service treats every other env knob.
+    pub fn from_env() -> Option<Self> {
+        match std::env::var(COMMITLOG_DIR_ENV_VAR) {
+            Ok(dir) if !dir.is_empty() => Some(DurabilityPolicy::new(dir)),
+            _ => None,
+        }
+    }
+}
+
+/// Commitlog + manifest state behind its own mutex (locked after the
+/// queue-state mutex in `seal`, alone in the worker's commit path).
+struct DurableState {
+    log: CommitLog,
+    manifest: Manifest,
+    snapshot_every: u64,
+    snapshot_fn: Option<SnapshotFn>,
+}
+
+impl DurableState {
+    /// Writes a snapshot at `lsn`, flips the manifest to it, compacts the
+    /// log, and removes the superseded snapshot directory. Every failure
+    /// is non-fatal — the previous snapshot + longer log tail still
+    /// recover correctly — so errors are reported, not propagated.
+    fn snapshot_and_compact(&mut self, wh: &Warehouse, lsn: u64) {
+        let Some(snap) = &self.snapshot_fn else {
+            return;
+        };
+        let dir_name = format!("snapshot-{lsn}");
+        let target = self.log.dir().join(&dir_name);
+        if let Err(e) = snap(wh, &target) {
+            eprintln!("[cubedelta] warning: snapshot at lsn {lsn} failed (kept previous): {e}");
+            let _ = std::fs::remove_dir_all(&target);
+            return;
+        }
+        let old_dir = std::mem::replace(&mut self.manifest.snapshot_dir, dir_name);
+        self.manifest.snapshot_lsn = lsn;
+        if let Err(e) = self.manifest.store(self.log.dir()) {
+            eprintln!("[cubedelta] warning: manifest update at lsn {lsn} failed: {e}");
+            return;
+        }
+        if let Err(e) = self.log.compact(lsn) {
+            eprintln!("[cubedelta] warning: log compaction at lsn {lsn} failed: {e}");
+        }
+        if !old_dir.is_empty() && old_dir != self.manifest.snapshot_dir {
+            let _ = std::fs::remove_dir_all(self.log.dir().join(old_dir));
+        }
+    }
+}
 
 /// When the staged batch is sealed and handed to the maintenance worker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -182,6 +298,9 @@ struct SealedBatch {
     /// When the batch's first row was staged — the start of its staleness
     /// clock.
     staged_at: Instant,
+    /// Commitlog LSN, when the service is durable: set before the seal is
+    /// acknowledged, consumed by the worker's commit bookkeeping.
+    lsn: Option<u64>,
 }
 
 /// Registry handles the service reports through (cheap `Arc` clones of
@@ -198,6 +317,8 @@ struct Obs {
     staleness: Histogram,
     backpressure_waits: Counter,
     shard_routed_rows: Counter,
+    log_appended_bytes: Counter,
+    fsync_us: Histogram,
 }
 
 /// Mutable queue state behind the service mutex.
@@ -255,6 +376,10 @@ struct Shared {
     /// Inactive (routes nothing) when the maintenance policy runs one
     /// shard.
     router: ShardRouter,
+    /// Commitlog + manifest when the service is durable. Lock order:
+    /// queue-state mutex first, this second (seal); the worker's commit
+    /// path takes this alone.
+    durable: Option<Mutex<DurableState>>,
 }
 
 impl Shared {
@@ -291,10 +416,36 @@ impl Shared {
             .take()
             .expect("non-empty staged batch has a start time");
         let tables = batch.deltas.len() as u64;
+        // Durable services append-and-fsync *before* the seal is
+        // acknowledged: once the batch is in the sealed queue (and thus
+        // counted as accepted), a crash must not lose it. A log failure
+        // parks the batch and poisons the service — the seal never
+        // happened, the rows are surfaced in `unapplied`.
+        let mut lsn = None;
+        let mut log_bytes = 0u64;
+        if let Some(durable) = &self.durable {
+            let mut d = durable.lock().unwrap_or_else(|p| p.into_inner());
+            match d.log.append(&batch) {
+                Ok(pos) => {
+                    lsn = Some(pos.lsn);
+                    log_bytes = pos.bytes;
+                    self.obs.log_appended_bytes.add(pos.bytes);
+                    self.obs.fsync_us.record(Duration::from_micros(pos.fsync_us));
+                }
+                Err(e) => {
+                    st.unapplied.merge(batch);
+                    st.error = Some(CoreError::Ingest(format!(
+                        "commitlog append failed, batch parked in unapplied: {e}"
+                    )));
+                    return;
+                }
+            }
+        }
         st.sealed.push_back(SealedBatch {
             batch,
             rows,
             staged_at,
+            lsn,
         });
         st.sealed_rows += rows;
         st.batches_sealed += 1;
@@ -303,6 +454,8 @@ impl Shared {
             seq: self.journal.next_seal_seq(),
             rows: rows as u64,
             tables,
+            lsn: lsn.unwrap_or(0),
+            log_bytes,
         });
     }
 
@@ -456,6 +609,51 @@ impl WarehouseService {
         policy: BatchPolicy,
         opts: MaintainOptions,
     ) -> Self {
+        Self::start_inner(warehouse, policy, opts, None)
+    }
+
+    /// Starts a *durable* service: every sealed batch is appended to an
+    /// fsync'd commitlog in `durability.dir` before the seal is
+    /// acknowledged, the manifest tracks the last applied LSN, and (when
+    /// a snapshot writer is attached) the log is compacted behind
+    /// periodic snapshots and at clean shutdown.
+    ///
+    /// The warehouse passed in must already be consistent with the
+    /// directory's manifest — i.e. recovered via snapshot + log replay.
+    /// `cubedelta::durability::start_durable` is the blessed entry point
+    /// that does both; call this directly only with a fresh directory or
+    /// an already-recovered warehouse.
+    pub fn start_with_durability(
+        warehouse: Warehouse,
+        policy: BatchPolicy,
+        opts: MaintainOptions,
+        durability: DurabilityPolicy,
+    ) -> CoreResult<Self> {
+        let (log, open) = CommitLog::open(&durability.dir)
+            .map_err(|e| CoreError::Ingest(format!("cannot open commitlog: {e}")))?;
+        if open.torn_bytes_discarded > 0 {
+            // CommitLog::open already warned; nothing else to do — the
+            // torn frame was never acknowledged, so no accepted batch is
+            // affected.
+        }
+        let manifest = Manifest::load(&durability.dir)
+            .map_err(|e| CoreError::Ingest(format!("cannot read commitlog manifest: {e}")))?
+            .unwrap_or_default();
+        let state = DurableState {
+            log,
+            manifest,
+            snapshot_every: durability.snapshot_every,
+            snapshot_fn: durability.snapshot_fn,
+        };
+        Ok(Self::start_inner(warehouse, policy, opts, Some(state)))
+    }
+
+    fn start_inner(
+        warehouse: Warehouse,
+        policy: BatchPolicy,
+        opts: MaintainOptions,
+        durable: Option<DurableState>,
+    ) -> Self {
         let registry = warehouse.metrics().clone();
         let journal = warehouse.journal().clone();
         let obs = Obs {
@@ -470,6 +668,8 @@ impl WarehouseService {
             staleness: registry.histogram("staleness_us"),
             backpressure_waits: registry.counter("backpressure_waits"),
             shard_routed_rows: registry.counter("shard_routed_rows"),
+            log_appended_bytes: registry.counter("log_appended_bytes"),
+            fsync_us: registry.histogram("fsync_us"),
         };
         obs.healthy.set(1);
         let router = warehouse.shard_router();
@@ -483,6 +683,7 @@ impl WarehouseService {
             registry,
             journal,
             router,
+            durable: durable.map(Mutex::new),
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -582,9 +783,12 @@ impl WarehouseService {
             if st.sealed.len() < self.shared.policy.max_batches {
                 // Staging area full but the sealed queue has a slot: seal
                 // the full batch ourselves so this delta starts a new one.
+                // Re-check from the top rather than breaking — a durable
+                // seal can fail (sticky error), and this delta must then
+                // be refused, not staged behind a parked batch.
                 self.shared.seal(&mut st);
                 self.shared.work.notify_one();
-                break;
+                continue;
             }
             if !block {
                 return Err(CoreError::Backpressure);
@@ -777,7 +981,21 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
                 applied_rows: st.rows_applied,
                 unapplied_rows: (st.unapplied.len() + st.sealed_rows + st.staged_rows) as u64,
             });
+            let clean = st.error.is_none();
             drop(st);
+            // Final snapshot on a clean drain: restart then recovers from
+            // the snapshot alone, with an empty log tail. Never snapshot
+            // after a failed cycle — the warehouse may hold a partially
+            // refreshed state that must not become a recovery point.
+            if clean {
+                if let Some(durable) = &shared.durable {
+                    let mut d = durable.lock().unwrap_or_else(|p| p.into_inner());
+                    let last = d.manifest.last_applied_lsn;
+                    if last > d.manifest.snapshot_lsn {
+                        d.snapshot_and_compact(&wh, last);
+                    }
+                }
+            }
             shared.room.notify_all();
             return wh;
         };
@@ -792,6 +1010,27 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
         // up — the batch is parked in `unapplied`, not lost.
         let result = catch_unwind(AssertUnwindSafe(|| wh.maintain(&job.batch, &shared.opts)));
         let staleness = job.staged_at.elapsed();
+
+        // Durable commit, outside the queue lock: record how far the
+        // warehouse has advanced and take a periodic snapshot when due.
+        // Both are recovery *optimizations* — replay from the previous
+        // snapshot is always correct — so failures warn, never poison.
+        if result.as_ref().is_ok_and(|r| r.is_ok()) {
+            if let (Some(durable), Some(lsn)) = (&shared.durable, job.lsn) {
+                wh.set_last_applied_lsn(lsn);
+                let mut d = durable.lock().unwrap_or_else(|p| p.into_inner());
+                d.manifest.last_applied_lsn = lsn;
+                let due = d.snapshot_every > 0
+                    && lsn >= d.manifest.snapshot_lsn + d.snapshot_every;
+                if due {
+                    d.snapshot_and_compact(&wh, lsn);
+                } else if let Err(e) = d.manifest.store(d.log.dir()) {
+                    eprintln!(
+                        "[cubedelta] warning: manifest update at lsn {lsn} failed: {e}"
+                    );
+                }
+            }
+        }
 
         let mut st = shared.lock();
         st.in_flight_rows = 0;

@@ -62,6 +62,7 @@
 
 pub mod answer;
 pub mod baseline;
+pub mod commitlog;
 pub mod consistency;
 pub mod cube;
 pub mod error;
@@ -77,11 +78,15 @@ pub mod warehouse;
 pub use answer::{AggQuery, Answer};
 pub use baseline::{propagate_without_lattice, rematerialize_direct, rematerialize_with_lattice};
 pub use consistency::check_view_consistency;
+pub use commitlog::{
+    CommitLog, CommitLogError, LogPosition, LogRecord, Manifest, OpenReport, LOG_FILE,
+    MANIFEST_FILE,
+};
 pub use cube::{CubeBudget, CubeReport, CubeSpec};
 pub use error::{CoreError, CoreResult};
 pub use ingest::{
-    BatchPolicy, Health, IngestStats, ShutdownReport, SloPolicy, WarehouseService,
-    METRICS_ADDR_ENV_VAR,
+    BatchPolicy, DurabilityPolicy, Health, IngestStats, ShutdownReport, SloPolicy, SnapshotFn,
+    WarehouseService, COMMITLOG_DIR_ENV_VAR, METRICS_ADDR_ENV_VAR,
 };
 pub use multi::{
     plan_levels, propagate_plan, propagate_plan_leveled, propagate_plan_leveled_journaled,

@@ -255,6 +255,7 @@ fn run_step(
     let view = by_name.get(step.view.as_str()).ok_or_else(|| {
         CoreError::Maintenance(format!("plan references unknown view `{}`", step.view))
     })?;
+    failpoints::maybe_panic_propagate(&step.view);
     let start = Instant::now();
     let mut m = ExecutionMetrics::new();
     let mut shard_stats = None;
@@ -524,11 +525,13 @@ pub mod failpoints {
         MERGE_ARMED.store(true, Ordering::SeqCst);
     }
 
-    /// Disarms both failpoints (idempotent).
+    /// Disarms all failpoints (idempotent).
     pub fn disarm_all() {
         disarm();
         MERGE_ARMED.store(false, Ordering::SeqCst);
         *MERGE_VIEW.lock().unwrap_or_else(|p| p.into_inner()) = None;
+        PROPAGATE_ARMED.store(false, Ordering::SeqCst);
+        *PROPAGATE_VIEW.lock().unwrap_or_else(|p| p.into_inner()) = None;
     }
 
     pub(crate) fn maybe_panic_merge(view: &str) {
@@ -541,6 +544,30 @@ pub mod failpoints {
             MERGE_ARMED.store(false, Ordering::SeqCst);
             drop(armed_view); // don't poison the failpoint's own mutex
             panic!("injected merge failpoint for `{view}`");
+        }
+    }
+
+    static PROPAGATE_ARMED: AtomicBool = AtomicBool::new(false);
+    static PROPAGATE_VIEW: Mutex<Option<String>> = Mutex::new(None);
+
+    /// Arms a one-shot panic at the top of the named view's next
+    /// propagation step — before any summary-delta work for that view.
+    /// Unlike the merge failpoint it fires with any shard count.
+    pub fn arm_propagate_panic(view: &str) {
+        *PROPAGATE_VIEW.lock().unwrap_or_else(|p| p.into_inner()) = Some(view.to_string());
+        PROPAGATE_ARMED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn maybe_panic_propagate(view: &str) {
+        if !PROPAGATE_ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut armed_view = PROPAGATE_VIEW.lock().unwrap_or_else(|p| p.into_inner());
+        if armed_view.as_deref() == Some(view) {
+            *armed_view = None;
+            PROPAGATE_ARMED.store(false, Ordering::SeqCst);
+            drop(armed_view); // don't poison the failpoint's own mutex
+            panic!("injected propagate failpoint for `{view}`");
         }
     }
 }

@@ -384,6 +384,10 @@ pub struct Warehouse {
     /// recomputes (MIN/MAX evictions) stream it directly, which is how a
     /// recompute "reads across all shards" for free.
     shard_tables: HashMap<String, ShardedTable>,
+    /// Highest commitlog LSN whose batch has been applied to this
+    /// warehouse, when it is fed from a durable `WarehouseService`.
+    /// `None` for warehouses maintained without a commitlog.
+    last_applied_lsn: Option<u64>,
 }
 
 impl Warehouse {
@@ -404,7 +408,21 @@ impl Warehouse {
             policy: MaintenancePolicy::default(),
             shard_keys: HashMap::new(),
             shard_tables: HashMap::new(),
+            last_applied_lsn: None,
         }
+    }
+
+    /// Highest commitlog LSN applied to this warehouse, if it is
+    /// commitlog-backed. Recovery replays only LSNs above this.
+    pub fn last_applied_lsn(&self) -> Option<u64> {
+        self.last_applied_lsn
+    }
+
+    /// Records that the batch at `lsn` has been fully applied. Called by
+    /// the durable ingestion worker after each committed cycle and by
+    /// recovery after each replayed batch.
+    pub fn set_last_applied_lsn(&mut self, lsn: u64) {
+        self.last_applied_lsn = Some(lsn);
     }
 
     /// The current maintenance scheduling policy.

@@ -48,6 +48,10 @@ pub enum JournalEvent {
         rows: u64,
         /// Number of distinct tables touched.
         tables: u64,
+        /// Commitlog LSN assigned to the batch (0 when durability is off).
+        lsn: u64,
+        /// Frame size appended to the commitlog (0 when durability is off).
+        log_bytes: u64,
     },
     /// A maintenance cycle began.
     CycleStarted {
@@ -135,11 +139,19 @@ impl JournalEvent {
     pub fn to_json(&self) -> JsonValue {
         let u = JsonValue::UInt;
         match self {
-            JournalEvent::BatchSealed { seq, rows, tables } => JsonValue::object([
+            JournalEvent::BatchSealed {
+                seq,
+                rows,
+                tables,
+                lsn,
+                log_bytes,
+            } => JsonValue::object([
                 ("event", JsonValue::from(self.kind())),
                 ("seq", u(*seq)),
                 ("rows", u(*rows)),
                 ("tables", u(*tables)),
+                ("lsn", u(*lsn)),
+                ("log_bytes", u(*log_bytes)),
             ]),
             JournalEvent::CycleStarted { cycle, rows } => JsonValue::object([
                 ("event", JsonValue::from(self.kind())),
@@ -244,6 +256,10 @@ impl JournalEvent {
                 seq: field("seq")?,
                 rows: field("rows")?,
                 tables: field("tables")?,
+                // Lenient: journals written before the durability layer
+                // (or with it off) simply lack the log position.
+                lsn: v.get("lsn").and_then(JsonValue::as_u64).unwrap_or(0),
+                log_bytes: v.get("log_bytes").and_then(JsonValue::as_u64).unwrap_or(0),
             },
             "cycle_started" => JournalEvent::CycleStarted {
                 cycle: field("cycle")?,
@@ -619,6 +635,8 @@ mod tests {
                 seq: cycle,
                 rows: 100,
                 tables: 1,
+                lsn: cycle,
+                log_bytes: 96,
             },
             JournalEvent::CycleStarted { cycle, rows: 100 },
             JournalEvent::PropagateStep {
@@ -679,6 +697,8 @@ mod tests {
                 seq,
                 rows: 1,
                 tables: 1,
+                lsn: 0,
+                log_bytes: 0,
             });
         }
         assert_eq!(j.len(), 3);

@@ -1,0 +1,360 @@
+//! Binary encoding of change batches — the commitlog's record payload.
+//!
+//! The durability layer appends every sealed [`ChangeBatch`] to an
+//! append-only log, so the batch needs a compact, deterministic byte form
+//! that round-trips *exactly* (bit-for-bit floats, NULLs, interned
+//! strings, dates). CSV cannot do that job: it is schema-directed and
+//! lossy about type tags, while a log record must be self-describing.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! batch    := u32 delta_count , delta*
+//! delta    := str table_name , rows insertions , rows deletions
+//! rows     := u32 row_count , row*
+//! row      := u32 arity , value*
+//! value    := 0x00                        NULL
+//!           | 0x01 i64                    Int
+//!           | 0x02 u64 (f64 bit pattern)  Float
+//!           | 0x03 str                    Str
+//!           | 0x04 i32                    Date (days since epoch)
+//! str      := u32 byte_len , utf8 bytes
+//! ```
+//!
+//! Floats are carried as raw bit patterns, so NaN payloads and `-0.0`
+//! survive unchanged — the log replays to byte-identical tables.
+//!
+//! [`decode_batch`] never panics on hostile input: every failure is a
+//! [`DecodeError`] carrying the byte offset where decoding stopped making
+//! sense, which the commitlog folds into its corruption reports.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::delta::{ChangeBatch, DeltaSet};
+use crate::row::Row;
+use crate::value::{Date, Value};
+
+/// A malformed byte sequence handed to [`decode_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset (into the encoded payload) where decoding failed.
+    pub offset: usize,
+    /// What was wrong there.
+    pub detail: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "corrupt batch encoding at byte {}: {}", self.offset, self.detail)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_NULL: u8 = 0x00;
+const TAG_INT: u8 = 0x01;
+const TAG_FLOAT: u8 = 0x02;
+const TAG_STR: u8 = 0x03;
+const TAG_DATE: u8 = 0x04;
+
+/// FNV-1a 64-bit hash — the commitlog's record checksum. Not
+/// cryptographic; it detects torn writes and bit rot, which is all a
+/// single-writer log needs, and it costs no dependency.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_str(out, s);
+        }
+        Value::Date(Date(d)) => {
+            out.push(TAG_DATE);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+    }
+}
+
+fn put_rows(out: &mut Vec<u8>, rows: &[Row]) {
+    put_u32(out, rows.len() as u32);
+    for row in rows {
+        put_u32(out, row.arity() as u32);
+        for v in row.iter() {
+            put_value(out, v);
+        }
+    }
+}
+
+/// Serializes a batch into the commitlog payload format described in the
+/// module docs. Deterministic: the same batch always yields the same
+/// bytes.
+pub fn encode_batch(batch: &ChangeBatch) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * batch.len().max(1));
+    put_u32(&mut out, batch.deltas.len() as u32);
+    for delta in &batch.deltas {
+        put_str(&mut out, &delta.table);
+        put_rows(&mut out, &delta.insertions);
+        put_rows(&mut out, &delta.deletions);
+    }
+    out
+}
+
+/// Cursor over an encoded payload; every read is bounds-checked and
+/// reports its offset on failure.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn fail<T>(&self, detail: impl Into<String>) -> Result<T, DecodeError> {
+        Err(DecodeError {
+            offset: self.pos,
+            detail: detail.into(),
+        })
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        match self.bytes.get(self.pos..self.pos + n) {
+            Some(slice) => {
+                self.pos += n;
+                Ok(slice)
+            }
+            None => self.fail(format!(
+                "need {n} bytes but only {} remain",
+                self.bytes.len() - self.pos
+            )),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<&'a str, DecodeError> {
+        let len = self.u32()? as usize;
+        let start = self.pos;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).map_err(|e| DecodeError {
+            offset: start,
+            detail: format!("invalid UTF-8 in string: {e}"),
+        })
+    }
+
+    /// Guards a declared element count against the bytes actually left:
+    /// every element needs at least `min_bytes`, so a count larger than
+    /// `remaining / min_bytes` is corrupt — reject it *before* allocating.
+    fn count(&mut self, what: &str, min_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.u32()? as usize;
+        let cap = (self.bytes.len() - self.pos) / min_bytes.max(1);
+        if n > cap {
+            return self.fail(format!("{what} count {n} exceeds remaining input"));
+        }
+        Ok(n)
+    }
+
+    fn value(&mut self) -> Result<Value, DecodeError> {
+        let tag_at = self.pos;
+        Ok(match self.u8()? {
+            TAG_NULL => Value::Null,
+            TAG_INT => Value::Int(self.i64()?),
+            TAG_FLOAT => Value::Float(f64::from_bits(self.u64()?)),
+            TAG_STR => Value::Str(Arc::from(self.str()?)),
+            TAG_DATE => Value::Date(Date(self.i32()?)),
+            tag => {
+                return Err(DecodeError {
+                    offset: tag_at,
+                    detail: format!("unknown value tag 0x{tag:02x}"),
+                })
+            }
+        })
+    }
+
+    fn rows(&mut self) -> Result<Vec<Row>, DecodeError> {
+        // A row is at least the 4-byte arity.
+        let n = self.count("row", 4)?;
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            // A value is at least its 1-byte tag.
+            let arity = self.count("value", 1)?;
+            let mut vals = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                vals.push(self.value()?);
+            }
+            rows.push(Row::new(vals));
+        }
+        Ok(rows)
+    }
+}
+
+/// Deserializes a payload written by [`encode_batch`]. Trailing bytes
+/// after the batch are corruption (the commitlog frames records with
+/// exact lengths).
+pub fn decode_batch(bytes: &[u8]) -> Result<ChangeBatch, DecodeError> {
+    let mut r = Reader { bytes, pos: 0 };
+    // A delta is at least: 4-byte name length + two 4-byte row counts.
+    let n = r.count("delta", 12)?;
+    let mut deltas = Vec::with_capacity(n);
+    for _ in 0..n {
+        let table = r.str()?.to_string();
+        let insertions = r.rows()?;
+        let deletions = r.rows()?;
+        deltas.push(DeltaSet {
+            table,
+            insertions,
+            deletions,
+        });
+    }
+    if r.pos != bytes.len() {
+        return r.fail(format!("{} trailing bytes after batch", bytes.len() - r.pos));
+    }
+    Ok(ChangeBatch { deltas })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn tricky_batch() -> ChangeBatch {
+        let mut b = ChangeBatch::new();
+        b.add(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![
+                row![1i64, 2.5f64, "plain", Date(10000)],
+                Row::new(vec![
+                    Value::Null,
+                    Value::Float(-0.0),
+                    Value::str("comma, \"quote\"\nnewline"),
+                    Value::Float(f64::NAN),
+                ]),
+            ],
+            deletions: vec![row![i64::MIN, f64::MAX, "", Date(-1)]],
+        });
+        b.add(DeltaSet::insertions("stores", vec![row![9i64]]));
+        b.add(DeltaSet::new("empty_table"));
+        b
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let batch = tricky_batch();
+        let bytes = encode_batch(&batch);
+        let back = decode_batch(&bytes).unwrap();
+        assert_eq!(back.deltas.len(), batch.deltas.len());
+        for (a, b) in batch.deltas.iter().zip(&back.deltas) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn nan_bits_survive() {
+        // A non-canonical NaN payload must round-trip bit-for-bit.
+        let weird = f64::from_bits(0x7ff8_0000_dead_beef);
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "t",
+            vec![Row::new(vec![Value::Float(weird)])],
+        ));
+        let back = decode_batch(&encode_batch(&batch)).unwrap();
+        match &back.deltas[0].insertions[0][0] {
+            Value::Float(f) => assert_eq!(f.to_bits(), weird.to_bits()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let bytes = encode_batch(&ChangeBatch::new());
+        assert_eq!(bytes, vec![0, 0, 0, 0]);
+        assert!(decode_batch(&bytes).unwrap().deltas.is_empty());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(encode_batch(&tricky_batch()), encode_batch(&tricky_batch()));
+    }
+
+    #[test]
+    fn truncation_reports_offset() {
+        let bytes = encode_batch(&tricky_batch());
+        for cut in [0, 1, 3, 7, bytes.len() / 2, bytes.len() - 1] {
+            let err = decode_batch(&bytes[..cut]).unwrap_err();
+            assert!(err.offset <= cut, "offset {} past cut {cut}", err.offset);
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = encode_batch(&tricky_batch());
+        bytes.push(0xff);
+        let err = decode_batch(&bytes).unwrap_err();
+        assert!(err.detail.contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // Claims u32::MAX deltas with no payload behind the claim.
+        let err = decode_batch(&u32::MAX.to_le_bytes()).unwrap_err();
+        assert!(err.detail.contains("count"), "{err}");
+        // Unknown tag.
+        let mut bytes = Vec::new();
+        put_u32(&mut bytes, 1); // one delta
+        put_str(&mut bytes, "t");
+        put_u32(&mut bytes, 1); // one insertion
+        put_u32(&mut bytes, 1); // arity 1
+        bytes.push(0x7f); // bogus tag
+        put_u32(&mut bytes, 0); // deletions
+        let err = decode_batch(&bytes).unwrap_err();
+        assert!(err.detail.contains("tag"), "{err}");
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

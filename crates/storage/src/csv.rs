@@ -3,7 +3,10 @@
 //! Warehouses ingest flat files; this module reads and writes a simple CSV
 //! dialect (comma-separated, double-quote quoting with `""` escapes, one
 //! header row) typed against a [`Schema`]. The empty unquoted field is
-//! NULL; dates use `YYYY-MM-DD`.
+//! NULL; dates use `YYYY-MM-DD`. Blank lines are tolerated as spacers in
+//! schemas of two or more columns; in single-column schemas a blank line
+//! *is* a record (a NULL row serializes to exactly that), so every row —
+//! including NULLs and whitespace-only strings — round-trips.
 
 use std::fmt::Write as _;
 
@@ -17,16 +20,20 @@ use crate::DataType;
 /// One parsed CSV record: raw fields with a `was_quoted` flag each.
 type RawRecord = Vec<(String, bool)>;
 
-/// Finishes the record under construction. Whitespace-only unquoted
-/// single-field records (blank lines) are dropped, matching the loader's
-/// historical tolerance for trailing newlines and spacer lines.
+/// Finishes the record under construction. Unless `keep_blank` is set,
+/// whitespace-only unquoted single-field records (blank lines) are
+/// dropped, matching the loader's historical tolerance for trailing
+/// newlines and spacer lines. Single-column schemas must keep them: a row
+/// whose only field is NULL serializes to exactly a blank line, so
+/// dropping blanks silently loses the row on the way back in.
 fn flush_record(
     records: &mut Vec<RawRecord>,
     fields: &mut RawRecord,
     cur: &mut String,
     quoted: &mut bool,
+    keep_blank: bool,
 ) {
-    if fields.is_empty() && !*quoted && cur.trim().is_empty() {
+    if !keep_blank && fields.is_empty() && !*quoted && cur.trim().is_empty() {
         cur.clear();
         return;
     }
@@ -37,13 +44,20 @@ fn flush_record(
 /// Splits CSV text into records of raw fields. Quote-aware across line
 /// breaks: a quoted field may contain commas, `""`-escaped quotes, and
 /// embedded `\n`/`\r` — records are terminated only by `\n` or `\r\n`
-/// *outside* quotes (a lone `\r` is field data).
-fn split_records(text: &str) -> StorageResult<Vec<RawRecord>> {
+/// *outside* quotes (a lone `\r` is field data). A missing final newline
+/// is tolerated: the last record is flushed at end of input iff anything
+/// of it was seen (so a trailing newline never fabricates a blank record,
+/// even with `keep_blank`).
+fn split_records(text: &str, keep_blank: bool) -> StorageResult<Vec<RawRecord>> {
     let mut records = Vec::new();
     let mut fields: RawRecord = Vec::new();
     let mut cur = String::new();
     let mut quoted = false;
     let mut in_quotes = false;
+    // Whether any character of the current record has been consumed since
+    // the last record terminator — distinguishes "line ended here" (flush,
+    // possibly blank) from "input ended cleanly" (nothing to flush).
+    let mut pending = false;
     let mut chars = text.chars().peekable();
     while let Some(c) = chars.next() {
         if in_quotes {
@@ -60,17 +74,26 @@ fn split_records(text: &str) -> StorageResult<Vec<RawRecord>> {
                 '"' if cur.is_empty() => {
                     in_quotes = true;
                     quoted = true;
+                    pending = true;
                 }
                 ',' => {
                     fields.push((std::mem::take(&mut cur), quoted));
                     quoted = false;
+                    pending = true;
                 }
                 '\r' if chars.peek() == Some(&'\n') => {
                     chars.next();
-                    flush_record(&mut records, &mut fields, &mut cur, &mut quoted);
+                    flush_record(&mut records, &mut fields, &mut cur, &mut quoted, keep_blank);
+                    pending = false;
                 }
-                '\n' => flush_record(&mut records, &mut fields, &mut cur, &mut quoted),
-                other => cur.push(other),
+                '\n' => {
+                    flush_record(&mut records, &mut fields, &mut cur, &mut quoted, keep_blank);
+                    pending = false;
+                }
+                other => {
+                    cur.push(other);
+                    pending = true;
+                }
             }
         }
     }
@@ -79,7 +102,9 @@ fn split_records(text: &str) -> StorageResult<Vec<RawRecord>> {
             "unterminated quote in CSV text".into(),
         ));
     }
-    flush_record(&mut records, &mut fields, &mut cur, &mut quoted);
+    if pending {
+        flush_record(&mut records, &mut fields, &mut cur, &mut quoted, keep_blank);
+    }
     Ok(records)
 }
 
@@ -120,7 +145,12 @@ fn parse_field(raw: &str, quoted: bool, ty: DataType, column: &str) -> StorageRe
 /// Parses CSV text (header row required, column order must match the
 /// schema) into rows.
 pub fn parse_csv(schema: &Schema, text: &str) -> StorageResult<Vec<Row>> {
-    let mut records = split_records(text)?.into_iter();
+    // Single-column tables serialize a NULL row as a blank line, so blank
+    // records are real data there; wider schemas keep the historical
+    // spacer-line tolerance (a blank line can never be a valid record of
+    // arity >= 2).
+    let keep_blank = schema.arity() == 1;
+    let mut records = split_records(text, keep_blank)?.into_iter();
     let header = records
         .next()
         .ok_or_else(|| StorageError::MissingRow("CSV has no header row".into()))?;
@@ -172,9 +202,12 @@ pub fn to_csv(table: &Table) -> String {
                 Value::Null => {}
                 Value::Str(s) => {
                     // Quote anything ambiguous: separators, quotes, line
-                    // breaks (which would otherwise split the record), and
-                    // the empty string (unquoted-empty means NULL).
-                    if s.is_empty() || s.contains([',', '"', '\n', '\r']) {
+                    // breaks (which would otherwise split the record), the
+                    // empty string (unquoted-empty means NULL), and
+                    // whitespace-only strings (which would otherwise be
+                    // mistaken for a blank spacer line in single-column
+                    // tables).
+                    if s.trim().is_empty() || s.contains([',', '"', '\n', '\r']) {
                         let _ = write!(out, "\"{}\"", s.replace('"', "\"\""));
                     } else {
                         out.push_str(s);
@@ -314,5 +347,55 @@ mod tests {
     fn unterminated_quote_rejected() {
         let csv = "id,name,day,qty,price\n1,\"open,1997-01-01,2,1.0\n";
         assert!(parse_csv(&schema(), csv).is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrips_to_zero_rows() {
+        let t = Table::new("t", schema());
+        let csv = to_csv(&t);
+        let mut back = Table::new("t2", schema());
+        assert_eq!(load_csv(&mut back, &csv).unwrap(), 0);
+        assert!(back.is_empty());
+        // Same for a single-column schema: the trailing newline after the
+        // header must not fabricate a phantom NULL row.
+        let one = Schema::new(vec![Column::nullable("a", DataType::Int)]);
+        let t1 = Table::new("t", one.clone());
+        let mut back1 = Table::new("t2", one);
+        assert_eq!(load_csv(&mut back1, &to_csv(&t1)).unwrap(), 0);
+        assert!(back1.is_empty());
+    }
+
+    #[test]
+    fn single_column_null_row_roundtrips() {
+        // A NULL in a one-column table serializes to a blank line; it used
+        // to be dropped as a spacer line on the way back in.
+        let one = Schema::new(vec![Column::nullable("a", DataType::Int)]);
+        let mut t = Table::new("t", one.clone());
+        t.insert(Row::new(vec![Value::Null])).unwrap();
+        t.insert(row![7i64]).unwrap();
+        t.insert(Row::new(vec![Value::Null])).unwrap();
+        let mut back = Table::new("t2", one);
+        assert_eq!(load_csv(&mut back, &to_csv(&t)).unwrap(), 3);
+        assert_eq!(back.to_rows(), t.to_rows());
+    }
+
+    #[test]
+    fn single_column_whitespace_string_roundtrips() {
+        // Whitespace-only strings are now written quoted, so they survive
+        // the blank-line tolerance.
+        let one = Schema::new(vec![Column::new("a", DataType::Str)]);
+        let mut t = Table::new("t", one.clone());
+        t.insert(row!["  "]).unwrap();
+        t.insert(row![" x "]).unwrap();
+        let mut back = Table::new("t2", one);
+        assert_eq!(load_csv(&mut back, &to_csv(&t)).unwrap(), 2);
+        assert_eq!(back.to_rows(), t.to_rows());
+    }
+
+    #[test]
+    fn blank_spacer_lines_still_tolerated_in_wide_schemas() {
+        let csv = "id,name,day,qty,price\n\n7,juice,1997-01-31,,0.8\n   \n";
+        let rows = parse_csv(&schema(), csv).unwrap();
+        assert_eq!(rows.len(), 1);
     }
 }

@@ -22,6 +22,7 @@
 //!   change a warehouse receives during the day and applies in the nightly
 //!   batch window.
 
+pub mod binenc;
 pub mod catalog;
 pub mod csv;
 pub mod datatype;
@@ -34,6 +35,7 @@ pub mod shard;
 pub mod table;
 pub mod value;
 
+pub use binenc::{decode_batch, encode_batch, fnv1a_64, DecodeError};
 pub use csv::{load_csv, parse_csv, to_csv};
 pub use catalog::{Catalog, DimensionInfo, ForeignKey, FunctionalDependency, TableRole};
 pub use datatype::DataType;

@@ -54,6 +54,7 @@
 //! wh.check_consistency().unwrap();
 //! ```
 
+pub mod durability;
 pub mod persist;
 
 pub use cubedelta_core as core;
@@ -67,10 +68,11 @@ pub use cubedelta_view as view;
 pub use cubedelta_workload as workload;
 
 pub use cubedelta_core::{
-    AggQuery, CubeBudget, CubeSpec, ExecutionMetrics, Health, Journal, JournalEvent,
+    AggQuery, BatchPolicy, CubeBudget, CubeSpec, ExecutionMetrics, Health, Journal, JournalEvent,
     MaintainOptions, MaintenanceReport, MetricsRegistry, RefreshOptions, RefreshStats, SloPolicy,
     ViewReport, Warehouse, WarehouseService,
 };
+pub use durability::{recover_warehouse, start_durable, DurableStart, Recovery, RecoveryReport};
 pub use cubedelta_lattice::ViewLattice;
 pub use cubedelta_sql::SqlWarehouse;
 pub use cubedelta_view::SummaryViewDef;

@@ -13,6 +13,37 @@
 //! every view is re-created (and rematerialized) from its SQL — summary
 //! tables are derived state, so persisting their *definitions* suffices and
 //! keeps the format trivially auditable.
+//!
+//! ## `schema.txt` grammar
+//!
+//! One record per line, fields separated by `|`, no escaping (table and
+//! column names must not contain `|` or newlines). Blank lines are
+//! ignored. Five record kinds:
+//!
+//! ```text
+//! table|<name>|<role>                 role ∈ {fact, dimension}
+//! column|<table>|<name>|<type>|<null> type ∈ {int, float, str, date},
+//!                                     null ∈ {null, notnull}
+//! dimkey|<table>|<key>                dimension table's key column
+//! fd|<table>|<det>|<dep1,dep2,...>    functional dependency det → deps
+//! fk|<fact>|<fcol>|<dim>|<dkey>       foreign key fact.fcol → dim.dkey
+//! ```
+//!
+//! Ordering rules: `column` records follow their `table` record (grouping
+//! is by the table-name field, so interleaving is tolerated); an `fd`
+//! must come after its table's `dimkey`; `fk` records may appear
+//! anywhere. Any other line shape is a [`PersistError::Manifest`].
+//!
+//! ## Snapshots
+//!
+//! The durability layer ([`crate::durability`]) needs more than
+//! `save_warehouse`: recovery must reproduce summary tables *byte for
+//! byte*, including physical row order, and rematerialization only
+//! guarantees the right contents. [`save_snapshot`] therefore writes a
+//! `save_warehouse` directory plus `summary/<view>.csv` with each summary
+//! table's materialized rows; [`load_snapshot`] rebuilds the warehouse
+//! and then overwrites each summary table's contents from those files,
+//! restoring the exact physical layout.
 
 use std::fs;
 use std::io::Write as _;
@@ -24,6 +55,9 @@ use cubedelta_storage::{
     load_csv, to_csv, Column, DataType, DimensionInfo, FunctionalDependency, Schema, TableRole,
 };
 
+/// Subdirectory of a snapshot holding materialized summary-table rows.
+const SUMMARY_SUBDIR: &str = "summary";
+
 /// Errors from saving or loading a warehouse directory.
 #[derive(Debug)]
 pub enum PersistError {
@@ -33,6 +67,14 @@ pub enum PersistError {
     Manifest(String),
     /// An engine error while rebuilding.
     Engine(String),
+    /// A checksum or framing failure in a durability artifact (commitlog
+    /// frame, `MANIFEST`), with the byte offset where validation failed.
+    Corrupt {
+        /// Byte offset into the corrupt file.
+        offset: u64,
+        /// What failed to validate there.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -41,6 +83,9 @@ impl std::fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io: {e}"),
             PersistError::Manifest(m) => write!(f, "manifest: {m}"),
             PersistError::Engine(m) => write!(f, "engine: {m}"),
+            PersistError::Corrupt { offset, detail } => {
+                write!(f, "corrupt at byte {offset}: {detail}")
+            }
         }
     }
 }
@@ -257,6 +302,69 @@ pub fn load_warehouse(dir: &Path) -> Result<Warehouse, PersistError> {
     Ok(wh)
 }
 
+/// Writes a recovery snapshot: a [`save_warehouse`] directory plus the
+/// materialized rows of every summary table under `summary/`, then
+/// fsyncs every file so the snapshot is durable before the commitlog
+/// manifest flips to it.
+pub fn save_snapshot(wh: &Warehouse, dir: &Path) -> Result<(), PersistError> {
+    save_warehouse(wh, dir)?;
+    let sdir = dir.join(SUMMARY_SUBDIR);
+    fs::create_dir_all(&sdir)?;
+    for view in wh.views() {
+        let table = wh
+            .catalog()
+            .table(&view.def.name)
+            .map_err(CoreError::from)?;
+        fs::write(sdir.join(format!("{}.csv", view.def.name)), to_csv(table))?;
+    }
+    sync_tree(dir)?;
+    Ok(())
+}
+
+/// Restores a [`save_snapshot`] directory. After the usual
+/// [`load_warehouse`] rebuild, each summary table's rows are replaced
+/// with the snapshot's materialized contents, so the physical layout
+/// (row order, hence CSV bytes) matches the warehouse that wrote the
+/// snapshot exactly. A directory written by plain [`save_warehouse`]
+/// (no `summary/`) loads too, with rematerialized contents.
+pub fn load_snapshot(dir: &Path) -> Result<Warehouse, PersistError> {
+    let mut wh = load_warehouse(dir)?;
+    let sdir = dir.join(SUMMARY_SUBDIR);
+    if !sdir.is_dir() {
+        return Ok(wh);
+    }
+    let names: Vec<String> = wh.views().iter().map(|v| v.def.name.clone()).collect();
+    for name in names {
+        let csv = fs::read_to_string(sdir.join(format!("{name}.csv")))?;
+        let table = wh.catalog_mut().table_mut(&name).map_err(CoreError::from)?;
+        table.truncate();
+        load_csv(table, &csv).map_err(|e| PersistError::Engine(e.to_string()))?;
+    }
+    Ok(wh)
+}
+
+/// Fsyncs every regular file under `dir` (one level of subdirectories —
+/// the snapshot layout is flat plus `summary/`), then the directories
+/// themselves.
+fn sync_tree(dir: &Path) -> Result<(), PersistError> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            for sub in fs::read_dir(&path)? {
+                let sub = sub?.path();
+                if sub.is_file() {
+                    fs::File::open(&sub)?.sync_data()?;
+                }
+            }
+            fs::File::open(&path)?.sync_data()?;
+        } else if path.is_file() {
+            fs::File::open(&path)?.sync_data()?;
+        }
+    }
+    fs::File::open(dir)?.sync_data()?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +444,35 @@ mod tests {
             deletions: vec![row![1i64, 10i64, Date(10000), 5i64, 1.0]],
         });
         restored.maintain(&batch, &MaintainOptions::default()).unwrap();
+        restored.check_consistency().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_restores_physical_row_order() {
+        // Maintain a couple of batches so the summary tables' physical
+        // order reflects incremental refresh (insertions appended, not
+        // the order a rematerialization would produce), then prove the
+        // snapshot brings back that exact layout.
+        let mut wh = sample_warehouse();
+        for seed in [7i64, 2, 9, 4] {
+            let batch = ChangeBatch::single(DeltaSet::insertions(
+                "pos",
+                vec![row![(seed % 3) + 1, 10i64 * ((seed % 3) + 1), Date(10000 + seed as i32), seed, 0.5]],
+            ));
+            wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        }
+        let dir = tempdir("snapshot");
+        save_snapshot(&wh, &dir).unwrap();
+        let restored = load_snapshot(&dir).unwrap();
+        for v in wh.views() {
+            let name = &v.def.name;
+            assert_eq!(
+                restored.catalog().table(name).unwrap().to_rows(),
+                wh.catalog().table(name).unwrap().to_rows(),
+                "{name} physical layout differs"
+            );
+        }
         restored.check_consistency().unwrap();
         fs::remove_dir_all(&dir).unwrap();
     }

@@ -1,0 +1,191 @@
+//! Precise error variants (never panics) from `cubedelta::persist` and
+//! the durability layer when fed hand-mangled directories: every broken
+//! input maps to the right `PersistError` arm with a useful message.
+
+mod common;
+
+use std::fs;
+use std::path::PathBuf;
+
+use common::small_warehouse;
+use cubedelta::durability::recover_warehouse;
+use cubedelta::persist::{load_warehouse, save_warehouse, PersistError};
+use cubedelta::MaintainOptions;
+
+fn mangled_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "cubedelta_persist_errors_{tag}_{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    save_warehouse(&small_warehouse(), &dir).unwrap();
+    dir
+}
+
+#[test]
+fn missing_view_sql_line_is_engine_error() {
+    let dir = mangled_dir("badview");
+    // Chop the first view statement in half: the prefix of a valid CREATE
+    // VIEW is not a valid statement.
+    let views = fs::read_to_string(dir.join("views.sql")).unwrap();
+    let first = views.lines().next().unwrap();
+    let truncated = &first[..first.len() / 2];
+    fs::write(dir.join("views.sql"), format!("{truncated}\n")).unwrap();
+    match load_warehouse(&dir) {
+        Err(PersistError::Engine(msg)) => {
+            assert!(!msg.is_empty(), "engine error should explain the parse failure")
+        }
+        Err(other) => panic!("expected Engine, got {other:?}"),
+        Ok(_) => panic!("a mangled views.sql must not load"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_csv_is_engine_error() {
+    let dir = mangled_dir("trunccsv");
+    // Cut the fact table's CSV mid-row, at the final record's last
+    // separator: that record no longer matches the schema's arity.
+    let csv = fs::read_to_string(dir.join("pos.csv")).unwrap();
+    let cut = csv.rfind(',').expect("fixture fact table has rows");
+    fs::write(dir.join("pos.csv"), &csv[..cut]).unwrap();
+    match load_warehouse(&dir) {
+        Err(PersistError::Engine(msg)) => {
+            assert!(!msg.is_empty(), "engine error should name the bad record")
+        }
+        Err(other) => panic!("expected Engine, got {other:?}"),
+        Ok(_) => panic!("a truncated CSV must not load"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bad_foreign_key_is_engine_error() {
+    let dir = mangled_dir("badfk");
+    let mut schema = fs::read_to_string(dir.join("schema.txt")).unwrap();
+    schema.push_str("fk|pos|storeID|warehouses|warehouseID\n");
+    fs::write(dir.join("schema.txt"), schema).unwrap();
+    match load_warehouse(&dir) {
+        Err(PersistError::Engine(msg)) => {
+            assert!(msg.contains("warehouses"), "should name the missing table: {msg}")
+        }
+        Err(other) => panic!("expected Engine, got {other:?}"),
+        Ok(_) => panic!("an FK to a nonexistent table must not load"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_table_csv_is_io_error() {
+    let dir = mangled_dir("nocsv");
+    fs::remove_file(dir.join("stores.csv")).unwrap();
+    assert!(matches!(load_warehouse(&dir), Err(PersistError::Io(_))));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_schema_lines_are_manifest_errors() {
+    for (tag, line, expect) in [
+        ("badrole", "table|ghost|starring", "role"),
+        ("badtype", "column|pos|ghost|complex|null", "type"),
+        ("badnull", "column|pos|ghost|int|maybe", "nullability"),
+        ("fdfirst", "fd|ghostdim|k|a,b", "dimkey"),
+        ("shape", "telephone|pos", "line"),
+    ] {
+        let dir = mangled_dir(tag);
+        let mut schema = fs::read_to_string(dir.join("schema.txt")).unwrap();
+        schema.push_str(line);
+        schema.push('\n');
+        fs::write(dir.join("schema.txt"), schema).unwrap();
+        match load_warehouse(&dir) {
+            Err(PersistError::Manifest(msg)) => assert!(
+                !msg.is_empty(),
+                "{tag}: manifest error should describe the bad {expect}"
+            ),
+            Err(other) => panic!("{tag}: expected Manifest, got {other:?}"),
+            Ok(_) => panic!("{tag}: mangled schema.txt must not load"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn garbled_commitlog_manifest_is_corrupt_error() {
+    let dir = mangled_dir("badmanifest");
+    fs::write(dir.join("MANIFEST"), "snapshot_lsn=banana\n").unwrap();
+    match recover_warehouse(&dir, &MaintainOptions::default()) {
+        Err(PersistError::Corrupt { detail, .. }) => {
+            assert!(detail.contains("manifest"), "{detail}")
+        }
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("a garbled MANIFEST must not recover"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interior_commitlog_corruption_is_corrupt_error_with_offset() {
+    use cubedelta::core::{BatchPolicy, CommitLog};
+    use cubedelta::durability::start_durable;
+    use cubedelta::storage::DeltaSet;
+    use std::time::Duration;
+
+    let dir = std::env::temp_dir().join(format!(
+        "cubedelta_persist_errors_corruptlog_{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+
+    // Write a real two-frame log through the service, crash-style (no
+    // clean-shutdown compaction): poison the second cycle so the log
+    // keeps both frames.
+    {
+        use cubedelta::core::multi::failpoints;
+        let svc = start_durable(
+            small_warehouse(),
+            BatchPolicy {
+                max_rows: 1,
+                max_batches: 2,
+                flush_interval: Duration::from_millis(2),
+            },
+            MaintainOptions::default(),
+            &dir,
+            0,
+        )
+        .unwrap()
+        .service;
+        svc.ingest(DeltaSet::insertions("pos", vec![common::synth_pos_row(1)]))
+            .unwrap();
+        svc.flush().unwrap();
+        failpoints::arm_refresh_panic("SID_sales");
+        svc.ingest(DeltaSet::insertions("pos", vec![common::synth_pos_row(2)]))
+            .unwrap();
+        let _ = svc.flush();
+        drop(svc.shutdown());
+        failpoints::disarm_all();
+    }
+
+    // Flip a byte inside frame 1's payload. Frame 2 stays valid behind
+    // it, so this is interior corruption, not a torn tail.
+    let log_path = dir.join("commit.log");
+    let mut bytes = fs::read(&log_path).unwrap();
+    assert!(bytes.len() > 40, "two frames on disk");
+    bytes[20] ^= 0xff;
+    fs::write(&log_path, &bytes).unwrap();
+
+    match CommitLog::open(&dir) {
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(msg.contains("byte 0"), "offset should point at frame 1: {msg}");
+        }
+        Ok(_) => panic!("interior corruption must not open"),
+    }
+    match recover_warehouse(&dir, &MaintainOptions::default()) {
+        Err(PersistError::Corrupt { offset, detail }) => {
+            assert_eq!(offset, 0, "corruption starts at frame 1: {detail}");
+        }
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("a corrupt commitlog must not recover"),
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
