@@ -21,6 +21,15 @@
 //! file is flushed with `sync_data` *before* the seal is acknowledged, so
 //! every batch a caller has been told is accepted survives power loss.
 //!
+//! [`CommitLog::open`] seeds the LSN counter from **both** the scanned
+//! frames and the `MANIFEST` in the same directory: after a clean
+//! shutdown the final snapshot + compaction empties the log, and a
+//! restart that restarted LSNs at 1 would collide with LSNs the snapshot
+//! already covers — recovery skips `lsn <= snapshot_lsn`, so the new
+//! incarnation's acknowledged batches would be silently dropped. The
+//! next LSN is therefore `max(last scanned, snapshot_lsn,
+//! last_applied_lsn) + 1`.
+//!
 //! ## Torn tails vs. corruption
 //!
 //! On reopen the log is scanned front to back. A frame that fails its
@@ -28,7 +37,17 @@
 //! the expected residue of a crash mid-append. It is truncated away with a
 //! logged warning, never an error. The same failure *followed by more
 //! frames* cannot be a torn write and is reported as
-//! [`CommitLogError::Corrupt`] with the byte offset.
+//! [`CommitLogError::Corrupt`] with the byte offset. Two refinements:
+//!
+//! * The search for "more frames" after a failure resynchronizes within a
+//!   bounded window ([`RESYNC_WINDOW`]) past the failure point — a real
+//!   torn write extends at most one frame, so an unbounded scan would only
+//!   turn pathological inputs into O(n²) open times.
+//! * A tail frame whose LSN the manifest records as *applied*
+//!   (`lsn <= last_applied_lsn`) cannot be a torn write either — it was
+//!   fully written, fsync'd, and its cycle committed — so its loss is
+//!   media corruption and reported as [`CommitLogError::Corrupt`], never
+//!   silently truncated.
 //!
 //! ## Manifest and compaction
 //!
@@ -51,6 +70,12 @@ const HEADER: usize = 12;
 /// Payloads larger than this are implausible and treated as corruption
 /// (protects the scanner from allocating on a garbage length field).
 const MAX_PAYLOAD: u32 = 1 << 30;
+/// How far past a failed frame the reopen scan looks for a valid frame
+/// chain before classifying the failure as a torn tail. A torn write
+/// extends at most one in-flight frame, so any genuinely interior
+/// corruption has its next valid frame well inside this window; the cap
+/// keeps classification linear instead of O(n²) on multi-GB logs.
+const RESYNC_WINDOW: usize = 16 << 20;
 
 pub const LOG_FILE: &str = "commit.log";
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -225,6 +250,10 @@ impl CommitLog {
     /// interior corruption is a hard error.
     pub fn open(dir: &Path) -> Result<(CommitLog, OpenReport), CommitLogError> {
         fs::create_dir_all(dir)?;
+        // The manifest floors the LSN counter (a compacted-empty log must
+        // not restart at 1) and identifies applied frames for the
+        // torn-vs-corrupt classification below.
+        let manifest = Manifest::load(dir)?.unwrap_or_default();
         let path = dir.join(LOG_FILE);
         let mut file = OpenOptions::new()
             .read(true)
@@ -254,8 +283,28 @@ impl CommitLog {
 
         let mut torn_bytes_discarded = 0u64;
         if let Some((at, detail)) = torn_at {
+            // A torn write can only hold the frame *after* the last valid
+            // one (or, on a freshly compacted log, the first frame above
+            // the snapshot). If the manifest says that LSN was already
+            // applied, the frame was fully written, fsync'd, and its
+            // cycle committed — the damage is media corruption of
+            // acknowledged data, never a torn tail.
+            let torn_lsn = records
+                .last()
+                .map(|r| r.lsn + 1)
+                .unwrap_or(manifest.snapshot_lsn + 1);
+            if torn_lsn <= manifest.last_applied_lsn {
+                return Err(CommitLogError::Corrupt {
+                    offset: at as u64,
+                    detail: format!(
+                        "frame for lsn {torn_lsn} is invalid but the manifest records it \
+                         as applied (last_applied_lsn={}): {detail}",
+                        manifest.last_applied_lsn
+                    ),
+                });
+            }
             // A failed frame is a torn tail only if nothing valid follows
-            // it. Look for any later offset that parses as a frame chain
+            // it. Look for a later offset that parses as a frame chain
             // reaching EOF; if one exists the failure is interior corruption.
             if Self::valid_suffix_exists(&bytes, at + 1) {
                 return Err(CommitLogError::Corrupt {
@@ -274,7 +323,13 @@ impl CommitLog {
         }
 
         let end = bytes.len() as u64 - torn_bytes_discarded;
-        let next_lsn = records.last().map(|r| r.lsn + 1).unwrap_or(1);
+        let next_lsn = records
+            .last()
+            .map(|r| r.lsn)
+            .unwrap_or(0)
+            .max(manifest.snapshot_lsn)
+            .max(manifest.last_applied_lsn)
+            + 1;
         file.seek(SeekFrom::End(0))?;
         Ok((
             CommitLog {
@@ -314,9 +369,16 @@ impl CommitLog {
 
     /// True if some suffix of `bytes` starting at or after `from` parses
     /// as a valid frame chain that reaches EOF exactly — meaning the
-    /// earlier failure cannot be a torn tail.
+    /// earlier failure cannot be a torn tail. Resynchronization is
+    /// bounded to [`RESYNC_WINDOW`] bytes past `from`: a torn write spans
+    /// at most one frame, so a chain restarting further out than that
+    /// does not exist in practice, and the cap keeps reopen linear.
     fn valid_suffix_exists(bytes: &[u8], from: usize) -> bool {
-        for start in from..bytes.len().saturating_sub(HEADER) {
+        let limit = bytes
+            .len()
+            .saturating_sub(HEADER)
+            .min(from.saturating_add(RESYNC_WINDOW));
+        for start in from..limit {
             let mut pos = start;
             let mut any = false;
             while pos < bytes.len() {
@@ -525,6 +587,66 @@ mod tests {
 
         match CommitLog::open(&dir) {
             Err(CommitLogError::Corrupt { offset, .. }) => assert_eq!(offset, 0),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_seeds_next_lsn_from_manifest_after_compaction() {
+        // A clean shutdown snapshots + compacts the log empty; the next
+        // incarnation must continue above the snapshot's LSN, not restart
+        // at 1 (recovery skips lsn <= snapshot_lsn).
+        let dir = tempdir("seed");
+        Manifest {
+            snapshot_lsn: 9,
+            snapshot_dir: "snapshot-9".into(),
+            last_applied_lsn: 9,
+        }
+        .store(&dir)
+        .unwrap();
+        let (mut log, report) = CommitLog::open(&dir).unwrap();
+        assert!(report.records.is_empty());
+        assert_eq!(log.next_lsn(), 10);
+        let pos = log.append(&batch(1)).unwrap();
+        assert_eq!(pos.lsn, 10);
+        drop(log);
+        // The manifest floor never moves the counter backwards when the
+        // log itself is ahead.
+        let (log, _) = CommitLog::open(&dir).unwrap();
+        assert_eq!(log.next_lsn(), 11);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_applied_frame_is_corruption_not_torn_tail() {
+        // Frame 2 was applied per the manifest, so a checksum failure on
+        // it is bit rot of acknowledged data — a hard error, not a
+        // silently truncated tail.
+        let dir = tempdir("torn_applied");
+        let full_len;
+        {
+            let (mut log, _) = CommitLog::open(&dir).unwrap();
+            log.append(&batch(1)).unwrap();
+            log.append(&batch(2)).unwrap();
+            full_len = log.len_bytes();
+        }
+        Manifest {
+            snapshot_lsn: 0,
+            snapshot_dir: "snapshot-0".into(),
+            last_applied_lsn: 2,
+        }
+        .store(&dir)
+        .unwrap();
+        let path = dir.join(LOG_FILE);
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full_len - 5).unwrap();
+        drop(f);
+
+        match CommitLog::open(&dir) {
+            Err(CommitLogError::Corrupt { detail, .. }) => {
+                assert!(detail.contains("applied"), "{detail}")
+            }
             other => panic!("expected Corrupt, got {other:?}"),
         }
         let _ = fs::remove_dir_all(&dir);

@@ -421,6 +421,14 @@ impl Shared {
         // counted as accepted), a crash must not lose it. A log failure
         // parks the batch and poisons the service — the seal never
         // happened, the rows are surfaced in `unapplied`.
+        //
+        // The append (fsync included) deliberately runs while the queue
+        // lock is held: sealers racing between "append assigned the LSN"
+        // and "push into the sealed queue" could otherwise enqueue out of
+        // LSN order, and recovery replays in LSN order — apply order must
+        // match or byte-identity breaks. The cost is that producers block
+        // for one fsync per sealed batch (the commit unit), which is the
+        // documented group-commit trade-off.
         let mut lsn = None;
         let mut log_bytes = 0u64;
         if let Some(durable) = &self.durable {
@@ -994,6 +1002,14 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
                     if last > d.manifest.snapshot_lsn {
                         d.snapshot_and_compact(&wh, last);
                     }
+                    // The manifest is written lazily during the run; make
+                    // the final `last_applied_lsn` durable even when the
+                    // snapshot was skipped (nothing applied) or failed.
+                    if let Err(e) = d.manifest.store(d.log.dir()) {
+                        eprintln!(
+                            "[cubedelta] warning: final manifest update at lsn {last} failed: {e}"
+                        );
+                    }
                 }
             }
             shared.room.notify_all();
@@ -1015,6 +1031,12 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
         // warehouse has advanced and take a periodic snapshot when due.
         // Both are recovery *optimizations* — replay from the previous
         // snapshot is always correct — so failures warn, never poison.
+        // `last_applied_lsn` is persisted lazily (at snapshots and clean
+        // shutdown, where it equals the snapshot commit), not per batch:
+        // recovery replays from `snapshot_lsn` regardless, so a stale
+        // on-disk value only makes the torn-tail/corruption cross-check
+        // more conservative, and skipping the per-batch manifest rewrite
+        // saves three fsyncs per applied cycle.
         if result.as_ref().is_ok_and(|r| r.is_ok()) {
             if let (Some(durable), Some(lsn)) = (&shared.durable, job.lsn) {
                 wh.set_last_applied_lsn(lsn);
@@ -1024,10 +1046,6 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
                     && lsn >= d.manifest.snapshot_lsn + d.snapshot_every;
                 if due {
                     d.snapshot_and_compact(&wh, lsn);
-                } else if let Err(e) = d.manifest.store(d.log.dir()) {
-                    eprintln!(
-                        "[cubedelta] warning: manifest update at lsn {lsn} failed: {e}"
-                    );
                 }
             }
         }

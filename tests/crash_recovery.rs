@@ -401,6 +401,96 @@ fn service_restart_resumes_from_recovered_state() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+#[test]
+fn restart_after_clean_shutdown_loses_no_new_batches() {
+    // Regression: a clean shutdown snapshots + compacts the log empty, so
+    // the restarted incarnation's LSN counter must be seeded from the
+    // MANIFEST, not the (empty) log — otherwise its batches get LSNs the
+    // snapshot already covers and recovery silently drops them.
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    failpoints::disarm_all();
+    let dir = durable_dir("clean_restart");
+    let opts = MaintainOptions::default();
+    let initial = small_warehouse();
+    let policy = BatchPolicy {
+        max_rows: 1,
+        max_batches: 2,
+        flush_interval: Duration::from_millis(2),
+    };
+
+    // First incarnation: clean shutdown → final snapshot, empty log tail.
+    let svc = start_durable(initial.clone(), policy, opts, &dir, 0)
+        .unwrap()
+        .service;
+    for seed in 0..7u64 {
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+            .unwrap();
+    }
+    svc.flush().unwrap();
+    let first = svc.shutdown();
+    assert!(first.error.is_none());
+    let first_lsns = first.batches_sealed;
+
+    // Second incarnation, with a periodic snapshot cadence that must fire
+    // on the *continued* LSN sequence (lsn >= snapshot_lsn + every).
+    let restarted = start_durable(small_warehouse(), policy, opts, &dir, 2).unwrap();
+    let recovery = restarted.recovery.expect("existing directory recovers");
+    assert_eq!(
+        recovery.replayed_batches, 0,
+        "a clean shutdown leaves nothing to replay"
+    );
+    assert_eq!(recovery.snapshot_lsn, first_lsns);
+    let svc = restarted.service;
+    for seed in 100..103u64 {
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+            .unwrap();
+    }
+    svc.flush().unwrap();
+    let second = svc.shutdown();
+    assert!(second.error.is_none());
+    assert!(second.unapplied.is_empty());
+
+    // Every batch sealed after the restart was assigned an LSN above the
+    // snapshot — the LSNs recovery replays.
+    let sealed_lsns: Vec<u64> = second
+        .warehouse
+        .journal()
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            JournalEvent::BatchSealed { lsn, .. } => Some(*lsn),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(sealed_lsns.len() as u64, second.batches_sealed);
+    assert!(
+        sealed_lsns.iter().all(|&l| l > first_lsns),
+        "restarted incarnation reused LSNs covered by the snapshot: {sealed_lsns:?}"
+    );
+
+    // Recovery lands on the last batch of the second incarnation with
+    // every acknowledged row from both incarnations present.
+    let rec = recover_warehouse(&dir, &opts).unwrap();
+    assert_eq!(
+        rec.warehouse.last_applied_lsn(),
+        Some(first_lsns + second.batches_sealed),
+        "post-restart batches were dropped by recovery"
+    );
+    assert!(
+        rec.report.snapshot_lsn > first_lsns,
+        "the snapshot cadence never fired after the restart (snapshot_lsn={})",
+        rec.report.snapshot_lsn
+    );
+
+    let mut reference = initial.clone();
+    for batch in first.applied.iter().chain(second.applied.iter()) {
+        reference.maintain(batch, &opts).unwrap();
+    }
+    assert_tables_identical(&rec.warehouse, &reference, "clean-shutdown restart");
+    rec.warehouse.check_consistency().unwrap();
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// Environment marker telling the re-exec'd test binary to run the crash
 /// workload (and die by `abort`) instead of the test suite proper.
 const CHILD_ENV: &str = "CUBEDELTA_CRASH_RECOVERY_CHILD";
