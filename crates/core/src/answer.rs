@@ -11,11 +11,11 @@
 use cubedelta_expr::Predicate;
 use cubedelta_lattice::{build_edge_query, derive_child, derives};
 use cubedelta_query::{project, AggFunc, Relation};
-use cubedelta_storage::Column;
+use cubedelta_storage::{Catalog, Column};
 use cubedelta_view::{augment, materialize, AugmentedView, SummaryViewDef};
 
 use crate::error::{CoreError, CoreResult};
-use crate::warehouse::Warehouse;
+use crate::warehouse::{LatticeSnapshot, Warehouse};
 
 /// An ad-hoc aggregate query: one `SELECT-FROM-WHERE-GROUPBY` block over
 /// the star schema, like the views themselves.
@@ -67,9 +67,11 @@ impl AggQuery {
     }
 
     /// Lowers the query to an (unnamed) view definition so the derives
-    /// machinery applies to it.
-    fn as_view_def(&self, wh: &Warehouse) -> CoreResult<SummaryViewDef> {
-        let fact_schema = wh.catalog().table(&self.fact_table)?.schema().clone();
+    /// machinery applies to it. Needs only catalog *metadata* (schemas,
+    /// FKs), so it works against a live warehouse and a frozen snapshot
+    /// alike.
+    fn as_view_def(&self, catalog: &Catalog) -> CoreResult<SummaryViewDef> {
+        let fact_schema = catalog.table(&self.fact_table)?.schema().clone();
         let mut b = SummaryViewDef::builder("__query", &self.fact_table)
             .filter(self.where_clause.clone())
             .group_by(self.group_by.iter().map(String::as_str));
@@ -85,8 +87,7 @@ impl AggQuery {
             if fact_schema.contains(&attr) {
                 continue;
             }
-            let dim = wh
-                .catalog()
+            let dim = catalog
                 .dimension_owning(&self.fact_table, &attr)
                 .ok_or_else(|| {
                     CoreError::Maintenance(format!("unknown query attribute `{attr}`"))
@@ -145,45 +146,77 @@ fn finalize(aug: &AugmentedView, raw: &Relation) -> CoreResult<Relation> {
     Ok(project(raw, &outputs)?)
 }
 
+/// Answers a query from the smallest materialized view it is derivable
+/// from (the §5.1 derives relation), against any catalog + view set —
+/// live warehouse or pinned snapshot. `None` when no view qualifies and
+/// the query would need base-table execution.
+fn answer_from_views(
+    catalog: &Catalog,
+    views: &[AugmentedView],
+    query: &AggQuery,
+) -> CoreResult<Option<Answer>> {
+    let def = query.as_view_def(catalog)?;
+    let q = augment(catalog, &def)?;
+
+    // Candidate views, smallest table first.
+    let mut candidates: Vec<(&AugmentedView, usize)> = views
+        .iter()
+        .filter_map(|v| catalog.table(&v.def.name).ok().map(|t| (v, t.len())))
+        .collect();
+    candidates.sort_by_key(|(v, n)| (*n, v.def.name.clone()));
+
+    for (view, rows) in candidates {
+        if let Some(info) = derives(catalog, &q, view)? {
+            let eq = build_edge_query(catalog, view, &q, &info)?;
+            let source = Relation::from_table(catalog.table(&view.def.name)?);
+            let raw = derive_child(catalog, &source, &eq)?;
+            return Ok(Some(Answer {
+                relation: finalize(&q, &raw)?,
+                answered_from: view.def.name.clone(),
+                rows_scanned: rows,
+            }));
+        }
+    }
+    Ok(None)
+}
+
 impl Warehouse {
     /// Answers an aggregate query, preferring the smallest materialized
     /// summary table it is derivable from.
     pub fn answer(&self, query: &AggQuery) -> CoreResult<Answer> {
-        let def = query.as_view_def(self)?;
-        let q = augment(self.catalog(), &def)?;
-
-        // Candidate views, smallest table first.
-        let mut candidates: Vec<(&AugmentedView, usize)> = self
-            .views()
-            .iter()
-            .filter_map(|v| {
-                self.catalog()
-                    .table(&v.def.name)
-                    .ok()
-                    .map(|t| (v, t.len()))
-            })
-            .collect();
-        candidates.sort_by_key(|(v, n)| (*n, v.def.name.clone()));
-
-        for (view, rows) in candidates {
-            if let Some(info) = derives(self.catalog(), &q, view)? {
-                let eq = build_edge_query(self.catalog(), view, &q, &info)?;
-                let source = Relation::from_table(self.catalog().table(&view.def.name)?);
-                let raw = derive_child(self.catalog(), &source, &eq)?;
-                return Ok(Answer {
-                    relation: finalize(&q, &raw)?,
-                    answered_from: view.def.name.clone(),
-                    rows_scanned: rows,
-                });
-            }
+        if let Some(ans) = answer_from_views(self.catalog(), self.views(), query)? {
+            return Ok(ans);
         }
 
         // Fall back to the base tables.
+        let def = query.as_view_def(self.catalog())?;
+        let q = augment(self.catalog(), &def)?;
         let raw = materialize(self.catalog(), &q)?;
         Ok(Answer {
             relation: finalize(&q, &raw)?,
             answered_from: query.fact_table.clone(),
             rows_scanned: self.catalog().table(&query.fact_table)?.len(),
+        })
+    }
+}
+
+impl LatticeSnapshot {
+    /// Answers an aggregate query from this pinned epoch: every summary
+    /// table agrees with the same committed cycle, and execution takes no
+    /// warehouse lock whatsoever.
+    ///
+    /// Snapshots hold summary and dimension tables but not bulk fact data,
+    /// so a query no materialized view can answer is refused (rather than
+    /// silently computed over an empty fact stand-in) — route it to the
+    /// live warehouse's [`Warehouse::answer`] instead.
+    pub fn answer(&self, query: &AggQuery) -> CoreResult<Answer> {
+        answer_from_views(self.catalog(), self.views(), query)?.ok_or_else(|| {
+            CoreError::Maintenance(format!(
+                "query over `{}` is not derivable from any summary table in snapshot \
+                 epoch {}; base-table fallback requires the live warehouse",
+                query.fact_table,
+                self.epoch()
+            ))
         })
     }
 }
@@ -299,6 +332,54 @@ mod tests {
             after.relation.sorted_rows(),
             vec![row!["east", 17i64], row!["west", 100i64]]
         );
+    }
+
+    #[test]
+    fn snapshot_answers_stay_on_their_pinned_epoch() {
+        let mut wh = warehouse();
+        let q = AggQuery::over("pos")
+            .group_by(["region"])
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total");
+        let pinned = wh.read_snapshot();
+        assert_eq!(
+            pinned.answer(&q).unwrap().relation.sorted_rows(),
+            vec![row!["east", 17i64]]
+        );
+
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![3i64, 10i64, Date(10001), 100i64, 1.0]],
+        ));
+        wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+
+        // The pinned epoch still answers the pre-cycle state; a fresh pin
+        // sees the committed cycle.
+        assert_eq!(
+            pinned.answer(&q).unwrap().relation.sorted_rows(),
+            vec![row!["east", 17i64]]
+        );
+        let fresh = wh.read_snapshot();
+        assert!(fresh.epoch() > pinned.epoch());
+        assert_eq!(
+            fresh.answer(&q).unwrap().relation.sorted_rows(),
+            vec![row!["east", 17i64], row!["west", 100i64]]
+        );
+    }
+
+    #[test]
+    fn snapshot_refuses_base_table_fallback() {
+        let wh = warehouse();
+        // `price` is aggregated by no view, so only base execution could
+        // answer this — which a snapshot must refuse, not fake with its
+        // empty fact stand-in.
+        let q = AggQuery::over("pos")
+            .group_by(["storeID"])
+            .aggregate(AggFunc::Sum(Expr::col("price")), "revenue");
+        let snap = wh.read_snapshot();
+        let err = snap.answer(&q).unwrap_err();
+        assert!(err.to_string().contains("not derivable"), "{err}");
+        // The live warehouse still answers it from base data.
+        assert_eq!(wh.answer(&q).unwrap().answered_from, "pos");
     }
 
     #[test]

@@ -68,7 +68,7 @@ use cubedelta_storage::{ChangeBatch, DeltaSet};
 
 use crate::commitlog::{CommitLog, Manifest};
 use crate::error::{CoreError, CoreResult};
-use crate::warehouse::{MaintainOptions, ShardRouter, Warehouse};
+use crate::warehouse::{LatticeSnapshot, MaintainOptions, ShardRouter, SnapshotReader, Warehouse};
 
 /// Environment variable naming a `host:port` to serve the Prometheus
 /// scrape endpoint on (e.g. `127.0.0.1:9187`). Read once, at
@@ -319,6 +319,7 @@ struct Obs {
     shard_routed_rows: Counter,
     log_appended_bytes: Counter,
     fsync_us: Histogram,
+    snapshot_pins: Gauge,
 }
 
 /// Mutable queue state behind the service mutex.
@@ -380,6 +381,11 @@ struct Shared {
     /// queue-state mutex first, this second (seal); the worker's commit
     /// path takes this alone.
     durable: Option<Mutex<DurableState>>,
+    /// Handle onto the warehouse's snapshot cell, captured before the
+    /// worker thread takes the warehouse: the lock-free read path. The
+    /// worker publishes new epochs through the same cell at each cycle
+    /// commit.
+    snapshots: SnapshotReader,
 }
 
 impl Shared {
@@ -678,9 +684,11 @@ impl WarehouseService {
             shard_routed_rows: registry.counter("shard_routed_rows"),
             log_appended_bytes: registry.counter("log_appended_bytes"),
             fsync_us: registry.histogram("fsync_us"),
+            snapshot_pins: registry.gauge("snapshot_pins"),
         };
         obs.healthy.set(1);
         let router = warehouse.shard_router();
+        let snapshots = warehouse.snapshot_reader();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState::default()),
             work: Condvar::new(),
@@ -692,6 +700,7 @@ impl WarehouseService {
             journal,
             router,
             durable: durable.map(Mutex::new),
+            snapshots,
         });
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
@@ -872,6 +881,28 @@ impl WarehouseService {
     /// The metrics registry the service (and its warehouse) report into.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.shared.registry
+    }
+
+    /// Pins the currently-published lattice snapshot: every summary table
+    /// at the same committed cycle, fully concurrent with the maintenance
+    /// worker. One `Arc` clone — no per-table mutex, no batch-window wait,
+    /// callable from any number of reader threads while cycles commit.
+    /// The `snapshot_epoch` gauge tracks the published epoch and
+    /// `snapshot_pins` approximates how many pinned snapshots readers
+    /// still hold.
+    pub fn read(&self) -> Arc<LatticeSnapshot> {
+        let snap = self.shared.snapshots.read();
+        self.shared
+            .obs
+            .snapshot_pins
+            .set(self.shared.snapshots.pins() as i64);
+        snap
+    }
+
+    /// A cloneable handle for reader threads that must not borrow the
+    /// service itself.
+    pub fn snapshot_reader(&self) -> SnapshotReader {
+        self.shared.snapshots.clone()
     }
 
     /// Stops accepting deltas, drains every staged and sealed batch

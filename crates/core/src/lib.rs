@@ -104,8 +104,8 @@ pub use refresh::{
     refresh_metered, PlannedRefresh, RecomputeSource, RefreshOptions, RefreshStats,
 };
 pub use warehouse::{
-    MaintainOptions, MaintenancePolicy, MaintenanceReport, ShardRouter, ViewReport, Warehouse,
-    SHARDS_ENV_VAR, THREADS_ENV_VAR,
+    LatticeSnapshot, MaintainOptions, MaintenancePolicy, MaintenanceReport, ShardRouter,
+    SnapshotCell, SnapshotReader, ViewReport, Warehouse, SHARDS_ENV_VAR, THREADS_ENV_VAR,
 };
 
 // Observability re-exports: the counters type every metered entry point

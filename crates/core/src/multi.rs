@@ -23,7 +23,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, TryLockError};
+use std::sync::{Arc, Mutex, TryLockError};
 use std::time::{Duration, Instant};
 
 use cubedelta_lattice::{derive_child, DeltaSource, MaintenancePlan};
@@ -525,13 +525,15 @@ pub mod failpoints {
         MERGE_ARMED.store(true, Ordering::SeqCst);
     }
 
-    /// Disarms all failpoints (idempotent).
+    /// Disarms all failpoints (idempotent). Any refresh step parked on the
+    /// hold failpoint is released.
     pub fn disarm_all() {
         disarm();
         MERGE_ARMED.store(false, Ordering::SeqCst);
         *MERGE_VIEW.lock().unwrap_or_else(|p| p.into_inner()) = None;
         PROPAGATE_ARMED.store(false, Ordering::SeqCst);
         *PROPAGATE_VIEW.lock().unwrap_or_else(|p| p.into_inner()) = None;
+        release_refresh_hold();
     }
 
     pub(crate) fn maybe_panic_merge(view: &str) {
@@ -570,6 +572,103 @@ pub mod failpoints {
             panic!("injected propagate failpoint for `{view}`");
         }
     }
+
+    static HOLD_ARMED: AtomicBool = AtomicBool::new(false);
+    static HOLD_STATE: Mutex<HoldState> = Mutex::new(HoldState {
+        view: None,
+        holding: false,
+        released: true,
+    });
+    static HOLD_CV: std::sync::Condvar = std::sync::Condvar::new();
+
+    struct HoldState {
+        /// View whose next refresh step should park.
+        view: Option<String>,
+        /// True while a refresh step is parked at the failpoint.
+        holding: bool,
+        /// False while the hold is armed or a step is parked.
+        released: bool,
+    }
+
+    /// Arms a one-shot *blocking* hold inside the named view's next refresh
+    /// step: the step parks mid-batch-window (its table taken out of the
+    /// catalog, its slot lock held) until [`release_refresh_hold`]. This is
+    /// how the torn-read battery freezes a refresh at its most exposed
+    /// instant while reader threads probe the published snapshot.
+    pub fn arm_refresh_hold(view: &str) {
+        let mut st = HOLD_STATE.lock().unwrap_or_else(|p| p.into_inner());
+        st.view = Some(view.to_string());
+        st.holding = false;
+        st.released = false;
+        HOLD_ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// True while a refresh step is parked on the hold failpoint.
+    pub fn refresh_hold_engaged() -> bool {
+        HOLD_STATE
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .holding
+    }
+
+    /// Blocks until the armed hold has actually captured a refresh step (or
+    /// the timeout passes); returns whether it did. Lets a test sequence
+    /// "maintenance is now frozen mid-window" before probing readers.
+    pub fn wait_refresh_hold_engaged(timeout: std::time::Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = HOLD_STATE.lock().unwrap_or_else(|p| p.into_inner());
+        while !st.holding {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _) = HOLD_CV
+                .wait_timeout(st, left)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+        }
+        true
+    }
+
+    /// Releases a parked refresh step and disarms the hold (idempotent).
+    pub fn release_refresh_hold() {
+        HOLD_ARMED.store(false, Ordering::SeqCst);
+        let mut st = HOLD_STATE.lock().unwrap_or_else(|p| p.into_inner());
+        st.view = None;
+        st.released = true;
+        drop(st);
+        HOLD_CV.notify_all();
+    }
+
+    pub(super) fn maybe_hold(view: &str) {
+        if !HOLD_ARMED.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut st = HOLD_STATE.lock().unwrap_or_else(|p| p.into_inner());
+        if st.view.as_deref() != Some(view) {
+            return;
+        }
+        st.view = None;
+        st.holding = true;
+        HOLD_ARMED.store(false, Ordering::SeqCst);
+        HOLD_CV.notify_all();
+        // Park until released; the 30s ceiling keeps a buggy test from
+        // deadlocking the whole suite.
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while !st.released {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (guard, _) = HOLD_CV
+                .wait_timeout(st, left)
+                .unwrap_or_else(|p| p.into_inner());
+            st = guard;
+        }
+        st.holding = false;
+        drop(st);
+        HOLD_CV.notify_all();
+    }
 }
 
 /// Per-step observability record from [`refresh_plan_leveled`]: which view
@@ -603,7 +702,7 @@ struct RefreshOutcome {
 /// under the lock.
 fn run_refresh_step(
     catalog: &Catalog,
-    tables: &HashMap<&str, (Mutex<Table>, TableRole)>,
+    tables: &HashMap<&str, (Mutex<Arc<Table>>, TableRole)>,
     by_name: &HashMap<&str, &AugmentedView>,
     deltas: &HashMap<String, Relation>,
     step: &cubedelta_lattice::vlattice::PlanStep,
@@ -631,7 +730,7 @@ fn run_refresh_step(
     let (lock, _) = tables
         .get(step.view.as_str())
         .expect("level tables include every step in the level");
-    let mut table = match lock.try_lock() {
+    let mut slot = match lock.try_lock() {
         Ok(guard) => guard,
         Err(TryLockError::WouldBlock) => {
             m.lock_waits += 1;
@@ -648,8 +747,14 @@ fn run_refresh_step(
         }
     };
     failpoints::maybe_panic(step.view.as_str());
-    let planned = plan_refresh_ops(catalog, &table, view, &sd, opts, source, &mut m)?;
-    let stats = apply_refresh_ops(&mut table, planned)?;
+    failpoints::maybe_hold(step.view.as_str());
+    // Copy-on-write: if a published lattice snapshot still pins this
+    // version, `make_mut` builds the next version off to the side and the
+    // snapshot keeps reading the old bytes; with no pin, refresh mutates
+    // in place exactly as before.
+    let table = Arc::make_mut(&mut *slot);
+    let planned = plan_refresh_ops(catalog, table, view, &sd, opts, source, &mut m)?;
+    let stats = apply_refresh_ops(table, planned)?;
     Ok(RefreshOutcome {
         stats,
         time: start.elapsed(),
@@ -665,7 +770,7 @@ fn run_refresh_step(
 #[allow(clippy::too_many_arguments)]
 fn run_refresh_step_caught(
     catalog: &Catalog,
-    tables: &HashMap<&str, (Mutex<Table>, TableRole)>,
+    tables: &HashMap<&str, (Mutex<Arc<Table>>, TableRole)>,
     by_name: &HashMap<&str, &AugmentedView>,
     deltas: &HashMap<String, Relation>,
     step: &cubedelta_lattice::vlattice::PlanStep,
@@ -695,7 +800,7 @@ fn restore_level_tables(
     catalog: &mut Catalog,
     plan: &MaintenancePlan,
     step_idxs: &[usize],
-    tables: &mut HashMap<&str, (Mutex<Table>, TableRole)>,
+    tables: &mut HashMap<&str, (Mutex<Arc<Table>>, TableRole)>,
 ) -> CoreResult<()> {
     for &i in step_idxs {
         if let Some((lock, role)) = tables.remove(plan.steps[i].view.as_str()) {
@@ -784,7 +889,7 @@ pub fn refresh_plan_leveled_journaled(
         let level_start = Instant::now();
         let concurrent = threads.min(step_idxs.len());
 
-        let mut tables: HashMap<&str, (Mutex<Table>, TableRole)> =
+        let mut tables: HashMap<&str, (Mutex<Arc<Table>>, TableRole)> =
             HashMap::with_capacity(step_idxs.len());
         for &i in step_idxs {
             let name = plan.steps[i].view.as_str();

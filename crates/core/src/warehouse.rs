@@ -1,6 +1,7 @@
 //! The warehouse facade: catalog + views + lattice + the nightly batch
 //! cycle, with the propagate/refresh timing split the paper's §6 measures.
 
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use cubedelta_lattice::{DeltaSource, ViewLattice};
@@ -9,7 +10,7 @@ use cubedelta_obs::{trace, ExecutionMetrics, Journal, JournalEvent, MetricsRegis
 use std::collections::HashMap;
 
 use cubedelta_storage::{
-    Catalog, ChangeBatch, DimensionInfo, Row, Schema, ShardKey, ShardedTable, TableRole,
+    Catalog, ChangeBatch, DimensionInfo, Row, Schema, ShardKey, ShardedTable, Table, TableRole,
 };
 use cubedelta_view::{augment, install_summary_table, AugmentedView, SummaryViewDef};
 
@@ -356,14 +357,155 @@ impl ShardRouter {
     }
 }
 
+/// An immutable, lattice-wide view of the warehouse at one maintenance
+/// epoch: every summary table and dimension table at the same committed
+/// cycle, plus the epoch/cycle/LSN labels identifying it.
+///
+/// Snapshots are published by the warehouse with an atomic `Arc` swap at
+/// cycle commit (and after DDL), so a reader that pins one sees *all*
+/// views agreeing with the same cycle — the consistency module's
+/// invariant — no matter how many refresh cycles run while it holds the
+/// pin. Readers never take the per-table mutexes the parallel refresh
+/// uses; pinning is one `Arc` clone.
+///
+/// Fact-table *contents* are deliberately excluded (their schemas remain,
+/// so query planning works): bulk fact data would make every published
+/// epoch cost a full copy-on-write of the fact table at the next apply
+/// phase. Queries that can only be answered by scanning base facts must go
+/// to the live warehouse.
+#[derive(Debug, Clone)]
+pub struct LatticeSnapshot {
+    epoch: u64,
+    cycle: u64,
+    lsn: Option<u64>,
+    catalog: Catalog,
+    views: Vec<AugmentedView>,
+}
+
+impl LatticeSnapshot {
+    /// The empty pre-publication snapshot (epoch 0, no tables).
+    fn empty() -> Self {
+        LatticeSnapshot {
+            epoch: 0,
+            cycle: 0,
+            lsn: None,
+            catalog: Catalog::new(),
+            views: Vec::new(),
+        }
+    }
+
+    /// The publication epoch: bumped on every snapshot swap, strictly
+    /// monotone within one warehouse incarnation. Recovery restarts the
+    /// count at 0 for the restored state; the `(lsn, epoch)` pair is the
+    /// cross-incarnation identity.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Flight-recorder cycle id of the maintenance cycle that produced
+    /// this snapshot (0 until the first cycle commits).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Highest commitlog LSN applied when this snapshot was published
+    /// (`None` for warehouses maintained without a commitlog).
+    pub fn lsn(&self) -> Option<u64> {
+        self.lsn
+    }
+
+    /// The frozen catalog: summary and dimension tables at this epoch,
+    /// fact tables as schema-only stand-ins.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The augmented views at this epoch, in creation order.
+    pub fn views(&self) -> &[AugmentedView] {
+        &self.views
+    }
+
+    /// The augmented view by name.
+    pub fn view(&self, name: &str) -> Option<&AugmentedView> {
+        self.views.iter().find(|v| v.def.name == name)
+    }
+
+    /// A summary or dimension table at this epoch.
+    pub fn table(&self, name: &str) -> CoreResult<&Table> {
+        Ok(self.catalog.table(name)?)
+    }
+}
+
+/// The one-word mailbox a warehouse publishes snapshots through. The
+/// `RwLock` guards only the `Arc` pointer itself: a read is a brief
+/// uncontended pointer clone (never a per-table mutex, never blocked by
+/// the batch window — the writer holds the lock just long enough to store
+/// the new pointer), so reader `lock_waits` stay at zero by construction.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    current: RwLock<Arc<LatticeSnapshot>>,
+}
+
+impl SnapshotCell {
+    fn new(snap: Arc<LatticeSnapshot>) -> Self {
+        SnapshotCell {
+            current: RwLock::new(snap),
+        }
+    }
+
+    /// Pins the currently-published snapshot.
+    pub fn read(&self) -> Arc<LatticeSnapshot> {
+        self.current
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    fn swap(&self, snap: Arc<LatticeSnapshot>) {
+        *self.current.write().unwrap_or_else(|p| p.into_inner()) = snap;
+    }
+}
+
+impl Default for SnapshotCell {
+    fn default() -> Self {
+        SnapshotCell::new(Arc::new(LatticeSnapshot::empty()))
+    }
+}
+
+/// A cloneable handle onto a warehouse's snapshot cell, for readers that
+/// outlive their access to the warehouse itself (e.g. the ingestion
+/// service front-end, whose worker thread owns the warehouse).
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotReader {
+    cell: Arc<SnapshotCell>,
+}
+
+impl SnapshotReader {
+    /// Pins the currently-published snapshot.
+    pub fn read(&self) -> Arc<LatticeSnapshot> {
+        self.cell.read()
+    }
+
+    /// Readers (beyond the cell itself) currently pinning the published
+    /// snapshot — approximate, sampled from the `Arc` strong count.
+    pub fn pins(&self) -> u64 {
+        let snap = self.cell.read();
+        // strong_count counts the cell's copy and the one we just took.
+        (Arc::strong_count(&snap).saturating_sub(2)) as u64
+    }
+}
+
 /// A data warehouse: base tables, summary tables, and the summary-delta
 /// maintenance machinery. See the crate-level example.
 ///
 /// `Clone` snapshots the entire warehouse (base data, summary tables, view
 /// metadata) — handy for racing maintenance strategies on identical states,
 /// as the benchmark harness does. The metrics registry is Arc-shared, so a
-/// clone reports into the same registry as the original.
-#[derive(Default, Clone)]
+/// clone reports into the same registry as the original. The *snapshot
+/// cell* is not shared: a clone gets its own cell seeded from the current
+/// snapshot, so its later publications never clobber the original's
+/// readers.
+#[derive(Default)]
 pub struct Warehouse {
     catalog: Catalog,
     views: Vec<AugmentedView>,
@@ -388,6 +530,35 @@ pub struct Warehouse {
     /// warehouse, when it is fed from a durable `WarehouseService`.
     /// `None` for warehouses maintained without a commitlog.
     last_applied_lsn: Option<u64>,
+    /// The mailbox readers pin epochs through. Swapped at cycle commit and
+    /// after DDL; never swapped on failure, so a failed cycle leaves
+    /// readers on the last committed epoch even while the live catalog is
+    /// mid-repair.
+    snapshot: Arc<SnapshotCell>,
+    /// The epoch the *next* publication will carry (see
+    /// [`LatticeSnapshot::epoch`]).
+    next_epoch: u64,
+}
+
+impl Clone for Warehouse {
+    fn clone(&self) -> Self {
+        Warehouse {
+            catalog: self.catalog.clone(),
+            views: self.views.clone(),
+            lattice: self.lattice.clone(),
+            registry: self.registry.clone(),
+            journal: self.journal.clone(),
+            policy: self.policy,
+            shard_keys: self.shard_keys.clone(),
+            shard_tables: self.shard_tables.clone(),
+            last_applied_lsn: self.last_applied_lsn,
+            // A fresh cell seeded with the current snapshot: the clone's
+            // publications must never replace what the original's readers
+            // see (and vice versa).
+            snapshot: Arc::new(SnapshotCell::new(self.snapshot.read())),
+            next_epoch: self.next_epoch,
+        }
+    }
 }
 
 impl Warehouse {
@@ -399,7 +570,7 @@ impl Warehouse {
     /// Builds a warehouse around an existing catalog (e.g. one produced by
     /// `cubedelta_workload::retail_catalog`).
     pub fn from_catalog(catalog: Catalog) -> Self {
-        Warehouse {
+        let mut wh = Warehouse {
             catalog,
             views: Vec::new(),
             lattice: None,
@@ -409,6 +580,96 @@ impl Warehouse {
             shard_keys: HashMap::new(),
             shard_tables: HashMap::new(),
             last_applied_lsn: None,
+            snapshot: Arc::new(SnapshotCell::default()),
+            next_epoch: 0,
+        };
+        wh.publish(0);
+        wh
+    }
+
+    /// Builds and publishes the next snapshot: a cheap copy-on-write clone
+    /// of the catalog (Arc pointer copies) with fact tables hollowed to
+    /// schema-only stand-ins, labelled with the next epoch and swapped into
+    /// the cell atomically.
+    fn publish(&mut self, cycle: u64) -> u64 {
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        let mut catalog = self.catalog.clone();
+        for name in catalog
+            .tables_with_role(TableRole::Fact)
+            .into_iter()
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+        {
+            let _ = catalog.hollow_table(&name);
+        }
+        let snap = Arc::new(LatticeSnapshot {
+            epoch,
+            cycle,
+            lsn: self.last_applied_lsn,
+            catalog,
+            views: self.views.clone(),
+        });
+        self.registry.gauge("snapshot_epoch").set(epoch as i64);
+        self.snapshot.swap(snap);
+        epoch
+    }
+
+    /// Republishes the current warehouse state as a new epoch — the hook
+    /// for callers that mutated base or summary data directly through
+    /// [`Warehouse::catalog_mut`] and want readers to see it. Maintenance
+    /// cycles and DDL publish automatically. Returns the published epoch.
+    pub fn publish_snapshot(&mut self) -> u64 {
+        let cycle = self.snapshot.read().cycle;
+        self.publish(cycle)
+    }
+
+    /// Publishes the current state as epoch 0 and restarts the epoch
+    /// counter. Recovery calls this once the restored snapshot is loaded,
+    /// *before* replaying the commitlog tail: replayed cycles then publish
+    /// epochs 1..k, so epoch numbering within the new incarnation is
+    /// strictly monotone and the restored state itself is pinnable.
+    pub fn publish_initial_snapshot(&mut self) -> u64 {
+        self.next_epoch = 0;
+        self.publish(0)
+    }
+
+    /// Pins the currently-published lattice snapshot: every summary (and
+    /// dimension) table at the same committed cycle. Never blocks on the
+    /// batch window and takes no per-table lock.
+    pub fn read_snapshot(&self) -> Arc<LatticeSnapshot> {
+        self.snapshot.read()
+    }
+
+    /// A cloneable handle for readers that must keep pinning snapshots
+    /// after the warehouse moves (e.g. into the service worker thread).
+    pub fn snapshot_reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            cell: Arc::clone(&self.snapshot),
+        }
+    }
+
+    /// Reads a table by name, falling back to the published snapshot when
+    /// the live catalog doesn't hold it. During a refresh level the
+    /// executor *removes* each summary table from the catalog
+    /// ([`Catalog::take_table`]) and restores it at the level barrier; a
+    /// read landing inside that window used to surface `TableNotFound`
+    /// for a table that verifiably exists — or a panic at call sites that
+    /// unwrapped the lookup. The snapshot still pins the last committed
+    /// version of every summary and dimension table, so such reads are
+    /// served from there instead. Fact tables are hollowed out of
+    /// snapshots, so a fact-table miss (only possible if the table was
+    /// dropped) still errors rather than returning an empty stand-in.
+    pub fn read_table(&self, name: &str) -> CoreResult<Arc<Table>> {
+        match self.catalog.table_version(name) {
+            Ok(t) => Ok(t),
+            Err(live_err) => {
+                let snap = self.snapshot.read();
+                match snap.catalog().table_version(name) {
+                    Ok(t) if snap.catalog().role(name) != Some(TableRole::Fact) => Ok(t),
+                    _ => Err(live_err.into()),
+                }
+            }
         }
     }
 
@@ -421,8 +682,19 @@ impl Warehouse {
     /// Records that the batch at `lsn` has been fully applied. Called by
     /// the durable ingestion worker after each committed cycle and by
     /// recovery after each replayed batch.
+    ///
+    /// The published snapshot's LSN label is refreshed in place (same
+    /// epoch, same table versions): the worker stamps the LSN *after*
+    /// `maintain` returns, so the epoch — which identifies table contents
+    /// — is already out; the LSN is advisory metadata on top of it.
     pub fn set_last_applied_lsn(&mut self, lsn: u64) {
         self.last_applied_lsn = Some(lsn);
+        let cur = self.snapshot.read();
+        if cur.lsn != Some(lsn) {
+            let mut relabelled = (*cur).clone();
+            relabelled.lsn = Some(lsn);
+            self.snapshot.swap(Arc::new(relabelled));
+        }
     }
 
     /// The current maintenance scheduling policy.
@@ -548,6 +820,7 @@ impl Warehouse {
     /// Creates a fact table.
     pub fn create_fact_table(&mut self, name: &str, schema: Schema) -> CoreResult<()> {
         self.catalog.create_table(name, schema, TableRole::Fact)?;
+        self.publish_snapshot();
         Ok(())
     }
 
@@ -561,6 +834,7 @@ impl Warehouse {
         self.catalog
             .create_table(name, schema, TableRole::Dimension)?;
         self.catalog.set_dimension_info(name, info)?;
+        self.publish_snapshot();
         Ok(())
     }
 
@@ -581,6 +855,7 @@ impl Warehouse {
     pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> CoreResult<()> {
         self.catalog.table_mut(table)?.insert_all(rows)?;
         self.shard_tables.remove(table); // repartitioned at the next cycle
+        self.publish_snapshot(); // dimension loads must reach readers
         Ok(())
     }
 
@@ -592,6 +867,7 @@ impl Warehouse {
         install_summary_table(&mut self.catalog, &view)?;
         self.views.push(view);
         self.lattice = None; // rebuilt lazily
+        self.publish_snapshot();
         Ok(())
     }
 
@@ -600,6 +876,7 @@ impl Warehouse {
     pub(crate) fn register_view(&mut self, view: AugmentedView) {
         self.views.push(view);
         self.lattice = None;
+        self.publish_snapshot();
     }
 
     /// Drops a summary table: removes the materialized table and the view
@@ -616,6 +893,7 @@ impl Warehouse {
         self.views.remove(idx);
         self.catalog.drop_table(name)?;
         self.lattice = None;
+        self.publish_snapshot();
         Ok(())
     }
 
@@ -724,6 +1002,11 @@ impl Warehouse {
                         as u64,
                     refresh_us: report.refresh_time.as_micros().min(u64::MAX as u128) as u64,
                 });
+                // The atomic epoch swap: readers move to the new cycle all
+                // at once. A failed cycle falls through to the Err arm and
+                // publishes nothing — readers stay on the last committed
+                // epoch even if the live catalog is left mid-refresh.
+                self.publish(cj.cycle());
                 Ok(report)
             }
             Err(e) => {
@@ -952,6 +1235,7 @@ impl Warehouse {
                 .collect();
         }
         let refresh_time = t2.elapsed();
+        self.publish_snapshot();
 
         Ok(MaintenanceReport {
             cycle: 0,

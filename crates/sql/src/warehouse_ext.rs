@@ -1,6 +1,6 @@
-//! SQL entry points on the [`Warehouse`].
+//! SQL entry points on the [`Warehouse`] and on pinned [`LatticeSnapshot`]s.
 
-use cubedelta_core::{Answer, CoreError, Warehouse};
+use cubedelta_core::{Answer, CoreError, LatticeSnapshot, Warehouse};
 
 use crate::error::{SqlError, SqlResult};
 use crate::parser::{parse_query, parse_view};
@@ -26,6 +26,23 @@ impl SqlWarehouse for Warehouse {
         self.create_summary_table(&def).map_err(core_err)
     }
 
+    fn answer_sql(&self, sql: &str) -> SqlResult<Answer> {
+        let query = parse_query(sql)?;
+        self.answer(&query).map_err(core_err)
+    }
+}
+
+/// SQL answering against a pinned snapshot.
+pub trait SqlSnapshot {
+    /// Parses a bare `SELECT` statement and answers it from the snapshot's
+    /// summary tables. Unlike [`SqlWarehouse::answer_sql`] there is no
+    /// base-table fallback: snapshots carry schema-only fact stand-ins, so
+    /// a query no view can answer errors instead of silently computing
+    /// over empty facts.
+    fn answer_sql(&self, sql: &str) -> SqlResult<Answer>;
+}
+
+impl SqlSnapshot for LatticeSnapshot {
     fn answer_sql(&self, sql: &str) -> SqlResult<Answer> {
         let query = parse_query(sql)?;
         self.answer(&query).map_err(core_err)
@@ -107,6 +124,39 @@ mod tests {
             .answer_sql("SELECT AVG(qty) AS a FROM pos")
             .unwrap();
         assert_eq!(ans.relation.rows[0][0], Value::Float(17.0 / 4.0));
+    }
+
+    #[test]
+    fn snapshot_sql_answers_pinned_epoch() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for sql in FIGURE_1 {
+            wh.create_summary_table_sql(sql).unwrap();
+        }
+        let region_sql = "SELECT region, SUM(qty) AS total FROM pos, stores \
+                          WHERE pos.storeID = stores.storeID GROUP BY region";
+        let pinned = wh.read_snapshot();
+        let before = pinned.answer_sql(region_sql).unwrap();
+        assert_eq!(before.relation.sorted_rows(), vec![row!["east", 17i64]]);
+
+        // Maintenance commits a new epoch; the pinned snapshot keeps
+        // answering the pre-cycle state while a fresh pin sees the update.
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![2i64, 20i64, Date(10003), 4i64, 2.0]],
+            deletions: vec![],
+        });
+        wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let after = pinned.answer_sql(region_sql).unwrap();
+        assert_eq!(after.relation.sorted_rows(), before.relation.sorted_rows());
+        let fresh = wh.read_snapshot().answer_sql(region_sql).unwrap();
+        assert_eq!(fresh.relation.sorted_rows(), vec![row!["east", 21i64]]);
+
+        // No base-table fallback on snapshots: `price` is not aggregated
+        // by any Figure-1 view, so the snapshot refuses.
+        let err = pinned
+            .answer_sql("SELECT SUM(price) AS p FROM pos")
+            .unwrap_err();
+        assert!(err.to_string().contains("not derivable"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! `itemID → {name, category, cost}`.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use crate::error::{StorageError, StorageResult};
 use crate::schema::Schema;
@@ -104,9 +105,16 @@ impl DimensionInfo {
 }
 
 /// The warehouse catalog: all tables plus relational metadata.
+///
+/// Tables are held behind [`Arc`] so a catalog clone is cheap (pointer
+/// copies plus the small metadata maps) and so an immutable version of a
+/// table can be *published* — pinned by a lattice snapshot — while the
+/// catalog continues to evolve. Mutation goes through [`Arc::make_mut`]:
+/// in-place when this catalog holds the only reference, copy-on-write the
+/// first time a pinned version is touched after publication.
 #[derive(Debug, Default, Clone)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: HashMap<String, Arc<Table>>,
     roles: HashMap<String, TableRole>,
     foreign_keys: Vec<ForeignKey>,
     dimensions: HashMap<String, DimensionInfo>,
@@ -128,13 +136,23 @@ impl Catalog {
         if self.tables.contains_key(name) {
             return Err(StorageError::TableExists(name.to_string()));
         }
-        self.tables.insert(name.to_string(), Table::new(name, schema));
+        self.tables.insert(name.to_string(), Arc::new(Table::new(name, schema)));
         self.roles.insert(name.to_string(), role);
-        Ok(self.tables.get_mut(name).expect("just inserted"))
+        Ok(Arc::make_mut(self.tables.get_mut(name).expect("just inserted")))
     }
 
     /// Registers an existing table (takes ownership). Errors if taken.
     pub fn register_table(&mut self, table: Table, role: TableRole) -> StorageResult<()> {
+        self.register_table_version(Arc::new(table), role)
+    }
+
+    /// Registers an already-published table version without copying it.
+    /// Errors if the name is taken.
+    pub fn register_table_version(
+        &mut self,
+        table: Arc<Table>,
+        role: TableRole,
+    ) -> StorageResult<()> {
         let name = table.name().to_string();
         if self.tables.contains_key(&name) {
             return Err(StorageError::TableExists(name));
@@ -144,19 +162,25 @@ impl Catalog {
         Ok(())
     }
 
-    /// Removes a table from the catalog, returning it.
+    /// Removes a table from the catalog, returning it. If a published
+    /// snapshot still pins the removed version, the caller gets a copy and
+    /// the pinned version lives on until its last reader drops it.
     pub fn drop_table(&mut self, name: &str) -> StorageResult<Table> {
         self.roles.remove(name);
         self.tables
             .remove(name)
+            .map(|arc| Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
     /// Removes a table together with its recorded role, handing both to the
     /// caller. This is how the parallel refresh executor gives each worker
-    /// exclusive ownership of its summary table while the rest of the
-    /// catalog stays readable; pair with [`Catalog::restore_table`].
-    pub fn take_table(&mut self, name: &str) -> StorageResult<(Table, TableRole)> {
+    /// exclusive ownership of its summary table's *current version* while
+    /// the rest of the catalog stays readable; pair with
+    /// [`Catalog::restore_table`]. The version comes back as an `Arc` so
+    /// published snapshots keep reading the pre-refresh version for free:
+    /// the worker's first write copies-on-write via [`Arc::make_mut`].
+    pub fn take_table(&mut self, name: &str) -> StorageResult<(Arc<Table>, TableRole)> {
         let role = self.roles.get(name).copied().unwrap_or(TableRole::Other);
         let table = self
             .tables
@@ -166,24 +190,49 @@ impl Catalog {
         Ok((table, role))
     }
 
-    /// Puts back a table taken with [`Catalog::take_table`], restoring its
-    /// role. Errors if the name was re-registered in the meantime.
-    pub fn restore_table(&mut self, table: Table, role: TableRole) -> StorageResult<()> {
-        self.register_table(table, role)
+    /// Puts back a table version taken with [`Catalog::take_table`],
+    /// restoring its role. Errors if the name was re-registered meanwhile.
+    pub fn restore_table(&mut self, table: Arc<Table>, role: TableRole) -> StorageResult<()> {
+        self.register_table_version(table, role)
     }
 
     /// Shared access to a table.
     pub fn table(&self, name: &str) -> StorageResult<&Table> {
         self.tables
             .get(name)
+            .map(|arc| arc.as_ref())
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable access to a table.
+    /// The current published version of a table, pinnable past catalog
+    /// mutation: later `table_mut` calls copy-on-write rather than touch it.
+    pub fn table_version(&self, name: &str) -> StorageResult<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access to a table. Copy-on-write: if a published snapshot
+    /// still pins the current version, it is cloned first and the snapshot
+    /// keeps the old bytes; otherwise mutation happens in place.
     pub fn table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(Arc::make_mut)
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Replaces a table's contents with a schema-compatible empty stand-in,
+    /// keeping role/FK/dimension metadata intact. Used when building
+    /// snapshots that deliberately exclude bulk fact data.
+    pub fn hollow_table(&mut self, name: &str) -> StorageResult<()> {
+        let arc = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))?;
+        *arc = Arc::new(Table::new(name, arc.schema().clone()));
+        Ok(())
     }
 
     /// True iff the table exists.

@@ -104,6 +104,12 @@ pub fn recover_warehouse(dir: &Path, opts: &MaintainOptions) -> Result<Recovery,
     if manifest.snapshot_lsn > 0 {
         wh.set_last_applied_lsn(manifest.snapshot_lsn);
     }
+    // Publish the restored state as epoch 0 *before* replay begins:
+    // readers of the new incarnation can pin the pre-crash committed
+    // state immediately, and the replayed cycles publish epochs 1..k on
+    // top — strictly monotone, no epoch reuse (the LSN label carries the
+    // cross-incarnation identity).
+    wh.publish_initial_snapshot();
 
     // Open validates every frame and truncates a torn tail; drop the
     // writer handle immediately — recovery only needs the scan.

@@ -69,8 +69,8 @@ pub use cubedelta_workload as workload;
 
 pub use cubedelta_core::{
     AggQuery, BatchPolicy, CubeBudget, CubeSpec, ExecutionMetrics, Health, Journal, JournalEvent,
-    MaintainOptions, MaintenanceReport, MetricsRegistry, RefreshOptions, RefreshStats, SloPolicy,
-    ViewReport, Warehouse, WarehouseService,
+    LatticeSnapshot, MaintainOptions, MaintenanceReport, MetricsRegistry, RefreshOptions,
+    RefreshStats, SloPolicy, SnapshotReader, ViewReport, Warehouse, WarehouseService,
 };
 pub use durability::{recover_warehouse, start_durable, DurableStart, Recovery, RecoveryReport};
 pub use cubedelta_lattice::ViewLattice;

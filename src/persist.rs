@@ -299,6 +299,10 @@ pub fn load_warehouse(dir: &Path) -> Result<Warehouse, PersistError> {
                 .map_err(|e| PersistError::Engine(e.to_string()))?;
         }
     }
+    // A freshly loaded warehouse starts its epoch numbering at 0, with
+    // the restored state published (base contents were loaded through
+    // `catalog_mut`, which does not publish on its own).
+    wh.publish_initial_snapshot();
     Ok(wh)
 }
 
@@ -340,6 +344,9 @@ pub fn load_snapshot(dir: &Path) -> Result<Warehouse, PersistError> {
         table.truncate();
         load_csv(table, &csv).map_err(|e| PersistError::Engine(e.to_string()))?;
     }
+    // Republish epoch 0 now that the summary tables carry the snapshot's
+    // materialized bytes (not the load-time rematerialization).
+    wh.publish_initial_snapshot();
     Ok(wh)
 }
 

@@ -616,6 +616,159 @@ fn subprocess_abort_recovers_every_accepted_batch() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// After a clean shutdown, recovery's *first published snapshot* is the
+/// pre-crash committed state itself: epoch 0, labelled with the
+/// snapshot's LSN, byte-identical to the tables the first incarnation
+/// shut down with — pinnable before any replay. New cycles then number
+/// from 1: the incarnation's epochs are strictly monotone, never reused.
+#[test]
+fn recovery_publishes_the_precrash_committed_epoch() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    failpoints::disarm_all();
+    let dir = durable_dir("epoch_clean");
+    let opts = MaintainOptions::default();
+
+    let svc = start_durable(
+        small_warehouse(),
+        BatchPolicy {
+            max_rows: 1,
+            max_batches: 2,
+            flush_interval: Duration::from_millis(2),
+        },
+        opts,
+        &dir,
+        0,
+    )
+    .unwrap()
+    .service;
+    for seed in 0..5u64 {
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+            .unwrap();
+    }
+    svc.flush().unwrap();
+    let report = svc.shutdown();
+    assert!(report.error.is_none());
+
+    let rec = recover_warehouse(&dir, &opts).unwrap();
+    assert_eq!(rec.report.replayed_batches, 0, "clean shutdown: snapshot-only");
+    let snap = rec.warehouse.read_snapshot();
+    assert_eq!(
+        snap.epoch(),
+        0,
+        "the restored state is the new incarnation's epoch 0"
+    );
+    assert_eq!(
+        snap.lsn(),
+        Some(report.batches_sealed),
+        "epoch 0 carries the snapshot's LSN as its cross-incarnation identity"
+    );
+    for def in figure1_defs() {
+        assert_eq!(
+            snap.table(&def.name).unwrap().to_rows(),
+            report.warehouse.catalog().table(&def.name).unwrap().to_rows(),
+            "recovered snapshot table `{}` differs from the pre-crash epoch",
+            def.name
+        );
+    }
+
+    // Epoch numbering resumes monotonically: the next committed cycle is
+    // epoch 1, not a reused number from the dead incarnation.
+    let mut wh = rec.warehouse;
+    wh.maintain(
+        &cubedelta::storage::ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![synth_pos_row(200)],
+        )),
+        &opts,
+    )
+    .unwrap();
+    let next = wh.read_snapshot();
+    assert_eq!(next.epoch(), 1, "post-recovery cycles continue from epoch 0");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// After a crash, replay publishes one epoch per replayed cycle on top
+/// of epoch 0 (the manifest snapshot), so the recovered warehouse's
+/// published epoch counts the replayed batches, its LSN label is the
+/// last replayed LSN, and its tables are byte-identical to the
+/// uninterrupted run. Post-recovery cycles keep counting upward.
+#[test]
+fn replayed_cycles_publish_monotone_epochs() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    failpoints::disarm_all();
+    let dir = durable_dir("epoch_replay");
+    let opts = MaintainOptions::default();
+    let initial = small_warehouse();
+
+    let svc = start_durable(
+        initial.clone(),
+        BatchPolicy {
+            max_rows: 1,
+            max_batches: 2,
+            flush_interval: Duration::from_millis(2),
+        },
+        opts,
+        &dir,
+        0,
+    )
+    .unwrap()
+    .service;
+    for seed in 0..4u64 {
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+            .unwrap();
+    }
+    svc.flush().unwrap();
+    failpoints::arm_refresh_panic("SID_sales");
+    svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(88)]))
+        .unwrap();
+    assert!(svc.flush().is_err());
+    let report = svc.shutdown();
+    failpoints::disarm_all();
+
+    let rec = recover_warehouse(&dir, &opts).unwrap();
+    assert!(rec.report.replayed_batches > 0);
+    let snap = rec.warehouse.read_snapshot();
+    assert_eq!(
+        snap.epoch(),
+        rec.report.replayed_batches,
+        "one epoch per replayed cycle, numbered from the restored epoch 0"
+    );
+    assert_eq!(snap.lsn(), Some(rec.report.last_lsn));
+
+    let mut reference = initial.clone();
+    for batch in report
+        .applied
+        .iter()
+        .chain(std::iter::once(&report.unapplied))
+    {
+        reference.maintain(batch, &opts).unwrap();
+    }
+    for def in figure1_defs() {
+        assert_eq!(
+            snap.table(&def.name).unwrap().to_rows(),
+            reference.catalog().table(&def.name).unwrap().to_rows(),
+            "replayed snapshot table `{}` diverged",
+            def.name
+        );
+    }
+
+    let mut wh = rec.warehouse;
+    wh.maintain(
+        &cubedelta::storage::ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![synth_pos_row(300)],
+        )),
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(
+        wh.read_snapshot().epoch(),
+        rec.report.replayed_batches + 1,
+        "post-recovery epochs continue monotonically — no reuse"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn recovering_a_plain_directory_is_a_precise_error() {
     let dir = durable_dir("nomanifest");

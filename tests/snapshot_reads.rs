@@ -1,0 +1,399 @@
+//! The versioned read path battery ([`Warehouse::read_snapshot`] /
+//! [`WarehouseService::read`]): epoch-versioned snapshots must give
+//! every reader a complete, immutable view of the lattice at one
+//! committed cycle, with no per-table locking, while maintenance runs.
+//!
+//! What this file pins:
+//!
+//! * **prefix consistency** — N reader threads hammer `read()` during
+//!   seeded service cycles; every snapshot they observe must be
+//!   byte-identical to a single-threaded replay of the same cycle
+//!   prefix, and epochs must be monotone per reader (a proptest sweeps
+//!   threads × shards ∈ {1, 4});
+//! * **torn reads** — a blocking failpoint parks a refresh step
+//!   mid-batch-window (its table out of the catalog, siblings possibly
+//!   refreshed); readers must keep seeing the *entire* pre-cycle epoch,
+//!   never a mixed pair. On the old path — reading live tables behind
+//!   the refresh executor's per-table mutexes — the cross-view invariant
+//!   checked here is violated at exactly the held instant;
+//! * **lock freedom** — readers contribute zero `lock_waits`: the cycle
+//!   reports stay at zero while four readers spin through maintenance;
+//! * **the take/restore window** — between `Catalog::take_table` and
+//!   `restore_table` a live lookup fails (and call sites that unwrapped
+//!   it panicked); [`Warehouse::read_table`] serves the published
+//!   snapshot instead.
+
+mod common;
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use common::{figure1_defs, small_warehouse, synth_pos_row};
+use cubedelta::core::multi::failpoints;
+use cubedelta::core::{
+    BatchPolicy, LatticeSnapshot, MaintainOptions, MaintenancePolicy, Warehouse,
+    WarehouseService,
+};
+use cubedelta::storage::{ChangeBatch, DeltaSet, Row, Value};
+
+/// Failpoints are process-global one-shots; tests that arm them
+/// serialize here.
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+fn view_names() -> Vec<String> {
+    figure1_defs().into_iter().map(|d| d.name).collect()
+}
+
+/// One view's name with its physical row contents.
+type ViewRows = (String, Vec<Row>);
+
+/// Physical contents of every Figure-1 view in a snapshot, in row order
+/// (byte identity, not just bag equality).
+fn snapshot_contents(snap: &LatticeSnapshot) -> Vec<ViewRows> {
+    view_names()
+        .into_iter()
+        .map(|name| {
+            let rows = snap.table(&name).unwrap().to_rows();
+            (name, rows)
+        })
+        .collect()
+}
+
+/// The same contents read from a live warehouse's catalog.
+fn warehouse_contents(wh: &Warehouse) -> Vec<ViewRows> {
+    view_names()
+        .into_iter()
+        .map(|name| {
+            let rows = wh.catalog().table(&name).unwrap().to_rows();
+            (name, rows)
+        })
+        .collect()
+}
+
+/// Cross-view consistency: `SID_sales` and `sR_sales` both aggregate
+/// every `pos` row (COUNT(*) and SUM(qty)), so their totals must agree
+/// in any committed epoch. A half-refreshed pair — one view updated, the
+/// other still pre-cycle — breaks this, which is exactly the torn read
+/// the snapshot path forbids.
+fn assert_epoch_unmixed(snap: &LatticeSnapshot) {
+    let totals = |view: &str| -> (i64, i64) {
+        let table = snap.table(view).unwrap();
+        let count_idx = table.schema().index_of("TotalCount").unwrap();
+        let qty_idx = table.schema().index_of("TotalQuantity").unwrap();
+        let mut count = 0i64;
+        let mut qty = 0i64;
+        for row in table.rows() {
+            if let Value::Int(c) = row[count_idx] {
+                count += c;
+            }
+            if let Value::Int(q) = row[qty_idx] {
+                qty += q;
+            }
+        }
+        (count, qty)
+    };
+    let sid = totals("SID_sales");
+    let sr = totals("sR_sales");
+    assert_eq!(
+        sid, sr,
+        "mixed-epoch snapshot at epoch {}: SID_sales totals {sid:?} but sR_sales {sr:?}",
+        snap.epoch()
+    );
+}
+
+/// The core battery: 4 reader threads pin snapshots while a producer
+/// drives seeded cycles through the service; afterwards every observed
+/// epoch must match the single-threaded replay of the same cycle prefix.
+fn run_reader_battery(threads: usize, shards: usize, seed: u64) {
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(threads).with_shards(shards));
+    let baseline = wh.clone();
+    let epoch0 = baseline.read_snapshot().epoch();
+
+    const READERS: usize = 4;
+    const DELTAS: u64 = 40;
+    let svc = WarehouseService::start(
+        wh,
+        BatchPolicy {
+            max_rows: 4, // small: many seals, many cycles, many epochs
+            max_batches: 2,
+            flush_interval: Duration::from_millis(1),
+        },
+    );
+
+    let stop = AtomicBool::new(false);
+    let observed: Vec<(u64, Vec<ViewRows>)> = std::thread::scope(|scope| {
+        let mut readers = Vec::new();
+        for _ in 0..READERS {
+            let svc = &svc;
+            let stop = &stop;
+            readers.push(scope.spawn(move || {
+                let mut seen = Vec::new();
+                let mut last_epoch: Option<u64> = None;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = svc.read();
+                    let epoch = snap.epoch();
+                    if let Some(prev) = last_epoch {
+                        assert!(
+                            epoch >= prev,
+                            "reader saw epoch go backwards: {prev} then {epoch}"
+                        );
+                    }
+                    if last_epoch != Some(epoch) {
+                        assert_epoch_unmixed(&snap);
+                        seen.push((epoch, snapshot_contents(&snap)));
+                        last_epoch = Some(epoch);
+                    }
+                    std::thread::yield_now();
+                }
+                seen
+            }));
+        }
+        for i in 0..DELTAS {
+            let s = seed.wrapping_mul(131).wrapping_add(i);
+            svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(s)]))
+                .unwrap();
+        }
+        svc.flush().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        readers
+            .into_iter()
+            .flat_map(|h| h.join().expect("reader thread panicked"))
+            .collect()
+    });
+
+    let report = svc.shutdown();
+    assert!(report.error.is_none(), "cycle failed: {:?}", report.error);
+    assert!(report.unapplied.is_empty());
+
+    // Reference: prefix states from a single-threaded, unsharded replay
+    // of the applied batches in order. Maintenance is deterministic
+    // across thread/shard counts, so prefix k's tables are byte-identical
+    // to the service's state right after cycle k committed.
+    let mut replay = baseline;
+    replay.set_maintenance_policy(MaintenancePolicy::with_threads(1).with_shards(1));
+    let mut prefixes: Vec<Vec<ViewRows>> = vec![warehouse_contents(&replay)];
+    for batch in &report.applied {
+        replay.maintain(batch, &MaintainOptions::default()).unwrap();
+        prefixes.push(warehouse_contents(&replay));
+    }
+
+    assert!(!observed.is_empty(), "readers observed no snapshots at all");
+    for (epoch, contents) in &observed {
+        // Cycle k's commit publishes epoch epoch0 + k, so the epoch
+        // number *is* the prefix index.
+        let k = (epoch - epoch0) as usize;
+        assert!(
+            k < prefixes.len(),
+            "observed epoch {epoch} beyond the {} applied cycles",
+            report.applied.len()
+        );
+        assert_eq!(
+            contents, &prefixes[k],
+            "snapshot at epoch {epoch} is not the replay of cycle prefix {k} \
+             (threads={threads} shards={shards} seed={seed})"
+        );
+    }
+}
+
+#[test]
+fn four_readers_match_replay_prefixes() {
+    run_reader_battery(4, 1, 0);
+}
+
+/// The CI reader-stress configuration: maintenance at threads=4 and
+/// shards=4 with four concurrent readers.
+#[test]
+fn reader_stress_threads4_shards4() {
+    run_reader_battery(4, 4, 1);
+}
+
+/// Readers never touch a per-table mutex: while four reader threads spin
+/// on the snapshot cell, every maintenance cycle's `lock_waits` counter
+/// stays at zero — nobody contends with refresh, and refresh never waits
+/// on a reader.
+#[test]
+fn readers_add_zero_lock_waits() {
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(4).with_shards(4));
+    let reader = wh.snapshot_reader();
+    let stop = AtomicBool::new(false);
+    let reads = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let reader = &reader;
+            let stop = &stop;
+            let reads = &reads;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = reader.read();
+                    assert_epoch_unmixed(&snap);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        for i in 0..12u64 {
+            let batch =
+                ChangeBatch::single(DeltaSet::insertions("pos", vec![synth_pos_row(500 + i)]));
+            let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+            assert_eq!(
+                report.metrics.lock_waits, 0,
+                "cycle {i} waited on a table lock while readers were live"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert!(reads.load(Ordering::Relaxed) > 0, "readers never ran");
+    wh.check_consistency().unwrap();
+}
+
+/// The torn-read regression: a refresh step parks mid-batch-window with
+/// its table taken out of the catalog and sibling views possibly already
+/// refreshed — the most exposed instant of the old mutex path, where a
+/// reader locking tables one by one saw view A at cycle N and view B at
+/// cycle N-1. The snapshot path must keep serving the complete pre-cycle
+/// epoch for as long as the hold lasts, then publish the complete new
+/// epoch once the cycle commits.
+#[test]
+fn held_refresh_never_exposes_a_mixed_epoch() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    failpoints::disarm_all();
+
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(2));
+    let svc = WarehouseService::start(
+        wh,
+        BatchPolicy {
+            max_rows: 1,
+            max_batches: 2,
+            flush_interval: Duration::from_millis(1),
+        },
+    );
+    let before = svc.read();
+    let epoch0 = before.epoch();
+    let before_contents = snapshot_contents(&before);
+
+    failpoints::arm_refresh_hold("sCD_sales");
+    svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(33)]))
+        .unwrap();
+    assert!(
+        failpoints::wait_refresh_hold_engaged(Duration::from_secs(10)),
+        "refresh step never parked on the hold failpoint"
+    );
+
+    // Frozen mid-window. Probe hard: every read must be the complete
+    // pre-cycle epoch — same epoch number, byte-identical tables, and
+    // the cross-view invariant intact.
+    for _ in 0..64 {
+        let snap = svc.read();
+        assert_eq!(
+            snap.epoch(),
+            epoch0,
+            "reader saw an epoch published by an uncommitted cycle"
+        );
+        assert_eq!(
+            snapshot_contents(&snap),
+            before_contents,
+            "reader saw table bytes change under a pinned epoch"
+        );
+        assert_epoch_unmixed(&snap);
+    }
+
+    failpoints::release_refresh_hold();
+    svc.flush().unwrap();
+
+    // The commit published the complete next epoch: new number, updated
+    // tables, invariant still holding.
+    let after = svc.read();
+    assert_eq!(after.epoch(), epoch0 + 1);
+    assert_ne!(snapshot_contents(&after), before_contents);
+    assert_epoch_unmixed(&after);
+
+    let report = svc.shutdown();
+    assert!(report.error.is_none());
+    report.warehouse.check_consistency().unwrap();
+}
+
+/// A failed cycle publishes nothing: the one-shot refresh panic leaves
+/// readers pinned to the last committed epoch even though the live
+/// catalog went through a take/restore round-trip.
+#[test]
+fn failed_cycle_publishes_no_epoch() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    failpoints::disarm_all();
+
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(2));
+    let before = wh.read_snapshot();
+    let before_contents = snapshot_contents(&before);
+
+    failpoints::arm_refresh_panic("SID_sales");
+    let batch = ChangeBatch::single(DeltaSet::insertions("pos", vec![synth_pos_row(44)]));
+    wh.maintain(&batch, &MaintainOptions::default())
+        .expect_err("armed failpoint must fail the cycle");
+    failpoints::disarm_all();
+
+    let snap = wh.read_snapshot();
+    assert_eq!(snap.epoch(), before.epoch(), "failed cycle bumped the epoch");
+    assert_eq!(snapshot_contents(&snap), before_contents);
+
+    // The warehouse recovers; the repaired cycle then publishes.
+    wh.rematerialize(&ChangeBatch::default(), false).unwrap();
+    let repaired = wh.read_snapshot();
+    assert!(repaired.epoch() > before.epoch());
+    assert_epoch_unmixed(&repaired);
+    wh.check_consistency().unwrap();
+}
+
+/// The take/restore window regression: while a summary table is out of
+/// the live catalog (exactly what the refresh executor does for a whole
+/// level), a name lookup used to fail — and call sites that unwrapped it
+/// panicked. `read_table` serves the published snapshot's pinned version
+/// instead; fact tables, hollowed out of snapshots, still error.
+#[test]
+fn reads_in_the_take_table_window_come_from_the_snapshot() {
+    let mut wh = small_warehouse();
+    let pinned = wh.catalog().table("sR_sales").unwrap().to_rows();
+
+    let (taken, role) = wh.catalog_mut().take_table("sR_sales").unwrap();
+    // Old path: the live lookup fails mid-window.
+    assert!(wh.catalog().table("sR_sales").is_err());
+    // New path: the snapshot still pins the committed version.
+    let served = wh.read_table("sR_sales").unwrap();
+    assert_eq!(served.to_rows(), pinned);
+
+    // Fact tables are schema-only stand-ins in snapshots; a missing fact
+    // table must surface the live error, never an empty impostor.
+    let (fact, fact_role) = wh.catalog_mut().take_table("pos").unwrap();
+    assert!(wh.read_table("pos").is_err());
+    wh.catalog_mut().restore_table(fact, fact_role).unwrap();
+
+    wh.catalog_mut().restore_table(taken, role).unwrap();
+    assert_eq!(wh.read_table("sR_sales").unwrap().to_rows(), pinned);
+    wh.check_consistency().unwrap();
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Each case runs a real service with four reader threads; keep
+        // the count modest — the named tests above pin the corners.
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        #[test]
+        fn observed_snapshots_match_replay_prefixes(
+            threads_wide in 0usize..2,
+            shards_wide in 0usize..2,
+            seed in 0u64..1_000_000,
+        ) {
+            let threads = if threads_wide == 0 { 1 } else { 4 };
+            let shards = if shards_wide == 0 { 1 } else { 4 };
+            run_reader_battery(threads, shards, seed);
+        }
+    }
+}
