@@ -1,0 +1,203 @@
+//! One-shot harness for subscription fan-out: maintenance-cycle cost as
+//! the number of live subscriptions scales.
+//!
+//! ```sh
+//! cargo run --release -p cubedelta-bench --bin subfan
+//! cargo run --release -p cubedelta-bench --bin subfan -- --quick
+//! ```
+//!
+//! Fan-out is designed to be decoupled from subscription count: specs with
+//! an equal bound filter/projection share one evaluation of the view diff
+//! (spec grouping), so only the final per-queue clone scales with the
+//! subscriber population. The harness pins that claim:
+//!
+//! * a sweep over 0 / 200 / 2000 subscriptions, all drawn round-robin
+//!   from **four distinct specs** — so the diff-evaluation work is
+//!   constant and only queue pushes grow;
+//! * per-point **maintain wall time** (the worker's cost including
+//!   dispatch) and the `fanout_us` histogram (dispatch alone);
+//! * the maintenance executor's `lock_waits` counter, which must stay at
+//!   **zero**: subscribers never contend with propagate/refresh;
+//! * a sublinearity gate: 10× the subscribers must cost far less than
+//!   10× the dispatch time (`fanout_sublinear` in the JSON).
+//!
+//! Results land in `BENCH_subfan.json`, the machine-readable companion to
+//! `EXPERIMENTS.md`.
+
+use std::time::{Duration, Instant};
+
+use cubedelta_bench::{build_warehouse, update_batch};
+use cubedelta_core::{MaintainOptions, MaintenancePolicy, Subscription, SubscriptionSpec};
+use cubedelta_expr::{CmpOp, Expr, Predicate};
+use cubedelta_obs::json::JsonValue;
+
+const SUB_COUNTS: [usize; 3] = [0, 200, 2000];
+
+/// Four distinct spec shapes over the Figure-1 lattice; every subscriber
+/// in the sweep is one of these, so spec-grouping collapses the diff work
+/// to at most four evaluations per view per cycle.
+fn distinct_specs() -> Vec<SubscriptionSpec> {
+    vec![
+        SubscriptionSpec::on("sR_sales"),
+        SubscriptionSpec::on("SID_sales")
+            .filter(Predicate::cmp(CmpOp::Eq, Expr::col("storeID"), Expr::lit(1i64)))
+            .project(["itemID", "date", "TotalQuantity"]),
+        SubscriptionSpec::on("sCD_sales").project(["city", "TotalCount"]),
+        SubscriptionSpec::on("SiC_sales"),
+    ]
+}
+
+struct RunConfig {
+    pos_rows: usize,
+    cycles: usize,
+    batch_rows: usize,
+}
+
+struct Point {
+    subs: usize,
+    maintain: Duration,
+    fanout_mean_us: f64,
+    fanout_p95_us: u64,
+    updates_pushed: u64,
+    lagged: u64,
+    lock_waits: u64,
+}
+
+fn run_point(cfg: &RunConfig, subs: usize) -> Point {
+    let (mut wh, params) = build_warehouse(cfg.pos_rows);
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(2));
+
+    let specs = distinct_specs();
+    // Deep queues: the harness measures push cost, not lag handling.
+    let handles: Vec<Subscription> = (0..subs)
+        .map(|i| wh.subscribe_with(specs[i % specs.len()].clone(), 64).unwrap())
+        .collect();
+
+    let mut maintain = Duration::ZERO;
+    let mut lock_waits = 0u64;
+    for c in 0..cfg.cycles {
+        let batch = update_batch(&wh, &params, cfg.batch_rows, 0xF00D + c as u64);
+        let t0 = Instant::now();
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        maintain += t0.elapsed();
+        lock_waits += report.metrics.lock_waits;
+        // Drain so queues never overflow mid-sweep.
+        for h in &handles {
+            h.drain();
+        }
+    }
+
+    let fanout = wh.metrics().histogram("fanout_us").snapshot();
+    Point {
+        subs,
+        maintain,
+        fanout_mean_us: fanout.mean_us(),
+        fanout_p95_us: fanout.quantile_us(0.95),
+        updates_pushed: wh.metrics().counter("sub_updates_pushed").get(),
+        lagged: wh.metrics().counter("sub_lagged").get(),
+        lock_waits,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let cfg = if quick {
+        RunConfig { pos_rows: 20_000, cycles: 4, batch_rows: 512 }
+    } else {
+        RunConfig { pos_rows: 100_000, cycles: 8, batch_rows: 2_048 }
+    };
+
+    println!("== subscription fan-out: dispatch cost vs live subscriptions ==");
+    println!(
+        "(pos = {}, {} cycles of {}-row update batches, 4 distinct specs)",
+        cfg.pos_rows, cfg.cycles, cfg.batch_rows
+    );
+    println!(
+        "{:>6} {:>14} {:>16} {:>14} {:>10} {:>8} {:>10}",
+        "subs", "maintain-ms", "fanout-mean-us", "fanout-p95-us", "pushed", "lagged", "lock-waits"
+    );
+
+    let points: Vec<Point> = SUB_COUNTS.iter().map(|&n| run_point(&cfg, n)).collect();
+    for p in &points {
+        println!(
+            "{:>6} {:>14.1} {:>16.1} {:>14} {:>10} {:>8} {:>10}",
+            p.subs,
+            p.maintain.as_secs_f64() * 1_000.0,
+            p.fanout_mean_us,
+            p.fanout_p95_us,
+            p.updates_pushed,
+            p.lagged,
+            p.lock_waits,
+        );
+    }
+
+    // The sublinearity gate: ~10× the subscribers (200 → 2000) must not
+    // cost ~10× the dispatch time. Diff evaluation is shared per spec
+    // group; only the queue pushes scale, and those are clones of an
+    // already-computed update. A generous 5× bound keeps CI noise out.
+    let small = points.iter().find(|p| p.subs == 200).unwrap();
+    let large = points.iter().find(|p| p.subs == 2000).unwrap();
+    let ratio = if small.fanout_mean_us > 0.0 {
+        large.fanout_mean_us / small.fanout_mean_us
+    } else {
+        1.0
+    };
+    let sublinear = ratio < 5.0;
+    let zero_lock_waits = points.iter().all(|p| p.lock_waits == 0);
+    println!(
+        "\nfan-out mean ratio 2000/200 subs: {ratio:.2} (sublinear: {sublinear}), \
+         maintenance lock_waits all zero: {zero_lock_waits}"
+    );
+
+    let json_points: Vec<JsonValue> = points
+        .iter()
+        .map(|p| {
+            JsonValue::object([
+                ("subscriptions", JsonValue::from(p.subs)),
+                (
+                    "maintain_us",
+                    JsonValue::from(p.maintain.as_micros() as u64),
+                ),
+                ("fanout_mean_us", JsonValue::from(p.fanout_mean_us)),
+                ("fanout_p95_us", JsonValue::from(p.fanout_p95_us)),
+                ("updates_pushed", JsonValue::from(p.updates_pushed)),
+                ("lagged", JsonValue::from(p.lagged)),
+                ("lock_waits", JsonValue::from(p.lock_waits)),
+            ])
+        })
+        .collect();
+
+    let telemetry = JsonValue::object([
+        (
+            "benchmark",
+            JsonValue::from("subfan: subscription fan-out cost vs live subscriptions"),
+        ),
+        (
+            "paper",
+            JsonValue::from(
+                "Maintenance of Data Cubes and Summary Tables in a Warehouse (SIGMOD 1997)",
+            ),
+        ),
+        ("quick", JsonValue::from(quick)),
+        ("pos_rows", JsonValue::from(cfg.pos_rows)),
+        ("cycles", JsonValue::from(cfg.cycles)),
+        ("batch_rows", JsonValue::from(cfg.batch_rows)),
+        ("distinct_specs", JsonValue::from(distinct_specs().len())),
+        ("fanout_ratio_2000_over_200", JsonValue::from(ratio)),
+        ("fanout_sublinear", JsonValue::from(sublinear)),
+        ("zero_lock_waits", JsonValue::from(zero_lock_waits)),
+        (
+            "host_parallelism",
+            JsonValue::from(cubedelta_bench::host_parallelism()),
+        ),
+        ("points", JsonValue::array(json_points)),
+    ]);
+    let out = "BENCH_subfan.json";
+    match std::fs::write(out, telemetry.render_pretty() + "\n") {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => eprintln!("\nfailed to write {out}: {e}"),
+    }
+
+    assert!(sublinear, "fan-out scaled linearly with subscription count");
+    assert!(zero_lock_waits, "subscription dispatch contended with maintenance");
+}

@@ -70,7 +70,7 @@ impl AggQuery {
     /// machinery applies to it. Needs only catalog *metadata* (schemas,
     /// FKs), so it works against a live warehouse and a frozen snapshot
     /// alike.
-    fn as_view_def(&self, catalog: &Catalog) -> CoreResult<SummaryViewDef> {
+    pub(crate) fn as_view_def(&self, catalog: &Catalog) -> CoreResult<SummaryViewDef> {
         let fact_schema = catalog.table(&self.fact_table)?.schema().clone();
         let mut b = SummaryViewDef::builder("__query", &self.fact_table)
             .filter(self.where_clause.clone())

@@ -68,6 +68,7 @@ use cubedelta_storage::{ChangeBatch, DeltaSet};
 
 use crate::commitlog::{CommitLog, Manifest};
 use crate::error::{CoreError, CoreResult};
+use crate::subscribe::{Subscription, SubscriptionRegistry, SubscriptionSpec};
 use crate::warehouse::{LatticeSnapshot, MaintainOptions, ShardRouter, SnapshotReader, Warehouse};
 
 /// Environment variable naming a `host:port` to serve the Prometheus
@@ -320,6 +321,11 @@ struct Obs {
     log_appended_bytes: Counter,
     fsync_us: Histogram,
     snapshot_pins: Gauge,
+    /// Times the worker thread woke from its flush-timer / work wait —
+    /// the busy-wake regression guard: with a sub-millisecond
+    /// `flush_interval` the worker must still wake O(1) times per sealed
+    /// batch, not spin on a clamped timer.
+    worker_wakeups: Counter,
 }
 
 /// Mutable queue state behind the service mutex.
@@ -606,6 +612,10 @@ pub struct WarehouseService {
     /// `CUBEDELTA_METRICS_ADDR` or [`WarehouseService::serve_metrics`]).
     /// Shut down when the service is dropped or shut down.
     metrics_server: Option<MetricsServer>,
+    /// The warehouse's subscription hub, held across the worker boundary:
+    /// clients register here while the worker owns the warehouse, and the
+    /// worker's committed cycles dispatch into the same registry.
+    subs: SubscriptionRegistry,
 }
 
 impl WarehouseService {
@@ -685,10 +695,12 @@ impl WarehouseService {
             log_appended_bytes: registry.counter("log_appended_bytes"),
             fsync_us: registry.histogram("fsync_us"),
             snapshot_pins: registry.gauge("snapshot_pins"),
+            worker_wakeups: registry.counter("worker_wakeups"),
         };
         obs.healthy.set(1);
         let router = warehouse.shard_router();
         let snapshots = warehouse.snapshot_reader();
+        let subs = warehouse.subscriptions().clone();
         let shared = Arc::new(Shared {
             state: Mutex::new(QueueState::default()),
             work: Condvar::new(),
@@ -725,6 +737,7 @@ impl WarehouseService {
             shared,
             worker: Some(worker),
             metrics_server,
+            subs,
         }
     }
 
@@ -905,6 +918,40 @@ impl WarehouseService {
         self.shared.snapshots.clone()
     }
 
+    /// The live-subscription hub (see [`crate::subscribe`]).
+    pub fn subscriptions(&self) -> &SubscriptionRegistry {
+        &self.subs
+    }
+
+    /// Registers a standing filter/project subscription over one summary
+    /// view, concurrent with the maintenance worker. The initial result and
+    /// its start epoch come from one snapshot read taken under the registry
+    /// lock, so a cycle committing mid-registration is either fully in the
+    /// initial state or delivered as the first update — never both, never
+    /// neither.
+    pub fn subscribe(&self, spec: SubscriptionSpec) -> CoreResult<Subscription> {
+        self.subs.subscribe(spec)
+    }
+
+    /// [`WarehouseService::subscribe`] with an explicit queue capacity.
+    pub fn subscribe_with(
+        &self,
+        spec: SubscriptionSpec,
+        capacity: usize,
+    ) -> CoreResult<Subscription> {
+        self.subs.subscribe_with(spec, capacity)
+    }
+
+    /// Subscribes to an ad-hoc aggregate query by rewriting it onto a
+    /// materialized lattice node. The rewrite plans against the published
+    /// snapshot's catalog (the worker owns the live one); snapshots keep
+    /// schema-only fact stand-ins, so planning metadata is all there.
+    pub fn subscribe_query(&self, query: &crate::answer::AggQuery) -> CoreResult<Subscription> {
+        let snap = self.read();
+        let spec = SubscriptionSpec::from_query(snap.catalog(), snap.views(), query)?;
+        self.subs.subscribe(spec)
+    }
+
     /// Stops accepting deltas, drains every staged and sealed batch
     /// (unless a cycle fails), joins the worker, and returns the warehouse
     /// together with the full accounting — including any deltas that were
@@ -997,20 +1044,30 @@ fn worker_loop(shared: Arc<Shared>, mut wh: Warehouse) -> Warehouse {
                 break None; // fully drained
             }
             st = match st.staged_since {
-                // Sleep exactly until the staged batch comes due.
+                // Sleep exactly until the staged batch comes due. No lower
+                // clamp: a clamped wait (the old `max(1ms)`) turns a
+                // sub-millisecond `flush_interval` into a spin of 1ms
+                // wakeups. A zero remainder means the batch is already due
+                // — loop around without sleeping; `flush_due` uses `>=`,
+                // so the next iteration seals it.
                 Some(t0) => {
-                    let wait = shared
-                        .policy
-                        .flush_interval
-                        .saturating_sub(t0.elapsed())
-                        .max(Duration::from_millis(1));
-                    shared
+                    let wait = shared.policy.flush_interval.saturating_sub(t0.elapsed());
+                    if wait.is_zero() {
+                        continue;
+                    }
+                    let next = shared
                         .work
                         .wait_timeout(st, wait)
                         .unwrap_or_else(|p| p.into_inner())
-                        .0
+                        .0;
+                    shared.obs.worker_wakeups.inc();
+                    next
                 }
-                None => shared.work.wait(st).unwrap_or_else(|p| p.into_inner()),
+                None => {
+                    let next = shared.work.wait(st).unwrap_or_else(|p| p.into_inner());
+                    shared.obs.worker_wakeups.inc();
+                    next
+                }
             };
         };
         let Some(job) = job else {

@@ -73,6 +73,7 @@ pub mod multi;
 pub mod prepare;
 pub mod propagate;
 pub mod refresh;
+pub mod subscribe;
 pub mod warehouse;
 
 pub use answer::{AggQuery, Answer};
@@ -102,6 +103,10 @@ pub use propagate::{
 pub use refresh::{
     apply_refresh_ops, plan_refresh_ops, refresh, refresh_join, refresh_join_metered,
     refresh_metered, PlannedRefresh, RecomputeSource, RefreshOptions, RefreshStats,
+};
+pub use subscribe::{
+    Subscription, SubscriptionMessage, SubscriptionRegistry, SubscriptionSpec,
+    SubscriptionUpdate, DEFAULT_SUB_QUEUE, SUB_QUEUE_ENV_VAR,
 };
 pub use warehouse::{
     LatticeSnapshot, MaintainOptions, MaintenancePolicy, MaintenanceReport, ShardRouter,

@@ -1,0 +1,1158 @@
+//! Live subscriptions over summary tables: per-cycle delta push.
+//!
+//! The maintenance cycle already computes, per summary view, the net change
+//! per group — the §4 summary-delta. This module lets clients register a
+//! standing filter/project query over one lattice node and receive that
+//! change stream instead of re-polling: an initial result pinned to a
+//! [`LatticeSnapshot`] epoch, then one [`SubscriptionUpdate`] per committed
+//! cycle under **bag semantics** (deletes cancel inserts by multiplicity
+//! counts, never set-dedup — the SpacetimeDB `subscription/delta.rs`
+//! discipline).
+//!
+//! Fan-out cost is decoupled from subscription count by *spec grouping* (the
+//! DBToaster "share one delta pass" idea): subscriptions with an equal bound
+//! filter and projection share one evaluation of the view diff; the computed
+//! update is cloned into each subscriber's bounded queue. A slow subscriber
+//! never blocks the maintenance worker: when its queue is full, pending
+//! updates are dropped and replaced by a single `Lagged { resync_epoch }`
+//! marker, after which the client calls [`Subscription::resync`].
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cubedelta_expr::Predicate;
+use cubedelta_lattice::derives::{derives, AggRewrite};
+use cubedelta_obs::{Counter, Gauge, Histogram, Journal, JournalEvent, MetricsRegistry};
+use cubedelta_query::Relation;
+use cubedelta_storage::{Row, Schema};
+
+use crate::answer::AggQuery;
+use crate::error::{CoreError, CoreResult};
+use crate::warehouse::{LatticeSnapshot, SnapshotReader};
+
+/// Environment variable bounding each subscription's update queue (messages,
+/// not rows). Sampled once when the registry is constructed.
+pub const SUB_QUEUE_ENV_VAR: &str = "CUBEDELTA_SUB_QUEUE";
+
+/// Default per-subscription queue capacity when [`SUB_QUEUE_ENV_VAR`] is
+/// unset.
+pub const DEFAULT_SUB_QUEUE: usize = 64;
+
+fn queue_capacity_from_env() -> usize {
+    std::env::var(SUB_QUEUE_ENV_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_SUB_QUEUE)
+}
+
+/// What a client subscribes to: a filter/project over one summary view
+/// (one lattice node).
+#[derive(Debug, Clone)]
+pub struct SubscriptionSpec {
+    /// The summary view subscribed to.
+    pub view: String,
+    /// Row filter over the view's columns (by name; bound at registration).
+    pub filter: Predicate,
+    /// Output columns, in order. `None` keeps the view's full row.
+    pub project: Option<Vec<String>>,
+}
+
+impl SubscriptionSpec {
+    /// Starts a spec over a summary view, unfiltered and unprojected.
+    pub fn on(view: impl Into<String>) -> Self {
+        SubscriptionSpec {
+            view: view.into(),
+            filter: Predicate::True,
+            project: None,
+        }
+    }
+
+    /// Sets the row filter.
+    pub fn filter(mut self, pred: Predicate) -> Self {
+        self.filter = pred;
+        self
+    }
+
+    /// Sets the projection.
+    pub fn project<I, S>(mut self, cols: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.project = Some(cols.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Resolves the spec against a snapshot: binds the filter to the view's
+    /// schema and the projection to column indices. The bound pair is what
+    /// spec-grouping compares, so two subscriptions bind equal iff they
+    /// evaluate identically.
+    fn bind_to(&self, snap: &LatticeSnapshot) -> CoreResult<BoundSpec> {
+        if snap.view(&self.view).is_none() {
+            return Err(CoreError::Maintenance(format!(
+                "subscription target `{}` is not a summary view",
+                self.view
+            )));
+        }
+        let schema = snap.table(&self.view)?.schema().clone();
+        let filter = self.filter.bind(&schema)?;
+        let project = match &self.project {
+            Some(cols) => {
+                let names: Vec<&str> = cols.iter().map(String::as_str).collect();
+                schema.indices_of(&names)?
+            }
+            None => (0..schema.arity()).collect(),
+        };
+        let out_schema = schema.project(&project);
+        Ok(BoundSpec {
+            filter,
+            project,
+            out_schema,
+        })
+    }
+
+    /// Evaluates the spec against a pinned snapshot, canonicalized so equal
+    /// states are byte-identical regardless of evaluation order.
+    pub fn eval(&self, snap: &LatticeSnapshot) -> CoreResult<Relation> {
+        let bound = self.bind_to(snap)?;
+        bound.eval_table(snap, &self.view)
+    }
+
+    /// Rewrites an ad-hoc [`AggQuery`] onto a materialized lattice node the
+    /// query is derivable from (§5.1 derives relation), producing a spec
+    /// whose per-cycle updates equal re-running the query each epoch.
+    ///
+    /// Two rewrites are attempted, smallest view first:
+    ///
+    /// 1. the query's WHERE matches the view's WHERE (the paper's views
+    ///    share theirs) and the spec filter is `True`;
+    /// 2. the view has WHERE `True` and the query's WHERE ranges only over
+    ///    the query's group-by attributes — it becomes a *residual* row
+    ///    filter over the view's output.
+    ///
+    /// The rewrite requires an exact group-by match with no dimension joins
+    /// and every user aggregate present on the view verbatim
+    /// (`FromParentAgg`): anything coarser would need re-aggregation per
+    /// update, which a push stream cannot do incrementally. Output columns
+    /// keep the *view's* aggregate names. AVG is rejected (not
+    /// incrementally pushable; subscribe to its SUM/COUNT parts instead).
+    pub fn from_query(
+        catalog: &cubedelta_storage::Catalog,
+        views: &[cubedelta_view::AugmentedView],
+        query: &AggQuery,
+    ) -> CoreResult<SubscriptionSpec> {
+        use cubedelta_query::AggFunc;
+        if query
+            .aggregates
+            .iter()
+            .any(|(f, _)| matches!(f, AggFunc::Avg(_)))
+        {
+            return Err(CoreError::Maintenance(
+                "AVG is not incrementally pushable; subscribe to its SUM and COUNT parts"
+                    .into(),
+            ));
+        }
+
+        // Candidate rewrites: (query variant lowered to a view def, residual
+        // filter over the target view's columns).
+        let mut attempts: Vec<(AggQuery, Predicate)> = vec![(query.clone(), Predicate::True)];
+        if query.where_clause != Predicate::True {
+            let group_set: BTreeSet<&str> =
+                query.group_by.iter().map(String::as_str).collect();
+            if query
+                .where_clause
+                .columns()
+                .iter()
+                .all(|c| group_set.contains(c.as_str()))
+            {
+                let mut unfiltered = query.clone();
+                unfiltered.where_clause = Predicate::True;
+                attempts.push((unfiltered, query.where_clause.clone()));
+            }
+        }
+
+        let mut candidates: Vec<(&cubedelta_view::AugmentedView, usize)> = views
+            .iter()
+            .filter_map(|v| catalog.table(&v.def.name).ok().map(|t| (v, t.len())))
+            .collect();
+        candidates.sort_by_key(|(v, n)| (*n, v.def.name.clone()));
+
+        for (variant, residual) in &attempts {
+            let def = variant.as_view_def(catalog)?;
+            let q = cubedelta_view::augment(catalog, &def)?;
+            for (view, _) in &candidates {
+                let Some(info) = derives(catalog, &q, view)? else {
+                    continue;
+                };
+                // Push streams cannot re-join or re-aggregate per update:
+                // the view must carry the query's groups and aggregates
+                // verbatim.
+                if !info.dim_joins.is_empty() {
+                    continue;
+                }
+                let q_groups: BTreeSet<&str> =
+                    q.def.group_by.iter().map(String::as_str).collect();
+                let v_groups: BTreeSet<&str> =
+                    view.def.group_by.iter().map(String::as_str).collect();
+                if q_groups != v_groups {
+                    continue;
+                }
+                let mut agg_cols: Vec<String> = Vec::with_capacity(q.user_agg_count);
+                let mut ok = true;
+                for rewrite in info.agg_rewrites.iter().take(q.user_agg_count) {
+                    match rewrite {
+                        AggRewrite::FromParentAgg(j) => {
+                            agg_cols.push(view.def.aggregates[*j].alias.clone())
+                        }
+                        AggRewrite::Reaggregate => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if !ok {
+                    continue;
+                }
+                let mut project: Vec<String> = variant.group_by.clone();
+                project.extend(agg_cols);
+                return Ok(SubscriptionSpec {
+                    view: view.def.name.clone(),
+                    filter: residual.clone(),
+                    project: Some(project),
+                });
+            }
+        }
+        Err(CoreError::Maintenance(format!(
+            "query over `{}` is not pushable from any summary table: subscriptions \
+             need a view carrying the query's exact group-by and aggregates",
+            query.fact_table
+        )))
+    }
+}
+
+/// A spec resolved against a concrete view schema. Equality of the bound
+/// filter and projection indices implies identical evaluation, so this is
+/// the spec-group key.
+#[derive(Debug, Clone)]
+struct BoundSpec {
+    filter: Predicate,
+    project: Vec<usize>,
+    out_schema: Schema,
+}
+
+impl BoundSpec {
+    fn matches(&self, other: &BoundSpec) -> bool {
+        self.filter == other.filter && self.project == other.project
+    }
+
+    /// Full evaluation over the view's table in a snapshot.
+    fn eval_table(&self, snap: &LatticeSnapshot, view: &str) -> CoreResult<Relation> {
+        let table = snap.table(view)?;
+        let mut rows = Vec::new();
+        for row in table.rows() {
+            if self.filter.eval(row)? {
+                rows.push(row.project(&self.project));
+            }
+        }
+        Ok(Relation::new(self.out_schema.clone(), rows).canonicalized())
+    }
+}
+
+/// One cycle's worth of change for a subscription, under bag semantics:
+/// `inserts` and `deletes` are multisets; a row appearing in both with equal
+/// multiplicity has already been cancelled out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriptionUpdate {
+    /// The snapshot epoch this update advances the client to.
+    pub epoch: u64,
+    /// The maintenance cycle that produced it.
+    pub cycle: u64,
+    /// Rows entering the result (with multiplicity).
+    pub inserts: Vec<Row>,
+    /// Rows leaving the result (with multiplicity).
+    pub deletes: Vec<Row>,
+}
+
+impl SubscriptionUpdate {
+    /// True when the cycle changed nothing visible to this subscription.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Applies the update to a client-held relation under bag semantics,
+    /// rebuilding it in canonical (sorted) row order so the result is
+    /// byte-identical to [`SubscriptionSpec::eval`] at `self.epoch`.
+    pub fn apply_to(&self, rel: &mut Relation) -> CoreResult<()> {
+        let mut counts: BTreeMap<&Row, i64> = BTreeMap::new();
+        for row in &rel.rows {
+            *counts.entry(row).or_insert(0) += 1;
+        }
+        for row in &self.deletes {
+            *counts.entry(row).or_insert(0) -= 1;
+        }
+        for row in &self.inserts {
+            *counts.entry(row).or_insert(0) += 1;
+        }
+        let mut rows = Vec::new();
+        for (row, n) in counts {
+            if n < 0 {
+                return Err(CoreError::Maintenance(format!(
+                    "subscription update for epoch {} deletes row {row} more times \
+                     than the client holds it",
+                    self.epoch
+                )));
+            }
+            for _ in 0..n {
+                rows.push(row.clone());
+            }
+        }
+        rel.rows = rows;
+        Ok(())
+    }
+}
+
+/// What a subscriber receives from its queue.
+///
+/// Updates are shared: every member of a spec group holds an [`Arc`] to
+/// the *same* computed [`SubscriptionUpdate`], so fanning a cycle out to
+/// thousands of subscribers costs one refcount bump per queue, not one
+/// deep row copy — the piece that keeps dispatch time decoupled from the
+/// subscriber population.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubscriptionMessage {
+    /// A per-cycle delta to apply.
+    Update(Arc<SubscriptionUpdate>),
+    /// The subscriber fell behind (queue overflow) or the view was
+    /// rebuilt/dropped; pending updates were discarded. Call
+    /// [`Subscription::resync`] to re-pin at `resync_epoch` or later.
+    Lagged {
+        /// The earliest epoch a resync is guaranteed to reach.
+        resync_epoch: u64,
+    },
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    messages: VecDeque<SubscriptionMessage>,
+    lagged: bool,
+    closed: bool,
+}
+
+/// A bounded MPSC-ish queue: the dispatcher pushes, one client pops.
+#[derive(Debug, Default)]
+struct SubQueue {
+    state: Mutex<QueueState>,
+    avail: Condvar,
+}
+
+enum PushOutcome {
+    Pushed,
+    Lagged,
+    Skipped,
+}
+
+impl SubQueue {
+    /// Pushes an update, converting overflow into a single `Lagged` marker.
+    fn push_update(&self, capacity: usize, update: Arc<SubscriptionUpdate>) -> PushOutcome {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.closed {
+            return PushOutcome::Skipped;
+        }
+        if st.lagged {
+            // Keep the pending marker pointing at the newest missed epoch
+            // so a late reader resyncs as far forward as possible.
+            if let Some(SubscriptionMessage::Lagged { resync_epoch }) = st.messages.back_mut() {
+                *resync_epoch = update.epoch;
+            }
+            return PushOutcome::Skipped;
+        }
+        if st.messages.len() >= capacity {
+            let resync_epoch = update.epoch;
+            st.messages.clear();
+            st.messages
+                .push_back(SubscriptionMessage::Lagged { resync_epoch });
+            st.lagged = true;
+            self.avail.notify_all();
+            return PushOutcome::Lagged;
+        }
+        st.messages.push_back(SubscriptionMessage::Update(update));
+        self.avail.notify_all();
+        PushOutcome::Pushed
+    }
+
+    /// Forces the subscriber into the lagged state (view rebuilt/dropped).
+    fn force_lag(&self, resync_epoch: u64) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if st.closed || st.lagged {
+            return false;
+        }
+        st.messages.clear();
+        st.messages
+            .push_back(SubscriptionMessage::Lagged { resync_epoch });
+        st.lagged = true;
+        self.avail.notify_all();
+        true
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.closed = true;
+        st.messages.clear();
+        self.avail.notify_all();
+    }
+
+    fn try_recv(&self) -> Option<SubscriptionMessage> {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.messages.pop_front()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Option<SubscriptionMessage> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(msg) = st.messages.pop_front() {
+                return Some(msg);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timed_out) = self
+                .avail
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|p| p.into_inner());
+            st = next;
+            if timed_out.timed_out() && st.messages.is_empty() {
+                return None;
+            }
+        }
+    }
+
+    fn is_lagged(&self) -> bool {
+        self.state.lock().unwrap_or_else(|p| p.into_inner()).lagged
+    }
+
+    fn clear_lag(&self) {
+        let mut st = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        st.messages.clear();
+        st.lagged = false;
+    }
+}
+
+/// One registered subscriber within a spec group.
+#[derive(Debug)]
+struct SubEntry {
+    id: u64,
+    /// Snapshot epoch the subscriber's initial result is pinned to; updates
+    /// are pushed only for epochs strictly after it.
+    start_epoch: u64,
+    capacity: usize,
+    queue: Arc<SubQueue>,
+}
+
+/// Subscriptions sharing one bound (filter, projection): the view diff is
+/// evaluated once per group, then cloned into each member's queue.
+#[derive(Debug)]
+struct SpecGroup {
+    bound: BoundSpec,
+    subs: Vec<SubEntry>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    by_view: HashMap<String, Vec<SpecGroup>>,
+}
+
+#[derive(Debug)]
+struct RegistryInner {
+    state: Mutex<RegistryState>,
+    reader: SnapshotReader,
+    /// Live subscription count, readable without the state lock so the
+    /// maintenance path can skip dispatch entirely when nobody listens.
+    active: AtomicUsize,
+    next_id: AtomicU64,
+    default_capacity: usize,
+    journal: Journal,
+    subscriptions_active: Gauge,
+    sub_updates_pushed: Counter,
+    sub_lagged: Counter,
+    fanout_us: Histogram,
+}
+
+impl RegistryInner {
+    fn unsubscribe(&self, view: &str, id: u64) {
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(groups) = state.by_view.get_mut(view) else {
+            return;
+        };
+        let mut removed = false;
+        for group in groups.iter_mut() {
+            if let Some(pos) = group.subs.iter().position(|s| s.id == id) {
+                let entry = group.subs.swap_remove(pos);
+                entry.queue.close();
+                removed = true;
+                break;
+            }
+        }
+        if removed {
+            groups.retain(|g| !g.subs.is_empty());
+            if groups.is_empty() {
+                state.by_view.remove(view);
+            }
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            self.subscriptions_active.add(-1);
+        }
+    }
+}
+
+/// The subscription hub: lives on the [`crate::warehouse::Warehouse`] and is
+/// shared (via `Clone`) with [`crate::ingest::WarehouseService`].
+#[derive(Debug, Clone)]
+pub struct SubscriptionRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl SubscriptionRegistry {
+    pub(crate) fn new(reader: SnapshotReader, metrics: &MetricsRegistry, journal: Journal) -> Self {
+        SubscriptionRegistry {
+            inner: Arc::new(RegistryInner {
+                state: Mutex::new(RegistryState::default()),
+                reader,
+                active: AtomicUsize::new(0),
+                next_id: AtomicU64::new(1),
+                default_capacity: queue_capacity_from_env(),
+                journal,
+                subscriptions_active: metrics.gauge("subscriptions_active"),
+                sub_updates_pushed: metrics.counter("sub_updates_pushed"),
+                sub_lagged: metrics.counter("sub_lagged"),
+                fanout_us: metrics.histogram("fanout_us"),
+            }),
+        }
+    }
+
+    /// Registers a subscription with the default queue capacity
+    /// ([`SUB_QUEUE_ENV_VAR`], default [`DEFAULT_SUB_QUEUE`]).
+    pub fn subscribe(&self, spec: SubscriptionSpec) -> CoreResult<Subscription> {
+        self.subscribe_with(spec, self.inner.default_capacity)
+    }
+
+    /// Registers a subscription with an explicit queue capacity (min 1).
+    ///
+    /// The initial result and the registration's start epoch come from ONE
+    /// snapshot read taken under the registry lock, so no committed cycle
+    /// can fall between them: every epoch after `start_epoch` is delivered
+    /// as an update, and none is double-counted in the initial state.
+    pub fn subscribe_with(
+        &self,
+        spec: SubscriptionSpec,
+        capacity: usize,
+    ) -> CoreResult<Subscription> {
+        let capacity = capacity.max(1);
+        let mut state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        let snap = self.inner.reader.read();
+        let bound = spec.bind_to(&snap)?;
+        let initial = bound.eval_table(&snap, &spec.view)?;
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let queue = Arc::new(SubQueue::default());
+        let entry = SubEntry {
+            id,
+            start_epoch: snap.epoch(),
+            capacity,
+            queue: Arc::clone(&queue),
+        };
+        let groups = state.by_view.entry(spec.view.clone()).or_default();
+        match groups.iter_mut().find(|g| g.bound.matches(&bound)) {
+            Some(group) => group.subs.push(entry),
+            None => groups.push(SpecGroup {
+                bound,
+                subs: vec![entry],
+            }),
+        }
+        self.inner.active.fetch_add(1, Ordering::Relaxed);
+        self.inner.subscriptions_active.add(1);
+        let start_epoch = snap.epoch();
+        drop(state);
+        Ok(Subscription {
+            inner: Arc::clone(&self.inner),
+            spec,
+            id,
+            capacity,
+            queue,
+            initial,
+            start_epoch,
+        })
+    }
+
+    /// Number of live subscriptions.
+    pub fn active(&self) -> usize {
+        self.inner.active.load(Ordering::Relaxed)
+    }
+
+    /// Cheap pre-check for the maintenance path.
+    pub(crate) fn has_subscribers(&self) -> bool {
+        self.active() > 0
+    }
+
+    /// Evaluates the committed cycle's summary-deltas against every spec
+    /// group and fans the per-group update out to members. Called by the
+    /// warehouse right after `publish`, with the pre-cycle (`prev`) and
+    /// just-published (`new`) snapshots and the cycle's per-view deltas.
+    ///
+    /// Cost: one diff + one filter/project pass per *distinct* bound spec,
+    /// then O(members) queue pushes — decoupled from both the total view
+    /// count (views without subscribers are skipped) and the subscription
+    /// count (members share their group's evaluation).
+    pub(crate) fn dispatch_cycle(
+        &self,
+        prev: &LatticeSnapshot,
+        new: &LatticeSnapshot,
+        deltas: &HashMap<String, Relation>,
+    ) {
+        let started = Instant::now();
+        let mut state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        let epoch = new.epoch();
+        let cycle = new.cycle();
+        let mut views_touched = 0u64;
+        let mut pushed = 0u64;
+        let mut lagged = 0u64;
+        for (view, groups) in state.by_view.iter_mut() {
+            let changed = deltas.get(view).is_some_and(|d| !d.is_empty());
+            if !changed {
+                continue;
+            }
+            let diff = match view_diff(prev, new, view, &deltas[view]) {
+                Ok(diff) => diff,
+                Err(_) => {
+                    // Diffing failed (e.g. the view vanished mid-cycle):
+                    // force every subscriber to resync rather than push a
+                    // wrong delta.
+                    for group in groups.iter_mut() {
+                        for sub in &group.subs {
+                            if sub.queue.force_lag(epoch) {
+                                lagged += 1;
+                            }
+                        }
+                    }
+                    continue;
+                }
+            };
+            if diff.is_empty() {
+                continue;
+            }
+            views_touched += 1;
+            for group in groups.iter_mut() {
+                let update = match group_update(&group.bound, &diff, epoch, cycle) {
+                    Ok(Some(update)) => Arc::new(update),
+                    Ok(None) => continue,
+                    Err(_) => {
+                        for sub in &group.subs {
+                            if sub.queue.force_lag(epoch) {
+                                lagged += 1;
+                            }
+                        }
+                        continue;
+                    }
+                };
+                for sub in &group.subs {
+                    // A subscriber registered at epoch >= this cycle's
+                    // publish already holds the post-cycle state.
+                    if sub.start_epoch >= epoch {
+                        continue;
+                    }
+                    match sub.queue.push_update(sub.capacity, Arc::clone(&update)) {
+                        PushOutcome::Pushed => pushed += 1,
+                        PushOutcome::Lagged => lagged += 1,
+                        PushOutcome::Skipped => {}
+                    }
+                }
+            }
+        }
+        drop(state);
+        let time_us = started.elapsed().as_micros() as u64;
+        self.inner.sub_updates_pushed.add(pushed);
+        self.inner.sub_lagged.add(lagged);
+        self.inner.fanout_us.record_us(time_us);
+        self.inner.journal.record(JournalEvent::SubscriptionFanout {
+            cycle,
+            epoch,
+            views: views_touched,
+            updates_pushed: pushed,
+            lagged,
+            time_us,
+        });
+    }
+
+    /// DDL invalidation: any subscribed view whose table version changed
+    /// outside a maintenance cycle (rebuild, drop, direct insert) cannot be
+    /// patched incrementally — lag those subscribers so they resync.
+    pub(crate) fn invalidate_changed(&self, prev: &LatticeSnapshot, new: &LatticeSnapshot) {
+        let state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        let epoch = new.epoch();
+        let mut lagged = 0u64;
+        for (view, groups) in state.by_view.iter() {
+            let same = match (prev.catalog().table_version(view), new.catalog().table_version(view))
+            {
+                (Ok(a), Ok(b)) => Arc::ptr_eq(&a, &b),
+                _ => false,
+            };
+            if same {
+                continue;
+            }
+            for group in groups {
+                for sub in &group.subs {
+                    if sub.queue.force_lag(epoch) {
+                        lagged += 1;
+                    }
+                }
+            }
+        }
+        drop(state);
+        self.inner.sub_lagged.add(lagged);
+    }
+}
+
+/// Reconstructs the view's row-level change for one cycle from its
+/// summary-delta: per affected group key, the old row (if any) leaves and
+/// the new row (if any) enters. Uses the summary table's unique group-key
+/// index when available.
+fn view_diff(
+    prev: &LatticeSnapshot,
+    new: &LatticeSnapshot,
+    view: &str,
+    delta: &Relation,
+) -> CoreResult<Vec<(Row, i64)>> {
+    let aug = new
+        .view(view)
+        .ok_or_else(|| CoreError::Maintenance(format!("view `{view}` missing from snapshot")))?;
+    let kw = aug.key_width();
+    let key_cols: Vec<usize> = (0..kw).collect();
+    let mut keys: BTreeSet<Row> = BTreeSet::new();
+    for row in &delta.rows {
+        keys.insert(row.project(&key_cols));
+    }
+    let old_table = prev.table(view)?;
+    let new_table = new.table(view)?;
+    let mut diff = Vec::new();
+    for key in keys {
+        let old = lookup(old_table, &key, kw);
+        let newr = lookup(new_table, &key, kw);
+        if old == newr {
+            continue;
+        }
+        if let Some(row) = old {
+            diff.push((row.clone(), -1));
+        }
+        if let Some(row) = newr {
+            diff.push((row.clone(), 1));
+        }
+    }
+    Ok(diff)
+}
+
+/// Finds the (at most one) row of a summary table matching a group-key
+/// prefix. Summary tables keep a unique index on the group-by columns; fall
+/// back to a linear prefix scan when absent (e.g. apex views with no
+/// group-by).
+fn lookup<'t>(table: &'t cubedelta_storage::Table, key: &Row, kw: usize) -> Option<&'t Row> {
+    if kw == 0 {
+        return table.rows().next();
+    }
+    if let Some(ix) = table.unique_index() {
+        if ix.columns() == (0..kw).collect::<Vec<_>>().as_slice() {
+            return ix.get(key).and_then(|id| table.get(id));
+        }
+    }
+    let key_cols: Vec<usize> = (0..kw).collect();
+    table.rows().find(|r| &r.project(&key_cols) == key)
+}
+
+/// Evaluates one spec group over a view diff under bag semantics: the net
+/// count per projected row, expanded in canonical order.
+fn group_update(
+    bound: &BoundSpec,
+    diff: &[(Row, i64)],
+    epoch: u64,
+    cycle: u64,
+) -> CoreResult<Option<SubscriptionUpdate>> {
+    let mut counts: BTreeMap<Row, i64> = BTreeMap::new();
+    for (row, sign) in diff {
+        if !bound.filter.eval(row)? {
+            continue;
+        }
+        *counts.entry(row.project(&bound.project)).or_insert(0) += sign;
+    }
+    let mut inserts = Vec::new();
+    let mut deletes = Vec::new();
+    for (row, n) in counts {
+        match n.cmp(&0) {
+            std::cmp::Ordering::Greater => {
+                for _ in 0..n {
+                    inserts.push(row.clone());
+                }
+            }
+            std::cmp::Ordering::Less => {
+                for _ in 0..-n {
+                    deletes.push(row.clone());
+                }
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    if inserts.is_empty() && deletes.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(SubscriptionUpdate {
+        epoch,
+        cycle,
+        inserts,
+        deletes,
+    }))
+}
+
+/// A live subscription handle. Dropping it unregisters.
+#[derive(Debug)]
+pub struct Subscription {
+    inner: Arc<RegistryInner>,
+    spec: SubscriptionSpec,
+    id: u64,
+    capacity: usize,
+    queue: Arc<SubQueue>,
+    initial: Relation,
+    start_epoch: u64,
+}
+
+impl Subscription {
+    /// The subscribed view.
+    pub fn view(&self) -> &str {
+        &self.spec.view
+    }
+
+    /// The spec as registered.
+    pub fn spec(&self) -> &SubscriptionSpec {
+        &self.spec
+    }
+
+    /// The initial result, pinned to [`Self::start_epoch`]. After a
+    /// [`Self::resync`] this is the re-pinned state.
+    pub fn initial(&self) -> &Relation {
+        &self.initial
+    }
+
+    /// The epoch the initial result is pinned to; the first pushed update
+    /// carries a strictly greater epoch.
+    pub fn start_epoch(&self) -> u64 {
+        self.start_epoch
+    }
+
+    /// Pops the next pending message without blocking.
+    pub fn try_recv(&self) -> Option<SubscriptionMessage> {
+        self.queue.try_recv()
+    }
+
+    /// Waits up to `timeout` for the next message. `None` on timeout or
+    /// after the registry side closed the queue.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<SubscriptionMessage> {
+        self.queue.recv_timeout(timeout)
+    }
+
+    /// Drains all currently pending messages.
+    pub fn drain(&self) -> Vec<SubscriptionMessage> {
+        let mut out = Vec::new();
+        while let Some(msg) = self.try_recv() {
+            out.push(msg);
+        }
+        out
+    }
+
+    /// Whether the subscription is in the lagged state (a `Lagged` marker
+    /// was or will be delivered; no further updates until [`Self::resync`]).
+    pub fn is_lagged(&self) -> bool {
+        self.queue.is_lagged()
+    }
+
+    /// Re-pins the subscription: re-evaluates the spec against the current
+    /// snapshot, replaces the initial result, clears the lag state, and
+    /// resumes update delivery from the new epoch. Returns the new start
+    /// epoch.
+    pub fn resync(&mut self) -> CoreResult<u64> {
+        let mut state = self.inner.state.lock().unwrap_or_else(|p| p.into_inner());
+        let snap = self.inner.reader.read();
+        let bound = self.spec.bind_to(&snap)?;
+        let initial = bound.eval_table(&snap, &self.spec.view)?;
+
+        // Remove the old entry (wherever its group is), then re-insert with
+        // the new start epoch — the bound spec may have changed if the view
+        // was rebuilt with a different schema.
+        let groups = state.by_view.entry(self.spec.view.clone()).or_default();
+        for group in groups.iter_mut() {
+            if let Some(pos) = group.subs.iter().position(|s| s.id == self.id) {
+                group.subs.swap_remove(pos);
+                break;
+            }
+        }
+        groups.retain(|g| !g.subs.is_empty());
+        self.queue.clear_lag();
+        let entry = SubEntry {
+            id: self.id,
+            start_epoch: snap.epoch(),
+            capacity: self.capacity,
+            queue: Arc::clone(&self.queue),
+        };
+        match groups.iter_mut().find(|g| g.bound.matches(&bound)) {
+            Some(group) => group.subs.push(entry),
+            None => groups.push(SpecGroup {
+                bound,
+                subs: vec![entry],
+            }),
+        }
+        drop(state);
+        self.initial = initial;
+        self.start_epoch = snap.epoch();
+        Ok(self.start_epoch)
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        self.inner.unsubscribe(&self.spec.view, self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::*;
+    use crate::warehouse::{MaintainOptions, Warehouse};
+    use cubedelta_expr::{CmpOp, Expr};
+    use cubedelta_query::AggFunc;
+    use cubedelta_storage::{row, ChangeBatch, Date, DeltaSet};
+
+    fn warehouse() -> Warehouse {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for def in figure1_defs() {
+            wh.create_summary_table(&def).unwrap();
+        }
+        wh
+    }
+
+    fn pos_batch() -> ChangeBatch {
+        ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![2i64, 20i64, Date(10003), 4i64, 2.0]],
+            deletions: vec![row![1i64, 10i64, Date(10000), 5i64, 1.0]],
+        })
+    }
+
+    #[test]
+    fn spec_eval_filters_and_projects() {
+        let wh = warehouse();
+        let snap = wh.read_snapshot();
+        let spec = SubscriptionSpec::on("SID_sales")
+            .filter(Predicate::cmp(
+                CmpOp::Eq,
+                Expr::col("storeID"),
+                Expr::lit(1i64),
+            ))
+            .project(["storeID", "TotalQuantity"]);
+        let rel = spec.eval(&snap).unwrap();
+        assert_eq!(rel.schema.names(), vec!["storeID", "TotalQuantity"]);
+        assert!(rel.rows.iter().all(|r| r[0] == 1i64.into()));
+    }
+
+    #[test]
+    fn spec_rejects_unknown_view_and_column() {
+        let wh = warehouse();
+        let snap = wh.read_snapshot();
+        assert!(SubscriptionSpec::on("nope").eval(&snap).is_err());
+        assert!(SubscriptionSpec::on("SID_sales")
+            .project(["no_such_col"])
+            .eval(&snap)
+            .is_err());
+    }
+
+    #[test]
+    fn update_applies_under_bag_semantics() {
+        let schema = Schema::new(vec![cubedelta_storage::Column::new(
+            "x",
+            cubedelta_storage::DataType::Int,
+        )]);
+        // The client holds {1, 1, 2}: duplicate rows are meaningful.
+        let mut rel = Relation::new(schema, vec![row![1i64], row![1i64], row![2i64]]);
+        let up = SubscriptionUpdate {
+            epoch: 1,
+            cycle: 1,
+            inserts: vec![row![3i64]],
+            deletes: vec![row![1i64]],
+        };
+        up.apply_to(&mut rel).unwrap();
+        // ONE copy of 1 deleted, not both.
+        assert_eq!(rel.rows, vec![row![1i64], row![2i64], row![3i64]]);
+
+        let over_delete = SubscriptionUpdate {
+            epoch: 2,
+            cycle: 2,
+            inserts: vec![],
+            deletes: vec![row![2i64], row![2i64]],
+        };
+        assert!(over_delete.apply_to(&mut rel).is_err());
+    }
+
+    #[test]
+    fn from_query_rewrites_onto_exact_view() {
+        let wh = warehouse();
+        let q = AggQuery::over("pos")
+            .group_by(["region"])
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total");
+        let spec = SubscriptionSpec::from_query(wh.catalog(), wh.views(), &q).unwrap();
+        assert_eq!(spec.view, "sR_sales");
+        // Output keeps the view's aggregate names.
+        assert_eq!(
+            spec.project.as_deref(),
+            Some(&["region".to_string(), "TotalQuantity".to_string()][..])
+        );
+        let rel = spec.eval(&wh.read_snapshot()).unwrap();
+        assert_eq!(rel.sorted_rows(), vec![row!["east", 17i64]]);
+    }
+
+    #[test]
+    fn from_query_residual_filter_over_group_by() {
+        let wh = warehouse();
+        let q = AggQuery::over("pos")
+            .group_by(["region"])
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .filter(Predicate::cmp(
+                CmpOp::Eq,
+                Expr::col("region"),
+                Expr::lit("east"),
+            ));
+        let spec = SubscriptionSpec::from_query(wh.catalog(), wh.views(), &q).unwrap();
+        assert_eq!(spec.view, "sR_sales");
+        assert_ne!(spec.filter, Predicate::True);
+        let rel = spec.eval(&wh.read_snapshot()).unwrap();
+        assert_eq!(rel.sorted_rows(), vec![row!["east", 17i64]]);
+    }
+
+    #[test]
+    fn from_query_rejects_avg_and_coarser_rollups() {
+        let wh = warehouse();
+        let avg = AggQuery::over("pos")
+            .group_by(["region"])
+            .aggregate(AggFunc::Avg(Expr::col("qty")), "a");
+        assert!(SubscriptionSpec::from_query(wh.catalog(), wh.views(), &avg).is_err());
+
+        // `city` totals are derivable from sCD_sales only by re-aggregating
+        // across dates — not pushable.
+        let coarser = AggQuery::over("pos")
+            .group_by(["city"])
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total");
+        assert!(SubscriptionSpec::from_query(wh.catalog(), wh.views(), &coarser).is_err());
+
+        // A WHERE over a non-group-by column can't become a residual filter.
+        let filtered = AggQuery::over("pos")
+            .group_by(["region"])
+            .aggregate(AggFunc::Sum(Expr::col("qty")), "total")
+            .filter(Predicate::cmp(CmpOp::Gt, Expr::col("qty"), Expr::lit(1i64)));
+        assert!(SubscriptionSpec::from_query(wh.catalog(), wh.views(), &filtered).is_err());
+    }
+
+    #[test]
+    fn initial_plus_update_replays_snapshot() {
+        let mut wh = warehouse();
+        let sub = wh
+            .subscribe(SubscriptionSpec::on("sR_sales"))
+            .unwrap();
+        let mut held = sub.initial().clone();
+        wh.maintain(&pos_batch(), &MaintainOptions::default()).unwrap();
+        let snap = wh.read_snapshot();
+
+        let msg = sub.try_recv().expect("update pushed");
+        let SubscriptionMessage::Update(up) = msg else {
+            panic!("expected update, got {msg:?}");
+        };
+        assert_eq!(up.epoch, snap.epoch());
+        up.apply_to(&mut held).unwrap();
+        assert_eq!(held, sub.spec().eval(&snap).unwrap());
+        drop(sub);
+        assert_eq!(wh.subscriptions().active(), 0);
+    }
+
+    #[test]
+    fn lag_then_resync_converges() {
+        let mut wh = warehouse();
+        let mut sub = wh
+            .subscribe_with(SubscriptionSpec::on("SID_sales"), 1)
+            .unwrap();
+        // Two cycles against capacity 1: the second push lags the queue.
+        wh.maintain(&pos_batch(), &MaintainOptions::default()).unwrap();
+        let b2 = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![3i64, 10i64, Date(10004), 7i64, 1.0]],
+        ));
+        wh.maintain(&b2, &MaintainOptions::default()).unwrap();
+        assert!(sub.is_lagged());
+        let msgs = sub.drain();
+        assert!(matches!(
+            msgs.last(),
+            Some(SubscriptionMessage::Lagged { .. })
+        ));
+
+        let epoch = sub.resync().unwrap();
+        assert_eq!(epoch, wh.read_snapshot().epoch());
+        assert!(!sub.is_lagged());
+        assert_eq!(
+            sub.initial(),
+            &sub.spec().eval(&wh.read_snapshot()).unwrap()
+        );
+
+        // Updates flow again after the resync.
+        let b3 = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 20i64, Date(10005), 2i64, 1.0]],
+        ));
+        wh.maintain(&b3, &MaintainOptions::default()).unwrap();
+        assert!(matches!(
+            sub.try_recv(),
+            Some(SubscriptionMessage::Update(_))
+        ));
+    }
+
+    #[test]
+    fn spec_groups_share_evaluation() {
+        let mut wh = warehouse();
+        let subs: Vec<_> = (0..8)
+            .map(|_| wh.subscribe(SubscriptionSpec::on("sR_sales")).unwrap())
+            .collect();
+        assert_eq!(wh.subscriptions().active(), 8);
+        wh.maintain(&pos_batch(), &MaintainOptions::default()).unwrap();
+        for sub in &subs {
+            assert!(matches!(
+                sub.try_recv(),
+                Some(SubscriptionMessage::Update(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn ddl_rebuild_lags_subscribers() {
+        let mut wh = warehouse();
+        let sub = wh.subscribe(SubscriptionSpec::on("sR_sales")).unwrap();
+        // Dropping the view changes its table version outside any cycle —
+        // the subscriber cannot be patched incrementally and must resync.
+        wh.drop_summary_table("sR_sales").unwrap();
+        assert!(sub.is_lagged());
+        assert!(matches!(
+            sub.try_recv(),
+            Some(SubscriptionMessage::Lagged { .. })
+        ));
+        // An unaffected view's subscribers are left alone.
+        let other = wh.subscribe(SubscriptionSpec::on("SID_sales")).unwrap();
+        wh.drop_summary_table("sCD_sales").unwrap();
+        assert!(!other.is_lagged());
+    }
+}

@@ -22,6 +22,8 @@ use crate::multi::{
 };
 use crate::propagate::PropagateOptions;
 use crate::refresh::{RefreshOptions, RefreshStats};
+use crate::subscribe::{Subscription, SubscriptionRegistry, SubscriptionSpec};
+use cubedelta_query::Relation;
 
 /// Environment variable that overrides the maintenance thread count.
 pub const THREADS_ENV_VAR: &str = "CUBEDELTA_THREADS";
@@ -505,7 +507,6 @@ impl SnapshotReader {
 /// cell* is not shared: a clone gets its own cell seeded from the current
 /// snapshot, so its later publications never clobber the original's
 /// readers.
-#[derive(Default)]
 pub struct Warehouse {
     catalog: Catalog,
     views: Vec<AugmentedView>,
@@ -538,10 +539,60 @@ pub struct Warehouse {
     /// The epoch the *next* publication will carry (see
     /// [`LatticeSnapshot::epoch`]).
     next_epoch: u64,
+    /// The live-subscription hub: standing filter/project queries over
+    /// summary views, fed per-cycle deltas right after `publish`. Shared
+    /// (via `Clone`) with the ingestion service front-end.
+    subs: SubscriptionRegistry,
+}
+
+/// Wires a subscription registry onto a snapshot cell. The registry reads
+/// through the cell so a subscriber's resync always sees what the
+/// warehouse's own readers see.
+fn registry_for(
+    snapshot: &Arc<SnapshotCell>,
+    registry: &MetricsRegistry,
+    journal: &Journal,
+) -> SubscriptionRegistry {
+    SubscriptionRegistry::new(
+        SnapshotReader {
+            cell: Arc::clone(snapshot),
+        },
+        registry,
+        journal.clone(),
+    )
+}
+
+impl Default for Warehouse {
+    fn default() -> Self {
+        let registry = MetricsRegistry::new();
+        let journal = Journal::default();
+        let snapshot = Arc::new(SnapshotCell::default());
+        let subs = registry_for(&snapshot, &registry, &journal);
+        Warehouse {
+            catalog: Catalog::default(),
+            views: Vec::new(),
+            lattice: None,
+            registry,
+            journal,
+            policy: MaintenancePolicy::default(),
+            shard_keys: HashMap::new(),
+            shard_tables: HashMap::new(),
+            last_applied_lsn: None,
+            snapshot,
+            next_epoch: 0,
+            subs,
+        }
+    }
 }
 
 impl Clone for Warehouse {
     fn clone(&self) -> Self {
+        // A fresh cell seeded with the current snapshot: the clone's
+        // publications must never replace what the original's readers
+        // see (and vice versa). Subscriptions stay with the original —
+        // the clone gets an empty registry on its own cell.
+        let snapshot = Arc::new(SnapshotCell::new(self.snapshot.read()));
+        let subs = registry_for(&snapshot, &self.registry, &self.journal);
         Warehouse {
             catalog: self.catalog.clone(),
             views: self.views.clone(),
@@ -552,11 +603,9 @@ impl Clone for Warehouse {
             shard_keys: self.shard_keys.clone(),
             shard_tables: self.shard_tables.clone(),
             last_applied_lsn: self.last_applied_lsn,
-            // A fresh cell seeded with the current snapshot: the clone's
-            // publications must never replace what the original's readers
-            // see (and vice versa).
-            snapshot: Arc::new(SnapshotCell::new(self.snapshot.read())),
+            snapshot,
             next_epoch: self.next_epoch,
+            subs,
         }
     }
 }
@@ -572,16 +621,7 @@ impl Warehouse {
     pub fn from_catalog(catalog: Catalog) -> Self {
         let mut wh = Warehouse {
             catalog,
-            views: Vec::new(),
-            lattice: None,
-            registry: MetricsRegistry::new(),
-            journal: Journal::default(),
-            policy: MaintenancePolicy::default(),
-            shard_keys: HashMap::new(),
-            shard_tables: HashMap::new(),
-            last_applied_lsn: None,
-            snapshot: Arc::new(SnapshotCell::default()),
-            next_epoch: 0,
+            ..Warehouse::default()
         };
         wh.publish(0);
         wh
@@ -620,8 +660,20 @@ impl Warehouse {
     /// [`Warehouse::catalog_mut`] and want readers to see it. Maintenance
     /// cycles and DDL publish automatically. Returns the published epoch.
     pub fn publish_snapshot(&mut self) -> u64 {
+        // An out-of-cycle publication (DDL, direct mutation) carries no
+        // summary-delta, so any subscribed view whose table version changed
+        // must be lagged to resync rather than silently skipped.
+        let prev = self
+            .subs
+            .has_subscribers()
+            .then(|| self.snapshot.read());
         let cycle = self.snapshot.read().cycle;
-        self.publish(cycle)
+        let epoch = self.publish(cycle);
+        if let Some(prev) = prev {
+            let new = self.snapshot.read();
+            self.subs.invalidate_changed(&prev, &new);
+        }
+        epoch
     }
 
     /// Publishes the current state as epoch 0 and restarts the epoch
@@ -647,6 +699,38 @@ impl Warehouse {
         SnapshotReader {
             cell: Arc::clone(&self.snapshot),
         }
+    }
+
+    /// The live-subscription hub. Cloneable; clones share the registrations
+    /// (the service front-end holds one across the worker boundary).
+    pub fn subscriptions(&self) -> &SubscriptionRegistry {
+        &self.subs
+    }
+
+    /// Registers a standing filter/project subscription over one summary
+    /// view. The returned handle carries the initial result pinned to the
+    /// current epoch; each later committed cycle that changes the view
+    /// pushes a [`crate::subscribe::SubscriptionUpdate`].
+    pub fn subscribe(&self, spec: SubscriptionSpec) -> CoreResult<Subscription> {
+        self.subs.subscribe(spec)
+    }
+
+    /// [`Warehouse::subscribe`] with an explicit queue capacity (min 1).
+    pub fn subscribe_with(
+        &self,
+        spec: SubscriptionSpec,
+        capacity: usize,
+    ) -> CoreResult<Subscription> {
+        self.subs.subscribe_with(spec, capacity)
+    }
+
+    /// Subscribes to an ad-hoc aggregate query by rewriting it onto a
+    /// materialized lattice node (see
+    /// [`SubscriptionSpec::from_query`]); errors when no view carries the
+    /// query's exact group-by and aggregates.
+    pub fn subscribe_query(&self, query: &crate::answer::AggQuery) -> CoreResult<Subscription> {
+        let spec = SubscriptionSpec::from_query(&self.catalog, &self.views, query)?;
+        self.subs.subscribe(spec)
     }
 
     /// Reads a table by name, falling back to the published snapshot when
@@ -993,7 +1077,7 @@ impl Warehouse {
             rows,
         });
         match self.maintain_cycle(batch, plan, opts, &cj) {
-            Ok(report) => {
+            Ok((report, deltas)) => {
                 cj.record(JournalEvent::CycleCommitted {
                     cycle: cj.cycle(),
                     rows,
@@ -1005,8 +1089,21 @@ impl Warehouse {
                 // The atomic epoch swap: readers move to the new cycle all
                 // at once. A failed cycle falls through to the Err arm and
                 // publishes nothing — readers stay on the last committed
-                // epoch even if the live catalog is left mid-refresh.
+                // epoch even if the live catalog is left mid-refresh — and
+                // subscribers receive nothing either.
+                let prev = self
+                    .subs
+                    .has_subscribers()
+                    .then(|| self.snapshot.read());
                 self.publish(cj.cycle());
+                if let Some(prev) = prev {
+                    // Fan the cycle's summary-deltas out to subscribers:
+                    // evaluated once per distinct spec from the pre/post
+                    // snapshots, pushed over bounded queues — a slow
+                    // subscriber lags, never blocks this (worker) thread.
+                    let new = self.snapshot.read();
+                    self.subs.dispatch_cycle(&prev, &new, &deltas);
+                }
                 Ok(report)
             }
             Err(e) => {
@@ -1028,7 +1125,7 @@ impl Warehouse {
         plan: &cubedelta_lattice::MaintenancePlan,
         opts: &MaintainOptions,
         cj: &CycleJournal,
-    ) -> CoreResult<MaintenanceReport> {
+    ) -> CoreResult<(MaintenanceReport, HashMap<String, Relation>)> {
         let threads = self.policy.threads.max(1);
         let shards = self.policy.shards.max(1);
         let popts = PropagateOptions {
@@ -1153,7 +1250,7 @@ impl Warehouse {
                 .record_us(shard_merge_us);
         }
 
-        Ok(MaintenanceReport {
+        let report = MaintenanceReport {
             cycle: cj.cycle(),
             propagate_time,
             apply_base_time,
@@ -1167,7 +1264,8 @@ impl Warehouse {
             shard_rows_scanned,
             shard_merge_us,
             shard_skew,
-        })
+        };
+        Ok((report, deltas))
     }
 
     /// The rematerialization baseline: apply the change set to base tables,

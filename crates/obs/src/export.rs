@@ -16,7 +16,7 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -317,9 +317,19 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromFamily>, String> {
 }
 
 /// A minimal HTTP/1.1 scrape endpoint serving `GET /metrics` from a
-/// shared [`MetricsRegistry`]. One accept-loop thread, one request per
-/// connection — enough for a Prometheus scraper on an internal port,
-/// with zero dependencies.
+/// shared [`MetricsRegistry`]. One accept-loop thread handing each
+/// connection to a short-lived handler thread, one request per connection
+/// — enough for a Prometheus scraper on an internal port, with zero
+/// dependencies.
+///
+/// Handler threads are detached and bounded: every socket carries both a
+/// read and a write timeout, so a scraper that connects and then stalls
+/// (never sends, or never reads the response) ties up at most one handler
+/// for a couple of seconds — it cannot wedge the accept loop, block other
+/// scrapes, or hang [`MetricsServer::shutdown`]/`Drop`, which join only
+/// the accept thread. At most [`MAX_INFLIGHT_SCRAPES`] handlers run at
+/// once; connections beyond that are dropped (the scraper retries) —
+/// telemetry must never accumulate unbounded threads.
 ///
 /// The listener shuts down when the server is dropped (or
 /// [`MetricsServer::shutdown`] is called explicitly).
@@ -330,6 +340,9 @@ pub struct MetricsServer {
     handle: Option<JoinHandle<()>>,
 }
 
+/// Concurrent scrape-handler cap; see [`MetricsServer`].
+pub const MAX_INFLIGHT_SCRAPES: usize = 32;
+
 impl MetricsServer {
     /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and starts
     /// serving scrapes of `registry` on a background thread.
@@ -338,6 +351,7 @@ impl MetricsServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
+        let inflight = Arc::new(AtomicUsize::new(0));
         let handle = std::thread::Builder::new()
             .name("cubedelta-metrics".into())
             .spawn(move || {
@@ -345,9 +359,26 @@ impl MetricsServer {
                     if thread_stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    if let Ok(stream) = stream {
-                        // Scrapes are tiny; serve inline on the accept thread.
-                        let _ = serve_one(stream, &registry);
+                    let Ok(stream) = stream else { continue };
+                    // Serve off-thread: a stalled peer must not wedge the
+                    // accept loop for later scrapers.
+                    if inflight.fetch_add(1, Ordering::SeqCst) >= MAX_INFLIGHT_SCRAPES {
+                        inflight.fetch_sub(1, Ordering::SeqCst);
+                        drop(stream); // over cap: shed load, scraper retries
+                        continue;
+                    }
+                    let reg = registry.clone();
+                    let slots = Arc::clone(&inflight);
+                    let spawned = std::thread::Builder::new()
+                        .name("cubedelta-metrics-conn".into())
+                        .spawn(move || {
+                            let _ = serve_one(stream, &reg);
+                            slots.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    if spawned.is_err() {
+                        // Spawn failure consumed the closure (and stream);
+                        // just release the slot.
+                        inflight.fetch_sub(1, Ordering::SeqCst);
                     }
                 }
             })
@@ -364,7 +395,10 @@ impl MetricsServer {
         self.addr
     }
 
-    /// Stops the accept loop and joins the server thread. Idempotent.
+    /// Stops the accept loop and joins it. Idempotent, and bounded: only
+    /// the accept thread is joined (it reacts to the wake-up connection
+    /// immediately); in-flight handler threads are detached and
+    /// self-terminate within their socket timeouts.
     pub fn shutdown(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the accept loop with a throwaway connection.
@@ -382,7 +416,11 @@ impl Drop for MetricsServer {
 }
 
 fn serve_one(mut stream: TcpStream, registry: &MetricsRegistry) -> std::io::Result<()> {
+    // Both directions time out: a peer that never sends trips the read
+    // timeout, one that connects and never reads fills the kernel send
+    // buffer and trips the write timeout — either way the handler exits.
     stream.set_read_timeout(Some(std::time::Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(2)))?;
     // Read the request line; drain headers best-effort.
     let mut buf = [0u8; 4096];
     let mut req = Vec::new();

@@ -94,6 +94,20 @@ pub enum JournalEvent {
     },
     /// The cycle failed (error or panic); views may be partially stale.
     CycleFailed { cycle: u64, error: String },
+    /// The committed cycle's summary-deltas were fanned out to live
+    /// subscriptions.
+    SubscriptionFanout {
+        cycle: u64,
+        /// The snapshot epoch the pushed updates advance subscribers to.
+        epoch: u64,
+        /// Subscribed views with a non-trivial diff this cycle.
+        views: u64,
+        /// Updates enqueued (one per receiving subscription).
+        updates_pushed: u64,
+        /// Subscriptions tipped into the lagged state this cycle.
+        lagged: u64,
+        time_us: u64,
+    },
     /// A producer blocked on the bounded ingest queue.
     Backpressure {
         /// Rows pending (staged + sealed + in flight) when the wait began.
@@ -118,6 +132,7 @@ impl JournalEvent {
             JournalEvent::RefreshStep { .. } => "refresh_step",
             JournalEvent::CycleCommitted { .. } => "cycle_committed",
             JournalEvent::CycleFailed { .. } => "cycle_failed",
+            JournalEvent::SubscriptionFanout { .. } => "subscription_fanout",
             JournalEvent::Backpressure { .. } => "backpressure",
             JournalEvent::ShutdownDrain { .. } => "shutdown_drain",
         }
@@ -130,7 +145,8 @@ impl JournalEvent {
             | JournalEvent::PropagateStep { cycle, .. }
             | JournalEvent::RefreshStep { cycle, .. }
             | JournalEvent::CycleCommitted { cycle, .. }
-            | JournalEvent::CycleFailed { cycle, .. } => Some(*cycle),
+            | JournalEvent::CycleFailed { cycle, .. }
+            | JournalEvent::SubscriptionFanout { cycle, .. } => Some(*cycle),
             _ => None,
         }
     }
@@ -217,6 +233,22 @@ impl JournalEvent {
                 ("cycle", u(*cycle)),
                 ("error", JsonValue::from(error.as_str())),
             ]),
+            JournalEvent::SubscriptionFanout {
+                cycle,
+                epoch,
+                views,
+                updates_pushed,
+                lagged,
+                time_us,
+            } => JsonValue::object([
+                ("event", JsonValue::from(self.kind())),
+                ("cycle", u(*cycle)),
+                ("epoch", u(*epoch)),
+                ("views", u(*views)),
+                ("updates_pushed", u(*updates_pushed)),
+                ("lagged", u(*lagged)),
+                ("time_us", u(*time_us)),
+            ]),
             JournalEvent::Backpressure { pending_rows } => JsonValue::object([
                 ("event", JsonValue::from(self.kind())),
                 ("pending_rows", u(*pending_rows)),
@@ -295,6 +327,14 @@ impl JournalEvent {
             "cycle_failed" => JournalEvent::CycleFailed {
                 cycle: field("cycle")?,
                 error: text("error")?,
+            },
+            "subscription_fanout" => JournalEvent::SubscriptionFanout {
+                cycle: field("cycle")?,
+                epoch: field("epoch")?,
+                views: field("views")?,
+                updates_pushed: field("updates_pushed")?,
+                lagged: field("lagged")?,
+                time_us: field("time_us")?,
             },
             "backpressure" => JournalEvent::Backpressure {
                 pending_rows: field("pending_rows")?,
@@ -599,6 +639,7 @@ pub fn reconstruct_cycles(events: &[JournalEvent]) -> Vec<CycleSummary> {
                 cycles[i].error = Some(error.clone());
             }
             JournalEvent::BatchSealed { .. }
+            | JournalEvent::SubscriptionFanout { .. }
             | JournalEvent::Backpressure { .. }
             | JournalEvent::ShutdownDrain { .. } => {}
         }

@@ -34,4 +34,4 @@ pub mod warehouse_ext;
 pub use error::{SqlError, SqlResult};
 pub use lexer::{tokenize, Token};
 pub use parser::{parse_query, parse_view};
-pub use warehouse_ext::SqlWarehouse;
+pub use warehouse_ext::{SqlSnapshot, SqlSubscribe, SqlWarehouse};

@@ -1,6 +1,9 @@
 //! SQL entry points on the [`Warehouse`] and on pinned [`LatticeSnapshot`]s.
 
-use cubedelta_core::{Answer, CoreError, LatticeSnapshot, Warehouse};
+use cubedelta_core::{
+    Answer, CoreError, LatticeSnapshot, Subscription, SubscriptionSpec, Warehouse,
+    WarehouseService,
+};
 
 use crate::error::{SqlError, SqlResult};
 use crate::parser::{parse_query, parse_view};
@@ -46,6 +49,48 @@ impl SqlSnapshot for LatticeSnapshot {
     fn answer_sql(&self, sql: &str) -> SqlResult<Answer> {
         let query = parse_query(sql)?;
         self.answer(&query).map_err(core_err)
+    }
+}
+
+/// SQL entry points for live subscriptions: a bare `SELECT` is parsed,
+/// rewritten onto the materialized lattice node carrying its exact
+/// group-by and aggregates (§5.1 derives), and registered as a standing
+/// subscription whose per-cycle updates replay the query exactly.
+pub trait SqlSubscribe {
+    /// Plans the subscription without registering it: which view it lands
+    /// on, with what residual filter and projection.
+    fn subscription_spec_sql(&self, sql: &str) -> SqlResult<SubscriptionSpec>;
+
+    /// Parses, rewrites, and registers in one step. Errors when no
+    /// materialized view can serve the query incrementally.
+    fn subscribe_sql(&self, sql: &str) -> SqlResult<Subscription>;
+}
+
+impl SqlSubscribe for Warehouse {
+    fn subscription_spec_sql(&self, sql: &str) -> SqlResult<SubscriptionSpec> {
+        let query = parse_query(sql)?;
+        SubscriptionSpec::from_query(self.catalog(), self.views(), &query).map_err(core_err)
+    }
+
+    fn subscribe_sql(&self, sql: &str) -> SqlResult<Subscription> {
+        let spec = self.subscription_spec_sql(sql)?;
+        self.subscribe(spec).map_err(core_err)
+    }
+}
+
+impl SqlSubscribe for WarehouseService {
+    fn subscription_spec_sql(&self, sql: &str) -> SqlResult<SubscriptionSpec> {
+        let query = parse_query(sql)?;
+        // The worker owns the live warehouse; plan against the published
+        // snapshot, which keeps full schema metadata (fact tables are
+        // hollowed to schema-only stand-ins, which is all planning needs).
+        let snap = self.read();
+        SubscriptionSpec::from_query(snap.catalog(), snap.views(), &query).map_err(core_err)
+    }
+
+    fn subscribe_sql(&self, sql: &str) -> SqlResult<Subscription> {
+        let spec = self.subscription_spec_sql(sql)?;
+        self.subscribe(spec).map_err(core_err)
     }
 }
 
@@ -157,6 +202,41 @@ mod tests {
             .answer_sql("SELECT SUM(price) AS p FROM pos")
             .unwrap_err();
         assert!(err.to_string().contains("not derivable"), "{err}");
+    }
+
+    #[test]
+    fn subscribe_sql_rewrites_and_streams() {
+        let mut wh = Warehouse::from_catalog(retail_catalog_small());
+        for sql in FIGURE_1 {
+            wh.create_summary_table_sql(sql).unwrap();
+        }
+        let region_sql = "SELECT region, SUM(qty) AS total FROM pos, stores \
+                          WHERE pos.storeID = stores.storeID GROUP BY region";
+        let sub = wh.subscribe_sql(region_sql).unwrap();
+        assert_eq!(sub.view(), "sR_sales");
+        let mut held = sub.initial().clone();
+        assert_eq!(held.sorted_rows(), vec![row!["east", 17i64]]);
+
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![row![2i64, 20i64, Date(10003), 4i64, 2.0]],
+            deletions: vec![],
+        });
+        wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        match sub.try_recv() {
+            Some(cubedelta_core::SubscriptionMessage::Update(up)) => {
+                up.apply_to(&mut held).unwrap()
+            }
+            other => panic!("expected an update, got {other:?}"),
+        }
+        // Replay matches the same SQL answered at the new epoch.
+        let fresh = wh.read_snapshot().answer_sql(region_sql).unwrap();
+        assert_eq!(held.sorted_rows(), fresh.relation.sorted_rows());
+
+        // A query no view can serve incrementally is refused up front.
+        assert!(wh
+            .subscribe_sql("SELECT SUM(price) AS p FROM pos")
+            .is_err());
     }
 
     #[test]

@@ -358,3 +358,49 @@ fn health_judges_lag_and_backlog_against_policy() {
     assert_eq!(report.rows_applied, 1);
     assert!(report.unapplied.is_empty());
 }
+
+/// The busy-wake regression: with a sub-millisecond flush interval and a
+/// slow trickle, the worker must sleep the real remainder of the interval
+/// (or seal immediately when it has already elapsed) — not clamp its wait
+/// and spin. `worker_wakeups` counts every return from a condvar wait, so
+/// over ~100 ms of trickle a spinning worker racks up hundreds of wakeups
+/// while a correct one stays within a couple per ingest/seal.
+#[test]
+fn trickle_with_tiny_interval_stays_off_the_busy_wake_path() {
+    let svc = WarehouseService::start(
+        small_warehouse(),
+        BatchPolicy {
+            max_rows: 1_000_000, // only the timer can seal
+            max_batches: 8,
+            flush_interval: Duration::from_micros(500),
+        },
+    );
+
+    let rows = 6u64;
+    for seed in 0..rows {
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+            .unwrap();
+        // Each staged row outlives the interval many times over before the
+        // next arrives — the worst case for a clamped timer wait.
+        std::thread::sleep(Duration::from_millis(15));
+    }
+    svc.flush().unwrap();
+    let wakeups = svc.metrics().counter("worker_wakeups").get();
+    let report = svc.shutdown();
+    assert!(report.error.is_none(), "cycle failed: {:?}", report.error);
+    assert_eq!(report.rows_applied, rows);
+    let batches = report.applied.len() as u64;
+    assert!(
+        batches >= 2,
+        "trickle must seal across multiple cycles, got {batches}"
+    );
+
+    // ~90 ms of wall clock at a 500 µs interval gives a spinning worker
+    // ≥180 wakeups; a correct worker takes a handful per ingest + seal.
+    let bound = 4 * rows + 4 * batches + 10;
+    assert!(
+        wakeups <= bound,
+        "worker woke {wakeups} times for {batches} sealed batches \
+         (bound {bound}) — flush timer is busy-waking"
+    );
+}

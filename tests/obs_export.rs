@@ -5,7 +5,9 @@
 
 mod common;
 
-use std::time::Duration;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
 
 use common::{small_warehouse, synth_pos_row};
 use cubedelta::core::{BatchPolicy, MaintainOptions, WarehouseService};
@@ -98,4 +100,60 @@ fn live_scrape_reflects_service_state() {
     assert!(report.error.is_none());
     // The endpoint died with the service handle.
     assert!(scrape_once(addr2).is_err(), "server must stop at shutdown");
+}
+
+/// The stall regression: clients that connect and then go silent (or send
+/// a request and never read the response) must not wedge the exporter.
+/// Each connection is served on its own capped, timeout-bounded thread, so
+/// a healthy scrape succeeds while half a dozen stallers sit on the
+/// endpoint, and shutdown still completes within the timeout budget.
+#[test]
+fn stalled_clients_do_not_wedge_scrapes_or_shutdown() {
+    let mut svc = WarehouseService::start(
+        small_warehouse(),
+        BatchPolicy {
+            max_rows: 64,
+            max_batches: 4,
+            flush_interval: Duration::from_millis(50),
+        },
+    );
+    let addr = svc.serve_metrics("127.0.0.1:0").unwrap();
+
+    // Six clients connect and never send a byte: each parks one handler
+    // thread in its 2-second read timeout.
+    let silent: Vec<TcpStream> = (0..6).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    // Two more send a full request and never read the (large) response:
+    // the write side must also time out rather than block forever.
+    let deaf: Vec<TcpStream> = (0..2)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            s
+        })
+        .collect();
+
+    // A well-behaved scrape goes through while all eight stallers are
+    // still parked — the old single-threaded accept loop failed here.
+    let t0 = Instant::now();
+    let text = scrape_once(addr).unwrap();
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "scrape took {:?} with stalled peers parked",
+        t0.elapsed()
+    );
+    assert!(parse_prometheus(&text).is_ok());
+
+    // Shutdown joins only the accept thread; stalled handlers drain on
+    // their own timeouts and must not hold the service hostage.
+    let t1 = Instant::now();
+    let report = svc.shutdown();
+    assert!(report.error.is_none());
+    assert!(
+        t1.elapsed() < Duration::from_secs(5),
+        "shutdown took {:?} with stalled peers parked",
+        t1.elapsed()
+    );
+    drop(silent);
+    drop(deaf);
 }

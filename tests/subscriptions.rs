@@ -1,0 +1,353 @@
+//! Live subscription battery: the replay invariant, end to end.
+//!
+//! The contract under test: for any subscription, the initial result plus
+//! every applied [`SubscriptionUpdate`] is **byte-identical** to evaluating
+//! the same spec against `read_snapshot()` at each committed epoch — across
+//! thread counts, shard counts, filtered/projected specs, failed cycles,
+//! lag/resync, and the ingestion service front-end. Bag semantics
+//! throughout: updates carry multiplicities, never set-dedup.
+
+mod common;
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use common::{small_update_batch, small_warehouse, synth_pos_row};
+use cubedelta::core::multi::failpoints;
+use cubedelta::core::{
+    BatchPolicy, MaintainOptions, MaintenancePolicy, SubscriptionMessage, SubscriptionSpec,
+    WarehouseService,
+};
+use cubedelta::expr::{CmpOp, Expr, Predicate};
+use cubedelta::query::Relation;
+use cubedelta::storage::{ChangeBatch, DeltaSet};
+use proptest::prelude::*;
+
+/// The refresh failpoint slot is process-global and one-shot; tests that
+/// arm it serialize through this lock.
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+/// The spec mix every replay test registers: a full view, a filtered +
+/// projected view, and a projection-only view — one per Figure-1 lattice
+/// region.
+fn spec_mix() -> Vec<SubscriptionSpec> {
+    vec![
+        SubscriptionSpec::on("sR_sales"),
+        SubscriptionSpec::on("SID_sales")
+            .filter(Predicate::cmp(CmpOp::Eq, Expr::col("storeID"), Expr::lit(1i64)))
+            .project(["itemID", "date", "TotalQuantity"]),
+        SubscriptionSpec::on("sCD_sales").project(["city", "TotalCount"]),
+    ]
+}
+
+/// Drains a subscription, applying every update to `held`. Panics on a
+/// `Lagged` marker — callers that expect lag handle it themselves.
+fn drain_apply(sub: &cubedelta::core::Subscription, held: &mut Relation) -> u64 {
+    let mut last_epoch = sub.start_epoch();
+    for msg in sub.drain() {
+        match msg {
+            SubscriptionMessage::Update(up) => {
+                assert!(
+                    up.epoch > last_epoch,
+                    "updates must arrive in strictly increasing epoch order \
+                     ({} then {})",
+                    last_epoch,
+                    up.epoch
+                );
+                last_epoch = up.epoch;
+                up.apply_to(held).unwrap();
+            }
+            SubscriptionMessage::Lagged { .. } => panic!("unexpected lag"),
+        }
+    }
+    last_epoch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For seeded multi-cycle batches and every (threads, shards)
+    /// configuration, initial + applied updates replays `spec.eval` on the
+    /// pinned snapshot at every committed epoch, for every spec shape.
+    #[test]
+    fn replay_invariant_across_threads_and_shards(
+        seeds in proptest::collection::vec(0u64..1000, 1..4),
+        sizes in proptest::collection::vec(2usize..10, 1..4),
+    ) {
+        for threads in [1usize, 4] {
+            for shards in [1usize, 4] {
+                let mut wh = small_warehouse();
+                wh.set_maintenance_policy(
+                    MaintenancePolicy::with_threads(threads).with_shards(shards),
+                );
+                let subs: Vec<_> = spec_mix()
+                    .into_iter()
+                    .map(|s| wh.subscribe(s).unwrap())
+                    .collect();
+                let mut held: Vec<Relation> =
+                    subs.iter().map(|s| s.initial().clone()).collect();
+
+                for (i, &seed) in seeds.iter().enumerate() {
+                    let size = sizes[i % sizes.len()];
+                    let batch = small_update_batch(&wh, seed, size);
+                    wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+                    let snap = wh.read_snapshot();
+                    for (sub, held) in subs.iter().zip(held.iter_mut()) {
+                        // Cycles whose diff misses the spec push nothing, so
+                        // the last-seen epoch may trail the committed one —
+                        // the held result must still match it exactly.
+                        let last = drain_apply(sub, held);
+                        prop_assert!(
+                            last <= snap.epoch(),
+                            "subscription on {} saw epoch {} beyond the \
+                             committed {}",
+                            sub.view(), last, snap.epoch()
+                        );
+                        let expect = sub.spec().eval(&snap).unwrap();
+                        prop_assert_eq!(
+                            held.sorted_rows(), expect.sorted_rows(),
+                            "threads={} shards={} cycle={} view={}: held \
+                             result diverged from snapshot evaluation",
+                            threads, shards, i, sub.view()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A failed cycle publishes no epoch and must push **nothing**: no update,
+/// no lag. Recovery via rematerialize rebuilds the tables, which correctly
+/// tips subscribers into lag (their incremental stream has a hole), and
+/// `resync` converges them on the repaired epoch.
+#[test]
+fn failed_cycle_pushes_nothing_then_recovery_lags_and_resyncs() {
+    let _guard = FAILPOINT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    failpoints::disarm_all();
+
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(2));
+    let mut sub = wh.subscribe(SubscriptionSpec::on("sR_sales")).unwrap();
+    let mut held = sub.initial().clone();
+
+    failpoints::arm_refresh_panic("SID_sales");
+    let batch = ChangeBatch::single(DeltaSet::insertions("pos", vec![synth_pos_row(44)]));
+    wh.maintain(&batch, &MaintainOptions::default())
+        .expect_err("armed failpoint must fail the cycle");
+    failpoints::disarm_all();
+
+    assert!(
+        sub.try_recv().is_none(),
+        "a failed cycle must not push anything"
+    );
+    assert!(!sub.is_lagged(), "a failed cycle must not mark subscribers lagged");
+    // The held result still matches the last committed epoch.
+    let snap = wh.read_snapshot();
+    assert_eq!(
+        held.sorted_rows(),
+        sub.spec().eval(&snap).unwrap().sorted_rows()
+    );
+
+    // Recovery rebuilds every summary table out-of-band of the incremental
+    // stream: subscribers must be told their stream has a hole.
+    wh.rematerialize(&ChangeBatch::default(), false).unwrap();
+    match sub.try_recv() {
+        Some(SubscriptionMessage::Lagged { resync_epoch }) => {
+            assert_eq!(resync_epoch, wh.read_snapshot().epoch());
+        }
+        other => panic!("rematerialize must lag subscribers, got {other:?}"),
+    }
+    assert!(sub.is_lagged());
+    let epoch = sub.resync().unwrap();
+    assert_eq!(epoch, wh.read_snapshot().epoch());
+    held = sub.initial().clone();
+
+    // The stream is live again: the next cycle replays exactly.
+    let batch = ChangeBatch::single(DeltaSet::insertions("pos", vec![synth_pos_row(45)]));
+    wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    let snap = wh.read_snapshot();
+    drain_apply(&sub, &mut held);
+    assert_eq!(
+        held.sorted_rows(),
+        sub.spec().eval(&snap).unwrap().sorted_rows()
+    );
+}
+
+/// Replay through the ingestion front-end: subscribe on the service, ingest
+/// a trickle that seals into several cycles, flush, and the drained updates
+/// must replay the service's published snapshot exactly.
+#[test]
+fn service_driven_cycles_replay_through_subscriptions() {
+    let mut wh = small_warehouse();
+    wh.set_maintenance_policy(MaintenancePolicy::with_threads(2).with_shards(4));
+    let svc = WarehouseService::start(
+        wh,
+        BatchPolicy {
+            max_rows: 8,
+            max_batches: 2,
+            flush_interval: Duration::from_millis(2),
+        },
+    );
+
+    let subs: Vec<_> = spec_mix()
+        .into_iter()
+        .map(|s| svc.subscribe(s).unwrap())
+        .collect();
+    let mut held: Vec<Relation> = subs.iter().map(|s| s.initial().clone()).collect();
+
+    for seed in 0..40u64 {
+        svc.ingest(DeltaSet::insertions("pos", vec![synth_pos_row(seed)]))
+            .unwrap();
+    }
+    svc.flush().unwrap();
+
+    let snap = svc.read();
+    assert!(snap.epoch() > 0, "flush must have committed at least one cycle");
+    for (sub, held) in subs.iter().zip(held.iter_mut()) {
+        let last = drain_apply(sub, held);
+        assert_eq!(last, snap.epoch(), "view {}", sub.view());
+        let expect = sub.spec().eval(&snap).unwrap();
+        assert_eq!(
+            held.sorted_rows(),
+            expect.sorted_rows(),
+            "view {}: service-driven replay diverged",
+            sub.view()
+        );
+    }
+
+    let report = svc.shutdown();
+    assert!(report.error.is_none(), "cycle failed: {:?}", report.error);
+}
+
+/// A capacity-1 subscriber that never drains gets exactly one `Lagged`
+/// marker (not a pile of stale updates), and `resync` converges it back to
+/// the live stream.
+#[test]
+fn overflowed_subscriber_lags_once_and_resync_converges() {
+    let mut wh = small_warehouse();
+    let mut slow = wh
+        .subscribe_with(SubscriptionSpec::on("sR_sales"), 1)
+        .unwrap();
+    let fast = wh.subscribe(SubscriptionSpec::on("sR_sales")).unwrap();
+    let mut fast_held = fast.initial().clone();
+
+    for seed in [7u64, 8, 9] {
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![synth_pos_row(seed)],
+        ));
+        wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    }
+
+    // The slow queue overflowed: everything pending collapses to one lag
+    // marker carrying the newest committed epoch.
+    let msgs = slow.drain();
+    assert_eq!(msgs.len(), 1, "overflow must collapse to a single marker");
+    match &msgs[0] {
+        SubscriptionMessage::Lagged { resync_epoch } => {
+            assert_eq!(*resync_epoch, wh.read_snapshot().epoch());
+        }
+        other => panic!("expected Lagged, got {other:?}"),
+    }
+    assert!(slow.is_lagged());
+
+    // The fast subscriber was unaffected and replays normally.
+    drain_apply(&fast, &mut fast_held);
+    let snap = wh.read_snapshot();
+    assert_eq!(
+        fast_held.sorted_rows(),
+        fast.spec().eval(&snap).unwrap().sorted_rows()
+    );
+
+    // Resync re-pins; the next cycle streams incrementally again.
+    slow.resync().unwrap();
+    let mut slow_held = slow.initial().clone();
+    let batch = ChangeBatch::single(DeltaSet::insertions("pos", vec![synth_pos_row(10)]));
+    wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    drain_apply(&slow, &mut slow_held);
+    let snap = wh.read_snapshot();
+    assert_eq!(
+        slow_held.sorted_rows(),
+        slow.spec().eval(&snap).unwrap().sorted_rows()
+    );
+    assert!(!slow.is_lagged());
+}
+
+/// Query-planned subscriptions ride the same stream: `subscribe_query`
+/// rewrites a lattice-friendly aggregate query onto its exact view and the
+/// replay invariant holds for the *query's* answer shape.
+#[test]
+fn query_planned_subscription_replays() {
+    use cubedelta::core::AggQuery;
+    use cubedelta::query::AggFunc;
+
+    let mut wh = small_warehouse();
+    let q = AggQuery::over("pos")
+        .group_by(["region"])
+        .aggregate(AggFunc::Sum(Expr::col("qty")), "total");
+    let sub = wh.subscribe_query(&q).unwrap();
+    assert_eq!(sub.view(), "sR_sales");
+    let mut held = sub.initial().clone();
+    assert_eq!(held.sorted_rows(), wh.answer(&q).unwrap().relation.sorted_rows());
+
+    let batch = small_update_batch(&wh, 123, 8);
+    wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+    drain_apply(&sub, &mut held);
+    assert_eq!(
+        held.sorted_rows(),
+        wh.answer(&q).unwrap().relation.sorted_rows(),
+        "query-planned subscription diverged from re-answering the query"
+    );
+}
+
+/// Fan-out telemetry: spec grouping shares one evaluation across equal
+/// specs, the gauge tracks registrations, and the journal records one
+/// `subscription_fanout` event per committed cycle with the push count.
+#[test]
+fn fanout_metrics_and_journal_are_recorded() {
+    let mut wh = small_warehouse();
+    let shared: Vec<_> = (0..5)
+        .map(|_| wh.subscribe(SubscriptionSpec::on("sR_sales")).unwrap())
+        .collect();
+    let distinct = wh
+        .subscribe(SubscriptionSpec::on("sCD_sales").project(["city", "TotalCount"]))
+        .unwrap();
+    assert_eq!(wh.metrics().gauge("subscriptions_active").get(), 6);
+
+    let batch = ChangeBatch::single(DeltaSet::insertions("pos", vec![synth_pos_row(3)]));
+    wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+
+    let pushed = wh.metrics().counter("sub_updates_pushed").get();
+    assert_eq!(pushed, 6, "one update per receiving subscription");
+    assert_eq!(wh.metrics().counter("sub_lagged").get(), 0);
+
+    let fanouts: Vec<_> = wh
+        .journal()
+        .events()
+        .into_iter()
+        .filter(|e| e.kind() == "subscription_fanout")
+        .collect();
+    assert_eq!(fanouts.len(), 1, "one fan-out record per committed cycle");
+    match &fanouts[0] {
+        cubedelta::obs::JournalEvent::SubscriptionFanout {
+            epoch,
+            views,
+            updates_pushed,
+            lagged,
+            ..
+        } => {
+            assert_eq!(*epoch, wh.read_snapshot().epoch());
+            assert_eq!(*views, 2, "two subscribed views saw a diff");
+            assert_eq!(*updates_pushed, 6);
+            assert_eq!(*lagged, 0);
+        }
+        other => panic!("unexpected event {other:?}"),
+    }
+
+    // Dropping subscriptions unregisters them.
+    drop(shared);
+    drop(distinct);
+    assert_eq!(wh.metrics().gauge("subscriptions_active").get(), 0);
+    assert_eq!(wh.subscriptions().active(), 0);
+}
