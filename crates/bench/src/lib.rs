@@ -15,7 +15,7 @@
 
 use std::time::{Duration, Instant};
 
-use cubedelta_core::{MaintainOptions, MaintenancePolicy, MaintenanceReport, Warehouse};
+use cubedelta_core::{MaintainOptions, MaintenancePolicy, MaintenanceReport, StorageMode, Warehouse};
 use cubedelta_expr::Expr;
 use cubedelta_query::AggFunc;
 use cubedelta_storage::ChangeBatch;
@@ -204,6 +204,40 @@ pub fn run_summary_delta_sharded(
 ) -> (Timings, MaintenanceReport, Warehouse) {
     let mut w = wh.clone();
     w.set_maintenance_policy(MaintenancePolicy::with_threads(threads).with_shards(shards));
+    let t0 = Instant::now();
+    let report = w
+        .maintain(batch, &MaintainOptions::default())
+        .expect("maintain");
+    let total = t0.elapsed();
+    (
+        Timings {
+            propagate: report.propagate_time,
+            refresh: report.refresh_time,
+            total,
+        },
+        report,
+        w,
+    )
+}
+
+/// Runs the summary-delta strategy against a clone of the warehouse with a
+/// pinned thread count *and* storage mode, for row-vs-columnar engine
+/// comparisons at fixed state. Unlike thread/shard scaling, a row-vs-
+/// columnar ratio at the same thread count is meaningful even on a
+/// single-core host — both runs get the same parallelism.
+pub fn run_summary_delta_storage(
+    wh: &Warehouse,
+    batch: &ChangeBatch,
+    threads: usize,
+    storage: StorageMode,
+) -> (Timings, MaintenanceReport, Warehouse) {
+    let mut w = wh.clone();
+    w.set_maintenance_policy(MaintenancePolicy::with_threads(threads).with_storage(storage));
+    // Build the columnar mirrors outside the timed window: the clone's
+    // first cycle would otherwise fold the one-time chunking of the whole
+    // fact table into propagate_time, which steady-state cycles (mirrors
+    // synced incrementally in the apply phase) never pay.
+    w.prime_storage_caches().expect("prime caches");
     let t0 = Instant::now();
     let report = w
         .maintain(batch, &MaintainOptions::default())

@@ -97,8 +97,8 @@ pub use multi::{
 };
 pub use prepare::{prepare_changes, prepare_deletions, prepare_insertions, Sign};
 pub use propagate::{
-    propagate_view, propagate_view_metered, propagate_view_sharded, sd_from_prepare_threaded,
-    PropagateOptions, ShardStepStats,
+    propagate_view, propagate_view_metered, propagate_view_sharded, sd_from_prepare_opts,
+    sd_from_prepare_threaded, PropagateOptions, ShardStepStats,
 };
 pub use refresh::{
     apply_refresh_ops, plan_refresh_ops, refresh, refresh_join, refresh_join_metered,
@@ -110,8 +110,13 @@ pub use subscribe::{
 };
 pub use warehouse::{
     LatticeSnapshot, MaintainOptions, MaintenancePolicy, MaintenanceReport, ShardRouter,
-    SnapshotCell, SnapshotReader, ViewReport, Warehouse, SHARDS_ENV_VAR, THREADS_ENV_VAR,
+    SnapshotCell, SnapshotReader, ViewReport, Warehouse, SHARDS_ENV_VAR, STORAGE_ENV_VAR,
+    THREADS_ENV_VAR,
 };
+
+// Storage-mode re-export so policy callers (benches, tests, the CLI) can
+// name the knob without a direct `cubedelta-storage` dependency.
+pub use cubedelta_storage::StorageMode;
 
 // Observability re-exports: the counters type every metered entry point
 // takes, the registry the warehouse aggregates into, and the flight

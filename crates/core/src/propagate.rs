@@ -26,10 +26,12 @@ use std::time::Instant;
 use cubedelta_expr::Expr;
 use cubedelta_obs::ExecutionMetrics;
 use cubedelta_query::{
-    filter_metered, hash_aggregate_parallel_metered, hash_join_metered, union_all_metered,
-    AggFunc, Relation,
+    filter_metered, hash_aggregate_columnar_parallel_metered, hash_aggregate_parallel_metered,
+    hash_join_metered, union_all_metered, AggFunc, Relation,
 };
-use cubedelta_storage::{Catalog, ChangeBatch, Column, DeltaSet, Row, ShardedTable, Table, Value};
+use cubedelta_storage::{
+    Catalog, ChangeBatch, Column, DeltaSet, Row, ShardedTable, StorageMode, Table, Value,
+};
 use cubedelta_view::{augment, summary_schema, AugmentedView, SummaryViewDef};
 
 use crate::error::{CoreError, CoreResult};
@@ -51,6 +53,14 @@ pub struct PropagateOptions {
     /// falls back to the sequential operator below
     /// [`cubedelta_query::MIN_PARALLEL_ROWS`] input rows.
     pub threads: usize,
+    /// Which aggregation engine computes the summary-delta:
+    /// [`StorageMode::Row`] uses the row-form hash aggregate,
+    /// [`StorageMode::Columnar`] the vectorized kernel over typed column
+    /// vectors ([`cubedelta_query::hash_aggregate_columnar_parallel_metered`]).
+    /// The two are bit-identical for any input, so this is purely a
+    /// performance knob (sampled from `CUBEDELTA_STORAGE` at warehouse
+    /// construction).
+    pub storage: StorageMode,
 }
 
 impl Default for PropagateOptions {
@@ -58,6 +68,7 @@ impl Default for PropagateOptions {
         PropagateOptions {
             pre_aggregate: false,
             threads: 1,
+            storage: StorageMode::Row,
         }
     }
 }
@@ -96,6 +107,25 @@ pub fn sd_from_prepare_threaded(
     threads: usize,
     m: &mut ExecutionMetrics,
 ) -> CoreResult<Relation> {
+    let opts = PropagateOptions {
+        threads,
+        ..Default::default()
+    };
+    sd_from_prepare_opts(catalog, view, prepare, &opts, m)
+}
+
+/// [`sd_from_prepare_threaded`] with the full option set: `opts.threads`
+/// partitions the aggregation, `opts.storage` selects the row or the
+/// vectorized columnar kernel. Both engines emit bit-identical relations
+/// for the same thread count, so the storage mode never changes results.
+pub fn sd_from_prepare_opts(
+    catalog: &Catalog,
+    view: &AugmentedView,
+    prepare: &Relation,
+    opts: &PropagateOptions,
+    m: &mut ExecutionMetrics,
+) -> CoreResult<Relation> {
+    let threads = opts.threads;
     let out_schema = summary_schema(catalog, view)?;
     let mut aggs: Vec<(AggFunc, Column)> = Vec::with_capacity(view.def.aggregates.len());
     for (i, spec) in view.def.aggregates.iter().enumerate() {
@@ -114,13 +144,14 @@ pub fn sd_from_prepare_threaded(
         aggs.push((func, out_col));
     }
     let group_refs: Vec<&str> = view.def.group_by.iter().map(String::as_str).collect();
-    Ok(hash_aggregate_parallel_metered(
-        prepare,
-        &group_refs,
-        &aggs,
-        threads,
-        m,
-    )?)
+    Ok(match opts.storage {
+        StorageMode::Row => {
+            hash_aggregate_parallel_metered(prepare, &group_refs, &aggs, threads, m)?
+        }
+        StorageMode::Columnar => {
+            hash_aggregate_columnar_parallel_metered(prepare, &group_refs, &aggs, threads, m)?
+        }
+    })
 }
 
 /// A relation holding a table's contents *after* applying its delta — used
@@ -220,7 +251,7 @@ fn propagate_with_fact(
         .any(|d| batch.for_table(d).map(|x| !x.is_empty()).unwrap_or(false));
 
     if opts.pre_aggregate && !dims_changed {
-        if let Some(sd) = propagate_preaggregated(catalog, fact, view, batch, opts.threads, m)? {
+        if let Some(sd) = propagate_preaggregated(catalog, fact, view, batch, opts, m)? {
             m.delta_rows += sd.len() as u64;
             return Ok(sd);
         }
@@ -309,7 +340,7 @@ fn propagate_with_fact(
             acc
         }
     };
-    let sd = sd_from_prepare_threaded(catalog, view, &prepare_changes, opts.threads, m)?;
+    let sd = sd_from_prepare_opts(catalog, view, &prepare_changes, opts, m)?;
     m.delta_rows += sd.len() as u64;
     Ok(sd)
 }
@@ -325,7 +356,7 @@ fn propagate_preaggregated(
     fact: &Table,
     view: &AugmentedView,
     batch: &ChangeBatch,
-    threads: usize,
+    opts: &PropagateOptions,
     m: &mut ExecutionMetrics,
 ) -> CoreResult<Option<Relation>> {
     let fact_schema = fact.schema().clone();
@@ -385,7 +416,7 @@ fn propagate_preaggregated(
         batch,
         &PropagateOptions {
             pre_aggregate: false,
-            threads,
+            ..*opts
         },
         &mut partial_m,
     )?;

@@ -10,7 +10,8 @@ use cubedelta_obs::{trace, ExecutionMetrics, Journal, JournalEvent, MetricsRegis
 use std::collections::HashMap;
 
 use cubedelta_storage::{
-    Catalog, ChangeBatch, DimensionInfo, Row, Schema, ShardKey, ShardedTable, Table, TableRole,
+    Catalog, ChangeBatch, ColumnarTable, DimensionInfo, Row, Schema, ShardKey, ShardedTable,
+    StorageMode, Table, TableRole,
 };
 use cubedelta_view::{augment, install_summary_table, AugmentedView, SummaryViewDef};
 
@@ -30,6 +31,11 @@ pub const THREADS_ENV_VAR: &str = "CUBEDELTA_THREADS";
 
 /// Environment variable that overrides the fact-table shard count.
 pub const SHARDS_ENV_VAR: &str = "CUBEDELTA_SHARDS";
+
+/// Environment variable that selects the aggregation storage engine:
+/// `row` (default) or `columnar`. Anything unusable falls through to the
+/// default, like the other policy knobs.
+pub const STORAGE_ENV_VAR: &str = "CUBEDELTA_STORAGE";
 
 /// How a warehouse schedules maintenance work.
 ///
@@ -51,15 +57,21 @@ pub struct MaintenancePolicy {
     /// Fact-table shards for cross-shard propagate parallelism (minimum 1;
     /// 1 = unsharded).
     pub shards: usize,
+    /// The aggregation engine for summary-delta computation: row-form hash
+    /// aggregation or the vectorized columnar kernel. Refreshed tables are
+    /// byte-identical either way — this knob only changes how the propagate
+    /// inner loops execute.
+    pub storage: StorageMode,
 }
 
 impl MaintenancePolicy {
-    /// A policy with an explicit thread count (clamped to at least 1) and
-    /// an unsharded fact table.
+    /// A policy with an explicit thread count (clamped to at least 1), an
+    /// unsharded fact table, and row storage.
     pub fn with_threads(threads: usize) -> Self {
         MaintenancePolicy {
             threads: threads.max(1),
             shards: 1,
+            storage: StorageMode::Row,
         }
     }
 
@@ -71,9 +83,16 @@ impl MaintenancePolicy {
         }
     }
 
-    /// Thread and shard counts from the environment: `CUBEDELTA_THREADS` /
-    /// `CUBEDELTA_SHARDS` if set to positive integers, otherwise the
-    /// machine's available parallelism and 1 shard respectively.
+    /// This policy with an explicit storage mode.
+    pub fn with_storage(self, storage: StorageMode) -> Self {
+        MaintenancePolicy { storage, ..self }
+    }
+
+    /// Thread, shard, and storage settings from the environment:
+    /// `CUBEDELTA_THREADS` / `CUBEDELTA_SHARDS` if set to positive
+    /// integers (otherwise the machine's available parallelism and 1
+    /// shard), and `CUBEDELTA_STORAGE` if set to a recognized mode
+    /// (otherwise row storage).
     pub fn from_env() -> Self {
         let threads = std::env::var(THREADS_ENV_VAR)
             .ok()
@@ -85,7 +104,13 @@ impl MaintenancePolicy {
             .ok()
             .and_then(|s| parse_positive(&s))
             .unwrap_or(1);
-        MaintenancePolicy::with_threads(threads).with_shards(shards)
+        let storage = std::env::var(STORAGE_ENV_VAR)
+            .ok()
+            .and_then(|s| StorageMode::parse(&s))
+            .unwrap_or_default();
+        MaintenancePolicy::with_threads(threads)
+            .with_shards(shards)
+            .with_storage(storage)
     }
 }
 
@@ -197,6 +222,9 @@ pub struct MaintenanceReport {
     /// is perfectly balanced, `shards as f64` is fully skewed, `0.0` when
     /// unsharded or no shard produced rows.
     pub shard_skew: f64,
+    /// The aggregation engine the propagate phase ran with (row storage
+    /// for the rematerialize baselines).
+    pub storage: StorageMode,
 }
 
 impl MaintenanceReport {
@@ -233,6 +261,9 @@ impl MaintenanceReport {
             ("shard_rows_scanned", JsonValue::from(self.shard_rows_scanned)),
             ("shard_merge_us", JsonValue::from(self.shard_merge_us)),
             ("shard_skew", JsonValue::from(self.shard_skew)),
+            ("storage_mode", JsonValue::from(self.storage.as_str().to_string())),
+            ("chunks_scanned", JsonValue::from(self.metrics.chunks_scanned)),
+            ("vectorized_rows", JsonValue::from(self.metrics.vectorized_rows)),
             ("levels", levels_json(&self.levels)),
             ("refresh_levels", levels_json(&self.refresh_levels)),
             ("metrics", self.metrics.to_json()),
@@ -275,6 +306,13 @@ impl std::fmt::Display for MaintenanceReport {
                 f,
                 "shards {} | shard rows scanned {} | merge {}us | skew {:.2}",
                 self.shards, self.shard_rows_scanned, self.shard_merge_us, self.shard_skew
+            )?;
+        }
+        if self.storage == StorageMode::Columnar {
+            writeln!(
+                f,
+                "storage {} | chunks scanned {} | vectorized rows {}",
+                self.storage, self.metrics.chunks_scanned, self.metrics.vectorized_rows
             )?;
         }
         if !self.metrics.is_zero() {
@@ -527,6 +565,12 @@ pub struct Warehouse {
     /// recomputes (MIN/MAX evictions) stream it directly, which is how a
     /// recompute "reads across all shards" for free.
     shard_tables: HashMap<String, ShardedTable>,
+    /// Columnar-chunk mirrors of the fact tables, kept when the policy's
+    /// storage mode is columnar. Maintained incrementally by the apply
+    /// phase (like `shard_tables`) and rebuilt by `ensure_columnar_tables`
+    /// when stale; the catalog's row-form table stays authoritative, and
+    /// the mirror must stay row-for-row equivalent through the facade.
+    columnar_tables: HashMap<String, ColumnarTable>,
     /// Highest commitlog LSN whose batch has been applied to this
     /// warehouse, when it is fed from a durable `WarehouseService`.
     /// `None` for warehouses maintained without a commitlog.
@@ -577,6 +621,7 @@ impl Default for Warehouse {
             policy: MaintenancePolicy::default(),
             shard_keys: HashMap::new(),
             shard_tables: HashMap::new(),
+            columnar_tables: HashMap::new(),
             last_applied_lsn: None,
             snapshot,
             next_epoch: 0,
@@ -602,6 +647,7 @@ impl Clone for Warehouse {
             policy: self.policy,
             shard_keys: self.shard_keys.clone(),
             shard_tables: self.shard_tables.clone(),
+            columnar_tables: self.columnar_tables.clone(),
             last_applied_lsn: self.last_applied_lsn,
             snapshot,
             next_epoch: self.next_epoch,
@@ -791,7 +837,9 @@ impl Warehouse {
     /// `CUBEDELTA_SHARDS` / machine parallelism). A shard-count change
     /// takes effect at the next maintenance cycle, which repartitions.
     pub fn set_maintenance_policy(&mut self, policy: MaintenancePolicy) {
-        self.policy = MaintenancePolicy::with_threads(policy.threads).with_shards(policy.shards);
+        self.policy = MaintenancePolicy::with_threads(policy.threads)
+            .with_shards(policy.shards)
+            .with_storage(policy.storage);
     }
 
     /// Sets the shard key for a fact table (default: hash the table's
@@ -871,6 +919,54 @@ impl Warehouse {
         Ok(())
     }
 
+    /// Brings the columnar fact mirrors in line with the policy and the
+    /// catalog: cleared under row storage, (re)chunked from the row-form
+    /// table when missing or out of sync with its row count.
+    fn ensure_columnar_tables(&mut self) -> CoreResult<()> {
+        if self.policy.storage != StorageMode::Columnar {
+            self.columnar_tables.clear();
+            return Ok(());
+        }
+        let facts: Vec<String> = self
+            .catalog
+            .tables_with_role(TableRole::Fact)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        self.columnar_tables
+            .retain(|name, _| facts.iter().any(|f| f == name));
+        for name in facts {
+            let table = self.catalog.table(&name)?;
+            let stale = match self.columnar_tables.get(&name) {
+                Some(ct) => ct.len() != table.len(),
+                None => true,
+            };
+            if stale {
+                self.columnar_tables
+                    .insert(name.clone(), ColumnarTable::from_table(table));
+            }
+        }
+        Ok(())
+    }
+
+    /// The columnar mirror of a fact table, if the storage policy is
+    /// columnar and a maintenance cycle has chunked it.
+    pub fn columnar_table(&self, name: &str) -> Option<&ColumnarTable> {
+        self.columnar_tables.get(name)
+    }
+
+    /// Builds the policy-dependent fact-table caches (shard partitions,
+    /// columnar mirrors) ahead of the next cycle. `maintain` does this
+    /// lazily inside the propagate-timed window, so a warehouse that was
+    /// just cloned or had its policy switched pays the one-time rebuild
+    /// there; benchmarks that want steady-state phase timings call this
+    /// first. Steady-state cycles keep the caches in sync incrementally
+    /// and never pay the rebuild.
+    pub fn prime_storage_caches(&mut self) -> CoreResult<()> {
+        self.ensure_shard_tables()?;
+        self.ensure_columnar_tables()
+    }
+
     /// Read access to the catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -898,6 +994,7 @@ impl Warehouse {
     /// rebuilt at the next maintenance cycle.
     pub fn catalog_mut(&mut self) -> &mut Catalog {
         self.shard_tables.clear();
+        self.columnar_tables.clear();
         &mut self.catalog
     }
 
@@ -939,6 +1036,7 @@ impl Warehouse {
     pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> CoreResult<()> {
         self.catalog.table_mut(table)?.insert_all(rows)?;
         self.shard_tables.remove(table); // repartitioned at the next cycle
+        self.columnar_tables.remove(table); // re-chunked at the next cycle
         self.publish_snapshot(); // dimension loads must reach readers
         Ok(())
     }
@@ -1128,9 +1226,11 @@ impl Warehouse {
     ) -> CoreResult<(MaintenanceReport, HashMap<String, Relation>)> {
         let threads = self.policy.threads.max(1);
         let shards = self.policy.shards.max(1);
+        let storage = self.policy.storage;
         let popts = PropagateOptions {
             pre_aggregate: opts.pre_aggregate,
             threads,
+            storage,
         };
         let insertions_only = self.insertions_only(batch);
         let _cycle_span = trace::span(|| "maintain".to_string());
@@ -1138,6 +1238,7 @@ impl Warehouse {
         // --- propagate --------------------------------------------------
         let t0 = Instant::now();
         self.ensure_shard_tables()?;
+        self.ensure_columnar_tables()?;
         let (deltas, step_reports, levels) = {
             let _span = trace::span(|| "propagate".to_string());
             propagate_plan_leveled_journaled(
@@ -1159,10 +1260,14 @@ impl Warehouse {
             let _span = trace::span(|| "apply_base".to_string());
             for delta in &batch.deltas {
                 self.catalog.table_mut(&delta.table)?.apply_delta(delta)?;
-                // Keep the shard partitions in sync; if this errors the
-                // cache self-heals (row-count mismatch) next cycle.
+                // Keep the shard partitions and columnar mirrors in sync;
+                // if this errors the caches self-heal (row-count mismatch)
+                // next cycle.
                 if let Some(st) = self.shard_tables.get_mut(&delta.table) {
                     st.apply_delta(delta)?;
+                }
+                if let Some(ct) = self.columnar_tables.get_mut(&delta.table) {
+                    ct.apply_delta(delta)?;
                 }
             }
         }
@@ -1249,6 +1354,14 @@ impl Warehouse {
                 .histogram("maintain.shard_merge_us")
                 .record_us(shard_merge_us);
         }
+        if storage == StorageMode::Columnar {
+            self.registry
+                .counter("maintain.vectorized_rows")
+                .add(cycle_metrics.vectorized_rows);
+            self.registry
+                .counter("maintain.chunks_scanned")
+                .add(cycle_metrics.chunks_scanned);
+        }
 
         let report = MaintenanceReport {
             cycle: cj.cycle(),
@@ -1264,6 +1377,7 @@ impl Warehouse {
             shard_rows_scanned,
             shard_merge_us,
             shard_skew,
+            storage,
         };
         Ok((report, deltas))
     }
@@ -1349,6 +1463,7 @@ impl Warehouse {
             shard_rows_scanned: 0,
             shard_merge_us: 0,
             shard_skew: 0.0,
+            storage: StorageMode::Row,
         })
     }
 
@@ -1640,6 +1755,105 @@ mod tests {
         wh.set_maintenance_policy(MaintenancePolicy::with_threads(2).with_shards(3));
         assert_eq!(wh.maintenance_policy().threads, 2);
         assert_eq!(wh.maintenance_policy().shards, 3);
+    }
+
+    #[test]
+    fn set_maintenance_policy_preserves_storage_mode() {
+        use cubedelta_storage::StorageMode;
+        assert_eq!(MaintenancePolicy::with_threads(2).storage, StorageMode::Row);
+        let mut wh = warehouse_with_figure1_views();
+        wh.set_maintenance_policy(
+            MaintenancePolicy::with_threads(2)
+                .with_shards(3)
+                .with_storage(StorageMode::Columnar),
+        );
+        assert_eq!(wh.maintenance_policy().threads, 2);
+        assert_eq!(wh.maintenance_policy().shards, 3);
+        assert_eq!(wh.maintenance_policy().storage, StorageMode::Columnar);
+    }
+
+    #[test]
+    fn warehouse_samples_storage_env_once_at_construction() {
+        // Mirrors the CUBEDELTA_THREADS / CUBEDELTA_SHARDS resolution
+        // order: the storage mode is read exactly once, at construction.
+        use cubedelta_storage::StorageMode;
+        let saved = std::env::var(STORAGE_ENV_VAR).ok();
+        std::env::set_var(STORAGE_ENV_VAR, "columnar");
+        let mut wh = warehouse_with_figure1_views();
+        assert_eq!(wh.maintenance_policy().storage, StorageMode::Columnar);
+        std::env::set_var(STORAGE_ENV_VAR, "row");
+        let batch = ChangeBatch::single(DeltaSet::insertions(
+            "pos",
+            vec![row![1i64, 10i64, d(0), 1i64, 1.0]],
+        ));
+        let report = wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        assert_eq!(
+            report.storage,
+            StorageMode::Columnar,
+            "policy must not re-read the env mid-run"
+        );
+        std::env::set_var(STORAGE_ENV_VAR, "definitely-not-a-mode");
+        assert_eq!(
+            MaintenancePolicy::from_env().storage,
+            StorageMode::Row,
+            "unusable values fall through to the default"
+        );
+        match saved {
+            Some(v) => std::env::set_var(STORAGE_ENV_VAR, v),
+            None => std::env::remove_var(STORAGE_ENV_VAR),
+        }
+        wh.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn columnar_maintenance_matches_row_byte_for_byte() {
+        use cubedelta_storage::StorageMode;
+        let batch = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![
+                row![1i64, 20i64, d(0), 4i64, 1.0],
+                row![3i64, 30i64, d(2), 1i64, 0.5],
+            ],
+            deletions: vec![row![2i64, 10i64, d(0), 7i64, 1.0]],
+        });
+        let mut row_wh = warehouse_with_figure1_views();
+        row_wh.set_maintenance_policy(MaintenancePolicy::with_threads(1));
+        let row_report = row_wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let mut col_wh = warehouse_with_figure1_views();
+        col_wh.set_maintenance_policy(
+            MaintenancePolicy::with_threads(1).with_storage(StorageMode::Columnar),
+        );
+        let col_report = col_wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+
+        assert_eq!(row_report.storage, StorageMode::Row);
+        assert_eq!(col_report.storage, StorageMode::Columnar);
+        assert_eq!(row_report.metrics.vectorized_rows, 0);
+        assert!(col_report.metrics.vectorized_rows > 0, "kernel should engage");
+        assert!(col_report.metrics.chunks_scanned > 0);
+        for v in row_wh.views() {
+            let name = &v.def.name;
+            assert_eq!(
+                row_wh.catalog().table(name).unwrap().sorted_rows(),
+                col_wh.catalog().table(name).unwrap().sorted_rows(),
+                "{name} differs between storage modes"
+            );
+        }
+        col_wh.check_consistency().unwrap();
+
+        // The columnar fact mirror tracked the apply phase through the row
+        // facade and matches the authoritative row-form table exactly.
+        let mirror = col_wh.columnar_table("pos").expect("mirror built");
+        let fact = col_wh.catalog().table("pos").unwrap();
+        assert_eq!(mirror.len(), fact.len());
+        assert_eq!(mirror.sorted_rows(), fact.sorted_rows());
+        assert!(row_wh.columnar_table("pos").is_none(), "row mode keeps no mirror");
+
+        // Telemetry surfaces the mode and the vectorization counters.
+        let rendered = col_report.to_json().render();
+        assert!(rendered.contains("\"storage_mode\":\"columnar\""));
+        assert!(rendered.contains("\"vectorized_rows\""));
+        assert!(rendered.contains("\"chunks_scanned\""));
+        assert!(col_report.to_string().contains("storage columnar"));
     }
 
     #[test]

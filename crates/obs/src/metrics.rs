@@ -31,6 +31,15 @@ pub struct ExecutionMetrics {
     pub comparisons: u64,
     /// Summary-delta tuples produced by propagate (delta cardinality).
     pub delta_rows: u64,
+    /// Rows aggregated through the vectorized columnar kernel (0 under the
+    /// row engine or when the columnar kernel fell back to the row path).
+    /// Schedule-independent: sequential and partitioned runs book the same
+    /// total for the same input.
+    pub vectorized_rows: u64,
+    /// Column-chunk slices materialized by the columnar kernel (one per
+    /// chunk of rows per column touched). Partition-dependent — per-thread
+    /// partitions each round up to a chunk — so it is *not* a work counter.
+    pub chunks_scanned: u64,
     /// Parallel-operator invocations that fell back to the sequential path
     /// (input too small, single thread requested, or a global aggregate).
     /// Unlike the work counters above, this one is scheduling-dependent: a
@@ -67,6 +76,8 @@ impl ExecutionMetrics {
         self.groups_touched += other.groups_touched;
         self.comparisons += other.comparisons;
         self.delta_rows += other.delta_rows;
+        self.vectorized_rows += other.vectorized_rows;
+        self.chunks_scanned += other.chunks_scanned;
         self.par_fallbacks += other.par_fallbacks;
         self.refresh_par_fallbacks += other.refresh_par_fallbacks;
         self.lock_waits += other.lock_waits;
@@ -74,7 +85,7 @@ impl ExecutionMetrics {
     }
 
     /// `(name, value)` pairs in a fixed order, for serialization.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 13] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 15] {
         [
             ("rows_scanned", self.rows_scanned),
             ("rows_emitted", self.rows_emitted),
@@ -85,6 +96,8 @@ impl ExecutionMetrics {
             ("groups_touched", self.groups_touched),
             ("comparisons", self.comparisons),
             ("delta_rows", self.delta_rows),
+            ("vectorized_rows", self.vectorized_rows),
+            ("chunks_scanned", self.chunks_scanned),
             ("par_fallbacks", self.par_fallbacks),
             ("refresh_par_fallbacks", self.refresh_par_fallbacks),
             ("lock_waits", self.lock_waits),
@@ -93,11 +106,13 @@ impl ExecutionMetrics {
     }
 
     /// The scheduling-independent *work* counters — everything except
-    /// `par_fallbacks`, `refresh_par_fallbacks`, and the lock-wait pair.
-    /// Two runs of the same maintenance over different thread counts must
-    /// agree on these (and the test suites assert it); fallback and
-    /// lock-contention counts legitimately differ with the schedule.
-    pub fn work_pairs(&self) -> [(&'static str, u64); 9] {
+    /// `par_fallbacks`, `refresh_par_fallbacks`, the lock-wait pair, and
+    /// `chunks_scanned` (per-partition chunk counts round up with the
+    /// thread count). Two runs of the same maintenance over different
+    /// thread counts must agree on these (and the test suites assert it);
+    /// fallback, lock-contention, and chunk counts legitimately differ
+    /// with the schedule.
+    pub fn work_pairs(&self) -> [(&'static str, u64); 10] {
         [
             ("rows_scanned", self.rows_scanned),
             ("rows_emitted", self.rows_emitted),
@@ -108,6 +123,7 @@ impl ExecutionMetrics {
             ("groups_touched", self.groups_touched),
             ("comparisons", self.comparisons),
             ("delta_rows", self.delta_rows),
+            ("vectorized_rows", self.vectorized_rows),
         ]
     }
 
@@ -177,6 +193,8 @@ mod tests {
             &mut b.groups_touched,
             &mut b.comparisons,
             &mut b.delta_rows,
+            &mut b.vectorized_rows,
+            &mut b.chunks_scanned,
             &mut b.par_fallbacks,
             &mut b.refresh_par_fallbacks,
             &mut b.lock_waits,
@@ -192,20 +210,27 @@ mod tests {
         for (i, (_, v)) in a.as_pairs().iter().enumerate() {
             assert_eq!(*v, 2 * (i as u64 + 1));
         }
-        assert_eq!(a.distinct_nonzero(), 13);
+        assert_eq!(a.distinct_nonzero(), 15);
     }
 
     #[test]
     fn work_pairs_exclude_scheduling_counters() {
         let m = ExecutionMetrics {
             rows_scanned: 3,
+            chunks_scanned: 11,
             par_fallbacks: 7,
             refresh_par_fallbacks: 5,
             lock_waits: 2,
             lock_wait_us: 90,
             ..Default::default()
         };
-        for scheduling in ["par_fallbacks", "refresh_par_fallbacks", "lock_waits", "lock_wait_us"] {
+        for scheduling in [
+            "par_fallbacks",
+            "refresh_par_fallbacks",
+            "lock_waits",
+            "lock_wait_us",
+            "chunks_scanned",
+        ] {
             assert!(m.work_pairs().iter().all(|(n, _)| *n != scheduling));
             // But the full pair set and JSON carry them.
             assert!(m.as_pairs().iter().any(|(n, _)| *n == scheduling));

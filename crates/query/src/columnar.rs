@@ -1,0 +1,981 @@
+//! Vectorized hash aggregation over typed column vectors.
+//!
+//! The row operator ([`hash_aggregate_metered`]) pays a `Value` enum
+//! dispatch per cell touched. This kernel transposes the input once into
+//! typed [`ColumnVec`]s (`Int64`/`Float64`/`Str`-dictionary/`Date` plus
+//! null bitmaps), builds group keys from the column slices, and folds
+//! SUM/COUNT/MIN/MAX into typed accumulator vectors — one tight
+//! monomorphic loop per aggregate instead of a polymorphic fold per row.
+//!
+//! **Equivalence contract.** For any input the kernel's output is
+//! *bit-identical* to the row operator's — same schema, same first-seen
+//! group order, same `Value` payloads down to float bit patterns — and it
+//! books the same work counters ([`ExecutionMetrics`]), plus
+//! `vectorized_rows`/`chunks_scanned` which the row path leaves at zero.
+//! Three rules make that hold:
+//!
+//! * group keys compare exactly like `Value` equality: floats through
+//!   canonical bits (`-0.0 == 0.0`, every NaN equal), and a column that
+//!   mixes `Int`/`Float` falls back to [`ColumnData::Generic`] where
+//!   `Int(2) == Float(2.0)` grouping is preserved;
+//! * per-group fold order is input row order, so float SUMs accumulate in
+//!   the same sequence and produce the same bits;
+//! * MIN/MAX replace the accumulator only on *strict* canonical inequality
+//!   ([`cmp_f64`]), which keeps the first-seen bit pattern on ties exactly
+//!   as `Value::min_sql`/`max_sql` do.
+//!
+//! Inputs the kernel cannot vectorize (global aggregates, computed-
+//! expression aggregate arguments, unknown columns) delegate wholesale to
+//! the row operator, so callers never need to pre-check.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use cubedelta_expr::Expr;
+use cubedelta_obs::ExecutionMetrics;
+use cubedelta_storage::{
+    add_f64, canonical_f64_bits, cmp_f64, Column, ColumnData, ColumnVec, Date, Row, Schema,
+    Value, CHUNK_ROWS,
+};
+
+use crate::aggregate::{AggFunc, AggState};
+use crate::error::QueryResult;
+use crate::exec::hash_aggregate_metered;
+use crate::parallel::MIN_PARALLEL_ROWS;
+use crate::relation::Relation;
+
+/// [`hash_aggregate_columnar_metered`] with scratch metrics.
+pub fn hash_aggregate_columnar(
+    rel: &Relation,
+    group_cols: &[&str],
+    aggs: &[(AggFunc, Column)],
+) -> QueryResult<Relation> {
+    hash_aggregate_columnar_metered(rel, group_cols, aggs, &mut ExecutionMetrics::new())
+}
+
+/// The aggregate argument's column position when the argument is a bare
+/// column reference (`Some(None)` for `COUNT(*)`); `None` means the
+/// aggregate needs expression evaluation and the kernel must delegate.
+fn columnar_input(schema: &Schema, func: &AggFunc) -> Option<Option<usize>> {
+    match func.input() {
+        None => Some(None),
+        Some(Expr::Column(name)) => schema.index_of(name).ok().map(Some),
+        Some(Expr::ColumnIdx(i)) if *i < schema.arity() => Some(Some(*i)),
+        Some(_) => None,
+    }
+}
+
+/// Vectorized `SELECT group_cols, aggs FROM rel GROUP BY group_cols`,
+/// bit-identical to [`hash_aggregate_metered`] (see the module docs for the
+/// equivalence contract). Books the row kernel's counters plus
+/// `vectorized_rows` (input rows through the typed path) and
+/// `chunks_scanned` (column slices of [`CHUNK_ROWS`] materialized).
+pub fn hash_aggregate_columnar_metered(
+    rel: &Relation,
+    group_cols: &[&str],
+    aggs: &[(AggFunc, Column)],
+    m: &mut ExecutionMetrics,
+) -> QueryResult<Relation> {
+    // Global aggregation (one row even over empty input) and computed
+    // aggregate arguments stay on the row operator.
+    if group_cols.is_empty() {
+        return hash_aggregate_metered(rel, group_cols, aggs, m);
+    }
+    let mut inputs: Vec<Option<usize>> = Vec::with_capacity(aggs.len());
+    for (f, _) in aggs {
+        match columnar_input(&rel.schema, f) {
+            Some(inp) => inputs.push(inp),
+            None => return hash_aggregate_metered(rel, group_cols, aggs, m),
+        }
+    }
+    let gidx = rel.schema.indices_of(group_cols)?;
+    let n = rel.rows.len();
+
+    // Transpose the columns the kernel touches into typed vectors.
+    let mut needed: Vec<usize> = gidx.clone();
+    for &c in inputs.iter().flatten() {
+        if !needed.contains(&c) {
+            needed.push(c);
+        }
+    }
+    let mut built: HashMap<usize, ColumnVec> = HashMap::with_capacity(needed.len());
+    for &c in &needed {
+        let mut col = ColumnVec::for_type(rel.schema.columns()[c].datatype);
+        for r in &rel.rows {
+            col.push(&r[c]);
+        }
+        built.insert(c, col);
+    }
+    m.chunks_scanned += (needed.len() * n.div_ceil(CHUNK_ROWS)) as u64;
+    m.vectorized_rows += n as u64;
+    m.rows_scanned += n as u64;
+    m.hash_probes += n as u64;
+
+    let gcols: Vec<&ColumnVec> = gidx.iter().map(|c| &built[c]).collect();
+    let mut accs: Vec<Acc> = aggs
+        .iter()
+        .zip(&inputs)
+        .map(|((f, _), inp)| Acc::new(f, *inp, &built))
+        .collect();
+
+    // First-seen group assignment: hash buckets hold candidate group ids,
+    // `key_rows[g]` is the group's first-seen key (emitted verbatim, like
+    // the row kernel's `order` vector).
+    let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut key_rows: Vec<Row> = Vec::new();
+    for i in 0..n {
+        let mut h = DefaultHasher::new();
+        for col in &gcols {
+            hash_col_value(col, i, &mut h);
+        }
+        let cands = buckets.entry(h.finish()).or_default();
+        let mut gid = None;
+        for &g in cands.iter() {
+            let key = &key_rows[g as usize];
+            if gcols
+                .iter()
+                .enumerate()
+                .all(|(p, col)| col_eq_value(col, i, &key[p]))
+            {
+                gid = Some(g as usize);
+                break;
+            }
+        }
+        let g = match gid {
+            Some(g) => g,
+            None => {
+                let g = key_rows.len();
+                m.hash_build_rows += 1;
+                cands.push(g as u32);
+                key_rows.push(Row::new(gcols.iter().map(|c| c.get(i)).collect()));
+                for acc in &mut accs {
+                    acc.push_group();
+                }
+                g
+            }
+        };
+        for acc in &mut accs {
+            acc.update(g, i, &built, m);
+        }
+    }
+
+    let mut cols: Vec<Column> = gidx
+        .iter()
+        .map(|&i| rel.schema.columns()[i].clone())
+        .collect();
+    // Aggregate outputs may be NULL (SUM over all-NULL etc.), matching the
+    // row kernel's output schema exactly.
+    cols.extend(aggs.iter().map(|(_, c)| {
+        let mut c = c.clone();
+        c.nullable = true;
+        c
+    }));
+    let schema = Schema::new(cols);
+
+    let mut rows = Vec::with_capacity(key_rows.len());
+    for (g, key) in key_rows.into_iter().enumerate() {
+        let mut out = key.0;
+        out.extend(accs.iter().map(|a| a.finalize(g)));
+        rows.push(Row::new(out));
+    }
+    m.groups_touched += rows.len() as u64;
+    m.rows_emitted += rows.len() as u64;
+    Ok(Relation::new(schema, rows))
+}
+
+/// [`hash_aggregate_columnar_parallel_metered`] with scratch metrics.
+pub fn hash_aggregate_columnar_parallel(
+    rel: &Relation,
+    group_cols: &[&str],
+    aggs: &[(AggFunc, Column)],
+    threads: usize,
+) -> QueryResult<Relation> {
+    hash_aggregate_columnar_parallel_metered(
+        rel,
+        group_cols,
+        aggs,
+        threads,
+        &mut ExecutionMetrics::new(),
+    )
+}
+
+/// The columnar counterpart of
+/// [`crate::parallel::hash_aggregate_parallel_metered`]: identical
+/// hash-partitioning (same hasher over the same `Value`s, so a row lands in
+/// the same partition under either engine), each partition vectorized on
+/// its own thread, partials concatenated in partition order. Fallback
+/// conditions and `par_fallbacks` booking match the row version, so the
+/// two parallel operators emit bit-identical relations for any thread
+/// count.
+pub fn hash_aggregate_columnar_parallel_metered(
+    rel: &Relation,
+    group_cols: &[&str],
+    aggs: &[(AggFunc, Column)],
+    threads: usize,
+    m: &mut ExecutionMetrics,
+) -> QueryResult<Relation> {
+    if threads <= 1 || group_cols.is_empty() || rel.rows.len() < MIN_PARALLEL_ROWS {
+        if threads > 1 {
+            m.par_fallbacks += 1;
+        }
+        return hash_aggregate_columnar_metered(rel, group_cols, aggs, m);
+    }
+
+    let gidx = rel.schema.indices_of(group_cols)?;
+
+    let mut partitions: Vec<Vec<Row>> = (0..threads).map(|_| Vec::new()).collect();
+    for r in &rel.rows {
+        let mut h = DefaultHasher::new();
+        for &c in &gidx {
+            r[c].hash(&mut h);
+        }
+        partitions[(h.finish() as usize) % threads].push(r.clone());
+    }
+
+    let results: Vec<(QueryResult<Relation>, ExecutionMetrics)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partitions
+            .into_iter()
+            .map(|rows| {
+                let schema = rel.schema.clone();
+                scope.spawn(move || {
+                    let part = Relation::new(schema, rows);
+                    let mut pm = ExecutionMetrics::new();
+                    let out = hash_aggregate_columnar_metered(&part, group_cols, aggs, &mut pm);
+                    (out, pm)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("aggregation worker panicked"))
+            .collect()
+    });
+
+    let mut out: Option<Relation> = None;
+    for (part, pm) in results {
+        m.merge(&pm);
+        let part = part?;
+        match &mut out {
+            None => out = Some(part),
+            Some(acc) => acc.rows.extend(part.rows),
+        }
+    }
+    Ok(out.unwrap_or_else(|| Relation::empty(rel.schema.project(&gidx))))
+}
+
+/// Hashes one column cell into the group hasher. Only internal consistency
+/// with [`col_eq_value`] is required (the map is private to one kernel
+/// call); typed reprs hash payloads directly, `Generic` uses `Value::hash`
+/// so cross-type numeric equality (`Int(2) == Float(2.0)`) keeps colliding.
+fn hash_col_value(col: &ColumnVec, i: usize, h: &mut DefaultHasher) {
+    if let ColumnData::Generic(vs) = col.data() {
+        vs[i].hash(h);
+        return;
+    }
+    if col.is_null(i) {
+        h.write_u8(0);
+        return;
+    }
+    match col.data() {
+        ColumnData::Int64(xs) => {
+            h.write_u8(1);
+            h.write_i64(xs[i]);
+        }
+        ColumnData::Float64(xs) => {
+            h.write_u8(2);
+            h.write_u64(canonical_f64_bits(xs[i]));
+        }
+        ColumnData::Str { codes, .. } => {
+            // Dictionary codes are injective per column, so the code is a
+            // perfect hash proxy for the string.
+            h.write_u8(3);
+            h.write_u32(codes[i]);
+        }
+        ColumnData::Date(xs) => {
+            h.write_u8(4);
+            h.write_i32(xs[i]);
+        }
+        ColumnData::Generic(_) => unreachable!("handled above"),
+    }
+}
+
+/// Compares one column cell to a first-seen key value with exactly
+/// `Value`-equality semantics (the key value came from the same column, so
+/// a typed column only ever meets its own variant).
+fn col_eq_value(col: &ColumnVec, i: usize, v: &Value) -> bool {
+    if let ColumnData::Generic(vs) = col.data() {
+        return vs[i] == *v;
+    }
+    if col.is_null(i) {
+        return v.is_null();
+    }
+    match (col.data(), v) {
+        (ColumnData::Int64(xs), Value::Int(y)) => xs[i] == *y,
+        (ColumnData::Float64(xs), Value::Float(y)) => {
+            canonical_f64_bits(xs[i]) == canonical_f64_bits(*y)
+        }
+        (ColumnData::Str { codes, dict }, Value::Str(s)) => {
+            dict.get(codes[i]).as_ref() == s.as_ref()
+        }
+        (ColumnData::Date(xs), Value::Date(d)) => xs[i] == d.0,
+        _ => false,
+    }
+}
+
+/// One aggregate's accumulator vector, typed by the aggregate function and
+/// its input column's physical representation. Index `g` is the group id.
+enum Acc {
+    /// `COUNT(*)`.
+    CountStar { counts: Vec<i64> },
+    /// `COUNT(col)` — non-NULL count off the bitmap.
+    Count { col: usize, counts: Vec<i64> },
+    /// `SUM` over an `Int64` column.
+    SumI {
+        col: usize,
+        sums: Vec<i64>,
+        seen: Vec<bool>,
+    },
+    /// `SUM` over a `Float64` column; seeded by the first non-NULL value
+    /// (not `0.0 + v`, which would lose `-0.0`), then folded in row order
+    /// so the bits match the row kernel's fold.
+    SumF {
+        col: usize,
+        sums: Vec<f64>,
+        seen: Vec<bool>,
+    },
+    /// `MIN`/`MAX` over an `Int64` column.
+    OrdI {
+        col: usize,
+        min: bool,
+        vals: Vec<i64>,
+        seen: Vec<bool>,
+    },
+    /// `MIN`/`MAX` over a `Float64` column — strict [`cmp_f64`] replace
+    /// keeps the first-seen bit pattern on canonical ties, like `min_sql`.
+    OrdF {
+        col: usize,
+        min: bool,
+        vals: Vec<f64>,
+        seen: Vec<bool>,
+    },
+    /// `MIN`/`MAX` over a dictionary `Str` column.
+    OrdS {
+        col: usize,
+        min: bool,
+        vals: Vec<Option<Arc<str>>>,
+    },
+    /// `MIN`/`MAX` over a `Date` column.
+    OrdD {
+        col: usize,
+        min: bool,
+        vals: Vec<i32>,
+        seen: Vec<bool>,
+    },
+    /// Anything the typed vectors can't hold bit-exactly (`Generic`
+    /// columns, SUM over non-numeric reprs, AVG): per-group [`AggState`]s
+    /// driven by materialized values — still the row kernel's arithmetic.
+    Fallback {
+        col: Option<usize>,
+        func: AggFunc,
+        states: Vec<AggState>,
+    },
+}
+
+impl Acc {
+    fn new(func: &AggFunc, input: Option<usize>, built: &HashMap<usize, ColumnVec>) -> Acc {
+        let fallback = |col: Option<usize>| Acc::Fallback {
+            col,
+            func: func.clone(),
+            states: Vec::new(),
+        };
+        match (func, input) {
+            (AggFunc::CountStar, _) => Acc::CountStar { counts: Vec::new() },
+            (AggFunc::Count(_), Some(col)) => Acc::Count {
+                col,
+                counts: Vec::new(),
+            },
+            (AggFunc::Sum(_), Some(col)) => match built[&col].data() {
+                ColumnData::Int64(_) => Acc::SumI {
+                    col,
+                    sums: Vec::new(),
+                    seen: Vec::new(),
+                },
+                ColumnData::Float64(_) => Acc::SumF {
+                    col,
+                    sums: Vec::new(),
+                    seen: Vec::new(),
+                },
+                _ => fallback(Some(col)),
+            },
+            (AggFunc::Min(_) | AggFunc::Max(_), Some(col)) => {
+                let min = matches!(func, AggFunc::Min(_));
+                match built[&col].data() {
+                    ColumnData::Int64(_) => Acc::OrdI {
+                        col,
+                        min,
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                    },
+                    ColumnData::Float64(_) => Acc::OrdF {
+                        col,
+                        min,
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                    },
+                    ColumnData::Str { .. } => Acc::OrdS {
+                        col,
+                        min,
+                        vals: Vec::new(),
+                    },
+                    ColumnData::Date(_) => Acc::OrdD {
+                        col,
+                        min,
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                    },
+                    ColumnData::Generic(_) => fallback(Some(col)),
+                }
+            }
+            (_, input) => fallback(input),
+        }
+    }
+
+    fn push_group(&mut self) {
+        match self {
+            Acc::CountStar { counts } | Acc::Count { counts, .. } => counts.push(0),
+            Acc::SumI { sums, seen, .. } => {
+                sums.push(0);
+                seen.push(false);
+            }
+            Acc::SumF { sums, seen, .. } => {
+                sums.push(0.0);
+                seen.push(false);
+            }
+            Acc::OrdI { vals, seen, .. } => {
+                vals.push(0);
+                seen.push(false);
+            }
+            Acc::OrdF { vals, seen, .. } => {
+                vals.push(0.0);
+                seen.push(false);
+            }
+            Acc::OrdS { vals, .. } => vals.push(None),
+            Acc::OrdD { vals, seen, .. } => {
+                vals.push(0);
+                seen.push(false);
+            }
+            Acc::Fallback { func, states, .. } => states.push(func.new_state()),
+        }
+    }
+
+    fn update(
+        &mut self,
+        g: usize,
+        i: usize,
+        built: &HashMap<usize, ColumnVec>,
+        m: &mut ExecutionMetrics,
+    ) {
+        match self {
+            Acc::CountStar { counts } => counts[g] += 1,
+            Acc::Count { col, counts } => {
+                if !built[col].is_null(i) {
+                    counts[g] += 1;
+                }
+            }
+            Acc::SumI { col, sums, seen } => {
+                let c = &built[col];
+                if !c.is_null(i) {
+                    let ColumnData::Int64(xs) = c.data() else {
+                        unreachable!("SumI pinned to an Int64 column")
+                    };
+                    if seen[g] {
+                        sums[g] += xs[i];
+                    } else {
+                        sums[g] = xs[i];
+                        seen[g] = true;
+                    }
+                }
+            }
+            Acc::SumF { col, sums, seen } => {
+                let c = &built[col];
+                if !c.is_null(i) {
+                    let ColumnData::Float64(xs) = c.data() else {
+                        unreachable!("SumF pinned to a Float64 column")
+                    };
+                    if seen[g] {
+                        // Through the shared instance — see `add_f64` for
+                        // why an inlined `+=` could disagree on NaN bits.
+                        sums[g] = add_f64(sums[g], xs[i]);
+                    } else {
+                        sums[g] = xs[i];
+                        seen[g] = true;
+                    }
+                }
+            }
+            Acc::OrdI {
+                col,
+                min,
+                vals,
+                seen,
+            } => {
+                let c = &built[col];
+                if !c.is_null(i) {
+                    let ColumnData::Int64(xs) = c.data() else {
+                        unreachable!("OrdI pinned to an Int64 column")
+                    };
+                    if seen[g] {
+                        m.comparisons += 1;
+                        if (*min && xs[i] < vals[g]) || (!*min && xs[i] > vals[g]) {
+                            vals[g] = xs[i];
+                        }
+                    } else {
+                        vals[g] = xs[i];
+                        seen[g] = true;
+                    }
+                }
+            }
+            Acc::OrdF {
+                col,
+                min,
+                vals,
+                seen,
+            } => {
+                let c = &built[col];
+                if !c.is_null(i) {
+                    let ColumnData::Float64(xs) = c.data() else {
+                        unreachable!("OrdF pinned to a Float64 column")
+                    };
+                    if seen[g] {
+                        m.comparisons += 1;
+                        let ord = cmp_f64(xs[i], vals[g]);
+                        if (*min && ord == std::cmp::Ordering::Less)
+                            || (!*min && ord == std::cmp::Ordering::Greater)
+                        {
+                            vals[g] = xs[i];
+                        }
+                    } else {
+                        vals[g] = xs[i];
+                        seen[g] = true;
+                    }
+                }
+            }
+            Acc::OrdS { col, min, vals } => {
+                let c = &built[col];
+                if !c.is_null(i) {
+                    let ColumnData::Str { codes, dict } = c.data() else {
+                        unreachable!("OrdS pinned to a Str column")
+                    };
+                    let s = dict.get(codes[i]);
+                    match &vals[g] {
+                        None => vals[g] = Some(Arc::clone(s)),
+                        Some(acc) => {
+                            m.comparisons += 1;
+                            if (*min && s.as_ref() < acc.as_ref())
+                                || (!*min && s.as_ref() > acc.as_ref())
+                            {
+                                vals[g] = Some(Arc::clone(s));
+                            }
+                        }
+                    }
+                }
+            }
+            Acc::OrdD {
+                col,
+                min,
+                vals,
+                seen,
+            } => {
+                let c = &built[col];
+                if !c.is_null(i) {
+                    let ColumnData::Date(xs) = c.data() else {
+                        unreachable!("OrdD pinned to a Date column")
+                    };
+                    if seen[g] {
+                        m.comparisons += 1;
+                        if (*min && xs[i] < vals[g]) || (!*min && xs[i] > vals[g]) {
+                            vals[g] = xs[i];
+                        }
+                    } else {
+                        vals[g] = xs[i];
+                        seen[g] = true;
+                    }
+                }
+            }
+            Acc::Fallback { col, func, states } => {
+                let v = match col {
+                    Some(c) => built[c].get(i),
+                    None => Value::Int(1),
+                };
+                states[g].update_metered(func, &v, m);
+            }
+        }
+    }
+
+    fn finalize(&self, g: usize) -> Value {
+        match self {
+            Acc::CountStar { counts } | Acc::Count { counts, .. } => Value::Int(counts[g]),
+            Acc::SumI { sums, seen, .. } => {
+                if seen[g] {
+                    Value::Int(sums[g])
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::SumF { sums, seen, .. } => {
+                if seen[g] {
+                    Value::Float(sums[g])
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::OrdI { vals, seen, .. } => {
+                if seen[g] {
+                    Value::Int(vals[g])
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::OrdF { vals, seen, .. } => {
+                if seen[g] {
+                    Value::Float(vals[g])
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::OrdS { vals, .. } => match &vals[g] {
+                Some(s) => Value::Str(Arc::clone(s)),
+                None => Value::Null,
+            },
+            Acc::OrdD { vals, seen, .. } => {
+                if seen[g] {
+                    Value::Date(Date(vals[g]))
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Fallback { states, .. } => states[g].finalize(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::hash_aggregate;
+    use crate::parallel::hash_aggregate_parallel_metered;
+    use cubedelta_expr::Expr;
+    use cubedelta_storage::DataType;
+
+    fn aggs() -> Vec<(AggFunc, Column)> {
+        vec![
+            (AggFunc::CountStar, Column::new("cnt", DataType::Int)),
+            (
+                AggFunc::Count(Expr::col("f")),
+                Column::new("cnt_f", DataType::Int),
+            ),
+            (
+                AggFunc::Sum(Expr::col("v")),
+                Column::new("sum_v", DataType::Int),
+            ),
+            (
+                AggFunc::Sum(Expr::col("f")),
+                Column::new("sum_f", DataType::Float),
+            ),
+            (
+                AggFunc::Min(Expr::col("f")),
+                Column::new("min_f", DataType::Float),
+            ),
+            (
+                AggFunc::Max(Expr::col("f")),
+                Column::new("max_f", DataType::Float),
+            ),
+            (
+                AggFunc::Min(Expr::col("s")),
+                Column::new("min_s", DataType::Str),
+            ),
+            (
+                AggFunc::Max(Expr::col("d")),
+                Column::new("max_d", DataType::Date),
+            ),
+        ]
+    }
+
+    fn hostile_relation(n: usize) -> Relation {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::nullable("v", DataType::Int),
+            Column::nullable("f", DataType::Float),
+            Column::nullable("s", DataType::Str),
+            Column::nullable("d", DataType::Date),
+        ]);
+        let floats = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::from_bits(0xfff8_dead_beef_0001),
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.5,
+            -2.5e300,
+            f64::MIN_POSITIVE / 2.0,
+        ];
+        let rows = (0..n)
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int((i % 23) as i64),
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i as i64 % 13 - 6)
+                    },
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(floats[i % floats.len()])
+                    },
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::str(format!("s{}", i % 9))
+                    },
+                    if i % 6 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Date(Date((i % 400) as i32))
+                    },
+                ])
+            })
+            .collect();
+        Relation::new(schema, rows)
+    }
+
+    /// Bit-level render: `Value` equality folds `-0.0 == 0.0` and NaNs, so
+    /// byte-identity must be asserted on bit patterns.
+    fn bits(rel: &Relation) -> Vec<Vec<String>> {
+        rel.rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| match v {
+                        Value::Float(f) => format!("F:{:016x}", f.to_bits()),
+                        other => format!("{other:?}"),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn columnar_is_bit_identical_to_row_kernel() {
+        let rel = hostile_relation(1000);
+        let row_out = hash_aggregate(&rel, &["k"], &aggs()).unwrap();
+        let col_out = hash_aggregate_columnar(&rel, &["k"], &aggs()).unwrap();
+        assert_eq!(col_out.schema, row_out.schema);
+        assert_eq!(bits(&col_out), bits(&row_out), "including emission order");
+    }
+
+    #[test]
+    fn columnar_books_row_kernel_counters_plus_vector_stats() {
+        let rel = hostile_relation(3000);
+        let mut rm = ExecutionMetrics::new();
+        let mut cm = ExecutionMetrics::new();
+        hash_aggregate_metered(&rel, &["k"], &aggs(), &mut rm).unwrap();
+        hash_aggregate_columnar_metered(&rel, &["k"], &aggs(), &mut cm).unwrap();
+        assert_eq!(cm.rows_scanned, rm.rows_scanned);
+        assert_eq!(cm.hash_probes, rm.hash_probes);
+        assert_eq!(cm.hash_build_rows, rm.hash_build_rows);
+        assert_eq!(cm.comparisons, rm.comparisons, "MIN/MAX comparison parity");
+        assert_eq!(cm.groups_touched, rm.groups_touched);
+        assert_eq!(cm.rows_emitted, rm.rows_emitted);
+        assert_eq!(cm.vectorized_rows, 3000);
+        assert_eq!(rm.vectorized_rows, 0);
+        // 5 distinct columns touched (k, v, f, s, d) × ⌈3000/1024⌉ chunks.
+        assert_eq!(cm.chunks_scanned, 5 * 3);
+        assert_eq!(rm.chunks_scanned, 0);
+    }
+
+    #[test]
+    fn float_group_keys_canonicalize_like_value_eq() {
+        // -0.0 and 0.0 (and differently-payloaded NaNs) must land in one
+        // group, keyed by the first-seen bit pattern — exactly as the row
+        // kernel groups them.
+        let schema = Schema::new(vec![
+            Column::new("g", DataType::Float),
+            Column::new("v", DataType::Int),
+        ]);
+        let rel = Relation::new(
+            schema,
+            vec![
+                Row::new(vec![Value::Float(-0.0), Value::Int(1)]),
+                Row::new(vec![Value::Float(0.0), Value::Int(2)]),
+                Row::new(vec![Value::Float(f64::NAN), Value::Int(3)]),
+                Row::new(vec![
+                    Value::Float(f64::from_bits(0x7ff8_0000_0000_0001)),
+                    Value::Int(4),
+                ]),
+            ],
+        );
+        let aggs = vec![(
+            AggFunc::Sum(Expr::col("v")),
+            Column::new("sum_v", DataType::Int),
+        )];
+        let row_out = hash_aggregate(&rel, &["g"], &aggs).unwrap();
+        let col_out = hash_aggregate_columnar(&rel, &["g"], &aggs).unwrap();
+        assert_eq!(col_out.len(), 2, "{{-0.0, 0.0}} and {{NaN, NaN'}}");
+        assert_eq!(bits(&col_out), bits(&row_out));
+        // Key is the first-seen payload: -0.0, not +0.0.
+        assert_eq!(bits(&col_out)[0][0], format!("F:{:016x}", (-0.0f64).to_bits()));
+    }
+
+    #[test]
+    fn min_max_keep_first_seen_bits_on_ties() {
+        let schema = Schema::new(vec![
+            Column::new("k", DataType::Int),
+            Column::new("f", DataType::Float),
+        ]);
+        let rel = Relation::new(
+            schema,
+            vec![
+                Row::new(vec![Value::Int(1), Value::Float(-0.0)]),
+                Row::new(vec![Value::Int(1), Value::Float(0.0)]),
+            ],
+        );
+        let aggs = vec![
+            (
+                AggFunc::Min(Expr::col("f")),
+                Column::new("mn", DataType::Float),
+            ),
+            (
+                AggFunc::Max(Expr::col("f")),
+                Column::new("mx", DataType::Float),
+            ),
+        ];
+        let row_out = hash_aggregate(&rel, &["k"], &aggs).unwrap();
+        let col_out = hash_aggregate_columnar(&rel, &["k"], &aggs).unwrap();
+        assert_eq!(bits(&col_out), bits(&row_out));
+        // Both engines keep the first-seen -0.0 on the canonical tie.
+        let neg_zero = format!("F:{:016x}", (-0.0f64).to_bits());
+        assert_eq!(bits(&col_out)[0][1], neg_zero);
+        assert_eq!(bits(&col_out)[0][2], neg_zero);
+    }
+
+    #[test]
+    fn mixed_int_float_column_promotes_and_groups_like_row_kernel() {
+        // Int(2) == Float(2.0) under Value equality; a mixed column must
+        // promote to Generic and keep that grouping.
+        let schema = Schema::new(vec![
+            Column::new("g", DataType::Int),
+            Column::nullable("v", DataType::Int),
+        ]);
+        let rel = Relation::new(
+            schema,
+            vec![
+                Row::new(vec![Value::Int(2), Value::Int(10)]),
+                Row::new(vec![Value::Float(2.0), Value::Int(20)]),
+                Row::new(vec![Value::Int(3), Value::Float(0.5)]),
+            ],
+        );
+        let aggs = vec![
+            (AggFunc::CountStar, Column::new("cnt", DataType::Int)),
+            (
+                AggFunc::Sum(Expr::col("v")),
+                Column::new("sum_v", DataType::Int),
+            ),
+        ];
+        let row_out = hash_aggregate(&rel, &["g"], &aggs).unwrap();
+        let col_out = hash_aggregate_columnar(&rel, &["g"], &aggs).unwrap();
+        assert_eq!(col_out.len(), 2);
+        assert_eq!(bits(&col_out), bits(&row_out));
+    }
+
+    #[test]
+    fn computed_inputs_and_global_aggregates_delegate_to_row_kernel() {
+        let rel = hostile_relation(100);
+        // Computed aggregate argument → row kernel, no vectorized rows.
+        let neg = vec![(
+            AggFunc::Sum(Expr::col("v").neg()),
+            Column::new("s", DataType::Int),
+        )];
+        let mut m = ExecutionMetrics::new();
+        let col_out = hash_aggregate_columnar_metered(&rel, &["k"], &neg, &mut m).unwrap();
+        let row_out = hash_aggregate(&rel, &["k"], &neg).unwrap();
+        assert_eq!(bits(&col_out), bits(&row_out));
+        assert_eq!(m.vectorized_rows, 0);
+        assert_eq!(m.chunks_scanned, 0);
+
+        // Global aggregate (empty group set) → row kernel, incl. the
+        // one-row-over-empty-input rule.
+        let empty = Relation::empty(rel.schema.clone());
+        let sum = vec![(
+            AggFunc::Sum(Expr::col("v")),
+            Column::new("s", DataType::Int),
+        )];
+        let out = hash_aggregate_columnar(&empty, &[], &sum).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.rows[0][0].is_null());
+
+        // Unknown columns surface the row kernel's error.
+        assert!(hash_aggregate_columnar(&rel, &["nope"], &sum).is_err());
+        let bad = vec![(
+            AggFunc::Sum(Expr::col("nope")),
+            Column::new("s", DataType::Int),
+        )];
+        assert!(hash_aggregate_columnar(&rel, &["k"], &bad).is_err());
+    }
+
+    #[test]
+    fn empty_grouped_input_is_empty() {
+        let rel = Relation::empty(hostile_relation(1).schema);
+        let out = hash_aggregate_columnar(&rel, &["k"], &aggs()).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(out.schema.arity(), 1 + aggs().len());
+    }
+
+    #[test]
+    fn parallel_columnar_matches_parallel_row_engine_exactly() {
+        let rel = hostile_relation(MIN_PARALLEL_ROWS * 3);
+        for threads in [1, 2, 4] {
+            let mut rm = ExecutionMetrics::new();
+            let mut cm = ExecutionMetrics::new();
+            let row_out =
+                hash_aggregate_parallel_metered(&rel, &["k"], &aggs(), threads, &mut rm).unwrap();
+            let col_out =
+                hash_aggregate_columnar_parallel_metered(&rel, &["k"], &aggs(), threads, &mut cm)
+                    .unwrap();
+            // Identical partitioning → identical emission order per thread
+            // count, bit for bit.
+            assert_eq!(bits(&col_out), bits(&row_out), "threads={threads}");
+            assert_eq!(cm.rows_scanned, rm.rows_scanned);
+            assert_eq!(cm.comparisons, rm.comparisons);
+            assert_eq!(cm.vectorized_rows, rel.rows.len() as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_fallbacks_book_like_row_engine() {
+        let small = hostile_relation(100);
+        let mut m = ExecutionMetrics::new();
+        hash_aggregate_columnar_parallel_metered(&small, &["k"], &aggs(), 4, &mut m).unwrap();
+        assert_eq!(m.par_fallbacks, 1, "small input declines parallelism");
+        assert_eq!(m.vectorized_rows, 100, "but still vectorizes sequentially");
+
+        let mut m = ExecutionMetrics::new();
+        hash_aggregate_columnar_parallel_metered(&small, &["k"], &aggs(), 1, &mut m).unwrap();
+        assert_eq!(m.par_fallbacks, 0, "threads=1 is deliberate");
+    }
+
+    #[test]
+    fn vectorized_rows_is_schedule_independent() {
+        let rel = hostile_relation(MIN_PARALLEL_ROWS * 2);
+        let mut seq = ExecutionMetrics::new();
+        let mut par = ExecutionMetrics::new();
+        hash_aggregate_columnar_metered(&rel, &["k"], &aggs(), &mut seq).unwrap();
+        hash_aggregate_columnar_parallel_metered(&rel, &["k"], &aggs(), 4, &mut par).unwrap();
+        assert_eq!(seq.vectorized_rows, par.vectorized_rows);
+        // Chunk counts round up per partition, so they may legitimately
+        // differ — which is why chunks_scanned is not a work counter.
+        assert!(par.chunks_scanned >= seq.chunks_scanned);
+    }
+}

@@ -12,6 +12,7 @@
 //! backend.
 
 pub mod aggregate;
+pub mod columnar;
 pub mod error;
 pub mod exec;
 pub mod parallel;
@@ -19,6 +20,10 @@ pub mod relation;
 pub mod sort;
 
 pub use aggregate::{AggClass, AggFunc, AggState};
+pub use columnar::{
+    hash_aggregate_columnar, hash_aggregate_columnar_metered, hash_aggregate_columnar_parallel,
+    hash_aggregate_columnar_parallel_metered,
+};
 pub use error::{QueryError, QueryResult};
 pub use exec::{
     filter, filter_metered, hash_aggregate, hash_aggregate_metered, hash_join,

@@ -1,0 +1,972 @@
+//! Columnar chunk storage: typed column vectors grouped into fixed-size
+//! chunks behind a row-API facade.
+//!
+//! The propagate hot path is a scan-and-hash-aggregate (§4.1); row-form
+//! `Vec<Value>` storage pays an enum-dispatch per value touched. This module
+//! stores each column as a typed vector — `Int64`, `Float64`,
+//! dictionary-encoded `Str`, `Date` — plus a null bitmap, sliced into
+//! [`CHUNK_ROWS`]-row [`Chunk`]s, and exposes the same row-at-a-time API as
+//! [`Table`] (slot ids, free-list reuse, `apply_delta`, slot-order
+//! iteration) so the lattice/refresh/snapshot layers don't churn.
+//!
+//! **Facade contract.** A [`ColumnarTable`] and a [`Table`] that start from
+//! the same row sequence and receive the same sequence of
+//! `insert`/`delete`/`apply_delta` calls expose *identical* row sequences
+//! from their iterators: inserts reuse freed slots LIFO exactly as
+//! [`Table::insert`] does, and `apply_delta` deletes first-matching
+//! occurrences in slot order exactly as [`Table::apply_delta`] does. Values
+//! round-trip bit-exactly — a `Float64` vector stores raw `f64` bit
+//! patterns, so `-0.0` and NaN payloads survive the facade (the
+//! canonicalization rule of [`crate::value::cmp_f64`] applies only to
+//! *ordering*, never to storage).
+//!
+//! A column whose declared type doesn't match an arriving value (the
+//! `Value` model permits heterogeneous columns when validation is off, and
+//! query outputs mix `Int`/`Float` freely) promotes itself to a
+//! [`ColumnData::Generic`] vector of plain `Value`s, preserving exact
+//! payloads at the cost of the typed fast path.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::datatype::DataType;
+use crate::delta::DeltaSet;
+use crate::error::{StorageError, StorageResult};
+use crate::row::{Row, RowId};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{Date, Value};
+
+/// Rows per chunk. Chosen so a chunk's worth of one `i64` column (8 KiB)
+/// fits comfortably in L1 alongside its null bitmap.
+pub const CHUNK_ROWS: usize = 1024;
+
+/// Which storage engine backs fact/summary scans and the summary-delta
+/// aggregation kernel. Sampled once at `Warehouse` construction from
+/// `CUBEDELTA_STORAGE` (same pattern as the threads/shards knobs); both
+/// modes produce byte-identical summary tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// Row-form `Vec<Value>` tables and the row hash-aggregate kernel.
+    #[default]
+    Row,
+    /// Columnar chunks and the vectorized aggregation kernel.
+    Columnar,
+}
+
+impl StorageMode {
+    /// The canonical spelling, as reported through telemetry.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StorageMode::Row => "row",
+            StorageMode::Columnar => "columnar",
+        }
+    }
+
+    /// Parses an environment-variable value; `None` for anything unusable
+    /// (which falls through to the default, like the threads/shards knobs).
+    pub fn parse(s: &str) -> Option<StorageMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "row" => Some(StorageMode::Row),
+            "columnar" | "column" | "col" => Some(StorageMode::Columnar),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StorageMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A packed bitmap, one bit per row. Used both for column null bits and for
+/// chunk tombstones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NullBitmap {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl NullBitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff no bits are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, set: bool) {
+        let word = self.len / 64;
+        if word == self.bits.len() {
+            self.bits.push(0);
+        }
+        if set {
+            self.bits[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Bit `i` (false for out-of-range, so sparse callers stay total).
+    pub fn get(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.bits[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Overwrites bit `i`; `i` must be in range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.bits[i / 64] |= mask;
+        } else {
+            self.bits[i / 64] &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// A string dictionary: interned `Arc<str>` payloads addressed by dense
+/// `u32` codes. Grows monotonically — codes stay stable for the life of the
+/// column, so tombstoned rows never invalidate live codes.
+#[derive(Debug, Clone, Default)]
+pub struct StrDict {
+    strings: Vec<Arc<str>>,
+    codes: HashMap<Arc<str>, u32>,
+}
+
+impl StrDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True iff nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Interns a string, returning its code (existing code for a repeat).
+    pub fn intern(&mut self, s: &Arc<str>) -> u32 {
+        if let Some(&code) = self.codes.get(s) {
+            return code;
+        }
+        let code = self.strings.len() as u32;
+        self.strings.push(Arc::clone(s));
+        self.codes.insert(Arc::clone(s), code);
+        code
+    }
+
+    /// The string behind a code.
+    pub fn get(&self, code: u32) -> &Arc<str> {
+        &self.strings[code as usize]
+    }
+}
+
+/// The physical representation of one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// `Value::Int` payloads (NULL rows hold 0 under a set null bit).
+    Int64(Vec<i64>),
+    /// `Value::Float` payloads, raw bit patterns — `-0.0`/NaN round-trip.
+    Float64(Vec<f64>),
+    /// Dictionary codes into `dict` (NULL rows hold code 0 under a null
+    /// bit; code 0 is only meaningful when the bit is clear).
+    Str {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The column's dictionary.
+        dict: StrDict,
+    },
+    /// `Value::Date` day counts.
+    Date(Vec<i32>),
+    /// Mixed-type fallback: plain values, exactly as a row would hold them.
+    Generic(Vec<Value>),
+}
+
+/// One column of one chunk: typed data plus the null bitmap.
+#[derive(Debug, Clone)]
+pub struct ColumnVec {
+    data: ColumnData,
+    nulls: NullBitmap,
+}
+
+impl ColumnVec {
+    /// An empty typed column for a declared [`DataType`].
+    pub fn for_type(dt: DataType) -> Self {
+        let data = match dt {
+            DataType::Int => ColumnData::Int64(Vec::new()),
+            DataType::Float => ColumnData::Float64(Vec::new()),
+            DataType::Str => ColumnData::Str {
+                codes: Vec::new(),
+                dict: StrDict::new(),
+            },
+            DataType::Date => ColumnData::Date(Vec::new()),
+        };
+        ColumnVec {
+            data,
+            nulls: NullBitmap::new(),
+        }
+    }
+
+    /// An empty mixed-type column.
+    pub fn generic() -> Self {
+        ColumnVec {
+            data: ColumnData::Generic(Vec::new()),
+            nulls: NullBitmap::new(),
+        }
+    }
+
+    /// Number of rows (live and tombstoned alike).
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// True iff no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The physical representation.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// The null bitmap.
+    pub fn nulls(&self) -> &NullBitmap {
+        &self.nulls
+    }
+
+    /// True once the column has fallen back to [`ColumnData::Generic`].
+    pub fn is_generic(&self) -> bool {
+        matches!(self.data, ColumnData::Generic(_))
+    }
+
+    /// True iff row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.data {
+            ColumnData::Generic(vs) => vs[i].is_null(),
+            _ => self.nulls.get(i),
+        }
+    }
+
+    /// Whether `v` fits this column's typed representation without
+    /// promotion (NULL always fits).
+    fn accepts(&self, v: &Value) -> bool {
+        matches!(
+            (&self.data, v),
+            (_, Value::Null)
+                | (ColumnData::Int64(_), Value::Int(_))
+                | (ColumnData::Float64(_), Value::Float(_))
+                | (ColumnData::Str { .. }, Value::Str(_))
+                | (ColumnData::Date(_), Value::Date(_))
+                | (ColumnData::Generic(_), _)
+        )
+    }
+
+    /// Rewrites the column as [`ColumnData::Generic`], materializing every
+    /// row (the mixed-type escape hatch).
+    fn promote_to_generic(&mut self) {
+        if self.is_generic() {
+            return;
+        }
+        let values: Vec<Value> = (0..self.len()).map(|i| self.get(i)).collect();
+        self.data = ColumnData::Generic(values);
+    }
+
+    /// Appends a value, promoting to generic on a type mismatch.
+    pub fn push(&mut self, v: &Value) {
+        if !self.accepts(v) {
+            self.promote_to_generic();
+        }
+        match (&mut self.data, v) {
+            (ColumnData::Generic(vs), v) => {
+                vs.push(v.clone());
+                self.nulls.push(v.is_null());
+            }
+            (data, Value::Null) => {
+                match data {
+                    ColumnData::Int64(xs) => xs.push(0),
+                    ColumnData::Float64(xs) => xs.push(0.0),
+                    ColumnData::Str { codes, .. } => codes.push(0),
+                    ColumnData::Date(xs) => xs.push(0),
+                    ColumnData::Generic(_) => unreachable!("handled above"),
+                }
+                self.nulls.push(true);
+            }
+            (ColumnData::Int64(xs), Value::Int(i)) => {
+                xs.push(*i);
+                self.nulls.push(false);
+            }
+            (ColumnData::Float64(xs), Value::Float(f)) => {
+                xs.push(*f);
+                self.nulls.push(false);
+            }
+            (ColumnData::Str { codes, dict }, Value::Str(s)) => {
+                codes.push(dict.intern(s));
+                self.nulls.push(false);
+            }
+            (ColumnData::Date(xs), Value::Date(d)) => {
+                xs.push(d.0);
+                self.nulls.push(false);
+            }
+            _ => unreachable!("accepts() vetted the pairing"),
+        }
+    }
+
+    /// Overwrites row `i` (slot reuse), promoting on a type mismatch.
+    pub fn set(&mut self, i: usize, v: &Value) {
+        if !self.accepts(v) {
+            self.promote_to_generic();
+        }
+        match (&mut self.data, v) {
+            (ColumnData::Generic(vs), v) => {
+                vs[i] = v.clone();
+                self.nulls.set(i, v.is_null());
+            }
+            (_, Value::Null) => self.nulls.set(i, true),
+            (ColumnData::Int64(xs), Value::Int(x)) => {
+                xs[i] = *x;
+                self.nulls.set(i, false);
+            }
+            (ColumnData::Float64(xs), Value::Float(f)) => {
+                xs[i] = *f;
+                self.nulls.set(i, false);
+            }
+            (ColumnData::Str { codes, dict }, Value::Str(s)) => {
+                codes[i] = dict.intern(s);
+                self.nulls.set(i, false);
+            }
+            (ColumnData::Date(xs), Value::Date(d)) => {
+                xs[i] = d.0;
+                self.nulls.set(i, false);
+            }
+            _ => unreachable!("accepts() vetted the pairing"),
+        }
+    }
+
+    /// Materializes row `i` back into a [`Value`], bit-exactly.
+    pub fn get(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Int64(xs) => Value::Int(xs[i]),
+            ColumnData::Float64(xs) => Value::Float(xs[i]),
+            ColumnData::Str { codes, dict } => Value::Str(Arc::clone(dict.get(codes[i]))),
+            ColumnData::Date(xs) => Value::Date(Date(xs[i])),
+            ColumnData::Generic(vs) => vs[i].clone(),
+        }
+    }
+
+    /// Distinct strings in this column's dictionary (0 for non-string
+    /// columns) — the dictionary-growth observability hook.
+    pub fn dict_len(&self) -> usize {
+        match &self.data {
+            ColumnData::Str { dict, .. } => dict.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// A fixed-capacity slice of rows: one [`ColumnVec`] per schema column plus
+/// a tombstone bitmap for deleted slots.
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    columns: Vec<ColumnVec>,
+    /// True = the slot is deleted (free-listed at the table level).
+    tombs: NullBitmap,
+}
+
+impl Chunk {
+    fn for_schema(schema: &Schema) -> Self {
+        Chunk {
+            columns: schema
+                .columns()
+                .iter()
+                .map(|c| ColumnVec::for_type(c.datatype))
+                .collect(),
+            tombs: NullBitmap::new(),
+        }
+    }
+
+    /// Rows pushed into this chunk (live and tombstoned).
+    pub fn len(&self) -> usize {
+        self.tombs.len()
+    }
+
+    /// True iff no rows were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The chunk's columns.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.columns
+    }
+
+    /// True iff slot `offset` is tombstoned.
+    pub fn is_dead(&self, offset: usize) -> bool {
+        self.tombs.get(offset)
+    }
+
+    fn materialize(&self, offset: usize) -> Row {
+        Row::new(self.columns.iter().map(|c| c.get(offset)).collect())
+    }
+}
+
+/// A columnar table behind the [`Table`] facade: same slot ids, free-list
+/// reuse, iteration order, and `apply_delta` semantics, so the two engines
+/// stay byte-identical (see the module docs for the facade contract).
+#[derive(Debug, Clone)]
+pub struct ColumnarTable {
+    name: String,
+    schema: Schema,
+    chunk_rows: usize,
+    chunks: Vec<Chunk>,
+    /// Slots ever allocated (chunk lens summed); slot id → chunk/offset by
+    /// division.
+    total_slots: usize,
+    free: Vec<RowId>,
+    live: usize,
+    validate: bool,
+}
+
+impl ColumnarTable {
+    /// An empty columnar table with the default chunk capacity.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self::with_chunk_rows(name, schema, CHUNK_ROWS)
+    }
+
+    /// An empty columnar table with an explicit chunk capacity (tests pin
+    /// tiny chunks to exercise boundary straddles; minimum 1).
+    pub fn with_chunk_rows(name: impl Into<String>, schema: Schema, chunk_rows: usize) -> Self {
+        ColumnarTable {
+            name: name.into(),
+            schema,
+            chunk_rows: chunk_rows.max(1),
+            chunks: Vec::new(),
+            total_slots: 0,
+            free: Vec::new(),
+            live: 0,
+            validate: true,
+        }
+    }
+
+    /// Builds a columnar table from a row table's live rows, in slot order.
+    /// The result is *compacted*: holes from previously freed slots are not
+    /// replicated, so slot-order equality with the source holds when the
+    /// source has no holes (bag equality holds always).
+    pub fn from_table(table: &Table) -> Self {
+        let mut ct = ColumnarTable::new(table.name(), table.schema().clone());
+        ct.validate = false; // source rows already passed the source's checks
+        for row in table.rows() {
+            ct.insert(row.clone()).expect("unvalidated insert cannot fail");
+        }
+        ct.validate = true;
+        ct
+    }
+
+    /// Materializes back into a row table, preserving slot order of live
+    /// rows (validation off during the load, restored after).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(self.name.clone(), self.schema.clone());
+        t.set_validate(false);
+        for (_, row) in self.iter() {
+            t.insert(row).expect("unvalidated insert cannot fail");
+        }
+        t.set_validate(self.validate);
+        t
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True iff the table holds no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Disables per-row validation (for trusted bulk loads).
+    pub fn set_validate(&mut self, validate: bool) {
+        self.validate = validate;
+    }
+
+    /// Number of chunks allocated.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Configured rows-per-chunk.
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// The chunks in slot order.
+    pub fn chunks(&self) -> &[Chunk] {
+        &self.chunks
+    }
+
+    fn locate(&self, id: RowId) -> Option<(usize, usize)> {
+        let idx = id.index();
+        if idx >= self.total_slots {
+            return None;
+        }
+        Some((idx / self.chunk_rows, idx % self.chunk_rows))
+    }
+
+    /// Inserts a row, returning its slot id. Mirrors [`Table::insert`]:
+    /// freed slots are reused LIFO before new slots are appended.
+    pub fn insert(&mut self, row: Row) -> StorageResult<RowId> {
+        if self.validate {
+            self.schema.check_row(&row)?;
+        }
+        match self.free.pop() {
+            Some(id) => {
+                let (c, o) = self.locate(id).expect("free-listed id is in range");
+                let chunk = &mut self.chunks[c];
+                for (col, v) in chunk.columns.iter_mut().zip(row.iter()) {
+                    col.set(o, v);
+                }
+                chunk.tombs.set(o, false);
+                self.live += 1;
+                Ok(id)
+            }
+            None => {
+                if self
+                    .chunks
+                    .last()
+                    .map_or(true, |c| c.len() == self.chunk_rows)
+                {
+                    self.chunks.push(Chunk::for_schema(&self.schema));
+                }
+                let chunk = self.chunks.last_mut().expect("just ensured");
+                for (col, v) in chunk.columns.iter_mut().zip(row.iter()) {
+                    col.push(v);
+                }
+                chunk.tombs.push(false);
+                let id = RowId(self.total_slots as u32);
+                self.total_slots += 1;
+                self.live += 1;
+                Ok(id)
+            }
+        }
+    }
+
+    /// Bulk insert.
+    pub fn insert_all<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> StorageResult<()> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches a row by id (materialized from the columns).
+    pub fn get(&self, id: RowId) -> Option<Row> {
+        let (c, o) = self.locate(id)?;
+        let chunk = &self.chunks[c];
+        if o >= chunk.len() || chunk.is_dead(o) {
+            return None;
+        }
+        Some(chunk.materialize(o))
+    }
+
+    /// Deletes a row by id, returning it. The slot is tombstoned and
+    /// free-listed; column payloads stay in place until reuse.
+    pub fn delete(&mut self, id: RowId) -> StorageResult<Row> {
+        let (c, o) = self
+            .locate(id)
+            .ok_or_else(|| StorageError::MissingRow(format!("row id {}", id.0)))?;
+        let chunk = &mut self.chunks[c];
+        if o >= chunk.len() || chunk.is_dead(o) {
+            return Err(StorageError::MissingRow(format!("row id {}", id.0)));
+        }
+        let row = chunk.materialize(o);
+        chunk.tombs.set(o, true);
+        self.free.push(id);
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Iterates live rows with their ids, in slot order (the same order
+    /// [`Table::iter`] yields for an identical operation history).
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, Row)> + '_ {
+        (0..self.total_slots).filter_map(move |idx| {
+            let (c, o) = (idx / self.chunk_rows, idx % self.chunk_rows);
+            let chunk = &self.chunks[c];
+            if o >= chunk.len() || chunk.is_dead(o) {
+                None
+            } else {
+                Some((RowId(idx as u32), chunk.materialize(o)))
+            }
+        })
+    }
+
+    /// Iterates live rows in slot order.
+    pub fn rows(&self) -> impl Iterator<Item = Row> + '_ {
+        self.iter().map(|(_, r)| r)
+    }
+
+    /// Clones all live rows into a vector, in slot order.
+    pub fn to_rows(&self) -> Vec<Row> {
+        self.rows().collect()
+    }
+
+    /// Sorted snapshot of the rows — canonical multiset form for equality.
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut v = self.to_rows();
+        v.sort();
+        v
+    }
+
+    /// Applies a deferred change set with exactly [`Table::apply_delta`]'s
+    /// algorithm: count pending deletion occurrences, delete the first
+    /// matches in slot order, then insert. Errors (and stops, like the row
+    /// engine) when a deletion has no matching row.
+    pub fn apply_delta(&mut self, delta: &DeltaSet) -> StorageResult<()> {
+        if !delta.deletions.is_empty() {
+            let mut pending: HashMap<&Row, usize> = HashMap::new();
+            for d in &delta.deletions {
+                *pending.entry(d).or_insert(0) += 1;
+            }
+            let mut remaining = delta.deletions.len();
+            let mut to_delete: Vec<RowId> = Vec::with_capacity(remaining);
+            for (id, row) in self.iter() {
+                if remaining == 0 {
+                    break;
+                }
+                if let Some(cnt) = pending.get_mut(&row) {
+                    if *cnt > 0 {
+                        *cnt -= 1;
+                        remaining -= 1;
+                        to_delete.push(id);
+                    }
+                }
+            }
+            for id in to_delete {
+                self.delete(id)?;
+            }
+            if remaining > 0 {
+                return Err(StorageError::MissingRow(format!(
+                    "{remaining} deletion(s) had no matching row in `{}`",
+                    self.name
+                )));
+            }
+        }
+        for r in &delta.insertions {
+            self.insert(r.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Removes every row, keeping the schema and chunk capacity.
+    pub fn truncate(&mut self) {
+        self.chunks.clear();
+        self.total_slots = 0;
+        self.free.clear();
+        self.live = 0;
+    }
+}
+
+impl fmt::Display for ColumnarTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} {} [{} rows, {} chunks x {}]",
+            self.name,
+            self.schema,
+            self.live,
+            self.chunks.len(),
+            self.chunk_rows
+        )?;
+        for row in self.rows() {
+            writeln!(f, "  {row}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::nullable("f", DataType::Float),
+            Column::new("s", DataType::Str),
+            Column::nullable("d", DataType::Date),
+        ])
+    }
+
+    fn sample(i: i64) -> Row {
+        Row::new(vec![
+            Value::Int(i),
+            if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Float(i as f64 * 0.5)
+            },
+            Value::str(format!("s{}", i % 5)),
+            if i % 4 == 0 {
+                Value::Null
+            } else {
+                Value::Date(Date(i as i32))
+            },
+        ])
+    }
+
+    /// Bit-level row comparison: `Value` equality folds `-0.0 == 0.0`, so
+    /// byte-identity assertions compare float bit patterns explicitly.
+    fn bits(rows: &[Row]) -> Vec<Vec<String>> {
+        rows.iter()
+            .map(|r| {
+                r.iter()
+                    .map(|v| match v {
+                        Value::Float(f) => format!("F:{:016x}", f.to_bits()),
+                        other => format!("{other:?}"),
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn storage_mode_parses_and_displays() {
+        assert_eq!(StorageMode::parse("row"), Some(StorageMode::Row));
+        assert_eq!(StorageMode::parse(" Columnar "), Some(StorageMode::Columnar));
+        assert_eq!(StorageMode::parse("col"), Some(StorageMode::Columnar));
+        assert_eq!(StorageMode::parse("fast"), None);
+        assert_eq!(StorageMode::parse(""), None);
+        assert_eq!(StorageMode::Columnar.to_string(), "columnar");
+        assert_eq!(StorageMode::default(), StorageMode::Row);
+    }
+
+    #[test]
+    fn bitmap_push_get_set() {
+        let mut b = NullBitmap::new();
+        for i in 0..200 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 200);
+        for i in 0..200 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        b.set(1, true);
+        b.set(0, false);
+        assert!(b.get(1));
+        assert!(!b.get(0));
+        assert!(!b.get(10_000), "out of range reads as clear");
+        assert_eq!(b.count_set(), 200usize.div_ceil(3));
+    }
+
+    #[test]
+    fn dictionary_grows_only_on_distinct_strings() {
+        let mut col = ColumnVec::for_type(DataType::Str);
+        for i in 0..100 {
+            col.push(&Value::str(format!("k{}", i % 7)));
+        }
+        assert_eq!(col.dict_len(), 7, "7 distinct strings, 100 pushes");
+        for i in 0..100 {
+            col.push(&Value::str(format!("fresh{i}")));
+        }
+        assert_eq!(col.dict_len(), 107, "dictionary grows per new string");
+        // Round-trip through codes.
+        assert_eq!(col.get(3), Value::str("k3"));
+        assert_eq!(col.get(100), Value::str("fresh0"));
+    }
+
+    #[test]
+    fn typed_columns_roundtrip_bit_exactly() {
+        let mut col = ColumnVec::for_type(DataType::Float);
+        let hostile = [0.0, -0.0, f64::NAN, f64::from_bits(0x7ff8_0000_0000_0001)];
+        for &f in &hostile {
+            col.push(&Value::Float(f));
+        }
+        for (i, &f) in hostile.iter().enumerate() {
+            match col.get(i) {
+                Value::Float(g) => assert_eq!(g.to_bits(), f.to_bits(), "row {i}"),
+                v => panic!("expected float, got {v:?}"),
+            }
+        }
+        assert!(!col.is_generic());
+    }
+
+    #[test]
+    fn mixed_types_promote_to_generic() {
+        let mut col = ColumnVec::for_type(DataType::Int);
+        col.push(&Value::Int(1));
+        col.push(&Value::Null);
+        assert!(!col.is_generic());
+        col.push(&Value::Float(2.5)); // mismatch → promotion
+        assert!(col.is_generic());
+        assert_eq!(col.get(0), Value::Int(1));
+        assert!(col.get(1).is_null());
+        assert_eq!(col.get(2), Value::Float(2.5));
+        // Int/Float stay distinct variants through the fallback.
+        assert!(matches!(col.get(0), Value::Int(_)));
+        assert!(matches!(col.get(2), Value::Float(_)));
+    }
+
+    #[test]
+    fn chunk_boundary_straddles() {
+        // chunk_rows = 4: rows 0..10 straddle three chunks; delete across
+        // the 4/8 boundaries, reinsert, and verify against a row Table
+        // driven by the identical op sequence.
+        let mut ct = ColumnarTable::with_chunk_rows("t", schema(), 4);
+        let mut rt = Table::new("t", schema());
+        for i in 0..10 {
+            let r = sample(i);
+            let cid = ct.insert(r.clone()).unwrap();
+            let rid = rt.insert(r).unwrap();
+            assert_eq!(cid, rid);
+        }
+        assert_eq!(ct.chunk_count(), 3);
+        for id in [3u32, 4, 7, 8] {
+            let c = ct.delete(RowId(id)).unwrap();
+            let r = rt.delete(RowId(id)).unwrap();
+            assert_eq!(c, r);
+        }
+        for i in 20..23 {
+            let r = sample(i);
+            let cid = ct.insert(r.clone()).unwrap();
+            let rid = rt.insert(r).unwrap();
+            assert_eq!(cid, rid, "freed slots must be reused LIFO like Table");
+        }
+        assert_eq!(bits(&ct.to_rows()), bits(&rt.to_rows()));
+        assert_eq!(ct.len(), rt.len());
+    }
+
+    #[test]
+    fn single_row_chunks() {
+        let mut ct = ColumnarTable::with_chunk_rows("t", schema(), 1);
+        for i in 0..5 {
+            ct.insert(sample(i)).unwrap();
+        }
+        assert_eq!(ct.chunk_count(), 5);
+        ct.delete(RowId(2)).unwrap();
+        assert_eq!(ct.to_rows().len(), 4);
+        let id = ct.insert(sample(9)).unwrap();
+        assert_eq!(id, RowId(2), "single-row chunk slot is reusable");
+        assert_eq!(ct.get(RowId(2)).unwrap(), sample(9));
+    }
+
+    #[test]
+    fn null_bitmap_roundtrips_through_row_facade() {
+        let mut ct = ColumnarTable::new("t", schema());
+        let rows: Vec<Row> = (0..50).map(sample).collect();
+        ct.insert_all(rows.clone()).unwrap();
+        let back = ct.to_table();
+        assert_eq!(back.to_rows(), rows);
+        // NULLs landed in the bitmap, not as Generic promotion.
+        for chunk in ct.chunks() {
+            assert!(!chunk.columns()[1].is_generic());
+            assert!(!chunk.columns()[3].is_generic());
+        }
+        assert!(ct.chunks()[0].columns()[1].nulls().count_set() > 0);
+    }
+
+    #[test]
+    fn from_table_to_table_roundtrip() {
+        let mut rt = Table::new("t", schema());
+        for i in 0..20 {
+            rt.insert(sample(i)).unwrap();
+        }
+        let ct = ColumnarTable::from_table(&rt);
+        assert_eq!(ct.len(), rt.len());
+        assert_eq!(bits(&ct.to_rows()), bits(&rt.to_rows()));
+        assert_eq!(bits(&ct.to_table().to_rows()), bits(&rt.to_rows()));
+    }
+
+    #[test]
+    fn apply_delta_matches_table_engine() {
+        let mut ct = ColumnarTable::with_chunk_rows("t", schema(), 4);
+        let mut rt = Table::new("t", schema());
+        // Seed with duplicates so multiset deletion semantics matter.
+        for i in [1i64, 2, 2, 3, 3, 3, 4] {
+            ct.insert(sample(i)).unwrap();
+            rt.insert(sample(i)).unwrap();
+        }
+        let delta = DeltaSet {
+            table: "t".into(),
+            insertions: vec![sample(7), sample(2)],
+            deletions: vec![sample(3), sample(2)],
+        };
+        ct.apply_delta(&delta).unwrap();
+        rt.apply_delta(&delta).unwrap();
+        assert_eq!(bits(&ct.to_rows()), bits(&rt.to_rows()));
+
+        // A missing deletion errors in both engines.
+        let bad = DeltaSet {
+            table: "t".into(),
+            insertions: vec![],
+            deletions: vec![sample(99)],
+        };
+        assert!(matches!(
+            ct.apply_delta(&bad),
+            Err(StorageError::MissingRow(_))
+        ));
+        assert!(matches!(
+            rt.apply_delta(&bad),
+            Err(StorageError::MissingRow(_))
+        ));
+    }
+
+    #[test]
+    fn validation_mirrors_table() {
+        let mut ct = ColumnarTable::new("t", schema());
+        assert!(ct.insert(row![1i64]).is_err(), "arity checked");
+        assert!(ct.insert(row!["x", 1.0, "s", 2i64]).is_err(), "types checked");
+        ct.set_validate(false);
+        assert!(ct.insert(row![1i64]).is_ok(), "trusted mode skips checks");
+    }
+
+    #[test]
+    fn truncate_clears_everything() {
+        let mut ct = ColumnarTable::with_chunk_rows("t", schema(), 2);
+        for i in 0..7 {
+            ct.insert(sample(i)).unwrap();
+        }
+        ct.delete(RowId(1)).unwrap();
+        ct.truncate();
+        assert!(ct.is_empty());
+        assert_eq!(ct.chunk_count(), 0);
+        let id = ct.insert(sample(1)).unwrap();
+        assert_eq!(id, RowId(0), "slot ids restart after truncate");
+    }
+}

@@ -14,6 +14,9 @@
 //! * [`Row`] — a tuple of values.
 //! * [`Table`] — a slotted multiset of rows (duplicates allowed, as the
 //!   paper's `pos` fact table requires) with optional hash indexes.
+//! * [`ColumnarTable`] — the same multiset behind typed column chunks
+//!   (`Int64`/`Float64`/`Str`-dictionary/`Date` vectors + null bitmaps),
+//!   selected by the [`StorageMode`] policy knob for the propagate hot path.
 //! * [`HashIndex`] / [`UniqueIndex`] — composite hash indexes, mirroring the
 //!   composite indexes on group-by columns used in the paper's §6 study.
 //! * [`Catalog`] — the warehouse catalog: fact tables, dimension tables,
@@ -24,6 +27,7 @@
 
 pub mod binenc;
 pub mod catalog;
+pub mod column;
 pub mod csv;
 pub mod datatype;
 pub mod delta;
@@ -36,6 +40,9 @@ pub mod table;
 pub mod value;
 
 pub use binenc::{decode_batch, encode_batch, fnv1a_64, DecodeError};
+pub use column::{
+    Chunk, ColumnData, ColumnVec, ColumnarTable, NullBitmap, StorageMode, StrDict, CHUNK_ROWS,
+};
 pub use csv::{load_csv, parse_csv, to_csv};
 pub use catalog::{Catalog, DimensionInfo, ForeignKey, FunctionalDependency, TableRole};
 pub use datatype::DataType;
@@ -46,4 +53,4 @@ pub use row::{Row, RowId};
 pub use schema::{Column, Schema};
 pub use shard::{ShardKey, ShardedTable};
 pub use table::Table;
-pub use value::{Date, Value};
+pub use value::{add_f64, canonical_f64, canonical_f64_bits, cmp_f64, Date, Value};

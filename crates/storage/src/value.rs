@@ -152,7 +152,7 @@ impl Value {
             (Value::Null, _) | (_, Value::Null) => Value::Null,
             (Value::Int(a), Value::Int(b)) => Value::Int(a + b),
             (a, b) => match (a.as_f64(), b.as_f64()) {
-                (Some(x), Some(y)) => Value::Float(x + y),
+                (Some(x), Some(y)) => Value::Float(add_f64(x, y)),
                 _ => Value::Null,
             },
         }
@@ -262,9 +262,9 @@ impl Ord for Value {
         match (self, other) {
             (Null, Null) => Ordering::Equal,
             (Int(a), Int(b)) => a.cmp(b),
-            (Float(a), Float(b)) => canonical_f64(*a).total_cmp(&canonical_f64(*b)),
-            (Int(a), Float(b)) => (*a as f64).total_cmp(&canonical_f64(*b)),
-            (Float(a), Int(b)) => canonical_f64(*a).total_cmp(&(*b as f64)),
+            (Float(a), Float(b)) => cmp_f64(*a, *b),
+            (Int(a), Float(b)) => cmp_f64(*a as f64, *b),
+            (Float(a), Int(b)) => cmp_f64(*a, *b as f64),
             (Str(a), Str(b)) => a.cmp(b),
             (Date(a), Date(b)) => a.cmp(b),
             _ => self.rank().cmp(&other.rank()),
@@ -301,7 +301,12 @@ impl Hash for Value {
 /// Canonical float for ordering and hashing: folds `-0.0` into `0.0` and all
 /// NaN payloads into one canonical NaN, so equality, ordering, and hashing
 /// agree (required for values used as hash-map group-by keys).
-fn canonical_f64(f: f64) -> f64 {
+///
+/// Public because the typed `Float64` column path must canonicalize with the
+/// *same* function the row comparator uses — a private copy drifting out of
+/// sync would let the columnar and row engines order `-0.0`/`0.0`/NaN
+/// differently and break byte-identity.
+pub fn canonical_f64(f: f64) -> f64 {
     if f == 0.0 {
         0.0
     } else if f.is_nan() {
@@ -311,9 +316,31 @@ fn canonical_f64(f: f64) -> f64 {
     }
 }
 
-/// Canonical bit pattern for hashing floats.
-fn canonical_f64_bits(f: f64) -> u64 {
+/// Canonical bit pattern for hashing floats. `Int` and integral `Float`
+/// values hash through this too, so equal numerics hash alike.
+pub fn canonical_f64_bits(f: f64) -> u64 {
     canonical_f64(f).to_bits()
+}
+
+/// The total order on raw `f64`s that [`Ord`] for [`Value`] uses: canonical
+/// form first (so `-0.0 == 0.0` and all NaNs are equal), then
+/// [`f64::total_cmp`]. Typed `Float64` accumulators (columnar MIN/MAX) must
+/// compare through this single definition.
+pub fn cmp_f64(a: f64, b: f64) -> Ordering {
+    canonical_f64(a).total_cmp(&canonical_f64(b))
+}
+
+/// Float addition funneled through a single non-inlined instance.
+///
+/// When a NaN is involved, `a + b` may return either operand's payload —
+/// LLVM does not pin the choice, so two separately optimized fold loops
+/// (the row accumulator and the vectorized `Float64` SUM) can legitimately
+/// disagree bit-for-bit. Every SUM-style float add in the engine calls this
+/// one function, so both storage modes execute the same machine code and
+/// produce the same bits.
+#[inline(never)]
+pub fn add_f64(a: f64, b: f64) -> f64 {
+    a + b
 }
 
 impl fmt::Display for Value {
@@ -459,6 +486,84 @@ mod tests {
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::str("abc").to_string(), "abc");
         assert_eq!(Value::Date(Date::from_ymd(1997, 5, 13)).to_string(), "1997-05-13");
+    }
+
+    #[test]
+    fn cmp_f64_agrees_with_row_comparator_on_hostile_floats() {
+        // Regression for the columnar kernel: the typed Float64 path orders
+        // raw f64s through `cmp_f64`, the row path through `Value::cmp`.
+        // They must agree bit-for-bit on every pair, including -0.0/0.0,
+        // NaN payloads, infinities, and subnormals.
+        let hostile = [
+            0.0,
+            -0.0,
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7ff8_0000_0000_0001), // NaN with payload
+            f64::from_bits(0xfff8_dead_beef_0001), // negative NaN w/ payload
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            -f64::MIN_POSITIVE,
+            f64::from_bits(1), // smallest subnormal
+            1.0,
+            -1.0,
+            f64::MAX,
+            f64::MIN,
+        ];
+        for &a in &hostile {
+            for &b in &hostile {
+                assert_eq!(
+                    cmp_f64(a, b),
+                    Value::Float(a).cmp(&Value::Float(b)),
+                    "cmp_f64 vs Value::cmp diverged for {a:?} vs {b:?}"
+                );
+            }
+        }
+        // The canonicalization rule itself.
+        assert_eq!(cmp_f64(-0.0, 0.0), Ordering::Equal);
+        assert_eq!(cmp_f64(f64::NAN, -f64::NAN), Ordering::Equal);
+        assert_eq!(cmp_f64(f64::NAN, f64::INFINITY), Ordering::Greater);
+        assert_eq!(canonical_f64(-0.0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(canonical_f64_bits(-0.0), canonical_f64_bits(0.0));
+        assert_eq!(
+            canonical_f64_bits(f64::from_bits(0x7ff8_0000_0000_0001)),
+            canonical_f64_bits(f64::NAN)
+        );
+    }
+
+    #[test]
+    fn min_max_keep_first_on_canonical_tie() {
+        // -0.0 and 0.0 compare equal, so min/max keep the *accumulator*
+        // (first-seen) bit pattern. The typed Float64 kernel must replicate
+        // this replace-only-on-strict-inequality rule or the engines
+        // diverge at the bit level.
+        let neg = Value::Float(-0.0);
+        let pos = Value::Float(0.0);
+        for (first, second) in [(&neg, &pos), (&pos, &neg)] {
+            let first_bits = match first {
+                Value::Float(f) => f.to_bits(),
+                _ => unreachable!(),
+            };
+            for combined in [first.min_sql(second), first.max_sql(second)] {
+                match combined {
+                    Value::Float(f) => assert_eq!(
+                        f.to_bits(),
+                        first_bits,
+                        "tie must keep the first-seen bit pattern"
+                    ),
+                    v => panic!("expected a float, got {v:?}"),
+                }
+            }
+        }
+        // Same for NaN payload ties: all NaNs are canonically equal.
+        let nan_a = f64::from_bits(0x7ff8_0000_0000_0001);
+        let a = Value::Float(nan_a);
+        let b = Value::Float(f64::NAN);
+        match a.min_sql(&b) {
+            Value::Float(f) => assert_eq!(f.to_bits(), nan_a.to_bits()),
+            v => panic!("expected a float, got {v:?}"),
+        }
     }
 
     #[test]

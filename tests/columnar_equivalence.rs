@@ -1,0 +1,328 @@
+//! Storage-equivalence battery: the vectorized columnar aggregation engine
+//! must leave every summary table **byte-identical** (same physical row
+//! order, bit-exact payloads) to the row-form engine, for arbitrary seeded
+//! fact + dimension batches, across the full threads {1,4} × shards {1,4}
+//! scheduling matrix.
+//!
+//! The battery covers the hostile corners of the contract:
+//!
+//! * MIN/MAX eviction-recompute cycles — deleting the extremum forces the
+//!   §4.2 recompute path, which reads the fact table back through whatever
+//!   engine the policy selects;
+//! * NULL-heavy change sets — the null bitmap must agree with row-form
+//!   NULL skipping in every aggregate;
+//! * empty deltas — a cycle that computes nothing must still agree;
+//! * single-row chunks — `ColumnarTable` with `chunk_rows = 1` must stay
+//!   row-for-row equivalent to `Table` through the row facade under the
+//!   same insert/delete/apply_delta sequence.
+
+mod common;
+
+use common::figure1_defs;
+use cubedelta::core::{MaintainOptions, MaintenancePolicy, StorageMode, Warehouse};
+use cubedelta::expr::Expr;
+use cubedelta::query::AggFunc;
+use cubedelta::storage::{ChangeBatch, ColumnarTable, Date, DeltaSet, Row, Table, Value};
+use cubedelta::view::SummaryViewDef;
+use cubedelta::workload::retail_catalog_small;
+use proptest::prelude::*;
+
+/// An extra view with float MIN/MAX so eviction recomputes exercise the
+/// `Float64` ordered-aggregate path (the Figure-1 views only order dates).
+fn price_extrema_def() -> SummaryViewDef {
+    SummaryViewDef::builder("S_price", "pos")
+        .group_by(["storeID"])
+        .aggregate(AggFunc::CountStar, "TotalCount")
+        .aggregate(AggFunc::Min(Expr::col("price")), "MinPrice")
+        .aggregate(AggFunc::Max(Expr::col("price")), "MaxPrice")
+        .aggregate(AggFunc::Sum(Expr::col("price")), "Revenue")
+        .build()
+}
+
+/// A warehouse over the small retail fixture with the Figure-1 views plus
+/// the float-extrema view, pinned to the given schedule and engine.
+fn engine_warehouse(threads: usize, shards: usize, storage: StorageMode) -> Warehouse {
+    let mut wh = Warehouse::from_catalog(retail_catalog_small());
+    for def in figure1_defs() {
+        wh.create_summary_table(&def).unwrap();
+    }
+    wh.create_summary_table(&price_extrema_def()).unwrap();
+    wh.set_maintenance_policy(
+        MaintenancePolicy::with_threads(threads)
+            .with_shards(shards)
+            .with_storage(storage),
+    );
+    wh
+}
+
+/// Asserts every summary table AND the base fact table match byte for byte
+/// (physical row order included) between two warehouses.
+fn assert_byte_identical(a: &Warehouse, b: &Warehouse, label: &str) {
+    for v in a.views() {
+        let name = &v.def.name;
+        assert_eq!(
+            a.catalog().table(name).unwrap().to_rows(),
+            b.catalog().table(name).unwrap().to_rows(),
+            "{name} byte layout diverges ({label})"
+        );
+    }
+    assert_eq!(
+        a.catalog().table("pos").unwrap().to_rows(),
+        b.catalog().table("pos").unwrap().to_rows(),
+        "base fact table diverges ({label})"
+    );
+}
+
+/// Strategy: a pos row over small domains. `null_weight` inflates the
+/// NULL-qty arm for the NULL-heavy battery.
+fn pos_row(null_weight: u32) -> impl Strategy<Value = Row> {
+    (
+        1i64..=3,
+        prop_oneof![Just(10i64), Just(20i64), Just(30i64)],
+        0i32..4,
+        prop_oneof![
+            3 => (1i64..=9).prop_map(Value::Int),
+            null_weight => Just(Value::Null)
+        ],
+        prop_oneof![
+            4 => (1u32..=40).prop_map(|p| Value::Float(p as f64 / 4.0)),
+            1 => Just(Value::Null)
+        ],
+    )
+        .prop_map(|(s, i, doff, qty, price)| {
+            Row::new(vec![
+                Value::Int(s),
+                Value::Int(i),
+                Value::Date(Date(10000 + doff)),
+                qty,
+                price,
+            ])
+        })
+}
+
+/// Strategy: a change script — per step, rows to insert and seeds resolved
+/// against the live fact table as deletions (so deletions always land,
+/// which is what drives MIN/MAX evictions).
+fn change_script(null_weight: u32) -> impl Strategy<Value = Vec<(Vec<Row>, Vec<usize>)>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(pos_row(null_weight), 0..6),
+            proptest::collection::vec(0usize..64, 0..5),
+        ),
+        1..4,
+    )
+}
+
+fn batch_from_step(wh: &Warehouse, ins: &[Row], del_seeds: &[usize]) -> ChangeBatch {
+    let live: Vec<Row> = wh.catalog().table("pos").unwrap().rows().cloned().collect();
+    let mut deletions = Vec::new();
+    let mut used = std::collections::HashSet::new();
+    for &s in del_seeds {
+        if live.is_empty() {
+            break;
+        }
+        let idx = s % live.len();
+        if used.insert(idx) {
+            deletions.push(live[idx].clone());
+        }
+    }
+    ChangeBatch::single(DeltaSet {
+        table: "pos".into(),
+        insertions: ins.to_vec(),
+        deletions,
+    })
+}
+
+/// Runs a change script through a row-engine and a columnar-engine
+/// warehouse at each (threads, shards) point, asserting byte-identity
+/// after every cycle — and that every schedule/engine combination matches
+/// the 1-thread unsharded row reference.
+fn run_matrix(script: &[(Vec<Row>, Vec<usize>)]) {
+    let mut reference = engine_warehouse(1, 1, StorageMode::Row);
+    let mut pairs: Vec<(Warehouse, Warehouse, usize, usize)> = [1usize, 4]
+        .into_iter()
+        .flat_map(|t| [1usize, 4].map(|s| (t, s)))
+        .map(|(t, s)| {
+            (
+                engine_warehouse(t, s, StorageMode::Row),
+                engine_warehouse(t, s, StorageMode::Columnar),
+                t,
+                s,
+            )
+        })
+        .collect();
+
+    for (step, (ins, dels)) in script.iter().enumerate() {
+        let batch = batch_from_step(&reference, ins, dels);
+        reference
+            .maintain(&batch, &MaintainOptions::default())
+            .unwrap();
+        for (row_wh, col_wh, t, s) in pairs.iter_mut() {
+            let row_report = row_wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+            let col_report = col_wh.maintain(&batch, &MaintainOptions::default()).unwrap();
+            assert_eq!(col_report.storage, StorageMode::Columnar);
+            assert_byte_identical(
+                row_wh,
+                col_wh,
+                &format!("step {step}, threads {t}, shards {s}"),
+            );
+            assert_byte_identical(
+                &reference,
+                col_wh,
+                &format!("step {step}, threads {t}, shards {s}, vs reference"),
+            );
+            // Refresh must take identical Figure-7 actions per view — the
+            // engines may count work differently, but never act differently.
+            for (a, b) in row_report.per_view.iter().zip(&col_report.per_view) {
+                assert_eq!(a.view, b.view);
+                assert_eq!(
+                    a.refresh, b.refresh,
+                    "step {step}: {} refresh actions differ (threads {t}, shards {s})",
+                    a.view
+                );
+            }
+        }
+    }
+    for (_, col_wh, _, _) in &pairs {
+        col_wh.check_consistency().unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The headline contract: arbitrary seeded change scripts leave every
+    /// summary table byte-identical between engines, across the full
+    /// threads × shards matrix.
+    #[test]
+    fn columnar_engine_is_byte_identical_across_schedules(script in change_script(1)) {
+        run_matrix(&script);
+    }
+
+    /// The same contract under NULL-heavy change sets: most qty values are
+    /// NULL, so the null bitmap dominates aggregate input skipping.
+    #[test]
+    fn columnar_engine_matches_on_null_heavy_batches(script in change_script(12)) {
+        run_matrix(&script);
+    }
+
+    /// `ColumnarTable` with single-row chunks stays row-for-row equivalent
+    /// to `Table` through the facade for any insert/delete/apply_delta
+    /// sequence (every row straddles a chunk boundary).
+    #[test]
+    fn single_row_chunks_mirror_table_semantics(
+        initial in proptest::collection::vec(pos_row(3), 0..8),
+        script in change_script(3),
+    ) {
+        let schema = retail_catalog_small().table("pos").unwrap().schema().clone();
+        let mut table = Table::new("pos", schema.clone());
+        table.insert_all(initial.clone()).unwrap();
+        let mut columnar = ColumnarTable::with_chunk_rows("pos", schema, 1);
+        for r in initial {
+            columnar.insert(r).unwrap();
+        }
+        for (ins, dels) in &script {
+            let live: Vec<Row> = table.rows().cloned().collect();
+            let mut deletions = Vec::new();
+            let mut used = std::collections::HashSet::new();
+            for &s in dels {
+                if live.is_empty() { break; }
+                let idx = s % live.len();
+                if used.insert(idx) {
+                    deletions.push(live[idx].clone());
+                }
+            }
+            let delta = DeltaSet {
+                table: "pos".into(),
+                insertions: ins.clone(),
+                deletions,
+            };
+            table.apply_delta(&delta).unwrap();
+            columnar.apply_delta(&delta).unwrap();
+            prop_assert_eq!(columnar.len(), table.len());
+            prop_assert_eq!(columnar.sorted_rows(), table.sorted_rows());
+        }
+    }
+}
+
+/// Deleting every holder of a group's extremum forces the §4.2 MIN/MAX
+/// eviction recompute, which re-reads the fact table. Both engines must
+/// recompute to the same bytes — checked across the schedule matrix.
+#[test]
+fn minmax_eviction_recompute_is_byte_identical() {
+    for (threads, shards) in [(1, 1), (1, 4), (4, 1), (4, 4)] {
+        let mut row_wh = engine_warehouse(threads, shards, StorageMode::Row);
+        let mut col_wh = engine_warehouse(threads, shards, StorageMode::Columnar);
+
+        // Install a known per-store extremum, then delete exactly its
+        // holders: MaxPrice (and the date minimum in SiC_sales) must fall
+        // back to recomputation.
+        let spike: Vec<Row> = (1..=3)
+            .map(|s| {
+                Row::new(vec![
+                    Value::Int(s),
+                    Value::Int(10),
+                    Value::Date(Date(9_000)), // earlier than every fixture date
+                    Value::Int(1),
+                    Value::Float(999.5),
+                ])
+            })
+            .collect();
+        let ins = ChangeBatch::single(DeltaSet::insertions("pos", spike.clone()));
+        row_wh.maintain(&ins, &MaintainOptions::default()).unwrap();
+        col_wh.maintain(&ins, &MaintainOptions::default()).unwrap();
+        assert_byte_identical(&row_wh, &col_wh, "after extremum insert");
+
+        let del = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![],
+            deletions: spike,
+        });
+        let row_report = row_wh.maintain(&del, &MaintainOptions::default()).unwrap();
+        let col_report = col_wh.maintain(&del, &MaintainOptions::default()).unwrap();
+        assert_byte_identical(
+            &row_wh,
+            &col_wh,
+            &format!("after extremum eviction, threads {threads}, shards {shards}"),
+        );
+        let recomputed = |r: &cubedelta::core::MaintenanceReport| {
+            r.per_view
+                .iter()
+                .map(|v| v.refresh.recomputed)
+                .sum::<usize>()
+        };
+        assert!(
+            recomputed(&row_report) > 0,
+            "eviction batch should force a recompute (threads {threads}, shards {shards})"
+        );
+        assert_eq!(
+            recomputed(&row_report),
+            recomputed(&col_report),
+            "engines disagree on recompute count (threads {threads}, shards {shards})"
+        );
+        col_wh.check_consistency().unwrap();
+    }
+}
+
+/// An empty change batch is a degenerate but legal cycle: no deltas, no
+/// refresh actions, and no divergence between engines.
+#[test]
+fn empty_delta_cycles_are_byte_identical() {
+    for (threads, shards) in [(1, 1), (4, 4)] {
+        let mut row_wh = engine_warehouse(threads, shards, StorageMode::Row);
+        let mut col_wh = engine_warehouse(threads, shards, StorageMode::Columnar);
+        let empty = ChangeBatch::single(DeltaSet {
+            table: "pos".into(),
+            insertions: vec![],
+            deletions: vec![],
+        });
+        let row_report = row_wh.maintain(&empty, &MaintainOptions::default()).unwrap();
+        let col_report = col_wh.maintain(&empty, &MaintainOptions::default()).unwrap();
+        assert_byte_identical(&row_wh, &col_wh, "empty delta");
+        for (a, b) in row_report.per_view.iter().zip(&col_report.per_view) {
+            assert_eq!(a.delta_rows, 0, "empty batch produced a delta in {}", a.view);
+            assert_eq!(b.delta_rows, 0, "empty batch produced a delta in {}", b.view);
+        }
+        col_wh.check_consistency().unwrap();
+    }
+}

@@ -11,14 +11,17 @@
 //!   schedulers (4 threads)
 //! * `shd`   — incremental maintenance with the fact table split into 4
 //!   shards (cross-shard propagate + partial-sd merge), 4 threads
+//! * `col`   — incremental maintenance through the vectorized columnar
+//!   aggregation engine (`StorageMode::Columnar`), 4 threads
 //! * `base`  — the rematerialize-from-scratch baseline (direct recompute,
 //!   no lattice), i.e. the ground truth
 //!
 //! Beyond bag equality with the baseline, every cycle also asserts the
-//! 1-thread, 4-thread, and sharded warehouses are *byte-identical* (same
-//! physical row order in every summary table) and that refresh took the
-//! same Figure-7 actions per view — the parallel batch window and the
-//! sharded propagate are pure scheduling changes.
+//! 1-thread, 4-thread, sharded, and columnar warehouses are
+//! *byte-identical* (same physical row order in every summary table) and
+//! that refresh took the same Figure-7 actions per view — the parallel
+//! batch window, the sharded propagate, and the columnar kernel are pure
+//! scheduling/engine changes.
 //!
 //! Batches mix fact insertions/deletions (update-generating and
 //! insertion-heavy mixes) with periodic dimension changes (an item moved to
@@ -28,7 +31,7 @@
 //! Cycle count defaults to 6; override with `CUBEDELTA_DIFF_CYCLES` (CI
 //! quick mode uses 3).
 
-use cubedelta::core::{MaintainOptions, MaintenancePolicy, Warehouse};
+use cubedelta::core::{MaintainOptions, MaintenancePolicy, StorageMode, Warehouse};
 use cubedelta::storage::{ChangeBatch, DeltaSet, Row, Value};
 use cubedelta::workload::{mixed_changes, retail_catalog, RetailParams, WorkloadScale};
 
@@ -122,6 +125,10 @@ fn run_differential(seed: u64) {
     par.set_maintenance_policy(MaintenancePolicy::with_threads(4));
     let mut shd = inc.clone();
     shd.set_maintenance_policy(MaintenancePolicy::with_threads(4).with_shards(4));
+    let mut col = inc.clone();
+    col.set_maintenance_policy(
+        MaintenancePolicy::with_threads(4).with_storage(StorageMode::Columnar),
+    );
     let mut base = inc.clone();
 
     for cycle in 0..cycles() {
@@ -130,11 +137,13 @@ fn run_differential(seed: u64) {
         let inc_report = inc.maintain(&batch, &MaintainOptions::default()).unwrap();
         let par_report = par.maintain(&batch, &MaintainOptions::default()).unwrap();
         let shd_report = shd.maintain(&batch, &MaintainOptions::default()).unwrap();
+        let col_report = col.maintain(&batch, &MaintainOptions::default()).unwrap();
         base.rematerialize(&batch, false).unwrap();
 
         assert_views_match(&inc, &base, "incremental vs full recompute", cycle);
         assert_views_match(&par, &base, "parallel vs full recompute", cycle);
         assert_views_match(&shd, &base, "sharded vs full recompute", cycle);
+        assert_views_match(&col, &base, "columnar vs full recompute", cycle);
         // Parallel refresh canonicalizes each summary-delta before applying,
         // so even the physical layout matches the 1-thread run byte for
         // byte, and each view's refresh took identical Figure-7 actions.
@@ -151,6 +160,11 @@ fn run_differential(seed: u64) {
                 shd.catalog().table(name).unwrap().to_rows(),
                 inc.catalog().table(name).unwrap().to_rows(),
                 "cycle {cycle}: {name} byte layout differs between sharded and unsharded"
+            );
+            assert_eq!(
+                col.catalog().table(name).unwrap().to_rows(),
+                inc.catalog().table(name).unwrap().to_rows(),
+                "cycle {cycle}: {name} byte layout differs between columnar and row engines"
             );
         }
         for (a, b) in inc_report.per_view.iter().zip(&par_report.per_view) {
@@ -169,6 +183,26 @@ fn run_differential(seed: u64) {
                 a.view
             );
         }
+        // The columnar engine is a different executor, so its operator
+        // counters legitimately differ (`vectorized_rows` instead of
+        // row-fold work) — but refresh must still take identical actions.
+        for (a, b) in inc_report.per_view.iter().zip(&col_report.per_view) {
+            assert_eq!(a.view, b.view, "cycle {cycle}: columnar per-view order differs");
+            assert_eq!(
+                a.refresh, b.refresh,
+                "cycle {cycle}: {} refresh actions differ under the columnar engine",
+                a.view
+            );
+        }
+        assert_eq!(
+            col_report.storage,
+            StorageMode::Columnar,
+            "cycle {cycle}: report lost the storage mode"
+        );
+        assert!(
+            col_report.metrics.vectorized_rows > 0,
+            "cycle {cycle}: columnar kernel never engaged"
+        );
         // Base tables advanced identically, so the next cycle's deletions
         // (sampled from `inc`) apply cleanly everywhere.
         assert_eq!(
@@ -193,6 +227,7 @@ fn run_differential(seed: u64) {
     inc.check_consistency().unwrap();
     par.check_consistency().unwrap();
     shd.check_consistency().unwrap();
+    col.check_consistency().unwrap();
 }
 
 #[test]
